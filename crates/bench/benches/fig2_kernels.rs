@@ -1,0 +1,88 @@
+//! Criterion microbenchmarks behind Figure 2: the sequential kernels at
+//! several block sizes, plus the kernel-variant ablation (naive vs tiled
+//! vs rayon-parallel min-plus).
+
+use apsp_blockmat::{kernels, Block};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn dense_block(b: usize, seed: usize) -> Block {
+    Block::from_fn(b, |i, j| {
+        if i == j {
+            0.0
+        } else {
+            1.0 + ((i * 31 + j * 17 + seed) % 97) as f64
+        }
+    })
+}
+
+fn bench_floyd_warshall(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2/floyd_warshall");
+    for b in [64usize, 128, 256] {
+        group.throughput(Throughput::Elements((b * b * b) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, &b| {
+            let base = dense_block(b, 1);
+            bench.iter(|| {
+                let mut blk = base.clone();
+                kernels::floyd_warshall_in_place(&mut blk);
+                blk
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_minplus_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2/minplus");
+    for b in [64usize, 128, 256] {
+        let a = dense_block(b, 2);
+        let x = dense_block(b, 3);
+        group.throughput(Throughput::Elements((b * b * b) as u64));
+        group.bench_with_input(BenchmarkId::new("naive", b), &b, |bench, _| {
+            bench.iter(|| {
+                let mut out = Block::infinity(b);
+                kernels::min_plus_into_naive(&a, &x, &mut out);
+                out
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("tiled", b), &b, |bench, _| {
+            bench.iter(|| {
+                let mut out = Block::infinity(b);
+                kernels::min_plus_into(&a, &x, &mut out);
+                out
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", b), &b, |bench, _| {
+            bench.iter(|| {
+                let mut out = Block::infinity(b);
+                kernels::min_plus_into_parallel(&a, &x, &mut out);
+                out
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fw_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2/fw_update_outer");
+    for b in [128usize, 512] {
+        let base = dense_block(b, 4);
+        let col_i: Vec<f64> = (0..b).map(|i| i as f64).collect();
+        let col_j: Vec<f64> = (0..b).map(|j| (j * 2) as f64).collect();
+        group.throughput(Throughput::Elements((b * b) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(b), &b, |bench, _| {
+            bench.iter(|| {
+                let mut blk = base.clone();
+                kernels::fw_update_outer(&mut blk, &col_i, &col_j);
+                blk
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_floyd_warshall, bench_minplus_variants, bench_fw_update
+}
+criterion_main!(benches);

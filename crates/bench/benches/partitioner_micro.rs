@@ -1,0 +1,49 @@
+//! Partitioner microbenchmarks: assignment throughput and the skew
+//! computation used by the Fig. 3 (bottom) harness.
+
+use apsp_cluster::{skew_factor, PartitionerKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sparklet::partitioner::{
+    MultiDiagonalPartitioner, Partitioner, PortableHashPartitioner, StdHashPartitioner,
+};
+
+fn bench_assignment(c: &mut Criterion) {
+    let q = 256usize;
+    let parts = 2048usize;
+    let keys: Vec<(usize, usize)> = (0..q).flat_map(|i| (i..q).map(move |j| (i, j))).collect();
+    let mut group = c.benchmark_group("partitioner/assign_33k_keys");
+
+    let md = MultiDiagonalPartitioner::new(q, parts);
+    group.bench_function("multi_diagonal", |b| {
+        b.iter(|| keys.iter().map(|k| md.partition(k)).sum::<usize>())
+    });
+    let ph = PortableHashPartitioner::<(usize, usize)>::new(parts);
+    group.bench_function("portable_hash", |b| {
+        b.iter(|| keys.iter().map(|k| ph.partition(k)).sum::<usize>())
+    });
+    let sh = StdHashPartitioner::<(usize, usize)>::new(parts);
+    group.bench_function("std_hash", |b| {
+        b.iter(|| keys.iter().map(|k| sh.partition(k)).sum::<usize>())
+    });
+    group.finish();
+}
+
+fn bench_skew_factor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioner/skew_factor");
+    for q in [128usize, 256] {
+        group.bench_with_input(BenchmarkId::new("md", q), &q, |b, &q| {
+            b.iter(|| skew_factor(PartitionerKind::MultiDiagonal, q, 2048))
+        });
+        group.bench_with_input(BenchmarkId::new("ph", q), &q, |b, &q| {
+            b.iter(|| skew_factor(PartitionerKind::PortableHash, q, 2048))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_assignment, bench_skew_factor
+}
+criterion_main!(benches);

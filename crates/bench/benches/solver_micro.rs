@@ -1,0 +1,53 @@
+//! End-to-end solver microbenchmarks at miniature scale: the four Spark
+//! solvers and the two MPI baselines on the same graph. Mirrors, at bench
+//! granularity, the orderings the paper's Tables 2/3 report at scale.
+
+use apsp_core::{
+    ApspSolver, BlockedCollectBroadcast, BlockedInMemory, FloydWarshall2D, MpiDcApsp, MpiFw2d,
+    RepeatedSquaring, SolverConfig,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use sparklet::{SparkConfig, SparkContext};
+
+const N: usize = 96;
+const B: usize = 24;
+
+fn bench_spark_solvers(c: &mut Criterion) {
+    let g = apsp_graph::generators::erdos_renyi_paper(N, 0.1, 42);
+    let adj = g.to_dense();
+    let mut group = c.benchmark_group("solvers");
+
+    let cases: Vec<(&str, Box<dyn ApspSolver>)> = vec![
+        ("repeated_squaring", Box::new(RepeatedSquaring)),
+        ("fw2d", Box::new(FloydWarshall2D)),
+        ("blocked_im", Box::new(BlockedInMemory)),
+        ("blocked_cb", Box::new(BlockedCollectBroadcast)),
+    ];
+    for (name, solver) in cases {
+        group.bench_function(name, |bench| {
+            bench.iter(|| {
+                let ctx = SparkContext::new(SparkConfig::with_cores(4));
+                solver
+                    .solve(&ctx, &adj, &SolverConfig::new(B).without_validation())
+                    .expect("solve failed")
+            });
+        });
+    }
+    group.bench_function("mpi_fw2d_2x2", |bench| {
+        bench.iter(|| MpiFw2d::new(2).solve_matrix(&adj).expect("solve failed"));
+    });
+    group.bench_function("mpi_dc_4ranks", |bench| {
+        bench.iter(|| MpiDcApsp::new(4).solve_matrix(&adj).expect("solve failed"));
+    });
+    group.bench_function("sequential_oracle", |bench| {
+        bench.iter(|| apsp_graph::floyd_warshall(&g));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_spark_solvers
+}
+criterion_main!(benches);

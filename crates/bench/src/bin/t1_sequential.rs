@@ -1,0 +1,61 @@
+//! §5.4 baseline: sequential Floyd-Warshall at `n = 256` (`T1`).
+//!
+//! The paper records `T1 = 0.022 s` (0.762 Gops) with SciPy + MKL on one
+//! Skylake core; this harness measures the same quantity with the
+//! `apsp-blockmat` kernel on this machine and prints both.
+
+use apsp_bench::{fmt_duration, paper, write_json, TextTable};
+use apsp_graph::{floyd_warshall, generators};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct T1Result {
+    n: usize,
+    host_seconds: f64,
+    host_gops: f64,
+    paper_seconds: f64,
+    paper_gops: f64,
+}
+
+fn main() {
+    let n = 256;
+    let g = generators::erdos_renyi_paper(n, 0.1, 0xA5);
+
+    // Warm up, then take the best of 5 (the paper reports a single point;
+    // best-of filters scheduler noise).
+    let _ = floyd_warshall(&g);
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        let d = floyd_warshall(&g);
+        let dt = t0.elapsed().as_secs_f64();
+        best = best.min(dt);
+        assert_eq!(d.order(), n);
+    }
+    let gops = (n as f64).powi(3) / best / 1e9;
+
+    let mut t = TextTable::new(&["quantity", "this host", "paper (§5.4)"]);
+    t.row(vec![
+        "T1(n=256)".into(),
+        fmt_duration(best),
+        fmt_duration(paper::T1_N256_S),
+    ]);
+    t.row(vec![
+        "Gops".into(),
+        format!("{gops:.3}"),
+        format!("{:.3}", paper::T1_GOPS),
+    ]);
+    println!("== T1 sequential baseline ==\n{}", t.render());
+
+    let res = T1Result {
+        n,
+        host_seconds: best,
+        host_gops: gops,
+        paper_seconds: paper::T1_N256_S,
+        paper_gops: paper::T1_GOPS,
+    };
+    if let Ok(path) = write_json("t1_sequential", &res) {
+        println!("wrote {}", path.display());
+    }
+}

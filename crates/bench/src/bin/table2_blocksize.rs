@@ -1,0 +1,124 @@
+//! Table 2: the effect of block size on execution time for all four Spark
+//! solvers × {MD, PH} × b ∈ {256 … 4096}, at `n = 262144, p = 1024, B = 2`.
+//!
+//! Regenerated with the calibrated cluster model (the paper's own
+//! projection methodology), printed side-by-side with the paper's rows.
+
+use apsp_bench::{fmt_duration, paper, ratio, write_json, HarnessArgs, TextTable};
+use apsp_cluster::{project, ClusterSpec, PartitionerKind, SolverKind, SparkOverheads, Workload};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table2Out {
+    method: String,
+    partitioner: String,
+    b: usize,
+    iterations: u64,
+    single_s: f64,
+    projected_s: f64,
+    paper_single_s: f64,
+    paper_projected_s: f64,
+}
+
+fn solver_kind(label: &str) -> SolverKind {
+    match label {
+        "Repeated Squaring" => SolverKind::RepeatedSquaring,
+        "2D Floyd-Warshall" => SolverKind::FloydWarshall2D,
+        "Blocked-IM" => SolverKind::BlockedInMemory,
+        "Blocked-CB" => SolverKind::BlockedCollectBroadcast,
+        other => panic!("unknown solver {other}"),
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let spec = ClusterSpec::paper_cluster();
+    let rates = args.rates();
+    let ov = SparkOverheads::default();
+    let n = 262_144;
+
+    println!("== Table 2: block-size effect, n = {n}, p = 1024, B = 2 ==");
+    println!("(model vs paper; 'Projected' is iterations × single-iteration time)\n");
+
+    let mut out_rows = Vec::new();
+    let mut table = TextTable::new(&[
+        "Method", "Part.", "b", "Iters", "Single", "Projected", "Paper single", "Paper proj", "proj Δ",
+    ]);
+    for row in paper::TABLE2 {
+        let kind = solver_kind(row.method);
+        let partitioner = if row.partitioner == "MD" {
+            PartitionerKind::MultiDiagonal
+        } else {
+            PartitionerKind::PortableHash
+        };
+        let w = Workload {
+            n,
+            b: row.b,
+            partitions_per_core: 2,
+            partitioner,
+        };
+        let p = project(kind, &w, &spec, &rates, &ov);
+        assert_eq!(
+            p.iterations, row.iterations,
+            "{} b={} iteration-count mismatch",
+            row.method, row.b
+        );
+        table.row(vec![
+            row.method.into(),
+            row.partitioner.into(),
+            row.b.to_string(),
+            p.iterations.to_string(),
+            fmt_duration(p.single_iteration_s),
+            fmt_duration(p.total_s),
+            fmt_duration(row.single_s),
+            fmt_duration(row.projected_s),
+            ratio(p.total_s, row.projected_s),
+        ]);
+        out_rows.push(Table2Out {
+            method: row.method.into(),
+            partitioner: row.partitioner.into(),
+            b: row.b,
+            iterations: p.iterations,
+            single_s: p.single_iteration_s,
+            projected_s: p.total_s,
+            paper_single_s: row.single_s,
+            paper_projected_s: row.projected_s,
+        });
+    }
+    println!("{}", table.render());
+
+    // Shape assertions the paper's §5.3 narrative makes.
+    let best = |kind: SolverKind, part: PartitionerKind| -> f64 {
+        [256usize, 512, 1024, 2048, 4096]
+            .iter()
+            .map(|&b| {
+                let w = Workload { n, b, partitions_per_core: 2, partitioner: part };
+                project(kind, &w, &spec, &rates, &ov).total_s
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let md = PartitionerKind::MultiDiagonal;
+    let day = 86_400.0;
+    let rs = best(SolverKind::RepeatedSquaring, md);
+    let fw = best(SolverKind::FloydWarshall2D, md);
+    let im = best(SolverKind::BlockedInMemory, md);
+    let cb = best(SolverKind::BlockedCollectBroadcast, md);
+    println!("shape checks:");
+    println!("  RS best {:>8}  (paper: days)        {}", fmt_duration(rs), ok(rs > 2.0 * day));
+    println!("  FW2D best {:>7} (paper: ~50+ days)  {}", fmt_duration(fw), ok(fw > 30.0 * day));
+    println!("  IM best {:>8}  (paper: ~8h)         {}", fmt_duration(im), ok(im < day));
+    println!("  CB best {:>8}  (paper: ~7h)         {}", fmt_duration(cb), ok(cb < day));
+    println!("  CB ≤ IM: {}", ok(cb <= im));
+
+    if let Ok(path) = write_json("table2_blocksize", &out_rows) {
+        println!("\nwrote {}", path.display());
+    }
+}
+
+fn ok(cond: bool) -> &'static str {
+    if cond {
+        "[ok]"
+    } else {
+        "[MISMATCH]"
+    }
+}

@@ -1,0 +1,142 @@
+//! Table 3: weak scaling of the blocked Spark solvers and the MPI
+//! baselines at `n/p = 256`, `p ∈ {64, 128, 256, 512, 1024}`.
+//!
+//! Projections come from the calibrated cluster model, with block sizes
+//! chosen by the model-driven tuner (mirroring the paper's per-`p` tuning);
+//! `--real` additionally runs a *real* thread-scaled weak-scaling sweep of
+//! Blocked-CB and the MPI baselines on this machine.
+
+use apsp_bench::{fmt_duration, paper, ratio, write_json, HarnessArgs, TextTable};
+use apsp_cluster::{project, ClusterSpec, SolverKind, SparkOverheads, Workload};
+use apsp_core::tuner::{paper_candidates, tune_with_model};
+use apsp_core::{ApspSolver, BlockedCollectBroadcast, MpiDcApsp, MpiFw2d, SolverConfig};
+use serde::Serialize;
+use sparklet::{SparkConfig, SparkContext};
+
+#[derive(Serialize)]
+struct Table3Out {
+    p: usize,
+    n: usize,
+    im_s: Option<f64>,
+    im_b: Option<usize>,
+    cb_s: f64,
+    cb_b: usize,
+    fw2d_mpi_s: f64,
+    dc_mpi_s: f64,
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let rates = args.rates();
+    let ov = SparkOverheads::default();
+
+    println!("== Table 3: weak scaling, n/p = 256 ==\n");
+    let mut table = TextTable::new(&[
+        "p", "n", "Blocked-IM (b)", "Blocked-CB (b)", "FW-2D-GbE", "DC-GbE", "CB vs paper",
+    ]);
+    let mut out = Vec::new();
+    for entry in paper::TABLE3 {
+        let p = entry.p;
+        let n = 256 * p;
+        let spec = ClusterSpec::paper_cluster_with_cores(p);
+
+        let im = tune_with_model(SolverKind::BlockedInMemory, n, &spec, &rates, &ov, &paper_candidates());
+        let (cb_b, cb) = tune_with_model(
+            SolverKind::BlockedCollectBroadcast,
+            n,
+            &spec,
+            &rates,
+            &ov,
+            &paper_candidates(),
+        )
+        .expect("CB must be feasible");
+        let w = Workload::paper_default(n, cb_b);
+        let fw = project(SolverKind::MpiFw2d, &w, &spec, &rates, &ov);
+        let dc = project(SolverKind::MpiDc, &w, &spec, &rates, &ov);
+
+        let im_cell = match &im {
+            Some((b, proj)) => format!("{} ({b})", fmt_duration(proj.total_s)),
+            None => "— out of storage".into(),
+        };
+        // Paper agreement on IM feasibility.
+        assert_eq!(
+            im.is_some(),
+            entry.im.is_some(),
+            "p={p}: IM feasibility disagrees with the paper"
+        );
+
+        table.row(vec![
+            p.to_string(),
+            n.to_string(),
+            im_cell,
+            format!("{} ({cb_b})", fmt_duration(cb.total_s)),
+            fmt_duration(fw.total_s),
+            fmt_duration(dc.total_s),
+            ratio(cb.total_s, entry.cb.0),
+        ]);
+        out.push(Table3Out {
+            p,
+            n,
+            im_s: im.as_ref().map(|(_, pr)| pr.total_s),
+            im_b: im.as_ref().map(|(b, _)| *b),
+            cb_s: cb.total_s,
+            cb_b,
+            fw2d_mpi_s: fw.total_s,
+            dc_mpi_s: dc.total_s,
+        });
+    }
+    println!("{}", table.render());
+    println!("paper rows: IM 4m2s/14m20s/35m33s/2h17m/—, CB 2m50s/11m/34m16s/2h11m/8h9m,");
+    println!("            FW-2D-GbE 2m3s/—/37m2s/—/11h51m, DC-GbE 1m15s/—/18m54s/—/2h52m\n");
+
+    if args.real {
+        real_weak_scaling(&args);
+    }
+
+    if let Ok(path) = write_json("table3_weak_scaling", &out) {
+        println!("wrote {}", path.display());
+    }
+}
+
+/// Real weak scaling on host threads: n/core held constant.
+fn real_weak_scaling(args: &HarnessArgs) {
+    let per_core = if args.quick { 48 } else { 96 };
+    let max_cores = std::thread::available_parallelism().map_or(4, |p| p.get());
+    let cores: Vec<usize> = [1usize, 2, 4, 8].into_iter().filter(|&c| c <= max_cores).collect();
+
+    println!("-- real weak scaling on host threads (n = {per_core}·cores) --");
+    let mut table = TextTable::new(&["cores", "n", "CB", "FW-2D-MPI (grid)", "DC-MPI"]);
+    for &c in &cores {
+        let n = per_core * c;
+        let g = apsp_graph::generators::erdos_renyi_paper(n, 0.1, 0x7A81E3 + c as u64);
+        let adj = g.to_dense();
+        let oracle = apsp_graph::floyd_warshall(&g);
+
+        let ctx = SparkContext::new(SparkConfig::with_cores(c));
+        let cb = BlockedCollectBroadcast
+            .solve(&ctx, &adj, &SolverConfig::new((n / 4).max(8)).without_validation())
+            .expect("CB failed");
+        assert!(cb.distances().approx_eq(&oracle, 1e-9).is_ok());
+
+        let grid = (c as f64).sqrt().floor() as usize;
+        let grid = grid.max(1);
+        let t0 = std::time::Instant::now();
+        let fw = MpiFw2d::new(grid).solve_matrix(&adj).expect("FW-2D failed");
+        let fw_t = t0.elapsed().as_secs_f64();
+        assert!(fw.distances.approx_eq(&oracle, 1e-9).is_ok());
+
+        let t1 = std::time::Instant::now();
+        let dc = MpiDcApsp::new(c).solve_matrix(&adj).expect("DC failed");
+        let dc_t = t1.elapsed().as_secs_f64();
+        assert!(dc.distances.approx_eq(&oracle, 1e-9).is_ok());
+
+        table.row(vec![
+            c.to_string(),
+            n.to_string(),
+            format!("{:.2}s", cb.elapsed.as_secs_f64()),
+            format!("{fw_t:.2}s ({grid}x{grid})"),
+            format!("{dc_t:.2}s"),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,209 @@
+//! # apsp-bench — harnesses regenerating every table and figure
+//!
+//! One binary per evaluation artifact of the paper (run with
+//! `cargo run --release -p apsp-bench --bin <name>`):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `t1_sequential` | §5.4 sequential baseline `T1` (n = 256) |
+//! | `fig2_sequential` | Fig. 2 — kernel time vs block size |
+//! | `fig3_blocksize` | Fig. 3 top/middle — IM/CB time vs `b`, partitioner, `B` |
+//! | `fig3_partition_skew` | Fig. 3 bottom — partition-size distribution |
+//! | `table2_blocksize` | Table 2 — block-size effect per solver |
+//! | `table3_weak_scaling` | Table 3 — weak scaling of the blocked + MPI solvers |
+//! | `fig5_gops` | Fig. 5 — Gops/core weak-scaling curves |
+//! | `real_solvers` | scaled-down *real* execution of all six solvers |
+//! | `ablation_movement` | DESIGN.md ablation — shuffle vs side-channel volume |
+//!
+//! Each binary prints the regenerated rows next to the paper's published
+//! values (embedded below) and writes machine-readable JSON under
+//! `results/`. Projections default to paper-anchored kernel rates
+//! ([`apsp_cluster::KernelRates::paper`]); pass `--host-rates` to
+//! calibrate from this machine instead.
+//!
+//! Criterion microbenches (`cargo bench -p apsp-bench`) cover the Fig. 2
+//! kernels, the solvers at miniature scale, and the partitioners.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+pub mod paper;
+
+/// Formats seconds the way the paper's tables do: `9d16h`, `8h9m`,
+/// `2m50s`, `45s`, `0.022s`.
+pub fn fmt_duration(seconds: f64) -> String {
+    if !seconds.is_finite() {
+        return "∞".into();
+    }
+    if seconds < 1.0 {
+        return format!("{seconds:.3}s");
+    }
+    let s = seconds.round() as u64;
+    let (d, rem) = (s / 86_400, s % 86_400);
+    let (h, rem) = (rem / 3_600, rem % 3_600);
+    let (m, sec) = (rem / 60, rem % 60);
+    if d > 0 {
+        format!("{d}d{h}h")
+    } else if h > 0 {
+        format!("{h}h{m}m")
+    } else if m > 0 {
+        format!("{m}m{sec}s")
+    } else {
+        format!("{sec}s")
+    }
+}
+
+/// Simple fixed-width text table.
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                let _ = write!(line, "{:<w$}", cells[i], w = widths[i] + 2);
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total.saturating_sub(2)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Writes a serializable result artifact under `results/` (relative to the
+/// workspace root if it exists, else the current directory).
+pub fn write_json<T: serde::Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+    let dir = if Path::new("results").exists() {
+        Path::new("results").to_path_buf()
+    } else if Path::new("../../results").exists() {
+        Path::new("../../results").to_path_buf()
+    } else {
+        std::fs::create_dir_all("results")?;
+        Path::new("results").to_path_buf()
+    };
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, serde_json::to_string_pretty(value)?)?;
+    Ok(path)
+}
+
+/// Parses common CLI flags shared by the harness binaries.
+#[derive(Debug, Clone, Default)]
+pub struct HarnessArgs {
+    /// Calibrate kernel rates on this machine instead of using the
+    /// paper-anchored rates.
+    pub host_rates: bool,
+    /// Also run the scaled-down real-execution variant where supported.
+    pub real: bool,
+    /// Quick mode: shrink real-execution problem sizes.
+    pub quick: bool,
+}
+
+impl HarnessArgs {
+    /// Parses from `std::env::args`.
+    pub fn parse() -> Self {
+        let mut a = HarnessArgs::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--host-rates" => a.host_rates = true,
+                "--real" => a.real = true,
+                "--quick" => a.quick = true,
+                "--help" | "-h" => {
+                    eprintln!("flags: --host-rates  calibrate kernel rates on this machine");
+                    eprintln!("       --real        also run scaled-down real executions");
+                    eprintln!("       --quick       shrink real-execution sizes");
+                    std::process::exit(0);
+                }
+                other => eprintln!("ignoring unknown flag {other}"),
+            }
+        }
+        a
+    }
+
+    /// Kernel rates per the flags.
+    pub fn rates(&self) -> apsp_cluster::KernelRates {
+        if self.host_rates {
+            apsp_cluster::KernelRates::measure(256)
+        } else {
+            apsp_cluster::KernelRates::paper()
+        }
+    }
+}
+
+/// Ratio formatted as `1.3×` (model over paper).
+pub fn ratio(model: f64, paper: f64) -> String {
+    if paper <= 0.0 {
+        "—".into()
+    } else {
+        format!("{:.2}×", model / paper)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formats_match_paper_style() {
+        assert_eq!(fmt_duration(0.022), "0.022s");
+        assert_eq!(fmt_duration(45.0), "45s");
+        assert_eq!(fmt_duration(170.0), "2m50s");
+        assert_eq!(fmt_duration(29_340.0), "8h9m");
+        assert_eq!(fmt_duration(86_400.0 * 9.0 + 3600.0 * 16.0), "9d16h");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["a", "method"]);
+        t.row(vec!["1".into(), "Blocked-CB".into()]);
+        let s = t.render();
+        assert!(s.contains("Blocked-CB"));
+        assert!(s.lines().count() >= 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn table_rejects_bad_row() {
+        let mut t = TextTable::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn ratio_formats() {
+        assert_eq!(ratio(2.0, 1.0), "2.00×");
+        assert_eq!(ratio(1.0, 0.0), "—");
+    }
+}

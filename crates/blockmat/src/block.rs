@@ -1,0 +1,379 @@
+//! The square dense block type used throughout the APSP solvers.
+
+use crate::{kernels, INF};
+use std::fmt;
+
+/// A square, dense, row-major `b × b` matrix block of `f64` distances.
+///
+/// `Block` is the unit of distribution in all solvers: the adjacency matrix
+/// `A` of an `n`-vertex graph is 2D-decomposed into `q × q` blocks of side
+/// `b` (`q = ⌈n/b⌉`), each stored as one dense `Block` keyed by `(I, J)`.
+///
+/// Entries are shortest-path length upper bounds; [`INF`] denotes "no path
+/// known". The in-place kernels tighten entries monotonically, which is the
+/// invariant all property tests lean on.
+#[derive(Clone, PartialEq)]
+pub struct Block {
+    b: usize,
+    data: Box<[f64]>,
+}
+
+impl Block {
+    /// Creates a block filled with a constant value.
+    pub fn filled(b: usize, value: f64) -> Self {
+        Block {
+            b,
+            data: vec![value; b * b].into_boxed_slice(),
+        }
+    }
+
+    /// Creates a block of all-[`INF`] entries (the tropical zero matrix).
+    pub fn infinity(b: usize) -> Self {
+        Self::filled(b, INF)
+    }
+
+    /// Creates the tropical identity: `0` on the diagonal, [`INF`] elsewhere.
+    pub fn identity(b: usize) -> Self {
+        let mut blk = Self::infinity(b);
+        for i in 0..b {
+            blk.data[i * b + i] = 0.0;
+        }
+        blk
+    }
+
+    /// Builds a block from a function of `(row, col)`.
+    pub fn from_fn(b: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(b * b);
+        for i in 0..b {
+            for j in 0..b {
+                data.push(f(i, j));
+            }
+        }
+        Block {
+            b,
+            data: data.into_boxed_slice(),
+        }
+    }
+
+    /// Wraps an existing row-major buffer of length `b * b`.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != b * b`.
+    pub fn from_vec(b: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), b * b, "buffer length must be b^2");
+        Block {
+            b,
+            data: data.into_boxed_slice(),
+        }
+    }
+
+    /// Side length `b` of the block.
+    #[inline(always)]
+    pub fn side(&self) -> usize {
+        self.b
+    }
+
+    /// Immutable view of the raw row-major buffer.
+    #[inline(always)]
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable view of the raw row-major buffer.
+    #[inline(always)]
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Entry accessor.
+    #[inline(always)]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.b && j < self.b);
+        self.data[i * self.b + j]
+    }
+
+    /// Entry mutator.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.b && j < self.b);
+        self.data[i * self.b + j] = v;
+    }
+
+    /// Immutable view of row `i`.
+    #[inline(always)]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.b..(i + 1) * self.b]
+    }
+
+    /// Extracts column `k` as an owned vector (the paper's `ExtractCol`).
+    pub fn extract_col(&self, k: usize) -> Vec<f64> {
+        assert!(k < self.b, "column index out of range");
+        (0..self.b).map(|i| self.data[i * self.b + k]).collect()
+    }
+
+    /// Extracts row `k` as an owned vector.
+    pub fn extract_row(&self, k: usize) -> Vec<f64> {
+        assert!(k < self.b, "row index out of range");
+        self.row(k).to_vec()
+    }
+
+    /// Returns the transposed block. Used to materialize `A_JI` on demand
+    /// from the stored upper-triangular block `A_IJ` (paper §4).
+    pub fn transpose(&self) -> Block {
+        let b = self.b;
+        let mut out = vec![INF; b * b];
+        // Simple cache-blocked transpose.
+        const T: usize = 32;
+        for ii in (0..b).step_by(T) {
+            for jj in (0..b).step_by(T) {
+                for i in ii..(ii + T).min(b) {
+                    for j in jj..(jj + T).min(b) {
+                        out[j * b + i] = self.data[i * b + j];
+                    }
+                }
+            }
+        }
+        Block {
+            b,
+            data: out.into_boxed_slice(),
+        }
+    }
+
+    /// Whether the block is symmetric (only meaningful for diagonal blocks).
+    pub fn is_symmetric(&self) -> bool {
+        let b = self.b;
+        for i in 0..b {
+            for j in (i + 1)..b {
+                if self.data[i * b + j] != self.data[j * b + i] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Min-plus product `self ⊗ other` (the paper's `MatProd`).
+    ///
+    /// Returns a fresh block; does *not* fold the result into `self`
+    /// (combine with [`Block::mat_min_assign`] for the `MinPlus` building
+    /// block).
+    pub fn min_plus(&self, other: &Block) -> Block {
+        assert_eq!(self.b, other.b, "block sides must match");
+        let mut out = Block::infinity(self.b);
+        kernels::min_plus_into(self, other, &mut out);
+        out
+    }
+
+    /// Element-wise minimum with `other`, in place (the paper's `MatMin`).
+    pub fn mat_min_assign(&mut self, other: &Block) {
+        assert_eq!(self.b, other.b, "block sides must match");
+        for (d, &o) in self.data.iter_mut().zip(other.data.iter()) {
+            if o < *d {
+                *d = o;
+            }
+        }
+    }
+
+    /// `self = min(self, self ⊗ other)` — the paper's `MinPlus` function.
+    pub fn min_plus_assign(&mut self, other: &Block) {
+        let prod = self.min_plus(other);
+        self.mat_min_assign(&prod);
+    }
+
+    /// Runs Floyd-Warshall to a fixpoint *within* the block, treating it as
+    /// the adjacency matrix of a `b`-vertex graph (the paper's
+    /// `FloydWarshall` building block applied to diagonal blocks).
+    pub fn floyd_warshall_in_place(&mut self) {
+        kernels::floyd_warshall_in_place(self);
+    }
+
+    /// Rank-1 Floyd-Warshall update (the paper's `FloydWarshallUpdate`):
+    /// `self[i][j] = min(self[i][j], col_i[i] + col_j[j])`, where `col_i` is
+    /// `B_Ik` (distances row-block `I` → pivot `k`) and `col_j` is `B_Jk`
+    /// (distances pivot `k` → column-block `J`, using symmetry).
+    pub fn fw_update_outer(&mut self, col_i: &[f64], col_j: &[f64]) {
+        kernels::fw_update_outer(self, col_i, col_j);
+    }
+
+    /// Largest finite entry, or `None` if all entries are [`INF`].
+    pub fn max_finite(&self) -> Option<f64> {
+        self.data
+            .iter()
+            .copied()
+            .filter(|v| v.is_finite())
+            .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+    }
+
+    /// Number of finite (reachable) entries.
+    pub fn count_finite(&self) -> usize {
+        self.data.iter().filter(|v| v.is_finite()).count()
+    }
+
+    /// Approximate equality modulo floating-point rounding; `INF` entries
+    /// must match exactly.
+    pub fn approx_eq(&self, other: &Block, tol: f64) -> bool {
+        self.b == other.b
+            && self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .all(|(&a, &b)| crate::matrix::approx_eq_scalar(a, b, tol))
+    }
+
+    /// In-memory footprint of the block payload in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f64>()
+    }
+}
+
+impl fmt::Debug for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Block(b={})", self.b)?;
+        let shown = self.b.min(8);
+        for i in 0..shown {
+            let row: Vec<String> = (0..shown)
+                .map(|j| {
+                    let v = self.get(i, j);
+                    if v.is_infinite() {
+                        "  inf".into()
+                    } else {
+                        format!("{v:5.1}")
+                    }
+                })
+                .collect();
+            writeln!(f, "  [{}{}]", row.join(", "), if self.b > shown { ", …" } else { "" })?;
+        }
+        if self.b > shown {
+            writeln!(f, "  …")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Block {
+        let mut a = Block::identity(3);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(1, 2, 2.0);
+        a.set(2, 1, 2.0);
+        a
+    }
+
+    #[test]
+    fn identity_is_tropical_one() {
+        let a = path3();
+        let e = Block::identity(3);
+        assert_eq!(a.min_plus(&e), a);
+        assert_eq!(e.min_plus(&a), a);
+    }
+
+    #[test]
+    fn infinity_is_tropical_zero() {
+        let a = path3();
+        let z = Block::infinity(3);
+        assert_eq!(a.min_plus(&z), z);
+        let mut m = a.clone();
+        m.mat_min_assign(&z);
+        assert_eq!(m, a);
+    }
+
+    #[test]
+    fn squaring_closes_two_hop_paths() {
+        let a = path3();
+        let mut sq = a.clone();
+        sq.min_plus_assign(&a);
+        assert_eq!(sq.get(0, 2), 3.0);
+        assert_eq!(sq.get(2, 0), 3.0);
+    }
+
+    #[test]
+    fn floyd_warshall_fixpoint_is_idempotent() {
+        let mut a = path3();
+        a.floyd_warshall_in_place();
+        let once = a.clone();
+        a.floyd_warshall_in_place();
+        assert_eq!(a, once);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Block::from_fn(5, |i, j| (i * 7 + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn transpose_swaps_entries() {
+        let a = Block::from_fn(4, |i, j| (10 * i + j) as f64);
+        let t = a.transpose();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(t.get(i, j), a.get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn extract_col_matches_entries() {
+        let a = Block::from_fn(4, |i, j| (i + 100 * j) as f64);
+        let c = a.extract_col(2);
+        assert_eq!(c, vec![200.0, 201.0, 202.0, 203.0]);
+        let r = a.extract_row(1);
+        assert_eq!(r, vec![1.0, 101.0, 201.0, 301.0]);
+    }
+
+    #[test]
+    fn fw_update_outer_matches_manual() {
+        let mut a = Block::filled(2, 10.0);
+        // col_i = dist(row i -> pivot), col_j = dist(pivot -> col j)
+        a.fw_update_outer(&[1.0, 4.0], &[2.0, 3.0]);
+        assert_eq!(a.get(0, 0), 3.0);
+        assert_eq!(a.get(0, 1), 4.0);
+        assert_eq!(a.get(1, 0), 6.0);
+        assert_eq!(a.get(1, 1), 7.0);
+    }
+
+    #[test]
+    fn fw_update_outer_with_inf_pivot_is_noop() {
+        let mut a = Block::filled(3, 5.0);
+        let before = a.clone();
+        a.fw_update_outer(&[INF, INF, INF], &[1.0, 1.0, 1.0]);
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn mat_min_is_commutative_in_effect() {
+        let a = Block::from_fn(3, |i, j| (i * 3 + j) as f64);
+        let b = Block::from_fn(3, |i, j| (8 - (i * 3 + j)) as f64);
+        let mut ab = a.clone();
+        ab.mat_min_assign(&b);
+        let mut ba = b.clone();
+        ba.mat_min_assign(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn max_finite_and_counts() {
+        let mut a = Block::infinity(2);
+        assert_eq!(a.max_finite(), None);
+        assert_eq!(a.count_finite(), 0);
+        a.set(0, 1, 3.5);
+        a.set(1, 0, 7.25);
+        assert_eq!(a.max_finite(), Some(7.25));
+        assert_eq!(a.count_finite(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Block::from_vec(3, vec![0.0; 8]);
+    }
+
+    #[test]
+    fn size_bytes_is_payload() {
+        assert_eq!(Block::infinity(16).size_bytes(), 16 * 16 * 8);
+    }
+}

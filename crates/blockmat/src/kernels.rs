@@ -1,0 +1,346 @@
+//! Low-level compute kernels: the bare-metal analogue of the paper's
+//! NumPy / SciPy / Numba offloads.
+//!
+//! Three implementations of the min-plus product are provided:
+//!
+//! * [`min_plus_into_naive`] — textbook `i,k,j` loop; the correctness oracle,
+//! * [`min_plus_into`] — cache-tiled single-threaded kernel (default),
+//! * [`min_plus_into_parallel`] — rayon-parallel over row bands; used when a
+//!   solver is configured to emulate the paper's per-executor multicore BLAS.
+//!
+//! All kernels *fold into* `c`: `c = min(c, a ⊗ b)`, matching the
+//! `MatProd`-then-`MatMin` composition the paper's algorithms rely on.
+//! Passing an all-[`INF`] `c` yields the pure product.
+
+use crate::{Block, INF};
+use rayon::prelude::*;
+
+/// Tile side for the cache-blocked kernels. 64×64 f64 tiles (32 KiB) fit L1
+/// on the paper's Skylake nodes and on most contemporary x86-64 cores.
+pub const TILE: usize = 64;
+
+/// Reference `c = min(c, a ⊗ b)`, naive triple loop (`i,k,j` order so the
+/// inner loop streams rows of `b` and `c`).
+pub fn min_plus_into_naive(a: &Block, b: &Block, c: &mut Block) {
+    let n = a.side();
+    assert_eq!(n, b.side());
+    assert_eq!(n, c.side());
+    let (ad, bd) = (a.data(), b.data());
+    let cd = c.data_mut();
+    for i in 0..n {
+        for k in 0..n {
+            let aik = ad[i * n + k];
+            if aik == INF {
+                continue;
+            }
+            let brow = &bd[k * n..k * n + n];
+            let crow = &mut cd[i * n..i * n + n];
+            for j in 0..n {
+                let v = aik + brow[j];
+                if v < crow[j] {
+                    crow[j] = v;
+                }
+            }
+        }
+    }
+}
+
+/// Cache-tiled `c = min(c, a ⊗ b)`.
+///
+/// Tiles the `k` and `j` loops by [`TILE`] so the working set of the inner
+/// kernel (one row band of `a`, a `TILE×TILE` panel of `b`, one row band of
+/// `c`) stays cache-resident. This is what produces the Fig. 2 "knee": once
+/// the whole block stops fitting in LLC the per-element cost rises.
+pub fn min_plus_into(a: &Block, b: &Block, c: &mut Block) {
+    let n = a.side();
+    assert_eq!(n, b.side());
+    assert_eq!(n, c.side());
+    min_plus_rows(a.data(), b.data(), c.data_mut(), n, 0, n);
+}
+
+/// Rayon-parallel `c = min(c, a ⊗ b)`: rows of `c` are partitioned into
+/// bands processed independently (no write sharing, so no synchronization).
+pub fn min_plus_into_parallel(a: &Block, b: &Block, c: &mut Block) {
+    let n = a.side();
+    assert_eq!(n, b.side());
+    assert_eq!(n, c.side());
+    let band = bands_for(n);
+    let (ad, bd) = (a.data(), b.data());
+    c.data_mut()
+        .par_chunks_mut(band * n)
+        .enumerate()
+        .for_each(|(chunk, crows)| {
+            let i0 = chunk * band;
+            let i1 = (i0 + crows.len() / n).min(n);
+            // Shift the row window: min_plus_rows indexes `c` absolutely, so
+            // pass a re-based slice via a local adapter.
+            min_plus_rows_rebased(ad, bd, crows, n, i0, i1);
+        });
+}
+
+fn bands_for(n: usize) -> usize {
+    let threads = rayon::current_num_threads().max(1);
+    n.div_ceil(threads * 4).max(1)
+}
+
+/// Tiled kernel over absolute row range `[i_lo, i_hi)` of `c`.
+fn min_plus_rows(ad: &[f64], bd: &[f64], cd: &mut [f64], n: usize, i_lo: usize, i_hi: usize) {
+    for kk in (0..n).step_by(TILE) {
+        let k_hi = (kk + TILE).min(n);
+        for jj in (0..n).step_by(TILE) {
+            let j_hi = (jj + TILE).min(n);
+            for i in i_lo..i_hi {
+                let arow = &ad[i * n..i * n + n];
+                let crow = &mut cd[i * n + jj..i * n + j_hi];
+                for k in kk..k_hi {
+                    let aik = arow[k];
+                    if aik == INF {
+                        continue;
+                    }
+                    let brow = &bd[k * n + jj..k * n + j_hi];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        let v = aik + bv;
+                        if v < *cv {
+                            *cv = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Variant of [`min_plus_rows`] where `crows` is a slice starting at absolute
+/// row `i_lo` (used by the parallel kernel's disjoint chunks).
+fn min_plus_rows_rebased(
+    ad: &[f64],
+    bd: &[f64],
+    crows: &mut [f64],
+    n: usize,
+    i_lo: usize,
+    i_hi: usize,
+) {
+    for kk in (0..n).step_by(TILE) {
+        let k_hi = (kk + TILE).min(n);
+        for jj in (0..n).step_by(TILE) {
+            let j_hi = (jj + TILE).min(n);
+            for i in i_lo..i_hi {
+                let arow = &ad[i * n..i * n + n];
+                let local = i - i_lo;
+                let crow = &mut crows[local * n + jj..local * n + j_hi];
+                for k in kk..k_hi {
+                    let aik = arow[k];
+                    if aik == INF {
+                        continue;
+                    }
+                    let brow = &bd[k * n + jj..k * n + j_hi];
+                    for (cv, &bv) in crow.iter_mut().zip(brow) {
+                        let v = aik + bv;
+                        if v < *cv {
+                            *cv = v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// In-place Floyd-Warshall over a square block.
+///
+/// The `k`-loop cannot be reordered, but each `k` step is a rank-1 min-plus
+/// update, so rows are independent; we exploit that for a mild unrolled
+/// inner loop. Skipping rows with `d[i][k] == INF` is the standard sparsity
+/// shortcut that makes early iterations on sparse inputs cheap.
+pub fn floyd_warshall_in_place(block: &mut Block) {
+    let n = block.side();
+    let d = block.data_mut();
+    for k in 0..n {
+        // Copy pivot row to break the aliasing between d[k*n..] reads and
+        // d[i*n..] writes when i == k (the update is a no-op there anyway,
+        // but the copy lets LLVM vectorize the inner loop).
+        let krow: Vec<f64> = d[k * n..k * n + n].to_vec();
+        for i in 0..n {
+            let dik = d[i * n + k];
+            if dik == INF {
+                continue;
+            }
+            let row = &mut d[i * n..i * n + n];
+            for (rv, &kv) in row.iter_mut().zip(krow.iter()) {
+                let v = dik + kv;
+                if v < *rv {
+                    *rv = v;
+                }
+            }
+        }
+    }
+}
+
+/// Rayon-parallel in-place Floyd-Warshall (rows parallel within each `k`).
+pub fn floyd_warshall_in_place_parallel(block: &mut Block) {
+    let n = block.side();
+    let d = block.data_mut();
+    for k in 0..n {
+        let krow: Vec<f64> = d[k * n..k * n + n].to_vec();
+        d.par_chunks_mut(n).for_each(|row| {
+            let dik = row[k];
+            if dik == INF {
+                return;
+            }
+            for (rv, &kv) in row.iter_mut().zip(krow.iter()) {
+                let v = dik + kv;
+                if v < *rv {
+                    *rv = v;
+                }
+            }
+        });
+    }
+}
+
+/// The paper's `FloydWarshallUpdate`: `block[i][j] = min(block[i][j],
+/// col_i[i] + col_j[j])` — a rank-1 min-plus product folded in place.
+pub fn fw_update_outer(block: &mut Block, col_i: &[f64], col_j: &[f64]) {
+    let n = block.side();
+    assert_eq!(col_i.len(), n, "col_i length must equal block side");
+    assert_eq!(col_j.len(), n, "col_j length must equal block side");
+    let d = block.data_mut();
+    for (i, &ci) in col_i.iter().enumerate() {
+        if ci == INF {
+            continue;
+        }
+        let row = &mut d[i * n..i * n + n];
+        for (rv, &cj) in row.iter_mut().zip(col_j) {
+            let v = ci + cj;
+            if v < *rv {
+                *rv = v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Block;
+
+    fn random_block(b: usize, seed: u64, density: f64) -> Block {
+        // Tiny xorshift so the crate's unit tests don't need `rand`.
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        Block::from_fn(b, |i, j| {
+            if i == j {
+                0.0
+            } else if next() < density {
+                1.0 + next() * 9.0
+            } else {
+                INF
+            }
+        })
+    }
+
+    #[test]
+    fn tiled_matches_naive() {
+        for &b in &[1, 2, 7, 64, 65, 130] {
+            let a = random_block(b, 42, 0.3);
+            let x = random_block(b, 43, 0.3);
+            let mut c1 = Block::infinity(b);
+            let mut c2 = Block::infinity(b);
+            min_plus_into_naive(&a, &x, &mut c1);
+            min_plus_into(&a, &x, &mut c2);
+            assert_eq!(c1, c2, "b={b}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_naive() {
+        for &b in &[1, 3, 64, 100, 129] {
+            let a = random_block(b, 7, 0.4);
+            let x = random_block(b, 8, 0.4);
+            let mut c1 = Block::infinity(b);
+            let mut c2 = Block::infinity(b);
+            min_plus_into_naive(&a, &x, &mut c1);
+            min_plus_into_parallel(&a, &x, &mut c2);
+            assert_eq!(c1, c2, "b={b}");
+        }
+    }
+
+    #[test]
+    fn fold_semantics_accumulate() {
+        let b = 16;
+        let a = random_block(b, 11, 0.5);
+        let x = random_block(b, 12, 0.5);
+        // Folding into a copy of `a` equals min(a, a⊗x).
+        let mut folded = a.clone();
+        min_plus_into(&a, &x, &mut folded);
+        let mut pure = Block::infinity(b);
+        min_plus_into(&a, &x, &mut pure);
+        let mut manual = a.clone();
+        manual.mat_min_assign(&pure);
+        assert_eq!(folded, manual);
+    }
+
+    #[test]
+    fn fw_parallel_matches_sequential() {
+        for &b in &[1, 2, 33, 96] {
+            let mut s = random_block(b, 99, 0.25);
+            let mut p = s.clone();
+            floyd_warshall_in_place(&mut s);
+            floyd_warshall_in_place_parallel(&mut p);
+            assert_eq!(s, p, "b={b}");
+        }
+    }
+
+    #[test]
+    fn fw_triangle_inequality_holds() {
+        let b = 48;
+        let mut a = random_block(b, 5, 0.2);
+        floyd_warshall_in_place(&mut a);
+        for i in 0..b {
+            for j in 0..b {
+                for k in 0..b {
+                    assert!(
+                        a.get(i, j) <= a.get(i, k) + a.get(k, j) + 1e-9,
+                        "triangle inequality violated at ({i},{j},{k})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fw_update_outer_is_rank1_product() {
+        let b = 24;
+        let mut blk = random_block(b, 21, 0.6);
+        let orig = blk.clone();
+        let col_i: Vec<f64> = (0..b).map(|i| if i % 5 == 0 { INF } else { i as f64 }).collect();
+        let col_j: Vec<f64> = (0..b).map(|j| (j * 2) as f64).collect();
+        blk.fw_update_outer(&col_i, &col_j);
+        for (i, ci) in col_i.iter().enumerate() {
+            for (j, cj) in col_j.iter().enumerate() {
+                let expect = orig.get(i, j).min(ci + cj);
+                assert_eq!(blk.get(i, j), expect);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "col_i length")]
+    fn fw_update_outer_validates_lengths() {
+        let mut blk = Block::infinity(4);
+        blk.fw_update_outer(&[0.0; 3], &[0.0; 4]);
+    }
+
+    #[test]
+    fn single_element_block() {
+        let mut a = Block::identity(1);
+        floyd_warshall_in_place(&mut a);
+        assert_eq!(a.get(0, 0), 0.0);
+        let c = a.min_plus(&a);
+        assert_eq!(c.get(0, 0), 0.0);
+    }
+}

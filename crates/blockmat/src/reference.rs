@@ -1,0 +1,127 @@
+//! Whole-matrix reference algorithms: slow, obviously-correct versions of
+//! the operations the solvers distribute. Used as independent oracles in
+//! tests and available to users for small instances.
+
+use crate::{Matrix, INF};
+
+impl Matrix {
+    /// Whole-matrix min-plus product `self ⊗ other` (naive `O(n³)`).
+    pub fn min_plus(&self, other: &Matrix) -> Matrix {
+        let n = self.order();
+        assert_eq!(n, other.order(), "matrix orders must match");
+        let mut out = Matrix::filled(n, INF);
+        for i in 0..n {
+            for k in 0..n {
+                let aik = self.get(i, k);
+                if aik == INF {
+                    continue;
+                }
+                for j in 0..n {
+                    let v = aik + other.get(k, j);
+                    if v < out.get(i, j) {
+                        out.set(i, j, v);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Element-wise minimum with `other`, in place.
+    pub fn mat_min_assign(&mut self, other: &Matrix) {
+        let n = self.order();
+        assert_eq!(n, other.order(), "matrix orders must match");
+        for i in 0..n {
+            for j in 0..n {
+                let o = other.get(i, j);
+                if o < self.get(i, j) {
+                    self.set(i, j, o);
+                }
+            }
+        }
+    }
+
+    /// APSP by repeated squaring — the whole-matrix reference of the
+    /// paper's Algorithm 1 (`⌈log₂ n⌉` squarings of `A ← min(A, A ⊗ A)`).
+    pub fn closure_by_squaring(&self) -> Matrix {
+        let n = self.order();
+        let mut a = self.clone();
+        let squarings = (n.max(2) as f64).log2().ceil() as usize;
+        for _ in 0..squarings {
+            let sq = a.min_plus(&a);
+            a.mat_min_assign(&sq);
+        }
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_adjacency(n: usize, seed: u64, density: f64) -> Matrix {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut m = Matrix::identity(n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if next() < density {
+                    let w = 1.0 + (next() * 9.0 * 64.0).round() / 64.0;
+                    m.set(i, j, w);
+                    m.set(j, i, w);
+                }
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn squaring_reference_equals_floyd_warshall() {
+        for seed in [1u64, 2, 3, 4] {
+            let a = random_adjacency(30, seed, 0.15);
+            let by_squaring = a.closure_by_squaring();
+            let mut by_fw = a.clone();
+            by_fw.floyd_warshall_in_place();
+            assert!(
+                by_squaring.approx_eq(&by_fw, 1e-12).is_ok(),
+                "seed {seed}: repeated squaring diverged from FW"
+            );
+        }
+    }
+
+    #[test]
+    fn min_plus_identity_law() {
+        let a = random_adjacency(12, 7, 0.4);
+        let e = Matrix::identity(12);
+        assert_eq!(a.min_plus(&e), a);
+        assert_eq!(e.min_plus(&a), a);
+    }
+
+    #[test]
+    fn min_plus_associativity() {
+        let a = random_adjacency(10, 11, 0.5);
+        let b = random_adjacency(10, 12, 0.5);
+        let c = random_adjacency(10, 13, 0.5);
+        let lhs = a.min_plus(&b).min_plus(&c);
+        let rhs = a.min_plus(&b.min_plus(&c));
+        assert!(lhs.approx_eq(&rhs, 1e-12).is_ok());
+    }
+
+    #[test]
+    fn single_squaring_bounds_two_hops() {
+        // A ⊗ A covers exactly paths of ≤ 2 edges.
+        let mut a = Matrix::identity(4);
+        for (i, j) in [(0usize, 1usize), (1, 2), (2, 3)] {
+            a.set(i, j, 1.0);
+            a.set(j, i, 1.0);
+        }
+        let sq = a.min_plus(&a);
+        assert_eq!(sq.get(0, 2), 2.0);
+        assert_eq!(sq.get(0, 3), INF); // 3 hops: not yet
+    }
+}

@@ -1,0 +1,173 @@
+//! Binary (de)serialization of blocks and matrices.
+//!
+//! The paper's impure solvers write matrix blocks to a shared file system
+//! ("`block.tofile()`", Algorithms 1 and 4) in NumPy's C-contiguous
+//! row-major layout. This module provides the equivalent wire format:
+//! a little-endian `u64` side length followed by `b²` little-endian `f64`
+//! entries. Used by the file-backed side channel and by graph/matrix I/O.
+
+use crate::{Block, Matrix};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Errors raised while decoding a serialized block or matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Fewer bytes than the header demands.
+    Truncated {
+        /// Bytes expected.
+        expected: usize,
+        /// Bytes present.
+        actual: usize,
+    },
+    /// The header declares an implausible dimension.
+    BadDimension(u64),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { expected, actual } => {
+                write!(f, "truncated payload: expected {expected} bytes, got {actual}")
+            }
+            DecodeError::BadDimension(d) => write!(f, "implausible dimension {d}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Upper bound on accepted dimensions (guards against corrupt headers
+/// causing huge allocations).
+const MAX_DIM: u64 = 1 << 20;
+
+impl Block {
+    /// Serializes to the row-major wire format.
+    pub fn to_bytes(&self) -> Bytes {
+        let b = self.side();
+        let mut buf = BytesMut::with_capacity(8 + b * b * 8);
+        buf.put_u64_le(b as u64);
+        for &v in self.data() {
+            buf.put_f64_le(v);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes from the wire format.
+    pub fn from_bytes(mut bytes: &[u8]) -> Result<Block, DecodeError> {
+        if bytes.len() < 8 {
+            return Err(DecodeError::Truncated {
+                expected: 8,
+                actual: bytes.len(),
+            });
+        }
+        let b = bytes.get_u64_le();
+        if b > MAX_DIM {
+            return Err(DecodeError::BadDimension(b));
+        }
+        let b = b as usize;
+        let need = b * b * 8;
+        if bytes.remaining() < need {
+            return Err(DecodeError::Truncated {
+                expected: 8 + need,
+                actual: 8 + bytes.remaining(),
+            });
+        }
+        let mut data = Vec::with_capacity(b * b);
+        for _ in 0..b * b {
+            data.push(bytes.get_f64_le());
+        }
+        Ok(Block::from_vec(b, data))
+    }
+}
+
+impl Matrix {
+    /// Serializes to the row-major wire format.
+    pub fn to_bytes(&self) -> Bytes {
+        let n = self.order();
+        let mut buf = BytesMut::with_capacity(8 + n * n * 8);
+        buf.put_u64_le(n as u64);
+        for &v in self.data() {
+            buf.put_f64_le(v);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes from the wire format.
+    pub fn from_bytes(mut bytes: &[u8]) -> Result<Matrix, DecodeError> {
+        if bytes.len() < 8 {
+            return Err(DecodeError::Truncated {
+                expected: 8,
+                actual: bytes.len(),
+            });
+        }
+        let n = bytes.get_u64_le();
+        if n > MAX_DIM {
+            return Err(DecodeError::BadDimension(n));
+        }
+        let n = n as usize;
+        let need = n * n * 8;
+        if bytes.remaining() < need {
+            return Err(DecodeError::Truncated {
+                expected: 8 + need,
+                actual: 8 + bytes.remaining(),
+            });
+        }
+        let mut data = Vec::with_capacity(n * n);
+        for _ in 0..n * n {
+            data.push(bytes.get_f64_le());
+        }
+        Ok(Matrix::from_vec(n, data))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::INF;
+
+    #[test]
+    fn block_roundtrip_including_inf() {
+        let mut blk = Block::identity(5);
+        blk.set(0, 3, 2.5);
+        blk.set(4, 1, INF);
+        let bytes = blk.to_bytes();
+        assert_eq!(bytes.len(), 8 + 25 * 8);
+        let back = Block::from_bytes(&bytes).unwrap();
+        assert_eq!(back, blk);
+        assert_eq!(back.get(4, 1), INF);
+    }
+
+    #[test]
+    fn matrix_roundtrip() {
+        let m = Matrix::from_fn(7, |i, j| if i == j { 0.0 } else { (i * 7 + j) as f64 });
+        let back = Matrix::from_bytes(&m.to_bytes()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let blk = Block::identity(4);
+        let bytes = blk.to_bytes();
+        let err = Block::from_bytes(&bytes[..bytes.len() - 3]).unwrap_err();
+        assert!(matches!(err, DecodeError::Truncated { .. }));
+        let err2 = Block::from_bytes(&bytes[..4]).unwrap_err();
+        assert!(matches!(err2, DecodeError::Truncated { .. }));
+    }
+
+    #[test]
+    fn corrupt_header_rejected() {
+        let mut bytes = Block::identity(2).to_bytes().to_vec();
+        bytes[0..8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            Block::from_bytes(&bytes),
+            Err(DecodeError::BadDimension(_))
+        ));
+    }
+
+    #[test]
+    fn zero_sized_block() {
+        let blk = Block::infinity(0);
+        let back = Block::from_bytes(&blk.to_bytes()).unwrap();
+        assert_eq!(back.side(), 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests of the kernel algebra: the invariants DESIGN.md
+//! commits to (semiring laws, fixpoints, kernel-variant agreement).
+
+use apsp_blockmat::{kernels, Block, INF};
+use proptest::prelude::*;
+
+/// Strategy: a random block with INF holes, zero diagonal.
+fn block_strategy(max_b: usize) -> impl Strategy<Value = Block> {
+    (1..=max_b, any::<u64>(), 0.1f64..0.9).prop_map(|(b, seed, density)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        Block::from_fn(b, |i, j| {
+            if i == j {
+                0.0
+            } else if next() < density {
+                (next() * 50.0 * 1024.0).round() / 1024.0 // dyadic: exact min-plus
+            } else {
+                INF
+            }
+        })
+    })
+}
+
+/// Two same-sized random blocks.
+fn block_pair(max_b: usize) -> impl Strategy<Value = (Block, Block)> {
+    (1..=max_b, any::<u64>(), any::<u64>()).prop_map(|(b, s1, s2)| {
+        let mk = |seed: u64| {
+            let mut state = seed | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            Block::from_fn(b, |i, j| {
+                if i == j {
+                    0.0
+                } else if next() < 0.5 {
+                    (next() * 50.0 * 1024.0).round() / 1024.0
+                } else {
+                    INF
+                }
+            })
+        };
+        (mk(s1), mk(s2))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kernel_variants_agree((a, b) in block_pair(40)) {
+        let side = a.side();
+        let mut naive = Block::infinity(side);
+        let mut tiled = Block::infinity(side);
+        let mut par = Block::infinity(side);
+        kernels::min_plus_into_naive(&a, &b, &mut naive);
+        kernels::min_plus_into(&a, &b, &mut tiled);
+        kernels::min_plus_into_parallel(&a, &b, &mut par);
+        prop_assert_eq!(&naive, &tiled);
+        prop_assert_eq!(&naive, &par);
+    }
+
+    #[test]
+    fn fw_variants_agree(a in block_strategy(40)) {
+        let mut seq = a.clone();
+        let mut par = a;
+        kernels::floyd_warshall_in_place(&mut seq);
+        kernels::floyd_warshall_in_place_parallel(&mut par);
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn fw_is_idempotent(a in block_strategy(32)) {
+        let mut once = a;
+        once.floyd_warshall_in_place();
+        let mut twice = once.clone();
+        twice.floyd_warshall_in_place();
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn fw_is_monotone_tightening(a in block_strategy(24)) {
+        let mut closed = a.clone();
+        closed.floyd_warshall_in_place();
+        for i in 0..a.side() {
+            for j in 0..a.side() {
+                prop_assert!(closed.get(i, j) <= a.get(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn fw_fixpoint_absorbs_squaring(a in block_strategy(24)) {
+        // FW(A) is closed: min(FW(A), FW(A) ⊗ FW(A)) = FW(A).
+        let mut closed = a;
+        closed.floyd_warshall_in_place();
+        let mut squared = closed.clone();
+        squared.min_plus_assign(&closed.clone());
+        prop_assert_eq!(squared, closed);
+    }
+
+    #[test]
+    fn matmin_is_idempotent_commutative_associative((a, b) in block_pair(24)) {
+        let mut ab = a.clone();
+        ab.mat_min_assign(&b);
+        let mut ba = b.clone();
+        ba.mat_min_assign(&a);
+        prop_assert_eq!(&ab, &ba);
+        let mut aa = a.clone();
+        aa.mat_min_assign(&a);
+        prop_assert_eq!(&aa, &a);
+    }
+
+    #[test]
+    fn identity_is_neutral(a in block_strategy(24)) {
+        let e = Block::identity(a.side());
+        prop_assert_eq!(a.min_plus(&e), a.clone());
+        prop_assert_eq!(e.min_plus(&a), a);
+    }
+
+    #[test]
+    fn product_distributes_over_min((a, b) in block_pair(16)) {
+        // a ⊗ min(b, c) = min(a⊗b, a⊗c) — with c = identity-ish variant.
+        let c = b.transpose();
+        let mut bc = b.clone();
+        bc.mat_min_assign(&c);
+        let lhs = a.min_plus(&bc);
+        let mut rhs = a.min_plus(&b);
+        rhs.mat_min_assign(&a.min_plus(&c));
+        prop_assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn transpose_antihomomorphism((a, b) in block_pair(16)) {
+        // (a ⊗ b)ᵀ = bᵀ ⊗ aᵀ.
+        let lhs = a.min_plus(&b).transpose();
+        let rhs = b.transpose().min_plus(&a.transpose());
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn serialization_roundtrip(a in block_strategy(32)) {
+        let back = Block::from_bytes(&a.to_bytes()).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn fw_update_outer_never_loosens(a in block_strategy(24)) {
+        let b = a.side();
+        let col: Vec<f64> = (0..b).map(|i| if i % 3 == 0 { INF } else { i as f64 }).collect();
+        let mut updated = a.clone();
+        updated.fw_update_outer(&col, &col);
+        for i in 0..b {
+            for j in 0..b {
+                prop_assert!(updated.get(i, j) <= a.get(i, j));
+            }
+        }
+    }
+}

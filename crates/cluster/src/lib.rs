@@ -1,0 +1,46 @@
+//! # apsp-cluster — testbed model, kernel calibration, and projections
+//!
+//! The paper's headline numbers (Table 2 "Projected", Table 3, Figure 5)
+//! are extrapolations: measure a single iteration at scale, multiply by
+//! the iteration count, and check feasibility constraints (local SSD
+//! staging capacity, §5.2). This crate reproduces that methodology without
+//! the 1,024-core cluster:
+//!
+//! * [`ClusterSpec`] — the paper's testbed (32 nodes × 32-core Skylake,
+//!   GbE, local SSD staging, shared GPFS), parameterized so other clusters
+//!   can be modeled;
+//! * [`KernelRates`] — seconds-per-operation of the three sequential
+//!   kernels (in-block Floyd-Warshall, min-plus product, rank-1 update),
+//!   either measured on the host ([`KernelRates::measure`]) or anchored to
+//!   the paper's published points ([`KernelRates::paper`], e.g.
+//!   `T1(n=256) = 0.022 s`);
+//! * [`project`] — per-solver analytic cost models assembling iteration
+//!   counts, parallel compute time (with task-granularity and
+//!   partitioner-skew effects), shuffle/broadcast/side-channel volumes,
+//!   and engine overheads into projected totals plus feasibility verdicts.
+//!
+//! ## Fidelity contract
+//!
+//! Compute terms are first-principles (`ops × rate / cores`, with
+//! granularity and skew multipliers); communication terms derive from the
+//! solvers' structural data volumes; two constants are *anchored* to the
+//! paper's measurements and documented as such ([`SparkOverheads`]).
+//! Absolute projections land within a small factor of the paper's numbers;
+//! orderings, feasibility cliffs and trends (who wins, where IM runs out
+//! of storage, how block size trades iteration count against iteration
+//! cost) are preserved — see `EXPERIMENTS.md` for the side-by-side.
+
+#![warn(missing_docs)]
+
+mod model;
+mod rates;
+mod skew;
+mod spec;
+
+pub use model::{
+    project, CostBreakdown, Feasibility, PartitionerKind, Projection, SolverKind, SparkOverheads,
+    Workload,
+};
+pub use rates::KernelRates;
+pub use skew::{partition_load_histogram, skew_factor};
+pub use spec::ClusterSpec;

@@ -1,0 +1,101 @@
+//! Partitioner-skew quantification.
+//!
+//! The projection models need to know how unevenly each partitioner
+//! spreads the upper-triangular block keys; rather than assuming a skew,
+//! we *compute* it from the very partitioner implementations the solvers
+//! use (the paper's Fig. 3 bottom panel does the same empirically).
+
+use crate::model::PartitionerKind;
+use sparklet::partitioner::{MultiDiagonalPartitioner, Partitioner, PortableHashPartitioner};
+
+/// Blocks-per-partition histogram for the upper-triangular keys of a
+/// `q × q` block grid under the given partitioner with `partitions`
+/// output partitions (the data behind the paper's Fig. 3 bottom panel).
+pub fn partition_load_histogram(
+    kind: PartitionerKind,
+    q: usize,
+    partitions: usize,
+) -> Vec<usize> {
+    let mut hist = vec![0usize; partitions];
+    match kind {
+        PartitionerKind::MultiDiagonal => {
+            let p = MultiDiagonalPartitioner::new(q, partitions);
+            for i in 0..q {
+                for j in i..q {
+                    hist[p.partition(&(i, j))] += 1;
+                }
+            }
+        }
+        PartitionerKind::PortableHash => {
+            let p = PortableHashPartitioner::<(usize, usize)>::new(partitions);
+            for i in 0..q {
+                for j in i..q {
+                    hist[p.partition(&(i, j))] += 1;
+                }
+            }
+        }
+    }
+    hist
+}
+
+/// Max-over-mean load of the non-ideal partition distribution: `1.0` means
+/// perfectly balanced; the straggler partition takes `skew ×` the average
+/// work.
+pub fn skew_factor(kind: PartitionerKind, q: usize, partitions: usize) -> f64 {
+    let hist = partition_load_histogram(kind, q, partitions);
+    let total: usize = hist.iter().sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let mean = total as f64 / partitions as f64;
+    let max = *hist.iter().max().unwrap() as f64;
+    (max / mean).max(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn md_is_near_balanced() {
+        for (q, parts) in [(64, 256), (128, 2048), (256, 2048)] {
+            let s = skew_factor(PartitionerKind::MultiDiagonal, q, parts);
+            // Round-robin enumeration balances to ±1 block.
+            let blocks = q * (q + 1) / 2;
+            let mean = blocks as f64 / parts as f64;
+            assert!(
+                s <= (mean.floor() + 1.0) / mean + 1e-9,
+                "q={q} parts={parts}: skew {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn ph_is_more_skewed_than_md() {
+        // The paper's key observation (§5.3): the XOR-mixing portable_hash
+        // collides on upper-triangular tuples, so PH skew > MD skew.
+        for (q, parts) in [(128, 2048), (256, 2048), (64, 1024)] {
+            let ph = skew_factor(PartitionerKind::PortableHash, q, parts);
+            let md = skew_factor(PartitionerKind::MultiDiagonal, q, parts);
+            assert!(
+                ph > md,
+                "q={q} parts={parts}: PH skew {ph} not worse than MD {md}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_conserves_blocks() {
+        let q = 100;
+        let parts = 64;
+        for kind in [PartitionerKind::MultiDiagonal, PartitionerKind::PortableHash] {
+            let hist = partition_load_histogram(kind, q, parts);
+            assert_eq!(hist.iter().sum::<usize>(), q * (q + 1) / 2);
+        }
+    }
+
+    #[test]
+    fn skew_is_at_least_one() {
+        assert!(skew_factor(PartitionerKind::MultiDiagonal, 4, 64) >= 1.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Cluster hardware description.
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware description of a Spark/MPI cluster, defaulting to the paper's
+/// §5 testbed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of worker nodes (the driver runs on an additional node).
+    pub nodes: usize,
+    /// Physical cores per node.
+    pub cores_per_node: usize,
+    /// RAM per node available to executors, in bytes.
+    pub ram_per_node_bytes: u64,
+    /// Per-node NIC bandwidth, bytes/second (GbE ≈ 125 MB/s).
+    pub nic_bandwidth_bps: f64,
+    /// Per-message network latency, seconds.
+    pub nic_latency_s: f64,
+    /// Local SSD staging capacity per node, bytes (Spark spills land here).
+    pub ssd_capacity_bytes: u64,
+    /// Local SSD write bandwidth, bytes/second.
+    pub ssd_bandwidth_bps: f64,
+    /// Aggregate shared-filesystem (GPFS) bandwidth, bytes/second.
+    pub shared_fs_bandwidth_bps: f64,
+    /// Shared-filesystem operation latency, seconds.
+    pub shared_fs_latency_s: f64,
+}
+
+impl ClusterSpec {
+    /// The paper's testbed: 32 nodes × two 16-core Intel Xeon Gold 6130
+    /// (Skylake), 192 GB RAM/node (180 GB to executors), GbE interconnect,
+    /// 1 TB local SSD per node, shared GPFS.
+    pub fn paper_cluster() -> Self {
+        ClusterSpec {
+            nodes: 32,
+            cores_per_node: 32,
+            ram_per_node_bytes: 180 * (1 << 30),
+            nic_bandwidth_bps: 125.0e6,
+            nic_latency_s: 50.0e-6,
+            ssd_capacity_bytes: 1 << 40, // 1 TB
+            ssd_bandwidth_bps: 1.0e9,
+            shared_fs_bandwidth_bps: 10.0e9,
+            shared_fs_latency_s: 1.0e-3,
+        }
+    }
+
+    /// A cluster with the same per-node hardware as the paper's but
+    /// `nodes` worker nodes — used for the weak-scaling sweep, where the
+    /// paper runs `p ∈ {64 … 1024}` cores by varying node count.
+    pub fn paper_cluster_with_cores(total_cores: usize) -> Self {
+        let mut spec = Self::paper_cluster();
+        assert!(
+            total_cores.is_multiple_of(spec.cores_per_node),
+            "core count must be a multiple of {} (whole nodes)",
+            spec.cores_per_node
+        );
+        spec.nodes = total_cores / spec.cores_per_node;
+        spec
+    }
+
+    /// Total executor cores.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// Aggregate cross-node network bandwidth (all NICs busy), bytes/s.
+    pub fn aggregate_net_bandwidth(&self) -> f64 {
+        self.nodes as f64 * self.nic_bandwidth_bps
+    }
+
+    /// Aggregate local-SSD write bandwidth, bytes/s.
+    pub fn aggregate_ssd_bandwidth(&self) -> f64 {
+        self.nodes as f64 * self.ssd_bandwidth_bps
+    }
+
+    /// Total local staging capacity, bytes.
+    pub fn total_ssd_capacity(&self) -> u64 {
+        self.nodes as u64 * self.ssd_capacity_bytes
+    }
+
+    /// Total executor RAM, bytes.
+    pub fn total_ram(&self) -> u64 {
+        self.nodes as u64 * self.ram_per_node_bytes
+    }
+
+    /// Fraction of uniformly-shuffled data that must cross the network
+    /// (records staying on their node are free): `(nodes-1)/nodes`.
+    pub fn cross_node_fraction(&self) -> f64 {
+        if self.nodes <= 1 {
+            0.0
+        } else {
+            (self.nodes - 1) as f64 / self.nodes as f64
+        }
+    }
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        Self::paper_cluster()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_totals() {
+        let c = ClusterSpec::paper_cluster();
+        assert_eq!(c.total_cores(), 1024);
+        assert_eq!(c.total_ssd_capacity(), 32 << 40);
+        assert!((c.aggregate_net_bandwidth() - 4.0e9).abs() < 1.0);
+        assert!(c.total_ram() > 5 * (1u64 << 40)); // ~5.6 TB
+    }
+
+    #[test]
+    fn scaled_cluster() {
+        let c = ClusterSpec::paper_cluster_with_cores(256);
+        assert_eq!(c.nodes, 8);
+        assert_eq!(c.total_cores(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn rejects_fractional_nodes() {
+        let _ = ClusterSpec::paper_cluster_with_cores(100);
+    }
+
+    #[test]
+    fn cross_node_fraction_bounds() {
+        let mut c = ClusterSpec::paper_cluster();
+        assert!((c.cross_node_fraction() - 31.0 / 32.0).abs() < 1e-12);
+        c.nodes = 1;
+        assert_eq!(c.cross_node_fraction(), 0.0);
+    }
+
+    #[test]
+    fn default_is_paper_cluster() {
+        assert_eq!(ClusterSpec::default(), ClusterSpec::paper_cluster());
+    }
+}

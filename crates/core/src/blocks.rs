@@ -1,0 +1,223 @@
+//! The distributed blocked adjacency matrix.
+
+use apsp_blockmat::{Block, Matrix};
+use sparklet::partitioner::{MultiDiagonalPartitioner, PortableHashPartitioner};
+use sparklet::{Partitioner, Rdd, SparkContext, SparkResult};
+use std::sync::Arc;
+
+/// Block coordinate `(I, J)` in the `q × q` grid; stored records always
+/// satisfy `I <= J` (upper triangle).
+pub type BlockKey = (usize, usize);
+
+/// One RDD record: a keyed dense block.
+pub type BlockRecord = (BlockKey, Block);
+
+/// Which partitioner distributes block records (paper §5.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionerChoice {
+    /// The paper's multi-diagonal partitioner (default; balanced).
+    #[default]
+    MultiDiagonal,
+    /// pySpark's default `portable_hash` (skewed on these keys).
+    PortableHash,
+}
+
+impl PartitionerChoice {
+    /// Instantiates the partitioner for a `q × q` grid and `partitions`
+    /// output partitions.
+    pub fn build(self, q: usize, partitions: usize) -> Arc<dyn Partitioner<BlockKey>> {
+        match self {
+            PartitionerChoice::MultiDiagonal => {
+                Arc::new(MultiDiagonalPartitioner::new(q, partitions))
+            }
+            PartitionerChoice::PortableHash => {
+                Arc::new(PortableHashPartitioner::new(partitions))
+            }
+        }
+    }
+}
+
+/// The distributed 2D-decomposed adjacency matrix: an RDD of
+/// upper-triangular block records plus its geometry.
+///
+/// Exploiting symmetry, only blocks with `I <= J` are stored; `A_JI` is
+/// materialized on demand as `A_IJᵀ` (paper §4 — "the executor responsible
+/// for the processing of block `A_IJ` is also responsible for the
+/// processing of block `A_JI`").
+pub struct BlockedMatrix {
+    /// Vertex count (pre-padding).
+    pub n: usize,
+    /// Block side.
+    pub b: usize,
+    /// Grid order `q = ⌈n/b⌉`.
+    pub q: usize,
+    /// The records.
+    pub rdd: Rdd<BlockRecord>,
+}
+
+impl BlockedMatrix {
+    /// Decomposes a dense symmetric adjacency matrix into upper-triangular
+    /// blocks, distributed by `partitioner` without an initial shuffle.
+    pub fn from_matrix(
+        ctx: &SparkContext,
+        m: &Matrix,
+        b: usize,
+        partitioner: Arc<dyn Partitioner<BlockKey>>,
+    ) -> Self {
+        let n = m.order();
+        let q = n.div_ceil(b);
+        let blocks = m.to_blocks(b);
+        let mut records = Vec::with_capacity(q * (q + 1) / 2);
+        for bi in 0..q {
+            for bj in bi..q {
+                records.push(((bi, bj), blocks[bi * q + bj].clone()));
+            }
+        }
+        let rdd = ctx.parallelize_by(records, partitioner);
+        BlockedMatrix { n, b, q, rdd }
+    }
+
+    /// Rebuilds the full dense distance matrix from the distributed upper
+    /// triangle, mirroring across the diagonal and trimming padding.
+    pub fn collect_to_matrix(&self) -> SparkResult<Matrix> {
+        let records = self.rdd.collect()?;
+        let mut expanded = Vec::with_capacity(records.len() * 2);
+        for ((i, j), blk) in records {
+            if i != j {
+                expanded.push(((j, i), blk.transpose()));
+            }
+            expanded.push(((i, j), blk));
+        }
+        Ok(Matrix::from_blocks(self.n, self.b, expanded))
+    }
+
+    /// Replaces the underlying RDD (same geometry).
+    pub fn with_rdd(&self, rdd: Rdd<BlockRecord>) -> BlockedMatrix {
+        BlockedMatrix {
+            n: self.n,
+            b: self.b,
+            q: self.q,
+            rdd,
+        }
+    }
+}
+
+/// Canonicalizes a block coordinate to its stored (upper-triangular) key.
+#[inline]
+pub fn canonical(i: usize, j: usize) -> BlockKey {
+    if i <= j {
+        (i, j)
+    } else {
+        (j, i)
+    }
+}
+
+/// Returns block `A_ij` in *logical* orientation (rows `i`, cols `j`) from
+/// a stored record, transposing when the logical block is below the
+/// diagonal.
+pub fn oriented(stored_key: BlockKey, block: &Block, i: usize, j: usize) -> Block {
+    debug_assert_eq!(canonical(i, j), stored_key);
+    if (i, j) == stored_key {
+        block.clone()
+    } else {
+        block.transpose()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsp_blockmat::INF;
+    use sparklet::SparkConfig;
+
+    fn ctx() -> SparkContext {
+        SparkContext::new(SparkConfig::with_cores(4))
+    }
+
+    fn sample_matrix(n: usize) -> Matrix {
+        let mut m = Matrix::identity(n);
+        for i in 0..n - 1 {
+            m.set(i, i + 1, (i + 1) as f64);
+            m.set(i + 1, i, (i + 1) as f64);
+        }
+        m
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let sc = ctx();
+        let m = sample_matrix(12);
+        let bm = BlockedMatrix::from_matrix(
+            &sc,
+            &m,
+            4,
+            PartitionerChoice::MultiDiagonal.build(3, 8),
+        );
+        assert_eq!(bm.q, 3);
+        assert_eq!(bm.rdd.count().unwrap(), 6); // upper triangle of 3x3
+        assert_eq!(bm.collect_to_matrix().unwrap(), m);
+    }
+
+    #[test]
+    fn roundtrip_with_padding() {
+        let sc = ctx();
+        let m = sample_matrix(10);
+        let bm = BlockedMatrix::from_matrix(
+            &sc,
+            &m,
+            4,
+            PartitionerChoice::PortableHash.build(3, 8),
+        );
+        assert_eq!(bm.q, 3);
+        assert_eq!(bm.collect_to_matrix().unwrap(), m);
+    }
+
+    #[test]
+    fn stores_only_upper_triangle() {
+        let sc = ctx();
+        let m = sample_matrix(16);
+        let bm = BlockedMatrix::from_matrix(
+            &sc,
+            &m,
+            4,
+            PartitionerChoice::MultiDiagonal.build(4, 8),
+        );
+        for ((i, j), _) in bm.rdd.collect().unwrap() {
+            assert!(i <= j, "lower-triangular record ({i},{j}) stored");
+        }
+    }
+
+    #[test]
+    fn oriented_transposes_below_diagonal() {
+        let blk = Block::from_fn(3, |i, j| (i * 3 + j) as f64);
+        let same = oriented((1, 2), &blk, 1, 2);
+        assert_eq!(same, blk);
+        let flipped = oriented((1, 2), &blk, 2, 1);
+        assert_eq!(flipped, blk.transpose());
+    }
+
+    #[test]
+    fn canonical_orders() {
+        assert_eq!(canonical(3, 1), (1, 3));
+        assert_eq!(canonical(1, 3), (1, 3));
+        assert_eq!(canonical(2, 2), (2, 2));
+    }
+
+    #[test]
+    fn single_block_matrix() {
+        let sc = ctx();
+        let mut m = Matrix::identity(3);
+        m.set(0, 2, 4.0);
+        m.set(2, 0, 4.0);
+        let bm = BlockedMatrix::from_matrix(
+            &sc,
+            &m,
+            8,
+            PartitionerChoice::MultiDiagonal.build(1, 2),
+        );
+        assert_eq!(bm.q, 1);
+        let back = bm.collect_to_matrix().unwrap();
+        assert_eq!(back.get(0, 2), 4.0);
+        assert_eq!(back.get(1, 2), INF);
+    }
+}

@@ -1,0 +1,288 @@
+//! The paper's Table 1: functional building blocks shared by the solvers.
+//!
+//! Each function operates on `((I, J), Block)` records (or pieces thereof)
+//! and is passed to `sparklet` transformations, mirroring how the paper
+//! passes them to Spark transformations. The compute-heavy ones delegate
+//! to the `apsp-blockmat` kernels — the analogue of the paper's
+//! NumPy/SciPy/Numba bare-metal offload.
+
+use crate::blocks::{canonical, BlockKey, BlockRecord};
+use apsp_blockmat::Block;
+use sparklet::EstimateSize;
+
+/// `InColumn` (Table 1): does the stored upper-triangular record `key`
+/// carry data of row/column-block `x`? With symmetric storage the
+/// column-block `x` of the full matrix is the "cross" `{(I, x)} ∪ {(x, J)}`.
+pub fn in_column(key: &BlockKey, x: usize) -> bool {
+    key.0 == x || key.1 == x
+}
+
+/// `OnDiagonal` (Table 1): is this the `x`-th diagonal block?
+pub fn on_diagonal(key: &BlockKey, x: usize) -> bool {
+    key.0 == x && key.1 == x
+}
+
+/// `ExtractCol` (Table 1): column `k` (block-local index) of the stored
+/// block, oriented as a segment of the *global* column: returns
+/// `(row_block, values)` where `values[r]` is the distance from row `r` of
+/// `row_block` to the pivot.
+///
+/// For a stored record `(I, J)` with `J` the pivot's column-block, that is
+/// the block's `k`-th column; when `I` is the pivot's column-block (the
+/// record is the transposed half of the cross), it is the `k`-th *row*.
+pub fn extract_col(record: &BlockRecord, pivot_block: usize, k: usize) -> Vec<(usize, Vec<f64>)> {
+    let ((i, j), blk) = record;
+    let mut out = Vec::new();
+    if *j == pivot_block {
+        out.push((*i, blk.extract_col(k)));
+    }
+    if *i == pivot_block && i != j {
+        out.push((*j, blk.extract_row(k)));
+    }
+    out
+}
+
+/// A tagged block flowing through the pairing shuffles of the blocked
+/// solvers (the values `ListAppend`/`ListUnpack` see).
+///
+/// `Stored` is a matrix block of `A`; `Left`/`Right` are copies created by
+/// `CopyDiag`/`CopyCol`, pre-oriented so the phase update for target block
+/// `(I, J)` is `A_IJ = min(A_IJ, Left ⊗ A_IJ)`, `min(A_IJ, A_IJ ⊗ Right)`,
+/// or `min(A_IJ, Left ⊗ Right)` depending on which pieces arrive.
+#[derive(Clone, Debug)]
+pub enum Piece {
+    /// The resident block of `A`.
+    Stored(Block),
+    /// A left operand (`A_Ii`, rows of the target's row-block).
+    Left(Block),
+    /// A right operand (`A_iJ`, columns of the target's column-block).
+    Right(Block),
+}
+
+impl EstimateSize for Piece {
+    fn estimate_bytes(&self) -> usize {
+        8 + match self {
+            Piece::Stored(b) | Piece::Left(b) | Piece::Right(b) => b.estimate_bytes(),
+        }
+    }
+}
+
+/// `CopyDiag` (Table 1): replicate the solved diagonal block `A_ii*` to
+/// every cross block of iteration `i`, pre-oriented (`Right` for stored
+/// `(X, i)` — pivot columns on the right; `Left` for `(i, Y)`).
+pub fn copy_diag(i: usize, diag: &Block, q: usize) -> Vec<(BlockKey, Piece)> {
+    let mut out = Vec::with_capacity(q.saturating_sub(1));
+    for t in 0..q {
+        if t == i {
+            continue;
+        }
+        let key = canonical(t, i);
+        let piece = if key == (t, i) {
+            // Stored block is A_Ti (rows T, pivot cols): multiply on the right.
+            Piece::Right(diag.clone())
+        } else {
+            // Stored block is A_iY (pivot rows, cols Y): multiply on the left.
+            Piece::Left(diag.clone())
+        };
+        out.push((key, piece));
+    }
+    out
+}
+
+/// `CopyCol` (Table 1): replicate an updated cross block to every Phase-3
+/// target that needs it, pre-oriented. `col_block` must be canonical
+/// `C_T = A_Ti` (rows `T`, pivot columns); `t` is the cross index.
+///
+/// Target `(X, Y)` (upper-triangular, neither index `i`) needs
+/// `Left = A_Xi = C_X` and `Right = A_iY = C_Yᵀ`; the diagonal target
+/// `(T, T)` needs both from this one cross block.
+pub fn copy_col(t: usize, i: usize, col_block: &Block, q: usize) -> Vec<(BlockKey, Piece)> {
+    let mut out = Vec::with_capacity(q);
+    for k in 0..q {
+        if k == i {
+            continue;
+        }
+        let key = canonical(t, k);
+        if t == key.0 {
+            // This cross block provides the Left operand (A_{key.0} i).
+            out.push((key, Piece::Left(col_block.clone())));
+        }
+        if t == key.1 {
+            // ... and/or the Right operand (A_i {key.1} = C_tᵀ).
+            out.push((key, Piece::Right(col_block.transpose())));
+        }
+    }
+    out
+}
+
+/// `ListUnpack` + `MatMin` (Table 1): resolve a pairing list into the
+/// updated block. Exactly one `Stored` piece must be present.
+///
+/// * `Stored` + `Left` + `Right` → `min(A, L ⊗ R)` (Phase 3),
+/// * `Stored` + `Left` → `min(A, L ⊗ A)` (Phase 2, pivot rows),
+/// * `Stored` + `Right` → `min(A, A ⊗ R)` (Phase 2, pivot cols),
+/// * `Stored` alone → unchanged.
+///
+/// # Panics
+/// Panics when the list carries no or multiple `Stored` pieces (an
+/// algorithmic bug, not a data condition).
+pub fn unpack_and_update(pieces: Vec<Piece>) -> Block {
+    let mut stored: Option<Block> = None;
+    let mut left: Option<Block> = None;
+    let mut right: Option<Block> = None;
+    for p in pieces {
+        match p {
+            Piece::Stored(b) => {
+                assert!(stored.is_none(), "duplicate Stored piece in pairing list");
+                stored = Some(b);
+            }
+            Piece::Left(b) => left = Some(b),
+            Piece::Right(b) => right = Some(b),
+        }
+    }
+    let mut a = stored.expect("pairing list lacks the Stored block");
+    match (left, right) {
+        (Some(l), Some(r)) => a.mat_min_assign(&l.min_plus(&r)),
+        (Some(l), None) => a.mat_min_assign(&l.min_plus(&a.clone())),
+        (None, Some(r)) => {
+            let prod = a.min_plus(&r);
+            a.mat_min_assign(&prod);
+        }
+        (None, None) => {}
+    }
+    a
+}
+
+/// `FloydWarshall` (Table 1): close a diagonal block in place.
+pub fn floyd_warshall(mut blk: Block) -> Block {
+    blk.floyd_warshall_in_place();
+    blk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsp_blockmat::INF;
+
+    fn blk(vals: [[f64; 2]; 2]) -> Block {
+        Block::from_fn(2, |i, j| vals[i][j])
+    }
+
+    #[test]
+    fn in_column_covers_cross() {
+        assert!(in_column(&(0, 3), 3));
+        assert!(in_column(&(3, 5), 3));
+        assert!(in_column(&(3, 3), 3));
+        assert!(!in_column(&(1, 2), 3));
+    }
+
+    #[test]
+    fn extract_col_handles_both_orientations() {
+        let b = Block::from_fn(2, |i, j| (10 * i + j) as f64);
+        // Record (1, 2), pivot block 2: column k of the block.
+        let rec = ((1usize, 2usize), b.clone());
+        let got = extract_col(&rec, 2, 1);
+        assert_eq!(got, vec![(1, vec![1.0, 11.0])]);
+        // Record (2, 4), pivot block 2: row k (transposed half).
+        let rec2 = ((2usize, 4usize), b.clone());
+        let got2 = extract_col(&rec2, 2, 0);
+        assert_eq!(got2, vec![(4, vec![0.0, 1.0])]);
+        // Diagonal record (2,2): column only (row would duplicate).
+        let rec3 = ((2usize, 2usize), b);
+        let got3 = extract_col(&rec3, 2, 0);
+        assert_eq!(got3.len(), 1);
+        assert_eq!(got3[0].0, 2);
+    }
+
+    #[test]
+    fn copy_diag_orientations() {
+        let d = blk([[0.0, 1.0], [1.0, 0.0]]);
+        let q = 4;
+        let i = 2;
+        let copies = copy_diag(i, &d, q);
+        assert_eq!(copies.len(), 3);
+        for (key, piece) in copies {
+            assert!(in_column(&key, i));
+            match piece {
+                // Stored (X, i) with X < i: right-multiply.
+                Piece::Right(_) => assert!(key.1 == i),
+                // Stored (i, Y): left-multiply.
+                Piece::Left(_) => assert!(key.0 == i),
+                Piece::Stored(_) => panic!("copy must not be Stored"),
+            }
+        }
+    }
+
+    #[test]
+    fn copy_col_covers_targets_including_diagonal() {
+        let c = blk([[1.0, 2.0], [3.0, 4.0]]);
+        let q = 4;
+        let i = 1;
+        let t = 3;
+        let copies = copy_col(t, i, &c, q);
+        // Targets: (0,3) R, (2,3) R, (3,3) L+R — 4 pieces.
+        assert_eq!(copies.len(), 4);
+        let diag_pieces: Vec<_> = copies
+            .iter()
+            .filter(|(k, _)| *k == (3, 3))
+            .collect();
+        assert_eq!(diag_pieces.len(), 2);
+        // Right pieces are transposed.
+        for (key, piece) in &copies {
+            if let Piece::Right(b) = piece {
+                assert_eq!(key.1, t);
+                assert_eq!(b.get(0, 1), c.get(1, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn unpack_phase3_computes_product() {
+        let a = blk([[10.0, 10.0], [10.0, 10.0]]);
+        let l = blk([[1.0, INF], [INF, 1.0]]);
+        let r = blk([[2.0, 3.0], [4.0, 5.0]]);
+        let out = unpack_and_update(vec![
+            Piece::Left(l),
+            Piece::Stored(a),
+            Piece::Right(r),
+        ]);
+        assert_eq!(out.get(0, 0), 3.0); // 1 + 2
+        assert_eq!(out.get(1, 1), 6.0); // 1 + 5
+    }
+
+    #[test]
+    fn unpack_phase2_left_and_right() {
+        let a = blk([[4.0, 4.0], [4.0, 4.0]]);
+        let d = blk([[0.0, 1.0], [1.0, 0.0]]);
+        // Right: A ⊗ D — can route through the cheap diagonal.
+        let out_r = unpack_and_update(vec![Piece::Stored(a.clone()), Piece::Right(d.clone())]);
+        assert_eq!(out_r.get(0, 0), 4.0);
+        assert_eq!(out_r.get(0, 1), 4.0);
+        // Left: D ⊗ A.
+        let out_l = unpack_and_update(vec![Piece::Left(d), Piece::Stored(a)]);
+        assert_eq!(out_l.get(0, 0), 4.0);
+    }
+
+    #[test]
+    fn unpack_stored_only_is_identity() {
+        let a = blk([[0.0, 7.0], [7.0, 0.0]]);
+        assert_eq!(unpack_and_update(vec![Piece::Stored(a.clone())]), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "lacks the Stored block")]
+    fn unpack_requires_stored() {
+        let _ = unpack_and_update(vec![Piece::Left(Block::infinity(2))]);
+    }
+
+    #[test]
+    fn floyd_warshall_closes() {
+        let mut a = Block::identity(3);
+        a.set(0, 1, 1.0);
+        a.set(1, 0, 1.0);
+        a.set(1, 2, 1.0);
+        a.set(2, 1, 1.0);
+        let closed = floyd_warshall(a);
+        assert_eq!(closed.get(0, 2), 2.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! DC-GbE: divide-and-conquer (Kleene) APSP baseline (§5.5).
+//!
+//! Models Solomonik et al.'s communication-avoiding solver [19] at the
+//! algorithmic level: the Kleene recursion over the closure
+//!
+//! ```text
+//! A11 ← FW(A11)            A12 ← A11 ⊗ A12       A21 ← A21 ⊗ A11
+//! A22 ← min(A22, A21 ⊗ A12); A22 ← FW(A22)
+//! A12 ← A12 ⊗ A22          A21 ← A22 ⊗ A21
+//! A11 ← min(A11, A12 ⊗ A21)
+//! ```
+//!
+//! distributed over `mpilite` ranks with replicated storage: every
+//! min-plus product is row-split across ranks and re-assembled with
+//! `all_gather`, so the simulated α–β clock captures the recursion's
+//! communication volume while the computation itself runs genuinely in
+//! parallel.
+
+use crate::solver::ApspError;
+use apsp_blockmat::{Matrix, INF};
+use mpilite::{Comm, CommCost, World};
+
+pub use crate::mpi_fw2d::MpiRunResult;
+
+/// The divide-and-conquer APSP baseline.
+#[derive(Debug, Clone)]
+pub struct MpiDcApsp {
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Recursion cutoff: sub-problems of this side or smaller run
+    /// sequential Floyd-Warshall (redundantly on every rank — no comm).
+    pub base_size: usize,
+    /// Communication cost model.
+    pub cost: CommCost,
+}
+
+impl MpiDcApsp {
+    /// DC-APSP on `ranks` ranks with GbE costs and a 64-vertex base case.
+    pub fn new(ranks: usize) -> Self {
+        MpiDcApsp {
+            ranks,
+            base_size: 64,
+            cost: CommCost::gbe(),
+        }
+    }
+
+    /// Solves APSP for a dense symmetric adjacency matrix.
+    pub fn solve_matrix(&self, adjacency: &Matrix) -> Result<MpiRunResult, ApspError> {
+        if self.ranks == 0 {
+            return Err(ApspError::InvalidConfig("need at least one rank".into()));
+        }
+        if self.base_size == 0 {
+            return Err(ApspError::InvalidConfig("base size must be positive".into()));
+        }
+        let n = adjacency.order();
+        if n == 0 {
+            return Err(ApspError::InvalidInput("empty graph".into()));
+        }
+
+        let world = World::new(self.ranks, self.cost);
+        let base = self.base_size;
+        let results = world.run(|comm| {
+            // Replicated storage: every rank owns a full working copy.
+            let mut data: Vec<f64> = adjacency.data().to_vec();
+            kleene(&mut data, n, View::full(n), base, comm);
+            (data, comm.stats())
+        });
+
+        let mut stats = Vec::with_capacity(results.len());
+        let mut sim = 0.0f64;
+        let mut first: Option<Vec<f64>> = None;
+        for (data, st) in results {
+            // Replicas must agree bit-for-bit (determinism check).
+            if let Some(f) = &first {
+                debug_assert_eq!(f, &data, "replica divergence");
+            } else {
+                first = Some(data);
+            }
+            sim = sim.max(st.elapsed);
+            stats.push(st);
+        }
+        Ok(MpiRunResult {
+            distances: Matrix::from_vec(n, first.expect("at least one rank")),
+            stats,
+            simulated_comm_s: sim,
+        })
+    }
+}
+
+/// A rectangular view into the replicated `n × n` row-major buffer.
+#[derive(Debug, Clone, Copy)]
+struct View {
+    r0: usize,
+    c0: usize,
+    rows: usize,
+    cols: usize,
+}
+
+impl View {
+    fn full(n: usize) -> View {
+        View {
+            r0: 0,
+            c0: 0,
+            rows: n,
+            cols: n,
+        }
+    }
+}
+
+/// `C = min(C, A ⊗ B)` over views, with the rows of `C` split across
+/// ranks and the result re-replicated via `all_gather`.
+fn dist_minplus(data: &mut [f64], n: usize, a: View, bv: View, c: View, comm: &Comm) {
+    debug_assert_eq!(a.cols, bv.rows);
+    debug_assert_eq!(c.rows, a.rows);
+    debug_assert_eq!(c.cols, bv.cols);
+    let p = comm.size();
+    let rank = comm.rank();
+    let lo = c.rows * rank / p;
+    let hi = c.rows * (rank + 1) / p;
+
+    // Compute my row slice of the product into a scratch buffer (C may
+    // alias A or B in the Kleene steps).
+    let mut mine = vec![INF; (hi - lo) * c.cols];
+    for i in lo..hi {
+        let arow = (a.r0 + i) * n + a.c0;
+        let out = &mut mine[(i - lo) * c.cols..(i - lo + 1) * c.cols];
+        // Seed with the current C row (the "min with old value" part).
+        out.copy_from_slice(&data[(c.r0 + i) * n + c.c0..(c.r0 + i) * n + c.c0 + c.cols]);
+        for k in 0..a.cols {
+            let aik = data[arow + k];
+            if aik == INF {
+                continue;
+            }
+            let brow = (bv.r0 + k) * n + bv.c0;
+            for (j, v) in out.iter_mut().enumerate() {
+                let cand = aik + data[brow + j];
+                if cand < *v {
+                    *v = cand;
+                }
+            }
+        }
+    }
+
+    // Re-replicate: every rank receives every slice, in rank order.
+    let slices = comm.all_gather(mine, (hi - lo) * c.cols * 8);
+    let mut row = 0usize;
+    for slice in slices {
+        debug_assert_eq!(slice.len() % c.cols.max(1), 0);
+        for chunk in slice.chunks_exact(c.cols) {
+            data[(c.r0 + row) * n + c.c0..(c.r0 + row) * n + c.c0 + c.cols]
+                .copy_from_slice(chunk);
+            row += 1;
+        }
+    }
+    debug_assert_eq!(row, c.rows);
+}
+
+/// Sequential Floyd-Warshall on a square view (base case; run redundantly
+/// by every rank, no communication).
+fn fw_view(data: &mut [f64], n: usize, v: View) {
+    debug_assert_eq!(v.rows, v.cols);
+    let s = v.rows;
+    for k in 0..s {
+        let krow = (v.r0 + k) * n + v.c0;
+        let pivot: Vec<f64> = data[krow..krow + s].to_vec();
+        for i in 0..s {
+            let dik = data[(v.r0 + i) * n + v.c0 + k];
+            if dik == INF {
+                continue;
+            }
+            let irow = (v.r0 + i) * n + v.c0;
+            for j in 0..s {
+                let cand = dik + pivot[j];
+                if cand < data[irow + j] {
+                    data[irow + j] = cand;
+                }
+            }
+        }
+    }
+}
+
+/// The Kleene recursion over a square view.
+fn kleene(data: &mut [f64], n: usize, v: View, base: usize, comm: &Comm) {
+    let s = v.rows;
+    if s <= base {
+        fw_view(data, n, v);
+        return;
+    }
+    let s1 = s / 2;
+    let s2 = s - s1;
+    let a11 = View { r0: v.r0, c0: v.c0, rows: s1, cols: s1 };
+    let a12 = View { r0: v.r0, c0: v.c0 + s1, rows: s1, cols: s2 };
+    let a21 = View { r0: v.r0 + s1, c0: v.c0, rows: s2, cols: s1 };
+    let a22 = View { r0: v.r0 + s1, c0: v.c0 + s1, rows: s2, cols: s2 };
+
+    kleene(data, n, a11, base, comm);
+    dist_minplus(data, n, a11, a12, a12, comm); // A12 ← min(A12, A11 ⊗ A12)
+    dist_minplus(data, n, a21, a11, a21, comm); // A21 ← min(A21, A21 ⊗ A11)
+    dist_minplus(data, n, a21, a12, a22, comm); // A22 ← min(A22, A21 ⊗ A12)
+    kleene(data, n, a22, base, comm);
+    dist_minplus(data, n, a12, a22, a12, comm); // A12 ← min(A12, A12 ⊗ A22)
+    dist_minplus(data, n, a22, a21, a21, comm); // A21 ← min(A21, A22 ⊗ A21)
+    dist_minplus(data, n, a12, a21, a11, comm); // A11 ← min(A11, A12 ⊗ A21)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsp_graph::{floyd_warshall as fw_oracle, generators};
+
+    #[test]
+    fn matches_oracle_single_rank() {
+        let g = generators::erdos_renyi_paper(50, 0.1, 3);
+        let dc = MpiDcApsp {
+            ranks: 1,
+            base_size: 8,
+            cost: CommCost::zero(),
+        };
+        let res = dc.solve_matrix(&g.to_dense()).unwrap();
+        assert!(res.distances.approx_eq(&fw_oracle(&g), 1e-9).is_ok());
+    }
+
+    #[test]
+    fn matches_oracle_multi_rank_deep_recursion() {
+        let g = generators::erdos_renyi_paper(70, 0.1, 13);
+        let dc = MpiDcApsp {
+            ranks: 4,
+            base_size: 8,
+            cost: CommCost::gbe(),
+        };
+        let res = dc.solve_matrix(&g.to_dense()).unwrap();
+        assert!(res.distances.approx_eq(&fw_oracle(&g), 1e-9).is_ok());
+        assert!(res.simulated_comm_s > 0.0);
+    }
+
+    #[test]
+    fn odd_sizes_and_uneven_split() {
+        let g = generators::erdos_renyi_paper(37, 0.1, 29);
+        let dc = MpiDcApsp {
+            ranks: 3,
+            base_size: 4,
+            cost: CommCost::zero(),
+        };
+        let res = dc.solve_matrix(&g.to_dense()).unwrap();
+        assert!(res.distances.approx_eq(&fw_oracle(&g), 1e-9).is_ok());
+    }
+
+    #[test]
+    fn base_case_bigger_than_n() {
+        let g = generators::cycle(10);
+        let res = MpiDcApsp::new(2).solve_matrix(&g.to_dense()).unwrap();
+        assert!(res.distances.approx_eq(&fw_oracle(&g), 1e-9).is_ok());
+    }
+
+    #[test]
+    fn path_graph_needs_cross_quadrant_paths() {
+        // Paths crossing the recursion split stress steps 4–8.
+        let g = generators::path(33);
+        let dc = MpiDcApsp {
+            ranks: 2,
+            base_size: 4,
+            cost: CommCost::zero(),
+        };
+        let res = dc.solve_matrix(&g.to_dense()).unwrap();
+        for i in 0..33 {
+            assert_eq!(res.distances.get(0, i), i as f64);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! FW-2D-GbE: the naive MPI 2D Floyd-Warshall baseline (§5.5).
+
+use crate::solver::ApspError;
+use apsp_blockmat::{Matrix, INF};
+use mpilite::{CommCost, CommStats, World};
+
+/// Result of an MPI-baseline run: the distances plus per-rank simulated
+/// communication statistics (the α–β clock of `mpilite`).
+#[derive(Debug, Clone)]
+pub struct MpiRunResult {
+    /// The full distance matrix.
+    pub distances: Matrix,
+    /// Per-rank communication statistics.
+    pub stats: Vec<CommStats>,
+    /// Maximum simulated elapsed time over ranks (the run's critical path
+    /// under the cost model, excluding real compute).
+    pub simulated_comm_s: f64,
+}
+
+/// The textbook parallel Floyd-Warshall on a `√p × √p` process grid
+/// (Grama et al. \[8\], the paper's FW-2D baseline): each of the `n`
+/// iterations broadcasts the pivot-row and pivot-column segments within
+/// grid columns/rows (flat-tree sends — the "naive" part), then updates
+/// the local tile.
+#[derive(Debug, Clone)]
+pub struct MpiFw2d {
+    /// Process-grid side; uses `grid²` ranks.
+    pub grid: usize,
+    /// Communication cost model for the simulated clock.
+    pub cost: CommCost,
+    /// When set, each rank also advances its simulated clock by
+    /// `rate × (tile ops)` per iteration, so `simulated_comm_s` becomes a
+    /// full simulated runtime (compute + communication) — comparable to
+    /// the `apsp-cluster` analytic projection.
+    pub update_sec_per_op: Option<f64>,
+}
+
+impl MpiFw2d {
+    /// FW-2D on a `grid × grid` rank grid with GbE costs.
+    pub fn new(grid: usize) -> Self {
+        MpiFw2d {
+            grid,
+            cost: CommCost::gbe(),
+            update_sec_per_op: None,
+        }
+    }
+
+    /// Enables simulated compute time at `rate` seconds per element
+    /// update (use `KernelRates::paper().update_sec_per_op`).
+    pub fn with_compute_rate(mut self, rate: f64) -> Self {
+        self.update_sec_per_op = Some(rate);
+        self
+    }
+
+    /// Solves APSP for a dense symmetric adjacency matrix.
+    pub fn solve_matrix(&self, adjacency: &Matrix) -> Result<MpiRunResult, ApspError> {
+        let g = self.grid;
+        if g == 0 {
+            return Err(ApspError::InvalidConfig("grid must be positive".into()));
+        }
+        let n = adjacency.order();
+        if n == 0 {
+            return Err(ApspError::InvalidInput("empty graph".into()));
+        }
+        // Pad to a multiple of the grid with isolated vertices.
+        let m = n.div_ceil(g); // tile side
+        let np = m * g;
+
+        let tile_of = |r: usize, c: usize| -> Vec<f64> {
+            let mut t = vec![INF; m * m];
+            for i in 0..m {
+                let gi = r * m + i;
+                for j in 0..m {
+                    let gj = c * m + j;
+                    t[i * m + j] = if gi < n && gj < n {
+                        adjacency.get(gi, gj)
+                    } else if gi == gj {
+                        0.0
+                    } else {
+                        INF
+                    };
+                }
+            }
+            t
+        };
+
+        let world = World::new(g * g, self.cost);
+        let results = world.run(|comm| {
+            let rank = comm.rank();
+            let (r, c) = (rank / g, rank % g);
+            let mut tile = tile_of(r, c);
+
+            for k in 0..np {
+                let owner = k / m;
+                let kloc = k % m;
+                // Pivot-row segment for my column range: held by (owner, c).
+                let row_seg: Vec<f64> = if r == owner {
+                    let seg: Vec<f64> = tile[kloc * m..kloc * m + m].to_vec();
+                    // Flat-tree broadcast down grid column c.
+                    for dest_r in 0..g {
+                        if dest_r != r {
+                            comm.send_vec(dest_r * g + c, (2 * k) as u64, seg.clone());
+                        }
+                    }
+                    seg
+                } else {
+                    comm.recv(owner * g + c, (2 * k) as u64)
+                };
+                // Pivot-column segment for my row range: held by (r, owner).
+                let col_seg: Vec<f64> = if c == owner {
+                    let seg: Vec<f64> = (0..m).map(|i| tile[i * m + kloc]).collect();
+                    for dest_c in 0..g {
+                        if dest_c != c {
+                            comm.send_vec(r * g + dest_c, (2 * k + 1) as u64, seg.clone());
+                        }
+                    }
+                    seg
+                } else {
+                    comm.recv(r * g + owner, (2 * k + 1) as u64)
+                };
+
+                // d(x, y) = min(d(x, y), d(x, k) + d(k, y)).
+                for (i, &dxk) in col_seg.iter().enumerate() {
+                    if dxk == INF {
+                        continue;
+                    }
+                    let row = &mut tile[i * m..i * m + m];
+                    for (rv, &dky) in row.iter_mut().zip(row_seg.iter()) {
+                        let v = dxk + dky;
+                        if v < *rv {
+                            *rv = v;
+                        }
+                    }
+                }
+                if let Some(rate) = self.update_sec_per_op {
+                    comm.advance(rate * (m * m) as f64);
+                }
+            }
+            (r, c, tile, comm.stats())
+        });
+
+        let mut out = Matrix::filled(n, INF);
+        let mut stats = Vec::with_capacity(results.len());
+        let mut sim = 0.0f64;
+        for (r, c, tile, st) in results {
+            for i in 0..m {
+                let gi = r * m + i;
+                if gi >= n {
+                    continue;
+                }
+                for j in 0..m {
+                    let gj = c * m + j;
+                    if gj < n {
+                        out.set(gi, gj, tile[i * m + j]);
+                    }
+                }
+            }
+            sim = sim.max(st.elapsed);
+            stats.push(st);
+        }
+        Ok(MpiRunResult {
+            distances: out,
+            stats,
+            simulated_comm_s: sim,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsp_graph::{floyd_warshall as fw_oracle, generators};
+
+    #[test]
+    fn matches_oracle_2x2_grid() {
+        let g = generators::erdos_renyi_paper(32, 0.1, 17);
+        let res = MpiFw2d::new(2).solve_matrix(&g.to_dense()).unwrap();
+        assert!(res.distances.approx_eq(&fw_oracle(&g), 1e-9).is_ok());
+        assert_eq!(res.stats.len(), 4);
+    }
+
+    #[test]
+    fn matches_oracle_4x4_grid_with_padding() {
+        let g = generators::erdos_renyi_paper(30, 0.1, 23);
+        let res = MpiFw2d::new(4).solve_matrix(&g.to_dense()).unwrap();
+        assert!(res.distances.approx_eq(&fw_oracle(&g), 1e-9).is_ok());
+    }
+
+    #[test]
+    fn single_rank_grid_is_sequential_fw() {
+        let g = generators::cycle(11);
+        let res = MpiFw2d::new(1).solve_matrix(&g.to_dense()).unwrap();
+        assert!(res.distances.approx_eq(&fw_oracle(&g), 1e-9).is_ok());
+        assert_eq!(res.stats[0].messages_sent, 0);
+    }
+
+    #[test]
+    fn comm_clock_positive_on_multi_rank() {
+        let g = generators::grid(5, 5);
+        let res = MpiFw2d::new(2).solve_matrix(&g.to_dense()).unwrap();
+        assert!(res.simulated_comm_s > 0.0);
+        // Every rank broadcasts its share of pivots: all ranks send.
+        for st in &res.stats {
+            assert!(st.messages_sent > 0);
+        }
+    }
+
+    #[test]
+    fn weighted_graph_with_shortcuts() {
+        let mut g = apsp_graph::Graph::new(9);
+        for i in 0..8u32 {
+            g.add_edge(i, i + 1, 10.0);
+        }
+        g.add_edge(0, 8, 5.0); // long chain beaten by one cheap edge
+        let res = MpiFw2d::new(3).solve_matrix(&g.to_dense()).unwrap();
+        assert_eq!(res.distances.get(0, 8), 5.0);
+        assert_eq!(res.distances.get(1, 8), 15.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Algorithm 1: repeated squaring with column-block sweeps.
+
+use crate::blocks::{BlockedMatrix, BlockRecord};
+use crate::building_blocks::in_column;
+use crate::solver::{validate_adjacency, ApspError, ApspResult, ApspSolver, SolverConfig};
+use apsp_blockmat::Matrix;
+use sparklet::{Rdd, SparkContext};
+use std::time::Instant;
+
+/// The paper's Algorithm 1: compute `A^n` over the (min, +) semiring by
+/// repeated squaring, with each squaring rewritten as `q` matrix ×
+/// column-block products to avoid the all-to-all `cartesian` shuffle
+/// (which "was easily stalling even on small problems", §4.2).
+///
+/// Per sweep `J` (lines 2–5): the column's blocks are `collect`ed at the
+/// driver and staged in shared storage, every stored block of `A`
+/// multiplies the matching column block (`MatProd`), and `reduceByKey`
+/// with `MatMin` folds the partial products. Sweeps are `union`ed into
+/// the next `A` (line 6).
+///
+/// Impure (side-channel staging) and asymptotically wasteful — `⌈log₂ n⌉`
+/// squarings of `O(n³)` work each — but the fastest solver to write, which
+/// is the paper's point about programmer productivity.
+#[derive(Debug, Default, Clone)]
+pub struct RepeatedSquaring;
+
+fn col_key(step: usize, j: usize, k: usize) -> String {
+    format!("rs:{step}:{j}:{k}")
+}
+
+impl ApspSolver for RepeatedSquaring {
+    fn name(&self) -> &'static str {
+        "Repeated Squaring"
+    }
+
+    fn is_pure(&self) -> bool {
+        false
+    }
+
+    fn solve(
+        &self,
+        ctx: &SparkContext,
+        adjacency: &Matrix,
+        cfg: &SolverConfig,
+    ) -> Result<ApspResult, ApspError> {
+        let n = adjacency.order();
+        cfg.check(n)?;
+        if cfg.validate_input {
+            validate_adjacency(adjacency)?;
+        }
+        let start = Instant::now();
+        let metrics_before = ctx.metrics();
+
+        let b = cfg.block_size;
+        let q = n.div_ceil(b);
+        let partitioner = cfg.partitioner.build(q, cfg.partitions_for(ctx));
+        let blocked = BlockedMatrix::from_matrix(ctx, adjacency, b, partitioner.clone());
+        let mut a: Rdd<BlockRecord> = blocked.rdd.clone().persist();
+
+        // ⌈log₂ n⌉ squarings close paths of any hop count (diagonal zeros
+        // make A^(2^s) monotone non-increasing and ≥-dominated by A^n).
+        let squarings = (n.max(2) as f64).log2().ceil() as usize;
+        let mut sweeps_done = 0u64;
+
+        for step in 0..squarings {
+            let mut sweeps: Vec<Rdd<BlockRecord>> = Vec::with_capacity(q);
+            for j in 0..q {
+                // Stage column J's blocks in canonical orientation
+                // C_K = A_KJ (rows K, cols J) — lines 3–4.
+                for ((x, y), blk) in a
+                    .filter(move |(key, _)| in_column(key, j))
+                    .collect()?
+                {
+                    if y == j {
+                        ctx.side_channel().put_block(col_key(step, j, x), blk.clone());
+                    }
+                    if x == j && x != y {
+                        ctx.side_channel().put_block(col_key(step, j, y), blk.transpose());
+                    }
+                }
+
+                // MatProd against the staged column + reduceByKey(MatMin)
+                // — line 5. A stored record (I, K) contributes A_IK ⊗ C_K
+                // toward D_IJ and (via its transpose) A_KI ⊗ C_I toward
+                // D_KJ; only upper-triangular targets are emitted, since
+                // sweep J owns exactly the keys (X, J), X ≤ J.
+                let side = ctx.clone();
+                let contributions = a.try_flat_map(move |((rec_i, rec_k), blk)| {
+                    let mut out: Vec<BlockRecord> = Vec::with_capacity(2);
+                    if rec_i <= j {
+                        let c_k = side
+                            .side_channel()
+                            .get_block_arc(&col_key(step, j, rec_k))?;
+                        out.push(((rec_i, j), blk.min_plus(&c_k)));
+                    }
+                    if rec_k <= j && rec_i != rec_k {
+                        let c_i = side
+                            .side_channel()
+                            .get_block_arc(&col_key(step, j, rec_i))?;
+                        out.push(((rec_k, j), blk.transpose().min_plus(&c_i)));
+                    }
+                    Ok(out)
+                });
+                let t_j = contributions.reduce_by_key(partitioner.clone(), |mut x, y| {
+                    x.mat_min_assign(&y);
+                    x
+                });
+                sweeps.push(t_j);
+                sweeps_done += 1;
+            }
+
+            // Line 6: union the sweeps into the next A.
+            let next = sweeps[0].union_all(&sweeps[1..]).persist();
+            // Materialize *before* dropping the staged columns — the
+            // products read them lazily (impurity in action).
+            next.count()?;
+            for j in 0..q {
+                for k in 0..q {
+                    ctx.side_channel().remove(&col_key(step, j, k));
+                }
+            }
+            a.unpersist();
+            a = next;
+        }
+
+        let result = blocked.with_rdd(a).collect_to_matrix()?;
+        let metrics = ctx.metrics().delta(&metrics_before);
+        Ok(ApspResult::new(result, metrics, start.elapsed(), sweeps_done))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsp_blockmat::INF;
+    use apsp_graph::{floyd_warshall as fw_oracle, generators};
+    use sparklet::SparkConfig;
+
+    fn ctx() -> SparkContext {
+        SparkContext::new(SparkConfig::with_cores(4))
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graph() {
+        let g = generators::erdos_renyi_paper(48, 0.1, 44);
+        let res = RepeatedSquaring
+            .solve(&ctx(), &g.to_dense(), &SolverConfig::new(12))
+            .unwrap();
+        assert!(res.distances().approx_eq(&fw_oracle(&g), 1e-9).is_ok());
+        // 4 column sweeps × ⌈log2 48⌉ = 6 squarings.
+        assert_eq!(res.iterations, 24);
+    }
+
+    #[test]
+    fn long_path_needs_all_squarings() {
+        // A path of length 33 needs ⌈log2 34⌉ = 6 squarings to close; an
+        // off-by-one in the squaring count fails exactly here.
+        let g = generators::path(34);
+        let res = RepeatedSquaring
+            .solve(&ctx(), &g.to_dense(), &SolverConfig::new(8))
+            .unwrap();
+        assert_eq!(res.distances().get(0, 33), 33.0);
+        assert!(res.distances().approx_eq(&fw_oracle(&g), 1e-9).is_ok());
+    }
+
+    #[test]
+    fn single_block() {
+        let g = generators::cycle(7);
+        let res = RepeatedSquaring
+            .solve(&ctx(), &g.to_dense(), &SolverConfig::new(8))
+            .unwrap();
+        assert!(res.distances().approx_eq(&fw_oracle(&g), 1e-9).is_ok());
+    }
+
+    #[test]
+    fn uneven_blocks() {
+        let g = generators::erdos_renyi_paper(29, 0.1, 5);
+        let res = RepeatedSquaring
+            .solve(&ctx(), &g.to_dense(), &SolverConfig::new(9))
+            .unwrap();
+        assert!(res.distances().approx_eq(&fw_oracle(&g), 1e-9).is_ok());
+    }
+
+    #[test]
+    fn stages_columns_in_side_channel_and_cleans_up() {
+        let sc = ctx();
+        let g = generators::erdos_renyi_paper(32, 0.1, 11);
+        let res = RepeatedSquaring
+            .solve(&sc, &g.to_dense(), &SolverConfig::new(8))
+            .unwrap();
+        assert!(res.metrics.side_channel_writes > 0);
+        assert!(sc.side_channel().is_empty());
+    }
+
+    #[test]
+    fn disconnected_graph() {
+        let mut g = apsp_graph::Graph::new(6);
+        g.add_edge(0, 1, 1.0);
+        let res = RepeatedSquaring
+            .solve(&ctx(), &g.to_dense(), &SolverConfig::new(2))
+            .unwrap();
+        assert_eq!(res.distances().get(0, 1), 1.0);
+        assert_eq!(res.distances().get(0, 5), INF);
+    }
+}

@@ -1,0 +1,214 @@
+//! The common solver interface, configuration, and result types.
+
+use crate::blocks::PartitionerChoice;
+use apsp_blockmat::Matrix;
+use sparklet::{MetricsSnapshot, SparkContext, SparkError};
+use std::time::Duration;
+
+/// Errors an APSP solve can fail with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApspError {
+    /// The adjacency matrix is not a valid undirected instance
+    /// (asymmetric, negative weight, or nonzero diagonal).
+    InvalidInput(String),
+    /// Invalid configuration (e.g. zero block size).
+    InvalidConfig(String),
+    /// The underlying engine failed (injected fault exhausted retries,
+    /// side-channel blob lost, …).
+    Engine(SparkError),
+}
+
+impl std::fmt::Display for ApspError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ApspError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            ApspError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            ApspError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ApspError {}
+
+impl From<SparkError> for ApspError {
+    fn from(e: SparkError) -> Self {
+        ApspError::Engine(e)
+    }
+}
+
+/// Tuning knobs shared by the Spark solvers.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Decomposition block side `b` (the paper's central tuning knob).
+    pub block_size: usize,
+    /// Number of RDD partitions; defaults to `2 × cores` per the Spark
+    /// guideline the paper follows (`B = 2`).
+    pub num_partitions: Option<usize>,
+    /// Which partitioner distributes the blocks.
+    pub partitioner: PartitionerChoice,
+    /// Validate the input adjacency matrix before solving (symmetric,
+    /// zero diagonal, non-negative). Costs O(n²); on by default.
+    pub validate_input: bool,
+}
+
+impl SolverConfig {
+    /// Config with block side `b` and paper defaults (MD partitioner,
+    /// `B = 2`).
+    pub fn new(block_size: usize) -> Self {
+        SolverConfig {
+            block_size,
+            num_partitions: None,
+            partitioner: PartitionerChoice::MultiDiagonal,
+            validate_input: true,
+        }
+    }
+
+    /// Config with the block size chosen by the closed-form tuner for an
+    /// `n`-vertex problem on this context's core count (§5.2/§5.3
+    /// guidance, mechanized).
+    pub fn auto(n: usize, ctx: &SparkContext) -> Self {
+        let b = crate::tuner::suggest_block_size(n, ctx.num_cores(), 2).min(n.max(1));
+        Self::new(b)
+    }
+
+    /// Sets an explicit partition count.
+    pub fn with_partitions(mut self, partitions: usize) -> Self {
+        self.num_partitions = Some(partitions);
+        self
+    }
+
+    /// Sets the partitioner.
+    pub fn with_partitioner(mut self, p: PartitionerChoice) -> Self {
+        self.partitioner = p;
+        self
+    }
+
+    /// Disables input validation (for benchmarks on trusted inputs).
+    pub fn without_validation(mut self) -> Self {
+        self.validate_input = false;
+        self
+    }
+
+    /// Effective partition count for a context.
+    pub fn partitions_for(&self, ctx: &SparkContext) -> usize {
+        self.num_partitions.unwrap_or(2 * ctx.num_cores()).max(1)
+    }
+
+    pub(crate) fn check(&self, n: usize) -> Result<(), ApspError> {
+        if self.block_size == 0 {
+            return Err(ApspError::InvalidConfig("block size must be positive".into()));
+        }
+        if n == 0 {
+            return Err(ApspError::InvalidInput("empty graph".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a solve: the distance matrix plus observability.
+#[derive(Debug, Clone)]
+pub struct ApspResult {
+    distances: Matrix,
+    /// Engine-counter increments attributable to this solve.
+    pub metrics: MetricsSnapshot,
+    /// Wall-clock duration of the solve.
+    pub elapsed: Duration,
+    /// Outer iterations executed (sweeps for RS, `n` for FW2D, `q` for
+    /// the blocked solvers, 1 for the MPI baselines).
+    pub iterations: u64,
+}
+
+impl ApspResult {
+    pub(crate) fn new(
+        distances: Matrix,
+        metrics: MetricsSnapshot,
+        elapsed: Duration,
+        iterations: u64,
+    ) -> Self {
+        ApspResult {
+            distances,
+            metrics,
+            elapsed,
+            iterations,
+        }
+    }
+
+    /// The full `n × n` shortest-path length matrix.
+    pub fn distances(&self) -> &Matrix {
+        &self.distances
+    }
+
+    /// Consumes the result, returning the distance matrix.
+    pub fn into_distances(self) -> Matrix {
+        self.distances
+    }
+}
+
+/// A distributed APSP solver over an undirected weighted graph given as a
+/// dense adjacency matrix (`0` diagonal, [`apsp_blockmat::INF`] non-edges).
+pub trait ApspSolver {
+    /// Human-readable solver name (matches the paper's tables).
+    fn name(&self) -> &'static str;
+
+    /// Whether the implementation stays within the fault-tolerant engine
+    /// API (the paper's pure/impure distinction, §3).
+    fn is_pure(&self) -> bool;
+
+    /// Solves APSP, returning the distance matrix and run metadata.
+    fn solve(
+        &self,
+        ctx: &SparkContext,
+        adjacency: &Matrix,
+        cfg: &SolverConfig,
+    ) -> Result<ApspResult, ApspError>;
+}
+
+/// Input validation shared by the solvers.
+pub(crate) fn validate_adjacency(m: &Matrix) -> Result<(), ApspError> {
+    apsp_graph::validate_adjacency(m).map_err(ApspError::InvalidInput)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparklet::SparkConfig;
+
+    #[test]
+    fn config_defaults() {
+        let ctx = SparkContext::new(SparkConfig::with_cores(3));
+        let cfg = SolverConfig::new(64);
+        assert_eq!(cfg.partitions_for(&ctx), 6);
+        assert_eq!(
+            SolverConfig::new(64).with_partitions(10).partitions_for(&ctx),
+            10
+        );
+    }
+
+    #[test]
+    fn auto_config_is_usable() {
+        let ctx = SparkContext::new(SparkConfig::with_cores(4));
+        let cfg = SolverConfig::auto(500, &ctx);
+        assert!(cfg.block_size >= 1 && cfg.block_size <= 500);
+        assert!(cfg.check(500).is_ok());
+        // Enough blocks for the configured parallelism.
+        let q = 500usize.div_ceil(cfg.block_size);
+        assert!(q * (q + 1) / 2 >= 8, "q={q} too coarse for 4 cores × B=2");
+    }
+
+    #[test]
+    fn config_checks() {
+        assert!(SolverConfig::new(0).check(10).is_err());
+        assert!(SolverConfig::new(4).check(0).is_err());
+        assert!(SolverConfig::new(4).check(10).is_ok());
+    }
+
+    #[test]
+    fn invalid_input_detected() {
+        let mut m = Matrix::identity(3);
+        m.set(0, 1, 2.0); // asymmetric: (1,0) stays INF
+        assert!(matches!(
+            validate_adjacency(&m),
+            Err(ApspError::InvalidInput(_))
+        ));
+    }
+}

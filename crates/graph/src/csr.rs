@@ -1,0 +1,136 @@
+//! Compressed sparse row adjacency.
+
+/// CSR adjacency structure with both directions of every undirected edge
+/// materialized, used by the heap-based solvers (Dijkstra, Johnson).
+#[derive(Clone, Debug)]
+pub struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+    weights: Vec<f64>,
+}
+
+impl Csr {
+    /// Builds CSR from an undirected edge list over `n` vertices.
+    /// Self-loops are dropped (they never shorten a path).
+    pub fn from_undirected_edges(n: usize, edges: &[(u32, u32, f64)]) -> Self {
+        let mut degree = vec![0usize; n];
+        for &(u, v, _) in edges {
+            if u == v {
+                continue;
+            }
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        for d in &degree {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let nnz = *offsets.last().unwrap();
+        let mut targets = vec![0u32; nnz];
+        let mut weights = vec![0.0f64; nnz];
+        let mut cursor = offsets[..n].to_vec();
+        for &(u, v, w) in edges {
+            if u == v {
+                continue;
+            }
+            let (ui, vi) = (u as usize, v as usize);
+            targets[cursor[ui]] = v;
+            weights[cursor[ui]] = w;
+            cursor[ui] += 1;
+            targets[cursor[vi]] = u;
+            weights[cursor[vi]] = w;
+            cursor[vi] += 1;
+        }
+        Csr {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Builds CSR from a *directed* arc list (used by Johnson's algorithm on
+    /// the reweighting graph).
+    pub fn from_directed_arcs(n: usize, arcs: &[(u32, u32, f64)]) -> Self {
+        let mut degree = vec![0usize; n];
+        for &(u, _, _) in arcs {
+            degree[u as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        for d in &degree {
+            offsets.push(offsets.last().unwrap() + d);
+        }
+        let nnz = *offsets.last().unwrap();
+        let mut targets = vec![0u32; nnz];
+        let mut weights = vec![0.0f64; nnz];
+        let mut cursor = offsets[..n].to_vec();
+        for &(u, v, w) in arcs {
+            let ui = u as usize;
+            targets[cursor[ui]] = v;
+            weights[cursor[ui]] = w;
+            cursor[ui] += 1;
+        }
+        Csr {
+            offsets,
+            targets,
+            weights,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn order(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored arcs.
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Neighbors of `u` as `(target, weight)` pairs.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let range = self.offsets[u]..self.offsets[u + 1];
+        self.targets[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.weights[range].iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn undirected_doubles_arcs() {
+        let csr = Csr::from_undirected_edges(3, &[(0, 1, 2.0), (1, 2, 3.0)]);
+        assert_eq!(csr.num_arcs(), 4);
+        let n0: Vec<_> = csr.neighbors(0).collect();
+        assert_eq!(n0, vec![(1, 2.0)]);
+        let mut n1: Vec<_> = csr.neighbors(1).collect();
+        n1.sort_by_key(|a| a.0);
+        assert_eq!(n1, vec![(0, 2.0), (2, 3.0)]);
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let csr = Csr::from_undirected_edges(2, &[(0, 0, 1.0), (0, 1, 2.0)]);
+        assert_eq!(csr.num_arcs(), 2);
+    }
+
+    #[test]
+    fn directed_keeps_direction() {
+        let csr = Csr::from_directed_arcs(3, &[(0, 1, 1.0), (1, 2, 1.0)]);
+        assert_eq!(csr.neighbors(0).count(), 1);
+        assert_eq!(csr.neighbors(2).count(), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let csr = Csr::from_undirected_edges(4, &[]);
+        assert_eq!(csr.order(), 4);
+        assert_eq!(csr.num_arcs(), 0);
+        assert_eq!(csr.neighbors(0).count(), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Directed graphs — the paper's §4 extension case ("by disregarding
+//! symmetricity of A, our algorithms can be directly adopted for cases
+//! where G is a directed graph").
+
+use crate::Csr;
+use apsp_blockmat::{Matrix, INF};
+
+/// A directed weighted graph with non-negative arc weights.
+#[derive(Clone, Debug)]
+pub struct DiGraph {
+    n: usize,
+    arcs: Vec<(u32, u32, f64)>,
+}
+
+impl DiGraph {
+    /// Creates an arcless digraph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        DiGraph { n, arcs: Vec::new() }
+    }
+
+    /// Creates a digraph from an arc list.
+    pub fn from_arcs(n: usize, arcs: impl IntoIterator<Item = (u32, u32, f64)>) -> Self {
+        let mut g = DiGraph::new(n);
+        for (u, v, w) in arcs {
+            g.add_arc(u, v, w);
+        }
+        g
+    }
+
+    /// Adds the arc `u → v` with weight `w`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or negative/NaN weight.
+    pub fn add_arc(&mut self, u: u32, v: u32, w: f64) {
+        assert!((u as usize) < self.n, "endpoint {u} out of range");
+        assert!((v as usize) < self.n, "endpoint {v} out of range");
+        assert!(w >= 0.0, "arc weight must be non-negative, got {w}");
+        self.arcs.push((u, v, w));
+    }
+
+    /// Number of vertices.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored arcs.
+    pub fn num_arcs(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// Iterator over the arcs.
+    pub fn arcs(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        self.arcs.iter().copied()
+    }
+
+    /// Dense adjacency matrix (not symmetric in general).
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::identity(self.n);
+        for &(u, v, w) in &self.arcs {
+            let (u, v) = (u as usize, v as usize);
+            if u == v {
+                continue;
+            }
+            if w < m.get(u, v) {
+                m.set(u, v, w);
+            }
+        }
+        m
+    }
+
+    /// Directed CSR (arcs kept one-way).
+    pub fn to_csr(&self) -> Csr {
+        Csr::from_directed_arcs(self.n, &self.arcs)
+    }
+}
+
+/// Directed APSP oracle: per-source Dijkstra over the directed CSR.
+pub fn apsp_dijkstra_directed(g: &DiGraph) -> Matrix {
+    let csr = g.to_csr();
+    let n = g.order();
+    let mut out = Matrix::filled(n, INF);
+    for s in 0..n {
+        for (t, &d) in crate::dijkstra::sssp(&csr, s).iter().enumerate() {
+            out.set(s, t, d);
+        }
+    }
+    out
+}
+
+/// Validates a dense matrix as a directed-APSP input: zero diagonal,
+/// non-negative weights (symmetry NOT required).
+pub fn validate_directed_adjacency(m: &Matrix) -> Result<(), String> {
+    let n = m.order();
+    for i in 0..n {
+        if m.get(i, i) != 0.0 {
+            return Err(format!("diagonal entry ({i},{i}) is {}", m.get(i, i)));
+        }
+        for j in 0..n {
+            let v = m.get(i, j);
+            if v < 0.0 || v.is_nan() {
+                return Err(format!("invalid weight {v} at ({i},{j})"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn one_way_cycle(n: usize) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for i in 0..n as u32 {
+            g.add_arc(i, (i + 1) % n as u32, 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn directed_distances_are_asymmetric() {
+        let g = one_way_cycle(5);
+        let mut d = g.to_dense();
+        d.floyd_warshall_in_place();
+        assert_eq!(d.get(0, 1), 1.0);
+        assert_eq!(d.get(1, 0), 4.0); // all the way around
+        assert!(!d.is_symmetric());
+    }
+
+    #[test]
+    fn dijkstra_matches_fw_directed() {
+        let g = DiGraph::from_arcs(
+            6,
+            [
+                (0, 1, 2.0),
+                (1, 2, 3.0),
+                (2, 0, 1.0),
+                (2, 3, 4.0),
+                (3, 4, 1.0),
+                (4, 3, 1.0),
+                (0, 5, 10.0),
+                (5, 0, 1.0),
+            ],
+        );
+        let dj = apsp_dijkstra_directed(&g);
+        let mut fw = g.to_dense();
+        fw.floyd_warshall_in_place();
+        assert!(dj.approx_eq(&fw, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn unreachable_direction_is_infinite() {
+        let g = DiGraph::from_arcs(3, [(0, 1, 1.0), (1, 2, 1.0)]);
+        let d = apsp_dijkstra_directed(&g);
+        assert_eq!(d.get(0, 2), 2.0);
+        assert_eq!(d.get(2, 0), INF);
+    }
+
+    #[test]
+    fn validation_accepts_asymmetry_rejects_negative() {
+        let g = one_way_cycle(4);
+        assert!(validate_directed_adjacency(&g.to_dense()).is_ok());
+        let mut bad = g.to_dense();
+        bad.set(0, 2, -1.0);
+        assert!(validate_directed_adjacency(&bad).is_err());
+    }
+
+    #[test]
+    fn parallel_arcs_take_min() {
+        let g = DiGraph::from_arcs(2, [(0, 1, 5.0), (0, 1, 2.0)]);
+        assert_eq!(g.to_dense().get(0, 1), 2.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Single-source and all-pairs Dijkstra (binary-heap implementation).
+
+use crate::{Csr, Graph};
+use apsp_blockmat::{Matrix, INF};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Min-heap entry: `(distance, vertex)` ordered by distance.
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    vertex: u32,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for min-heap; distances are never NaN (validated on input).
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source shortest path lengths from `source` over a CSR adjacency.
+///
+/// Classic lazy-deletion Dijkstra: `O(|E| log |E|)`.
+pub fn sssp(csr: &Csr, source: usize) -> Vec<f64> {
+    let n = csr.order();
+    assert!(source < n, "source out of range");
+    let mut dist = vec![INF; n];
+    dist[source] = 0.0;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapItem {
+        dist: 0.0,
+        vertex: source as u32,
+    });
+    while let Some(HeapItem { dist: d, vertex: u }) = heap.pop() {
+        let u = u as usize;
+        if d > dist[u] {
+            continue; // stale entry
+        }
+        for (v, w) in csr.neighbors(u) {
+            let nd = d + w;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(HeapItem {
+                    dist: nd,
+                    vertex: v,
+                });
+            }
+        }
+    }
+    dist
+}
+
+/// All-pairs shortest paths by running Dijkstra from every source.
+///
+/// `O(|V| |E| log |E|)` — the sparse-graph oracle used to cross-validate the
+/// dense solvers.
+pub fn apsp_dijkstra(g: &Graph) -> Matrix {
+    let csr = g.to_csr();
+    let n = g.order();
+    let mut out = Matrix::filled(n, INF);
+    for s in 0..n {
+        let dist = sssp(&csr, s);
+        for (t, &d) in dist.iter().enumerate() {
+            out.set(s, t, d);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weighted_square() -> Graph {
+        // 0-1 (1), 1-2 (2), 2-3 (1), 3-0 (5), diagonal 0-2 (10)
+        Graph::from_edges(
+            4,
+            [
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (2, 3, 1.0),
+                (3, 0, 5.0),
+                (0, 2, 10.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn sssp_prefers_multi_hop() {
+        let g = weighted_square();
+        let d = sssp(&g.to_csr(), 0);
+        assert_eq!(d, vec![0.0, 1.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn apsp_matrix_is_symmetric_with_zero_diagonal() {
+        let g = weighted_square();
+        let m = apsp_dijkstra(&g);
+        assert!(m.is_symmetric());
+        for i in 0..4 {
+            assert_eq!(m.get(i, i), 0.0);
+        }
+    }
+
+    #[test]
+    fn unreachable_stays_infinite() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        let d = sssp(&g.to_csr(), 0);
+        assert_eq!(d[2], INF);
+    }
+
+    #[test]
+    fn zero_weight_edges() {
+        let g = Graph::from_edges(3, [(0, 1, 0.0), (1, 2, 0.0)]);
+        let d = sssp(&g.to_csr(), 0);
+        assert_eq!(d, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn single_vertex() {
+        let g = Graph::new(1);
+        let d = sssp(&g.to_csr(), 0);
+        assert_eq!(d, vec![0.0]);
+    }
+}

@@ -1,0 +1,416 @@
+//! Synthetic graph generators.
+//!
+//! The paper's benchmark inputs (§5.1) are Erdős–Rényi graphs with edge
+//! probability `pe = (1 + ε)·ln(n)/n`, ε = 0.1 — just above the
+//! connectivity threshold — with the explicit caveat that solver
+//! performance depends only on `n` (all solvers operate on dense matrices).
+//! [`erdos_renyi_paper`] replicates that workload; the structured
+//! generators are used by tests and examples where known distances are
+//! needed.
+
+use crate::Graph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi `G(n, pe)` with the paper's edge probability
+/// `pe = (1 + eps)·ln(n)/n` and uniform weights in `[1, 10)`.
+///
+/// Deterministic given `seed`.
+pub fn erdos_renyi_paper(n: usize, eps: f64, seed: u64) -> Graph {
+    let pe = paper_edge_probability(n, eps);
+    erdos_renyi(n, pe, seed)
+}
+
+/// The paper's edge-probability formula `pe = (1 + ε)·ln(n)/n`, clamped to
+/// `[0, 1]`.
+pub fn paper_edge_probability(n: usize, eps: f64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    ((1.0 + eps) * (n as f64).ln() / n as f64).clamp(0.0, 1.0)
+}
+
+/// Erdős–Rényi `G(n, p)` with uniform weights in `[1, 10)`.
+///
+/// Uses geometric edge-skipping, so generation is `O(|E|)` rather than
+/// `O(n²)` — the paper likewise notes its generator is tuned to be fast.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut g = Graph::new(n);
+    if n < 2 || p == 0.0 {
+        return g;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    if p >= 1.0 {
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                g.add_edge(u, v, rng.gen_range(1.0..10.0));
+            }
+        }
+        return g;
+    }
+    // Iterate candidate pairs (u < v) in lexicographic order, skipping a
+    // geometric number of non-edges at a time.
+    let ln_q = (1.0 - p).ln();
+    let total = n * (n - 1) / 2;
+    let mut idx: usize = 0;
+    loop {
+        let r: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let skip = (r.ln() / ln_q).floor() as usize;
+        idx = match idx.checked_add(skip) {
+            Some(i) => i,
+            None => break,
+        };
+        if idx >= total {
+            break;
+        }
+        let (u, v) = pair_from_index(n, idx);
+        g.add_edge(u, v, rng.gen_range(1.0..10.0));
+        idx += 1;
+        if idx >= total {
+            break;
+        }
+    }
+    g
+}
+
+/// Maps a linear index in `[0, n(n-1)/2)` to the pair `(u, v)`, `u < v`,
+/// enumerated lexicographically.
+fn pair_from_index(n: usize, idx: usize) -> (u32, u32) {
+    // Row u contributes (n - 1 - u) pairs. Solve for u by walking rows;
+    // amortized O(1) for random idx would need algebra, but generation is
+    // already O(|E|) with small constants, so a direct inversion is used.
+    let mut u = 0usize;
+    let mut before = 0usize;
+    loop {
+        let row = n - 1 - u;
+        if idx < before + row {
+            let v = u + 1 + (idx - before);
+            return (u as u32, v as u32);
+        }
+        before += row;
+        u += 1;
+    }
+}
+
+/// Directed Erdős–Rényi: each ordered pair `(u, v)`, `u ≠ v`, becomes an
+/// arc with probability `p`, weights uniform in `[1, 10)`.
+pub fn erdos_renyi_directed(n: usize, p: f64, seed: u64) -> crate::DiGraph {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut g = crate::DiGraph::new(n);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1C7);
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if u != v && rng.gen::<f64>() < p {
+                g.add_arc(u, v, rng.gen_range(1.0..10.0));
+            }
+        }
+    }
+    g
+}
+
+/// Path graph `0 - 1 - ... - (n-1)` with unit weights: `d(i,j) = |i-j|`.
+pub fn path(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n as u32 {
+        g.add_edge(i - 1, i, 1.0);
+    }
+    g
+}
+
+/// Cycle graph with unit weights: `d(i,j) = min(|i-j|, n-|i-j|)`.
+pub fn cycle(n: usize) -> Graph {
+    let mut g = path(n);
+    if n > 2 {
+        g.add_edge(n as u32 - 1, 0, 1.0);
+    }
+    g
+}
+
+/// 2D grid graph of `rows × cols` vertices with unit weights; vertex
+/// `(r, c)` has index `r * cols + c`. Shortest distances are Manhattan
+/// distances.
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = (r * cols + c) as u32;
+            if c + 1 < cols {
+                g.add_edge(id, id + 1, 1.0);
+            }
+            if r + 1 < rows {
+                g.add_edge(id, id + cols as u32, 1.0);
+            }
+        }
+    }
+    g
+}
+
+/// Complete graph with uniform random weights in `[1, 10)`.
+pub fn complete(n: usize, seed: u64) -> Graph {
+    erdos_renyi(n, 1.0, seed)
+}
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to
+/// `m` existing vertices with probability proportional to degree. Produces
+/// the heavy-tailed degree distributions typical of real networks (the
+/// "networks classification" workloads of the paper's §1).
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m >= 1, "attachment count must be at least 1");
+    assert!(n > m, "need more vertices than the attachment count");
+    let mut g = Graph::new(n);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xBA);
+    // Degree-proportional sampling via the repeated-endpoints urn.
+    let mut urn: Vec<u32> = (0..=m as u32).collect();
+    // Seed clique over the first m+1 vertices.
+    for u in 0..=m as u32 {
+        for v in (u + 1)..=m as u32 {
+            g.add_edge(u, v, rng.gen_range(1.0..10.0));
+        }
+    }
+    for _ in 0..m {
+        urn.extend(0..=m as u32); // clique degrees
+    }
+    for v in (m + 1)..n {
+        let mut targets = std::collections::HashSet::new();
+        while targets.len() < m {
+            targets.insert(urn[rng.gen_range(0..urn.len())]);
+        }
+        for &t in &targets {
+            g.add_edge(v as u32, t, rng.gen_range(1.0..10.0));
+            urn.push(t);
+            urn.push(v as u32);
+        }
+    }
+    g
+}
+
+/// Random geometric graph: `n` points uniform in the unit square,
+/// connected (with Euclidean weights) when closer than `radius`.
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
+    assert!(radius >= 0.0, "radius must be non-negative");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6E0);
+    let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+    let mut g = Graph::new(n);
+    let r2 = radius * radius;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let (dx, dy) = (pts[i].0 - pts[j].0, pts[i].1 - pts[j].1);
+            let d2 = dx * dx + dy * dy;
+            if d2 <= r2 {
+                g.add_edge(i as u32, j as u32, d2.sqrt().max(f64::MIN_POSITIVE));
+            }
+        }
+    }
+    g
+}
+
+/// A point cloud sampled from a noisy 2D "swiss roll"-style curve embedded
+/// in 3D, connected by a k-nearest-neighbour graph with Euclidean weights.
+///
+/// This is the manifold-learning workload from the paper's introduction
+/// (Isomap/MDS pipelines run APSP over exactly this kind of neighborhood
+/// graph). Returns the graph and the generated points.
+pub fn knn_swiss_roll(n: usize, k: usize, seed: u64) -> (Graph, Vec<[f64; 3]>) {
+    assert!(k >= 1, "k must be at least 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut points = Vec::with_capacity(n);
+    for _ in 0..n {
+        let t = 1.5 * std::f64::consts::PI * (1.0 + 2.0 * rng.gen::<f64>());
+        let y = 21.0 * rng.gen::<f64>();
+        let noise = 0.05;
+        points.push([
+            t * t.cos() + noise * rng.gen::<f64>(),
+            y,
+            t * t.sin() + noise * rng.gen::<f64>(),
+        ]);
+    }
+    let mut g = Graph::new(n);
+    // O(n^2 log k) brute-force kNN — fine at example scale.
+    let mut seen = std::collections::HashSet::new();
+    for i in 0..n {
+        let mut dists: Vec<(usize, f64)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| {
+                let d2: f64 = (0..3)
+                    .map(|c| (points[i][c] - points[j][c]).powi(2))
+                    .sum();
+                (j, d2.sqrt())
+            })
+            .collect();
+        dists.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        for &(j, d) in dists.iter().take(k) {
+            let key = (i.min(j), i.max(j));
+            if seen.insert(key) {
+                g.add_edge(key.0 as u32, key.1 as u32, d);
+            }
+        }
+    }
+    (g, points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::floyd_warshall;
+
+    #[test]
+    fn paper_probability_formula() {
+        let n = 1024;
+        let pe = paper_edge_probability(n, 0.1);
+        let expect = 1.1 * (1024f64).ln() / 1024.0;
+        assert!((pe - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn er_is_deterministic_per_seed() {
+        let a = erdos_renyi(200, 0.05, 7);
+        let b = erdos_renyi(200, 0.05, 7);
+        assert_eq!(a.num_edges(), b.num_edges());
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea.len(), eb.len());
+        for (x, y) in ea.iter().zip(eb.iter()) {
+            assert_eq!(x.0, y.0);
+            assert_eq!(x.1, y.1);
+            assert_eq!(x.2, y.2);
+        }
+        let c = erdos_renyi(200, 0.05, 8);
+        // Overwhelmingly likely to differ.
+        let differs = a.num_edges() != c.num_edges()
+            || a.edges().zip(c.edges()).any(|(x, y)| x != y);
+        assert!(differs);
+    }
+
+    #[test]
+    fn er_edge_count_near_expectation() {
+        let n = 2000;
+        let p = 0.01;
+        let g = erdos_renyi(n, p, 99);
+        let expect = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        // Within 15% of the mean (std dev is ~√expect ≈ 140 here).
+        assert!(
+            (got - expect).abs() < 0.15 * expect,
+            "edges {got} vs expectation {expect}"
+        );
+    }
+
+    #[test]
+    fn er_paper_density_is_connected_usually() {
+        // Just above the connectivity threshold; a small graph may
+        // occasionally disconnect, so assert "few components", not one.
+        let g = erdos_renyi_paper(512, 0.1, 3);
+        assert!(g.connected_components() <= 8);
+    }
+
+    #[test]
+    fn er_p_one_is_complete() {
+        let g = erdos_renyi(20, 1.0, 1);
+        assert_eq!(g.num_edges(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn er_p_zero_is_empty() {
+        let g = erdos_renyi(20, 0.0, 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn pair_index_roundtrip() {
+        let n = 9;
+        let mut idx = 0;
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                assert_eq!(pair_from_index(n, idx), (u, v));
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn path_distances() {
+        let d = floyd_warshall(&path(6));
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(d.get(i, j), (i as f64 - j as f64).abs());
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_distances() {
+        let n = 7;
+        let d = floyd_warshall(&cycle(n));
+        for i in 0..n {
+            for j in 0..n {
+                let lin = (i as i64 - j as i64).unsigned_abs() as usize;
+                assert_eq!(d.get(i, j), lin.min(n - lin) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn grid_distances_are_manhattan() {
+        let (r, c) = (4, 5);
+        let d = floyd_warshall(&grid(r, c));
+        for a in 0..r * c {
+            for b in 0..r * c {
+                let (ra, ca) = (a / c, a % c);
+                let (rb, cb) = (b / c, b % c);
+                let manhattan = (ra as i64 - rb as i64).abs() + (ca as i64 - cb as i64).abs();
+                assert_eq!(d.get(a, b), manhattan as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn barabasi_albert_is_heavy_tailed() {
+        let n = 300;
+        let m = 3;
+        let g = barabasi_albert(n, m, 9);
+        assert_eq!(g.order(), n);
+        // |E| = clique + m per newcomer.
+        assert_eq!(g.num_edges(), m * (m + 1) / 2 + (n - m - 1) * m);
+        // Degree skew: the max degree dwarfs the median.
+        let mut deg = vec![0usize; n];
+        for (u, v, _) in g.edges() {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        deg.sort_unstable();
+        let median = deg[n / 2];
+        let max = deg[n - 1];
+        assert!(
+            max >= 4 * median,
+            "expected hub formation: max {max} vs median {median}"
+        );
+        // Usable as a solver input.
+        let d = floyd_warshall(&g);
+        assert!(d.count_finite() == n * n, "BA graphs are connected");
+    }
+
+    #[test]
+    fn random_geometric_respects_radius() {
+        let g = random_geometric(120, 0.2, 5);
+        for (_, _, w) in g.edges() {
+            assert!(w <= 0.2 + 1e-12);
+            assert!(w > 0.0);
+        }
+        // Radius 0 → no edges; radius √2 → complete.
+        assert_eq!(random_geometric(50, 0.0, 1).num_edges(), 0);
+        assert_eq!(
+            random_geometric(50, 1.5, 1).num_edges(),
+            50 * 49 / 2
+        );
+    }
+
+    #[test]
+    fn knn_graph_reasonable() {
+        let (g, pts) = knn_swiss_roll(60, 4, 11);
+        assert_eq!(g.order(), 60);
+        assert_eq!(pts.len(), 60);
+        assert!(g.num_edges() >= 60 * 4 / 2); // dedup can only reduce below n*k
+        assert!(g.max_weight().unwrap() > 0.0);
+    }
+}

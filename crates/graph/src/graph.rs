@@ -1,0 +1,218 @@
+//! The core graph type.
+
+use crate::Csr;
+use apsp_blockmat::{Matrix, INF};
+
+/// An undirected weighted graph with integer-indexed vertices.
+///
+/// Mirrors the paper's §3 assumptions: vertices are pre-processed to dense
+/// integer indices `0..n`, weights are non-negative reals (no negative
+/// cycles possible), and no structural assumptions (sparsity, planarity,
+/// weight distribution) are made.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    n: usize,
+    edges: Vec<(u32, u32, f64)>,
+}
+
+impl Graph {
+    /// Creates an edgeless graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Graph {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Creates a graph from an explicit edge list.
+    ///
+    /// # Panics
+    /// Panics if any endpoint is out of range or any weight is negative/NaN.
+    pub fn from_edges(n: usize, edges: impl IntoIterator<Item = (u32, u32, f64)>) -> Self {
+        let mut g = Graph::new(n);
+        for (u, v, w) in edges {
+            g.add_edge(u, v, w);
+        }
+        g
+    }
+
+    /// Adds the undirected edge `{u, v}` with weight `w`.
+    ///
+    /// Self-loops are permitted but never improve any shortest path.
+    /// Parallel edges are permitted; the minimum weight wins on export.
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or negative/NaN weight.
+    pub fn add_edge(&mut self, u: u32, v: u32, w: f64) {
+        assert!((u as usize) < self.n, "endpoint {u} out of range");
+        assert!((v as usize) < self.n, "endpoint {v} out of range");
+        assert!(w >= 0.0, "edge weight must be non-negative, got {w}");
+        self.edges.push((u, v, w));
+    }
+
+    /// Number of vertices.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over the stored edges.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32, f64)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Dense adjacency matrix: `0` diagonal, edge weights, [`INF`] elsewhere.
+    pub fn to_dense(&self) -> Matrix {
+        let mut m = Matrix::identity(self.n);
+        for &(u, v, w) in &self.edges {
+            let (u, v) = (u as usize, v as usize);
+            if u == v {
+                continue;
+            }
+            if w < m.get(u, v) {
+                m.set(u, v, w);
+                m.set(v, u, w);
+            }
+        }
+        m
+    }
+
+    /// Compressed-sparse-row adjacency (both directions materialized).
+    pub fn to_csr(&self) -> Csr {
+        Csr::from_undirected_edges(self.n, &self.edges)
+    }
+
+    /// Average vertex degree (each undirected edge contributes two endpoints).
+    pub fn avg_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            2.0 * self.edges.len() as f64 / self.n as f64
+        }
+    }
+
+    /// Number of connected components (union-find over the edge list).
+    pub fn connected_components(&self) -> usize {
+        let mut parent: Vec<u32> = (0..self.n as u32).collect();
+        fn find(parent: &mut [u32], x: u32) -> u32 {
+            let mut root = x;
+            while parent[root as usize] != root {
+                root = parent[root as usize];
+            }
+            // Path compression.
+            let mut cur = x;
+            while parent[cur as usize] != root {
+                let next = parent[cur as usize];
+                parent[cur as usize] = root;
+                cur = next;
+            }
+            root
+        }
+        let mut components = self.n;
+        for &(u, v, _) in &self.edges {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            if ru != rv {
+                parent[ru as usize] = rv;
+                components -= 1;
+            }
+        }
+        components
+    }
+
+    /// Largest finite edge weight, or `None` for an edgeless graph.
+    pub fn max_weight(&self) -> Option<f64> {
+        self.edges
+            .iter()
+            .map(|&(_, _, w)| w)
+            .fold(None, |acc, w| Some(acc.map_or(w, |a: f64| a.max(w))))
+    }
+}
+
+/// Check that a dense matrix is a plausible adjacency matrix for an
+/// undirected graph (symmetric, zero diagonal, non-negative entries).
+pub fn validate_adjacency(m: &Matrix) -> Result<(), String> {
+    let n = m.order();
+    for i in 0..n {
+        if m.get(i, i) != 0.0 {
+            return Err(format!("diagonal entry ({i},{i}) is {}", m.get(i, i)));
+        }
+        for j in 0..n {
+            let v = m.get(i, j);
+            if v < 0.0 || v.is_nan() {
+                return Err(format!("invalid weight {v} at ({i},{j})"));
+            }
+            if v != m.get(j, i) {
+                return Err(format!("asymmetry at ({i},{j})"));
+            }
+        }
+    }
+    let _ = INF; // re-export sanity: INF is the implicit non-edge value
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_export_takes_min_parallel_edge() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 5.0);
+        g.add_edge(0, 1, 3.0);
+        g.add_edge(1, 0, 7.0);
+        let m = g.to_dense();
+        assert_eq!(m.get(0, 1), 3.0);
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn self_loops_ignored_in_dense() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 0, 9.0);
+        let m = g.to_dense();
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_endpoint() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 2, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_weight() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, -1.0);
+    }
+
+    #[test]
+    fn components_counted() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(3, 4, 1.0);
+        assert_eq!(g.connected_components(), 3); // {0,1,2}, {3,4}, {5}
+    }
+
+    #[test]
+    fn adjacency_validates() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 2.0);
+        g.add_edge(2, 3, 4.0);
+        assert!(validate_adjacency(&g.to_dense()).is_ok());
+    }
+
+    #[test]
+    fn avg_degree() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(2, 3, 1.0);
+        assert_eq!(g.avg_degree(), 1.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Plain-text edge-list I/O.
+//!
+//! Format (one record per line, `#` comments allowed):
+//!
+//! ```text
+//! # apspark edge list
+//! n <vertex-count>
+//! <u> <v> <weight>
+//! ```
+//!
+//! The same format the paper's released benchmark data uses (whitespace-
+//! separated edge lists); `load_graph` accepts both a leading `n` record
+//! and bare edge lists (vertex count inferred as max index + 1).
+
+use crate::{DiGraph, Graph};
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// I/O or parse failure while reading an edge list.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Malformed line (1-based line number and message).
+    Parse(usize, String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse(line, msg) => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Parsed edge-list payload: declared vertex count (if any) and edges.
+type ParsedEdges = (Option<usize>, Vec<(u32, u32, f64)>);
+
+fn parse_edges(reader: impl BufRead) -> Result<ParsedEdges, IoError> {
+    let mut declared_n = None;
+    let mut edges = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let first = parts.next().unwrap();
+        if first == "n" {
+            let v = parts
+                .next()
+                .ok_or_else(|| IoError::Parse(lineno, "missing vertex count".into()))?;
+            declared_n = Some(
+                v.parse::<usize>()
+                    .map_err(|e| IoError::Parse(lineno, format!("bad vertex count: {e}")))?,
+            );
+            continue;
+        }
+        let u: u32 = first
+            .parse()
+            .map_err(|e| IoError::Parse(lineno, format!("bad source: {e}")))?;
+        let v: u32 = parts
+            .next()
+            .ok_or_else(|| IoError::Parse(lineno, "missing target".into()))?
+            .parse()
+            .map_err(|e| IoError::Parse(lineno, format!("bad target: {e}")))?;
+        let w: f64 = match parts.next() {
+            Some(tok) => tok
+                .parse()
+                .map_err(|e| IoError::Parse(lineno, format!("bad weight: {e}")))?,
+            None => 1.0,
+        };
+        if w < 0.0 || w.is_nan() {
+            return Err(IoError::Parse(lineno, format!("negative/NaN weight {w}")));
+        }
+        edges.push((u, v, w));
+    }
+    Ok((declared_n, edges))
+}
+
+fn inferred_order(declared: Option<usize>, edges: &[(u32, u32, f64)]) -> usize {
+    let max_idx = edges
+        .iter()
+        .map(|&(u, v, _)| u.max(v) as usize + 1)
+        .max()
+        .unwrap_or(0);
+    declared.map_or(max_idx, |n| n.max(max_idx))
+}
+
+/// Reads an undirected graph from an edge-list file.
+pub fn load_graph(path: impl AsRef<Path>) -> Result<Graph, IoError> {
+    let file = std::fs::File::open(path)?;
+    let (declared, edges) = parse_edges(std::io::BufReader::new(file))?;
+    Ok(Graph::from_edges(inferred_order(declared, &edges), edges))
+}
+
+/// Reads a directed graph from an edge-list file.
+pub fn load_digraph(path: impl AsRef<Path>) -> Result<DiGraph, IoError> {
+    let file = std::fs::File::open(path)?;
+    let (declared, edges) = parse_edges(std::io::BufReader::new(file))?;
+    Ok(DiGraph::from_arcs(inferred_order(declared, &edges), edges))
+}
+
+/// Writes an undirected graph as an edge list (with a leading `n` record,
+/// so isolated trailing vertices survive the round trip).
+pub fn save_graph(g: &Graph, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(out, "# apspark undirected edge list")?;
+    writeln!(out, "n {}", g.order())?;
+    for (u, v, w) in g.edges() {
+        writeln!(out, "{u} {v} {w}")?;
+    }
+    Ok(())
+}
+
+/// Writes a directed graph as an edge list.
+pub fn save_digraph(g: &DiGraph, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let mut out = BufWriter::new(std::fs::File::create(path)?);
+    writeln!(out, "# apspark directed edge list")?;
+    writeln!(out, "n {}", g.order())?;
+    for (u, v, w) in g.arcs() {
+        writeln!(out, "{u} {v} {w}")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("apsp-io-{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn graph_roundtrip() {
+        let g = generators::erdos_renyi_paper(50, 0.1, 3);
+        let path = temp("g1");
+        save_graph(&g, &path).unwrap();
+        let back = load_graph(&path).unwrap();
+        assert_eq!(back.order(), g.order());
+        assert_eq!(back.num_edges(), g.num_edges());
+        assert!(crate::floyd_warshall(&back)
+            .approx_eq(&crate::floyd_warshall(&g), 1e-9)
+            .is_ok());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn digraph_roundtrip() {
+        let g = generators::erdos_renyi_directed(30, 0.2, 4);
+        let path = temp("d1");
+        save_digraph(&g, &path).unwrap();
+        let back = load_digraph(&path).unwrap();
+        assert_eq!(back.order(), 30);
+        assert_eq!(back.num_arcs(), g.num_arcs());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bare_edge_list_with_default_weights() {
+        let path = temp("bare");
+        std::fs::write(&path, "# comment\n0 1\n1 2 2.5\n\n").unwrap();
+        let g = load_graph(&path).unwrap();
+        assert_eq!(g.order(), 3);
+        let d = crate::floyd_warshall(&g);
+        assert_eq!(d.get(0, 1), 1.0);
+        assert_eq!(d.get(1, 2), 2.5);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn declared_n_preserves_isolated_vertices() {
+        let path = temp("iso");
+        std::fs::write(&path, "n 6\n0 1 1.0\n").unwrap();
+        let g = load_graph(&path).unwrap();
+        assert_eq!(g.order(), 6);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        let path = temp("bad");
+        std::fs::write(&path, "0 1 1.0\n2 x 1.0\n").unwrap();
+        match load_graph(&path) {
+            Err(IoError::Parse(2, msg)) => assert!(msg.contains("bad target")),
+            other => panic!("expected parse error at line 2, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn negative_weight_rejected() {
+        let path = temp("neg");
+        std::fs::write(&path, "0 1 -4\n").unwrap();
+        assert!(matches!(load_graph(&path), Err(IoError::Parse(1, _))));
+        let _ = std::fs::remove_file(path);
+    }
+}

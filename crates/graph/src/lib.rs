@@ -1,0 +1,81 @@
+//! Graph inputs and sequential reference solvers for the APSP reproduction.
+//!
+//! Provides:
+//!
+//! * [`Graph`] — an undirected weighted edge-list graph with dense and CSR
+//!   export,
+//! * [`generators`] — the paper's synthetic Erdős–Rényi workload
+//!   (`pe = (1+ε)·ln(n)/n`, ε = 0.1, §5.1) plus structured generators used
+//!   by tests and examples,
+//! * [`Csr`] — compressed sparse row adjacency for the heap-based solvers,
+//! * sequential oracles: [`floyd_warshall`], [`dijkstra::apsp_dijkstra`],
+//!   and [`johnson::apsp_johnson`] (the two classic algorithms the paper's
+//!   §3 discusses as the standard sequential approaches).
+//!
+//! All distances are `f64`; unreachable pairs are
+//! [`INF`](apsp_blockmat::INF).
+
+#![warn(missing_docs)]
+
+mod csr;
+pub mod digraph;
+pub mod dijkstra;
+pub mod generators;
+mod graph;
+pub mod io;
+pub mod johnson;
+pub mod paths;
+
+pub use csr::Csr;
+pub use digraph::{apsp_dijkstra_directed, validate_directed_adjacency, DiGraph};
+pub use graph::{validate_adjacency, Graph};
+
+use apsp_blockmat::Matrix;
+
+/// Solves APSP with the sequential textbook Floyd-Warshall — the paper's
+/// single-core baseline (`T1`).
+///
+/// Returns the full `n × n` distance matrix.
+pub fn floyd_warshall(g: &Graph) -> Matrix {
+    let mut m = g.to_dense();
+    m.floyd_warshall_in_place();
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsp_blockmat::INF;
+
+    #[test]
+    fn fw_on_weighted_triangle() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 5.0);
+        g.add_edge(1, 2, 5.0);
+        g.add_edge(0, 2, 12.0);
+        let d = floyd_warshall(&g);
+        assert_eq!(d.get(0, 2), 10.0); // through vertex 1
+        assert_eq!(d.get(2, 0), 10.0);
+        assert_eq!(d.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn fw_disconnected() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(2, 3, 1.0);
+        let d = floyd_warshall(&g);
+        assert_eq!(d.get(0, 3), INF);
+        assert_eq!(d.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn oracles_agree_on_random_graph() {
+        let g = generators::erdos_renyi_paper(120, 0.1, 0xFEED);
+        let fw = floyd_warshall(&g);
+        let dj = dijkstra::apsp_dijkstra(&g);
+        let jo = johnson::apsp_johnson(&g).expect("no negative cycles");
+        assert!(fw.approx_eq(&dj, 1e-9).is_ok(), "FW vs Dijkstra");
+        assert!(fw.approx_eq(&jo, 1e-9).is_ok(), "FW vs Johnson");
+    }
+}

@@ -1,0 +1,196 @@
+//! Shortest-*path* reconstruction.
+//!
+//! The paper computes only path lengths ("we focus on computing length of
+//! all pairs shortest paths (i.e., no paths themselves)", §3). Downstream
+//! users routinely need the witnesses too, so the library provides the
+//! standard successor-matrix extension: Floyd-Warshall tracking, for each
+//! pair `(i, j)`, the first hop of a shortest `i → j` path, from which any
+//! path is extracted in `O(length)`.
+
+use crate::Graph;
+use apsp_blockmat::{Matrix, INF};
+
+/// Distances plus a successor matrix for path extraction.
+#[derive(Clone, Debug)]
+pub struct PathMatrix {
+    distances: Matrix,
+    /// `succ[i*n + j]`: next vertex after `i` on a shortest `i → j` path
+    /// (`u32::MAX` when unreachable or `i == j`).
+    succ: Vec<u32>,
+    n: usize,
+}
+
+const NONE: u32 = u32::MAX;
+
+impl PathMatrix {
+    /// The distance matrix.
+    pub fn distances(&self) -> &Matrix {
+        &self.distances
+    }
+
+    /// Shortest distance from `i` to `j`.
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        self.distances.get(i, j)
+    }
+
+    /// Extracts the vertex sequence of one shortest `i → j` path, or
+    /// `None` when `j` is unreachable from `i`. The path includes both
+    /// endpoints; `path(i, i)` is `[i]`.
+    pub fn path(&self, i: usize, j: usize) -> Option<Vec<usize>> {
+        assert!(i < self.n && j < self.n, "vertex out of range");
+        if i == j {
+            return Some(vec![i]);
+        }
+        if !self.distances.get(i, j).is_finite() {
+            return None;
+        }
+        let mut out = vec![i];
+        let mut cur = i;
+        while cur != j {
+            let next = self.succ[cur * self.n + j];
+            debug_assert_ne!(next, NONE, "finite distance but broken successor chain");
+            cur = next as usize;
+            out.push(cur);
+            debug_assert!(out.len() <= self.n, "successor cycle");
+        }
+        Some(out)
+    }
+
+    /// Checks the defining invariant: every reconstructed path's edge-sum
+    /// equals the reported distance. Used by tests; `O(n³)` worst case.
+    pub fn validate_against(&self, adjacency: &Matrix, tol: f64) -> Result<(), String> {
+        for i in 0..self.n {
+            for j in 0..self.n {
+                match self.path(i, j) {
+                    None => {
+                        if self.distance(i, j).is_finite() {
+                            return Err(format!("({i},{j}): finite distance but no path"));
+                        }
+                    }
+                    Some(p) => {
+                        let mut sum = 0.0;
+                        for w in p.windows(2) {
+                            let edge = adjacency.get(w[0], w[1]);
+                            if !edge.is_finite() {
+                                return Err(format!(
+                                    "({i},{j}): path uses non-edge {}→{}",
+                                    w[0], w[1]
+                                ));
+                            }
+                            sum += edge;
+                        }
+                        let d = self.distance(i, j);
+                        if (sum - d).abs() > tol {
+                            return Err(format!("({i},{j}): path sum {sum} != distance {d}"));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Floyd-Warshall with successor tracking over a dense adjacency matrix
+/// (works for directed inputs too).
+pub fn floyd_warshall_paths(adjacency: &Matrix) -> PathMatrix {
+    let n = adjacency.order();
+    let mut dist = adjacency.clone();
+    let mut succ = vec![NONE; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && adjacency.get(i, j).is_finite() {
+                succ[i * n + j] = j as u32;
+            }
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let dik = dist.get(i, k);
+            if dik == INF {
+                continue;
+            }
+            for j in 0..n {
+                let cand = dik + dist.get(k, j);
+                if cand < dist.get(i, j) {
+                    dist.set(i, j, cand);
+                    succ[i * n + j] = succ[i * n + k];
+                }
+            }
+        }
+    }
+    PathMatrix {
+        distances: dist,
+        succ,
+        n,
+    }
+}
+
+/// Convenience: path matrix for an undirected [`Graph`].
+pub fn apsp_paths(g: &Graph) -> PathMatrix {
+    floyd_warshall_paths(&g.to_dense())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn path_on_a_line() {
+        let pm = apsp_paths(&generators::path(6));
+        assert_eq!(pm.path(0, 4), Some(vec![0, 1, 2, 3, 4]));
+        assert_eq!(pm.path(4, 1), Some(vec![4, 3, 2, 1]));
+        assert_eq!(pm.path(3, 3), Some(vec![3]));
+    }
+
+    #[test]
+    fn path_takes_the_shortcut() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(0, 3, 2.5); // cheaper than 0-1-2-3
+        let pm = apsp_paths(&g);
+        assert_eq!(pm.path(0, 3), Some(vec![0, 3]));
+        assert_eq!(pm.distance(0, 3), 2.5);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        let pm = apsp_paths(&g);
+        assert_eq!(pm.path(0, 2), None);
+        assert_eq!(pm.path(2, 0), None);
+    }
+
+    #[test]
+    fn distances_match_plain_fw_and_paths_validate() {
+        for seed in [1u64, 5, 9] {
+            let g = generators::erdos_renyi_paper(50, 0.1, seed);
+            let pm = apsp_paths(&g);
+            let plain = crate::floyd_warshall(&g);
+            assert!(pm.distances().approx_eq(&plain, 1e-9).is_ok());
+            pm.validate_against(&g.to_dense(), 1e-9)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn directed_paths_respect_one_way() {
+        let g = generators::erdos_renyi_directed(24, 0.15, 3);
+        let adj = g.to_dense();
+        let pm = floyd_warshall_paths(&adj);
+        pm.validate_against(&adj, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn grid_paths_have_manhattan_length() {
+        let pm = apsp_paths(&generators::grid(4, 5));
+        let p = pm.path(0, 19).unwrap();
+        assert_eq!(p.len() as f64 - 1.0, pm.distance(0, 19));
+        assert_eq!(p.first(), Some(&0));
+        assert_eq!(p.last(), Some(&19));
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the graph layer: generator invariants and
+//! oracle agreement.
+
+use apsp_graph::{dijkstra, floyd_warshall, generators, johnson};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn er_generator_respects_bounds(n in 2usize..120, p_milli in 0usize..1000, seed in any::<u64>()) {
+        let g = generators::erdos_renyi(n, p_milli as f64 / 1000.0, seed);
+        prop_assert!(g.num_edges() <= n * (n - 1) / 2);
+        for (u, v, w) in g.edges() {
+            prop_assert!(u < v, "generator must emit u < v");
+            prop_assert!((1.0..10.0).contains(&w));
+        }
+    }
+
+    #[test]
+    fn er_generator_deterministic(n in 2usize..80, seed in any::<u64>()) {
+        let a = generators::erdos_renyi(n, 0.2, seed);
+        let b = generators::erdos_renyi(n, 0.2, seed);
+        prop_assert_eq!(a.num_edges(), b.num_edges());
+    }
+
+    #[test]
+    fn three_oracles_agree(n in 2usize..40, seed in any::<u64>()) {
+        let g = generators::erdos_renyi_paper(n, 0.1, seed);
+        let fw = floyd_warshall(&g);
+        let dj = dijkstra::apsp_dijkstra(&g);
+        let jo = johnson::apsp_johnson(&g).unwrap();
+        prop_assert!(fw.approx_eq(&dj, 1e-9).is_ok());
+        prop_assert!(fw.approx_eq(&jo, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn apsp_is_metric(n in 2usize..32, seed in any::<u64>()) {
+        let g = generators::erdos_renyi(n, 0.3, seed);
+        let d = floyd_warshall(&g);
+        for i in 0..n {
+            prop_assert_eq!(d.get(i, i), 0.0);
+            for j in 0..n {
+                prop_assert_eq!(d.get(i, j), d.get(j, i));
+                for k in 0..n {
+                    prop_assert!(d.get(i, j) <= d.get(i, k) + d.get(k, j) + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn components_partition_reachability(n in 2usize..40, seed in any::<u64>()) {
+        // d(i,j) finite ⟺ same union-find component.
+        let g = generators::erdos_renyi(n, 0.08, seed);
+        let d = floyd_warshall(&g);
+        let comps = g.connected_components();
+        let mut finite_pairs = 0usize;
+        for i in 0..n {
+            for j in 0..n {
+                if d.get(i, j).is_finite() {
+                    finite_pairs += 1;
+                }
+            }
+        }
+        // If there is one component, all pairs finite; with c components
+        // the finite count is the sum of squared component sizes ≤ n².
+        if comps == 1 {
+            prop_assert_eq!(finite_pairs, n * n);
+        } else {
+            prop_assert!(finite_pairs < n * n);
+        }
+    }
+
+    #[test]
+    fn directed_oracles_agree(n in 2usize..28, p_milli in 50usize..400, seed in any::<u64>()) {
+        let g = generators::erdos_renyi_directed(n, p_milli as f64 / 1000.0, seed);
+        let dj = apsp_graph::apsp_dijkstra_directed(&g);
+        let mut fw = g.to_dense();
+        fw.floyd_warshall_in_place();
+        prop_assert!(dj.approx_eq(&fw, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn blocks_roundtrip_any_block_size(n in 1usize..40, b in 1usize..45, seed in any::<u64>()) {
+        let g = generators::erdos_renyi(n, 0.3, seed);
+        let m = g.to_dense();
+        let q = n.div_ceil(b);
+        let blocks = m.to_blocks(b);
+        prop_assert_eq!(blocks.len(), q * q);
+        let back = apsp_blockmat::Matrix::from_blocks(
+            n,
+            b,
+            blocks.into_iter().enumerate().map(|(idx, blk)| ((idx / q, idx % q), blk)),
+        );
+        prop_assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,312 @@
+//! Collective operations built from point-to-point messages, so their
+//! simulated cost follows from the communication tree shape.
+
+use crate::comm::Comm;
+use crate::Payload;
+
+/// Tag space reserved for collectives (high bits set to avoid clashing
+/// with user tags).
+const COLL_TAG_BASE: u64 = 1 << 60;
+
+impl Comm {
+    /// Broadcast from `root` along a binomial tree: `⌈log₂ p⌉` rounds, so
+    /// simulated latency grows with `log p` — the property the paper's
+    /// FW-2D-GbE analysis leans on ("communication overheads, specifically
+    /// latency, that grow with log(p)", §5.5).
+    ///
+    /// `bytes` is the payload-size estimate used for the β term.
+    pub fn broadcast<T: Payload + Clone>(&self, root: usize, value: Option<T>, bytes: usize) -> T {
+        assert!(root < self.size(), "root rank out of range");
+        let p = self.size();
+        if p == 1 {
+            return value.expect("root must supply the broadcast value");
+        }
+        // Relative rank so any root works with the same tree.
+        let vrank = (self.rank() + p - root) % p;
+        let mut have: Option<T> = if vrank == 0 {
+            Some(value.expect("root must supply the broadcast value"))
+        } else {
+            None
+        };
+        let rounds = usize::BITS - (p - 1).leading_zeros();
+        for r in 0..rounds {
+            let stride = 1usize << r;
+            if vrank < stride {
+                // Holders send to vrank + stride.
+                let peer = vrank + stride;
+                if peer < p {
+                    let dest = (peer + root) % p;
+                    let v = have.clone().expect("holder must have the value");
+                    self.send_sized(dest, COLL_TAG_BASE + r as u64, v, bytes);
+                }
+            } else if vrank < 2 * stride {
+                let src = ((vrank - stride) + root) % p;
+                have = Some(self.recv::<T>(src, COLL_TAG_BASE + r as u64));
+            }
+        }
+        have.expect("broadcast did not reach this rank")
+    }
+
+    /// Gathers every rank's contribution at `root` (others return `None`).
+    pub fn gather<T: Payload>(&self, root: usize, value: T, bytes: usize) -> Option<Vec<T>> {
+        let p = self.size();
+        if self.rank() == root {
+            let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
+            out[root] = Some(value);
+            // Drain sources in rank order; out-of-order arrivals are
+            // buffered by the mailbox.
+            #[allow(clippy::needless_range_loop)] // src is a rank id, not just an index
+            for src in 0..p {
+                if src == root {
+                    continue;
+                }
+                out[src] = Some(self.recv::<T>(src, COLL_TAG_BASE + 100));
+            }
+            Some(out.into_iter().map(|o| o.expect("gather hole")).collect())
+        } else {
+            self.send_sized(root, COLL_TAG_BASE + 100, value, bytes);
+            None
+        }
+    }
+
+    /// All-gather: every rank ends with all contributions, in rank order.
+    /// Implemented as gather-to-0 + broadcast (two tree phases).
+    pub fn all_gather<T: Payload + Clone>(&self, value: T, bytes: usize) -> Vec<T> {
+        let gathered = self.gather(0, value, bytes);
+        let total = bytes * self.size();
+        self.broadcast(0, gathered, total)
+    }
+
+    /// Reduction to `root` with a commutative, associative operator
+    /// (binomial tree, `⌈log₂ p⌉` rounds).
+    pub fn reduce<T: Payload + Clone>(
+        &self,
+        root: usize,
+        value: T,
+        bytes: usize,
+        op: impl Fn(T, T) -> T,
+    ) -> Option<T> {
+        let p = self.size();
+        let vrank = (self.rank() + p - root) % p;
+        let mut acc = value;
+        let rounds = if p == 1 {
+            0
+        } else {
+            usize::BITS - (p - 1).leading_zeros()
+        };
+        for r in 0..rounds {
+            let stride = 1usize << r;
+            if vrank.is_multiple_of(2 * stride) {
+                let peer = vrank + stride;
+                if peer < p {
+                    let src = (peer + root) % p;
+                    let other = self.recv::<T>(src, COLL_TAG_BASE + 200 + r as u64);
+                    acc = op(acc, other);
+                }
+            } else if vrank % (2 * stride) == stride {
+                let dest = ((vrank - stride) + root) % p;
+                self.send_sized(dest, COLL_TAG_BASE + 200 + r as u64, acc.clone(), bytes);
+                return None; // leaf done after sending up
+            }
+        }
+        if vrank == 0 {
+            Some(acc)
+        } else {
+            None
+        }
+    }
+
+    /// All-reduce: reduce to 0 then broadcast the result.
+    pub fn all_reduce<T: Payload + Clone>(&self, value: T, op: impl Fn(T, T) -> T) -> T {
+        let bytes = std::mem::size_of::<T>();
+        let reduced = self.reduce(0, value, bytes, op);
+        self.broadcast(0, reduced, bytes)
+    }
+
+    /// Synchronization barrier (all-reduce of unit).
+    pub fn barrier(&self) {
+        let () = self.all_reduce((), |(), ()| ());
+    }
+
+    /// Scatter: `root` holds one value per rank; each rank receives its
+    /// own. `bytes` is the per-element size estimate.
+    pub fn scatter<T: Payload>(&self, root: usize, values: Option<Vec<T>>, bytes: usize) -> T {
+        let p = self.size();
+        if self.rank() == root {
+            let mut values = values.expect("root must supply the scatter values");
+            assert_eq!(values.len(), p, "scatter needs one value per rank");
+            // Send in reverse so we can pop owned values without shifting.
+            let mut mine: Option<T> = None;
+            for dest in (0..p).rev() {
+                let v = values.pop().expect("length checked");
+                if dest == root {
+                    mine = Some(v);
+                } else {
+                    self.send_sized(dest, COLL_TAG_BASE + 300, v, bytes);
+                }
+            }
+            mine.expect("root keeps its own element")
+        } else {
+            self.recv::<T>(root, COLL_TAG_BASE + 300)
+        }
+    }
+
+    /// All-to-all personalized exchange: rank `i` sends `values[j]` to
+    /// rank `j` and receives a vector indexed by source rank.
+    pub fn all_to_all<T: Payload>(&self, values: Vec<T>, bytes_each: usize) -> Vec<T> {
+        let p = self.size();
+        assert_eq!(values.len(), p, "all_to_all needs one value per rank");
+        let me = self.rank();
+        let mut out: Vec<Option<T>> = (0..p).map(|_| None).collect();
+        for (dest, v) in values.into_iter().enumerate() {
+            if dest == me {
+                out[me] = Some(v);
+            } else {
+                self.send_sized(dest, COLL_TAG_BASE + 400, v, bytes_each);
+            }
+        }
+        #[allow(clippy::needless_range_loop)] // src is a rank id, not just an index
+        for src in 0..p {
+            if src != me {
+                out[src] = Some(self.recv::<T>(src, COLL_TAG_BASE + 400));
+            }
+        }
+        out.into_iter().map(|o| o.expect("exchange hole")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CommCost, World};
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for p in [1usize, 2, 3, 5, 8] {
+            for root in 0..p {
+                let out = World::new(p, CommCost::zero()).run(|c| {
+                    let v = if c.rank() == root { Some(root as u64 * 10) } else { None };
+                    c.broadcast(root, v, 8)
+                });
+                assert_eq!(out, vec![root as u64 * 10; p], "p={p} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let out = World::new(5, CommCost::zero()).run(|c| c.gather(2, c.rank() as u64, 8));
+        for (r, res) in out.iter().enumerate() {
+            if r == 2 {
+                assert_eq!(res.as_deref(), Some(&[0u64, 1, 2, 3, 4][..]));
+            } else {
+                assert!(res.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_everywhere() {
+        let out =
+            World::new(4, CommCost::gbe()).run(|c| c.all_gather((c.rank() as u64) * 2, 8));
+        for res in out {
+            assert_eq!(res, vec![0, 2, 4, 6]);
+        }
+    }
+
+    #[test]
+    fn reduce_and_allreduce() {
+        let out = World::new(7, CommCost::zero()).run(|c| {
+            let r = c.reduce(0, c.rank() as u64, 8, |a, b| a + b);
+            let ar = c.all_reduce(c.rank() as u64, |a, b| a + b);
+            (r, ar)
+        });
+        assert_eq!(out[0].0, Some(21));
+        for (i, (r, ar)) in out.iter().enumerate() {
+            assert_eq!(*ar, 21);
+            if i != 0 {
+                assert!(r.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max() {
+        let out = World::new(6, CommCost::zero())
+            .run(|c| c.all_reduce(c.rank() as u64 * 7 % 5, |a, b| a.max(b)));
+        for v in out {
+            assert_eq!(v, 4);
+        }
+    }
+
+    #[test]
+    fn barrier_completes() {
+        let out = World::new(8, CommCost::gbe()).run(|c| {
+            c.barrier();
+            c.elapsed()
+        });
+        for t in out {
+            assert!(t > 0.0);
+        }
+    }
+
+    #[test]
+    fn broadcast_latency_grows_with_log_p() {
+        // With beta = 0 and alpha = 1, the last rank to receive a
+        // broadcast should see ~⌈log2 p⌉ seconds, not ~p seconds.
+        let cost = CommCost { alpha: 1.0, beta: 0.0 };
+        for p in [2usize, 4, 8, 16] {
+            let out = World::new(p, cost).run(|c| {
+                let v = if c.rank() == 0 { Some(1u8) } else { None };
+                let _ = c.broadcast(0, v, 1);
+                c.elapsed()
+            });
+            let max = out.iter().cloned().fold(0.0f64, f64::max);
+            let logp = (p as f64).log2().ceil();
+            assert!(
+                max <= logp + 1e-9,
+                "p={p}: broadcast critical path {max} exceeds log2(p)={logp}"
+            );
+            assert!(max >= logp - 1e-9, "p={p}: too fast ({max}) — tree broken?");
+        }
+    }
+
+    #[test]
+    fn scatter_delivers_per_rank_values() {
+        for root in 0..4 {
+            let out = World::new(4, CommCost::zero()).run(|c| {
+                let values = (c.rank() == root)
+                    .then(|| (0..4).map(|i| i as u64 * 100).collect::<Vec<_>>());
+                c.scatter(root, values, 8)
+            });
+            assert_eq!(out, vec![0, 100, 200, 300], "root={root}");
+        }
+    }
+
+    #[test]
+    fn all_to_all_transposes() {
+        let p = 5;
+        let out = World::new(p, CommCost::gbe()).run(|c| {
+            // Rank i sends (i, j) to rank j.
+            let values: Vec<(u64, u64)> =
+                (0..p).map(|j| (c.rank() as u64, j as u64)).collect();
+            c.all_to_all(values, 16)
+        });
+        for (j, received) in out.iter().enumerate() {
+            for (i, &(src, dest)) in received.iter().enumerate() {
+                assert_eq!(src, i as u64);
+                assert_eq!(dest, j as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_handles_non_power_of_two() {
+        for p in [3usize, 5, 6, 7, 9] {
+            let out = World::new(p, CommCost::zero())
+                .run(|c| c.all_reduce(1u64, |a, b| a + b));
+            for v in out {
+                assert_eq!(v, p as u64);
+            }
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Per-rank communicator: point-to-point messaging and the simulated clock.
+
+use crate::Payload;
+use crossbeam::channel::{Receiver, Sender};
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// α–β communication cost model: a message of `n` bytes costs
+/// `alpha + beta * n` seconds on the wire.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommCost {
+    /// Per-message latency in seconds.
+    pub alpha: f64,
+    /// Inverse bandwidth in seconds per byte.
+    pub beta: f64,
+}
+
+impl CommCost {
+    /// Gigabit Ethernet, the paper's interconnect: ~50 µs latency,
+    /// ~125 MB/s bandwidth.
+    pub fn gbe() -> Self {
+        CommCost {
+            alpha: 50e-6,
+            beta: 1.0 / 125.0e6,
+        }
+    }
+
+    /// Free communication (pure-compute experiments).
+    pub fn zero() -> Self {
+        CommCost {
+            alpha: 0.0,
+            beta: 0.0,
+        }
+    }
+}
+
+pub(crate) struct Message {
+    pub tag: u64,
+    pub payload: Box<dyn Any + Send>,
+    /// Simulated time at which the message reaches the receiver.
+    pub arrival: f64,
+}
+
+/// Per-rank communication statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CommStats {
+    /// Messages sent by this rank.
+    pub messages_sent: u64,
+    /// Payload bytes sent by this rank.
+    pub bytes_sent: u64,
+    /// Simulated elapsed seconds (compute + waiting + wire time).
+    pub elapsed: f64,
+}
+
+type Mailbox = RefCell<HashMap<(usize, u64), VecDeque<Message>>>;
+
+/// The full directed sender mesh: `senders[from][to]`.
+pub(crate) type SenderMesh = Arc<Vec<Vec<Sender<(usize, Message)>>>>;
+
+/// The per-rank communicator handle (the `MPI_Comm` analogue).
+///
+/// Owned by its rank's thread; not `Sync`. All operations advance the
+/// rank's simulated clock per the [`CommCost`] model.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    cost: CommCost,
+    senders: SenderMesh,
+    receiver: Receiver<(usize, Message)>,
+    /// Messages received but not yet consumed (out-of-order buffering).
+    mailbox: Mailbox,
+    clock: Cell<f64>,
+    messages_sent: Cell<u64>,
+    bytes_sent: Cell<u64>,
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        cost: CommCost,
+        senders: SenderMesh,
+        receiver: Receiver<(usize, Message)>,
+    ) -> Self {
+        Comm {
+            rank,
+            size,
+            cost,
+            senders,
+            receiver,
+            mailbox: RefCell::new(HashMap::new()),
+            clock: Cell::new(0.0),
+            messages_sent: Cell::new(0),
+            bytes_sent: Cell::new(0),
+        }
+    }
+
+    /// This rank's id in `0..size()`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the world.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Simulated seconds elapsed at this rank.
+    pub fn elapsed(&self) -> f64 {
+        self.clock.get()
+    }
+
+    /// Models `seconds` of local computation.
+    pub fn advance(&self, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "cannot advance time backwards");
+        self.clock.set(self.clock.get() + seconds);
+    }
+
+    /// Communication statistics so far.
+    pub fn stats(&self) -> CommStats {
+        CommStats {
+            messages_sent: self.messages_sent.get(),
+            bytes_sent: self.bytes_sent.get(),
+            elapsed: self.clock.get(),
+        }
+    }
+
+    /// Sends `value` (with an explicit payload-size estimate in bytes) to
+    /// rank `to` under `tag`. Non-blocking (buffered, like an eager-mode
+    /// `MPI_Send`); charges `α + β·bytes` to the sender clock.
+    pub fn send_sized<T: Payload>(&self, to: usize, tag: u64, value: T, bytes: usize) {
+        assert!(to < self.size, "destination rank {to} out of range");
+        assert_ne!(to, self.rank, "self-sends are not supported; use locals");
+        let wire = self.cost.alpha + self.cost.beta * bytes as f64;
+        let departure = self.clock.get();
+        self.clock.set(departure + wire);
+        self.messages_sent.set(self.messages_sent.get() + 1);
+        self.bytes_sent.set(self.bytes_sent.get() + bytes as u64);
+        let msg = Message {
+            tag,
+            payload: Box::new(value),
+            arrival: departure + wire,
+        };
+        self.senders[self.rank][to]
+            .send((self.rank, msg))
+            .expect("peer rank hung up");
+    }
+
+    /// Sends with `size_of::<T>()` as the byte estimate.
+    pub fn send<T: Payload>(&self, to: usize, tag: u64, value: T) {
+        let bytes = std::mem::size_of::<T>();
+        self.send_sized(to, tag, value, bytes);
+    }
+
+    /// Sends a `Vec<f64>` charging its true payload size (the common case
+    /// in the APSP baselines: matrix panels).
+    pub fn send_vec(&self, to: usize, tag: u64, value: Vec<f64>) {
+        let bytes = value.len() * 8;
+        self.send_sized(to, tag, value, bytes);
+    }
+
+    /// Receives the next message from `from` under `tag`, blocking until
+    /// it arrives; advances the clock to the message's simulated arrival.
+    ///
+    /// # Panics
+    /// Panics if the payload type does not match `T` (a protocol bug).
+    pub fn recv<T: Payload>(&self, from: usize, tag: u64) -> T {
+        assert!(from < self.size, "source rank {from} out of range");
+        // Serve from the out-of-order buffer first.
+        if let Some(queue) = self.mailbox.borrow_mut().get_mut(&(from, tag)) {
+            if let Some(msg) = queue.pop_front() {
+                return self.consume(msg);
+            }
+        }
+        loop {
+            let (src, msg) = self
+                .receiver
+                .recv()
+                .expect("world shut down while receiving");
+            if src == from && msg.tag == tag {
+                return self.consume(msg);
+            }
+            self.mailbox
+                .borrow_mut()
+                .entry((src, msg.tag))
+                .or_default()
+                .push_back(msg);
+        }
+    }
+
+    fn consume<T: Payload>(&self, msg: Message) -> T {
+        // Causal clock propagation: cannot have consumed it before both
+        // (a) it arrived, and (b) we got here locally.
+        let now = self.clock.get().max(msg.arrival);
+        self.clock.set(now);
+        *msg.payload
+            .downcast::<T>()
+            .expect("message payload type mismatch (protocol bug)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CommCost, World};
+
+    #[test]
+    fn ping_pong() {
+        let out = World::new(2, CommCost::zero()).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 0, 41u64);
+                c.recv::<u64>(1, 1)
+            } else {
+                let x = c.recv::<u64>(0, 0);
+                c.send(0, 1, x + 1);
+                x
+            }
+        });
+        assert_eq!(out, vec![42, 41]);
+    }
+
+    #[test]
+    fn out_of_order_tags_buffered() {
+        let out = World::new(2, CommCost::zero()).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 7, 70u64);
+                c.send(1, 8, 80u64);
+                0
+            } else {
+                // Receive in the reverse order of sending.
+                let b = c.recv::<u64>(0, 8);
+                let a = c.recv::<u64>(0, 7);
+                a * 1000 + b
+            }
+        });
+        assert_eq!(out[1], 70080);
+    }
+
+    #[test]
+    fn clock_advances_with_alpha_beta() {
+        let cost = CommCost {
+            alpha: 1.0,
+            beta: 0.5,
+        };
+        let out = World::new(2, cost).run(|c| {
+            if c.rank() == 0 {
+                c.send_sized(1, 0, 0u8, 10); // 1 + 5 seconds wire
+                c.elapsed()
+            } else {
+                let _ = c.recv::<u8>(0, 0);
+                c.elapsed()
+            }
+        });
+        assert!((out[0] - 6.0).abs() < 1e-12);
+        assert!((out[1] - 6.0).abs() < 1e-12, "receiver clock {}", out[1]);
+    }
+
+    #[test]
+    fn receiver_clock_is_max_of_local_and_arrival() {
+        let cost = CommCost {
+            alpha: 1.0,
+            beta: 0.0,
+        };
+        let out = World::new(2, cost).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 0, ());
+                0.0
+            } else {
+                c.advance(100.0); // receiver is busy long past arrival
+                let () = c.recv(0, 0);
+                c.elapsed()
+            }
+        });
+        assert!((out[1] - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let out = World::new(2, CommCost::gbe()).run(|c| {
+            if c.rank() == 0 {
+                c.send_vec(1, 0, vec![0.0; 100]);
+                c.send_vec(1, 1, vec![0.0; 50]);
+                c.stats()
+            } else {
+                let _: Vec<f64> = c.recv(0, 0);
+                let _: Vec<f64> = c.recv(0, 1);
+                c.stats()
+            }
+        });
+        assert_eq!(out[0].messages_sent, 2);
+        assert_eq!(out[0].bytes_sent, 1200);
+        assert_eq!(out[1].messages_sent, 0);
+        assert!(out[1].elapsed > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        World::new(2, CommCost::zero()).run(|c| {
+            if c.rank() == 0 {
+                c.send(1, 0, 1u64);
+            } else {
+                let _: f32 = c.recv(0, 0);
+            }
+        });
+    }
+}

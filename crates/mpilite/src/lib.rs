@@ -1,0 +1,49 @@
+//! # mpilite — an MPI-like rank/message-passing substrate
+//!
+//! The paper benchmarks its Spark solvers against two MPI programs
+//! (FW-2D-GbE and Solomonik's DC solver, §5.5). With no MPI runtime
+//! available, this crate provides the substrate those baselines are
+//! reimplemented on: SPMD ranks as OS threads, typed point-to-point
+//! messaging, tree-based collectives, and — crucially — a **simulated
+//! communication clock** per rank using the α–β (latency–bandwidth) model,
+//! so that large-`p` communication behaviour (e.g. the `log p` broadcast
+//! latency growth that sinks naive FW-2D) is *derived* from the message
+//! pattern rather than asserted.
+//!
+//! Each rank owns a [`Comm`] handle. Operations advance its local clock:
+//!
+//! * `advance(t)` — models `t` seconds of local compute,
+//! * `send` — charges `α + β·bytes` and stamps the message with its
+//!   arrival time,
+//! * `recv` — waits for the message, then sets the local clock to
+//!   `max(local, arrival)` (causal propagation),
+//! * collectives are built from sends/receives, so their simulated cost
+//!   emerges from the tree shape.
+//!
+//! Real wall-clock execution is also parallel (one thread per rank), so
+//! small-scale runs double as correctness tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use mpilite::{CommCost, World};
+//!
+//! let results = World::new(4, CommCost::gbe()).run(|comm| {
+//!     // Everyone contributes rank+1; allreduce with +.
+//!     comm.all_reduce(comm.rank() as u64 + 1, |a, b| a + b)
+//! });
+//! assert_eq!(results, vec![10, 10, 10, 10]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod collectives;
+mod comm;
+mod world;
+
+pub use comm::{Comm, CommCost, CommStats};
+pub use world::World;
+
+/// Marker for message payloads. Blanket-implemented.
+pub trait Payload: Send + 'static {}
+impl<T: Send + 'static> Payload for T {}

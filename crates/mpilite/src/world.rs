@@ -1,0 +1,97 @@
+//! SPMD world: spawns ranks and wires the communication mesh.
+
+use crate::comm::{Comm, CommCost, Message};
+use crossbeam::channel::unbounded;
+use std::sync::Arc;
+
+/// A world of `p` SPMD ranks with a shared cost model (the
+/// `MPI_COMM_WORLD` analogue).
+pub struct World {
+    size: usize,
+    cost: CommCost,
+}
+
+impl World {
+    /// Creates a world of `size` ranks with communication costs `cost`.
+    pub fn new(size: usize, cost: CommCost) -> Self {
+        assert!(size > 0, "world needs at least one rank");
+        World { size, cost }
+    }
+
+    /// Runs `f` on every rank concurrently (one OS thread per rank) and
+    /// returns the per-rank results in rank order.
+    ///
+    /// Panics in any rank are propagated to the caller after all ranks are
+    /// joined (so no rank is left dangling on a dead channel).
+    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&Comm) -> T + Sync,
+    {
+        let p = self.size;
+        // senders[from][to]: a dedicated channel pair per directed edge
+        // would be p² channels; a single MPSC inbox per rank suffices
+        // because messages carry their source. We still index by
+        // [from][to] so a future per-edge backpressure model can slot in.
+        let mut inboxes = Vec::with_capacity(p);
+        let mut senders: Vec<Vec<crossbeam::channel::Sender<(usize, Message)>>> =
+            (0..p).map(|_| Vec::with_capacity(p)).collect();
+        for _to in 0..p {
+            let (tx, rx) = unbounded();
+            inboxes.push(rx);
+            for from_senders in senders.iter_mut() {
+                from_senders.push(tx.clone());
+            }
+        }
+        let senders = Arc::new(senders);
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, inbox) in inboxes.into_iter().enumerate() {
+                let senders = senders.clone();
+                let cost = self.cost;
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let comm = Comm::new(rank, p, cost, senders, inbox);
+                    f(&comm)
+                }));
+            }
+            let mut results = Vec::with_capacity(p);
+            let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+            for h in handles {
+                match h.join() {
+                    Ok(v) => results.push(v),
+                    Err(e) => panic = Some(e),
+                }
+            }
+            if let Some(e) = panic {
+                std::panic::resume_unwind(e);
+            }
+            results
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_world() {
+        let out = World::new(1, CommCost::zero()).run(|c| c.rank() + c.size());
+        assert_eq!(out, vec![1]);
+    }
+
+    #[test]
+    fn results_in_rank_order() {
+        let out = World::new(8, CommCost::zero()).run(|c| c.rank());
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ranks_share_environment_borrow() {
+        let base = 100usize;
+        let out = World::new(3, CommCost::zero()).run(|c| base + c.rank());
+        assert_eq!(out, vec![100, 101, 102]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Accumulators: write-only-from-tasks counters read at the driver
+//! (Spark's `sc.longAccumulator` family).
+//!
+//! As in Spark, increments from *retried* tasks are re-applied — an
+//! accumulator counts attempts, not successes, unless the application
+//! makes its updates idempotent. The fault-injection test below pins that
+//! (documented) semantics down.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotone `u64` accumulator.
+#[derive(Clone, Default)]
+pub struct LongAccumulator {
+    value: Arc<AtomicU64>,
+}
+
+impl LongAccumulator {
+    /// Creates a zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` (callable from tasks).
+    pub fn add(&self, v: u64) {
+        self.value.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current value (driver side).
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// An `f64` accumulator (sum), stored as bits CAS.
+#[derive(Clone, Default)]
+pub struct DoubleAccumulator {
+    bits: Arc<AtomicU64>,
+}
+
+impl DoubleAccumulator {
+    /// Creates a zeroed accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` (callable from tasks).
+    pub fn add(&self, v: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Current value (driver side).
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SparkConfig, SparkContext};
+
+    #[test]
+    fn counts_across_tasks() {
+        let sc = SparkContext::new(SparkConfig::with_cores(4));
+        let acc = LongAccumulator::new();
+        let rdd = sc.parallelize((0u64..100).collect(), 8);
+        let a = acc.clone();
+        let _ = rdd
+            .map(move |x| {
+                if x % 3 == 0 {
+                    a.add(1);
+                }
+                x
+            })
+            .count()
+            .unwrap();
+        assert_eq!(acc.value(), 34);
+    }
+
+    #[test]
+    fn double_accumulator_sums() {
+        let sc = SparkContext::new(SparkConfig::with_cores(4));
+        let acc = DoubleAccumulator::new();
+        let rdd = sc.parallelize((1u64..=10).collect(), 4);
+        let a = acc.clone();
+        let _ = rdd.map(move |x| a.add(x as f64)).count().unwrap();
+        assert!((acc.value() - 55.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retried_tasks_double_count_as_documented() {
+        let sc = SparkContext::new(SparkConfig::with_cores(2));
+        let acc = LongAccumulator::new();
+        let a = acc.clone();
+        let source = sc.parallelize(vec![1u64, 2], 1);
+        let mapped = source.map(move |x| {
+            a.add(1);
+            x
+        });
+        // A downstream task that fails *after* consuming its input the
+        // first time around (a mid-task crash): the upstream map runs
+        // twice and its accumulator updates are applied twice.
+        let fail_once = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(true));
+        let downstream = mapped.try_map(move |x| {
+            if x == 2 && fail_once.swap(false, std::sync::atomic::Ordering::SeqCst) {
+                Err(crate::SparkError::User("mid-task crash".into()))
+            } else {
+                Ok(x * 2)
+            }
+        });
+        let _ = downstream.collect().unwrap();
+        // 2 elements × 2 attempts = 4 increments (Spark semantics).
+        assert_eq!(acc.value(), 4);
+        acc.reset();
+        assert_eq!(acc.value(), 0);
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates() {
+        let acc = DoubleAccumulator::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let a = acc.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        a.add(0.5);
+                    }
+                });
+            }
+        });
+        assert!((acc.value() - 4000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,67 @@
+//! Broadcast variables.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A read-only value shipped once to every executor (Spark `sc.broadcast`).
+///
+/// In-process this is an [`Arc`]; the byte accounting happens at creation
+/// time in [`SparkContext::broadcast`](crate::SparkContext::broadcast),
+/// charging one copy per executor core — the pySpark worst case the paper
+/// works around by using shared storage instead (§4.5).
+pub struct Broadcast<T> {
+    value: Arc<T>,
+}
+
+impl<T> Broadcast<T> {
+    pub(crate) fn new(value: T) -> Self {
+        Broadcast {
+            value: Arc::new(value),
+        }
+    }
+
+    /// Accesses the broadcast value (Spark's `.value`).
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> Clone for Broadcast<T> {
+    fn clone(&self) -> Self {
+        Broadcast {
+            value: self.value.clone(),
+        }
+    }
+}
+
+impl<T> Deref for Broadcast<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{SparkConfig, SparkContext};
+
+    #[test]
+    fn broadcast_visible_in_tasks() {
+        let sc = SparkContext::new(SparkConfig::with_cores(3));
+        let table = sc.broadcast(vec![10u64, 20, 30]);
+        let rdd = sc.parallelize(vec![0usize, 1, 2], 3);
+        let t = table.clone();
+        let mut out = rdd.map(move |i| t.value()[i]).collect().unwrap();
+        out.sort();
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn broadcast_bytes_charged_per_core() {
+        let sc = SparkContext::new(SparkConfig::with_cores(4));
+        let before = sc.metrics();
+        let _b = sc.broadcast(vec![0u64; 100]); // 824 bytes payload
+        let after = sc.metrics().delta(&before);
+        assert_eq!(after.broadcast_bytes, 824 * 4);
+    }
+}

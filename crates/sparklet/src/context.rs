@@ -1,0 +1,295 @@
+//! The driver-side entry point: context, configuration, job execution.
+
+use crate::error::SparkResult;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::rdd::{Rdd, RddInner};
+use crate::shuffle::ShuffleDep;
+use crate::sidechannel::SideChannel;
+use crate::size::EstimateSize;
+use crate::{Broadcast, Data};
+use parking_lot::Mutex;
+use rayon::prelude::*;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Engine configuration (the analogue of `SparkConf`).
+#[derive(Debug, Clone)]
+pub struct SparkConfig {
+    /// Number of executor threads ("total cores of the cluster").
+    pub num_cores: usize,
+    /// Maximum attempts per task before the job fails
+    /// (Spark's `spark.task.maxFailures`, default 4).
+    pub max_task_attempts: usize,
+    /// Where the shared-storage side channel keeps block blobs.
+    pub side_channel_backend: crate::sidechannel::SideChannelBackend,
+}
+
+impl SparkConfig {
+    /// Configuration with `num_cores` executor threads and default retries.
+    pub fn with_cores(num_cores: usize) -> Self {
+        SparkConfig {
+            num_cores: num_cores.max(1),
+            max_task_attempts: 4,
+            side_channel_backend: Default::default(),
+        }
+    }
+
+    /// Sets the per-task attempt limit.
+    pub fn max_task_attempts(mut self, attempts: usize) -> Self {
+        self.max_task_attempts = attempts.max(1);
+        self
+    }
+
+    /// Stages side-channel blocks as real files under `dir` (the paper's
+    /// shared-filesystem mechanism) instead of in memory.
+    pub fn disk_side_channel(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.side_channel_backend = crate::sidechannel::SideChannelBackend::Disk(dir.into());
+        self
+    }
+}
+
+impl Default for SparkConfig {
+    fn default() -> Self {
+        SparkConfig::with_cores(std::thread::available_parallelism().map_or(4, |p| p.get()))
+    }
+}
+
+pub(crate) struct FailurePlan {
+    pending: Mutex<std::collections::HashMap<(usize, usize), usize>>,
+}
+
+impl FailurePlan {
+    fn new() -> Self {
+        FailurePlan {
+            pending: Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// Consumes one pending failure for this task, if any.
+    pub(crate) fn should_fail(&self, rdd: usize, partition: usize) -> bool {
+        let mut map = self.pending.lock();
+        match map.get_mut(&(rdd, partition)) {
+            Some(n) => {
+                *n -= 1;
+                if *n == 0 {
+                    map.remove(&(rdd, partition));
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn inject(&self, rdd: usize, partition: usize) {
+        *self.pending.lock().entry((rdd, partition)).or_insert(0) += 1;
+    }
+}
+
+/// Shared engine state behind [`SparkContext`].
+pub(crate) struct CtxInner {
+    pub(crate) pool: rayon::ThreadPool,
+    pub(crate) metrics: Arc<Metrics>,
+    pub(crate) side: SideChannel,
+    pub(crate) failures: FailurePlan,
+    pub(crate) config: SparkConfig,
+    next_id: AtomicUsize,
+}
+
+impl CtxInner {
+    pub(crate) fn next_rdd_id(&self) -> usize {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Runs one task (a partition of `rdd`'s pipelined narrow chain) with
+    /// the configured retry budget. Lineage recovery = recompute.
+    pub(crate) fn run_task<T: Data>(
+        &self,
+        rdd: &Arc<RddInner<T>>,
+        partition: usize,
+    ) -> SparkResult<Vec<T>> {
+        let max = self.config.max_task_attempts;
+        let mut attempt = 0;
+        loop {
+            self.metrics.add(&self.metrics.tasks, 1);
+            match rdd.partition_data(partition) {
+                Ok(v) => return Ok(v),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= max {
+                        return Err(e);
+                    }
+                    self.metrics.add(&self.metrics.task_retries, 1);
+                }
+            }
+        }
+    }
+
+    /// Runs an action: materializes upstream shuffles in topological order
+    /// (each is one stage), then evaluates the final stage's partitions in
+    /// parallel on the executor pool.
+    pub(crate) fn run_action<T: Data, R: Send>(
+        &self,
+        rdd: &Arc<RddInner<T>>,
+        f: impl Fn(usize, Vec<T>) -> R + Send + Sync,
+    ) -> SparkResult<Vec<R>> {
+        let mut order = Vec::new();
+        let mut seen = HashSet::new();
+        collect_shuffle_deps(&rdd.upstream, &mut seen, &mut order);
+        for dep in &order {
+            dep.materialize()?;
+        }
+        self.metrics.add(&self.metrics.jobs, 1);
+        self.metrics.add(&self.metrics.stages, 1);
+        self.pool.install(|| {
+            (0..rdd.parts)
+                .into_par_iter()
+                .map(|p| self.run_task(rdd, p).map(|data| f(p, data)))
+                .collect()
+        })
+    }
+}
+
+fn collect_shuffle_deps(
+    deps: &[Arc<dyn ShuffleDep>],
+    seen: &mut HashSet<usize>,
+    order: &mut Vec<Arc<dyn ShuffleDep>>,
+) {
+    for dep in deps {
+        if seen.contains(&dep.dep_id()) {
+            continue;
+        }
+        collect_shuffle_deps(dep.upstream(), seen, order);
+        if seen.insert(dep.dep_id()) {
+            order.push(dep.clone());
+        }
+    }
+}
+
+/// The driver handle (the analogue of `SparkContext` / `sc`). Cheap to
+/// clone; all clones share executors, metrics and the side channel.
+#[derive(Clone)]
+pub struct SparkContext {
+    pub(crate) inner: Arc<CtxInner>,
+}
+
+impl SparkContext {
+    /// Starts an engine with the given configuration.
+    pub fn new(config: SparkConfig) -> Self {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(config.num_cores)
+            .thread_name(|i| format!("sparklet-exec-{i}"))
+            .build()
+            .expect("failed to build executor pool");
+        let metrics = Arc::new(Metrics::default());
+        SparkContext {
+            inner: Arc::new(CtxInner {
+                pool,
+                side: SideChannel::new(metrics.clone(), config.side_channel_backend.clone()),
+                metrics,
+                failures: FailurePlan::new(),
+                config,
+                next_id: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    /// Number of executor threads.
+    pub fn num_cores(&self) -> usize {
+        self.inner.config.num_cores
+    }
+
+    /// Distributes a local collection into `parts` partitions
+    /// (contiguous chunks, like Spark's `parallelize`).
+    pub fn parallelize<T: Data>(&self, items: Vec<T>, parts: usize) -> Rdd<T> {
+        let parts = parts.max(1);
+        let items = Arc::new(items);
+        let n = items.len();
+        let compute = {
+            let items = items.clone();
+            move |p: usize| {
+                let lo = p * n / parts;
+                let hi = (p + 1) * n / parts;
+                Ok(items[lo..hi].to_vec())
+            }
+        };
+        Rdd::new_source(self.inner.clone(), parts, "parallelize", Box::new(compute))
+    }
+
+    /// Distributes key-value pairs *already arranged by* `partitioner`
+    /// (used to load the blocked adjacency matrix with a chosen layout
+    /// without paying a shuffle, like constructing an RDD then
+    /// `partitionBy` in one step).
+    pub fn parallelize_by<K: crate::Key, V: Data>(
+        &self,
+        items: Vec<(K, V)>,
+        partitioner: Arc<dyn crate::Partitioner<K>>,
+    ) -> Rdd<(K, V)> {
+        let parts = partitioner.num_partitions();
+        let mut buckets: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
+        for (k, v) in items {
+            let b = partitioner.partition(&k);
+            buckets[b].push((k, v));
+        }
+        let buckets = Arc::new(buckets);
+        let compute = {
+            let buckets = buckets.clone();
+            move |p: usize| Ok(buckets[p].clone())
+        };
+        let rdd = Rdd::new_source(self.inner.clone(), parts, "parallelize_by", Box::new(compute));
+        rdd.set_partitioner_identity(partitioner.identity());
+        rdd
+    }
+
+    /// Union of any number of RDDs. Follows Spark semantics: the result has
+    /// the concatenation of all input partitions and **no** partitioner —
+    /// the partition-blowup behaviour the paper's Blocked In-Memory solver
+    /// must repartition away (§5.2).
+    pub fn union<T: Data>(&self, rdds: &[Rdd<T>]) -> Rdd<T> {
+        assert!(!rdds.is_empty(), "union of zero RDDs");
+        rdds[0].union_all(&rdds[1..])
+    }
+
+    /// Creates a broadcast variable; charges its payload to the broadcast
+    /// byte counter once per executor-core (matching Spark's worst case
+    /// that the paper works around: "each task created by an executor
+    /// maintains its local copy of the broadcast variables", §4.5).
+    pub fn broadcast<T: Data + EstimateSize>(&self, value: T) -> Broadcast<T> {
+        let bytes = value.estimate_bytes() as u64 * self.inner.config.num_cores as u64;
+        self.inner
+            .metrics
+            .add(&self.inner.metrics.broadcast_bytes, bytes);
+        Broadcast::new(value)
+    }
+
+    /// The shared-persistent-storage side channel (GPFS stand-in).
+    pub fn side_channel(&self) -> &SideChannel {
+        &self.inner.side
+    }
+
+    /// Point-in-time copy of the engine counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
+    /// Arranges for the next task computing `(rdd_id, partition)` to fail
+    /// once (consumed on first trigger). Pure jobs recover via lineage.
+    pub fn inject_task_failure(&self, rdd_id: usize, partition: usize) {
+        self.inner.failures.inject(rdd_id, partition);
+    }
+
+    /// Convenience: collects `rdd` and asserts it succeeded. Used in docs
+    /// and tests.
+    pub fn collect_unwrap<T: Data>(&self, rdd: &Rdd<T>) -> Vec<T> {
+        rdd.collect().expect("job failed")
+    }
+}
+
+impl std::fmt::Debug for SparkContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SparkContext")
+            .field("num_cores", &self.inner.config.num_cores)
+            .finish()
+    }
+}
+

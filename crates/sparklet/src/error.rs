@@ -1,0 +1,50 @@
+//! Error types surfaced by jobs.
+
+use std::fmt;
+
+/// Errors a Spark job (action) can fail with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparkError {
+    /// A task failure injected by the test harness (consumed on retry).
+    InjectedFailure {
+        /// RDD whose task failed.
+        rdd: usize,
+        /// Partition index of the failed task.
+        partition: usize,
+    },
+    /// A side-channel blob was missing when a task (re)ran — the failure
+    /// mode that makes the paper's collect/broadcast solvers "impure".
+    SideChannelMiss {
+        /// Key of the missing blob.
+        key: String,
+    },
+    /// A side-channel blob exists under this key but with a different type.
+    SideChannelType {
+        /// Key of the mistyped blob.
+        key: String,
+    },
+    /// Error raised by user code inside a `try_*` transformation.
+    User(String),
+}
+
+impl fmt::Display for SparkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparkError::InjectedFailure { rdd, partition } => {
+                write!(f, "injected failure in task (rdd {rdd}, partition {partition})")
+            }
+            SparkError::SideChannelMiss { key } => {
+                write!(f, "side-channel blob '{key}' is missing (storage is not fault-tolerant)")
+            }
+            SparkError::SideChannelType { key } => {
+                write!(f, "side-channel blob '{key}' has unexpected type")
+            }
+            SparkError::User(msg) => write!(f, "user error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SparkError {}
+
+/// Result alias for job outcomes.
+pub type SparkResult<T> = Result<T, SparkError>;

@@ -1,0 +1,147 @@
+//! Engine-wide counters: the observable the paper's systems analysis runs on.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic engine counters, shared by all jobs of a [`SparkContext`]
+/// (snapshot-and-subtract to scope to a region of interest).
+///
+/// [`SparkContext`]: crate::SparkContext
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Actions executed.
+    pub jobs: AtomicU64,
+    /// Stages executed (1 per action + 1 per shuffle materialization).
+    pub stages: AtomicU64,
+    /// Tasks launched (including retries).
+    pub tasks: AtomicU64,
+    /// Task retries after failures.
+    pub task_retries: AtomicU64,
+    /// Shuffles materialized.
+    pub shuffles: AtomicU64,
+    /// Records written by shuffle map sides (after map-side combine).
+    pub shuffle_records: AtomicU64,
+    /// Estimated bytes written by shuffle map sides.
+    pub shuffle_bytes: AtomicU64,
+    /// Estimated bytes pushed through broadcast variables.
+    pub broadcast_bytes: AtomicU64,
+    /// Side-channel blob writes.
+    pub side_channel_writes: AtomicU64,
+    /// Side-channel blob reads.
+    pub side_channel_reads: AtomicU64,
+    /// Estimated bytes written to the side channel.
+    pub side_channel_bytes_written: AtomicU64,
+    /// Estimated bytes read from the side channel.
+    pub side_channel_bytes_read: AtomicU64,
+    /// Cached-partition hits.
+    pub cache_hits: AtomicU64,
+    /// Records collected back to the driver by actions.
+    pub collected_records: AtomicU64,
+}
+
+impl Metrics {
+    pub(crate) fn add(&self, field: &AtomicU64, v: u64) {
+        field.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            jobs: self.jobs.load(Ordering::Relaxed),
+            stages: self.stages.load(Ordering::Relaxed),
+            tasks: self.tasks.load(Ordering::Relaxed),
+            task_retries: self.task_retries.load(Ordering::Relaxed),
+            shuffles: self.shuffles.load(Ordering::Relaxed),
+            shuffle_records: self.shuffle_records.load(Ordering::Relaxed),
+            shuffle_bytes: self.shuffle_bytes.load(Ordering::Relaxed),
+            broadcast_bytes: self.broadcast_bytes.load(Ordering::Relaxed),
+            side_channel_writes: self.side_channel_writes.load(Ordering::Relaxed),
+            side_channel_reads: self.side_channel_reads.load(Ordering::Relaxed),
+            side_channel_bytes_written: self.side_channel_bytes_written.load(Ordering::Relaxed),
+            side_channel_bytes_read: self.side_channel_bytes_read.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            collected_records: self.collected_records.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of [`Metrics`]; supports `a.delta(&b)` for scoping.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[allow(missing_docs)] // field meanings documented on `Metrics`
+pub struct MetricsSnapshot {
+    pub jobs: u64,
+    pub stages: u64,
+    pub tasks: u64,
+    pub task_retries: u64,
+    pub shuffles: u64,
+    pub shuffle_records: u64,
+    pub shuffle_bytes: u64,
+    pub broadcast_bytes: u64,
+    pub side_channel_writes: u64,
+    pub side_channel_reads: u64,
+    pub side_channel_bytes_written: u64,
+    pub side_channel_bytes_read: u64,
+    pub cache_hits: u64,
+    pub collected_records: u64,
+}
+
+impl MetricsSnapshot {
+    /// Counter increments between an earlier snapshot `before` and `self`.
+    pub fn delta(&self, before: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            jobs: self.jobs - before.jobs,
+            stages: self.stages - before.stages,
+            tasks: self.tasks - before.tasks,
+            task_retries: self.task_retries - before.task_retries,
+            shuffles: self.shuffles - before.shuffles,
+            shuffle_records: self.shuffle_records - before.shuffle_records,
+            shuffle_bytes: self.shuffle_bytes - before.shuffle_bytes,
+            broadcast_bytes: self.broadcast_bytes - before.broadcast_bytes,
+            side_channel_writes: self.side_channel_writes - before.side_channel_writes,
+            side_channel_reads: self.side_channel_reads - before.side_channel_reads,
+            side_channel_bytes_written: self.side_channel_bytes_written
+                - before.side_channel_bytes_written,
+            side_channel_bytes_read: self.side_channel_bytes_read - before.side_channel_bytes_read,
+            cache_hits: self.cache_hits - before.cache_hits,
+            collected_records: self.collected_records - before.collected_records,
+        }
+    }
+
+    /// Total estimated data movement (shuffle + broadcast + side channel).
+    pub fn total_movement_bytes(&self) -> u64 {
+        self.shuffle_bytes
+            + self.broadcast_bytes
+            + self.side_channel_bytes_written
+            + self.side_channel_bytes_read
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta() {
+        let m = Metrics::default();
+        m.add(&m.tasks, 5);
+        let a = m.snapshot();
+        m.add(&m.tasks, 3);
+        m.add(&m.shuffle_bytes, 100);
+        let b = m.snapshot();
+        let d = b.delta(&a);
+        assert_eq!(d.tasks, 3);
+        assert_eq!(d.shuffle_bytes, 100);
+        assert_eq!(d.jobs, 0);
+    }
+
+    #[test]
+    fn movement_totals() {
+        let s = MetricsSnapshot {
+            shuffle_bytes: 10,
+            broadcast_bytes: 20,
+            side_channel_bytes_written: 30,
+            side_channel_bytes_read: 40,
+            ..Default::default()
+        };
+        assert_eq!(s.total_movement_bytes(), 100);
+    }
+}

@@ -1,0 +1,213 @@
+//! Extended pair-RDD operations: `zip_partitions`, `cogroup`, `join` —
+//! the remainder of the classic Spark pair API. Not used by the APSP
+//! solvers themselves (the paper's algorithms avoid joins deliberately),
+//! but part of making the substrate a credible engine, and used by
+//! downstream examples.
+
+use crate::error::SparkResult;
+use crate::partitioner::Partitioner;
+use crate::rdd::Rdd;
+use crate::size::EstimateSize;
+use crate::{Data, Key};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Result record of [`Rdd::cogroup`]: per key, the values from each side.
+pub type CoGrouped<K, V, W> = (K, (Vec<V>, Vec<W>));
+
+impl<T: Data> Rdd<T> {
+    /// Pairs this RDD's partitions 1:1 with `other`'s (both must have the
+    /// same partition count) and maps each pair through `f` (narrow; the
+    /// building block for co-partitioned joins).
+    pub fn zip_partitions<U: Data, R: Data>(
+        &self,
+        other: &Rdd<U>,
+        f: impl Fn(Vec<T>, Vec<U>) -> Vec<R> + Send + Sync + 'static,
+    ) -> Rdd<R> {
+        assert_eq!(
+            self.num_partitions(),
+            other.num_partitions(),
+            "zip_partitions requires equal partition counts"
+        );
+        let left = self.inner.clone();
+        let right = other.inner.clone();
+        let mut upstream = left.upstream.clone();
+        upstream.extend(right.upstream.iter().cloned());
+        let compute = move |p: usize| -> SparkResult<Vec<R>> {
+            let l = left.partition_data(p)?;
+            let r = right.partition_data(p)?;
+            Ok(f(l, r))
+        };
+        Rdd::new(
+            self.inner.ctx.clone(),
+            self.num_partitions(),
+            "zip_partitions",
+            Box::new(compute),
+            upstream,
+        )
+    }
+}
+
+impl<K: Key + EstimateSize, V: Data + EstimateSize> Rdd<(K, V)> {
+    /// Spark `cogroup`: for every key present in either RDD, the values
+    /// from both sides. Both sides are shuffled with `partitioner`, then
+    /// matched partition-locally.
+    pub fn cogroup<W: Data + EstimateSize>(
+        &self,
+        other: &Rdd<(K, W)>,
+        partitioner: Arc<dyn Partitioner<K>>,
+    ) -> Rdd<CoGrouped<K, V, W>> {
+        let left = self.group_by_key(partitioner.clone());
+        let right = other.group_by_key(partitioner.clone());
+        let out = left.zip_partitions(&right, |l, r| {
+            let mut table: HashMap<K, (Vec<V>, Vec<W>)> = HashMap::new();
+            for (k, vs) in l {
+                table.entry(k).or_default().0.extend(vs);
+            }
+            for (k, ws) in r {
+                table.entry(k).or_default().1.extend(ws);
+            }
+            table.into_iter().collect()
+        });
+        out.set_partitioner_identity(partitioner.identity());
+        out
+    }
+
+    /// Spark inner `join`: `(K, V) ⋈ (K, W) → (K, (V, W))`.
+    pub fn join<W: Data + EstimateSize>(
+        &self,
+        other: &Rdd<(K, W)>,
+        partitioner: Arc<dyn Partitioner<K>>,
+    ) -> Rdd<(K, (V, W))> {
+        self.cogroup(other, partitioner).flat_map(|(k, (vs, ws))| {
+            let mut out = Vec::with_capacity(vs.len() * ws.len());
+            for v in &vs {
+                for w in &ws {
+                    out.push((k.clone(), (v.clone(), w.clone())));
+                }
+            }
+            out
+        })
+    }
+
+    /// Spark left outer join: keeps unmatched left keys with `None`.
+    pub fn left_outer_join<W: Data + EstimateSize>(
+        &self,
+        other: &Rdd<(K, W)>,
+        partitioner: Arc<dyn Partitioner<K>>,
+    ) -> Rdd<(K, (V, Option<W>))> {
+        self.cogroup(other, partitioner).flat_map(|(k, (vs, ws))| {
+            let mut out = Vec::new();
+            for v in &vs {
+                if ws.is_empty() {
+                    out.push((k.clone(), (v.clone(), None)));
+                } else {
+                    for w in &ws {
+                        out.push((k.clone(), (v.clone(), Some(w.clone()))));
+                    }
+                }
+            }
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::partitioner::ModPartitioner;
+    use crate::{SparkConfig, SparkContext};
+    use std::sync::Arc;
+
+    fn ctx() -> SparkContext {
+        SparkContext::new(SparkConfig::with_cores(4))
+    }
+
+    #[test]
+    fn zip_partitions_aligns() {
+        let sc = ctx();
+        let a = sc.parallelize(vec![1u64, 2, 3, 4], 2);
+        let b = sc.parallelize(vec![10u64, 20, 30, 40], 2);
+        let mut out = a
+            .zip_partitions(&b, |l, r| {
+                l.into_iter().zip(r).map(|(x, y)| x + y).collect()
+            })
+            .collect()
+            .unwrap();
+        out.sort();
+        assert_eq!(out, vec![11, 22, 33, 44]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal partition counts")]
+    fn zip_partitions_rejects_mismatch() {
+        let sc = ctx();
+        let a = sc.parallelize(vec![1u64], 2);
+        let b = sc.parallelize(vec![1u64], 3);
+        let _ = a.zip_partitions(&b, |l, _| l);
+    }
+
+    #[test]
+    fn cogroup_collects_both_sides() {
+        let sc = ctx();
+        let a = sc.parallelize(vec![(1u64, "a"), (2, "b"), (1, "c")], 2);
+        let b = sc.parallelize(vec![(1u64, 10u64), (3, 30)], 2);
+        let mut out = a
+            .cogroup(&b, Arc::new(ModPartitioner::new(3)))
+            .collect()
+            .unwrap();
+        out.sort_by_key(|(k, _)| *k);
+        assert_eq!(out.len(), 3);
+        let (k1, (vs1, ws1)) = &out[0];
+        assert_eq!(*k1, 1);
+        assert_eq!(vs1.len(), 2);
+        assert_eq!(ws1, &vec![10]);
+        let (k3, (vs3, ws3)) = &out[2];
+        assert_eq!(*k3, 3);
+        assert!(vs3.is_empty());
+        assert_eq!(ws3, &vec![30]);
+    }
+
+    #[test]
+    fn inner_join_matches_keys() {
+        let sc = ctx();
+        let users = sc.parallelize(vec![(1u64, "alice"), (2, "bob"), (3, "carol")], 2);
+        let carts = sc.parallelize(vec![(1u64, 99u64), (3, 42), (3, 7)], 3);
+        let mut out = users
+            .join(&carts, Arc::new(ModPartitioner::new(4)))
+            .collect()
+            .unwrap();
+        out.sort();
+        assert_eq!(
+            out,
+            vec![(1, ("alice", 99)), (3, ("carol", 7)), (3, ("carol", 42))]
+        );
+    }
+
+    #[test]
+    fn left_outer_join_keeps_unmatched() {
+        let sc = ctx();
+        let a = sc.parallelize(vec![(1u64, "x"), (2, "y")], 1);
+        let b = sc.parallelize(vec![(1u64, 5u64)], 1);
+        let mut out = a
+            .left_outer_join(&b, Arc::new(ModPartitioner::new(2)))
+            .collect()
+            .unwrap();
+        out.sort();
+        assert_eq!(out, vec![(1, ("x", Some(5))), (2, ("y", None))]);
+    }
+
+    #[test]
+    fn join_is_partitioned_by_the_given_partitioner() {
+        let sc = ctx();
+        let a = sc.parallelize((0u64..20).map(|i| (i, i)).collect(), 3);
+        let b = sc.parallelize((0u64..20).map(|i| (i, i * 2)).collect(), 2);
+        let p = Arc::new(ModPartitioner::new(4));
+        let joined = a.cogroup(&b, p);
+        let parts = joined.glom().unwrap();
+        for (idx, content) in parts.iter().enumerate() {
+            for (k, _) in content {
+                assert_eq!(*k as usize % 4, idx);
+            }
+        }
+    }
+}

@@ -1,0 +1,542 @@
+//! Wide (shuffle) transformations: the stage boundaries of the engine.
+//!
+//! A shuffle materializes eagerly when the first downstream action runs:
+//! the map side evaluates every parent partition, buckets records by the
+//! target [`Partitioner`] (with optional map-side combining, as Spark's
+//! `combineByKey` does), and the reduce side merges buckets. Record and
+//! byte counts are accumulated into [`crate::Metrics`] — these are the
+//! numbers behind the paper's shuffle-volume arguments.
+
+use crate::error::SparkResult;
+use crate::partitioner::Partitioner;
+use crate::rdd::{Rdd, RddInner};
+use crate::size::EstimateSize;
+use crate::{Data, Key};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
+
+/// A materializable shuffle dependency (type-erased).
+pub(crate) trait ShuffleDep: Send + Sync {
+    /// Unique id (shares the RDD id space).
+    fn dep_id(&self) -> usize;
+    /// Shuffles that must materialize before this one.
+    fn upstream(&self) -> &[Arc<dyn ShuffleDep>];
+    /// Runs the map side and builds reduce buckets (idempotent).
+    fn materialize(&self) -> SparkResult<()>;
+}
+
+type CreateFn<V, C> = Box<dyn Fn(V) -> C + Send + Sync>;
+type MergeValueFn<V, C> = Box<dyn Fn(C, V) -> C + Send + Sync>;
+type MergeCombinersFn<C> = Box<dyn Fn(C, C) -> C + Send + Sync>;
+
+/// Shuffle with map-side combining (`combineByKey` family).
+struct AggShuffleNode<K, V, C> {
+    id: usize,
+    parent: Arc<RddInner<(K, V)>>,
+    partitioner: Arc<dyn Partitioner<K>>,
+    create: CreateFn<V, C>,
+    merge_value: MergeValueFn<V, C>,
+    merge_combiners: MergeCombinersFn<C>,
+    output: OnceLock<Vec<Vec<(K, C)>>>,
+    upstream: Vec<Arc<dyn ShuffleDep>>,
+}
+
+impl<K, V, C> ShuffleDep for AggShuffleNode<K, V, C>
+where
+    K: Key + EstimateSize,
+    V: Data,
+    C: Data + EstimateSize,
+{
+    fn dep_id(&self) -> usize {
+        self.id
+    }
+
+    fn upstream(&self) -> &[Arc<dyn ShuffleDep>] {
+        &self.upstream
+    }
+
+    fn materialize(&self) -> SparkResult<()> {
+        if self.output.get().is_some() {
+            return Ok(());
+        }
+        let ctx = &self.parent.ctx;
+        let nout = self.partitioner.num_partitions();
+
+        // Map side: evaluate parent partitions, bucket with map-side combine.
+        let map_outputs: SparkResult<Vec<Vec<HashMap<K, C>>>> = ctx.pool.install(|| {
+            (0..self.parent.parts)
+                .into_par_iter()
+                .map(|p| {
+                    let items = ctx.run_task(&self.parent, p)?;
+                    let mut buckets: Vec<HashMap<K, C>> =
+                        (0..nout).map(|_| HashMap::new()).collect();
+                    for (k, v) in items {
+                        let b = self.partitioner.partition(&k);
+                        let bucket = &mut buckets[b];
+                        let combined = match bucket.remove(&k) {
+                            Some(c) => (self.merge_value)(c, v),
+                            None => (self.create)(v),
+                        };
+                        bucket.insert(k, combined);
+                    }
+                    Ok(buckets)
+                })
+                .collect()
+        });
+        let map_outputs = map_outputs?;
+
+        // Account the shuffle write (post-combine records cross the wire).
+        let (mut records, mut bytes) = (0u64, 0u64);
+        for mo in &map_outputs {
+            for bucket in mo {
+                for (k, c) in bucket {
+                    records += 1;
+                    bytes += (k.estimate_bytes() + c.estimate_bytes()) as u64;
+                }
+            }
+        }
+        ctx.metrics.add(&ctx.metrics.shuffle_records, records);
+        ctx.metrics.add(&ctx.metrics.shuffle_bytes, bytes);
+        ctx.metrics.add(&ctx.metrics.shuffles, 1);
+        ctx.metrics.add(&ctx.metrics.stages, 1);
+
+        // Transpose map outputs into per-reduce-bucket lists.
+        let mut per_bucket: Vec<Vec<HashMap<K, C>>> = (0..nout).map(|_| Vec::new()).collect();
+        for mo in map_outputs {
+            for (b, bucket) in mo.into_iter().enumerate() {
+                if !bucket.is_empty() {
+                    per_bucket[b].push(bucket);
+                }
+            }
+        }
+
+        // Reduce side: merge combiners per bucket, in parallel.
+        let merged: Vec<Vec<(K, C)>> = ctx.pool.install(|| {
+            per_bucket
+                .into_par_iter()
+                .map(|maps| {
+                    let mut acc: HashMap<K, C> = HashMap::new();
+                    for m in maps {
+                        for (k, c) in m {
+                            let combined = match acc.remove(&k) {
+                                Some(prev) => (self.merge_combiners)(prev, c),
+                                None => c,
+                            };
+                            acc.insert(k, combined);
+                        }
+                    }
+                    acc.into_iter().collect()
+                })
+                .collect()
+        });
+        let _ = self.output.set(merged);
+        Ok(())
+    }
+}
+
+/// Shuffle without combining (`partitionBy`): records are moved verbatim.
+struct RepartitionNode<K, V> {
+    id: usize,
+    parent: Arc<RddInner<(K, V)>>,
+    partitioner: Arc<dyn Partitioner<K>>,
+    output: OnceLock<Vec<Vec<(K, V)>>>,
+    upstream: Vec<Arc<dyn ShuffleDep>>,
+}
+
+impl<K, V> ShuffleDep for RepartitionNode<K, V>
+where
+    K: Key + EstimateSize,
+    V: Data + EstimateSize,
+{
+    fn dep_id(&self) -> usize {
+        self.id
+    }
+
+    fn upstream(&self) -> &[Arc<dyn ShuffleDep>] {
+        &self.upstream
+    }
+
+    fn materialize(&self) -> SparkResult<()> {
+        if self.output.get().is_some() {
+            return Ok(());
+        }
+        let ctx = &self.parent.ctx;
+        let nout = self.partitioner.num_partitions();
+        type Buckets<K, V> = Vec<Vec<(K, V)>>;
+        let map_outputs: SparkResult<Vec<Buckets<K, V>>> = ctx.pool.install(|| {
+            (0..self.parent.parts)
+                .into_par_iter()
+                .map(|p| {
+                    let items = ctx.run_task(&self.parent, p)?;
+                    let mut buckets: Vec<Vec<(K, V)>> = (0..nout).map(|_| Vec::new()).collect();
+                    for (k, v) in items {
+                        let b = self.partitioner.partition(&k);
+                        buckets[b].push((k, v));
+                    }
+                    Ok(buckets)
+                })
+                .collect()
+        });
+        let map_outputs = map_outputs?;
+
+        let (mut records, mut bytes) = (0u64, 0u64);
+        for mo in &map_outputs {
+            for bucket in mo {
+                for (k, v) in bucket {
+                    records += 1;
+                    bytes += (k.estimate_bytes() + v.estimate_bytes()) as u64;
+                }
+            }
+        }
+        ctx.metrics.add(&ctx.metrics.shuffle_records, records);
+        ctx.metrics.add(&ctx.metrics.shuffle_bytes, bytes);
+        ctx.metrics.add(&ctx.metrics.shuffles, 1);
+        ctx.metrics.add(&ctx.metrics.stages, 1);
+
+        let mut out: Vec<Vec<(K, V)>> = (0..nout).map(|_| Vec::new()).collect();
+        for mo in map_outputs {
+            for (b, bucket) in mo.into_iter().enumerate() {
+                out[b].extend(bucket);
+            }
+        }
+        let _ = self.output.set(out);
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pair-RDD transformations
+// ---------------------------------------------------------------------
+
+impl<K: Key + EstimateSize, V: Data + EstimateSize> Rdd<(K, V)> {
+    /// General Spark `combineByKey`: per-key aggregation with map-side
+    /// combining. `create` builds a combiner from the first value seen for
+    /// a key in a map task, `merge_value` folds further values in, and
+    /// `merge_combiners` merges across map tasks on the reduce side.
+    ///
+    /// This is the engine mechanism behind the paper's `ListAppend` /
+    /// `ListUnpack` pairing step (Algorithm 3).
+    pub fn combine_by_key<C: Data + EstimateSize>(
+        &self,
+        partitioner: Arc<dyn Partitioner<K>>,
+        create: impl Fn(V) -> C + Send + Sync + 'static,
+        merge_value: impl Fn(C, V) -> C + Send + Sync + 'static,
+        merge_combiners: impl Fn(C, C) -> C + Send + Sync + 'static,
+    ) -> Rdd<(K, C)> {
+        let ctx = self.inner.ctx.clone();
+        let node = Arc::new(AggShuffleNode {
+            id: ctx.next_rdd_id(),
+            parent: self.inner.clone(),
+            partitioner: partitioner.clone(),
+            create: Box::new(create),
+            merge_value: Box::new(merge_value),
+            merge_combiners: Box::new(merge_combiners),
+            output: OnceLock::new(),
+            upstream: self.inner.upstream.clone(),
+        });
+        let nout = partitioner.num_partitions();
+        let compute = {
+            let node = node.clone();
+            move |p: usize| {
+                Ok(node
+                    .output
+                    .get()
+                    .expect("shuffle must be materialized before downstream compute")[p]
+                    .clone())
+            }
+        };
+        let rdd = Rdd::new(
+            ctx,
+            nout,
+            "combine_by_key",
+            Box::new(compute),
+            vec![node as Arc<dyn ShuffleDep>],
+        );
+        rdd.set_partitioner_identity(partitioner.identity());
+        rdd
+    }
+
+    /// Spark `reduceByKey`: merge values per key with an associative,
+    /// commutative operation (map-side combined).
+    pub fn reduce_by_key(
+        &self,
+        partitioner: Arc<dyn Partitioner<K>>,
+        f: impl Fn(V, V) -> V + Send + Sync + 'static,
+    ) -> Rdd<(K, V)> {
+        let f = Arc::new(f);
+        let fm = f.clone();
+        self.combine_by_key(partitioner, |v| v, move |c, v| f(c, v), move |a, b| fm(a, b))
+    }
+
+    /// Spark `groupByKey`: gather all values per key (no pre-aggregation
+    /// benefit; the full record volume crosses the shuffle).
+    pub fn group_by_key(&self, partitioner: Arc<dyn Partitioner<K>>) -> Rdd<(K, Vec<V>)> {
+        self.combine_by_key(
+            partitioner,
+            |v| vec![v],
+            |mut c, v| {
+                c.push(v);
+                c
+            },
+            |mut a, mut b| {
+                a.append(&mut b);
+                a
+            },
+        )
+    }
+
+    /// Spark `partitionBy`: redistribute records according to
+    /// `partitioner`. If this RDD already carries an identical partitioner
+    /// identity the call is a no-op returning `self` (Spark's behaviour) —
+    /// the paper's solvers rely on calling this after `union`, which drops
+    /// the partitioner, so the shuffle does happen there.
+    pub fn partition_by(&self, partitioner: Arc<dyn Partitioner<K>>) -> Rdd<(K, V)> {
+        if self.partitioner_identity().as_ref() == Some(&partitioner.identity()) {
+            return self.clone();
+        }
+        let ctx = self.inner.ctx.clone();
+        let node = Arc::new(RepartitionNode {
+            id: ctx.next_rdd_id(),
+            parent: self.inner.clone(),
+            partitioner: partitioner.clone(),
+            output: OnceLock::new(),
+            upstream: self.inner.upstream.clone(),
+        });
+        let nout = partitioner.num_partitions();
+        let compute = {
+            let node = node.clone();
+            move |p: usize| {
+                Ok(node
+                    .output
+                    .get()
+                    .expect("shuffle must be materialized before downstream compute")[p]
+                    .clone())
+            }
+        };
+        let rdd = Rdd::new(
+            ctx,
+            nout,
+            "partition_by",
+            Box::new(compute),
+            vec![node as Arc<dyn ShuffleDep>],
+        );
+        rdd.set_partitioner_identity(partitioner.identity());
+        rdd
+    }
+}
+
+impl<K: Key, V: Data> Rdd<(K, V)> {
+    /// Transforms values, keeping keys and partitioning (narrow).
+    pub fn map_values<U: Data>(&self, f: impl Fn(V) -> U + Send + Sync + 'static) -> Rdd<(K, U)> {
+        let identity = self.partitioner_identity();
+        let out = self.map(move |(k, v)| (k, f(v)));
+        if let Some(id) = identity {
+            out.set_partitioner_identity(id);
+        }
+        out
+    }
+
+    /// Projects keys (narrow).
+    pub fn keys(&self) -> Rdd<K> {
+        self.map(|(k, _)| k)
+    }
+
+    /// Projects values (narrow).
+    pub fn values(&self) -> Rdd<V> {
+        self.map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::partitioner::{ModPartitioner, PortableHashPartitioner, StdHashPartitioner};
+    use crate::{SparkConfig, SparkContext};
+    use std::sync::Arc;
+
+    fn ctx() -> SparkContext {
+        SparkContext::new(SparkConfig::with_cores(4))
+    }
+
+    #[test]
+    fn reduce_by_key_sums() {
+        let sc = ctx();
+        let pairs: Vec<(u64, u64)> = (0..100).map(|i| (i % 5, 1)).collect();
+        let rdd = sc.parallelize(pairs, 8);
+        let mut out = rdd
+            .reduce_by_key(Arc::new(ModPartitioner::new(3)), |a, b| a + b)
+            .collect()
+            .unwrap();
+        out.sort();
+        assert_eq!(out, vec![(0, 20), (1, 20), (2, 20), (3, 20), (4, 20)]);
+    }
+
+    #[test]
+    fn combine_by_key_builds_lists() {
+        let sc = ctx();
+        let pairs = vec![(1u64, 10u64), (2, 20), (1, 11), (2, 21), (1, 12)];
+        let rdd = sc.parallelize(pairs, 3);
+        let grouped = rdd.group_by_key(Arc::new(ModPartitioner::new(2)));
+        let mut out = grouped.collect().unwrap();
+        out.sort_by_key(|(k, _)| *k);
+        assert_eq!(out.len(), 2);
+        let mut v1 = out[0].1.clone();
+        v1.sort();
+        assert_eq!(v1, vec![10, 11, 12]);
+        let mut v2 = out[1].1.clone();
+        v2.sort();
+        assert_eq!(v2, vec![20, 21]);
+    }
+
+    #[test]
+    fn partition_by_places_keys() {
+        let sc = ctx();
+        let pairs: Vec<(u64, u64)> = (0..40).map(|i| (i, i * i)).collect();
+        let rdd = sc.parallelize(pairs, 5);
+        let parted = rdd.partition_by(Arc::new(ModPartitioner::new(4)));
+        let parts = parted.glom().unwrap();
+        assert_eq!(parts.len(), 4);
+        for (p, content) in parts.iter().enumerate() {
+            for (k, _) in content {
+                assert_eq!(*k as usize % 4, p, "key {k} in wrong partition {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_by_same_partitioner_is_noop() {
+        let sc = ctx();
+        let pairs: Vec<(u64, u64)> = (0..10).map(|i| (i, i)).collect();
+        let p = Arc::new(ModPartitioner::new(4));
+        let rdd = sc
+            .parallelize(pairs, 2)
+            .partition_by(p.clone());
+        let _ = rdd.collect().unwrap(); // materialize the first shuffle
+        let before = sc.metrics();
+        let again = rdd.partition_by(p);
+        assert_eq!(again.id(), rdd.id(), "expected the same RDD back");
+        let _ = again.collect().unwrap();
+        let after = sc.metrics();
+        assert_eq!(after.shuffles - before.shuffles, 0);
+    }
+
+    #[test]
+    fn shuffle_metrics_recorded() {
+        let sc = ctx();
+        let pairs: Vec<(u64, u64)> = (0..1000).map(|i| (i % 10, i)).collect();
+        let rdd = sc.parallelize(pairs, 4);
+        let before = sc.metrics();
+        let _ = rdd
+            .reduce_by_key(Arc::new(ModPartitioner::new(4)), |a, b| a.max(b))
+            .collect()
+            .unwrap();
+        let after = sc.metrics().delta(&before);
+        assert_eq!(after.shuffles, 1);
+        // Map-side combine: <= 10 keys × 4 map tasks records, not 1000.
+        assert!(after.shuffle_records <= 40, "records {}", after.shuffle_records);
+        assert!(after.shuffle_bytes >= after.shuffle_records * 16);
+        assert_eq!(after.stages, 2); // shuffle stage + result stage
+    }
+
+    #[test]
+    fn map_side_combine_reduces_traffic_vs_group_by() {
+        let sc = ctx();
+        let pairs: Vec<(u64, u64)> = (0..2000).map(|i| (i % 4, i)).collect();
+        let rdd = sc.parallelize(pairs, 8).persist();
+        let _ = rdd.count().unwrap();
+
+        let b0 = sc.metrics();
+        let _ = rdd
+            .reduce_by_key(Arc::new(ModPartitioner::new(4)), |a, b| a + b)
+            .collect()
+            .unwrap();
+        let reduced = sc.metrics().delta(&b0);
+
+        let b1 = sc.metrics();
+        let _ = rdd
+            .group_by_key(Arc::new(ModPartitioner::new(4)))
+            .collect()
+            .unwrap();
+        let grouped = sc.metrics().delta(&b1);
+
+        assert!(
+            grouped.shuffle_bytes > 10 * reduced.shuffle_bytes,
+            "group_by bytes {} should dwarf reduce_by bytes {}",
+            grouped.shuffle_bytes,
+            reduced.shuffle_bytes
+        );
+    }
+
+    #[test]
+    fn shuffle_then_narrow_then_shuffle_chains() {
+        let sc = ctx();
+        let pairs: Vec<(u64, u64)> = (0..100).map(|i| (i, 1)).collect();
+        let rdd = sc.parallelize(pairs, 4);
+        let first = rdd.reduce_by_key(Arc::new(ModPartitioner::new(4)), |a, b| a + b);
+        let remapped = first.map(|(k, v)| (k % 3, v));
+        let second = remapped.reduce_by_key(Arc::new(ModPartitioner::new(2)), |a, b| a + b);
+        let mut out = second.collect().unwrap();
+        out.sort();
+        let total: u64 = out.iter().map(|(_, v)| v).sum();
+        assert_eq!(total, 100);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn portable_hash_partitioner_usable_in_shuffle() {
+        let sc = ctx();
+        let pairs: Vec<((usize, usize), u64)> =
+            (0..8).flat_map(|i| (i..8).map(move |j| ((i, j), 1))).collect();
+        let rdd = sc.parallelize(pairs, 4);
+        let counted = rdd.reduce_by_key(
+            Arc::new(PortableHashPartitioner::new(8)),
+            |a, b| a + b,
+        );
+        assert_eq!(counted.count().unwrap(), 36);
+    }
+
+    #[test]
+    fn std_hash_partitioner_strings() {
+        let sc = ctx();
+        let pairs = vec![
+            ("apple".to_string(), 1u64),
+            ("banana".to_string(), 2),
+            ("apple".to_string(), 3),
+        ];
+        let rdd = sc.parallelize(pairs, 2);
+        let mut out = rdd
+            .reduce_by_key(Arc::new(StdHashPartitioner::new(2)), |a, b| a + b)
+            .collect()
+            .unwrap();
+        out.sort();
+        assert_eq!(out, vec![("apple".to_string(), 4), ("banana".to_string(), 2)]);
+    }
+
+    #[test]
+    fn map_values_preserves_partitioner() {
+        let sc = ctx();
+        let pairs: Vec<(u64, u64)> = (0..20).map(|i| (i, i)).collect();
+        let p = Arc::new(ModPartitioner::new(4));
+        let parted = sc.parallelize(pairs, 2).partition_by(p.clone());
+        let mapped = parted.map_values(|v| v * 2);
+        let _ = mapped.collect().unwrap(); // materialize the first shuffle
+        let before = sc.metrics();
+        let again = mapped.partition_by(p);
+        let _ = again.collect().unwrap();
+        assert_eq!(sc.metrics().shuffles - before.shuffles, 0);
+    }
+
+    #[test]
+    fn failure_in_map_stage_recovers() {
+        let sc = ctx();
+        let pairs: Vec<(u64, u64)> = (0..10).map(|i| (i % 2, i)).collect();
+        let source = sc.parallelize(pairs, 2);
+        sc.inject_task_failure(source.id(), 0);
+        let out = source
+            .reduce_by_key(Arc::new(ModPartitioner::new(2)), |a, b| a + b)
+            .collect()
+            .unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(sc.metrics().task_retries >= 1);
+    }
+}

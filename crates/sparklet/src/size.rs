@@ -1,0 +1,120 @@
+//! Lightweight payload-size estimation used for shuffle/broadcast byte
+//! accounting (the role Spark's SizeEstimator plays).
+
+use apsp_blockmat::{Block, Matrix};
+
+/// Estimate of the serialized/in-memory footprint of a value, in bytes.
+///
+/// Only needs to be *proportionally* right: the paper's analysis compares
+/// shuffle volumes across solvers and block sizes, so a consistent estimate
+/// is sufficient.
+pub trait EstimateSize {
+    /// Approximate payload size in bytes.
+    fn estimate_bytes(&self) -> usize;
+}
+
+macro_rules! impl_fixed {
+    ($($t:ty),*) => {
+        $(impl EstimateSize for $t {
+            #[inline]
+            fn estimate_bytes(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        })*
+    };
+}
+
+impl_fixed!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char, ());
+
+impl EstimateSize for String {
+    fn estimate_bytes(&self) -> usize {
+        std::mem::size_of::<String>() + self.len()
+    }
+}
+
+impl EstimateSize for &str {
+    fn estimate_bytes(&self) -> usize {
+        std::mem::size_of::<&str>() + self.len()
+    }
+}
+
+impl<T: EstimateSize> EstimateSize for Vec<T> {
+    fn estimate_bytes(&self) -> usize {
+        std::mem::size_of::<Vec<T>>() + self.iter().map(EstimateSize::estimate_bytes).sum::<usize>()
+    }
+}
+
+impl<T: EstimateSize> EstimateSize for Option<T> {
+    fn estimate_bytes(&self) -> usize {
+        std::mem::size_of::<usize>()
+            + self.as_ref().map(EstimateSize::estimate_bytes).unwrap_or(0)
+    }
+}
+
+impl<T: EstimateSize + ?Sized> EstimateSize for std::sync::Arc<T> {
+    fn estimate_bytes(&self) -> usize {
+        // Charge the payload: shuffling an Arc ships the data in a real
+        // cluster even if it is shared in-process here.
+        (**self).estimate_bytes()
+    }
+}
+
+impl<A: EstimateSize, B: EstimateSize> EstimateSize for (A, B) {
+    fn estimate_bytes(&self) -> usize {
+        self.0.estimate_bytes() + self.1.estimate_bytes()
+    }
+}
+
+impl<A: EstimateSize, B: EstimateSize, C: EstimateSize> EstimateSize for (A, B, C) {
+    fn estimate_bytes(&self) -> usize {
+        self.0.estimate_bytes() + self.1.estimate_bytes() + self.2.estimate_bytes()
+    }
+}
+
+impl EstimateSize for Block {
+    fn estimate_bytes(&self) -> usize {
+        std::mem::size_of::<Block>() + self.size_bytes()
+    }
+}
+
+impl EstimateSize for Matrix {
+    fn estimate_bytes(&self) -> usize {
+        std::mem::size_of::<Matrix>() + self.order() * self.order() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(5u64.estimate_bytes(), 8);
+        assert_eq!(1.5f64.estimate_bytes(), 8);
+        assert_eq!(true.estimate_bytes(), 1);
+    }
+
+    #[test]
+    fn composites() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(v.estimate_bytes(), 24 + 24);
+        let t = (1usize, 2usize);
+        assert_eq!(t.estimate_bytes(), 16);
+        let s = String::from("abcd");
+        assert_eq!(s.estimate_bytes(), 24 + 4);
+    }
+
+    #[test]
+    fn block_dominated_by_payload() {
+        let blk = Block::infinity(64);
+        let est = blk.estimate_bytes();
+        assert!(est >= 64 * 64 * 8);
+        assert!(est < 64 * 64 * 8 + 128);
+    }
+
+    #[test]
+    fn keyed_block_record() {
+        let rec = ((1usize, 2usize), Block::infinity(32));
+        assert!(rec.estimate_bytes() >= 16 + 32 * 32 * 8);
+    }
+}

@@ -1,0 +1,73 @@
+//! The paper's pure/impure distinction, demonstrated live.
+//!
+//! Pure solvers (Blocked In-Memory) depend only on lineage: an injected
+//! task failure is recovered by recomputation. Impure solvers (Blocked
+//! Collect/Broadcast) stage data in shared storage outside the lineage:
+//! "failed tasks depending on data in a shared file system are not
+//! guaranteed to be able to access that data when rescheduled" (paper §3).
+//!
+//! ```sh
+//! cargo run --release --example fault_tolerance
+//! ```
+
+use apspark::prelude::*;
+use apspark::sparklet::SparkError;
+
+fn main() {
+    let graph = apspark::graph::generators::erdos_renyi_paper(64, 0.1, 5);
+    let adj = graph.to_dense();
+    let oracle = apspark::graph::floyd_warshall(&graph);
+
+    // 1. Pure solver + injected failures → recovered via lineage.
+    let ctx = SparkContext::new(SparkConfig::with_cores(4));
+    // Fail a handful of future tasks: RDD ids are allocated sequentially,
+    // so ids 5..15 hit tasks across the first iterations of the solve.
+    for rdd in 5..15 {
+        ctx.inject_task_failure(rdd, 0);
+    }
+    let res = BlockedInMemory
+        .solve(&ctx, &adj, &SolverConfig::new(16))
+        .expect("pure solver must survive task failures");
+    res.distances()
+        .approx_eq(&oracle, 1e-9)
+        .expect("recovered result diverged");
+    println!(
+        "Blocked-IM survived {} task retries and still matches the oracle ✓",
+        res.metrics.task_retries
+    );
+    assert!(res.metrics.task_retries > 0, "expected at least one retry");
+
+    // 2. Impure solver + lost side-channel data → unrecoverable error.
+    //    We simulate the storage loss by making the shared store
+    //    unavailable mid-solve from a sabotage thread.
+    let ctx2 = SparkContext::new(SparkConfig::with_cores(4));
+    let saboteur = {
+        let ctx2 = ctx2.clone();
+        std::thread::spawn(move || {
+            // Let the solve start staging, then take the storage down.
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            ctx2.side_channel().set_available(false);
+        })
+    };
+    let outcome = BlockedCollectBroadcast.solve(&ctx2, &adj, &SolverConfig::new(8));
+    saboteur.join().unwrap();
+    match outcome {
+        Err(apspark::core::ApspError::Engine(SparkError::SideChannelMiss { key })) => {
+            println!("Blocked-CB failed unrecoverably once storage vanished (blob '{key}') ✓");
+        }
+        Ok(_) => {
+            // Timing-dependent: the solve may have finished before the
+            // sabotage landed. Demonstrate deterministically instead.
+            println!("solve finished before storage loss; demonstrating deterministically:");
+            let ctx3 = SparkContext::new(SparkConfig::with_cores(2));
+            ctx3.side_channel().set_available(false);
+            let err = BlockedCollectBroadcast
+                .solve(&ctx3, &adj, &SolverConfig::new(8))
+                .expect_err("CB cannot run without its side channel");
+            println!("Blocked-CB: {err} ✓");
+        }
+        Err(other) => panic!("unexpected failure mode: {other}"),
+    }
+
+    println!("\npure = recoverable by lineage; impure = hostage to external storage.");
+}

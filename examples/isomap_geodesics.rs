@@ -1,0 +1,84 @@
+//! Manifold learning: geodesic distances for Isomap (the paper's §1
+//! motivating workload).
+//!
+//! Isomap and other spectral dimensionality-reduction methods approximate
+//! geodesic distances on a manifold by shortest paths over a k-nearest-
+//! neighbour graph of the sampled points — "shortest paths in a
+//! neighborhood graph over high-dimensional points are known to be very
+//! robust approximation of geodesic distances on the underlying manifold"
+//! (paper §1, citing Tenenbaum et al.). APSP is the expensive kernel of
+//! that pipeline; this example runs it distributed.
+//!
+//! ```sh
+//! cargo run --release --example isomap_geodesics
+//! ```
+
+use apspark::prelude::*;
+
+fn main() {
+    // Sample a noisy swiss-roll curve in 3D and connect k nearest
+    // neighbours with Euclidean edge weights.
+    let (graph, points) = apspark::graph::generators::knn_swiss_roll(300, 6, 7);
+    println!(
+        "kNN graph over {} points: |E| = {}, components = {}",
+        points.len(),
+        graph.num_edges(),
+        graph.connected_components()
+    );
+
+    // Distributed APSP over the neighbourhood graph = geodesic estimates.
+    let ctx = SparkContext::new(SparkConfig::with_cores(4));
+    let result = BlockedCollectBroadcast
+        .solve(&ctx, &graph.to_dense(), &SolverConfig::new(75))
+        .expect("solve failed");
+    let geo = result.distances();
+
+    // Compare geodesic vs ambient (straight-line) distance for a few
+    // pairs: on a curled manifold geodesics are systematically longer.
+    let euclid = |a: usize, b: usize| -> f64 {
+        (0..3)
+            .map(|c| (points[a][c] - points[b][c]).powi(2))
+            .sum::<f64>()
+            .sqrt()
+    };
+    let mut stretched = 0usize;
+    let mut finite = 0usize;
+    let mut max_ratio: (f64, usize, usize) = (0.0, 0, 0);
+    for a in (0..300).step_by(17) {
+        for b in (a + 1..300).step_by(23) {
+            let g = geo.get(a, b);
+            if !g.is_finite() {
+                continue;
+            }
+            finite += 1;
+            let e = euclid(a, b);
+            if g > e + 1e-9 {
+                stretched += 1;
+            }
+            if e > 1e-9 && g / e > max_ratio.0 {
+                max_ratio = (g / e, a, b);
+            }
+        }
+    }
+    println!(
+        "{stretched}/{finite} sampled pairs have geodesic > straight-line distance \
+         (manifold curvature made visible)"
+    );
+    println!(
+        "largest stretch: {:.2}× between points {} and {}",
+        max_ratio.0, max_ratio.1, max_ratio.2
+    );
+
+    // The Isomap pipeline would now double-center geo² and take the top
+    // eigenvectors; the APSP above is the part this library accelerates.
+    let mean_geo: f64 = {
+        let vals: Vec<f64> = (0..300)
+            .flat_map(|i| (0..300).map(move |j| (i, j)))
+            .filter(|&(i, j)| i != j)
+            .map(|(i, j)| geo.get(i, j))
+            .filter(|v| v.is_finite())
+            .collect();
+        vals.iter().sum::<f64>() / vals.len() as f64
+    };
+    println!("mean finite geodesic distance: {mean_geo:.2}");
+}

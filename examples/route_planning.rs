@@ -1,0 +1,83 @@
+//! Route planning: shortest *paths* (not just lengths) and distributed
+//! distance queries.
+//!
+//! The paper computes only path lengths (§3); this example shows the two
+//! library extensions downstream users reach for first:
+//!
+//! 1. witness paths via the successor-matrix Floyd-Warshall
+//!    (`apspark::graph::paths`), and
+//! 2. querying a *distributed* result without collecting the full `n²`
+//!    matrix to the driver (`solve_distributed`), which is what makes
+//!    paper-scale results usable at all (550 GB at `n = 262144`).
+//!
+//! ```sh
+//! cargo run --release --example route_planning
+//! ```
+
+use apspark::graph::paths;
+use apspark::prelude::*;
+
+fn main() {
+    // A weighted road-ish network: a grid with a few fast "highways".
+    let (rows, cols) = (8usize, 8usize);
+    let n = rows * cols;
+    let mut g = apspark::graph::Graph::new(n);
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(id(r, c), id(r, c + 1), 3.0); // local street
+            }
+            if r + 1 < rows {
+                g.add_edge(id(r, c), id(r + 1, c), 3.0);
+            }
+        }
+    }
+    // Diagonal highway with cheap hops.
+    for k in 0..7 {
+        g.add_edge(id(k, k), id(k + 1, k + 1), 1.0);
+    }
+
+    // 1. Witness paths (sequential successor-matrix FW).
+    let pm = paths::apsp_paths(&g);
+    let from = id(0, 0) as usize;
+    let to = id(7, 7) as usize;
+    let route = pm.path(from, to).expect("connected");
+    println!(
+        "route {from} → {to}: distance {}, via {} hops",
+        pm.distance(from, to),
+        route.len() - 1
+    );
+    let on_highway = route
+        .windows(2)
+        .filter(|w| {
+            let (a, b) = (w[0], w[1]);
+            let (ra, ca) = (a / cols, a % cols);
+            let (rb, cb) = (b / cols, b % cols);
+            ra != rb && ca != cb // diagonal move = highway hop
+        })
+        .count();
+    println!("route uses the highway for {on_highway}/{} hops", route.len() - 1);
+    assert_eq!(on_highway, 7, "the cheap diagonal must be taken end-to-end");
+    pm.validate_against(&g.to_dense(), 1e-9)
+        .expect("path invariant violated");
+
+    // 2. Distributed solve + point queries (no full collection).
+    let ctx = SparkContext::new(SparkConfig::with_cores(4));
+    let dd = BlockedCollectBroadcast
+        .solve_distributed(&ctx, &g.to_dense(), &SolverConfig::new(16))
+        .expect("solve failed");
+    let d = dd.distance(from, to).expect("query failed");
+    assert!((d - pm.distance(from, to)).abs() < 1e-9);
+    println!("distributed point query agrees: d({from},{to}) = {d}");
+    let row = dd.row(from).expect("row query failed");
+    let furthest = row
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap();
+    println!(
+        "furthest intersection from {from}: vertex {} at distance {}",
+        furthest.0, furthest.1
+    );
+}

@@ -1,0 +1,243 @@
+//! `apspark` — command-line front end.
+//!
+//! ```text
+//! apspark generate --n 256 [--directed] [--seed S] --output graph.txt
+//! apspark solve    --input graph.txt [--directed] [--solver cb|im|fw2d|rs|cartesian|johnson|mpi-fw2d|mpi-dc]
+//!                  [--block-size B] [--cores C] [--output dists.txt]
+//! apspark project  --n 262144 [--cores 1024] [--solver cb] [--block-size B]
+//! ```
+
+use apspark::cluster::{project, ClusterSpec, KernelRates, SolverKind, SparkOverheads, Workload};
+use apspark::core::{directed::DirectedBlockedCB, tuner, DistributedJohnson, MpiDcApsp, MpiFw2d};
+use apspark::graph::{generators, io};
+use apspark::prelude::*;
+use std::collections::HashMap;
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("usage: apspark <generate|solve|project> [flags]; --help for details");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "solve" => cmd_solve(&flags),
+        "project" => cmd_project(&flags),
+        "--help" | "-h" | "help" => {
+            println!(
+                "apspark — distributed APSP (ICPP'19 reproduction)\n\n\
+                 generate --n N [--directed] [--seed S] --output FILE\n\
+                 solve    --input FILE [--directed] [--solver NAME] [--block-size B]\n          \
+                 [--cores C] [--output FILE]\n\
+                 project  --n N [--cores P] [--solver NAME] [--block-size B]\n\n\
+                 solvers: cb (default), im, fw2d, rs, cartesian, johnson, mpi-fw2d, mpi-dc"
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut out = HashMap::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let Some(key) = a.strip_prefix("--") else {
+            return Err(format!("expected --flag, got '{a}'"));
+        };
+        match key {
+            "directed" => {
+                out.insert("directed".into(), "true".into());
+            }
+            _ => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                out.insert(key.into(), v.clone());
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn get_usize(flags: &HashMap<String, String>, key: &str) -> Result<Option<usize>, String> {
+    flags
+        .get(key)
+        .map(|v| v.parse::<usize>().map_err(|e| format!("--{key}: {e}")))
+        .transpose()
+}
+
+fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let n = get_usize(flags, "n")?.ok_or("--n is required")?;
+    let seed = get_usize(flags, "seed")?.unwrap_or(42) as u64;
+    let output = flags.get("output").ok_or("--output is required")?;
+    if flags.contains_key("directed") {
+        let p = generators::paper_edge_probability(n, 0.1);
+        let g = generators::erdos_renyi_directed(n, p, seed);
+        io::save_digraph(&g, output).map_err(|e| e.to_string())?;
+        println!("wrote directed G({n}, {p:.5}) with {} arcs to {output}", g.num_arcs());
+    } else {
+        let g = generators::erdos_renyi_paper(n, 0.1, seed);
+        io::save_graph(&g, output).map_err(|e| e.to_string())?;
+        println!("wrote G({n}) with {} edges to {output}", g.num_edges());
+    }
+    Ok(())
+}
+
+fn write_distances(m: &apspark::blockmat::Matrix, output: Option<&String>) -> Result<(), String> {
+    let Some(path) = output else {
+        let n = m.order();
+        println!("distance matrix {n}×{n}; d(0, n-1) = {}", m.get(0, n - 1));
+        return Ok(());
+    };
+    let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+    let mut w = std::io::BufWriter::new(f);
+    let n = m.order();
+    for i in 0..n {
+        let row: Vec<String> = (0..n)
+            .map(|j| {
+                let v = m.get(i, j);
+                if v.is_finite() {
+                    format!("{v}")
+                } else {
+                    "inf".into()
+                }
+            })
+            .collect();
+        writeln!(w, "{}", row.join(" ")).map_err(|e| e.to_string())?;
+    }
+    println!("wrote {n}×{n} distance matrix to {path}");
+    Ok(())
+}
+
+fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let input = flags.get("input").ok_or("--input is required")?;
+    let solver_name = flags.get("solver").map(String::as_str).unwrap_or("cb");
+    let cores = get_usize(flags, "cores")?
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |p| p.get()));
+    let directed = flags.contains_key("directed");
+
+    let adj = if directed {
+        io::load_digraph(input).map_err(|e| e.to_string())?.to_dense()
+    } else {
+        io::load_graph(input).map_err(|e| e.to_string())?.to_dense()
+    };
+    let n = adj.order();
+    let b = get_usize(flags, "block-size")?
+        .unwrap_or_else(|| tuner::suggest_block_size(n, cores, 2).min(n));
+    println!("solving n = {n} with {solver_name}, b = {b}, {cores} cores");
+
+    let start = std::time::Instant::now();
+    let distances = match (solver_name, directed) {
+        ("mpi-fw2d", _) => {
+            let grid = (cores as f64).sqrt().floor().max(1.0) as usize;
+            MpiFw2d::new(grid)
+                .solve_matrix(&adj)
+                .map_err(|e| e.to_string())?
+                .distances
+        }
+        ("mpi-dc", _) => MpiDcApsp::new(cores)
+            .solve_matrix(&adj)
+            .map_err(|e| e.to_string())?
+            .distances,
+        (_, true) => {
+            if solver_name != "cb" {
+                return Err(format!(
+                    "--directed currently supports the cb solver (got '{solver_name}')"
+                ));
+            }
+            let ctx = SparkContext::new(SparkConfig::with_cores(cores));
+            DirectedBlockedCB
+                .solve(&ctx, &adj, &SolverConfig::new(b))
+                .map_err(|e| e.to_string())?
+                .into_distances()
+        }
+        (name, false) => {
+            let solver: Box<dyn ApspSolver> = match name {
+                "cb" => Box::new(BlockedCollectBroadcast),
+                "im" => Box::new(BlockedInMemory),
+                "fw2d" => Box::new(FloydWarshall2D),
+                "rs" => Box::new(RepeatedSquaring),
+                "cartesian" => Box::new(apspark::core::CartesianSquaring),
+                "johnson" => Box::new(DistributedJohnson),
+                other => return Err(format!("unknown solver '{other}'")),
+            };
+            let ctx = SparkContext::new(SparkConfig::with_cores(cores));
+            let res = solver
+                .solve(&ctx, &adj, &SolverConfig::new(b))
+                .map_err(|e| e.to_string())?;
+            println!(
+                "iterations = {}, shuffles = {}, shuffle MB = {:.1}, side-channel MB = {:.1}",
+                res.iterations,
+                res.metrics.shuffles,
+                res.metrics.shuffle_bytes as f64 / 1e6,
+                (res.metrics.side_channel_bytes_written + res.metrics.side_channel_bytes_read)
+                    as f64
+                    / 1e6
+            );
+            res.into_distances()
+        }
+    };
+    println!("solved in {:.3}s", start.elapsed().as_secs_f64());
+    write_distances(&distances, flags.get("output"))
+}
+
+fn cmd_project(flags: &HashMap<String, String>) -> Result<(), String> {
+    let n = get_usize(flags, "n")?.ok_or("--n is required")?;
+    let cores = get_usize(flags, "cores")?.unwrap_or(1024);
+    let solver = match flags.get("solver").map(String::as_str).unwrap_or("cb") {
+        "cb" => SolverKind::BlockedCollectBroadcast,
+        "im" => SolverKind::BlockedInMemory,
+        "fw2d" => SolverKind::FloydWarshall2D,
+        "rs" => SolverKind::RepeatedSquaring,
+        "mpi-fw2d" => SolverKind::MpiFw2d,
+        "mpi-dc" => SolverKind::MpiDc,
+        other => return Err(format!("unknown solver '{other}'")),
+    };
+    let spec = ClusterSpec::paper_cluster_with_cores(cores);
+    let rates = KernelRates::paper();
+    let ov = SparkOverheads::default();
+    let b = match get_usize(flags, "block-size")? {
+        Some(b) => b,
+        None => {
+            tuner::tune_with_model(solver, n, &spec, &rates, &ov, &tuner::paper_candidates())
+                .map(|(b, _)| b)
+                .unwrap_or(1024)
+        }
+    };
+    let w = Workload::paper_default(n, b);
+    let p = project(solver, &w, &spec, &rates, &ov);
+    println!(
+        "{} on n = {n}, p = {cores}, b = {b}: {} iterations × {:.1}s = {:.1}h ({:?})",
+        solver.label(),
+        p.iterations,
+        p.single_iteration_s,
+        p.total_s / 3600.0,
+        p.feasibility
+    );
+    println!(
+        "per-iteration: compute {:.1}s, driver {:.1}s, shuffle {:.1}s, storage {:.1}s, overhead {:.1}s",
+        p.breakdown.compute_s,
+        p.breakdown.driver_s,
+        p.breakdown.shuffle_s,
+        p.breakdown.storage_s,
+        p.breakdown.overhead_s
+    );
+    Ok(())
+}

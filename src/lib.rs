@@ -1,0 +1,53 @@
+//! # apspark — All-Pairs Shortest-Paths in the Spark dataflow model, in Rust
+//!
+//! Facade crate re-exporting the whole workspace. See `README.md` for a
+//! tour, `DESIGN.md` for the architecture, and `EXPERIMENTS.md` for the
+//! paper-reproduction results.
+//!
+//! The workspace reproduces *Schoeneman & Zola, "Solving All-Pairs
+//! Shortest-Paths Problem in Large Graphs Using Apache Spark"* (ICPP 2019):
+//!
+//! * [`blockmat`] — dense (min,+) block kernels,
+//! * [`graph`] — inputs and sequential oracles,
+//! * [`sparklet`] — the miniature Spark engine the solvers run on,
+//! * [`mpilite`] — the MPI-like substrate for the baselines,
+//! * [`cluster`] — the paper-testbed cost model and projections,
+//! * [`core`] — the four Spark APSP solvers and two MPI baselines.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use apspark::prelude::*;
+//!
+//! // A small random graph in the paper's benchmark family.
+//! let g = apspark::graph::generators::erdos_renyi_paper(256, 0.1, 42);
+//!
+//! // Solve with the best solver (Blocked Collect/Broadcast) on 4 cores.
+//! let ctx = SparkContext::new(SparkConfig::with_cores(4));
+//! let cfg = SolverConfig::new(64).with_partitions(8);
+//! let result = BlockedCollectBroadcast::default()
+//!     .solve(&ctx, &g.to_dense(), &cfg)
+//!     .unwrap();
+//!
+//! // Cross-check against the sequential oracle.
+//! let oracle = apspark::graph::floyd_warshall(&g);
+//! assert!(result.distances().approx_eq(&oracle, 1e-9).is_ok());
+//! ```
+
+pub use apsp_blockmat as blockmat;
+pub use apsp_cluster as cluster;
+pub use apsp_core as core;
+pub use apsp_graph as graph;
+pub use mpilite;
+pub use sparklet;
+
+/// Convenience prelude with the most common entry points.
+pub mod prelude {
+    pub use apsp_blockmat::{Block, Matrix, INF};
+    pub use apsp_core::{
+        ApspResult, ApspSolver, BlockedCollectBroadcast, BlockedInMemory, FloydWarshall2D,
+        RepeatedSquaring, SolverConfig,
+    };
+    pub use apsp_graph::Graph;
+    pub use sparklet::{SparkConfig, SparkContext};
+}

@@ -1,0 +1,107 @@
+//! Cross-substrate validation: the *simulated* runtime of the real
+//! `mpilite` FW-2D implementation (α–β clock + modeled compute) must track
+//! the *analytic* `apsp-cluster` projection of the same solver on the same
+//! geometry. Two independently-built models agreeing is the strongest
+//! check we have that neither is nonsense.
+
+use apspark::cluster::{project, ClusterSpec, KernelRates, SolverKind, SparkOverheads, Workload};
+use apspark::core::MpiFw2d;
+use apspark::mpilite::CommCost;
+
+#[test]
+fn simulated_mpi_clock_tracks_analytic_model() {
+    // Run the real FW-2D on a 4-rank grid over a small graph, with the
+    // α–β clock *and* per-op compute advancement. Compare against the
+    // analytic projection for a 4-core, GbE, same-n workload.
+    let n = 96;
+    let grid = 2;
+    let rates = KernelRates::paper();
+    let g = apspark::graph::generators::erdos_renyi_paper(n, 0.1, 0xC0DE);
+    let run = MpiFw2d {
+        grid,
+        cost: CommCost::gbe(),
+        update_sec_per_op: Some(rates.update_sec_per_op),
+    }
+    .solve_matrix(&g.to_dense())
+    .expect("solve failed");
+
+    // Analytic model with a matching synthetic cluster: 4 single-core
+    // "nodes" on GbE (so per-rank NIC semantics match the rank mesh).
+    let spec = ClusterSpec {
+        nodes: 4,
+        cores_per_node: 1,
+        ..ClusterSpec::paper_cluster()
+    };
+    let w = Workload::paper_default(n, n / grid);
+    let analytic = project(
+        SolverKind::MpiFw2d,
+        &w,
+        &spec,
+        &rates,
+        &SparkOverheads::default(),
+    );
+
+    let simulated = run.simulated_comm_s;
+    let ratio = simulated / analytic.total_s;
+    assert!(
+        (0.4..2.5).contains(&ratio),
+        "simulated {simulated:.4}s vs analytic {:.4}s (ratio {ratio:.2}) — \
+         the two independent models disagree",
+        analytic.total_s
+    );
+}
+
+#[test]
+fn latency_bound_at_small_n_compute_bound_at_large_n() {
+    // The paper's FW-2D-MPI pathology, visible in the simulated clock:
+    // per-iteration α latency dominates small problems (runtime ~linear
+    // in n), while the O((n/√p)²) update takes over as n grows (runtime
+    // →cubic). Measure the doubling ratio at both ends.
+    let rates = KernelRates::paper();
+    let time_for = |n: usize| {
+        let g = apspark::graph::generators::erdos_renyi_paper(n, 0.1, 1);
+        MpiFw2d {
+            grid: 2,
+            cost: CommCost::gbe(),
+            update_sec_per_op: Some(rates.update_sec_per_op),
+        }
+        .solve_matrix(&g.to_dense())
+        .unwrap()
+        .simulated_comm_s
+    };
+    let small_ratio = time_for(128) / time_for(64);
+    assert!(
+        (1.7..3.5).contains(&small_ratio),
+        "small-n doubling ratio {small_ratio:.2}: expected near-linear (latency-bound)"
+    );
+    let large_ratio = time_for(1024) / time_for(512);
+    assert!(
+        large_ratio > small_ratio + 0.5,
+        "large-n doubling ratio {large_ratio:.2} should exceed small-n {small_ratio:.2} \
+         (compute term taking over)"
+    );
+    assert!(
+        large_ratio > 3.5,
+        "large-n doubling ratio {large_ratio:.2}: compute term should push toward cubic"
+    );
+}
+
+#[test]
+fn compute_term_measurable_at_moderate_n() {
+    // By n = 512 on a 2×2 grid the modeled O((n/√p)²) update is of the
+    // same order as the α–β communication; enabling it must move the
+    // simulated clock noticeably.
+    let n = 512;
+    let g = apspark::graph::generators::erdos_renyi_paper(n, 0.1, 3);
+    let adj = g.to_dense();
+    let comm_only = MpiFw2d::new(2).solve_matrix(&adj).unwrap().simulated_comm_s;
+    let with_compute = MpiFw2d::new(2)
+        .with_compute_rate(KernelRates::paper().update_sec_per_op)
+        .solve_matrix(&adj)
+        .unwrap()
+        .simulated_comm_s;
+    assert!(
+        with_compute > 1.3 * comm_only,
+        "compute-enabled {with_compute:.4}s vs comm-only {comm_only:.4}s"
+    );
+}

@@ -1,0 +1,112 @@
+//! Fault-tolerance semantics across crates: the paper's pure/impure
+//! distinction (§3) as executable behaviour.
+
+use apspark::graph::generators;
+use apspark::prelude::*;
+use apspark::sparklet::SparkError;
+
+fn instance() -> (apspark::blockmat::Matrix, apspark::blockmat::Matrix) {
+    let g = generators::erdos_renyi_paper(48, 0.1, 0xFA11);
+    (g.to_dense(), apspark::graph::floyd_warshall(&g))
+}
+
+#[test]
+fn pure_im_recovers_from_injected_failures() {
+    let (adj, oracle) = instance();
+    let ctx = SparkContext::new(SparkConfig::with_cores(4));
+    // Spread injections across iterations: failures on the same narrow
+    // chain count against one task's retry budget (as in Spark), so keep
+    // fewer consecutive ids than `max_task_attempts`.
+    for rdd in [2usize, 15, 40] {
+        ctx.inject_task_failure(rdd, 0);
+        ctx.inject_task_failure(rdd, 1);
+    }
+    let res = BlockedInMemory
+        .solve(&ctx, &adj, &SolverConfig::new(12))
+        .expect("pure solver must recover");
+    assert!(res.distances().approx_eq(&oracle, 1e-9).is_ok());
+    assert!(res.metrics.task_retries > 0);
+}
+
+#[test]
+fn pure_fw2d_recovers_from_injected_failures() {
+    let (adj, oracle) = instance();
+    let ctx = SparkContext::new(SparkConfig::with_cores(4));
+    for rdd in [3usize, 20, 37, 55] {
+        ctx.inject_task_failure(rdd, 0);
+    }
+    let res = FloydWarshall2D
+        .solve(&ctx, &adj, &SolverConfig::new(12))
+        .expect("pure solver must recover");
+    assert!(res.distances().approx_eq(&oracle, 1e-9).is_ok());
+    assert!(res.metrics.task_retries > 0);
+}
+
+#[test]
+fn impure_cb_fails_when_storage_lost() {
+    let (adj, _) = instance();
+    let ctx = SparkContext::new(SparkConfig::with_cores(2));
+    ctx.side_channel().set_available(false);
+    let err = BlockedCollectBroadcast
+        .solve(&ctx, &adj, &SolverConfig::new(12))
+        .expect_err("CB cannot run without shared storage");
+    assert!(
+        matches!(
+            err,
+            apspark::core::ApspError::Engine(SparkError::SideChannelMiss { .. })
+        ),
+        "unexpected error: {err}"
+    );
+}
+
+#[test]
+fn impure_rs_fails_when_storage_lost() {
+    let (adj, _) = instance();
+    let ctx = SparkContext::new(SparkConfig::with_cores(2));
+    ctx.side_channel().set_available(false);
+    let err = RepeatedSquaring
+        .solve(&ctx, &adj, &SolverConfig::new(12))
+        .expect_err("RS cannot run without shared storage");
+    assert!(matches!(
+        err,
+        apspark::core::ApspError::Engine(SparkError::SideChannelMiss { .. })
+    ));
+}
+
+#[test]
+fn impure_solvers_succeed_with_storage_restored() {
+    // Sanity for the two tests above: the same configs succeed once the
+    // storage is back — the *only* difference was availability.
+    let (adj, oracle) = instance();
+    let ctx = SparkContext::new(SparkConfig::with_cores(2));
+    ctx.side_channel().set_available(false);
+    ctx.side_channel().set_available(true);
+    for solver in [
+        Box::new(BlockedCollectBroadcast) as Box<dyn ApspSolver>,
+        Box::new(RepeatedSquaring),
+    ] {
+        let res = solver.solve(&ctx, &adj, &SolverConfig::new(12)).unwrap();
+        assert!(res.distances().approx_eq(&oracle, 1e-9).is_ok());
+    }
+}
+
+#[test]
+fn retry_budget_is_respected() {
+    // A task that fails more times than the budget fails the job.
+    let (adj, _) = instance();
+    let ctx = SparkContext::new(SparkConfig::with_cores(2).max_task_attempts(2));
+    // Saturate one early task with more failures than attempts.
+    for _ in 0..5 {
+        ctx.inject_task_failure(0, 0);
+    }
+    let out = BlockedInMemory.solve(&ctx, &adj, &SolverConfig::new(12));
+    assert!(
+        matches!(
+            out,
+            Err(apspark::core::ApspError::Engine(
+                SparkError::InjectedFailure { .. }
+            ))
+        ),
+        "expected exhausted retries, got {out:?}"
+    );
+}

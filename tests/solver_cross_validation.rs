@@ -1,0 +1,186 @@
+//! Cross-crate validation: every solver must agree with the sequential
+//! oracles on every graph family, block size, partitioner, and core count
+//! we can afford to sweep — including property-based random instances.
+
+use apspark::core::{MpiDcApsp, MpiFw2d};
+use apspark::prelude::*;
+use apspark::{core::PartitionerChoice, graph::generators};
+use proptest::prelude::*;
+
+fn ctx(cores: usize) -> SparkContext {
+    SparkContext::new(SparkConfig::with_cores(cores))
+}
+
+fn spark_solvers() -> Vec<Box<dyn ApspSolver>> {
+    vec![
+        Box::new(RepeatedSquaring),
+        Box::new(FloydWarshall2D),
+        Box::new(BlockedInMemory),
+        Box::new(BlockedCollectBroadcast),
+    ]
+}
+
+#[test]
+fn all_solvers_agree_on_benchmark_family() {
+    let g = generators::erdos_renyi_paper(80, 0.1, 2024);
+    let adj = g.to_dense();
+    let oracle = apspark::graph::floyd_warshall(&g);
+    for solver in spark_solvers() {
+        for b in [16usize, 25, 80, 100] {
+            let res = solver
+                .solve(&ctx(4), &adj, &SolverConfig::new(b))
+                .unwrap_or_else(|e| panic!("{} b={b}: {e}", solver.name()));
+            res.distances()
+                .approx_eq(&oracle, 1e-9)
+                .unwrap_or_else(|(i, j, a, b2)| {
+                    panic!("{} b={b}: d({i},{j}) = {a} vs oracle {b2}", solver.name())
+                });
+        }
+    }
+}
+
+#[test]
+fn all_solvers_agree_on_structured_graphs() {
+    for (name, g) in [
+        ("path", generators::path(50)),
+        ("cycle", generators::cycle(47)),
+        ("grid", generators::grid(6, 8)),
+        ("complete", generators::complete(40, 7)),
+    ] {
+        let adj = g.to_dense();
+        let oracle = apspark::graph::floyd_warshall(&g);
+        for solver in spark_solvers() {
+            let res = solver
+                .solve(&ctx(3), &adj, &SolverConfig::new(13))
+                .unwrap_or_else(|e| panic!("{} on {name}: {e}", solver.name()));
+            assert!(
+                res.distances().approx_eq(&oracle, 1e-9).is_ok(),
+                "{} diverged on {name}",
+                solver.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn partitioner_choice_does_not_change_results() {
+    let g = generators::erdos_renyi_paper(60, 0.1, 3);
+    let adj = g.to_dense();
+    let oracle = apspark::graph::floyd_warshall(&g);
+    for choice in [PartitionerChoice::MultiDiagonal, PartitionerChoice::PortableHash] {
+        for solver in spark_solvers() {
+            let cfg = SolverConfig::new(20).with_partitioner(choice);
+            let res = solver.solve(&ctx(4), &adj, &cfg).unwrap();
+            assert!(
+                res.distances().approx_eq(&oracle, 1e-9).is_ok(),
+                "{} with {choice:?} diverged",
+                solver.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn core_count_does_not_change_results() {
+    let g = generators::erdos_renyi_paper(64, 0.1, 17);
+    let adj = g.to_dense();
+    let oracle = apspark::graph::floyd_warshall(&g);
+    for cores in [1usize, 2, 8] {
+        let res = BlockedCollectBroadcast
+            .solve(&ctx(cores), &adj, &SolverConfig::new(16))
+            .unwrap();
+        assert!(
+            res.distances().approx_eq(&oracle, 1e-9).is_ok(),
+            "CB diverged at {cores} cores"
+        );
+    }
+}
+
+#[test]
+fn mpi_baselines_agree_across_geometries() {
+    let g = generators::erdos_renyi_paper(72, 0.1, 31);
+    let adj = g.to_dense();
+    let oracle = apspark::graph::floyd_warshall(&g);
+    for grid in [1usize, 2, 3] {
+        let res = MpiFw2d::new(grid).solve_matrix(&adj).unwrap();
+        assert!(
+            res.distances.approx_eq(&oracle, 1e-9).is_ok(),
+            "FW-2D {grid}x{grid} diverged"
+        );
+    }
+    for ranks in [1usize, 2, 5] {
+        let res = MpiDcApsp::new(ranks).solve_matrix(&adj).unwrap();
+        assert!(
+            res.distances.approx_eq(&oracle, 1e-9).is_ok(),
+            "DC with {ranks} ranks diverged"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random Erdős–Rényi instance, random block size, random solver:
+    /// distributed result ≡ Dijkstra oracle.
+    #[test]
+    fn random_instances_match_dijkstra(
+        n in 8usize..48,
+        p_milli in 50usize..400,
+        b in 3usize..24,
+        seed in any::<u64>(),
+        solver_idx in 0usize..4,
+    ) {
+        let g = generators::erdos_renyi(n, p_milli as f64 / 1000.0, seed);
+        let adj = g.to_dense();
+        let oracle = apspark::graph::dijkstra::apsp_dijkstra(&g);
+        let solver = &spark_solvers()[solver_idx];
+        let res = solver
+            .solve(&ctx(2), &adj, &SolverConfig::new(b))
+            .expect("solve failed");
+        prop_assert!(
+            res.distances().approx_eq(&oracle, 1e-9).is_ok(),
+            "{} diverged on n={n} b={b} seed={seed}", solver.name()
+        );
+    }
+
+    /// The distance matrix is a metric closure: symmetric, zero diagonal,
+    /// triangle inequality.
+    #[test]
+    fn result_is_a_metric_closure(
+        n in 6usize..36,
+        seed in any::<u64>(),
+        b in 4usize..16,
+    ) {
+        let g = generators::erdos_renyi_paper(n, 0.1, seed);
+        let res = BlockedCollectBroadcast
+            .solve(&ctx(2), &g.to_dense(), &SolverConfig::new(b))
+            .expect("solve failed");
+        let d = res.distances();
+        for i in 0..n {
+            prop_assert_eq!(d.get(i, i), 0.0);
+            for j in 0..n {
+                prop_assert_eq!(d.get(i, j), d.get(j, i));
+                for k in 0..n {
+                    prop_assert!(d.get(i, j) <= d.get(i, k) + d.get(k, j) + 1e-9);
+                }
+            }
+        }
+    }
+
+    /// MPI baselines equal Spark solvers on the same random instance.
+    #[test]
+    fn mpi_equals_spark(
+        n in 8usize..40,
+        seed in any::<u64>(),
+    ) {
+        let g = generators::erdos_renyi_paper(n, 0.1, seed);
+        let adj = g.to_dense();
+        let spark = BlockedInMemory
+            .solve(&ctx(2), &adj, &SolverConfig::new((n / 3).max(2)))
+            .expect("IM failed");
+        let dc = MpiDcApsp::new(2).solve_matrix(&adj).expect("DC failed");
+        prop_assert!(spark.distances().approx_eq(&dc.distances, 1e-9).is_ok());
+        let fw = MpiFw2d::new(2).solve_matrix(&adj).expect("FW failed");
+        prop_assert!(spark.distances().approx_eq(&fw.distances, 1e-9).is_ok());
+    }
+}

@@ -1,0 +1,76 @@
+//! Soak tests at larger scale, `#[ignore]`d by default:
+//!
+//! ```sh
+//! cargo test --release --test stress -- --ignored
+//! ```
+
+use apspark::graph::generators;
+use apspark::prelude::*;
+
+#[test]
+#[ignore = "soak test: run with --ignored (release recommended)"]
+fn cb_at_n_1024() {
+    let g = generators::erdos_renyi_paper(1024, 0.1, 0x57E55);
+    let ctx = SparkContext::new(SparkConfig::default());
+    let cfg = SolverConfig::auto(1024, &ctx).without_validation();
+    let res = BlockedCollectBroadcast
+        .solve(&ctx, &g.to_dense(), &cfg)
+        .expect("solve failed");
+    // Spot-check against per-source Dijkstra on a few rows (full FW oracle
+    // at n=1024 is slow in debug builds).
+    let csr = g.to_csr();
+    for s in [0usize, 511, 1023] {
+        let oracle = apspark::graph::dijkstra::sssp(&csr, s);
+        for (t, &expect) in oracle.iter().enumerate() {
+            let got = res.distances().get(s, t);
+            assert!(
+                (got - expect).abs() < 1e-9 || (got.is_infinite() && expect.is_infinite()),
+                "d({s},{t}) = {got}, oracle {expect}"
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore = "soak test: run with --ignored"]
+fn im_many_iterations_memory_stays_bounded() {
+    // q = 64 iterations with small blocks: the unpersist discipline keeps
+    // only ~2 generations alive; a leak here would OOM long before n³.
+    let n = 512;
+    let g = generators::erdos_renyi_paper(n, 0.1, 0x57E56);
+    let ctx = SparkContext::new(SparkConfig::default());
+    let res = BlockedInMemory
+        .solve(&ctx, &g.to_dense(), &SolverConfig::new(8).without_validation())
+        .expect("solve failed");
+    assert_eq!(res.iterations, 64);
+    let sample = apspark::graph::dijkstra::sssp(&g.to_csr(), 0);
+    for (t, &expect) in sample.iter().enumerate() {
+        let got = res.distances().get(0, t);
+        assert!(
+            (got - expect).abs() < 1e-9 || (got.is_infinite() && expect.is_infinite()),
+            "d(0,{t})"
+        );
+    }
+}
+
+#[test]
+#[ignore = "soak test: run with --ignored"]
+fn mpi_dc_large_recursion() {
+    let n = 700;
+    let g = generators::erdos_renyi_paper(n, 0.1, 0x57E57);
+    let res = apspark::core::MpiDcApsp {
+        ranks: 8,
+        base_size: 32,
+        cost: apspark::mpilite::CommCost::gbe(),
+    }
+    .solve_matrix(&g.to_dense())
+    .expect("solve failed");
+    let sample = apspark::graph::dijkstra::sssp(&g.to_csr(), 42);
+    for (t, &expect) in sample.iter().enumerate() {
+        let got = res.distances.get(42, t);
+        assert!(
+            (got - expect).abs() < 1e-9 || (got.is_infinite() && expect.is_infinite()),
+            "d(42,{t})"
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Systems-shape assertions: the paper's qualitative claims about *how*
+//! each solver uses the engine, verified on live runs via the metrics.
+
+use apspark::prelude::*;
+use apspark::graph::generators;
+
+fn solve_with_metrics(
+    solver: &dyn ApspSolver,
+    n: usize,
+    b: usize,
+) -> apspark::core::ApspResult {
+    let ctx = SparkContext::new(SparkConfig::with_cores(4));
+    let g = generators::erdos_renyi_paper(n, 0.1, 0x5EED);
+    solver
+        .solve(&ctx, &g.to_dense(), &SolverConfig::new(b))
+        .expect("solve failed")
+}
+
+#[test]
+fn im_shuffles_more_than_cb_moves_total() {
+    // The paper's core claim: replacing copy shuffles with driver +
+    // shared-storage broadcast reduces data movement.
+    let im = solve_with_metrics(&BlockedInMemory, 128, 16);
+    let cb = solve_with_metrics(&BlockedCollectBroadcast, 128, 16);
+    assert!(
+        im.metrics.shuffle_bytes > 2 * cb.metrics.shuffle_bytes,
+        "IM shuffle {} should dwarf CB shuffle {}",
+        im.metrics.shuffle_bytes,
+        cb.metrics.shuffle_bytes
+    );
+    let cb_movement = cb.metrics.total_movement_bytes();
+    let im_movement = im.metrics.total_movement_bytes();
+    assert!(
+        im_movement > cb_movement,
+        "IM total movement {im_movement} should exceed CB {cb_movement}"
+    );
+}
+
+#[test]
+fn fw2d_runs_one_job_per_vertex() {
+    let n = 48;
+    let res = solve_with_metrics(&FloydWarshall2D, n, 12);
+    // One collect job per pivot + the final gather.
+    assert_eq!(res.metrics.jobs, n as u64 + 1);
+    assert_eq!(res.metrics.shuffles, 0, "FW2D must not shuffle");
+    assert_eq!(res.metrics.side_channel_writes, 0, "FW2D is pure");
+    assert!(res.metrics.broadcast_bytes > 0, "FW2D broadcasts columns");
+}
+
+#[test]
+fn purity_flags_match_engine_usage() {
+    let solvers: Vec<Box<dyn ApspSolver>> = vec![
+        Box::new(RepeatedSquaring),
+        Box::new(FloydWarshall2D),
+        Box::new(BlockedInMemory),
+        Box::new(BlockedCollectBroadcast),
+    ];
+    for solver in solvers {
+        let res = solve_with_metrics(solver.as_ref(), 64, 16);
+        let used_side_channel = res.metrics.side_channel_writes > 0;
+        assert_eq!(
+            solver.is_pure(),
+            !used_side_channel,
+            "{}: purity flag disagrees with side-channel usage",
+            solver.name()
+        );
+    }
+}
+
+#[test]
+fn blocked_iteration_counts_follow_q() {
+    for (n, b, expected_q) in [(64usize, 16usize, 4u64), (60, 16, 4), (64, 64, 1), (100, 30, 4)] {
+        let im = solve_with_metrics(&BlockedInMemory, n, b);
+        assert_eq!(im.iterations, expected_q, "IM n={n} b={b}");
+        let cb = solve_with_metrics(&BlockedCollectBroadcast, n, b);
+        assert_eq!(cb.iterations, expected_q, "CB n={n} b={b}");
+    }
+}
+
+#[test]
+fn rs_iteration_count_is_q_log_n() {
+    let res = solve_with_metrics(&RepeatedSquaring, 64, 16);
+    assert_eq!(res.iterations, 4 * 6); // q=4, ceil(log2 64)=6
+}
+
+#[test]
+fn repartition_keeps_partition_count_bounded() {
+    // §5.2: without partitionBy, union compounds partition counts. The
+    // blocked solvers repartition every iteration, so the task count per
+    // job stays bounded: jobs × partitions is the ceiling for tasks
+    // launched in the final stages.
+    let ctx = SparkContext::new(SparkConfig::with_cores(4));
+    let g = generators::erdos_renyi_paper(96, 0.1, 77);
+    let cfg = SolverConfig::new(12).with_partitions(8);
+    let res = BlockedInMemory.solve(&ctx, &g.to_dense(), &cfg).unwrap();
+    let q = 8u64;
+    assert_eq!(res.iterations, q);
+    // Tasks: if partition counts compounded geometrically this would
+    // explode far past this bound.
+    assert!(
+        res.metrics.tasks < 6_000,
+        "task count {} suggests partition blowup",
+        res.metrics.tasks
+    );
+}
+
+#[test]
+fn cb_side_channel_volume_scales_with_q_not_n2() {
+    // CB stages the cross (O(q·b²) per iteration, O(q²b²) = O(n²) total)
+    // but must NOT stage q× that (a naive all-blocks staging would).
+    let small_b = solve_with_metrics(&BlockedCollectBroadcast, 128, 16); // q=8
+    let large_b = solve_with_metrics(&BlockedCollectBroadcast, 128, 64); // q=2
+    let per_iter_small =
+        small_b.metrics.side_channel_bytes_written / small_b.iterations;
+    let per_iter_large =
+        large_b.metrics.side_channel_bytes_written / large_b.iterations;
+    // Per-iteration staging = (q+1 blocks)·b²·8: for q=8,b=16: ~18KB; for
+    // q=2,b=64: ~98KB. Ratios, not absolutes:
+    let expect_small = (8 + 1) * 16 * 16 * 8;
+    let expect_large = (2 + 1) * 64 * 64 * 8;
+    assert!(
+        per_iter_small < 2 * expect_small as u64,
+        "per-iteration staging {per_iter_small} too high (expected ~{expect_small})"
+    );
+    assert!(
+        per_iter_large < 2 * expect_large as u64,
+        "per-iteration staging {per_iter_large} too high (expected ~{expect_large})"
+    );
+}
+
+#[test]
+fn md_partitioner_balances_im_partitions() {
+    // Fig. 3 bottom, asserted on the engine: MD's partition sizes for the
+    // blocked matrix are within ±1 block; PH's are not (for this q/P).
+    use apspark::core::{BlockedMatrix, PartitionerChoice};
+    let ctx = SparkContext::new(SparkConfig::with_cores(4));
+    let g = generators::erdos_renyi_paper(192, 0.1, 88);
+    let adj = g.to_dense();
+    let q = 192usize.div_ceil(8);
+    let parts = 48;
+
+    let md = BlockedMatrix::from_matrix(&ctx, &adj, 8, PartitionerChoice::MultiDiagonal.build(q, parts));
+    let md_sizes = md.rdd.partition_sizes().unwrap();
+    let (md_min, md_max) = (
+        md_sizes.iter().min().unwrap(),
+        md_sizes.iter().max().unwrap(),
+    );
+    assert!(md_max - md_min <= 1, "MD spread {md_min}..{md_max}");
+
+    let ph = BlockedMatrix::from_matrix(&ctx, &adj, 8, PartitionerChoice::PortableHash.build(q, parts));
+    let ph_sizes = ph.rdd.partition_sizes().unwrap();
+    let ph_max = *ph_sizes.iter().max().unwrap();
+    assert!(
+        ph_max > md_max + 1,
+        "PH max {ph_max} should exceed MD max {md_max}"
+    );
+}
