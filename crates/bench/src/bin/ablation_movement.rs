@@ -32,7 +32,13 @@ fn main() {
 
     println!("== ablation: dissemination route (IM shuffles vs CB side channel), n = {n} ==\n");
     let mut table = TextTable::new(&[
-        "b", "q", "IM shuffle MB", "IM records", "CB shuffle MB", "CB side-ch MB", "IM/CB movement",
+        "b",
+        "q",
+        "IM shuffle MB",
+        "IM records",
+        "CB shuffle MB",
+        "CB side-ch MB",
+        "IM/CB movement",
     ]);
     let mut rows = Vec::new();
     for b in [n / 16, n / 8, n / 4] {

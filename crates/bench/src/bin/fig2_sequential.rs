@@ -60,7 +60,11 @@ fn main() {
             format!("{:.2}", fw_s / ops * 1e9),
             format!("{:.2}", mp_s / ops * 1e9),
         ]);
-        points.push(Point { b, fw_s, minplus_s: mp_s });
+        points.push(Point {
+            b,
+            fw_s,
+            minplus_s: mp_s,
+        });
     }
 
     println!("== Figure 2: sequential kernel time vs block size ==");

@@ -9,7 +9,9 @@
 
 use apsp_bench::{fmt_duration, write_json, HarnessArgs, TextTable};
 use apsp_cluster::{project, ClusterSpec, PartitionerKind, SolverKind, SparkOverheads, Workload};
-use apsp_core::{ApspSolver, BlockedCollectBroadcast, BlockedInMemory, PartitionerChoice, SolverConfig};
+use apsp_core::{
+    ApspSolver, BlockedCollectBroadcast, BlockedInMemory, PartitionerChoice, SolverConfig,
+};
 use serde::Serialize;
 use sparklet::{SparkConfig, SparkContext};
 
@@ -37,7 +39,10 @@ fn main() {
         ("IM", SolverKind::BlockedInMemory),
         ("CB", SolverKind::BlockedCollectBroadcast),
     ] {
-        for partitioner in [PartitionerKind::MultiDiagonal, PartitionerKind::PortableHash] {
+        for partitioner in [
+            PartitionerKind::MultiDiagonal,
+            PartitionerKind::PortableHash,
+        ] {
             let mut table = TextTable::new(&["b", "B=1", "B=2"]);
             for &b in &sweep {
                 let mut cells = vec![b.to_string()];
@@ -119,8 +124,7 @@ fn real_sweep(args: &HarnessArgs) {
             format!("{:.1}", im.metrics.shuffle_bytes as f64 / 1e6),
             format!(
                 "{:.1}",
-                (cb.metrics.side_channel_bytes_written + cb.metrics.side_channel_bytes_read)
-                    as f64
+                (cb.metrics.side_channel_bytes_written + cb.metrics.side_channel_bytes_read) as f64
                     / 1e6
             ),
         ]);

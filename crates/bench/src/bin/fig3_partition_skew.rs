@@ -33,7 +33,13 @@ fn main() {
 
     println!("== Figure 3 (bottom): partition-size distribution, n = {n}, p = {p}, B = 2 ==\n");
     let mut table = TextTable::new(&[
-        "b", "q", "MD max", "MD mean", "PH max", "PH mean", "PH empty parts",
+        "b",
+        "q",
+        "MD max",
+        "MD mean",
+        "PH max",
+        "PH mean",
+        "PH empty parts",
     ]);
     let mut rows = Vec::new();
     for b in [512usize, 768, 1024, 1280, 1536, 1792, 2048] {
@@ -75,7 +81,10 @@ fn main() {
     let q = 256usize.div_ceil(16);
     let parts = 32;
     println!("-- engine-measured partition sizes (n = 256, b = 16, {parts} partitions) --");
-    for choice in [PartitionerChoice::MultiDiagonal, PartitionerChoice::PortableHash] {
+    for choice in [
+        PartitionerChoice::MultiDiagonal,
+        PartitionerChoice::PortableHash,
+    ] {
         let bm = BlockedMatrix::from_matrix(&ctx, &adj, 16, choice.build(q, parts));
         let sizes = bm.rdd.partition_sizes().expect("engine run failed");
         let max = sizes.iter().max().copied().unwrap_or(0);

@@ -33,8 +33,15 @@ fn main() {
         let spec = ClusterSpec::paper_cluster_with_cores(p);
         let gops = |total_s: f64| (n as f64).powi(3) / total_s / p as f64 / 1e9;
 
-        let im = tune_with_model(SolverKind::BlockedInMemory, n, &spec, &rates, &ov, &paper_candidates())
-            .map(|(_, pr)| gops(pr.total_s));
+        let im = tune_with_model(
+            SolverKind::BlockedInMemory,
+            n,
+            &spec,
+            &rates,
+            &ov,
+            &paper_candidates(),
+        )
+        .map(|(_, pr)| gops(pr.total_s));
         let (cb_b, cb) = tune_with_model(
             SolverKind::BlockedCollectBroadcast,
             n,

@@ -35,7 +35,14 @@ fn main() {
 
     println!("== real execution, n = {n}, b = {b}, {cores} cores ==\n");
     let mut table = TextTable::new(&[
-        "solver", "time", "iters", "jobs", "shuffles", "shuffle MB", "side-ch MB", "bcast MB",
+        "solver",
+        "time",
+        "iters",
+        "jobs",
+        "shuffles",
+        "shuffle MB",
+        "side-ch MB",
+        "bcast MB",
     ]);
     let mut rows = Vec::new();
 
@@ -84,7 +91,9 @@ fn main() {
     // MPI baselines.
     let grid = (cores as f64).sqrt().floor().max(1.0) as usize;
     let t0 = Instant::now();
-    let fw = MpiFw2d::new(grid).solve_matrix(&adj).expect("FW-2D-MPI failed");
+    let fw = MpiFw2d::new(grid)
+        .solve_matrix(&adj)
+        .expect("FW-2D-MPI failed");
     let fw_t = t0.elapsed().as_secs_f64();
     assert!(fw.distances.approx_eq(&oracle, 1e-9).is_ok());
     table.row(vec![
@@ -109,7 +118,9 @@ fn main() {
     });
 
     let t1 = Instant::now();
-    let dc = MpiDcApsp::new(cores).solve_matrix(&adj).expect("DC-MPI failed");
+    let dc = MpiDcApsp::new(cores)
+        .solve_matrix(&adj)
+        .expect("DC-MPI failed");
     let dc_t = t1.elapsed().as_secs_f64();
     assert!(dc.distances.approx_eq(&oracle, 1e-9).is_ok());
     table.row(vec![

@@ -42,7 +42,15 @@ fn main() {
 
     let mut out_rows = Vec::new();
     let mut table = TextTable::new(&[
-        "Method", "Part.", "b", "Iters", "Single", "Projected", "Paper single", "Paper proj", "proj Δ",
+        "Method",
+        "Part.",
+        "b",
+        "Iters",
+        "Single",
+        "Projected",
+        "Paper single",
+        "Paper proj",
+        "proj Δ",
     ]);
     for row in paper::TABLE2 {
         let kind = solver_kind(row.method);
@@ -92,7 +100,12 @@ fn main() {
         [256usize, 512, 1024, 2048, 4096]
             .iter()
             .map(|&b| {
-                let w = Workload { n, b, partitions_per_core: 2, partitioner: part };
+                let w = Workload {
+                    n,
+                    b,
+                    partitions_per_core: 2,
+                    partitioner: part,
+                };
                 project(kind, &w, &spec, &rates, &ov).total_s
             })
             .fold(f64::INFINITY, f64::min)
@@ -104,10 +117,26 @@ fn main() {
     let im = best(SolverKind::BlockedInMemory, md);
     let cb = best(SolverKind::BlockedCollectBroadcast, md);
     println!("shape checks:");
-    println!("  RS best {:>8}  (paper: days)        {}", fmt_duration(rs), ok(rs > 2.0 * day));
-    println!("  FW2D best {:>7} (paper: ~50+ days)  {}", fmt_duration(fw), ok(fw > 30.0 * day));
-    println!("  IM best {:>8}  (paper: ~8h)         {}", fmt_duration(im), ok(im < day));
-    println!("  CB best {:>8}  (paper: ~7h)         {}", fmt_duration(cb), ok(cb < day));
+    println!(
+        "  RS best {:>8}  (paper: days)        {}",
+        fmt_duration(rs),
+        ok(rs > 2.0 * day)
+    );
+    println!(
+        "  FW2D best {:>7} (paper: ~50+ days)  {}",
+        fmt_duration(fw),
+        ok(fw > 30.0 * day)
+    );
+    println!(
+        "  IM best {:>8}  (paper: ~8h)         {}",
+        fmt_duration(im),
+        ok(im < day)
+    );
+    println!(
+        "  CB best {:>8}  (paper: ~7h)         {}",
+        fmt_duration(cb),
+        ok(cb < day)
+    );
     println!("  CB ≤ IM: {}", ok(cb <= im));
 
     if let Ok(path) = write_json("table2_blocksize", &out_rows) {

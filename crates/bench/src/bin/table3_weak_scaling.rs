@@ -32,7 +32,13 @@ fn main() {
 
     println!("== Table 3: weak scaling, n/p = 256 ==\n");
     let mut table = TextTable::new(&[
-        "p", "n", "Blocked-IM (b)", "Blocked-CB (b)", "FW-2D-GbE", "DC-GbE", "CB vs paper",
+        "p",
+        "n",
+        "Blocked-IM (b)",
+        "Blocked-CB (b)",
+        "FW-2D-GbE",
+        "DC-GbE",
+        "CB vs paper",
     ]);
     let mut out = Vec::new();
     for entry in paper::TABLE3 {
@@ -40,7 +46,14 @@ fn main() {
         let n = 256 * p;
         let spec = ClusterSpec::paper_cluster_with_cores(p);
 
-        let im = tune_with_model(SolverKind::BlockedInMemory, n, &spec, &rates, &ov, &paper_candidates());
+        let im = tune_with_model(
+            SolverKind::BlockedInMemory,
+            n,
+            &spec,
+            &rates,
+            &ov,
+            &paper_candidates(),
+        );
         let (cb_b, cb) = tune_with_model(
             SolverKind::BlockedCollectBroadcast,
             n,
@@ -102,7 +115,10 @@ fn main() {
 fn real_weak_scaling(args: &HarnessArgs) {
     let per_core = if args.quick { 48 } else { 96 };
     let max_cores = std::thread::available_parallelism().map_or(4, |p| p.get());
-    let cores: Vec<usize> = [1usize, 2, 4, 8].into_iter().filter(|&c| c <= max_cores).collect();
+    let cores: Vec<usize> = [1usize, 2, 4, 8]
+        .into_iter()
+        .filter(|&c| c <= max_cores)
+        .collect();
 
     println!("-- real weak scaling on host threads (n = {per_core}·cores) --");
     let mut table = TextTable::new(&["cores", "n", "CB", "FW-2D-MPI (grid)", "DC-MPI"]);
@@ -114,7 +130,11 @@ fn real_weak_scaling(args: &HarnessArgs) {
 
         let ctx = SparkContext::new(SparkConfig::with_cores(c));
         let cb = BlockedCollectBroadcast
-            .solve(&ctx, &adj, &SolverConfig::new((n / 4).max(8)).without_validation())
+            .solve(
+                &ctx,
+                &adj,
+                &SolverConfig::new((n / 4).max(8)).without_validation(),
+            )
             .expect("CB failed");
         assert!(cb.distances().approx_eq(&oracle, 1e-9).is_ok());
 

@@ -106,7 +106,10 @@ impl TextTable {
 
 /// Writes a serializable result artifact under `results/` (relative to the
 /// workspace root if it exists, else the current directory).
-pub fn write_json<T: serde::Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+pub fn write_json<T: serde::Serialize>(
+    name: &str,
+    value: &T,
+) -> std::io::Result<std::path::PathBuf> {
     let dir = if Path::new("results").exists() {
         Path::new("results").to_path_buf()
     } else if Path::new("../../results").exists() {

@@ -36,53 +36,333 @@ const M: f64 = 60.0;
 /// Table 2, all 40 rows.
 pub const TABLE2: &[Table2Row] = &[
     // Repeated Squaring, MD
-    Table2Row { method: "Repeated Squaring", partitioner: "MD", b: 256, iterations: 18432, single_s: 45.0, projected_s: 9.0 * D + 16.0 * H },
-    Table2Row { method: "Repeated Squaring", partitioner: "MD", b: 512, iterations: 9216, single_s: 143.0, projected_s: 15.0 * D + 8.0 * H },
-    Table2Row { method: "Repeated Squaring", partitioner: "MD", b: 1024, iterations: 4608, single_s: 306.0, projected_s: 16.0 * D + 8.0 * H },
-    Table2Row { method: "Repeated Squaring", partitioner: "MD", b: 2048, iterations: 2304, single_s: 19.0 * M + 45.0, projected_s: 31.0 * D + 15.0 * H },
-    Table2Row { method: "Repeated Squaring", partitioner: "MD", b: 4096, iterations: 1152, single_s: 51.0 * M + 47.0, projected_s: 41.0 * D + 10.0 * H },
+    Table2Row {
+        method: "Repeated Squaring",
+        partitioner: "MD",
+        b: 256,
+        iterations: 18432,
+        single_s: 45.0,
+        projected_s: 9.0 * D + 16.0 * H,
+    },
+    Table2Row {
+        method: "Repeated Squaring",
+        partitioner: "MD",
+        b: 512,
+        iterations: 9216,
+        single_s: 143.0,
+        projected_s: 15.0 * D + 8.0 * H,
+    },
+    Table2Row {
+        method: "Repeated Squaring",
+        partitioner: "MD",
+        b: 1024,
+        iterations: 4608,
+        single_s: 306.0,
+        projected_s: 16.0 * D + 8.0 * H,
+    },
+    Table2Row {
+        method: "Repeated Squaring",
+        partitioner: "MD",
+        b: 2048,
+        iterations: 2304,
+        single_s: 19.0 * M + 45.0,
+        projected_s: 31.0 * D + 15.0 * H,
+    },
+    Table2Row {
+        method: "Repeated Squaring",
+        partitioner: "MD",
+        b: 4096,
+        iterations: 1152,
+        single_s: 51.0 * M + 47.0,
+        projected_s: 41.0 * D + 10.0 * H,
+    },
     // Repeated Squaring, PH
-    Table2Row { method: "Repeated Squaring", partitioner: "PH", b: 256, iterations: 18432, single_s: 44.0, projected_s: 9.0 * D + 11.0 * H },
-    Table2Row { method: "Repeated Squaring", partitioner: "PH", b: 512, iterations: 9216, single_s: 127.0, projected_s: 13.0 * D + 13.0 * H },
-    Table2Row { method: "Repeated Squaring", partitioner: "PH", b: 1024, iterations: 4608, single_s: 365.0, projected_s: 19.0 * D + 12.0 * H },
-    Table2Row { method: "Repeated Squaring", partitioner: "PH", b: 2048, iterations: 2304, single_s: 18.0 * M + 39.0, projected_s: 29.0 * D + 21.0 * H },
-    Table2Row { method: "Repeated Squaring", partitioner: "PH", b: 4096, iterations: 1152, single_s: 75.0 * M, projected_s: 60.0 * D + 6.0 * H },
+    Table2Row {
+        method: "Repeated Squaring",
+        partitioner: "PH",
+        b: 256,
+        iterations: 18432,
+        single_s: 44.0,
+        projected_s: 9.0 * D + 11.0 * H,
+    },
+    Table2Row {
+        method: "Repeated Squaring",
+        partitioner: "PH",
+        b: 512,
+        iterations: 9216,
+        single_s: 127.0,
+        projected_s: 13.0 * D + 13.0 * H,
+    },
+    Table2Row {
+        method: "Repeated Squaring",
+        partitioner: "PH",
+        b: 1024,
+        iterations: 4608,
+        single_s: 365.0,
+        projected_s: 19.0 * D + 12.0 * H,
+    },
+    Table2Row {
+        method: "Repeated Squaring",
+        partitioner: "PH",
+        b: 2048,
+        iterations: 2304,
+        single_s: 18.0 * M + 39.0,
+        projected_s: 29.0 * D + 21.0 * H,
+    },
+    Table2Row {
+        method: "Repeated Squaring",
+        partitioner: "PH",
+        b: 4096,
+        iterations: 1152,
+        single_s: 75.0 * M,
+        projected_s: 60.0 * D + 6.0 * H,
+    },
     // 2D Floyd-Warshall, MD
-    Table2Row { method: "2D Floyd-Warshall", partitioner: "MD", b: 256, iterations: 262144, single_s: 21.0, projected_s: 64.0 * D + 11.0 * H },
-    Table2Row { method: "2D Floyd-Warshall", partitioner: "MD", b: 512, iterations: 262144, single_s: 18.0, projected_s: 53.0 * D + 10.0 * H },
-    Table2Row { method: "2D Floyd-Warshall", partitioner: "MD", b: 1024, iterations: 262144, single_s: 17.0, projected_s: 51.0 * D + 22.0 * H },
-    Table2Row { method: "2D Floyd-Warshall", partitioner: "MD", b: 2048, iterations: 262144, single_s: 18.0, projected_s: 55.0 * D + 7.0 * H },
-    Table2Row { method: "2D Floyd-Warshall", partitioner: "MD", b: 4096, iterations: 262144, single_s: 20.0, projected_s: 61.0 * D + 9.0 * H },
+    Table2Row {
+        method: "2D Floyd-Warshall",
+        partitioner: "MD",
+        b: 256,
+        iterations: 262144,
+        single_s: 21.0,
+        projected_s: 64.0 * D + 11.0 * H,
+    },
+    Table2Row {
+        method: "2D Floyd-Warshall",
+        partitioner: "MD",
+        b: 512,
+        iterations: 262144,
+        single_s: 18.0,
+        projected_s: 53.0 * D + 10.0 * H,
+    },
+    Table2Row {
+        method: "2D Floyd-Warshall",
+        partitioner: "MD",
+        b: 1024,
+        iterations: 262144,
+        single_s: 17.0,
+        projected_s: 51.0 * D + 22.0 * H,
+    },
+    Table2Row {
+        method: "2D Floyd-Warshall",
+        partitioner: "MD",
+        b: 2048,
+        iterations: 262144,
+        single_s: 18.0,
+        projected_s: 55.0 * D + 7.0 * H,
+    },
+    Table2Row {
+        method: "2D Floyd-Warshall",
+        partitioner: "MD",
+        b: 4096,
+        iterations: 262144,
+        single_s: 20.0,
+        projected_s: 61.0 * D + 9.0 * H,
+    },
     // 2D Floyd-Warshall, PH
-    Table2Row { method: "2D Floyd-Warshall", partitioner: "PH", b: 256, iterations: 262144, single_s: 21.0, projected_s: 65.0 * D + 8.0 * H },
-    Table2Row { method: "2D Floyd-Warshall", partitioner: "PH", b: 512, iterations: 262144, single_s: 18.0, projected_s: 55.0 * D + 10.0 * H },
-    Table2Row { method: "2D Floyd-Warshall", partitioner: "PH", b: 1024, iterations: 262144, single_s: 16.0, projected_s: 49.0 * D + 7.0 * H },
-    Table2Row { method: "2D Floyd-Warshall", partitioner: "PH", b: 2048, iterations: 262144, single_s: 20.0, projected_s: 60.0 * D + 3.0 * H },
-    Table2Row { method: "2D Floyd-Warshall", partitioner: "PH", b: 4096, iterations: 262144, single_s: 19.0, projected_s: 56.0 * D + 9.0 * H },
+    Table2Row {
+        method: "2D Floyd-Warshall",
+        partitioner: "PH",
+        b: 256,
+        iterations: 262144,
+        single_s: 21.0,
+        projected_s: 65.0 * D + 8.0 * H,
+    },
+    Table2Row {
+        method: "2D Floyd-Warshall",
+        partitioner: "PH",
+        b: 512,
+        iterations: 262144,
+        single_s: 18.0,
+        projected_s: 55.0 * D + 10.0 * H,
+    },
+    Table2Row {
+        method: "2D Floyd-Warshall",
+        partitioner: "PH",
+        b: 1024,
+        iterations: 262144,
+        single_s: 16.0,
+        projected_s: 49.0 * D + 7.0 * H,
+    },
+    Table2Row {
+        method: "2D Floyd-Warshall",
+        partitioner: "PH",
+        b: 2048,
+        iterations: 262144,
+        single_s: 20.0,
+        projected_s: 60.0 * D + 3.0 * H,
+    },
+    Table2Row {
+        method: "2D Floyd-Warshall",
+        partitioner: "PH",
+        b: 4096,
+        iterations: 262144,
+        single_s: 19.0,
+        projected_s: 56.0 * D + 9.0 * H,
+    },
     // Blocked-IM, MD
-    Table2Row { method: "Blocked-IM", partitioner: "MD", b: 256, iterations: 1024, single_s: 51.0, projected_s: 14.0 * H + 29.0 * M },
-    Table2Row { method: "Blocked-IM", partitioner: "MD", b: 512, iterations: 512, single_s: 71.0, projected_s: 10.0 * H + 8.0 * M },
-    Table2Row { method: "Blocked-IM", partitioner: "MD", b: 1024, iterations: 256, single_s: 115.0, projected_s: 8.0 * H + 12.0 * M },
-    Table2Row { method: "Blocked-IM", partitioner: "MD", b: 2048, iterations: 128, single_s: 3.0 * M + 44.0, projected_s: 7.0 * H + 59.0 * M },
-    Table2Row { method: "Blocked-IM", partitioner: "MD", b: 4096, iterations: 64, single_s: 7.0 * M + 21.0, projected_s: 7.0 * H + 51.0 * M },
+    Table2Row {
+        method: "Blocked-IM",
+        partitioner: "MD",
+        b: 256,
+        iterations: 1024,
+        single_s: 51.0,
+        projected_s: 14.0 * H + 29.0 * M,
+    },
+    Table2Row {
+        method: "Blocked-IM",
+        partitioner: "MD",
+        b: 512,
+        iterations: 512,
+        single_s: 71.0,
+        projected_s: 10.0 * H + 8.0 * M,
+    },
+    Table2Row {
+        method: "Blocked-IM",
+        partitioner: "MD",
+        b: 1024,
+        iterations: 256,
+        single_s: 115.0,
+        projected_s: 8.0 * H + 12.0 * M,
+    },
+    Table2Row {
+        method: "Blocked-IM",
+        partitioner: "MD",
+        b: 2048,
+        iterations: 128,
+        single_s: 3.0 * M + 44.0,
+        projected_s: 7.0 * H + 59.0 * M,
+    },
+    Table2Row {
+        method: "Blocked-IM",
+        partitioner: "MD",
+        b: 4096,
+        iterations: 64,
+        single_s: 7.0 * M + 21.0,
+        projected_s: 7.0 * H + 51.0 * M,
+    },
     // Blocked-IM, PH
-    Table2Row { method: "Blocked-IM", partitioner: "PH", b: 256, iterations: 1024, single_s: 48.0, projected_s: 13.0 * H + 32.0 * M },
-    Table2Row { method: "Blocked-IM", partitioner: "PH", b: 512, iterations: 512, single_s: 74.0, projected_s: 10.0 * H + 33.0 * M },
-    Table2Row { method: "Blocked-IM", partitioner: "PH", b: 1024, iterations: 256, single_s: 132.0, projected_s: 9.0 * H + 23.0 * M },
-    Table2Row { method: "Blocked-IM", partitioner: "PH", b: 2048, iterations: 128, single_s: 4.0 * M + 3.0, projected_s: 8.0 * H + 39.0 * M },
-    Table2Row { method: "Blocked-IM", partitioner: "PH", b: 4096, iterations: 64, single_s: 8.0 * M + 49.0, projected_s: 9.0 * H + 24.0 * M },
+    Table2Row {
+        method: "Blocked-IM",
+        partitioner: "PH",
+        b: 256,
+        iterations: 1024,
+        single_s: 48.0,
+        projected_s: 13.0 * H + 32.0 * M,
+    },
+    Table2Row {
+        method: "Blocked-IM",
+        partitioner: "PH",
+        b: 512,
+        iterations: 512,
+        single_s: 74.0,
+        projected_s: 10.0 * H + 33.0 * M,
+    },
+    Table2Row {
+        method: "Blocked-IM",
+        partitioner: "PH",
+        b: 1024,
+        iterations: 256,
+        single_s: 132.0,
+        projected_s: 9.0 * H + 23.0 * M,
+    },
+    Table2Row {
+        method: "Blocked-IM",
+        partitioner: "PH",
+        b: 2048,
+        iterations: 128,
+        single_s: 4.0 * M + 3.0,
+        projected_s: 8.0 * H + 39.0 * M,
+    },
+    Table2Row {
+        method: "Blocked-IM",
+        partitioner: "PH",
+        b: 4096,
+        iterations: 64,
+        single_s: 8.0 * M + 49.0,
+        projected_s: 9.0 * H + 24.0 * M,
+    },
     // Blocked-CB, MD
-    Table2Row { method: "Blocked-CB", partitioner: "MD", b: 256, iterations: 1024, single_s: 48.0, projected_s: 13.0 * H + 35.0 * M },
-    Table2Row { method: "Blocked-CB", partitioner: "MD", b: 512, iterations: 512, single_s: 61.0, projected_s: 8.0 * H + 40.0 * M },
-    Table2Row { method: "Blocked-CB", partitioner: "MD", b: 1024, iterations: 256, single_s: 100.0, projected_s: 7.0 * H + 8.0 * M },
-    Table2Row { method: "Blocked-CB", partitioner: "MD", b: 2048, iterations: 128, single_s: 3.0 * M + 18.0, projected_s: 7.0 * H + 4.0 * M },
-    Table2Row { method: "Blocked-CB", partitioner: "MD", b: 4096, iterations: 64, single_s: 8.0 * M + 23.0, projected_s: 8.0 * H + 57.0 * M },
+    Table2Row {
+        method: "Blocked-CB",
+        partitioner: "MD",
+        b: 256,
+        iterations: 1024,
+        single_s: 48.0,
+        projected_s: 13.0 * H + 35.0 * M,
+    },
+    Table2Row {
+        method: "Blocked-CB",
+        partitioner: "MD",
+        b: 512,
+        iterations: 512,
+        single_s: 61.0,
+        projected_s: 8.0 * H + 40.0 * M,
+    },
+    Table2Row {
+        method: "Blocked-CB",
+        partitioner: "MD",
+        b: 1024,
+        iterations: 256,
+        single_s: 100.0,
+        projected_s: 7.0 * H + 8.0 * M,
+    },
+    Table2Row {
+        method: "Blocked-CB",
+        partitioner: "MD",
+        b: 2048,
+        iterations: 128,
+        single_s: 3.0 * M + 18.0,
+        projected_s: 7.0 * H + 4.0 * M,
+    },
+    Table2Row {
+        method: "Blocked-CB",
+        partitioner: "MD",
+        b: 4096,
+        iterations: 64,
+        single_s: 8.0 * M + 23.0,
+        projected_s: 8.0 * H + 57.0 * M,
+    },
     // Blocked-CB, PH
-    Table2Row { method: "Blocked-CB", partitioner: "PH", b: 256, iterations: 1024, single_s: 46.0, projected_s: 13.0 * H + 12.0 * M },
-    Table2Row { method: "Blocked-CB", partitioner: "PH", b: 512, iterations: 512, single_s: 63.0, projected_s: 9.0 * H + 4.0 * M },
-    Table2Row { method: "Blocked-CB", partitioner: "PH", b: 1024, iterations: 256, single_s: 111.0, projected_s: 7.0 * H + 54.0 * M },
-    Table2Row { method: "Blocked-CB", partitioner: "PH", b: 2048, iterations: 128, single_s: 3.0 * M + 51.0, projected_s: 8.0 * H + 15.0 * M },
-    Table2Row { method: "Blocked-CB", partitioner: "PH", b: 4096, iterations: 64, single_s: 9.0 * M + 23.0, projected_s: 10.0 * H + 2.0 * M },
+    Table2Row {
+        method: "Blocked-CB",
+        partitioner: "PH",
+        b: 256,
+        iterations: 1024,
+        single_s: 46.0,
+        projected_s: 13.0 * H + 12.0 * M,
+    },
+    Table2Row {
+        method: "Blocked-CB",
+        partitioner: "PH",
+        b: 512,
+        iterations: 512,
+        single_s: 63.0,
+        projected_s: 9.0 * H + 4.0 * M,
+    },
+    Table2Row {
+        method: "Blocked-CB",
+        partitioner: "PH",
+        b: 1024,
+        iterations: 256,
+        single_s: 111.0,
+        projected_s: 7.0 * H + 54.0 * M,
+    },
+    Table2Row {
+        method: "Blocked-CB",
+        partitioner: "PH",
+        b: 2048,
+        iterations: 128,
+        single_s: 3.0 * M + 51.0,
+        projected_s: 8.0 * H + 15.0 * M,
+    },
+    Table2Row {
+        method: "Blocked-CB",
+        partitioner: "PH",
+        b: 4096,
+        iterations: 64,
+        single_s: 9.0 * M + 23.0,
+        projected_s: 10.0 * H + 2.0 * M,
+    },
 ];
 
 /// One Table 3 / Fig. 5 weak-scaling entry (`n = 256·p`).
@@ -102,16 +382,52 @@ pub struct Table3Entry {
 
 /// Table 3, all five columns.
 pub const TABLE3: &[Table3Entry] = &[
-    Table3Entry { p: 64, im: Some((4.0 * M + 2.0, 1024)), cb: (2.0 * M + 50.0, 1024), fw2d_mpi: Some(2.0 * M + 3.0), dc_mpi: Some(M + 15.0) },
-    Table3Entry { p: 128, im: Some((14.0 * M + 20.0, 1024)), cb: (11.0 * M, 1280), fw2d_mpi: None, dc_mpi: None },
-    Table3Entry { p: 256, im: Some((35.0 * M + 33.0, 1536)), cb: (34.0 * M + 16.0, 1536), fw2d_mpi: Some(37.0 * M + 2.0), dc_mpi: Some(18.0 * M + 54.0) },
-    Table3Entry { p: 512, im: Some((2.0 * H + 17.0 * M, 2048)), cb: (2.0 * H + 11.0 * M, 2048), fw2d_mpi: None, dc_mpi: None },
-    Table3Entry { p: 1024, im: None, cb: (8.0 * H + 9.0 * M, 2560), fw2d_mpi: Some(11.0 * H + 51.0 * M), dc_mpi: Some(2.0 * H + 52.0 * M) },
+    Table3Entry {
+        p: 64,
+        im: Some((4.0 * M + 2.0, 1024)),
+        cb: (2.0 * M + 50.0, 1024),
+        fw2d_mpi: Some(2.0 * M + 3.0),
+        dc_mpi: Some(M + 15.0),
+    },
+    Table3Entry {
+        p: 128,
+        im: Some((14.0 * M + 20.0, 1024)),
+        cb: (11.0 * M, 1280),
+        fw2d_mpi: None,
+        dc_mpi: None,
+    },
+    Table3Entry {
+        p: 256,
+        im: Some((35.0 * M + 33.0, 1536)),
+        cb: (34.0 * M + 16.0, 1536),
+        fw2d_mpi: Some(37.0 * M + 2.0),
+        dc_mpi: Some(18.0 * M + 54.0),
+    },
+    Table3Entry {
+        p: 512,
+        im: Some((2.0 * H + 17.0 * M, 2048)),
+        cb: (2.0 * H + 11.0 * M, 2048),
+        fw2d_mpi: None,
+        dc_mpi: None,
+    },
+    Table3Entry {
+        p: 1024,
+        im: None,
+        cb: (8.0 * H + 9.0 * M, 2560),
+        fw2d_mpi: Some(11.0 * H + 51.0 * M),
+        dc_mpi: Some(2.0 * H + 52.0 * M),
+    },
 ];
 
 /// Paper Fig. 2 anchor points (sequential kernels), `(b, seconds)` —
 /// approximate reads off the published plot, used only for trend checks.
-pub const FIG2_FW_ANCHORS: &[(usize, f64)] = &[(2000, 11.0), (4000, 90.0), (6000, 300.0), (8000, 700.0), (10000, 1380.0)];
+pub const FIG2_FW_ANCHORS: &[(usize, f64)] = &[
+    (2000, 11.0),
+    (4000, 90.0),
+    (6000, 300.0),
+    (8000, 700.0),
+    (10000, 1380.0),
+];
 
 #[cfg(test)]
 mod tests {
@@ -120,7 +436,12 @@ mod tests {
     #[test]
     fn table2_is_complete() {
         assert_eq!(TABLE2.len(), 40);
-        for method in ["Repeated Squaring", "2D Floyd-Warshall", "Blocked-IM", "Blocked-CB"] {
+        for method in [
+            "Repeated Squaring",
+            "2D Floyd-Warshall",
+            "Blocked-IM",
+            "Blocked-CB",
+        ] {
             for part in ["MD", "PH"] {
                 let rows: Vec<_> = TABLE2
                     .iter()

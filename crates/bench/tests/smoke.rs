@@ -1,0 +1,35 @@
+//! Crate-isolation smoke tests for `cargo test -p apsp-bench`: the
+//! formatting and JSON plumbing every harness binary relies on.
+
+use apsp_bench::{fmt_duration, TextTable};
+
+#[test]
+fn duration_formatting_matches_paper_tables() {
+    assert_eq!(fmt_duration(0.022), "0.022s");
+    assert_eq!(fmt_duration(45.0), "45s");
+    assert_eq!(fmt_duration(170.0), "2m50s");
+    assert_eq!(fmt_duration(8.0 * 3600.0 + 9.0 * 60.0), "8h9m");
+    assert_eq!(fmt_duration(9.0 * 86400.0 + 16.0 * 3600.0), "9d16h");
+    assert_eq!(fmt_duration(f64::INFINITY), "∞");
+}
+
+#[test]
+fn text_table_renders_headers_and_rows() {
+    let mut t = TextTable::new(&["solver", "time"]);
+    t.row(vec!["Blocked-CB".into(), "45s".into()]);
+    let s = t.render();
+    assert!(s.contains("solver") && s.contains("Blocked-CB") && s.contains("45s"));
+}
+
+#[test]
+fn write_json_emits_a_file_under_results() {
+    #[derive(serde::Serialize)]
+    struct Row {
+        n: usize,
+        t: f64,
+    }
+    let path = apsp_bench::write_json("smoke_test", &Row { n: 4, t: 1.5 }).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.contains("\"n\": 4"), "{text}");
+    let _ = std::fs::remove_file(path);
+}

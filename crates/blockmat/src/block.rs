@@ -241,7 +241,12 @@ impl fmt::Debug for Block {
                     }
                 })
                 .collect();
-            writeln!(f, "  [{}{}]", row.join(", "), if self.b > shown { ", …" } else { "" })?;
+            writeln!(
+                f,
+                "  [{}{}]",
+                row.join(", "),
+                if self.b > shown { ", …" } else { "" }
+            )?;
         }
         if self.b > shown {
             writeln!(f, "  …")?;

@@ -317,7 +317,9 @@ mod tests {
         let b = 24;
         let mut blk = random_block(b, 21, 0.6);
         let orig = blk.clone();
-        let col_i: Vec<f64> = (0..b).map(|i| if i % 5 == 0 { INF } else { i as f64 }).collect();
+        let col_i: Vec<f64> = (0..b)
+            .map(|i| if i % 5 == 0 { INF } else { i as f64 })
+            .collect();
         let col_j: Vec<f64> = (0..b).map(|j| (j * 2) as f64).collect();
         blk.fw_update_outer(&col_i, &col_j);
         for (i, ci) in col_i.iter().enumerate() {

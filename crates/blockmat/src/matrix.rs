@@ -225,7 +225,12 @@ impl fmt::Debug for Matrix {
                     }
                 })
                 .collect();
-            writeln!(f, "  [{}{}]", row.join(", "), if self.n > shown { ", …" } else { "" })?;
+            writeln!(
+                f,
+                "  [{}{}]",
+                row.join(", "),
+                if self.n > shown { ", …" } else { "" }
+            )?;
         }
         Ok(())
     }
@@ -318,7 +323,14 @@ mod tests {
             g.set(j, i, w);
         }
         let blocks = g.to_blocks(3);
-        let padded = Matrix::from_blocks(6, 3, blocks.into_iter().enumerate().map(|(idx, blk)| ((idx / 2, idx % 2), blk)));
+        let padded = Matrix::from_blocks(
+            6,
+            3,
+            blocks
+                .into_iter()
+                .enumerate()
+                .map(|(idx, blk)| ((idx / 2, idx % 2), blk)),
+        );
         let mut padded_fw = padded.clone();
         padded_fw.floyd_warshall_in_place();
         let mut direct = g.clone();

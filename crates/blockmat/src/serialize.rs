@@ -27,7 +27,10 @@ impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DecodeError::Truncated { expected, actual } => {
-                write!(f, "truncated payload: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "truncated payload: expected {expected} bytes, got {actual}"
+                )
             }
             DecodeError::BadDimension(d) => write!(f, "implausible dimension {d}"),
         }

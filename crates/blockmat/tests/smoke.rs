@@ -1,0 +1,63 @@
+//! Crate-isolation smoke tests: the algebraic contract `cargo test -p
+//! apsp-blockmat` should always witness, without needing the rest of the
+//! workspace.
+
+use apsp_blockmat::{Block, BoolSemiring, Semiring, TropicalF64, TropicalI64, INF};
+
+/// `⊕` identity, `⊗` identity, and the annihilator law `a ⊗ 0̄ = 0̄` for
+/// every semiring instance the solvers may run on.
+fn semiring_laws<S: Semiring>(samples: &[S::Elem]) {
+    for &a in samples {
+        assert_eq!(S::add(a, S::zero()), a, "additive identity");
+        assert_eq!(S::add(S::zero(), a), a, "additive identity (comm)");
+        assert_eq!(S::mul(a, S::one()), a, "multiplicative identity");
+        assert_eq!(S::mul(S::one(), a), a, "multiplicative identity (comm)");
+        assert_eq!(S::mul(a, S::zero()), S::zero(), "annihilator");
+        assert_eq!(S::mul(S::zero(), a), S::zero(), "annihilator (comm)");
+        assert_eq!(S::add(a, a), a, "idempotent ⊕ (path semirings)");
+    }
+    for &a in samples {
+        for &b in samples {
+            assert_eq!(S::add(a, b), S::add(b, a), "⊕ commutes");
+        }
+    }
+}
+
+#[test]
+fn tropical_f64_semiring_laws() {
+    semiring_laws::<TropicalF64>(&[0.0, 1.5, 42.0, INF]);
+}
+
+#[test]
+fn tropical_i64_semiring_laws() {
+    semiring_laws::<TropicalI64>(&[0, 3, 1 << 40, TropicalI64::zero()]);
+}
+
+#[test]
+fn boolean_semiring_laws() {
+    semiring_laws::<BoolSemiring>(&[true, false]);
+}
+
+#[test]
+fn block_identity_is_minplus_neutral() {
+    let mut a = Block::identity(4);
+    a.set(0, 1, 2.0);
+    a.set(1, 3, 5.0);
+    let e = Block::identity(4);
+    assert_eq!(a.min_plus(&e), a);
+    assert_eq!(e.min_plus(&a), a);
+}
+
+#[test]
+fn inf_is_the_absent_edge() {
+    let b = Block::infinity(3);
+    assert_eq!(b.get(0, 1), INF);
+    // One min-plus square of all-INF stays all-INF (annihilation at the
+    // matrix level).
+    let sq = b.min_plus(&b);
+    for i in 0..3 {
+        for j in 0..3 {
+            assert_eq!(sq.get(i, j), INF);
+        }
+    }
+}

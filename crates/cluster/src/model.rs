@@ -332,8 +332,7 @@ fn project_rs(
     let shuffle_s = records * e.block_bytes * ov.shuffle_compression * locality * e.cross
         / e.agg_net
         * e.eff_skew;
-    let overhead_s =
-        2.0 * ov.per_job_s + 2.0 * e.partitions as f64 / ov.task_dispatch_per_s;
+    let overhead_s = 2.0 * ov.per_job_s + 2.0 * e.partitions as f64 / ov.task_dispatch_per_s;
 
     let breakdown = CostBreakdown {
         compute_s,
@@ -375,8 +374,8 @@ fn project_fw2d(
     );
     let driver_s = n8 / e.nic; // column to driver
     let shuffle_s = spec.nodes as f64 * n8 / e.agg_net; // broadcast out
-    let overhead_s = ov.fw2d_iteration_anchor_s
-        + 2.0 * e.partitions as f64 / ov.task_dispatch_per_s;
+    let overhead_s =
+        ov.fw2d_iteration_anchor_s + 2.0 * e.partitions as f64 / ov.task_dispatch_per_s;
 
     let breakdown = CostBreakdown {
         compute_s,
@@ -414,10 +413,20 @@ fn project_im(
     // Phase 1: diagonal block solved sequentially on one executor.
     let diag_s = rates.fw_block_s(w.b);
     // Phase 2: 2(q-1) row/column block updates.
-    let p2_s = parallel_time(2 * q.saturating_sub(1), rates.minplus_block_s(w.b), e.p, e.eff_skew);
+    let p2_s = parallel_time(
+        2 * q.saturating_sub(1),
+        rates.minplus_block_s(w.b),
+        e.p,
+        e.eff_skew,
+    );
     // Phase 3: one product per stored (upper-triangular) block — symmetry
     // halves the work exactly as in the solvers (§4).
-    let p3_s = parallel_time(blocks_ut as usize, rates.minplus_block_s(w.b), e.p, e.eff_skew);
+    let p3_s = parallel_time(
+        blocks_ut as usize,
+        rates.minplus_block_s(w.b),
+        e.p,
+        e.eff_skew,
+    );
     let compute_s = diag_s + p2_s + p3_s;
 
     // Copy shuffles: CopyDiag (q-1 copies) + CopyCol (2(q-1)² copies);
@@ -429,17 +438,16 @@ fn project_im(
         PartitionerKind::PortableHash => 1.0,
     };
     let copies = (q.saturating_sub(1) + 2 * q.saturating_sub(1).pow(2)) as f64;
-    let shuffle_s = (copies + blocks_ut) * e.block_bytes * ov.shuffle_compression * locality
-        * e.cross
-        / e.agg_net
-        * e.eff_skew;
+    let shuffle_s =
+        (copies + blocks_ut) * e.block_bytes * ov.shuffle_compression * locality * e.cross
+            / e.agg_net
+            * e.eff_skew;
     // Every shuffled record is staged in local SSD shuffle files
     // regardless of where it lands.
     let spill_per_iter = (copies + blocks_ut) * e.block_bytes * ov.shuffle_compression;
     let storage_s = spill_per_iter / e.agg_ssd;
 
-    let overhead_s =
-        3.0 * ov.per_job_s + 3.0 * e.partitions as f64 / ov.task_dispatch_per_s;
+    let overhead_s = 3.0 * ov.per_job_s + 3.0 * e.partitions as f64 / ov.task_dispatch_per_s;
 
     let breakdown = CostBreakdown {
         compute_s,
@@ -488,9 +496,19 @@ fn project_cb(
     let blocks_ut = (q * (q + 1) / 2) as f64;
 
     let diag_s = rates.fw_block_s(w.b);
-    let p2_s = parallel_time(2 * q.saturating_sub(1), rates.minplus_block_s(w.b), e.p, e.eff_skew);
+    let p2_s = parallel_time(
+        2 * q.saturating_sub(1),
+        rates.minplus_block_s(w.b),
+        e.p,
+        e.eff_skew,
+    );
     // Symmetry: only the stored upper-triangular blocks are updated.
-    let p3_s = parallel_time(blocks_ut as usize, rates.minplus_block_s(w.b), e.p, e.eff_skew);
+    let p3_s = parallel_time(
+        blocks_ut as usize,
+        rates.minplus_block_s(w.b),
+        e.p,
+        e.eff_skew,
+    );
     let compute_s = diag_s + p2_s + p3_s;
 
     // Driver collects: the diagonal block + the updated row/column.
@@ -504,8 +522,7 @@ fn project_cb(
     let spill_per_iter = blocks_ut * e.block_bytes * ov.shuffle_compression;
     let storage_s = storage_gpfs + spill_per_iter / e.agg_ssd;
 
-    let overhead_s =
-        3.0 * ov.per_job_s + 3.0 * e.partitions as f64 / ov.task_dispatch_per_s;
+    let overhead_s = 3.0 * ov.per_job_s + 3.0 * e.partitions as f64 / ov.task_dispatch_per_s;
 
     let breakdown = CostBreakdown {
         compute_s,
@@ -547,9 +564,8 @@ fn project_mpi_fw2d(w: &Workload, spec: &ClusterSpec, rates: &KernelRates) -> Pr
     let sqrt_p = (p as f64).sqrt();
     let panel = w.n as f64 / sqrt_p;
     let update_s = panel * panel * rates.update_sec_per_op;
-    let bcast_s = 2.0
-        * (sqrt_p - 1.0).max(0.0)
-        * (spec.nic_latency_s + panel * 8.0 / spec.nic_bandwidth_bps);
+    let bcast_s =
+        2.0 * (sqrt_p - 1.0).max(0.0) * (spec.nic_latency_s + panel * 8.0 / spec.nic_bandwidth_bps);
     let single = update_s + bcast_s;
     let iterations = w.n as u64;
     Projection {
@@ -573,8 +589,7 @@ fn project_mpi_dc(w: &Workload, spec: &ClusterSpec, ov: &SparkOverheads) -> Proj
     let p = spec.total_cores();
     let sqrt_p = (p as f64).sqrt();
     let compute_s = (w.n as f64).powi(3) * ov.dc_sec_per_op / p as f64;
-    let comm_s = (w.n as f64).powi(2) * 8.0 / sqrt_p / spec.nic_bandwidth_bps
-        * (p as f64).log2()
+    let comm_s = (w.n as f64).powi(2) * 8.0 / sqrt_p / spec.nic_bandwidth_bps * (p as f64).log2()
         / spec.nodes as f64
         * (spec.nodes as f64 / sqrt_p).max(1.0);
     let total = compute_s + comm_s;
@@ -615,11 +630,26 @@ mod tests {
     #[test]
     fn table2_iteration_counts_match_paper() {
         // Paper Table 2, n = 262144: iterations per method and block size.
-        assert_eq!(proj(SolverKind::RepeatedSquaring, 262144, 1024).iterations, 4608);
-        assert_eq!(proj(SolverKind::RepeatedSquaring, 262144, 256).iterations, 18432);
-        assert_eq!(proj(SolverKind::FloydWarshall2D, 262144, 2048).iterations, 262144);
-        assert_eq!(proj(SolverKind::BlockedInMemory, 262144, 1024).iterations, 256);
-        assert_eq!(proj(SolverKind::BlockedCollectBroadcast, 262144, 4096).iterations, 64);
+        assert_eq!(
+            proj(SolverKind::RepeatedSquaring, 262144, 1024).iterations,
+            4608
+        );
+        assert_eq!(
+            proj(SolverKind::RepeatedSquaring, 262144, 256).iterations,
+            18432
+        );
+        assert_eq!(
+            proj(SolverKind::FloydWarshall2D, 262144, 2048).iterations,
+            262144
+        );
+        assert_eq!(
+            proj(SolverKind::BlockedInMemory, 262144, 1024).iterations,
+            256
+        );
+        assert_eq!(
+            proj(SolverKind::BlockedCollectBroadcast, 262144, 4096).iterations,
+            64
+        );
     }
 
     #[test]
@@ -628,9 +658,17 @@ mod tests {
         // (projections in days) at n = 262144.
         for b in [256, 1024, 4096] {
             let rs = proj(SolverKind::RepeatedSquaring, 262144, b);
-            assert!(rs.total_s > 4.0 * DAY, "RS b={b}: {} days", rs.total_s / DAY);
+            assert!(
+                rs.total_s > 4.0 * DAY,
+                "RS b={b}: {} days",
+                rs.total_s / DAY
+            );
             let fw = proj(SolverKind::FloydWarshall2D, 262144, b);
-            assert!(fw.total_s > 30.0 * DAY, "FW2D b={b}: {} days", fw.total_s / DAY);
+            assert!(
+                fw.total_s > 30.0 * DAY,
+                "FW2D b={b}: {} days",
+                fw.total_s / DAY
+            );
         }
     }
 
@@ -642,7 +680,12 @@ mod tests {
             assert!(im.total_s < 24.0 * HOUR, "IM b={b}: {}h", im.total_s / HOUR);
             assert!(cb.total_s < 16.0 * HOUR, "CB b={b}: {}h", cb.total_s / HOUR);
             // CB beats IM (avoids copy shuffles).
-            assert!(cb.total_s < im.total_s, "b={b}: CB {} !< IM {}", cb.total_s, im.total_s);
+            assert!(
+                cb.total_s < im.total_s,
+                "b={b}: CB {} !< IM {}",
+                cb.total_s,
+                im.total_s
+            );
         }
     }
 
@@ -685,7 +728,10 @@ mod tests {
     #[test]
     fn ph_partitioner_never_beats_md() {
         let (spec, rates, ov) = paper_env();
-        for solver in [SolverKind::BlockedInMemory, SolverKind::BlockedCollectBroadcast] {
+        for solver in [
+            SolverKind::BlockedInMemory,
+            SolverKind::BlockedCollectBroadcast,
+        ] {
             for b in [1024, 2048, 4096] {
                 let mut w = Workload::paper_default(262144, b);
                 let md = project(solver, &w, &spec, &rates, &ov);
@@ -742,7 +788,12 @@ mod tests {
             let fw = project(SolverKind::MpiFw2d, &w, &spec, &rates, &ov);
             let dc = project(SolverKind::MpiDc, &w, &spec, &rates, &ov);
             // DC always wins (paper Fig. 5).
-            assert!(dc.total_s < cb.total_s, "p={p}: DC {} !< CB {}", dc.total_s, cb.total_s);
+            assert!(
+                dc.total_s < cb.total_s,
+                "p={p}: DC {} !< CB {}",
+                dc.total_s,
+                cb.total_s
+            );
             assert!(dc.total_s < fw.total_s, "p={p}: DC !< FW-2D-MPI");
             if p >= 1024 {
                 // At scale, the naive MPI FW loses to the blocked Spark
@@ -765,7 +816,13 @@ mod tests {
         let rates = KernelRates::paper();
         let spec = ClusterSpec::paper_cluster_with_cores(64);
         let w = Workload::paper_default(16384, 1024);
-        let fw = project(SolverKind::MpiFw2d, &w, &spec, &rates, &SparkOverheads::default());
+        let fw = project(
+            SolverKind::MpiFw2d,
+            &w,
+            &spec,
+            &rates,
+            &SparkOverheads::default(),
+        );
         assert!(
             (fw.total_s - 123.0).abs() < 62.0,
             "FW-2D p=64: {}s vs paper 123s",
@@ -804,8 +861,6 @@ mod tests {
     fn breakdown_sums_to_single_iteration() {
         let pj = proj(SolverKind::BlockedCollectBroadcast, 131072, 1024);
         assert!((pj.breakdown.total() - pj.single_iteration_s).abs() < 1e-9);
-        assert!(
-            (pj.total_s - pj.single_iteration_s * pj.iterations as f64).abs() < 1e-6
-        );
+        assert!((pj.total_s - pj.single_iteration_s * pj.iterations as f64).abs() < 1e-6);
     }
 }

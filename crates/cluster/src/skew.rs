@@ -11,11 +11,7 @@ use sparklet::partitioner::{MultiDiagonalPartitioner, Partitioner, PortableHashP
 /// Blocks-per-partition histogram for the upper-triangular keys of a
 /// `q × q` block grid under the given partitioner with `partitions`
 /// output partitions (the data behind the paper's Fig. 3 bottom panel).
-pub fn partition_load_histogram(
-    kind: PartitionerKind,
-    q: usize,
-    partitions: usize,
-) -> Vec<usize> {
+pub fn partition_load_histogram(kind: PartitionerKind, q: usize, partitions: usize) -> Vec<usize> {
     let mut hist = vec![0usize; partitions];
     match kind {
         PartitionerKind::MultiDiagonal => {
@@ -88,7 +84,10 @@ mod tests {
     fn histogram_conserves_blocks() {
         let q = 100;
         let parts = 64;
-        for kind in [PartitionerKind::MultiDiagonal, PartitionerKind::PortableHash] {
+        for kind in [
+            PartitionerKind::MultiDiagonal,
+            PartitionerKind::PortableHash,
+        ] {
             let hist = partition_load_histogram(kind, q, parts);
             assert_eq!(hist.iter().sum::<usize>(), q * (q + 1) / 2);
         }

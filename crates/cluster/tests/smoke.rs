@@ -1,0 +1,60 @@
+//! Crate-isolation smoke tests for `cargo test -p apsp-cluster`: the
+//! projection pipeline end-to-end on the paper's testbed.
+
+use apsp_cluster::{
+    project, ClusterSpec, KernelRates, PartitionerKind, SolverKind, SparkOverheads, Workload,
+};
+
+#[test]
+fn paper_workload_projects_to_positive_finite_time() {
+    let spec = ClusterSpec::paper_cluster();
+    let rates = KernelRates::paper();
+    let w = Workload::paper_default(8192, 256);
+    for solver in [
+        SolverKind::RepeatedSquaring,
+        SolverKind::FloydWarshall2D,
+        SolverKind::BlockedInMemory,
+        SolverKind::BlockedCollectBroadcast,
+        SolverKind::MpiFw2d,
+        SolverKind::MpiDc,
+    ] {
+        let p = project(solver, &w, &spec, &rates, &SparkOverheads::default());
+        assert!(
+            p.total_s.is_finite() && p.total_s > 0.0,
+            "{solver:?}: {}",
+            p.total_s
+        );
+        assert!(p.iterations >= 1, "{solver:?}");
+    }
+}
+
+#[test]
+fn portable_hash_skew_exceeds_multi_diagonal() {
+    // The paper's Fig. 3 point: PH skews upper-triangular block keys, MD
+    // balances them by construction.
+    let (q, parts) = (64, 512);
+    let md = apsp_cluster::skew_factor(PartitionerKind::MultiDiagonal, q, parts);
+    let ph = apsp_cluster::skew_factor(PartitionerKind::PortableHash, q, parts);
+    assert!(md >= 1.0 && ph >= 1.0, "skew factors are multipliers");
+    assert!(ph > md, "expected PH ({ph}) more skewed than MD ({md})");
+}
+
+#[test]
+fn blocked_im_hits_the_storage_cliff_at_paper_scale() {
+    // §5.2/§5.4: Blocked-IM runs out of local staging at n = 262144.
+    let spec = ClusterSpec::paper_cluster();
+    let rates = KernelRates::paper();
+    let w = Workload::paper_default(262_144, 1024);
+    let p = project(
+        SolverKind::BlockedInMemory,
+        &w,
+        &spec,
+        &rates,
+        &SparkOverheads::default(),
+    );
+    assert!(
+        !p.feasibility.is_feasible(),
+        "IM should be infeasible: {:?}",
+        p.feasibility
+    );
+}

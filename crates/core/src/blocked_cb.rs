@@ -1,6 +1,6 @@
 //! Algorithm 4: Blocked Collect/Broadcast — the paper's best solver.
 
-use crate::blocks::{BlockedMatrix, BlockRecord};
+use crate::blocks::{BlockRecord, BlockedMatrix};
 use crate::building_blocks::{floyd_warshall, in_column, on_diagonal};
 use crate::solver::{validate_adjacency, ApspError, ApspResult, ApspSolver, SolverConfig};
 use apsp_blockmat::Matrix;
@@ -48,7 +48,12 @@ impl ApspSolver for BlockedCollectBroadcast {
     ) -> Result<ApspResult, ApspError> {
         let dd = self.solve_distributed(ctx, adjacency, cfg)?;
         let result = dd.blocked.collect_to_matrix()?;
-        Ok(ApspResult::new(result, dd.metrics, dd.elapsed, dd.iterations))
+        Ok(ApspResult::new(
+            result,
+            dd.metrics,
+            dd.elapsed,
+            dd.iterations,
+        ))
     }
 }
 
@@ -75,11 +80,7 @@ impl DistributedDistances {
         assert!(i < n && j < n, "vertex out of range");
         let b = self.blocked.b;
         let key = crate::blocks::canonical(i / b, j / b);
-        let records = self
-            .blocked
-            .rdd
-            .filter(move |(k, _)| *k == key)
-            .collect()?;
+        let records = self.blocked.rdd.filter(move |(k, _)| *k == key).collect()?;
         let (_, blk) = records
             .into_iter()
             .next()
@@ -200,14 +201,14 @@ impl BlockedCollectBroadcast {
             // Phase 3: MinPlus on every remaining block from staged
             // columns (line 9): A_XY = min(A_XY, A_Xi ⊗ A_iY).
             let side = ctx.clone();
-            let offcol = a
-                .filter(move |(key, _)| !in_column(key, i))
-                .try_map(move |((x, y), mut blk)| {
-                    let c_x = side.side_channel().get_block_arc(&col_key(i, x))?;
-                    let c_y = side.side_channel().get_block_arc(&col_key(i, y))?;
-                    blk.mat_min_assign(&c_x.min_plus(&c_y.transpose()));
-                    Ok(((x, y), blk))
-                });
+            let offcol =
+                a.filter(move |(key, _)| !in_column(key, i))
+                    .try_map(move |((x, y), mut blk)| {
+                        let c_x = side.side_channel().get_block_arc(&col_key(i, x))?;
+                        let c_y = side.side_channel().get_block_arc(&col_key(i, y))?;
+                        blk.mat_min_assign(&c_x.min_plus(&c_y.transpose()));
+                        Ok(((x, y), blk))
+                    });
 
             // Reassemble A (lines 11–12).
             let next = diag_rdd
@@ -310,7 +311,10 @@ mod tests {
         let _ = BlockedCollectBroadcast
             .solve(&sc, &g.to_dense(), &SolverConfig::new(10))
             .unwrap();
-        assert!(sc.side_channel().is_empty(), "staged blocks must be removed");
+        assert!(
+            sc.side_channel().is_empty(),
+            "staged blocks must be removed"
+        );
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Algorithm 3: Blocked In-Memory — the pure blocked solver.
 
-use crate::blocks::{BlockedMatrix, BlockRecord};
-use crate::building_blocks::{copy_col, copy_diag, floyd_warshall, in_column, on_diagonal, unpack_and_update, Piece};
+use crate::blocks::{BlockRecord, BlockedMatrix};
+use crate::building_blocks::{
+    copy_col, copy_diag, floyd_warshall, in_column, on_diagonal, unpack_and_update, Piece,
+};
 use crate::solver::{validate_adjacency, ApspError, ApspResult, ApspSolver, SolverConfig};
 use apsp_blockmat::Matrix;
 use sparklet::{Rdd, SparkContext};

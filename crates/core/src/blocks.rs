@@ -30,9 +30,7 @@ impl PartitionerChoice {
             PartitionerChoice::MultiDiagonal => {
                 Arc::new(MultiDiagonalPartitioner::new(q, partitions))
             }
-            PartitionerChoice::PortableHash => {
-                Arc::new(PortableHashPartitioner::new(partitions))
-            }
+            PartitionerChoice::PortableHash => Arc::new(PortableHashPartitioner::new(partitions)),
         }
     }
 }
@@ -147,12 +145,8 @@ mod tests {
     fn roundtrip_exact() {
         let sc = ctx();
         let m = sample_matrix(12);
-        let bm = BlockedMatrix::from_matrix(
-            &sc,
-            &m,
-            4,
-            PartitionerChoice::MultiDiagonal.build(3, 8),
-        );
+        let bm =
+            BlockedMatrix::from_matrix(&sc, &m, 4, PartitionerChoice::MultiDiagonal.build(3, 8));
         assert_eq!(bm.q, 3);
         assert_eq!(bm.rdd.count().unwrap(), 6); // upper triangle of 3x3
         assert_eq!(bm.collect_to_matrix().unwrap(), m);
@@ -162,12 +156,8 @@ mod tests {
     fn roundtrip_with_padding() {
         let sc = ctx();
         let m = sample_matrix(10);
-        let bm = BlockedMatrix::from_matrix(
-            &sc,
-            &m,
-            4,
-            PartitionerChoice::PortableHash.build(3, 8),
-        );
+        let bm =
+            BlockedMatrix::from_matrix(&sc, &m, 4, PartitionerChoice::PortableHash.build(3, 8));
         assert_eq!(bm.q, 3);
         assert_eq!(bm.collect_to_matrix().unwrap(), m);
     }
@@ -176,12 +166,8 @@ mod tests {
     fn stores_only_upper_triangle() {
         let sc = ctx();
         let m = sample_matrix(16);
-        let bm = BlockedMatrix::from_matrix(
-            &sc,
-            &m,
-            4,
-            PartitionerChoice::MultiDiagonal.build(4, 8),
-        );
+        let bm =
+            BlockedMatrix::from_matrix(&sc, &m, 4, PartitionerChoice::MultiDiagonal.build(4, 8));
         for ((i, j), _) in bm.rdd.collect().unwrap() {
             assert!(i <= j, "lower-triangular record ({i},{j}) stored");
         }
@@ -209,12 +195,8 @@ mod tests {
         let mut m = Matrix::identity(3);
         m.set(0, 2, 4.0);
         m.set(2, 0, 4.0);
-        let bm = BlockedMatrix::from_matrix(
-            &sc,
-            &m,
-            8,
-            PartitionerChoice::MultiDiagonal.build(1, 2),
-        );
+        let bm =
+            BlockedMatrix::from_matrix(&sc, &m, 8, PartitionerChoice::MultiDiagonal.build(1, 2));
         assert_eq!(bm.q, 1);
         let back = bm.collect_to_matrix().unwrap();
         assert_eq!(back.get(0, 2), 4.0);

@@ -222,10 +222,7 @@ mod tests {
         let copies = copy_col(t, i, &c, q);
         // Targets: (0,3) R, (2,3) R, (3,3) L+R — 4 pieces.
         assert_eq!(copies.len(), 4);
-        let diag_pieces: Vec<_> = copies
-            .iter()
-            .filter(|(k, _)| *k == (3, 3))
-            .collect();
+        let diag_pieces: Vec<_> = copies.iter().filter(|(k, _)| *k == (3, 3)).collect();
         assert_eq!(diag_pieces.len(), 2);
         // Right pieces are transposed.
         for (key, piece) in &copies {
@@ -241,11 +238,7 @@ mod tests {
         let a = blk([[10.0, 10.0], [10.0, 10.0]]);
         let l = blk([[1.0, INF], [INF, 1.0]]);
         let r = blk([[2.0, 3.0], [4.0, 5.0]]);
-        let out = unpack_and_update(vec![
-            Piece::Left(l),
-            Piece::Stored(a),
-            Piece::Right(r),
-        ]);
+        let out = unpack_and_update(vec![Piece::Left(l), Piece::Stored(a), Piece::Right(r)]);
         assert_eq!(out.get(0, 0), 3.0); // 1 + 2
         assert_eq!(out.get(1, 1), 6.0); // 1 + 5
     }

@@ -13,7 +13,7 @@
 //! candidate pairs per squaring and `P²` partitions per `cartesian`. The
 //! [`tests`] quantify the blow-up against the column-sweep formulation.
 
-use crate::blocks::{BlockedMatrix, BlockRecord};
+use crate::blocks::{BlockRecord, BlockedMatrix};
 use crate::solver::{validate_adjacency, ApspError, ApspResult, ApspSolver, SolverConfig};
 use apsp_blockmat::Matrix;
 use sparklet::{Rdd, SparkContext};
@@ -116,7 +116,11 @@ mod tests {
     fn matches_oracle_at_demo_scale() {
         let g = generators::erdos_renyi_paper(24, 0.2, 6);
         let res = CartesianSquaring
-            .solve(&ctx(), &g.to_dense(), &SolverConfig::new(8).with_partitions(4))
+            .solve(
+                &ctx(),
+                &g.to_dense(),
+                &SolverConfig::new(8).with_partitions(4),
+            )
             .unwrap();
         assert!(res.distances().approx_eq(&fw_oracle(&g), 1e-9).is_ok());
     }
@@ -125,7 +129,11 @@ mod tests {
     fn long_path_closure() {
         let g = generators::path(17);
         let res = CartesianSquaring
-            .solve(&ctx(), &g.to_dense(), &SolverConfig::new(6).with_partitions(3))
+            .solve(
+                &ctx(),
+                &g.to_dense(),
+                &SolverConfig::new(6).with_partitions(3),
+            )
             .unwrap();
         assert_eq!(res.distances().get(0, 16), 16.0);
     }

@@ -146,14 +146,14 @@ impl DirectedBlockedCB {
 
             // Phase 3: A_XY ← min(A_XY, C_X ⊗ R_Y) for X ≠ i, Y ≠ i.
             let side = ctx.clone();
-            let off = a
-                .filter(move |((x, y), _)| *x != i && *y != i)
-                .try_map(move |((x, y), mut blk)| {
+            let off = a.filter(move |((x, y), _)| *x != i && *y != i).try_map(
+                move |((x, y), mut blk)| {
                     let c_x = side.side_channel().get_block_arc(&col_key(i, x))?;
                     let r_y = side.side_channel().get_block_arc(&row_key(i, y))?;
                     blk.mat_min_assign(&c_x.min_plus(&r_y));
                     Ok(((x, y), blk))
-                });
+                },
+            );
 
             let next = diag_rdd
                 .union_all(&[cross.clone(), off])
@@ -171,13 +171,7 @@ impl DirectedBlockedCB {
             a = next;
         }
 
-        let result = FullBlockedMatrix {
-            n,
-            b,
-            q,
-            rdd: a,
-        }
-        .collect_to_matrix()?;
+        let result = FullBlockedMatrix { n, b, q, rdd: a }.collect_to_matrix()?;
         // Padding sanity: padded rows must stay isolated.
         debug_assert!(result.data().iter().all(|v| *v >= 0.0 || *v == INF));
         let metrics = ctx.metrics().delta(&metrics_before);

@@ -1,6 +1,6 @@
 //! Algorithm 2: 2D-decomposed Floyd-Warshall (the "pure" solver).
 
-use crate::blocks::{BlockedMatrix, BlockRecord};
+use crate::blocks::{BlockRecord, BlockedMatrix};
 use crate::building_blocks::{extract_col, in_column};
 use crate::solver::{validate_adjacency, ApspError, ApspResult, ApspSolver, SolverConfig};
 use apsp_blockmat::{Matrix, INF};
@@ -121,10 +121,7 @@ mod tests {
         let res = FloydWarshall2D
             .solve(&ctx(), &g.to_dense(), &SolverConfig::new(32))
             .unwrap();
-        assert!(res
-            .distances()
-            .approx_eq(&floyd_warshall(&g), 1e-9)
-            .is_ok());
+        assert!(res.distances().approx_eq(&floyd_warshall(&g), 1e-9).is_ok());
     }
 
     #[test]
@@ -133,10 +130,7 @@ mod tests {
         let res = FloydWarshall2D
             .solve(&ctx(), &g.to_dense(), &SolverConfig::new(8))
             .unwrap();
-        assert!(res
-            .distances()
-            .approx_eq(&floyd_warshall(&g), 1e-9)
-            .is_ok());
+        assert!(res.distances().approx_eq(&floyd_warshall(&g), 1e-9).is_ok());
     }
 
     #[test]

@@ -136,7 +136,11 @@ mod tests {
         let run = |g: &apsp_graph::Graph| {
             let sc = SparkContext::new(SparkConfig::with_cores(4));
             DistributedJohnson
-                .solve(&sc, &g.to_dense(), &SolverConfig::new(n / 4).without_validation())
+                .solve(
+                    &sc,
+                    &g.to_dense(),
+                    &SolverConfig::new(n / 4).without_validation(),
+                )
                 .unwrap()
         };
         let rs = run(&sparse);

@@ -41,9 +41,9 @@
 mod blocked_cb;
 mod blocked_im;
 mod blocks;
+pub mod building_blocks;
 mod cartesian_rs;
 pub mod directed;
-pub mod building_blocks;
 mod fw2d;
 mod johnson_dist;
 mod mpi_dc;
@@ -53,10 +53,10 @@ mod solver;
 pub mod tuner;
 
 pub use blocked_cb::{BlockedCollectBroadcast, DistributedDistances};
-pub use cartesian_rs::CartesianSquaring;
-pub use directed::{DirectedBlockedCB, DirectedFloydWarshall2D, FullBlockedMatrix};
 pub use blocked_im::BlockedInMemory;
 pub use blocks::{canonical, oriented, BlockKey, BlockRecord, BlockedMatrix, PartitionerChoice};
+pub use cartesian_rs::CartesianSquaring;
+pub use directed::{DirectedBlockedCB, DirectedFloydWarshall2D, FullBlockedMatrix};
 pub use fw2d::FloydWarshall2D;
 pub use johnson_dist::DistributedJohnson;
 pub use mpi_dc::MpiDcApsp;

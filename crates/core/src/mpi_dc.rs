@@ -50,7 +50,9 @@ impl MpiDcApsp {
             return Err(ApspError::InvalidConfig("need at least one rank".into()));
         }
         if self.base_size == 0 {
-            return Err(ApspError::InvalidConfig("base size must be positive".into()));
+            return Err(ApspError::InvalidConfig(
+                "base size must be positive".into(),
+            ));
         }
         let n = adjacency.order();
         if n == 0 {
@@ -147,8 +149,7 @@ fn dist_minplus(data: &mut [f64], n: usize, a: View, bv: View, c: View, comm: &C
     for slice in slices {
         debug_assert_eq!(slice.len() % c.cols.max(1), 0);
         for chunk in slice.chunks_exact(c.cols) {
-            data[(c.r0 + row) * n + c.c0..(c.r0 + row) * n + c.c0 + c.cols]
-                .copy_from_slice(chunk);
+            data[(c.r0 + row) * n + c.c0..(c.r0 + row) * n + c.c0 + c.cols].copy_from_slice(chunk);
             row += 1;
         }
     }
@@ -188,10 +189,30 @@ fn kleene(data: &mut [f64], n: usize, v: View, base: usize, comm: &Comm) {
     }
     let s1 = s / 2;
     let s2 = s - s1;
-    let a11 = View { r0: v.r0, c0: v.c0, rows: s1, cols: s1 };
-    let a12 = View { r0: v.r0, c0: v.c0 + s1, rows: s1, cols: s2 };
-    let a21 = View { r0: v.r0 + s1, c0: v.c0, rows: s2, cols: s1 };
-    let a22 = View { r0: v.r0 + s1, c0: v.c0 + s1, rows: s2, cols: s2 };
+    let a11 = View {
+        r0: v.r0,
+        c0: v.c0,
+        rows: s1,
+        cols: s1,
+    };
+    let a12 = View {
+        r0: v.r0,
+        c0: v.c0 + s1,
+        rows: s1,
+        cols: s2,
+    };
+    let a21 = View {
+        r0: v.r0 + s1,
+        c0: v.c0,
+        rows: s2,
+        cols: s1,
+    };
+    let a22 = View {
+        r0: v.r0 + s1,
+        c0: v.c0 + s1,
+        rows: s2,
+        cols: s2,
+    };
 
     kleene(data, n, a11, base, comm);
     dist_minplus(data, n, a11, a12, a12, comm); // A12 ← min(A12, A11 ⊗ A12)

@@ -1,6 +1,6 @@
 //! Algorithm 1: repeated squaring with column-block sweeps.
 
-use crate::blocks::{BlockedMatrix, BlockRecord};
+use crate::blocks::{BlockRecord, BlockedMatrix};
 use crate::building_blocks::in_column;
 use crate::solver::{validate_adjacency, ApspError, ApspResult, ApspSolver, SolverConfig};
 use apsp_blockmat::Matrix;
@@ -67,15 +67,14 @@ impl ApspSolver for RepeatedSquaring {
             for j in 0..q {
                 // Stage column J's blocks in canonical orientation
                 // C_K = A_KJ (rows K, cols J) — lines 3–4.
-                for ((x, y), blk) in a
-                    .filter(move |(key, _)| in_column(key, j))
-                    .collect()?
-                {
+                for ((x, y), blk) in a.filter(move |(key, _)| in_column(key, j)).collect()? {
                     if y == j {
-                        ctx.side_channel().put_block(col_key(step, j, x), blk.clone());
+                        ctx.side_channel()
+                            .put_block(col_key(step, j, x), blk.clone());
                     }
                     if x == j && x != y {
-                        ctx.side_channel().put_block(col_key(step, j, y), blk.transpose());
+                        ctx.side_channel()
+                            .put_block(col_key(step, j, y), blk.transpose());
                     }
                 }
 
@@ -125,7 +124,12 @@ impl ApspSolver for RepeatedSquaring {
 
         let result = blocked.with_rdd(a).collect_to_matrix()?;
         let metrics = ctx.metrics().delta(&metrics_before);
-        Ok(ApspResult::new(result, metrics, start.elapsed(), sweeps_done))
+        Ok(ApspResult::new(
+            result,
+            metrics,
+            start.elapsed(),
+            sweeps_done,
+        ))
     }
 }
 

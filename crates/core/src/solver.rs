@@ -96,7 +96,9 @@ impl SolverConfig {
 
     pub(crate) fn check(&self, n: usize) -> Result<(), ApspError> {
         if self.block_size == 0 {
-            return Err(ApspError::InvalidConfig("block size must be positive".into()));
+            return Err(ApspError::InvalidConfig(
+                "block size must be positive".into(),
+            ));
         }
         if n == 0 {
             return Err(ApspError::InvalidInput("empty graph".into()));
@@ -179,7 +181,9 @@ mod tests {
         let cfg = SolverConfig::new(64);
         assert_eq!(cfg.partitions_for(&ctx), 6);
         assert_eq!(
-            SolverConfig::new(64).with_partitions(10).partitions_for(&ctx),
+            SolverConfig::new(64)
+                .with_partitions(10)
+                .partitions_for(&ctx),
             10
         );
     }

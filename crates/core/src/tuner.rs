@@ -10,7 +10,9 @@
 //!   sizes through the [`apsp_cluster`] projection and pick the feasible
 //!   minimum (how the paper's Table 3 per-`p` block sizes arise).
 
-use apsp_cluster::{project, ClusterSpec, KernelRates, Projection, SolverKind, SparkOverheads, Workload};
+use apsp_cluster::{
+    project, ClusterSpec, KernelRates, Projection, SolverKind, SparkOverheads, Workload,
+};
 
 /// Smallest block the heuristic will suggest (below this, task-scheduling
 /// overheads dominate — paper §5.2).
@@ -62,7 +64,9 @@ pub fn tune_with_model(
 
 /// The paper's candidate grid for Table 2/Fig. 3 sweeps.
 pub fn paper_candidates() -> Vec<usize> {
-    vec![256, 512, 768, 1024, 1280, 1536, 1792, 2048, 2560, 3072, 4096]
+    vec![
+        256, 512, 768, 1024, 1280, 1536, 1792, 2048, 2560, 3072, 4096,
+    ]
 }
 
 #[cfg(test)]
@@ -73,7 +77,10 @@ mod tests {
     fn heuristic_respects_parallelism() {
         let b = suggest_block_size(262_144, 1024, 2);
         let q = 262_144usize.div_ceil(b);
-        assert!(q * (q + 1) / 2 >= 2048, "q={q} too coarse for B=2 on 1024 cores");
+        assert!(
+            q * (q + 1) / 2 >= 2048,
+            "q={q} too coarse for B=2 on 1024 cores"
+        );
         assert!(b <= CACHE_KNEE);
     }
 
@@ -106,7 +113,10 @@ mod tests {
             let w = Workload::paper_default(262_144, cand);
             let p = project(SolverKind::BlockedCollectBroadcast, &w, &spec, &rates, &ov);
             if p.feasibility.is_feasible() {
-                assert!(p.total_s >= proj.total_s - 1e-9, "candidate {cand} beats pick {b}");
+                assert!(
+                    p.total_s >= proj.total_s - 1e-9,
+                    "candidate {cand} beats pick {b}"
+                );
             }
         }
     }
@@ -138,6 +148,9 @@ mod tests {
             &SparkOverheads::default(),
             &paper_candidates(),
         );
-        assert!(got.is_none(), "IM should be infeasible at n=262144: {got:?}");
+        assert!(
+            got.is_none(),
+            "IM should be infeasible at n=262144: {got:?}"
+        );
     }
 }

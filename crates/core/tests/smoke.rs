@@ -1,0 +1,27 @@
+//! Crate-isolation smoke tests for `cargo test -p apsp-core`: one Spark
+//! solver and one MPI baseline against a hand-checkable input.
+
+use apsp_core::{ApspSolver, BlockedCollectBroadcast, MpiDcApsp, SolverConfig};
+use apsp_graph::generators;
+use sparklet::{SparkConfig, SparkContext};
+
+#[test]
+fn cb_solves_a_path_graph_exactly() {
+    let g = generators::path(20);
+    let ctx = SparkContext::new(SparkConfig::with_cores(2));
+    let res = BlockedCollectBroadcast
+        .solve(&ctx, &g.to_dense(), &SolverConfig::new(6))
+        .unwrap();
+    let d = res.distances();
+    assert_eq!(d.get(0, 19), 19.0);
+    assert_eq!(d.get(7, 3), 4.0);
+}
+
+#[test]
+fn mpi_dc_matches_the_sequential_oracle() {
+    let g = generators::erdos_renyi_paper(48, 0.1, 5);
+    let adj = g.to_dense();
+    let oracle = apsp_graph::floyd_warshall(&g);
+    let res = MpiDcApsp::new(3).solve_matrix(&adj).unwrap();
+    assert!(res.distances.approx_eq(&oracle, 1e-9).is_ok());
+}

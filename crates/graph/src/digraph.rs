@@ -15,7 +15,10 @@ pub struct DiGraph {
 impl DiGraph {
     /// Creates an arcless digraph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        DiGraph { n, arcs: Vec::new() }
+        DiGraph {
+            n,
+            arcs: Vec::new(),
+        }
     }
 
     /// Creates a digraph from an arc list.

@@ -232,9 +232,7 @@ pub fn knn_swiss_roll(n: usize, k: usize, seed: u64) -> (Graph, Vec<[f64; 3]>) {
         let mut dists: Vec<(usize, f64)> = (0..n)
             .filter(|&j| j != i)
             .map(|j| {
-                let d2: f64 = (0..3)
-                    .map(|c| (points[i][c] - points[j][c]).powi(2))
-                    .sum();
+                let d2: f64 = (0..3).map(|c| (points[i][c] - points[j][c]).powi(2)).sum();
                 (j, d2.sqrt())
             })
             .collect();
@@ -277,8 +275,8 @@ mod tests {
         }
         let c = erdos_renyi(200, 0.05, 8);
         // Overwhelmingly likely to differ.
-        let differs = a.num_edges() != c.num_edges()
-            || a.edges().zip(c.edges()).any(|(x, y)| x != y);
+        let differs =
+            a.num_edges() != c.num_edges() || a.edges().zip(c.edges()).any(|(x, y)| x != y);
         assert!(differs);
     }
 
@@ -399,10 +397,7 @@ mod tests {
         }
         // Radius 0 → no edges; radius √2 → complete.
         assert_eq!(random_geometric(50, 0.0, 1).num_edges(), 0);
-        assert_eq!(
-            random_geometric(50, 1.5, 1).num_edges(),
-            50 * 49 / 2
-        );
+        assert_eq!(random_geometric(50, 1.5, 1).num_edges(), 50 * 49 / 2);
     }
 
     #[test]

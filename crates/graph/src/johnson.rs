@@ -86,11 +86,7 @@ pub fn apsp_johnson(g: &Graph) -> Result<Matrix, NegativeCycle> {
         let dist = dijkstra::sssp(&csr, s);
         for (t, &d) in dist.iter().enumerate() {
             // Undo the potential shift.
-            let v = if d.is_finite() {
-                d - h[s] + h[t]
-            } else {
-                INF
-            };
+            let v = if d.is_finite() { d - h[s] + h[t] } else { INF };
             out.set(s, t, v);
         }
     }

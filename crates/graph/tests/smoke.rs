@@ -1,0 +1,41 @@
+//! Crate-isolation smoke tests for `cargo test -p apsp-graph`: generator,
+//! oracle, and I/O basics with hand-checkable answers.
+
+use apsp_graph::{floyd_warshall, generators, io, Graph};
+
+#[test]
+fn path_graph_oracle_distances() {
+    let d = floyd_warshall(&generators::path(5));
+    assert_eq!(d.get(0, 4), 4.0);
+    assert_eq!(d.get(2, 2), 0.0);
+    assert_eq!(d.get(3, 1), 2.0);
+}
+
+#[test]
+fn dijkstra_agrees_with_fw_on_er() {
+    let g = generators::erdos_renyi_paper(64, 0.1, 11);
+    let fw = floyd_warshall(&g);
+    let dj = apsp_graph::dijkstra::apsp_dijkstra(&g);
+    assert!(fw.approx_eq(&dj, 1e-9).is_ok());
+}
+
+#[test]
+fn csr_reflects_edges() {
+    let mut g = Graph::new(4);
+    g.add_edge(0, 1, 1.0);
+    g.add_edge(1, 2, 2.0);
+    let csr = g.to_csr();
+    let n1: Vec<_> = csr.neighbors(1).collect();
+    assert_eq!(n1.len(), 2, "vertex 1 touches both edges");
+}
+
+#[test]
+fn save_load_round_trip() {
+    let path = std::env::temp_dir().join(format!("apsp-graph-smoke-{}.txt", std::process::id()));
+    let g = generators::cycle(9);
+    io::save_graph(&g, &path).unwrap();
+    let back = io::load_graph(&path).unwrap();
+    assert_eq!(back.order(), g.order());
+    assert_eq!(back.num_edges(), g.num_edges());
+    let _ = std::fs::remove_file(path);
+}

@@ -184,7 +184,11 @@ mod tests {
         for p in [1usize, 2, 3, 5, 8] {
             for root in 0..p {
                 let out = World::new(p, CommCost::zero()).run(|c| {
-                    let v = if c.rank() == root { Some(root as u64 * 10) } else { None };
+                    let v = if c.rank() == root {
+                        Some(root as u64 * 10)
+                    } else {
+                        None
+                    };
                     c.broadcast(root, v, 8)
                 });
                 assert_eq!(out, vec![root as u64 * 10; p], "p={p} root={root}");
@@ -206,8 +210,7 @@ mod tests {
 
     #[test]
     fn all_gather_everywhere() {
-        let out =
-            World::new(4, CommCost::gbe()).run(|c| c.all_gather((c.rank() as u64) * 2, 8));
+        let out = World::new(4, CommCost::gbe()).run(|c| c.all_gather((c.rank() as u64) * 2, 8));
         for res in out {
             assert_eq!(res, vec![0, 2, 4, 6]);
         }
@@ -253,7 +256,10 @@ mod tests {
     fn broadcast_latency_grows_with_log_p() {
         // With beta = 0 and alpha = 1, the last rank to receive a
         // broadcast should see ~⌈log2 p⌉ seconds, not ~p seconds.
-        let cost = CommCost { alpha: 1.0, beta: 0.0 };
+        let cost = CommCost {
+            alpha: 1.0,
+            beta: 0.0,
+        };
         for p in [2usize, 4, 8, 16] {
             let out = World::new(p, cost).run(|c| {
                 let v = if c.rank() == 0 { Some(1u8) } else { None };
@@ -274,8 +280,8 @@ mod tests {
     fn scatter_delivers_per_rank_values() {
         for root in 0..4 {
             let out = World::new(4, CommCost::zero()).run(|c| {
-                let values = (c.rank() == root)
-                    .then(|| (0..4).map(|i| i as u64 * 100).collect::<Vec<_>>());
+                let values =
+                    (c.rank() == root).then(|| (0..4).map(|i| i as u64 * 100).collect::<Vec<_>>());
                 c.scatter(root, values, 8)
             });
             assert_eq!(out, vec![0, 100, 200, 300], "root={root}");
@@ -287,8 +293,7 @@ mod tests {
         let p = 5;
         let out = World::new(p, CommCost::gbe()).run(|c| {
             // Rank i sends (i, j) to rank j.
-            let values: Vec<(u64, u64)> =
-                (0..p).map(|j| (c.rank() as u64, j as u64)).collect();
+            let values: Vec<(u64, u64)> = (0..p).map(|j| (c.rank() as u64, j as u64)).collect();
             c.all_to_all(values, 16)
         });
         for (j, received) in out.iter().enumerate() {
@@ -302,8 +307,7 @@ mod tests {
     #[test]
     fn reduce_handles_non_power_of_two() {
         for p in [3usize, 5, 6, 7, 9] {
-            let out = World::new(p, CommCost::zero())
-                .run(|c| c.all_reduce(1u64, |a, b| a + b));
+            let out = World::new(p, CommCost::zero()).run(|c| c.all_reduce(1u64, |a, b| a + b));
             for v in out {
                 assert_eq!(v, p as u64);
             }

@@ -236,7 +236,12 @@ impl SparkContext {
             let buckets = buckets.clone();
             move |p: usize| Ok(buckets[p].clone())
         };
-        let rdd = Rdd::new_source(self.inner.clone(), parts, "parallelize_by", Box::new(compute));
+        let rdd = Rdd::new_source(
+            self.inner.clone(),
+            parts,
+            "parallelize_by",
+            Box::new(compute),
+        );
         rdd.set_partitioner_identity(partitioner.identity());
         rdd
     }
@@ -292,4 +297,3 @@ impl std::fmt::Debug for SparkContext {
             .finish()
     }
 }
-

@@ -31,10 +31,16 @@ impl fmt::Display for SparkError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SparkError::InjectedFailure { rdd, partition } => {
-                write!(f, "injected failure in task (rdd {rdd}, partition {partition})")
+                write!(
+                    f,
+                    "injected failure in task (rdd {rdd}, partition {partition})"
+                )
             }
             SparkError::SideChannelMiss { key } => {
-                write!(f, "side-channel blob '{key}' is missing (storage is not fault-tolerant)")
+                write!(
+                    f,
+                    "side-channel blob '{key}' is missing (storage is not fault-tolerant)"
+                )
             }
             SparkError::SideChannelType { key } => {
                 write!(f, "side-channel blob '{key}' has unexpected type")

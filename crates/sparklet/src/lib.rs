@@ -63,8 +63,8 @@ mod broadcast;
 mod context;
 mod error;
 mod metrics;
-pub mod partitioner;
 mod pair_ext;
+pub mod partitioner;
 mod rdd;
 mod shuffle;
 mod sidechannel;

@@ -60,9 +60,7 @@ impl<A: PortableHashable, B: PortableHashable> PortableHashable for (A, B) {
     }
 }
 
-impl<A: PortableHashable, B: PortableHashable, C: PortableHashable> PortableHashable
-    for (A, B, C)
-{
+impl<A: PortableHashable, B: PortableHashable, C: PortableHashable> PortableHashable for (A, B, C) {
     fn portable_hash(&self) -> i64 {
         portable_tuple_hash(&[
             self.0.portable_hash(),
@@ -285,7 +283,10 @@ mod tests {
         let ph_max = *ph_hist.iter().max().unwrap() as f64;
         let md_max = *md_hist.iter().max().unwrap() as f64;
         // MD is near-perfect by construction.
-        assert!(md_max <= ideal.ceil(), "MD skewed: max {md_max}, ideal {ideal}");
+        assert!(
+            md_max <= ideal.ceil(),
+            "MD skewed: max {md_max}, ideal {ideal}"
+        );
         // PH exhibits genuine skew (paper Fig. 3 bottom).
         assert!(
             ph_max >= 1.5 * ideal,

@@ -127,12 +127,7 @@ impl<T: Data> Rdd<T> {
 
     /// Derives a narrow child: same partition count unless stated, upstream
     /// shuffle deps inherited.
-    fn derive<U: Data>(
-        &self,
-        parts: usize,
-        name: &'static str,
-        compute: ComputeFn<U>,
-    ) -> Rdd<U> {
+    fn derive<U: Data>(&self, parts: usize, name: &'static str, compute: ComputeFn<U>) -> Rdd<U> {
         Rdd::new(
             self.inner.ctx.clone(),
             parts,
@@ -145,9 +140,11 @@ impl<T: Data> Rdd<T> {
     /// Element-wise transformation (narrow).
     pub fn map<U: Data>(&self, f: impl Fn(T) -> U + Send + Sync + 'static) -> Rdd<U> {
         let parent = self.inner.clone();
-        self.derive(self.inner.parts, "map", Box::new(move |p| {
-            Ok(parent.partition_data(p)?.into_iter().map(&f).collect())
-        }))
+        self.derive(
+            self.inner.parts,
+            "map",
+            Box::new(move |p| Ok(parent.partition_data(p)?.into_iter().map(&f).collect())),
+        )
     }
 
     /// Fallible element-wise transformation; an `Err` fails the task (and
@@ -158,9 +155,11 @@ impl<T: Data> Rdd<T> {
         f: impl Fn(T) -> SparkResult<U> + Send + Sync + 'static,
     ) -> Rdd<U> {
         let parent = self.inner.clone();
-        self.derive(self.inner.parts, "try_map", Box::new(move |p| {
-            parent.partition_data(p)?.into_iter().map(&f).collect()
-        }))
+        self.derive(
+            self.inner.parts,
+            "try_map",
+            Box::new(move |p| parent.partition_data(p)?.into_iter().map(&f).collect()),
+        )
     }
 
     /// Fallible one-to-many transformation; an `Err` fails the task.
@@ -169,40 +168,43 @@ impl<T: Data> Rdd<T> {
         f: impl Fn(T) -> SparkResult<Vec<U>> + Send + Sync + 'static,
     ) -> Rdd<U> {
         let parent = self.inner.clone();
-        self.derive(self.inner.parts, "try_flat_map", Box::new(move |p| {
-            let mut out = Vec::new();
-            for item in parent.partition_data(p)? {
-                out.extend(f(item)?);
-            }
-            Ok(out)
-        }))
+        self.derive(
+            self.inner.parts,
+            "try_flat_map",
+            Box::new(move |p| {
+                let mut out = Vec::new();
+                for item in parent.partition_data(p)? {
+                    out.extend(f(item)?);
+                }
+                Ok(out)
+            }),
+        )
     }
 
     /// Keeps elements satisfying the predicate (narrow).
     pub fn filter(&self, pred: impl Fn(&T) -> bool + Send + Sync + 'static) -> Rdd<T> {
         let parent = self.inner.clone();
-        self.derive(self.inner.parts, "filter", Box::new(move |p| {
-            Ok(parent
-                .partition_data(p)?
-                .into_iter()
-                .filter(|t| pred(t))
-                .collect())
-        }))
+        self.derive(
+            self.inner.parts,
+            "filter",
+            Box::new(move |p| {
+                Ok(parent
+                    .partition_data(p)?
+                    .into_iter()
+                    .filter(|t| pred(t))
+                    .collect())
+            }),
+        )
     }
 
     /// One-to-many transformation (narrow).
-    pub fn flat_map<U: Data>(
-        &self,
-        f: impl Fn(T) -> Vec<U> + Send + Sync + 'static,
-    ) -> Rdd<U> {
+    pub fn flat_map<U: Data>(&self, f: impl Fn(T) -> Vec<U> + Send + Sync + 'static) -> Rdd<U> {
         let parent = self.inner.clone();
-        self.derive(self.inner.parts, "flat_map", Box::new(move |p| {
-            Ok(parent
-                .partition_data(p)?
-                .into_iter()
-                .flat_map(&f)
-                .collect())
-        }))
+        self.derive(
+            self.inner.parts,
+            "flat_map",
+            Box::new(move |p| Ok(parent.partition_data(p)?.into_iter().flat_map(&f).collect())),
+        )
     }
 
     /// Whole-partition transformation (narrow); `f` receives the partition
@@ -212,9 +214,11 @@ impl<T: Data> Rdd<T> {
         f: impl Fn(usize, Vec<T>) -> Vec<U> + Send + Sync + 'static,
     ) -> Rdd<U> {
         let parent = self.inner.clone();
-        self.derive(self.inner.parts, "map_partitions", Box::new(move |p| {
-            Ok(f(p, parent.partition_data(p)?))
-        }))
+        self.derive(
+            self.inner.parts,
+            "map_partitions",
+            Box::new(move |p| Ok(f(p, parent.partition_data(p)?))),
+        )
     }
 
     /// Union with one other RDD. See [`Rdd::union_all`].
@@ -296,15 +300,19 @@ impl<T: Data> Rdd<T> {
         let target = target.max(1).min(self.inner.parts);
         let parent = self.inner.clone();
         let source_parts = parent.parts;
-        self.derive(target, "coalesce", Box::new(move |p| {
-            let lo = p * source_parts / target;
-            let hi = (p + 1) * source_parts / target;
-            let mut out = Vec::new();
-            for sp in lo..hi {
-                out.extend(parent.partition_data(sp)?);
-            }
-            Ok(out)
-        }))
+        self.derive(
+            target,
+            "coalesce",
+            Box::new(move |p| {
+                let lo = p * source_parts / target;
+                let hi = (p + 1) * source_parts / target;
+                let mut out = Vec::new();
+                for sp in lo..hi {
+                    out.extend(parent.partition_data(sp)?);
+                }
+                Ok(out)
+            }),
+        )
     }
 
     /// Keeps one representative per distinct element (narrow map-side
@@ -318,11 +326,18 @@ impl<T: Data> Rdd<T> {
         T: Eq + std::hash::Hash,
     {
         let parent = self.inner.clone();
-        self.derive(self.inner.parts, "distinct_within_partitions", Box::new(move |p| {
-            let items = parent.partition_data(p)?;
-            let mut seen = std::collections::HashSet::new();
-            Ok(items.into_iter().filter(|t| seen.insert(t.clone())).collect())
-        }))
+        self.derive(
+            self.inner.parts,
+            "distinct_within_partitions",
+            Box::new(move |p| {
+                let items = parent.partition_data(p)?;
+                let mut seen = std::collections::HashSet::new();
+                Ok(items
+                    .into_iter()
+                    .filter(|t| seen.insert(t.clone()))
+                    .collect())
+            }),
+        )
     }
 
     /// Deterministic sample: keeps each element with probability
@@ -330,18 +345,22 @@ impl<T: Data> Rdd<T> {
     pub fn sample(&self, fraction: f64, seed: u64) -> Rdd<T> {
         assert!((0.0..=1.0).contains(&fraction), "fraction out of range");
         let parent = self.inner.clone();
-        self.derive(self.inner.parts, "sample", Box::new(move |p| {
-            let items = parent.partition_data(p)?;
-            let mut state = seed ^ (p as u64).wrapping_mul(0x9E3779B97F4A7C15);
-            let mut next = move || {
-                state = state.wrapping_add(0x9E3779B97F4A7C15);
-                let mut z = state;
-                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-                (z ^ (z >> 31)) as f64 / u64::MAX as f64
-            };
-            Ok(items.into_iter().filter(|_| next() < fraction).collect())
-        }))
+        self.derive(
+            self.inner.parts,
+            "sample",
+            Box::new(move |p| {
+                let items = parent.partition_data(p)?;
+                let mut state = seed ^ (p as u64).wrapping_mul(0x9E3779B97F4A7C15);
+                let mut next = move || {
+                    state = state.wrapping_add(0x9E3779B97F4A7C15);
+                    let mut z = state;
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                    (z ^ (z >> 31)) as f64 / u64::MAX as f64
+                };
+                Ok(items.into_iter().filter(|_| next() < fraction).collect())
+            }),
+        )
     }
 
     /// Marks this RDD for caching: the first computation of each partition
@@ -368,10 +387,7 @@ impl<T: Data> Rdd<T> {
 
     /// Gathers all elements to the driver.
     pub fn collect(&self) -> SparkResult<Vec<T>> {
-        let chunks = self
-            .inner
-            .ctx
-            .run_action(&self.inner, |_, data| data)?;
+        let chunks = self.inner.ctx.run_action(&self.inner, |_, data| data)?;
         let total: usize = chunks.iter().map(Vec::len).sum();
         self.inner
             .ctx
@@ -407,12 +423,9 @@ impl<T: Data> Rdd<T> {
 
     /// Folds all elements with a commutative, associative operation.
     pub fn fold(&self, zero: T, f: impl Fn(T, T) -> T + Send + Sync) -> SparkResult<T> {
-        let partials = self
-            .inner
-            .ctx
-            .run_action(&self.inner, |_, data| {
-                data.into_iter().fold(zero.clone(), &f)
-            })?;
+        let partials = self.inner.ctx.run_action(&self.inner, |_, data| {
+            data.into_iter().fold(zero.clone(), &f)
+        })?;
         Ok(partials.into_iter().fold(zero, &f))
     }
 }
@@ -479,9 +492,7 @@ mod tests {
     #[test]
     fn union_many_blows_up_partitions() {
         let sc = ctx();
-        let rdds: Vec<_> = (0..10)
-            .map(|i| sc.parallelize(vec![i as u64], 3))
-            .collect();
+        let rdds: Vec<_> = (0..10).map(|i| sc.parallelize(vec![i as u64], 3)).collect();
         let u = sc.union(&rdds);
         assert_eq!(u.num_partitions(), 30);
         assert_eq!(u.count().unwrap(), 10);
@@ -504,7 +515,10 @@ mod tests {
     #[test]
     fn persist_serves_cache() {
         let sc = ctx();
-        let rdd = sc.parallelize((0u64..100).collect(), 4).map(|x| x * x).persist();
+        let rdd = sc
+            .parallelize((0u64..100).collect(), 4)
+            .map(|x| x * x)
+            .persist();
         let _ = rdd.count().unwrap();
         let before = sc.metrics();
         let _ = rdd.count().unwrap();

@@ -266,7 +266,12 @@ impl<K: Key + EstimateSize, V: Data + EstimateSize> Rdd<(K, V)> {
     ) -> Rdd<(K, V)> {
         let f = Arc::new(f);
         let fm = f.clone();
-        self.combine_by_key(partitioner, |v| v, move |c, v| f(c, v), move |a, b| fm(a, b))
+        self.combine_by_key(
+            partitioner,
+            |v| v,
+            move |c, v| f(c, v),
+            move |a, b| fm(a, b),
+        )
     }
 
     /// Spark `groupByKey`: gather all values per key (no pre-aggregation
@@ -408,9 +413,7 @@ mod tests {
         let sc = ctx();
         let pairs: Vec<(u64, u64)> = (0..10).map(|i| (i, i)).collect();
         let p = Arc::new(ModPartitioner::new(4));
-        let rdd = sc
-            .parallelize(pairs, 2)
-            .partition_by(p.clone());
+        let rdd = sc.parallelize(pairs, 2).partition_by(p.clone());
         let _ = rdd.collect().unwrap(); // materialize the first shuffle
         let before = sc.metrics();
         let again = rdd.partition_by(p);
@@ -433,7 +436,11 @@ mod tests {
         let after = sc.metrics().delta(&before);
         assert_eq!(after.shuffles, 1);
         // Map-side combine: <= 10 keys × 4 map tasks records, not 1000.
-        assert!(after.shuffle_records <= 40, "records {}", after.shuffle_records);
+        assert!(
+            after.shuffle_records <= 40,
+            "records {}",
+            after.shuffle_records
+        );
         assert!(after.shuffle_bytes >= after.shuffle_records * 16);
         assert_eq!(after.stages, 2); // shuffle stage + result stage
     }
@@ -485,13 +492,11 @@ mod tests {
     #[test]
     fn portable_hash_partitioner_usable_in_shuffle() {
         let sc = ctx();
-        let pairs: Vec<((usize, usize), u64)> =
-            (0..8).flat_map(|i| (i..8).map(move |j| ((i, j), 1))).collect();
+        let pairs: Vec<((usize, usize), u64)> = (0..8)
+            .flat_map(|i| (i..8).map(move |j| ((i, j), 1)))
+            .collect();
         let rdd = sc.parallelize(pairs, 4);
-        let counted = rdd.reduce_by_key(
-            Arc::new(PortableHashPartitioner::new(8)),
-            |a, b| a + b,
-        );
+        let counted = rdd.reduce_by_key(Arc::new(PortableHashPartitioner::new(8)), |a, b| a + b);
         assert_eq!(counted.count().unwrap(), 36);
     }
 
@@ -509,7 +514,10 @@ mod tests {
             .collect()
             .unwrap();
         out.sort();
-        assert_eq!(out, vec![("apple".to_string(), 4), ("banana".to_string(), 2)]);
+        assert_eq!(
+            out,
+            vec![("apple".to_string(), 4), ("banana".to_string(), 2)]
+        );
     }
 
     #[test]

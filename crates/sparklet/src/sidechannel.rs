@@ -184,9 +184,9 @@ impl SideChannel {
     pub fn len(&self) -> usize {
         let mem = self.blobs.lock().len();
         let disk = match &self.backend {
-            SideChannelBackend::Disk(dir) => std::fs::read_dir(dir)
-                .map(|it| it.count())
-                .unwrap_or(0),
+            SideChannelBackend::Disk(dir) => {
+                std::fs::read_dir(dir).map(|it| it.count()).unwrap_or(0)
+            }
             SideChannelBackend::Memory => 0,
         };
         mem + disk

@@ -24,7 +24,23 @@ macro_rules! impl_fixed {
     };
 }
 
-impl_fixed!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool, char, ());
+impl_fixed!(
+    u8,
+    u16,
+    u32,
+    u64,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    isize,
+    f32,
+    f64,
+    bool,
+    char,
+    ()
+);
 
 impl EstimateSize for String {
     fn estimate_bytes(&self) -> usize {
@@ -46,8 +62,7 @@ impl<T: EstimateSize> EstimateSize for Vec<T> {
 
 impl<T: EstimateSize> EstimateSize for Option<T> {
     fn estimate_bytes(&self) -> usize {
-        std::mem::size_of::<usize>()
-            + self.as_ref().map(EstimateSize::estimate_bytes).unwrap_or(0)
+        std::mem::size_of::<usize>() + self.as_ref().map(EstimateSize::estimate_bytes).unwrap_or(0)
     }
 }
 

@@ -33,7 +33,11 @@ fn main() {
             }
         }
     }
-    println!("one-way city: {} intersections, {} street segments", n, g.num_arcs());
+    println!(
+        "one-way city: {} intersections, {} street segments",
+        n,
+        g.num_arcs()
+    );
 
     let ctx = SparkContext::new(SparkConfig::with_cores(4));
     let res = DirectedBlockedCB
@@ -46,7 +50,12 @@ fn main() {
     let b = id(0, 0) as usize;
     println!(
         "eastbound block: {} → {} takes {}, but {} → {} takes {} (detour!)",
-        b, a, d.get(b, a), a, b, d.get(a, b)
+        b,
+        a,
+        d.get(b, a),
+        a,
+        b,
+        d.get(a, b)
     );
     assert_eq!(d.get(b, a), 1.0);
     assert!(d.get(a, b) > 1.0, "one-way violation");

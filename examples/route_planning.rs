@@ -57,7 +57,10 @@ fn main() {
             ra != rb && ca != cb // diagonal move = highway hop
         })
         .count();
-    println!("route uses the highway for {on_highway}/{} hops", route.len() - 1);
+    println!(
+        "route uses the highway for {on_highway}/{} hops",
+        route.len() - 1
+    );
     assert_eq!(on_highway, 7, "the cheap diagonal must be taken end-to-end");
     pm.validate_against(&g.to_dense(), 1e-9)
         .expect("path invariant violated");

@@ -43,8 +43,7 @@ fn main() {
             res.iterations,
             solver.is_pure(),
             res.metrics.shuffle_bytes as f64 / 1e6,
-            (res.metrics.side_channel_bytes_written + res.metrics.side_channel_bytes_read)
-                as f64
+            (res.metrics.side_channel_bytes_written + res.metrics.side_channel_bytes_read) as f64
                 / 1e6,
         );
     }
@@ -52,7 +51,9 @@ fn main() {
     // MPI baselines on the same instance.
     let t0 = Instant::now();
     let fw = MpiFw2d::new(2).solve_matrix(&adj).expect("FW-2D failed");
-    fw.distances.approx_eq(&oracle, 1e-9).expect("FW-2D diverged");
+    fw.distances
+        .approx_eq(&oracle, 1e-9)
+        .expect("FW-2D diverged");
     println!(
         "{:<20} {:>7.2}s {:>7} {:>6} {:>12} {:>12}",
         "FW-2D-MPI (2x2)",

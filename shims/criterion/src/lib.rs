@@ -1,0 +1,225 @@
+//! Offline stand-in for `criterion`: benchmark groups, `bench_function` /
+//! `bench_with_input`, throughput annotation, and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is a simple best-of-N wall-clock
+//! measurement printed to stdout — enough to compare kernels locally; no
+//! statistics, HTML reports, or baselines.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        run_benchmark(name, sample_size, None, f);
+    }
+}
+
+/// Work-per-iteration annotation, used to report rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter as the id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs a benchmark with no explicit input.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_benchmark(&full, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(&full, self.sample_size, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op beyond API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` times the hot loop.
+pub struct Bencher {
+    best: Option<Duration>,
+    samples: usize,
+}
+
+impl Bencher {
+    /// Times `f`, keeping the best of the configured sample count. The
+    /// return value is passed through [`black_box`] so the computation is
+    /// not optimized away.
+    pub fn iter<R, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        // One warmup, then timed samples.
+        black_box(f());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            let elapsed = start.elapsed();
+            if self.best.is_none_or(|b| elapsed < b) {
+                self.best = Some(elapsed);
+            }
+        }
+    }
+}
+
+fn run_benchmark<F>(name: &str, samples: usize, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        best: None,
+        samples,
+    };
+    f(&mut bencher);
+    match bencher.best {
+        Some(best) => {
+            let rate = throughput.map(|t| match t {
+                Throughput::Elements(n) => {
+                    format!("  ({:.1} Melem/s)", n as f64 / best.as_secs_f64() / 1e6)
+                }
+                Throughput::Bytes(n) => {
+                    format!(
+                        "  ({:.1} MiB/s)",
+                        n as f64 / best.as_secs_f64() / (1024.0 * 1024.0)
+                    )
+                }
+            });
+            println!("{name:<50} {best:>12.3?}{}", rate.unwrap_or_default());
+        }
+        None => println!("{name:<50} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Declares a benchmark group function from a config and target list.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &x| b.iter(|| x * x));
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = target
+    }
+
+    #[test]
+    fn group_runs_all_targets() {
+        benches();
+    }
+}

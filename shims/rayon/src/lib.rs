@@ -1,0 +1,389 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no registry access, so this shim provides the
+//! exact subset of rayon's API the workspace uses — `ThreadPool` +
+//! `install`, `into_par_iter().map().collect()`, `par_chunks_mut`, and
+//! `current_num_threads` — backed by `std::thread::scope` with a shared
+//! work queue (so uneven tasks still load-balance). Swapping the real
+//! rayon back in is a one-line change in the workspace manifest.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// The rayon prelude: parallel-iterator traits.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator, ParallelSliceMut};
+}
+
+std::thread_local! {
+    static CURRENT_THREADS: std::cell::Cell<Option<usize>> =
+        const { std::cell::Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(4, |p| p.get())
+}
+
+/// Number of threads the current scope's pool would use.
+pub fn current_num_threads() -> usize {
+    CURRENT_THREADS
+        .with(|c| c.get())
+        .unwrap_or_else(default_threads)
+}
+
+/// A thread pool; in this shim, a thread-count budget that scoped worker
+/// threads are spawned against per operation.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+/// Restores the previous thread budget on scope exit, including unwinds.
+struct BudgetGuard {
+    prev: Option<usize>,
+}
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        CURRENT_THREADS.with(|c| c.set(self.prev));
+    }
+}
+
+fn set_budget(budget: usize) -> BudgetGuard {
+    BudgetGuard {
+        prev: CURRENT_THREADS.with(|c| c.replace(Some(budget))),
+    }
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool installed as the current one.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = set_budget(self.num_threads);
+        f()
+    }
+
+    /// The pool's thread budget.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`]; never produced by this shim.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for [`ThreadPool`].
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Accepted for API compatibility; this shim spawns anonymous scoped
+    /// threads, so the name function is not used.
+    pub fn thread_name<F>(self, _f: F) -> Self
+    where
+        F: FnMut(usize) -> String,
+    {
+        self
+    }
+
+    /// Builds the pool. Infallible in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(default_threads).max(1),
+        })
+    }
+}
+
+/// Applies `f` to every item on up to `current_num_threads()` scoped
+/// threads, preserving input order in the output.
+fn par_apply<T, R, F>(items: Vec<T>, f: &F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let len = items.len();
+    let budget = current_num_threads();
+    let threads = budget.clamp(1, len.max(1));
+    if threads <= 1 || len <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue: Mutex<VecDeque<(usize, T)>> = Mutex::new(items.into_iter().enumerate().collect());
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(len);
+    slots.resize_with(len, || None);
+    let results: Mutex<&mut Vec<Option<R>>> = Mutex::new(&mut slots);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                // Workers inherit the pool budget so nested parallel calls
+                // (e.g. a parallel kernel inside an engine task) respect the
+                // installed pool size rather than the machine default.
+                let _guard = set_budget(budget);
+                loop {
+                    let next = queue.lock().unwrap().pop_front();
+                    let Some((idx, item)) = next else { break };
+                    let out = f(item);
+                    results.lock().unwrap()[idx] = Some(out);
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("worker completed"))
+        .collect()
+}
+
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Iterator type produced.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    type Iter = VecParIter<usize>;
+    fn into_par_iter(self) -> VecParIter<usize> {
+        VecParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecParIter<T>;
+    fn into_par_iter(self) -> VecParIter<T> {
+        VecParIter { items: self }
+    }
+}
+
+/// A parallel iterator: a finite item source evaluated across threads.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item: Send;
+
+    /// Materializes all items (applying any mapped stages in parallel).
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps every element through `f` in parallel.
+    fn map<R, F>(self, f: F) -> MapIter<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        MapIter { base: self, f }
+    }
+
+    /// Collects the results, preserving order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_ordered_items(self.run())
+    }
+}
+
+/// Parallel iterator over an owned `Vec`.
+pub struct VecParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecParIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Result of [`ParallelIterator::map`].
+pub struct MapIter<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, R, F> ParallelIterator for MapIter<P, F>
+where
+    P: ParallelIterator,
+    R: Send,
+    F: Fn(P::Item) -> R + Sync,
+{
+    type Item = R;
+    fn run(self) -> Vec<R> {
+        par_apply(self.base.run(), &self.f)
+    }
+}
+
+/// Types constructible from the ordered output of a parallel iterator.
+pub trait FromParallelIterator<T>: Sized {
+    /// Builds the collection from items in iterator order.
+    fn from_ordered_items(items: Vec<T>) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_items(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T: Send, E: Send> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered_items(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+/// `par_chunks_mut` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Splits the slice into chunks of `size` processed in parallel.
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ParChunksMut {
+            chunks: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
+/// Parallel iterator over disjoint mutable chunks of a slice.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs each chunk with its index.
+    pub fn enumerate(self) -> EnumeratedChunks<'a, T> {
+        EnumeratedChunks {
+            chunks: self.chunks,
+        }
+    }
+
+    /// Runs `f` on every chunk in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        par_apply(self.chunks, &|chunk| f(chunk));
+    }
+}
+
+/// Result of [`ParChunksMut::enumerate`].
+pub struct EnumeratedChunks<'a, T> {
+    chunks: Vec<&'a mut [T]>,
+}
+
+impl<T: Send> EnumeratedChunks<'_, T> {
+    /// Runs `f` on every `(index, chunk)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        par_apply(self.chunks.into_iter().enumerate().collect(), &|(
+            i,
+            chunk,
+        )| {
+            f((i, chunk))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<usize> = pool.install(|| (0..100).into_par_iter().map(|x| x * 2).collect());
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_to_first_error() {
+        let out: Result<Vec<usize>, String> = (0..10)
+            .into_par_iter()
+            .map(|x| {
+                if x == 7 {
+                    Err("seven".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(out, Err("seven".to_string()));
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_every_chunk() {
+        let mut data = vec![0u64; 37];
+        data.par_chunks_mut(5).enumerate().for_each(|(i, chunk)| {
+            for v in chunk.iter_mut() {
+                *v = i as u64;
+            }
+        });
+        assert_eq!(data[0], 0);
+        assert_eq!(data[36], 7);
+    }
+
+    #[test]
+    fn install_scopes_current_num_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 3);
+    }
+
+    #[test]
+    fn workers_inherit_the_pool_budget() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let budgets: Vec<usize> = pool.install(|| {
+            (0..8)
+                .into_par_iter()
+                .map(|_| current_num_threads())
+                .collect()
+        });
+        assert!(
+            budgets.iter().all(|&b| b == 2),
+            "nested calls on workers must see the installed budget: {budgets:?}"
+        );
+    }
+
+    #[test]
+    fn budget_is_restored_after_a_panicking_install() {
+        let baseline = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| panic!("boom"))
+        }));
+        assert!(result.is_err());
+        assert_eq!(current_num_threads(), baseline, "budget leaked past unwind");
+    }
+}

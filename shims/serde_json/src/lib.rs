@@ -1,0 +1,193 @@
+//! Offline stand-in for `serde_json`: renders the serde shim's [`Value`]
+//! tree as JSON (`to_string` / `to_string_pretty`). Serialization is
+//! infallible here, but the `Result` signatures (and the
+//! `From<Error> for io::Error` conversion) match the real crate so call
+//! sites are source-compatible.
+
+#![warn(missing_docs)]
+
+use serde::{Serialize, Value};
+
+/// Serialization error. Never produced by this shim, but kept so `?`
+/// propagation at call sites compiles unchanged.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<Error> for std::io::Error {
+    fn from(e: Error) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+/// Serializes `value` as compact JSON.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as 2-space-indented JSON.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Keep integral floats distinguishable as floats, like
+                // serde_json ("1.0", not "1").
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    out.push_str(&format!("{f:.1}"));
+                } else {
+                    out.push_str(&f.to_string());
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_json_string(out, s),
+        Value::Array(items) => write_seq(out, items.iter(), indent, depth, ('[', ']'), write_value),
+        Value::Object(entries) => write_seq(
+            out,
+            entries.iter(),
+            indent,
+            depth,
+            ('{', '}'),
+            |out, (k, val), ind, d| {
+                write_json_string(out, k);
+                out.push(':');
+                if ind.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, ind, d);
+            },
+        ),
+    }
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    items: impl ExactSizeIterator<Item = T>,
+    indent: Option<usize>,
+    depth: usize,
+    brackets: (char, char),
+    mut write_item: impl FnMut(&mut String, T, Option<usize>, usize),
+) {
+    out.push(brackets.0);
+    let len = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * (depth + 1)));
+        }
+        write_item(out, item, indent, depth + 1);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if len > 0 {
+        if let Some(step) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(step * depth));
+        }
+    }
+    out.push(brackets.1);
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Row {
+        n: usize,
+        t: f64,
+        name: String,
+        opt: Option<f64>,
+    }
+
+    impl Serialize for Row {
+        fn to_value(&self) -> Value {
+            Value::Object(vec![
+                ("n".to_string(), self.n.to_value()),
+                ("t".to_string(), self.t.to_value()),
+                ("name".to_string(), self.name.to_value()),
+                ("opt".to_string(), self.opt.to_value()),
+            ])
+        }
+    }
+
+    #[test]
+    fn compact_object() {
+        let row = Row {
+            n: 3,
+            t: 1.5,
+            name: "a\"b".into(),
+            opt: None,
+        };
+        assert_eq!(
+            to_string(&row).unwrap(),
+            r#"{"n":3,"t":1.5,"name":"a\"b","opt":null}"#
+        );
+    }
+
+    #[test]
+    fn pretty_array_indents() {
+        let v = vec![1u64, 2];
+        assert_eq!(to_string_pretty(&v).unwrap(), "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    /// Regression: the derive's type-skipper must not treat the `>` of a
+    /// `->` return arrow as closing an angle bracket, which silently
+    /// dropped every field declared after one with an arrow in its type.
+    #[test]
+    fn derive_keeps_fields_after_an_arrow_type() {
+        #[derive(serde::Serialize)]
+        struct WithArrow {
+            marker: std::marker::PhantomData<fn(u32) -> u32>,
+            after: u64,
+        }
+        let s = to_string(&WithArrow {
+            marker: std::marker::PhantomData,
+            after: 7,
+        })
+        .unwrap();
+        assert_eq!(s, r#"{"marker":null,"after":7}"#);
+    }
+}

@@ -66,9 +66,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
                 out.insert("directed".into(), "true".into());
             }
             _ => {
-                let v = it
-                    .next()
-                    .ok_or_else(|| format!("--{key} needs a value"))?;
+                let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
                 out.insert(key.into(), v.clone());
             }
         }
@@ -91,7 +89,10 @@ fn cmd_generate(flags: &HashMap<String, String>) -> Result<(), String> {
         let p = generators::paper_edge_probability(n, 0.1);
         let g = generators::erdos_renyi_directed(n, p, seed);
         io::save_digraph(&g, output).map_err(|e| e.to_string())?;
-        println!("wrote directed G({n}, {p:.5}) with {} arcs to {output}", g.num_arcs());
+        println!(
+            "wrote directed G({n}, {p:.5}) with {} arcs to {output}",
+            g.num_arcs()
+        );
     } else {
         let g = generators::erdos_renyi_paper(n, 0.1, seed);
         io::save_graph(&g, output).map_err(|e| e.to_string())?;
@@ -134,7 +135,9 @@ fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
     let directed = flags.contains_key("directed");
 
     let adj = if directed {
-        io::load_digraph(input).map_err(|e| e.to_string())?.to_dense()
+        io::load_digraph(input)
+            .map_err(|e| e.to_string())?
+            .to_dense()
     } else {
         io::load_graph(input).map_err(|e| e.to_string())?.to_dense()
     };
@@ -152,10 +155,12 @@ fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
                 .map_err(|e| e.to_string())?
                 .distances
         }
-        ("mpi-dc", _) => MpiDcApsp::new(cores)
-            .solve_matrix(&adj)
-            .map_err(|e| e.to_string())?
-            .distances,
+        ("mpi-dc", _) => {
+            MpiDcApsp::new(cores)
+                .solve_matrix(&adj)
+                .map_err(|e| e.to_string())?
+                .distances
+        }
         (_, true) => {
             if solver_name != "cb" {
                 return Err(format!(
@@ -215,11 +220,9 @@ fn cmd_project(flags: &HashMap<String, String>) -> Result<(), String> {
     let ov = SparkOverheads::default();
     let b = match get_usize(flags, "block-size")? {
         Some(b) => b,
-        None => {
-            tuner::tune_with_model(solver, n, &spec, &rates, &ov, &tuner::paper_candidates())
-                .map(|(b, _)| b)
-                .unwrap_or(1024)
-        }
+        None => tuner::tune_with_model(solver, n, &spec, &rates, &ov, &tuner::paper_candidates())
+            .map(|(b, _)| b)
+            .unwrap_or(1024),
     };
     let w = Workload::paper_default(n, b);
     let p = project(solver, &w, &spec, &rates, &ov);

@@ -20,16 +20,32 @@ fn generate_solve_roundtrip() {
         .arg(&graph)
         .output()
         .expect("generate failed to run");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = bin()
         .args(["solve", "--input"])
         .arg(&graph)
-        .args(["--solver", "cb", "--cores", "2", "--block-size", "24", "--output"])
+        .args([
+            "--solver",
+            "cb",
+            "--cores",
+            "2",
+            "--block-size",
+            "24",
+            "--output",
+        ])
         .arg(&dists)
         .output()
         .expect("solve failed to run");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     // Validate the emitted matrix against an in-process solve.
     let g = apspark::graph::io::load_graph(&graph).unwrap();
@@ -86,7 +102,13 @@ fn solvers_agree_via_cli() {
     // different orders, so values agree to rounding, not bit-for-bit.
     let parse = |text: &str| -> Vec<f64> {
         text.split_whitespace()
-            .map(|t| if t == "inf" { f64::INFINITY } else { t.parse().unwrap() })
+            .map(|t| {
+                if t == "inf" {
+                    f64::INFINITY
+                } else {
+                    t.parse().unwrap()
+                }
+            })
             .collect()
     };
     let reference = parse(&outputs[0].1);
@@ -118,7 +140,11 @@ fn directed_solve_via_cli() {
         .args(["--cores", "2"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let _ = std::fs::remove_file(graph);
 }
 
@@ -137,6 +163,30 @@ fn project_prints_feasibility() {
         text.contains("OutOfLocalStorage") || text.contains("Feasible"),
         "missing feasibility verdict: {text}"
     );
+}
+
+#[test]
+fn help_lists_subcommands_and_solvers() {
+    for flag in ["--help", "-h", "help"] {
+        let out = bin().arg(flag).output().unwrap();
+        assert!(out.status.success(), "`{flag}` should exit 0");
+        let text = String::from_utf8_lossy(&out.stdout);
+        for subcommand in ["generate", "solve", "project"] {
+            assert!(
+                text.contains(subcommand),
+                "`{flag}` output missing `{subcommand}`: {text}"
+            );
+        }
+        for solver in ["cb", "im", "fw2d", "rs", "mpi-fw2d", "mpi-dc"] {
+            assert!(
+                text.contains(solver),
+                "`{flag}` output missing solver `{solver}`: {text}"
+            );
+        }
+    }
+    // With no arguments the binary prints usage and fails.
+    let out = bin().output().unwrap();
+    assert!(!out.status.success(), "bare invocation should be an error");
 }
 
 #[test]

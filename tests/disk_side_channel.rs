@@ -44,7 +44,8 @@ fn deleting_files_mid_lineage_is_fatal_for_impure_solver() {
     // while the engine would still need it → unrecoverable miss.
     let dir = temp_dir("cb-wipe");
     let ctx = SparkContext::new(SparkConfig::with_cores(2).disk_side_channel(&dir));
-    ctx.side_channel().put_block("cb:0:diag", apspark::blockmat::Block::identity(4));
+    ctx.side_channel()
+        .put_block("cb:0:diag", apspark::blockmat::Block::identity(4));
     assert!(ctx.side_channel().contains("cb:0:diag"));
     std::fs::remove_dir_all(&dir).unwrap();
     assert!(ctx.side_channel().get_block_arc("cb:0:diag").is_err());
@@ -67,9 +68,6 @@ fn memory_and_disk_backends_agree() {
             .solve(&ctx, &adj, &SolverConfig::new(16))
             .unwrap()
     };
-    assert!(mem
-        .distances()
-        .approx_eq(disk.distances(), 0.0)
-        .is_ok());
+    assert!(mem.distances().approx_eq(disk.distances(), 0.0).is_ok());
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -61,8 +61,7 @@ fn pagerank_converges_on_a_star() {
             .reduce_by_key(partitioner.clone(), |a, b| a + b)
             .map_values(|s| 0.15 + 0.85 * s);
     }
-    let out: std::collections::HashMap<u64, f64> =
-        ranks.collect().unwrap().into_iter().collect();
+    let out: std::collections::HashMap<u64, f64> = ranks.collect().unwrap().into_iter().collect();
     // Hub absorbs all spoke mass: rank(0) = 0.15 + 0.85·(n-1)·rank(spoke).
     let hub = out[&0];
     let spoke = out[&1];
@@ -85,16 +84,14 @@ fn join_pipeline_with_accumulator() {
     let customers: Vec<(u64, String)> = (0..10).map(|c| (c, format!("cust{c}"))).collect();
     let dropped = LongAccumulator::new();
     let d = dropped.clone();
-    let big_orders = sc
-        .parallelize(orders, 8)
-        .filter(move |&(_, oid)| {
-            if oid < 100 {
-                d.add(1);
-                false
-            } else {
-                true
-            }
-        });
+    let big_orders = sc.parallelize(orders, 8).filter(move |&(_, oid)| {
+        if oid < 100 {
+            d.add(1);
+            false
+        } else {
+            true
+        }
+    });
     let joined = big_orders.join(
         &sc.parallelize(customers, 2),
         Arc::new(ModPartitioner::new(4)),
@@ -116,7 +113,10 @@ fn sample_coalesce_pipeline() {
     // E[sum of 10% sample] = 0.1 · N(N-1)/2 ≈ 1.25e8.
     let expect = 0.1 * (50_000.0 * 49_999.0 / 2.0);
     let ratio = approx_sum as f64 / expect;
-    assert!((0.9..1.1).contains(&ratio), "sampled sum off: ratio {ratio}");
+    assert!(
+        (0.9..1.1).contains(&ratio),
+        "sampled sum off: ratio {ratio}"
+    );
 }
 
 #[test]

@@ -32,7 +32,11 @@ fn headline_result_cb_solves_262k_in_hours() {
         &paper_candidates(),
     )
     .expect("CB must be feasible at n=262144");
-    assert!(proj.total_s < 12.0 * HOUR, "CB total {}h", proj.total_s / HOUR);
+    assert!(
+        proj.total_s < 12.0 * HOUR,
+        "CB total {}h",
+        proj.total_s / HOUR
+    );
     assert!(proj.total_s > HOUR, "suspiciously fast: {}s", proj.total_s);
     assert!((512..=4096).contains(&b));
 }

@@ -67,7 +67,10 @@ fn partitioner_choice_does_not_change_results() {
     let g = generators::erdos_renyi_paper(60, 0.1, 3);
     let adj = g.to_dense();
     let oracle = apspark::graph::floyd_warshall(&g);
-    for choice in [PartitionerChoice::MultiDiagonal, PartitionerChoice::PortableHash] {
+    for choice in [
+        PartitionerChoice::MultiDiagonal,
+        PartitionerChoice::PortableHash,
+    ] {
         for solver in spark_solvers() {
             let cfg = SolverConfig::new(20).with_partitioner(choice);
             let res = solver.solve(&ctx(4), &adj, &cfg).unwrap();

@@ -40,7 +40,11 @@ fn im_many_iterations_memory_stays_bounded() {
     let g = generators::erdos_renyi_paper(n, 0.1, 0x57E56);
     let ctx = SparkContext::new(SparkConfig::default());
     let res = BlockedInMemory
-        .solve(&ctx, &g.to_dense(), &SolverConfig::new(8).without_validation())
+        .solve(
+            &ctx,
+            &g.to_dense(),
+            &SolverConfig::new(8).without_validation(),
+        )
         .expect("solve failed");
     assert_eq!(res.iterations, 64);
     let sample = apspark::graph::dijkstra::sssp(&g.to_csr(), 0);

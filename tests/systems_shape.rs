@@ -1,14 +1,10 @@
 //! Systems-shape assertions: the paper's qualitative claims about *how*
 //! each solver uses the engine, verified on live runs via the metrics.
 
-use apspark::prelude::*;
 use apspark::graph::generators;
+use apspark::prelude::*;
 
-fn solve_with_metrics(
-    solver: &dyn ApspSolver,
-    n: usize,
-    b: usize,
-) -> apspark::core::ApspResult {
+fn solve_with_metrics(solver: &dyn ApspSolver, n: usize, b: usize) -> apspark::core::ApspResult {
     let ctx = SparkContext::new(SparkConfig::with_cores(4));
     let g = generators::erdos_renyi_paper(n, 0.1, 0x5EED);
     solver
@@ -69,7 +65,12 @@ fn purity_flags_match_engine_usage() {
 
 #[test]
 fn blocked_iteration_counts_follow_q() {
-    for (n, b, expected_q) in [(64usize, 16usize, 4u64), (60, 16, 4), (64, 64, 1), (100, 30, 4)] {
+    for (n, b, expected_q) in [
+        (64usize, 16usize, 4u64),
+        (60, 16, 4),
+        (64, 64, 1),
+        (100, 30, 4),
+    ] {
         let im = solve_with_metrics(&BlockedInMemory, n, b);
         assert_eq!(im.iterations, expected_q, "IM n={n} b={b}");
         let cb = solve_with_metrics(&BlockedCollectBroadcast, n, b);
@@ -110,10 +111,8 @@ fn cb_side_channel_volume_scales_with_q_not_n2() {
     // but must NOT stage q× that (a naive all-blocks staging would).
     let small_b = solve_with_metrics(&BlockedCollectBroadcast, 128, 16); // q=8
     let large_b = solve_with_metrics(&BlockedCollectBroadcast, 128, 64); // q=2
-    let per_iter_small =
-        small_b.metrics.side_channel_bytes_written / small_b.iterations;
-    let per_iter_large =
-        large_b.metrics.side_channel_bytes_written / large_b.iterations;
+    let per_iter_small = small_b.metrics.side_channel_bytes_written / small_b.iterations;
+    let per_iter_large = large_b.metrics.side_channel_bytes_written / large_b.iterations;
     // Per-iteration staging = (q+1 blocks)·b²·8: for q=8,b=16: ~18KB; for
     // q=2,b=64: ~98KB. Ratios, not absolutes:
     let expect_small = (8 + 1) * 16 * 16 * 8;
@@ -139,7 +138,12 @@ fn md_partitioner_balances_im_partitions() {
     let q = 192usize.div_ceil(8);
     let parts = 48;
 
-    let md = BlockedMatrix::from_matrix(&ctx, &adj, 8, PartitionerChoice::MultiDiagonal.build(q, parts));
+    let md = BlockedMatrix::from_matrix(
+        &ctx,
+        &adj,
+        8,
+        PartitionerChoice::MultiDiagonal.build(q, parts),
+    );
     let md_sizes = md.rdd.partition_sizes().unwrap();
     let (md_min, md_max) = (
         md_sizes.iter().min().unwrap(),
@@ -147,7 +151,12 @@ fn md_partitioner_balances_im_partitions() {
     );
     assert!(md_max - md_min <= 1, "MD spread {md_min}..{md_max}");
 
-    let ph = BlockedMatrix::from_matrix(&ctx, &adj, 8, PartitionerChoice::PortableHash.build(q, parts));
+    let ph = BlockedMatrix::from_matrix(
+        &ctx,
+        &adj,
+        8,
+        PartitionerChoice::PortableHash.build(q, parts),
+    );
     let ph_sizes = ph.rdd.partition_sizes().unwrap();
     let ph_max = *ph_sizes.iter().max().unwrap();
     assert!(
