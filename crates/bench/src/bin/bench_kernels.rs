@@ -1,0 +1,173 @@
+//! `BENCH_kernels.json` emitter: point 0 of the kernel-engine perf
+//! trajectory.
+//!
+//! Times every min-plus kernel variant (and the in-place Floyd-Warshall)
+//! across block sides and records GFLOP-equivalent rates (one add + one
+//! min per inner step, `2·b³` ops per product) to
+//! `results/BENCH_kernels.json`, so later PRs can diff kernel performance
+//! against a committed baseline instead of folklore.
+//!
+//! Usage: `cargo run --release -p apsp-bench --bin bench_kernels
+//! [--quick]`. `--quick` restricts to small sides (CI-friendly); the
+//! committed baseline is produced by a full run.
+
+use apsp_bench::{HarnessArgs, TextTable};
+use apsp_blockmat::kernels::{self, MinPlusKernel};
+use apsp_blockmat::Block;
+use std::time::Instant;
+
+/// Timed samples per (kernel, side) point; the best is recorded.
+const SAMPLES: usize = 3;
+
+#[derive(serde::Serialize)]
+struct KernelPoint {
+    kernel: String,
+    side: usize,
+    seconds: f64,
+    gflops_equiv: f64,
+    speedup_vs_tiled: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Baseline {
+    description: &'static str,
+    ops_model: &'static str,
+    samples: usize,
+    minplus: Vec<KernelPoint>,
+    floyd_warshall: Vec<KernelPoint>,
+}
+
+fn dense_block(b: usize, seed: usize) -> Block {
+    Block::from_fn(b, |i, j| {
+        if i == j {
+            0.0
+        } else {
+            1.0 + ((i * 31 + j * 17 + seed) % 97) as f64
+        }
+    })
+}
+
+fn best_of<F: FnMut()>(mut f: F) -> f64 {
+    f(); // warmup
+    let mut best = f64::INFINITY;
+    for _ in 0..SAMPLES {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let sides: &[usize] = if args.quick {
+        &[64, 128, 256]
+    } else {
+        &[64, 128, 256, 512, 1024]
+    };
+    // Tiled first: it is the pre-engine baseline every speedup is
+    // computed against.
+    let variants: [(MinPlusKernel, &str); 5] = [
+        (MinPlusKernel::Tiled, "tiled"),
+        (MinPlusKernel::Naive, "naive"),
+        (MinPlusKernel::Branchless, "branchless"),
+        (MinPlusKernel::Packed, "packed"),
+        (MinPlusKernel::Parallel, "parallel"),
+    ];
+
+    let mut minplus = Vec::new();
+    let mut table = TextTable::new(&["side", "kernel", "time", "GFLOP-eq/s", "vs tiled"]);
+    for &b in sides {
+        let a = dense_block(b, 2);
+        let x = dense_block(b, 3);
+        let mut c = Block::infinity(b);
+        let ops = 2.0 * (b as f64).powi(3);
+        let mut tiled_secs = f64::NAN;
+        for (kernel, name) in variants {
+            if kernel == MinPlusKernel::Naive && b > 256 {
+                continue; // minutes per sample; the oracle is not a contender
+            }
+            let secs = best_of(|| {
+                c.data_mut().fill(apsp_blockmat::INF);
+                kernels::min_plus_into_with(kernel, &a, &x, &mut c);
+            });
+            if kernel == MinPlusKernel::Tiled {
+                tiled_secs = secs;
+            }
+            let speedup = tiled_secs / secs;
+            minplus.push(KernelPoint {
+                kernel: name.into(),
+                side: b,
+                seconds: secs,
+                gflops_equiv: ops / secs / 1e9,
+                speedup_vs_tiled: speedup,
+            });
+            table.row(vec![
+                b.to_string(),
+                name.into(),
+                format!("{:.3}ms", secs * 1e3),
+                format!("{:.2}", ops / secs / 1e9),
+                if speedup.is_nan() {
+                    "—".into()
+                } else {
+                    format!("{speedup:.2}×")
+                },
+            ]);
+        }
+    }
+
+    let mut floyd_warshall = Vec::new();
+    for &b in sides {
+        let base = dense_block(b, 1);
+        let mut blk = base.clone();
+        let ops = 2.0 * (b as f64).powi(3);
+        let secs = best_of(|| {
+            blk.data_mut().copy_from_slice(base.data());
+            kernels::floyd_warshall_in_place(&mut blk);
+        });
+        floyd_warshall.push(KernelPoint {
+            kernel: "fw_in_place".into(),
+            side: b,
+            seconds: secs,
+            gflops_equiv: ops / secs / 1e9,
+            speedup_vs_tiled: f64::NAN,
+        });
+    }
+
+    println!("min-plus kernel engine rates (fold c = min(c, a ⊗ b)):\n");
+    print!("{}", table.render());
+    println!("\nFloyd-Warshall in place:");
+    for p in &floyd_warshall {
+        println!(
+            "  b={:<5} {:>10.3}ms  {:.2} GFLOP-eq/s",
+            p.side,
+            p.seconds * 1e3,
+            p.gflops_equiv
+        );
+    }
+
+    // Tiled speedups as NaN serialize to null; sanitize for JSON.
+    let sanitize = |points: Vec<KernelPoint>| -> Vec<KernelPoint> {
+        points
+            .into_iter()
+            .map(|mut p| {
+                if !p.speedup_vs_tiled.is_finite() {
+                    p.speedup_vs_tiled = 1.0;
+                }
+                p
+            })
+            .collect()
+    };
+    let baseline = Baseline {
+        description: "Kernel-engine perf trajectory point 0: min-plus product and in-place \
+                      Floyd-Warshall rates per kernel tier",
+        ops_model: "2*b^3 flop-equivalents per product (one add + one min per inner step)",
+        samples: SAMPLES,
+        minplus: sanitize(minplus),
+        floyd_warshall: sanitize(floyd_warshall),
+    };
+    match apsp_bench::write_json("BENCH_kernels", &baseline) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("failed to write BENCH_kernels.json: {e}"),
+    }
+}

@@ -14,6 +14,7 @@
 //! | `fig5_gops` | Fig. 5 — Gops/core weak-scaling curves |
 //! | `real_solvers` | scaled-down *real* execution of all six solvers |
 //! | `ablation_movement` | DESIGN.md ablation — shuffle vs side-channel volume |
+//! | `bench_kernels` | kernel-engine GFLOP-eq rates → `results/BENCH_kernels.json` (trajectory point 0) |
 //!
 //! Each binary prints the regenerated rows next to the paper's published
 //! values (embedded below) and writes machine-readable JSON under

@@ -158,26 +158,84 @@ impl Block {
     /// (combine with [`Block::mat_min_assign`] for the `MinPlus` building
     /// block).
     pub fn min_plus(&self, other: &Block) -> Block {
+        self.min_plus_with(kernels::MinPlusKernel::Auto, other)
+    }
+
+    /// [`Block::min_plus`] with an explicit kernel choice.
+    pub fn min_plus_with(&self, kernel: kernels::MinPlusKernel, other: &Block) -> Block {
         assert_eq!(self.b, other.b, "block sides must match");
         let mut out = Block::infinity(self.b);
-        kernels::min_plus_into(self, other, &mut out);
+        kernels::min_plus_into_with(kernel, self, other, &mut out);
         out
+    }
+
+    /// Zero-alloc fold: `self = min(self, a ⊗ b)`.
+    ///
+    /// The workhorse of the solvers' Phase-3 updates
+    /// (`A_XY = min(A_XY, A_Xi ⊗ A_iY)`): no product block is allocated —
+    /// the kernel folds straight into `self`.
+    pub fn min_plus_into_self(&mut self, a: &Block, b: &Block) {
+        self.min_plus_into_self_with(kernels::MinPlusKernel::Auto, a, b);
+    }
+
+    /// [`Block::min_plus_into_self`] with an explicit kernel choice.
+    pub fn min_plus_into_self_with(
+        &mut self,
+        kernel: kernels::MinPlusKernel,
+        a: &Block,
+        b: &Block,
+    ) {
+        kernels::min_plus_into_with(kernel, a, b, self);
     }
 
     /// Element-wise minimum with `other`, in place (the paper's `MatMin`).
     pub fn mat_min_assign(&mut self, other: &Block) {
         assert_eq!(self.b, other.b, "block sides must match");
         for (d, &o) in self.data.iter_mut().zip(other.data.iter()) {
-            if o < *d {
-                *d = o;
-            }
+            *d = kernels::tmin(o, *d);
         }
     }
 
     /// `self = min(self, self ⊗ other)` — the paper's `MinPlus` function.
+    ///
+    /// `self` is both an operand and the fold target, so the product is
+    /// built in a reused thread-local scratch buffer (no allocation in
+    /// steady state) and then folded in.
     pub fn min_plus_assign(&mut self, other: &Block) {
-        let prod = self.min_plus(other);
-        self.mat_min_assign(&prod);
+        self.min_plus_assign_with(kernels::MinPlusKernel::Auto, other);
+    }
+
+    /// [`Block::min_plus_assign`] with an explicit kernel choice.
+    pub fn min_plus_assign_with(&mut self, kernel: kernels::MinPlusKernel, other: &Block) {
+        assert_eq!(self.b, other.b, "block sides must match");
+        let n = self.b;
+        kernels::with_scratch(n * n, |scratch| {
+            scratch.fill(INF);
+            kernels::min_plus_slices_with(kernel, &self.data, other.data(), scratch, n);
+            for (d, &s) in self.data.iter_mut().zip(scratch.iter()) {
+                *d = kernels::tmin(s, *d);
+            }
+        });
+    }
+
+    /// `self = min(self, other ⊗ self)` — the left-operand mirror of
+    /// [`Block::min_plus_assign`] (the pivot-row update of the blocked
+    /// solvers), likewise scratch-buffered and allocation-free.
+    pub fn min_plus_left_assign(&mut self, other: &Block) {
+        self.min_plus_left_assign_with(kernels::MinPlusKernel::Auto, other);
+    }
+
+    /// [`Block::min_plus_left_assign`] with an explicit kernel choice.
+    pub fn min_plus_left_assign_with(&mut self, kernel: kernels::MinPlusKernel, other: &Block) {
+        assert_eq!(self.b, other.b, "block sides must match");
+        let n = self.b;
+        kernels::with_scratch(n * n, |scratch| {
+            scratch.fill(INF);
+            kernels::min_plus_slices_with(kernel, other.data(), &self.data, scratch, n);
+            for (d, &s) in self.data.iter_mut().zip(scratch.iter()) {
+                *d = kernels::tmin(s, *d);
+            }
+        });
     }
 
     /// Runs Floyd-Warshall to a fixpoint *within* the block, treating it as
@@ -284,6 +342,55 @@ mod tests {
         let mut m = a.clone();
         m.mat_min_assign(&z);
         assert_eq!(m, a);
+    }
+
+    #[test]
+    fn fold_entry_points_match_two_step_composition() {
+        let a = path3();
+        let l = Block::from_fn(3, |i, j| (i * 2 + j) as f64);
+        let r = Block::from_fn(3, |i, j| (7 - i - j) as f64);
+
+        // min_plus_into_self == mat_min_assign(l ⊗ r).
+        let mut folded = a.clone();
+        folded.min_plus_into_self(&l, &r);
+        let mut manual = a.clone();
+        manual.mat_min_assign(&l.min_plus(&r));
+        assert_eq!(folded, manual);
+
+        // min_plus_assign == mat_min_assign(self ⊗ other).
+        let mut assigned = a.clone();
+        assigned.min_plus_assign(&r);
+        let mut manual = a.clone();
+        let prod = a.min_plus(&r);
+        manual.mat_min_assign(&prod);
+        assert_eq!(assigned, manual);
+
+        // min_plus_left_assign == mat_min_assign(other ⊗ self).
+        let mut left = a.clone();
+        left.min_plus_left_assign(&l);
+        let mut manual = a.clone();
+        manual.mat_min_assign(&l.min_plus(&a));
+        assert_eq!(left, manual);
+    }
+
+    #[test]
+    fn explicit_kernel_choices_agree_on_folds() {
+        use crate::kernels::MinPlusKernel;
+        let a = path3();
+        let o = Block::from_fn(3, |i, j| 1.0 + (i * 3 + j) as f64);
+        let mut auto = a.clone();
+        auto.min_plus_assign(&o);
+        for k in [
+            MinPlusKernel::Naive,
+            MinPlusKernel::Branchless,
+            MinPlusKernel::Tiled,
+            MinPlusKernel::Packed,
+            MinPlusKernel::Parallel,
+        ] {
+            let mut c = a.clone();
+            c.min_plus_assign_with(k, &o);
+            assert_eq!(c, auto, "kernel {k:?}");
+        }
     }
 
     #[test]

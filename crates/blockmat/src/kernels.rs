@@ -1,32 +1,237 @@
 //! Low-level compute kernels: the bare-metal analogue of the paper's
-//! NumPy / SciPy / Numba offloads.
+//! NumPy / SciPy / Numba offloads, rebuilt as a small GEMM-style engine.
 //!
-//! Three implementations of the min-plus product are provided:
+//! Five implementations of the min-plus product are provided, selected
+//! through [`MinPlusKernel`] / [`select`]:
 //!
 //! * [`min_plus_into_naive`] — textbook `i,k,j` loop; the correctness oracle,
-//! * [`min_plus_into`] — cache-tiled single-threaded kernel (default),
-//! * [`min_plus_into_parallel`] — rayon-parallel over row bands; used when a
-//!   solver is configured to emulate the paper's per-executor multicore BLAS.
+//! * [`min_plus_into_branchless`] — same loop with a branchless
+//!   `f64::min` inner body (maps to `vminpd`); the small-block fast path,
+//! * [`min_plus_into_tiled`] — the legacy cache-tiled branchy kernel, kept
+//!   as the pre-engine ablation baseline,
+//! * [`min_plus_into_packed`] — register-blocked micro-kernel over a packed
+//!   B-panel (the default for mid/large blocks),
+//! * [`min_plus_into_parallel`] — rayon-parallel row bands, each running
+//!   the packed micro-kernel.
 //!
-//! All kernels *fold into* `c`: `c = min(c, a ⊗ b)`, matching the
+//! # Why branchless `min` is safe here
+//!
+//! The tropical semiring over `[0, ∞]` never produces NaN: weights are
+//! non-negative, `INF + x = INF`, and `-∞` cannot appear, so `a + b` is
+//! always ordered and `f64::min` is exact. Replacing the branchy
+//! `if v < *cv { *cv = v }` (a conditional *store*, which blocks LLVM's
+//! auto-vectorizer) with `cv.min(v)` (an unconditional store of a `min`)
+//! lets the inner loops compile to packed `vminpd`/`vaddpd`. The kernels
+//! are bit-exact against the naive oracle because `min` over a set of
+//! non-NaN, non-`-0.0` values is order-independent.
+//!
+//! All product kernels *fold into* `c`: `c = min(c, a ⊗ b)`, matching the
 //! `MatProd`-then-`MatMin` composition the paper's algorithms rely on.
 //! Passing an all-[`INF`] `c` yields the pure product.
+//!
+//! # Zero-allocation hot paths
+//!
+//! The engine keeps three thread-local scratch pools (product scratch,
+//! packed B-panels, Floyd-Warshall pivot rows) so that steady-state solver
+//! iterations perform no heap allocation: see [`with_scratch`] and the
+//! fold entry points on [`Block`] (`min_plus_into_self`,
+//! `min_plus_assign`, `min_plus_left_assign`).
 
 use crate::{Block, INF};
 use rayon::prelude::*;
+use std::cell::RefCell;
 
 /// Tile side for the cache-blocked kernels. 64×64 f64 tiles (32 KiB) fit L1
 /// on the paper's Skylake nodes and on most contemporary x86-64 cores.
 pub const TILE: usize = 64;
 
-/// Reference `c = min(c, a ⊗ b)`, naive triple loop (`i,k,j` order so the
-/// inner loop streams rows of `b` and `c`).
-pub fn min_plus_into_naive(a: &Block, b: &Block, c: &mut Block) {
+/// Register-block rows of the packed micro-kernel.
+const MR: usize = 4;
+/// Register-block columns of the packed micro-kernel (two AVX2 `f64×4`
+/// vectors). `MR × NR` accumulators fill 8 of the 16 ymm registers.
+const NR: usize = 8;
+
+/// Block side below which packing overhead outweighs its benefit and the
+/// plain branchless kernel wins (measured crossover on AVX2 hosts:
+/// branchless and packed tie at side 128, branchless leads below).
+const SMALL_SIDE: usize = 128;
+
+/// Block side at or above which the auto-dispatch goes parallel (the
+/// paper's per-executor multicore BLAS regime, `b ≈ 1024–2048`).
+const PARALLEL_SIDE: usize = 1024;
+
+/// Branchless tropical minimum — an alias of [`crate::tropical_add`],
+/// named for what it does to the inner loops.
+///
+/// The select form (`if a < b { a } else { b }`) is used rather than
+/// `f64::min` deliberately: `f64::min` is IEEE `minNum`, whose NaN
+/// handling costs LLVM a compare+blend on top of `vminpd`, while the
+/// select is *exactly* the x86 `minpd(b, a)` semantics and compiles to
+/// the single instruction — correct here because tropical arithmetic over
+/// `[0, ∞]` never produces NaN (`INF + x = INF`, and `-∞` cannot appear).
+#[inline(always)]
+pub(crate) fn tmin(a: f64, b: f64) -> f64 {
+    crate::tropical_add(a, b)
+}
+
+/// Which min-plus product implementation to run.
+///
+/// `Auto` resolves by block side via [`select`]; the explicit variants are
+/// for benchmarks, ablations, and `SolverConfig` overrides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MinPlusKernel {
+    /// Choose by block side: branchless below 128, packed up to 1024,
+    /// parallel beyond.
+    #[default]
+    Auto,
+    /// Textbook `i,k,j` triple loop (the correctness oracle).
+    Naive,
+    /// Branchless `i,k,j` loop (`f64::min` inner body).
+    Branchless,
+    /// Legacy cache-tiled branchy kernel (pre-engine baseline).
+    Tiled,
+    /// Register-blocked micro-kernel over packed B-panels.
+    Packed,
+    /// Rayon-parallel row bands over the packed micro-kernel.
+    Parallel,
+}
+
+/// Resolves the kernel the auto-dispatch runs for a given block side.
+pub fn select(side: usize) -> MinPlusKernel {
+    if side < SMALL_SIDE {
+        MinPlusKernel::Branchless
+    } else if side < PARALLEL_SIDE {
+        MinPlusKernel::Packed
+    } else {
+        MinPlusKernel::Parallel
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local scratch pools (zero steady-state allocation)
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Product scratch for the `Block` fold entry points.
+    static SCRATCH: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    /// Packed B-panel storage for the packed/parallel kernels.
+    static PACK: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    /// Pivot-row copy for in-place Floyd-Warshall.
+    static KROW: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+}
+
+fn with_pool<R>(
+    pool: &'static std::thread::LocalKey<RefCell<Vec<f64>>>,
+    len: usize,
+    f: impl FnOnce(&mut [f64]) -> R,
+) -> R {
+    pool.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut buf) => {
+            if buf.len() < len {
+                buf.resize(len, INF);
+            }
+            f(&mut buf[..len])
+        }
+        // Reentrant use (shouldn't happen, but stay correct): fall back to
+        // a one-off allocation rather than panicking on the double borrow.
+        Err(_) => f(&mut vec![INF; len]),
+    })
+}
+
+/// Runs `f` with a thread-local `f64` scratch buffer of at least `len`
+/// elements. Contents are **unspecified on entry**; the caller must
+/// initialize what it reads. The buffer persists per thread, so repeated
+/// same-size calls perform no allocation.
+pub fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
+    with_pool(&SCRATCH, len, f)
+}
+
+// ---------------------------------------------------------------------------
+// Public Block-level entry points
+// ---------------------------------------------------------------------------
+
+/// `c = min(c, a ⊗ b)` with the kernel chosen by [`select`].
+pub fn min_plus_into(a: &Block, b: &Block, c: &mut Block) {
+    min_plus_into_with(MinPlusKernel::Auto, a, b, c);
+}
+
+/// `c = min(c, a ⊗ b)` with an explicit kernel choice.
+pub fn min_plus_into_with(kernel: MinPlusKernel, a: &Block, b: &Block, c: &mut Block) {
     let n = a.side();
     assert_eq!(n, b.side());
     assert_eq!(n, c.side());
-    let (ad, bd) = (a.data(), b.data());
-    let cd = c.data_mut();
+    min_plus_slices_with(kernel, a.data(), b.data(), c.data_mut(), n);
+}
+
+/// Reference `c = min(c, a ⊗ b)`, naive triple loop (`i,k,j` order so the
+/// inner loop streams rows of `b` and `c`).
+pub fn min_plus_into_naive(a: &Block, b: &Block, c: &mut Block) {
+    min_plus_into_with(MinPlusKernel::Naive, a, b, c);
+}
+
+/// Branchless `c = min(c, a ⊗ b)`: naive loop order, `f64::min` body.
+pub fn min_plus_into_branchless(a: &Block, b: &Block, c: &mut Block) {
+    min_plus_into_with(MinPlusKernel::Branchless, a, b, c);
+}
+
+/// Legacy cache-tiled `c = min(c, a ⊗ b)` (branchy inner loop).
+///
+/// Tiles the `k` and `j` loops by [`TILE`] so the working set of the inner
+/// kernel stays cache-resident. Kept as the ablation baseline the packed
+/// engine is measured against (`cargo bench --bench fig2_kernels`).
+pub fn min_plus_into_tiled(a: &Block, b: &Block, c: &mut Block) {
+    min_plus_into_with(MinPlusKernel::Tiled, a, b, c);
+}
+
+/// Register-blocked `c = min(c, a ⊗ b)` over packed B-panels.
+///
+/// For each `TILE`-row band of `b`, the band is packed once into
+/// [`NR`]-wide column panels (contiguous per `k`), then [`MR`]`×`[`NR`]
+/// register-resident accumulator blocks sweep the `k` range before folding
+/// into `c` — the GEMM treatment applied to *(min, +)*. Rows of `a` whose
+/// `k`-segment is entirely [`INF`] skip their micro-kernels (the sparsity
+/// fast path that keeps early sparse iterations cheap).
+pub fn min_plus_into_packed(a: &Block, b: &Block, c: &mut Block) {
+    min_plus_into_with(MinPlusKernel::Packed, a, b, c);
+}
+
+/// Rayon-parallel `c = min(c, a ⊗ b)`: rows of `c` are partitioned into
+/// bands processed independently (no write sharing, so no synchronization),
+/// each running the packed micro-kernel.
+pub fn min_plus_into_parallel(a: &Block, b: &Block, c: &mut Block) {
+    min_plus_into_with(MinPlusKernel::Parallel, a, b, c);
+}
+
+// ---------------------------------------------------------------------------
+// Slice-level implementations
+// ---------------------------------------------------------------------------
+
+/// Slice-level dispatch: `cd = min(cd, ad ⊗ bd)` over `n × n` row-major
+/// buffers. Used by the `Block` fold entry points to run against scratch
+/// buffers without constructing a `Block`.
+pub(crate) fn min_plus_slices_with(
+    kernel: MinPlusKernel,
+    ad: &[f64],
+    bd: &[f64],
+    cd: &mut [f64],
+    n: usize,
+) {
+    let kernel = if kernel == MinPlusKernel::Auto {
+        select(n)
+    } else {
+        kernel
+    };
+    match kernel {
+        MinPlusKernel::Naive => naive_rows(ad, bd, cd, n),
+        MinPlusKernel::Branchless => branchless_rows(ad, bd, cd, n),
+        MinPlusKernel::Tiled => tiled_rows(ad, bd, cd, n, 0, n),
+        MinPlusKernel::Packed => packed_rows(ad, bd, cd, n, 0, n),
+        MinPlusKernel::Parallel => parallel_rows(ad, bd, cd, n),
+        MinPlusKernel::Auto => unreachable!("Auto resolved above"),
+    }
+}
+
+fn naive_rows(ad: &[f64], bd: &[f64], cd: &mut [f64], n: usize) {
     for i in 0..n {
         for k in 0..n {
             let aik = ad[i * n + k];
@@ -45,46 +250,24 @@ pub fn min_plus_into_naive(a: &Block, b: &Block, c: &mut Block) {
     }
 }
 
-/// Cache-tiled `c = min(c, a ⊗ b)`.
-///
-/// Tiles the `k` and `j` loops by [`TILE`] so the working set of the inner
-/// kernel (one row band of `a`, a `TILE×TILE` panel of `b`, one row band of
-/// `c`) stays cache-resident. This is what produces the Fig. 2 "knee": once
-/// the whole block stops fitting in LLC the per-element cost rises.
-pub fn min_plus_into(a: &Block, b: &Block, c: &mut Block) {
-    let n = a.side();
-    assert_eq!(n, b.side());
-    assert_eq!(n, c.side());
-    min_plus_rows(a.data(), b.data(), c.data_mut(), n, 0, n);
+fn branchless_rows(ad: &[f64], bd: &[f64], cd: &mut [f64], n: usize) {
+    for i in 0..n {
+        for k in 0..n {
+            let aik = ad[i * n + k];
+            if aik == INF {
+                continue;
+            }
+            let brow = &bd[k * n..k * n + n];
+            let crow = &mut cd[i * n..i * n + n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv = tmin(aik + bv, *cv);
+            }
+        }
+    }
 }
 
-/// Rayon-parallel `c = min(c, a ⊗ b)`: rows of `c` are partitioned into
-/// bands processed independently (no write sharing, so no synchronization).
-pub fn min_plus_into_parallel(a: &Block, b: &Block, c: &mut Block) {
-    let n = a.side();
-    assert_eq!(n, b.side());
-    assert_eq!(n, c.side());
-    let band = bands_for(n);
-    let (ad, bd) = (a.data(), b.data());
-    c.data_mut()
-        .par_chunks_mut(band * n)
-        .enumerate()
-        .for_each(|(chunk, crows)| {
-            let i0 = chunk * band;
-            let i1 = (i0 + crows.len() / n).min(n);
-            // Shift the row window: min_plus_rows indexes `c` absolutely, so
-            // pass a re-based slice via a local adapter.
-            min_plus_rows_rebased(ad, bd, crows, n, i0, i1);
-        });
-}
-
-fn bands_for(n: usize) -> usize {
-    let threads = rayon::current_num_threads().max(1);
-    n.div_ceil(threads * 4).max(1)
-}
-
-/// Tiled kernel over absolute row range `[i_lo, i_hi)` of `c`.
-fn min_plus_rows(ad: &[f64], bd: &[f64], cd: &mut [f64], n: usize, i_lo: usize, i_hi: usize) {
+/// Legacy tiled kernel over absolute row range `[i_lo, i_hi)` of `c`.
+fn tiled_rows(ad: &[f64], bd: &[f64], cd: &mut [f64], n: usize, i_lo: usize, i_hi: usize) {
     for kk in (0..n).step_by(TILE) {
         let k_hi = (kk + TILE).min(n);
         for jj in (0..n).step_by(TILE) {
@@ -110,91 +293,171 @@ fn min_plus_rows(ad: &[f64], bd: &[f64], cd: &mut [f64], n: usize, i_lo: usize, 
     }
 }
 
-/// Variant of [`min_plus_rows`] where `crows` is a slice starting at absolute
-/// row `i_lo` (used by the parallel kernel's disjoint chunks).
-fn min_plus_rows_rebased(
-    ad: &[f64],
-    bd: &[f64],
-    crows: &mut [f64],
-    n: usize,
-    i_lo: usize,
-    i_hi: usize,
-) {
-    for kk in (0..n).step_by(TILE) {
-        let k_hi = (kk + TILE).min(n);
-        for jj in (0..n).step_by(TILE) {
-            let j_hi = (jj + TILE).min(n);
-            for i in i_lo..i_hi {
-                let arow = &ad[i * n..i * n + n];
-                let local = i - i_lo;
-                let crow = &mut crows[local * n + jj..local * n + j_hi];
-                for k in kk..k_hi {
-                    let aik = arow[k];
-                    if aik == INF {
-                        continue;
-                    }
-                    let brow = &bd[k * n + jj..k * n + j_hi];
-                    for (cv, &bv) in crow.iter_mut().zip(brow) {
-                        let v = aik + bv;
-                        if v < *cv {
-                            *cv = v;
-                        }
+/// The packed register-blocked kernel over rows `[i_lo, i_hi)`. `crows`
+/// starts at absolute row `i_lo` (re-based, so parallel bands can pass
+/// their disjoint chunks).
+fn packed_rows(ad: &[f64], bd: &[f64], crows: &mut [f64], n: usize, i_lo: usize, i_hi: usize) {
+    let panels = n.div_ceil(NR);
+    with_pool(&PACK, panels * TILE * NR, |bp| {
+        for kk in (0..n).step_by(TILE) {
+            let k_len = (n - kk).min(TILE);
+            pack_panels(bd, bp, n, kk, k_len, panels);
+            let mut i = i_lo;
+            while i < i_hi {
+                let m = (i_hi - i).min(MR);
+                // Sparsity fast path: if every `a` row of this block is
+                // all-INF over the k-range, no micro-kernel can tighten c.
+                let any_finite = (0..m).any(|r| {
+                    ad[(i + r) * n + kk..(i + r) * n + kk + k_len]
+                        .iter()
+                        .any(|v| *v != INF)
+                });
+                if any_finite {
+                    match m {
+                        4 => row_block::<4>(ad, bp, crows, n, i, i_lo, kk, k_len, panels),
+                        3 => row_block::<3>(ad, bp, crows, n, i, i_lo, kk, k_len, panels),
+                        2 => row_block::<2>(ad, bp, crows, n, i, i_lo, kk, k_len, panels),
+                        _ => row_block::<1>(ad, bp, crows, n, i, i_lo, kk, k_len, panels),
                     }
                 }
+                i += m;
+            }
+        }
+    });
+}
+
+/// Packs `b[kk..kk+k_len][0..n]` into `panels` NR-wide column panels:
+/// panel `p` holds columns `p*NR..p*NR+NR` with the `NR` entries of each
+/// `k` contiguous (tail columns padded with [`INF`], which is inert under
+/// `min`).
+fn pack_panels(bd: &[f64], bp: &mut [f64], n: usize, kk: usize, k_len: usize, panels: usize) {
+    for p in 0..panels {
+        let j0 = p * NR;
+        let w = (n - j0).min(NR);
+        let panel = &mut bp[p * k_len * NR..(p + 1) * k_len * NR];
+        for k in 0..k_len {
+            let src = &bd[(kk + k) * n + j0..(kk + k) * n + j0 + w];
+            let dst = &mut panel[k * NR..k * NR + NR];
+            dst[..w].copy_from_slice(src);
+            for d in dst[w..].iter_mut() {
+                *d = INF;
             }
         }
     }
 }
+
+/// Runs the `M × NR` micro-kernel for rows `i..i+M` against every packed
+/// panel of the current `k`-band, folding the accumulators into `c`.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn row_block<const M: usize>(
+    ad: &[f64],
+    bp: &[f64],
+    crows: &mut [f64],
+    n: usize,
+    i: usize,
+    i_lo: usize,
+    kk: usize,
+    k_len: usize,
+    panels: usize,
+) {
+    let arows: [&[f64]; M] =
+        std::array::from_fn(|r| &ad[(i + r) * n + kk..(i + r) * n + kk + k_len]);
+    for p in 0..panels {
+        let j0 = p * NR;
+        let w = (n - j0).min(NR);
+        let panel = &bp[p * k_len * NR..(p + 1) * k_len * NR];
+
+        // Accumulate the k-range entirely in registers: M×NR f64 fits the
+        // AVX2 register file for M = 4, NR = 8.
+        let mut acc = [[INF; NR]; M];
+        for k in 0..k_len {
+            let bk: &[f64; NR] = panel[k * NR..k * NR + NR].try_into().unwrap();
+            for r in 0..M {
+                let aik = arows[r][k];
+                for c in 0..NR {
+                    acc[r][c] = tmin(aik + bk[c], acc[r][c]);
+                }
+            }
+        }
+        // Fold into c (only the w real columns of the tail panel).
+        for (r, accr) in acc.iter().enumerate() {
+            let row0 = (i - i_lo + r) * n + j0;
+            let crow = &mut crows[row0..row0 + w];
+            for (cv, &av) in crow.iter_mut().zip(accr[..w].iter()) {
+                *cv = tmin(av, *cv);
+            }
+        }
+    }
+}
+
+fn parallel_rows(ad: &[f64], bd: &[f64], cd: &mut [f64], n: usize) {
+    let band = bands_for(n);
+    cd.par_chunks_mut(band * n)
+        .enumerate()
+        .for_each(|(chunk, crows)| {
+            let i0 = chunk * band;
+            let i1 = i0 + crows.len() / n;
+            packed_rows(ad, bd, crows, n, i0, i1);
+        });
+}
+
+fn bands_for(n: usize) -> usize {
+    let threads = rayon::current_num_threads().max(1);
+    n.div_ceil(threads * 4).max(1)
+}
+
+// ---------------------------------------------------------------------------
+// Floyd-Warshall kernels
+// ---------------------------------------------------------------------------
 
 /// In-place Floyd-Warshall over a square block.
 ///
 /// The `k`-loop cannot be reordered, but each `k` step is a rank-1 min-plus
-/// update, so rows are independent; we exploit that for a mild unrolled
-/// inner loop. Skipping rows with `d[i][k] == INF` is the standard sparsity
-/// shortcut that makes early iterations on sparse inputs cheap.
+/// update, so rows are independent. The pivot row is copied into a
+/// thread-local scratch buffer (reused across `k` and across calls — no
+/// per-`k` allocation) both to break the `i == k` aliasing and to let the
+/// branchless inner loop vectorize.
 pub fn floyd_warshall_in_place(block: &mut Block) {
     let n = block.side();
     let d = block.data_mut();
-    for k in 0..n {
-        // Copy pivot row to break the aliasing between d[k*n..] reads and
-        // d[i*n..] writes when i == k (the update is a no-op there anyway,
-        // but the copy lets LLVM vectorize the inner loop).
-        let krow: Vec<f64> = d[k * n..k * n + n].to_vec();
-        for i in 0..n {
-            let dik = d[i * n + k];
-            if dik == INF {
-                continue;
-            }
-            let row = &mut d[i * n..i * n + n];
-            for (rv, &kv) in row.iter_mut().zip(krow.iter()) {
-                let v = dik + kv;
-                if v < *rv {
-                    *rv = v;
+    with_pool(&KROW, n, |krow| {
+        for k in 0..n {
+            krow.copy_from_slice(&d[k * n..k * n + n]);
+            for i in 0..n {
+                let dik = d[i * n + k];
+                if dik == INF {
+                    continue;
+                }
+                let row = &mut d[i * n..i * n + n];
+                for (rv, &kv) in row.iter_mut().zip(krow.iter()) {
+                    *rv = tmin(dik + kv, *rv);
                 }
             }
         }
-    }
+    });
 }
 
-/// Rayon-parallel in-place Floyd-Warshall (rows parallel within each `k`).
+/// Rayon-parallel in-place Floyd-Warshall (rows parallel within each `k`),
+/// sharing the same reused pivot-row scratch as the sequential variant.
 pub fn floyd_warshall_in_place_parallel(block: &mut Block) {
     let n = block.side();
     let d = block.data_mut();
-    for k in 0..n {
-        let krow: Vec<f64> = d[k * n..k * n + n].to_vec();
-        d.par_chunks_mut(n).for_each(|row| {
-            let dik = row[k];
-            if dik == INF {
-                return;
-            }
-            for (rv, &kv) in row.iter_mut().zip(krow.iter()) {
-                let v = dik + kv;
-                if v < *rv {
-                    *rv = v;
+    with_pool(&KROW, n, |krow| {
+        for k in 0..n {
+            krow.copy_from_slice(&d[k * n..k * n + n]);
+            let krow = &*krow;
+            d.par_chunks_mut(n).for_each(|row| {
+                let dik = row[k];
+                if dik == INF {
+                    return;
                 }
-            }
-        });
-    }
+                for (rv, &kv) in row.iter_mut().zip(krow.iter()) {
+                    *rv = tmin(dik + kv, *rv);
+                }
+            });
+        }
+    });
 }
 
 /// The paper's `FloydWarshallUpdate`: `block[i][j] = min(block[i][j],
@@ -210,10 +473,7 @@ pub fn fw_update_outer(block: &mut Block, col_i: &[f64], col_j: &[f64]) {
         }
         let row = &mut d[i * n..i * n + n];
         for (rv, &cj) in row.iter_mut().zip(col_j) {
-            let v = ci + cj;
-            if v < *rv {
-                *rv = v;
-            }
+            *rv = tmin(ci + cj, *rv);
         }
     }
 }
@@ -243,6 +503,29 @@ mod tests {
         })
     }
 
+    const ALL_KERNELS: [MinPlusKernel; 5] = [
+        MinPlusKernel::Branchless,
+        MinPlusKernel::Tiled,
+        MinPlusKernel::Packed,
+        MinPlusKernel::Parallel,
+        MinPlusKernel::Auto,
+    ];
+
+    #[test]
+    fn every_kernel_matches_naive_bit_exactly() {
+        for &b in &[1usize, 2, 7, 31, 32, 63, 64, 65, 129, 130] {
+            let a = random_block(b, 42, 0.3);
+            let x = random_block(b, 43, 0.3);
+            let mut oracle = Block::infinity(b);
+            min_plus_into_naive(&a, &x, &mut oracle);
+            for kernel in ALL_KERNELS {
+                let mut c = Block::infinity(b);
+                min_plus_into_with(kernel, &a, &x, &mut c);
+                assert_eq!(oracle, c, "b={b} kernel={kernel:?}");
+            }
+        }
+    }
+
     #[test]
     fn tiled_matches_naive() {
         for &b in &[1, 2, 7, 64, 65, 130] {
@@ -251,7 +534,7 @@ mod tests {
             let mut c1 = Block::infinity(b);
             let mut c2 = Block::infinity(b);
             min_plus_into_naive(&a, &x, &mut c1);
-            min_plus_into(&a, &x, &mut c2);
+            min_plus_into_tiled(&a, &x, &mut c2);
             assert_eq!(c1, c2, "b={b}");
         }
     }
@@ -267,6 +550,42 @@ mod tests {
             min_plus_into_parallel(&a, &x, &mut c2);
             assert_eq!(c1, c2, "b={b}");
         }
+    }
+
+    #[test]
+    fn packed_handles_all_inf_operands() {
+        for &b in &[1usize, 9, 64, 65] {
+            let z = Block::infinity(b);
+            let r = random_block(b, 3, 0.5);
+            for (a, x) in [(&z, &r), (&r, &z), (&z, &z)] {
+                let mut c = r.clone();
+                min_plus_into_packed(a, x, &mut c);
+                assert_eq!(c, r, "all-INF operand must leave c untouched, b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn select_tiers_by_side() {
+        assert_eq!(select(1), MinPlusKernel::Branchless);
+        assert_eq!(select(SMALL_SIDE - 1), MinPlusKernel::Branchless);
+        assert_eq!(select(SMALL_SIDE), MinPlusKernel::Packed);
+        assert_eq!(select(PARALLEL_SIDE - 1), MinPlusKernel::Packed);
+        assert_eq!(select(PARALLEL_SIDE), MinPlusKernel::Parallel);
+    }
+
+    #[test]
+    fn scratch_is_reused_and_reentrant_safe() {
+        let got = with_scratch(16, |outer| {
+            outer.fill(1.0);
+            // Nested use must not panic (falls back to a fresh buffer).
+            let inner_sum = with_scratch(8, |inner| {
+                inner.fill(2.0);
+                inner.iter().sum::<f64>()
+            });
+            outer.iter().sum::<f64>() + inner_sum
+        });
+        assert_eq!(got, 32.0);
     }
 
     #[test]

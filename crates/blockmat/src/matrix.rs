@@ -101,22 +101,21 @@ impl Matrix {
     /// in SciPy", §5.4).
     pub fn floyd_warshall_in_place(&mut self) {
         let n = self.n;
-        for k in 0..n {
-            let krow: Vec<f64> = self.data[k * n..k * n + n].to_vec();
-            for i in 0..n {
-                let dik = self.data[i * n + k];
-                if dik == INF {
-                    continue;
-                }
-                let row = &mut self.data[i * n..i * n + n];
-                for (rv, &kv) in row.iter_mut().zip(krow.iter()) {
-                    let v = dik + kv;
-                    if v < *rv {
-                        *rv = v;
+        crate::kernels::with_scratch(n, |krow| {
+            for k in 0..n {
+                krow.copy_from_slice(&self.data[k * n..k * n + n]);
+                for i in 0..n {
+                    let dik = self.data[i * n + k];
+                    if dik == INF {
+                        continue;
+                    }
+                    let row = &mut self.data[i * n..i * n + n];
+                    for (rv, &kv) in row.iter_mut().zip(krow.iter()) {
+                        *rv = crate::kernels::tmin(dik + kv, *rv);
                     }
                 }
             }
-        }
+        });
     }
 
     /// Decomposes into `q × q` blocks of side `b` (`q = ⌈n/b⌉`), zero-padding

@@ -31,6 +31,12 @@ fn col_key(iter: usize, t: usize) -> String {
     format!("cb:{iter}:col:{t}")
 }
 
+/// Pre-transposed copy of the staged column block (`C_Tᵀ = A_iT`), staged
+/// once so Phase 3 targets don't each re-transpose their Right operand.
+fn col_t_key(iter: usize, t: usize) -> String {
+    format!("cb:{iter}:colT:{t}")
+}
+
 impl ApspSolver for BlockedCollectBroadcast {
     fn name(&self) -> &'static str {
         "Blocked-CB"
@@ -152,6 +158,7 @@ impl BlockedCollectBroadcast {
         let partitioner = cfg.partitioner.build(q, cfg.partitions_for(ctx));
         let blocked = BlockedMatrix::from_matrix(ctx, adjacency, b, partitioner.clone());
         let mut a: Rdd<BlockRecord> = blocked.rdd.clone().persist();
+        let kern = cfg.kernel;
 
         for i in 0..q {
             // Phase 1: close the diagonal block, stage it (lines 2–3).
@@ -178,23 +185,28 @@ impl BlockedCollectBroadcast {
                     let d = side.side_channel().get_block_arc(&diag_key(i))?;
                     if key.1 == i {
                         // Stored A_Ti (pivot columns on the right).
-                        let prod = blk.min_plus(&d);
-                        blk.mat_min_assign(&prod);
+                        blk.min_plus_assign_with(kern, &d);
                     } else {
                         // Stored A_iY (pivot rows on the left).
-                        let prod = d.min_plus(&blk);
-                        blk.mat_min_assign(&prod);
+                        blk.min_plus_left_assign_with(kern, &d);
                     }
                     Ok((key, blk))
                 })
                 .persist();
             for (key, blk) in rowcol.collect()? {
-                // Stage in canonical orientation C_T = A_Ti.
-                let (t, canonical_block) = if key.1 == i {
-                    (key.0, blk)
+                // Stage in canonical orientation C_T = A_Ti, plus the
+                // transpose (A_iT) so Phase 3 reads both orientations
+                // without per-target transposition. Whichever orientation
+                // the stored record already has is staged as-is — one
+                // transpose per cross block, not two.
+                let transposed = blk.transpose();
+                let (t, canonical_block, transposed_block) = if key.1 == i {
+                    (key.0, blk, transposed)
                 } else {
-                    (key.1, blk.transpose())
+                    (key.1, transposed, blk)
                 };
+                ctx.side_channel()
+                    .put_block(col_t_key(i, t), transposed_block);
                 ctx.side_channel().put_block(col_key(i, t), canonical_block);
             }
 
@@ -205,8 +217,8 @@ impl BlockedCollectBroadcast {
                 a.filter(move |(key, _)| !in_column(key, i))
                     .try_map(move |((x, y), mut blk)| {
                         let c_x = side.side_channel().get_block_arc(&col_key(i, x))?;
-                        let c_y = side.side_channel().get_block_arc(&col_key(i, y))?;
-                        blk.mat_min_assign(&c_x.min_plus(&c_y.transpose()));
+                        let c_y_t = side.side_channel().get_block_arc(&col_t_key(i, y))?;
+                        blk.min_plus_into_self_with(kern, &c_x, &c_y_t);
                         Ok(((x, y), blk))
                     });
 
@@ -221,6 +233,7 @@ impl BlockedCollectBroadcast {
             ctx.side_channel().remove(&diag_key(i));
             for t in 0..q {
                 ctx.side_channel().remove(&col_key(i, t));
+                ctx.side_channel().remove(&col_t_key(i, t));
             }
             diag_rdd.unpersist();
             rowcol.unpersist();

@@ -2,7 +2,7 @@
 
 use crate::blocks::{BlockRecord, BlockedMatrix};
 use crate::building_blocks::{
-    copy_col, copy_diag, floyd_warshall, in_column, on_diagonal, unpack_and_update, Piece,
+    copy_col, copy_diag, floyd_warshall, in_column, on_diagonal, unpack_and_update_with, Piece,
 };
 use crate::solver::{validate_adjacency, ApspError, ApspResult, ApspSolver, SolverConfig};
 use apsp_blockmat::Matrix;
@@ -58,6 +58,7 @@ impl ApspSolver for BlockedInMemory {
         let partitioner = cfg.partitioner.build(q, cfg.partitions_for(ctx));
         let blocked = BlockedMatrix::from_matrix(ctx, adjacency, b, partitioner.clone());
         let mut a: Rdd<BlockRecord> = blocked.rdd.clone().persist();
+        let kern = cfg.kernel;
 
         for i in 0..q {
             // Phase 1: diagonal closure + CopyDiag to the cross (lines 2–4).
@@ -87,7 +88,7 @@ impl ApspSolver for BlockedInMemory {
                         a
                     },
                 )
-                .map(|(key, pieces)| (key, unpack_and_update(pieces)))
+                .map(move |(key, pieces)| (key, unpack_and_update_with(kern, pieces)))
                 .persist();
 
             // CopyCol: replicate the updated cross to Phase-3 targets in
@@ -120,7 +121,7 @@ impl ApspSolver for BlockedInMemory {
                         a
                     },
                 )
-                .map(|(key, pieces)| (key, unpack_and_update(pieces)))
+                .map(move |(key, pieces)| (key, unpack_and_update_with(kern, pieces)))
                 // Phase-3 keys with no Stored block can arise only for
                 // copies aimed at padded/cross keys — there are none, but
                 // the filter keeps the invariant explicit.

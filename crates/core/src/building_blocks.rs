@@ -7,6 +7,7 @@
 //! NumPy/SciPy/Numba bare-metal offload.
 
 use crate::blocks::{canonical, BlockKey, BlockRecord};
+use apsp_blockmat::kernels::MinPlusKernel;
 use apsp_blockmat::Block;
 use sparklet::EstimateSize;
 
@@ -127,6 +128,14 @@ pub fn copy_col(t: usize, i: usize, col_block: &Block, q: usize) -> Vec<(BlockKe
 /// Panics when the list carries no or multiple `Stored` pieces (an
 /// algorithmic bug, not a data condition).
 pub fn unpack_and_update(pieces: Vec<Piece>) -> Block {
+    unpack_and_update_with(MinPlusKernel::Auto, pieces)
+}
+
+/// [`unpack_and_update`] with an explicit kernel choice. All three update
+/// shapes run through the zero-alloc fold entry points: Phase 3 folds
+/// `L ⊗ R` straight into `A`, and the Phase-2 shapes build the product in
+/// the reused thread-local scratch instead of cloning the accumulator.
+pub fn unpack_and_update_with(kernel: MinPlusKernel, pieces: Vec<Piece>) -> Block {
     let mut stored: Option<Block> = None;
     let mut left: Option<Block> = None;
     let mut right: Option<Block> = None;
@@ -142,12 +151,9 @@ pub fn unpack_and_update(pieces: Vec<Piece>) -> Block {
     }
     let mut a = stored.expect("pairing list lacks the Stored block");
     match (left, right) {
-        (Some(l), Some(r)) => a.mat_min_assign(&l.min_plus(&r)),
-        (Some(l), None) => a.mat_min_assign(&l.min_plus(&a.clone())),
-        (None, Some(r)) => {
-            let prod = a.min_plus(&r);
-            a.mat_min_assign(&prod);
-        }
+        (Some(l), Some(r)) => a.min_plus_into_self_with(kernel, &l, &r),
+        (Some(l), None) => a.min_plus_left_assign_with(kernel, &l),
+        (None, Some(r)) => a.min_plus_assign_with(kernel, &r),
         (None, None) => {}
     }
     a

@@ -69,12 +69,13 @@ impl ApspSolver for CartesianSquaring {
 
             // cartesian → filter (inner indices must match) → MatProd →
             // reduceByKey(MatMin). Keep only upper-triangular results.
+            let kern = cfg.kernel;
             let products = full
                 .cartesian(&full)
                 .filter(|(((_, k1), _), ((k2, _), _))| k1 == k2)
-                .flat_map(|(((i, _), left), ((_, j), right))| {
+                .flat_map(move |(((i, _), left), ((_, j), right))| {
                     if i <= j {
-                        vec![((i, j), left.min_plus(&right))]
+                        vec![((i, j), left.min_plus_with(kern, &right))]
                     } else {
                         Vec::new()
                     }

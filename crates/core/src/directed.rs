@@ -102,6 +102,7 @@ impl DirectedBlockedCB {
         let partitioner = cfg.partitioner.build(q, cfg.partitions_for(ctx));
         let full = FullBlockedMatrix::from_matrix(ctx, adjacency, b, partitioner.clone());
         let mut a = full.rdd.clone().persist();
+        let kern = cfg.kernel;
 
         for i in 0..q {
             // Phase 1: close and stage the diagonal block.
@@ -127,11 +128,9 @@ impl DirectedBlockedCB {
                 .try_map(move |((x, y), mut blk)| {
                     let d = side.side_channel().get_block_arc(&diag_key(i))?;
                     if y == i {
-                        let prod = blk.min_plus(&d);
-                        blk.mat_min_assign(&prod);
+                        blk.min_plus_assign_with(kern, &d);
                     } else {
-                        let prod = d.min_plus(&blk);
-                        blk.mat_min_assign(&prod);
+                        blk.min_plus_left_assign_with(kern, &d);
                     }
                     Ok(((x, y), blk))
                 })
@@ -150,7 +149,7 @@ impl DirectedBlockedCB {
                 move |((x, y), mut blk)| {
                     let c_x = side.side_channel().get_block_arc(&col_key(i, x))?;
                     let r_y = side.side_channel().get_block_arc(&row_key(i, y))?;
-                    blk.mat_min_assign(&c_x.min_plus(&r_y));
+                    blk.min_plus_into_self_with(kern, &c_x, &r_y);
                     Ok(((x, y), blk))
                 },
             );

@@ -52,6 +52,7 @@ mod repeated_squaring;
 mod solver;
 pub mod tuner;
 
+pub use apsp_blockmat::kernels::MinPlusKernel;
 pub use blocked_cb::{BlockedCollectBroadcast, DistributedDistances};
 pub use blocked_im::BlockedInMemory;
 pub use blocks::{canonical, oriented, BlockKey, BlockRecord, BlockedMatrix, PartitionerChoice};

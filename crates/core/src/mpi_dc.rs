@@ -17,7 +17,7 @@
 //! parallel.
 
 use crate::solver::ApspError;
-use apsp_blockmat::{Matrix, INF};
+use apsp_blockmat::{kernels, tropical_add, Matrix, INF};
 use mpilite::{Comm, CommCost, World};
 
 pub use crate::mpi_fw2d::MpiRunResult;
@@ -120,8 +120,10 @@ fn dist_minplus(data: &mut [f64], n: usize, a: View, bv: View, c: View, comm: &C
     let lo = c.rows * rank / p;
     let hi = c.rows * (rank + 1) / p;
 
-    // Compute my row slice of the product into a scratch buffer (C may
-    // alias A or B in the Kleene steps).
+    // Compute my row slice of the product (C may alias A or B in the
+    // Kleene steps, so the fold cannot run in place). `mine` doubles as
+    // the `all_gather` send buffer, whose ownership moves into the
+    // collective — the one allocation this function cannot recycle.
     let mut mine = vec![INF; (hi - lo) * c.cols];
     for i in lo..hi {
         let arow = (a.r0 + i) * n + a.c0;
@@ -134,11 +136,8 @@ fn dist_minplus(data: &mut [f64], n: usize, a: View, bv: View, c: View, comm: &C
                 continue;
             }
             let brow = (bv.r0 + k) * n + bv.c0;
-            for (j, v) in out.iter_mut().enumerate() {
-                let cand = aik + data[brow + j];
-                if cand < *v {
-                    *v = cand;
-                }
+            for (v, &bvj) in out.iter_mut().zip(&data[brow..brow + c.cols]) {
+                *v = tropical_add(aik + bvj, *v);
             }
         }
     }
@@ -157,27 +156,29 @@ fn dist_minplus(data: &mut [f64], n: usize, a: View, bv: View, c: View, comm: &C
 }
 
 /// Sequential Floyd-Warshall on a square view (base case; run redundantly
-/// by every rank, no communication).
+/// by every rank, no communication). The pivot row lives in the reused
+/// thread-local scratch, so recursing into many base cases allocates
+/// nothing.
 fn fw_view(data: &mut [f64], n: usize, v: View) {
     debug_assert_eq!(v.rows, v.cols);
     let s = v.rows;
-    for k in 0..s {
-        let krow = (v.r0 + k) * n + v.c0;
-        let pivot: Vec<f64> = data[krow..krow + s].to_vec();
-        for i in 0..s {
-            let dik = data[(v.r0 + i) * n + v.c0 + k];
-            if dik == INF {
-                continue;
-            }
-            let irow = (v.r0 + i) * n + v.c0;
-            for j in 0..s {
-                let cand = dik + pivot[j];
-                if cand < data[irow + j] {
-                    data[irow + j] = cand;
+    kernels::with_scratch(s, |pivot| {
+        for k in 0..s {
+            let krow = (v.r0 + k) * n + v.c0;
+            pivot.copy_from_slice(&data[krow..krow + s]);
+            for i in 0..s {
+                let dik = data[(v.r0 + i) * n + v.c0 + k];
+                if dik == INF {
+                    continue;
+                }
+                let irow = (v.r0 + i) * n + v.c0;
+                let row = &mut data[irow..irow + s];
+                for (rv, &kv) in row.iter_mut().zip(pivot.iter()) {
+                    *rv = tropical_add(dik + kv, *rv);
                 }
             }
         }
-    }
+    });
 }
 
 /// The Kleene recursion over a square view.

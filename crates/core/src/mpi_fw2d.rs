@@ -1,7 +1,7 @@
 //! FW-2D-GbE: the naive MPI 2D Floyd-Warshall baseline (§5.5).
 
 use crate::solver::ApspError;
-use apsp_blockmat::{Matrix, INF};
+use apsp_blockmat::{tropical_add, Matrix, INF};
 use mpilite::{CommCost, CommStats, World};
 
 /// Result of an MPI-baseline run: the distances plus per-rank simulated
@@ -119,17 +119,15 @@ impl MpiFw2d {
                     comm.recv(r * g + owner, (2 * k + 1) as u64)
                 };
 
-                // d(x, y) = min(d(x, y), d(x, k) + d(k, y)).
+                // d(x, y) = min(d(x, y), d(x, k) + d(k, y)) — branchless
+                // so the rank-1 update vectorizes like the blockmat kernels.
                 for (i, &dxk) in col_seg.iter().enumerate() {
                     if dxk == INF {
                         continue;
                     }
                     let row = &mut tile[i * m..i * m + m];
                     for (rv, &dky) in row.iter_mut().zip(row_seg.iter()) {
-                        let v = dxk + dky;
-                        if v < *rv {
-                            *rv = v;
-                        }
+                        *rv = tropical_add(dxk + dky, *rv);
                     }
                 }
                 if let Some(rate) = self.update_sec_per_op {

@@ -84,19 +84,20 @@ impl ApspSolver for RepeatedSquaring {
                 // D_KJ; only upper-triangular targets are emitted, since
                 // sweep J owns exactly the keys (X, J), X ≤ J.
                 let side = ctx.clone();
+                let kern = cfg.kernel;
                 let contributions = a.try_flat_map(move |((rec_i, rec_k), blk)| {
                     let mut out: Vec<BlockRecord> = Vec::with_capacity(2);
                     if rec_i <= j {
                         let c_k = side
                             .side_channel()
                             .get_block_arc(&col_key(step, j, rec_k))?;
-                        out.push(((rec_i, j), blk.min_plus(&c_k)));
+                        out.push(((rec_i, j), blk.min_plus_with(kern, &c_k)));
                     }
                     if rec_k <= j && rec_i != rec_k {
                         let c_i = side
                             .side_channel()
                             .get_block_arc(&col_key(step, j, rec_i))?;
-                        out.push(((rec_k, j), blk.transpose().min_plus(&c_i)));
+                        out.push(((rec_k, j), blk.transpose().min_plus_with(kern, &c_i)));
                     }
                     Ok(out)
                 });

@@ -1,6 +1,7 @@
 //! The common solver interface, configuration, and result types.
 
 use crate::blocks::PartitionerChoice;
+use apsp_blockmat::kernels::MinPlusKernel;
 use apsp_blockmat::Matrix;
 use sparklet::{MetricsSnapshot, SparkContext, SparkError};
 use std::time::Duration;
@@ -49,6 +50,11 @@ pub struct SolverConfig {
     /// Validate the input adjacency matrix before solving (symmetric,
     /// zero diagonal, non-negative). Costs O(n²); on by default.
     pub validate_input: bool,
+    /// Which min-plus kernel the block products run on. `Auto` (default)
+    /// dispatches by block side — branchless for small blocks, the packed
+    /// register-blocked engine for mid sizes, rayon-parallel beyond; the
+    /// explicit variants exist for ablations and benchmarks.
+    pub kernel: MinPlusKernel,
 }
 
 impl SolverConfig {
@@ -60,6 +66,7 @@ impl SolverConfig {
             num_partitions: None,
             partitioner: PartitionerChoice::MultiDiagonal,
             validate_input: true,
+            kernel: MinPlusKernel::Auto,
         }
     }
 
@@ -86,6 +93,12 @@ impl SolverConfig {
     /// Disables input validation (for benchmarks on trusted inputs).
     pub fn without_validation(mut self) -> Self {
         self.validate_input = false;
+        self
+    }
+
+    /// Pins the min-plus kernel (default: [`MinPlusKernel::Auto`]).
+    pub fn with_kernel(mut self, kernel: MinPlusKernel) -> Self {
+        self.kernel = kernel;
         self
     }
 

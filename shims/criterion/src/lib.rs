@@ -6,9 +6,28 @@
 
 #![warn(missing_docs)]
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// Whether the harness runs in smoke-test mode (`cargo bench ... -- --test`
+/// in real criterion): every benchmark executes once, untimed-in-spirit,
+/// so CI can verify the benches run without paying measurement cost.
+static TEST_MODE: AtomicBool = AtomicBool::new(false);
+
+/// Reads CLI flags; called by [`criterion_main!`]. Recognizes `--test`.
+pub fn init_from_args() {
+    if std::env::args().skip(1).any(|a| a == "--test") {
+        TEST_MODE.store(true, Ordering::Relaxed);
+    }
+}
+
+/// Whether `--test` smoke mode is active. Benchmarks may consult this to
+/// skip their most expensive parameter points.
+pub fn is_test_mode() -> bool {
+    TEST_MODE.load(Ordering::Relaxed)
+}
 
 /// Top-level benchmark driver.
 pub struct Criterion {
@@ -131,8 +150,10 @@ impl Bencher {
     where
         F: FnMut() -> R,
     {
-        // One warmup, then timed samples.
-        black_box(f());
+        // One warmup, then timed samples (skipped in --test smoke mode).
+        if !is_test_mode() {
+            black_box(f());
+        }
         for _ in 0..self.samples {
             let start = Instant::now();
             black_box(f());
@@ -148,6 +169,7 @@ fn run_benchmark<F>(name: &str, samples: usize, throughput: Option<Throughput>, 
 where
     F: FnMut(&mut Bencher),
 {
+    let samples = if is_test_mode() { 1 } else { samples };
     let mut bencher = Bencher {
         best: None,
         samples,
@@ -195,6 +217,7 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            $crate::init_from_args();
             $( $group(); )+
         }
     };
