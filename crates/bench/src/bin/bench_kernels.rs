@@ -13,7 +13,7 @@
 
 use apsp_bench::{HarnessArgs, TextTable};
 use apsp_blockmat::kernels::{self, MinPlusKernel};
-use apsp_blockmat::Block;
+use apsp_blockmat::{Block, Offsets, ParentBlock};
 use std::time::Instant;
 
 /// Timed samples per (kernel, side) point; the best is recorded.
@@ -29,11 +29,24 @@ struct KernelPoint {
 }
 
 #[derive(serde::Serialize)]
+struct TrackedPoint {
+    kernel: String,
+    side: usize,
+    seconds: f64,
+    gflops_equiv: f64,
+    /// Tracked time over the auto-dispatched *untracked* kernel for the
+    /// same side — the price of recording argmins.
+    overhead_vs_untracked: f64,
+}
+
+#[derive(serde::Serialize)]
 struct Baseline {
     description: &'static str,
     ops_model: &'static str,
     samples: usize,
     minplus: Vec<KernelPoint>,
+    /// Tracked (argmin-recording) kernel tier, PR 3.
+    tracked: Vec<TrackedPoint>,
     floyd_warshall: Vec<KernelPoint>,
 }
 
@@ -116,6 +129,55 @@ fn main() {
         }
     }
 
+    // Tracked (argmin-recording) tier: time the tracked auto-dispatch and
+    // the explicit tracked loops against the untracked auto-dispatch.
+    let mut tracked = Vec::new();
+    let mut ttable = TextTable::new(&["side", "kernel", "time", "GFLOP-eq/s", "overhead"]);
+    let tracked_variants: [(MinPlusKernel, &str); 2] = [
+        (MinPlusKernel::Branchless, "tracked-rows"),
+        (MinPlusKernel::Tiled, "tracked-tiled"),
+    ];
+    for &b in sides {
+        let a = dense_block(b, 2);
+        let x = dense_block(b, 3);
+        let mut c = Block::infinity(b);
+        let ops = 2.0 * (b as f64).powi(3);
+        // Disjoint global ranges: no degenerate-term guard fires, so this
+        // times the pure tracking overhead of the inner loops.
+        let offsets = Offsets {
+            k: 4 * b,
+            row: 0,
+            col: 9 * b,
+        };
+        let untracked_secs = best_of(|| {
+            c.data_mut().fill(apsp_blockmat::INF);
+            kernels::min_plus_into_with(MinPlusKernel::Auto, &a, &x, &mut c);
+        });
+        let mut via = ParentBlock::none(b);
+        for (kernel, name) in tracked_variants {
+            let secs = best_of(|| {
+                c.data_mut().fill(apsp_blockmat::INF);
+                via.data_mut().fill(apsp_blockmat::NO_VIA);
+                kernels::min_plus_into_tracked_with(kernel, &a, &x, &mut c, &mut via, offsets);
+            });
+            let overhead = secs / untracked_secs;
+            tracked.push(TrackedPoint {
+                kernel: name.into(),
+                side: b,
+                seconds: secs,
+                gflops_equiv: ops / secs / 1e9,
+                overhead_vs_untracked: overhead,
+            });
+            ttable.row(vec![
+                b.to_string(),
+                name.into(),
+                format!("{:.3}ms", secs * 1e3),
+                format!("{:.2}", ops / secs / 1e9),
+                format!("{overhead:.2}×"),
+            ]);
+        }
+    }
+
     let mut floyd_warshall = Vec::new();
     for &b in sides {
         let base = dense_block(b, 1);
@@ -136,6 +198,8 @@ fn main() {
 
     println!("min-plus kernel engine rates (fold c = min(c, a ⊗ b)):\n");
     print!("{}", table.render());
+    println!("\ntracked (argmin-recording) kernels, overhead vs untracked auto-dispatch:\n");
+    print!("{}", ttable.render());
     println!("\nFloyd-Warshall in place:");
     for p in &floyd_warshall {
         println!(
@@ -159,11 +223,13 @@ fn main() {
             .collect()
     };
     let baseline = Baseline {
-        description: "Kernel-engine perf trajectory point 0: min-plus product and in-place \
-                      Floyd-Warshall rates per kernel tier",
+        description: "Kernel-engine perf trajectory: min-plus product and in-place \
+                      Floyd-Warshall rates per kernel tier, plus the tracked \
+                      (argmin-recording) tier's overhead",
         ops_model: "2*b^3 flop-equivalents per product (one add + one min per inner step)",
         samples: SAMPLES,
         minplus: sanitize(minplus),
+        tracked,
         floyd_warshall: sanitize(floyd_warshall),
     };
     match apsp_bench::write_json("BENCH_kernels", &baseline) {

@@ -9,7 +9,10 @@
 //! cited as \[10\]); over the tropical semirings it is a reference model
 //! of the Blocked In-Memory / Collect-Broadcast compute pattern.
 
+use crate::kernels::MinPlusKernel;
+use crate::parent::{Offsets, TrackedBlock, NO_VIA};
 use crate::semiring::{GenBlock, Semiring};
+use crate::Matrix;
 
 /// A dense matrix over a semiring, stored as `q × q` blocks of side `b`
 /// (padded with `0̄` off-diagonal / `1̄` on the diagonal).
@@ -106,11 +109,136 @@ impl<S: Semiring> BlockedGenMatrix<S> {
     }
 }
 
+/// Blocked Kleene closure over the `f64` tropical fast path with **parent
+/// tracking**: the sequential reference model for the distributed
+/// path-tracking solvers.
+///
+/// Stores the full `q × q` grid of [`TrackedBlock`]s (no symmetry
+/// packing — this is the oracle, not the distributed representation) and
+/// runs the same three-phase pivot iteration as
+/// [`BlockedGenMatrix::closure_in_place`], with every phase routed through
+/// the tracked kernels so each cell records the global intermediate vertex
+/// of its winning relaxation.
+pub struct TrackedClosure {
+    n: usize,
+    b: usize,
+    q: usize,
+    blocks: Vec<TrackedBlock>, // row-major block order
+}
+
+impl TrackedClosure {
+    /// Decomposes a dense adjacency matrix into tracked blocks (padded
+    /// with `INF` off-diagonal / `0` on the diagonal, vias all
+    /// [`NO_VIA`]).
+    pub fn from_matrix(m: &Matrix, b: usize) -> Self {
+        assert!(b > 0, "block side must be positive");
+        let n = m.order();
+        let q = n.div_ceil(b);
+        let mut blocks = Vec::with_capacity(q * q);
+        for bi in 0..q {
+            for bj in 0..q {
+                let dist = crate::Block::from_fn(b, |i, j| {
+                    let (gi, gj) = (bi * b + i, bj * b + j);
+                    if gi < n && gj < n {
+                        m.get(gi, gj)
+                    } else if gi == gj {
+                        0.0
+                    } else {
+                        crate::INF
+                    }
+                });
+                blocks.push(TrackedBlock::from_dist(dist));
+            }
+        }
+        TrackedClosure { n, b, q, blocks }
+    }
+
+    fn idx(&self, bi: usize, bj: usize) -> usize {
+        bi * self.q + bj
+    }
+
+    /// In-place tracked blocked Kleene closure (three-phase pivot
+    /// iteration, every relaxation recording its argmin).
+    pub fn closure_in_place(&mut self, kernel: MinPlusKernel) {
+        let (q, b) = (self.q, self.b);
+        for i in 0..q {
+            let k0 = i * b;
+            // Phase 1: close the diagonal block, tracking vias globally.
+            let di = self.idx(i, i);
+            self.blocks[di].floyd_warshall_in_place(k0);
+            let diag = self.blocks[di].dist().clone();
+
+            // Phase 2: pivot column (right-multiply) and row (left-multiply).
+            for t in 0..q {
+                if t == i {
+                    continue;
+                }
+                let ci = self.idx(t, i);
+                self.blocks[ci].min_plus_assign(kernel, &diag, Offsets::blocks(b, i, t, i));
+                let ri = self.idx(i, t);
+                self.blocks[ri].min_plus_left_assign(kernel, &diag, Offsets::blocks(b, i, i, t));
+            }
+
+            // Phase 3: remainder, folding `A_Xi ⊗ A_iY` into `A_XY`.
+            // Pivot-row operands are cloned once per pivot, not per target.
+            let rights: Vec<crate::Block> = (0..q)
+                .map(|y| self.blocks[self.idx(i, y)].dist().clone())
+                .collect();
+            for x in 0..q {
+                if x == i {
+                    continue;
+                }
+                let left = self.blocks[self.idx(x, i)].dist().clone();
+                for (y, right) in rights.iter().enumerate() {
+                    if y == i {
+                        continue;
+                    }
+                    let target = self.idx(x, y);
+                    self.blocks[target].min_plus_into_self(
+                        kernel,
+                        &left,
+                        right,
+                        Offsets::blocks(b, i, x, y),
+                    );
+                }
+            }
+        }
+    }
+
+    /// Reassembles the dense distance matrix and the flat `n × n` via
+    /// matrix (row-major, [`NO_VIA`] for direct/unreachable/diagonal
+    /// cells), trimming padding.
+    pub fn into_parts(self) -> (Matrix, Vec<u32>) {
+        let (n, b, q) = (self.n, self.b, self.q);
+        let mut dist = Matrix::filled(n, crate::INF);
+        let mut via = vec![NO_VIA; n * n];
+        for bi in 0..q {
+            for bj in 0..q {
+                let blk = &self.blocks[bi * q + bj];
+                for i in 0..b {
+                    let gi = bi * b + i;
+                    if gi >= n {
+                        continue;
+                    }
+                    for j in 0..b {
+                        let gj = bj * b + j;
+                        if gj < n {
+                            dist.set(gi, gj, blk.dist().get(i, j));
+                            via[gi * n + gj] = blk.via().get(i, j);
+                        }
+                    }
+                }
+            }
+        }
+        (dist, via)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::semiring::{BoolSemiring, TropicalF64, TropicalI64};
-    use crate::{Matrix, INF};
+    use crate::INF;
 
     #[test]
     fn tropical_blocked_closure_matches_dense_fw() {
@@ -181,6 +309,61 @@ mod tests {
                 assert_eq!(blocked.get(i, j), expect, "({i},{j})");
             }
         }
+    }
+
+    #[test]
+    fn tracked_closure_matches_dense_fw_and_vias_split_exactly() {
+        let n = 29;
+        let weight = |i: usize, j: usize| -> f64 {
+            if i == j {
+                0.0
+            } else if (i * 7 + j * 3).is_multiple_of(5) {
+                1.0 + ((i * 13 + j) % 9) as f64
+            } else {
+                INF
+            }
+        };
+        // Symmetrize: the solvers' instances are undirected.
+        let sym = |i: usize, j: usize| weight(i.min(j), i.max(j));
+        let mut dense = Matrix::from_fn(n, sym);
+        dense.floyd_warshall_in_place();
+        for b in [4usize, 8, 29, 32] {
+            let mut tc = TrackedClosure::from_matrix(&Matrix::from_fn(n, sym), b);
+            tc.closure_in_place(MinPlusKernel::Auto);
+            let (dist, via) = tc.into_parts();
+            assert!(dist.approx_eq(&dense, 1e-9).is_ok(), "b={b}");
+            for i in 0..n {
+                for j in 0..n {
+                    let v = via[i * n + j];
+                    if v == NO_VIA {
+                        continue;
+                    }
+                    let k = v as usize;
+                    assert!(k != i && k != j, "degenerate via {k} at ({i},{j}), b={b}");
+                    // The defining split invariant against final distances.
+                    assert_eq!(
+                        dist.get(i, k) + dist.get(k, j),
+                        dist.get(i, j),
+                        "via split broken at ({i},{j}) through {k}, b={b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tracked_closure_leaves_direct_edges_untracked() {
+        let mut m = Matrix::identity(6);
+        for i in 0..5 {
+            m.set(i, i + 1, 1.0);
+            m.set(i + 1, i, 1.0);
+        }
+        let mut tc = TrackedClosure::from_matrix(&m, 4);
+        tc.closure_in_place(MinPlusKernel::Auto);
+        let (dist, via) = tc.into_parts();
+        assert_eq!(dist.get(0, 5), 5.0);
+        assert_eq!(via[1], NO_VIA, "direct edge (0,1) must stay untracked");
+        assert_ne!(via[5], NO_VIA, "multi-hop (0,5) must carry a via");
     }
 
     #[test]

@@ -37,6 +37,7 @@
 //! fold entry points on [`Block`] (`min_plus_into_self`,
 //! `min_plus_assign`, `min_plus_left_assign`).
 
+use crate::parent::{Offsets, ParentBlock, NO_VIA};
 use crate::{Block, INF};
 use rayon::prelude::*;
 use std::cell::RefCell;
@@ -107,6 +108,23 @@ pub fn select(side: usize) -> MinPlusKernel {
     }
 }
 
+/// Resolves the kernel tier the *tracked* (argmin-recording) dispatch
+/// runs for a given block side.
+///
+/// Tracking an argmin forces a conditional store per improvement, which
+/// defeats the packed micro-kernel's register accumulation (packing `u32`
+/// argmins alongside the `f64` accumulators costs more than it saves), so
+/// the tracked engine has no packed/parallel sibling and falls back to
+/// simpler loops. Between those, `bench_kernels` measures the plain
+/// row-streaming loop ahead of the cache-tiled one at every side ≥ 128
+/// (the branchy argmin update, not memory traffic, is the bottleneck) and
+/// within ~5% below it, so the auto-dispatch always picks the
+/// row-streaming loop; the tiled tracked loop remains reachable as an
+/// explicit ablation choice.
+pub fn select_tracked(_side: usize) -> MinPlusKernel {
+    MinPlusKernel::Branchless
+}
+
 // ---------------------------------------------------------------------------
 // Thread-local scratch pools (zero steady-state allocation)
 // ---------------------------------------------------------------------------
@@ -118,6 +136,8 @@ thread_local! {
     static PACK: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
     /// Pivot-row copy for in-place Floyd-Warshall.
     static KROW: RefCell<Vec<f64>> = const { RefCell::new(Vec::new()) };
+    /// Via scratch for the tracked fold entry points.
+    static VIA_SCRATCH: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
 }
 
 fn with_pool<R>(
@@ -144,6 +164,20 @@ fn with_pool<R>(
 /// same-size calls perform no allocation.
 pub fn with_scratch<R>(len: usize, f: impl FnOnce(&mut [f64]) -> R) -> R {
     with_pool(&SCRATCH, len, f)
+}
+
+/// The `u32` twin of [`with_scratch`], used for via scratch by the tracked
+/// fold entry points. Contents are likewise **unspecified on entry**.
+pub fn with_via_scratch<R>(len: usize, f: impl FnOnce(&mut [u32]) -> R) -> R {
+    VIA_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut buf) => {
+            if buf.len() < len {
+                buf.resize(len, NO_VIA);
+            }
+            f(&mut buf[..len])
+        }
+        Err(_) => f(&mut vec![NO_VIA; len]),
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -186,7 +220,7 @@ pub fn min_plus_into_tiled(a: &Block, b: &Block, c: &mut Block) {
 /// Register-blocked `c = min(c, a ⊗ b)` over packed B-panels.
 ///
 /// For each `TILE`-row band of `b`, the band is packed once into
-/// [`NR`]-wide column panels (contiguous per `k`), then [`MR`]`×`[`NR`]
+/// `NR`-wide column panels (contiguous per `k`), then `MR × NR`
 /// register-resident accumulator blocks sweep the `k` range before folding
 /// into `c` — the GEMM treatment applied to *(min, +)*. Rows of `a` whose
 /// `k`-segment is entirely [`INF`] skip their micro-kernels (the sparsity
@@ -386,6 +420,255 @@ fn row_block<const M: usize>(
             let crow = &mut crows[row0..row0 + w];
             for (cv, &av) in crow.iter_mut().zip(accr[..w].iter()) {
                 *cv = tmin(av, *cv);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tracked (argmin-recording) kernels
+// ---------------------------------------------------------------------------
+
+/// Tracked `c = min(c, a ⊗ b)`: wherever a term `a(i,k) + b(k,j)` wins
+/// under strict `<`, `cvia(i,j)` records the **global** id of the winning
+/// intermediate vertex, `offsets.k + k`.
+///
+/// Terms whose global `k` equals the target's global row or column are
+/// skipped entirely: they pass through a diagonal cell (exactly `0.0` on
+/// APSP inputs), so they only restate an estimate of `(i, j)` one operand
+/// already holds, and recording them would produce a degenerate via the
+/// path expansion cannot terminate on. See the `parent` module docs for
+/// the seeding contract this relies on.
+///
+/// Explicit [`MinPlusKernel`] choices map onto the tracked tiers:
+/// `Naive`/`Branchless` run the row-streaming loop, everything else the
+/// cache-tiled loop ([`select_tracked`] explains why packed/parallel have
+/// no tracked sibling).
+pub fn min_plus_into_tracked_with(
+    kernel: MinPlusKernel,
+    a: &Block,
+    b: &Block,
+    c: &mut Block,
+    cvia: &mut ParentBlock,
+    offsets: Offsets,
+) {
+    let n = a.side();
+    assert_eq!(n, b.side());
+    assert_eq!(n, c.side());
+    assert_eq!(n, cvia.side());
+    min_plus_slices_tracked_with(
+        kernel,
+        a.data(),
+        b.data(),
+        c.data_mut(),
+        cvia.data_mut(),
+        n,
+        offsets,
+    );
+}
+
+/// Slice-level tracked dispatch (see [`min_plus_into_tracked_with`]).
+pub(crate) fn min_plus_slices_tracked_with(
+    kernel: MinPlusKernel,
+    ad: &[f64],
+    bd: &[f64],
+    cd: &mut [f64],
+    cv: &mut [u32],
+    n: usize,
+    offsets: Offsets,
+) {
+    let kernel = if kernel == MinPlusKernel::Auto {
+        select_tracked(n)
+    } else {
+        kernel
+    };
+    match kernel {
+        MinPlusKernel::Naive | MinPlusKernel::Branchless => {
+            tracked_rows(ad, bd, cd, cv, n, offsets)
+        }
+        _ => tracked_tiled_rows(ad, bd, cd, cv, n, offsets),
+    }
+}
+
+/// The shared tracked inner loop: relax one contiguous column span of one
+/// row of `c` against `brow`, recording `kg` on strict improvement.
+#[inline(always)]
+fn relax_span(crow: &mut [f64], vrow: &mut [u32], brow: &[f64], aik: f64, kg: u32) {
+    for ((cval, vval), &bv) in crow.iter_mut().zip(vrow.iter_mut()).zip(brow) {
+        let v = aik + bv;
+        if v < *cval {
+            *cval = v;
+            *vval = kg;
+        }
+    }
+}
+
+/// Relax columns `[j_lo, j_hi)` of row `i`, skipping the single column
+/// whose global id equals `k_global` (the degenerate `k == j` term).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn relax_row_guarded(
+    crow: &mut [f64],
+    vrow: &mut [u32],
+    brow: &[f64],
+    aik: f64,
+    k_global: usize,
+    col_offset: usize,
+    j_lo: usize,
+    j_hi: usize,
+) {
+    let kg = k_global as u32;
+    // Local index of the degenerate column, if it falls in this span.
+    match k_global
+        .checked_sub(col_offset)
+        .filter(|&jb| jb >= j_lo && jb < j_hi)
+    {
+        None => relax_span(
+            &mut crow[j_lo..j_hi],
+            &mut vrow[j_lo..j_hi],
+            &brow[j_lo..j_hi],
+            aik,
+            kg,
+        ),
+        Some(jb) => {
+            relax_span(
+                &mut crow[j_lo..jb],
+                &mut vrow[j_lo..jb],
+                &brow[j_lo..jb],
+                aik,
+                kg,
+            );
+            relax_span(
+                &mut crow[jb + 1..j_hi],
+                &mut vrow[jb + 1..j_hi],
+                &brow[jb + 1..j_hi],
+                aik,
+                kg,
+            );
+        }
+    }
+}
+
+fn tracked_rows(ad: &[f64], bd: &[f64], cd: &mut [f64], cv: &mut [u32], n: usize, o: Offsets) {
+    for i in 0..n {
+        let i_global = o.row + i;
+        for k in 0..n {
+            let k_global = o.k + k;
+            if k_global == i_global {
+                continue;
+            }
+            let aik = ad[i * n + k];
+            if aik == INF {
+                continue;
+            }
+            let brow = &bd[k * n..k * n + n];
+            let crow = &mut cd[i * n..i * n + n];
+            let vrow = &mut cv[i * n..i * n + n];
+            relax_row_guarded(crow, vrow, brow, aik, k_global, o.col, 0, n);
+        }
+    }
+}
+
+fn tracked_tiled_rows(
+    ad: &[f64],
+    bd: &[f64],
+    cd: &mut [f64],
+    cv: &mut [u32],
+    n: usize,
+    o: Offsets,
+) {
+    for kk in (0..n).step_by(TILE) {
+        let k_hi = (kk + TILE).min(n);
+        for jj in (0..n).step_by(TILE) {
+            let j_hi = (jj + TILE).min(n);
+            for i in 0..n {
+                let i_global = o.row + i;
+                let arow = &ad[i * n..i * n + n];
+                for k in kk..k_hi {
+                    let k_global = o.k + k;
+                    if k_global == i_global {
+                        continue;
+                    }
+                    let aik = arow[k];
+                    if aik == INF {
+                        continue;
+                    }
+                    let brow = &bd[k * n..k * n + n];
+                    let crow = &mut cd[i * n..i * n + n];
+                    let vrow = &mut cv[i * n..i * n + n];
+                    relax_row_guarded(crow, vrow, brow, aik, k_global, o.col, jj, j_hi);
+                }
+            }
+        }
+    }
+}
+
+/// Tracked in-place Floyd-Warshall: like [`floyd_warshall_in_place`], but
+/// every strict improvement through pivot `k` records the global via
+/// `diag_offset + k`. The block must sit on the global diagonal (rows and
+/// columns both start at `diag_offset`).
+pub fn floyd_warshall_in_place_tracked(
+    block: &mut Block,
+    via: &mut ParentBlock,
+    diag_offset: usize,
+) {
+    let n = block.side();
+    assert_eq!(n, via.side());
+    let d = block.data_mut();
+    let vd = via.data_mut();
+    with_pool(&KROW, n, |krow| {
+        for k in 0..n {
+            krow.copy_from_slice(&d[k * n..k * n + n]);
+            let kg = (diag_offset + k) as u32;
+            for i in 0..n {
+                if i == k {
+                    continue;
+                }
+                let dik = d[i * n + k];
+                if dik == INF {
+                    continue;
+                }
+                let row = &mut d[i * n..i * n + n];
+                let vrow = &mut vd[i * n..i * n + n];
+                for ((rv, vv), &kv) in row.iter_mut().zip(vrow.iter_mut()).zip(krow.iter()) {
+                    let v = dik + kv;
+                    if v < *rv {
+                        *rv = v;
+                        *vv = kg;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Tracked rank-1 Floyd-Warshall update: strict improvements through the
+/// (single, global) pivot `k_global` record it as the via.
+pub fn fw_update_outer_tracked(
+    block: &mut Block,
+    via: &mut ParentBlock,
+    col_i: &[f64],
+    col_j: &[f64],
+    k_global: usize,
+) {
+    let n = block.side();
+    assert_eq!(n, via.side());
+    assert_eq!(col_i.len(), n, "col_i length must equal block side");
+    assert_eq!(col_j.len(), n, "col_j length must equal block side");
+    let d = block.data_mut();
+    let vd = via.data_mut();
+    let kg = k_global as u32;
+    for (i, &ci) in col_i.iter().enumerate() {
+        if ci == INF {
+            continue;
+        }
+        let row = &mut d[i * n..i * n + n];
+        let vrow = &mut vd[i * n..i * n + n];
+        for ((rv, vv), &cj) in row.iter_mut().zip(vrow.iter_mut()).zip(col_j) {
+            let v = ci + cj;
+            if v < *rv {
+                *rv = v;
+                *vv = kg;
             }
         }
     }
@@ -654,6 +937,73 @@ mod tests {
     fn fw_update_outer_validates_lengths() {
         let mut blk = Block::infinity(4);
         blk.fw_update_outer(&[0.0; 3], &[0.0; 4]);
+    }
+
+    #[test]
+    fn tracked_kernels_match_untracked_distances() {
+        use crate::parent::{ParentBlock, NO_VIA};
+        for &b in &[1usize, 2, 7, 63, 64, 65, 129] {
+            let a = random_block(b, 91, 0.3);
+            let x = random_block(b, 92, 0.3);
+            let mut oracle = Block::infinity(b);
+            min_plus_into_naive(&a, &x, &mut oracle);
+            for kernel in ALL_KERNELS {
+                let mut c = Block::infinity(b);
+                let mut v = ParentBlock::none(b);
+                // Disjoint k/row/col ranges: the degenerate-term guards
+                // never fire, so distances must be bit-exact.
+                let o = Offsets {
+                    k: 4 * b,
+                    row: 0,
+                    col: 9 * b,
+                };
+                min_plus_into_tracked_with(kernel, &a, &x, &mut c, &mut v, o);
+                assert_eq!(oracle, c, "b={b} kernel={kernel:?}");
+                // Every win recorded a global via inside the k range.
+                for i in 0..b {
+                    for j in 0..b {
+                        let via = v.get(i, j);
+                        if via != NO_VIA {
+                            assert!((4 * b..5 * b).contains(&(via as usize)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tracked_fw_matches_untracked_distances() {
+        for &b in &[1usize, 2, 33, 96, 130] {
+            let mut plain = random_block(b, 17, 0.25);
+            let mut tracked = plain.clone();
+            let mut via = crate::parent::ParentBlock::none(b);
+            floyd_warshall_in_place(&mut plain);
+            floyd_warshall_in_place_tracked(&mut tracked, &mut via, 0);
+            assert_eq!(plain, tracked, "b={b}");
+        }
+    }
+
+    #[test]
+    fn tracked_fw_update_outer_matches_untracked() {
+        let b = 24;
+        let mut plain = random_block(b, 21, 0.6);
+        let mut tracked = plain.clone();
+        let mut via = crate::parent::ParentBlock::none(b);
+        let col_i: Vec<f64> = (0..b)
+            .map(|i| if i % 5 == 0 { INF } else { i as f64 })
+            .collect();
+        let col_j: Vec<f64> = (0..b).map(|j| (j * 2) as f64).collect();
+        plain.fw_update_outer(&col_i, &col_j);
+        fw_update_outer_tracked(&mut tracked, &mut via, &col_i, &col_j, 500);
+        assert_eq!(plain, tracked);
+    }
+
+    #[test]
+    fn select_tracked_always_row_streams() {
+        for side in [1, SMALL_SIDE - 1, SMALL_SIDE, PARALLEL_SIDE, 4096] {
+            assert_eq!(select_tracked(side), MinPlusKernel::Branchless);
+        }
     }
 
     #[test]

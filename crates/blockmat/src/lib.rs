@@ -53,12 +53,14 @@ mod block;
 pub mod closure;
 pub mod kernels;
 mod matrix;
+pub mod parent;
 mod reference;
 pub mod semiring;
 pub mod serialize;
 
 pub use block::Block;
 pub use matrix::Matrix;
+pub use parent::{Offsets, ParentBlock, TrackedBlock, NO_VIA};
 pub use semiring::{BoolSemiring, Semiring, TropicalF32, TropicalF64, TropicalI64};
 
 /// Distance value denoting the absence of a path (tropical additive identity).

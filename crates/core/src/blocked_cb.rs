@@ -52,6 +52,9 @@ impl ApspSolver for BlockedCollectBroadcast {
         adjacency: &Matrix,
         cfg: &SolverConfig,
     ) -> Result<ApspResult, ApspError> {
+        if cfg.track_paths {
+            return crate::tracked::solve_cb(ctx, adjacency, cfg);
+        }
         let dd = self.solve_distributed(ctx, adjacency, cfg)?;
         let result = dd.blocked.collect_to_matrix()?;
         Ok(ApspResult::new(
@@ -139,12 +142,23 @@ impl DistributedDistances {
 
 impl BlockedCollectBroadcast {
     /// Like [`ApspSolver::solve`] but leaves the result distributed.
+    ///
+    /// Rejects [`SolverConfig::with_paths`]: the distributed handle has no
+    /// parent-matrix surface — use [`ApspSolver::solve`], whose collected
+    /// result carries one.
     pub fn solve_distributed(
         &self,
         ctx: &SparkContext,
         adjacency: &Matrix,
         cfg: &SolverConfig,
     ) -> Result<DistributedDistances, ApspError> {
+        if cfg.track_paths {
+            return Err(ApspError::InvalidConfig(
+                "path tracking (with_paths) is not supported by solve_distributed; \
+                 use solve(), whose collected result carries the parent matrix"
+                    .into(),
+            ));
+        }
         let n = adjacency.order();
         cfg.check(n)?;
         if cfg.validate_input {
@@ -371,6 +385,16 @@ mod tests {
         let _ = dd.distance(1, 2).unwrap();
         let delta = sc.metrics().delta(&before);
         assert!(delta.collected_records <= 1);
+    }
+
+    #[test]
+    fn solve_distributed_rejects_with_paths() {
+        let g = generators::cycle(8);
+        let err = BlockedCollectBroadcast
+            .solve_distributed(&ctx(), &g.to_dense(), &SolverConfig::new(4).with_paths())
+            .map(|_| ())
+            .unwrap_err();
+        assert!(matches!(err, ApspError::InvalidConfig(_)));
     }
 
     #[test]

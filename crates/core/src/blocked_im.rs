@@ -45,6 +45,9 @@ impl ApspSolver for BlockedInMemory {
         adjacency: &Matrix,
         cfg: &SolverConfig,
     ) -> Result<ApspResult, ApspError> {
+        if cfg.track_paths {
+            return crate::tracked::solve_im(ctx, adjacency, cfg);
+        }
         let n = adjacency.order();
         cfg.check(n)?;
         if cfg.validate_input {

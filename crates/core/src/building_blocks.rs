@@ -32,7 +32,19 @@ pub fn on_diagonal(key: &BlockKey, x: usize) -> bool {
 /// the block's `k`-th column; when `I` is the pivot's column-block (the
 /// record is the transposed half of the cross), it is the `k`-th *row*.
 pub fn extract_col(record: &BlockRecord, pivot_block: usize, k: usize) -> Vec<(usize, Vec<f64>)> {
-    let ((i, j), blk) = record;
+    extract_col_parts(&record.0, &record.1, pivot_block, k)
+}
+
+/// [`extract_col`] over borrowed parts, so callers holding a tracked (or
+/// otherwise wrapped) record can extract from its distance block without
+/// cloning it into a `BlockRecord`.
+pub fn extract_col_parts(
+    key: &BlockKey,
+    blk: &Block,
+    pivot_block: usize,
+    k: usize,
+) -> Vec<(usize, Vec<f64>)> {
+    let (i, j) = key;
     let mut out = Vec::new();
     if *j == pivot_block {
         out.push((*i, blk.extract_col(k)));

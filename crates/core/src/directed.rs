@@ -89,6 +89,11 @@ impl DirectedBlockedCB {
         adjacency: &Matrix,
         cfg: &SolverConfig,
     ) -> Result<ApspResult, ApspError> {
+        if cfg.track_paths {
+            return Err(ApspError::InvalidConfig(
+                "path tracking (with_paths) is not supported by the directed solvers yet; use apsp_graph::paths::floyd_warshall_vias for directed witnesses".into(),
+            ));
+        }
         let n = adjacency.order();
         cfg.check(n)?;
         if cfg.validate_input {
@@ -198,6 +203,11 @@ impl DirectedFloydWarshall2D {
         adjacency: &Matrix,
         cfg: &SolverConfig,
     ) -> Result<ApspResult, ApspError> {
+        if cfg.track_paths {
+            return Err(ApspError::InvalidConfig(
+                "path tracking (with_paths) is not supported by the directed solvers yet; use apsp_graph::paths::floyd_warshall_vias for directed witnesses".into(),
+            ));
+        }
         let n = adjacency.order();
         cfg.check(n)?;
         if cfg.validate_input {

@@ -34,6 +34,9 @@ impl ApspSolver for FloydWarshall2D {
         adjacency: &Matrix,
         cfg: &SolverConfig,
     ) -> Result<ApspResult, ApspError> {
+        if cfg.track_paths {
+            return crate::tracked::solve_fw2d(ctx, adjacency, cfg);
+        }
         let n = adjacency.order();
         cfg.check(n)?;
         if cfg.validate_input {

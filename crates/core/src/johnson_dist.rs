@@ -38,6 +38,11 @@ impl ApspSolver for DistributedJohnson {
         adjacency: &Matrix,
         cfg: &SolverConfig,
     ) -> Result<ApspResult, ApspError> {
+        if cfg.track_paths {
+            return Err(ApspError::InvalidConfig(
+                "path tracking (with_paths) is not supported by distributed Johnson; use one of the six paper solvers".into(),
+            ));
+        }
         let n = adjacency.order();
         cfg.check(n)?;
         if cfg.validate_input {

@@ -50,9 +50,11 @@ mod mpi_dc;
 mod mpi_fw2d;
 mod repeated_squaring;
 mod solver;
+mod tracked;
 pub mod tuner;
 
 pub use apsp_blockmat::kernels::MinPlusKernel;
+pub use apsp_graph::paths::{DistancesAndParents, NodeId, ParentMatrix};
 pub use blocked_cb::{BlockedCollectBroadcast, DistributedDistances};
 pub use blocked_im::BlockedInMemory;
 pub use blocks::{canonical, oriented, BlockKey, BlockRecord, BlockedMatrix, PartitionerChoice};

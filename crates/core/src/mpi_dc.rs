@@ -44,6 +44,64 @@ impl MpiDcApsp {
         }
     }
 
+    /// Like [`MpiDcApsp::solve_matrix`], additionally tracking the parent
+    /// (via) matrix: every rank carries a replicated `u32` via buffer
+    /// beside its distance copy, the row-split products gather via slices
+    /// alongside distance slices (one extra `all_gather` per product on
+    /// the simulated clock), and the base-case Floyd-Warshall records its
+    /// pivots.
+    pub fn solve_matrix_paths(
+        &self,
+        adjacency: &Matrix,
+    ) -> Result<(MpiRunResult, apsp_graph::paths::ParentMatrix), ApspError> {
+        use apsp_blockmat::NO_VIA;
+
+        if self.ranks == 0 {
+            return Err(ApspError::InvalidConfig("need at least one rank".into()));
+        }
+        if self.base_size == 0 {
+            return Err(ApspError::InvalidConfig(
+                "base size must be positive".into(),
+            ));
+        }
+        let n = adjacency.order();
+        if n == 0 {
+            return Err(ApspError::InvalidInput("empty graph".into()));
+        }
+
+        let world = World::new(self.ranks, self.cost);
+        let base = self.base_size;
+        let results = world.run(|comm| {
+            let mut data: Vec<f64> = adjacency.data().to_vec();
+            let mut via: Vec<u32> = vec![NO_VIA; n * n];
+            kleene_tracked(&mut data, &mut via, n, View::full(n), base, comm);
+            (data, via, comm.stats())
+        });
+
+        let mut stats = Vec::with_capacity(results.len());
+        let mut sim = 0.0f64;
+        let mut first: Option<(Vec<f64>, Vec<u32>)> = None;
+        for (data, via, st) in results {
+            if let Some((fd, fv)) = &first {
+                debug_assert_eq!(fd, &data, "replica divergence (distances)");
+                debug_assert_eq!(fv, &via, "replica divergence (vias)");
+            } else {
+                first = Some((data, via));
+            }
+            sim = sim.max(st.elapsed);
+            stats.push(st);
+        }
+        let (data, via) = first.expect("at least one rank");
+        Ok((
+            MpiRunResult {
+                distances: Matrix::from_vec(n, data),
+                stats,
+                simulated_comm_s: sim,
+            },
+            apsp_graph::paths::ParentMatrix::from_vias(n, via),
+        ))
+    }
+
     /// Solves APSP for a dense symmetric adjacency matrix.
     pub fn solve_matrix(&self, adjacency: &Matrix) -> Result<MpiRunResult, ApspError> {
         if self.ranks == 0 {
@@ -181,6 +239,156 @@ fn fw_view(data: &mut [f64], n: usize, v: View) {
     });
 }
 
+/// Tracked [`dist_minplus`]: the row slice additionally carries via
+/// entries, seeded from the current `C` cells (so degenerate terms — whose
+/// operands are same-generation snapshots passing through an exact-zero
+/// diagonal cell — can only tie, and strict `<` keeps the seeded via).
+/// Distances and vias are re-replicated by two `all_gather`s.
+fn dist_minplus_tracked(
+    data: &mut [f64],
+    via: &mut [u32],
+    n: usize,
+    a: View,
+    bv: View,
+    c: View,
+    comm: &Comm,
+) {
+    debug_assert_eq!(a.cols, bv.rows);
+    debug_assert_eq!(c.rows, a.rows);
+    debug_assert_eq!(c.cols, bv.cols);
+    let p = comm.size();
+    let rank = comm.rank();
+    let lo = c.rows * rank / p;
+    let hi = c.rows * (rank + 1) / p;
+
+    let mut mine = vec![0.0f64; (hi - lo) * c.cols];
+    let mut mine_v = vec![0u32; (hi - lo) * c.cols];
+    for i in lo..hi {
+        let arow = (a.r0 + i) * n + a.c0;
+        let crow0 = (c.r0 + i) * n + c.c0;
+        let out = &mut mine[(i - lo) * c.cols..(i - lo + 1) * c.cols];
+        let out_v = &mut mine_v[(i - lo) * c.cols..(i - lo + 1) * c.cols];
+        // Seed with the current C row — distances *and* vias.
+        out.copy_from_slice(&data[crow0..crow0 + c.cols]);
+        out_v.copy_from_slice(&via[crow0..crow0 + c.cols]);
+        for k in 0..a.cols {
+            let aik = data[arow + k];
+            if aik == INF {
+                continue;
+            }
+            let kg = (bv.r0 + k) as u32;
+            let brow = (bv.r0 + k) * n + bv.c0;
+            for ((v, vv), &bvj) in out
+                .iter_mut()
+                .zip(out_v.iter_mut())
+                .zip(&data[brow..brow + c.cols])
+            {
+                let cand = aik + bvj;
+                if cand < *v {
+                    *v = cand;
+                    *vv = kg;
+                }
+            }
+        }
+    }
+
+    let slices = comm.all_gather(mine, (hi - lo) * c.cols * 8);
+    let mut row = 0usize;
+    for slice in slices {
+        for chunk in slice.chunks_exact(c.cols) {
+            data[(c.r0 + row) * n + c.c0..(c.r0 + row) * n + c.c0 + c.cols].copy_from_slice(chunk);
+            row += 1;
+        }
+    }
+    debug_assert_eq!(row, c.rows);
+    let slices_v = comm.all_gather(mine_v, (hi - lo) * c.cols * 4);
+    let mut row = 0usize;
+    for slice in slices_v {
+        for chunk in slice.chunks_exact(c.cols) {
+            via[(c.r0 + row) * n + c.c0..(c.r0 + row) * n + c.c0 + c.cols].copy_from_slice(chunk);
+            row += 1;
+        }
+    }
+    debug_assert_eq!(row, c.rows);
+}
+
+/// Tracked [`fw_view`]: the base-case Floyd-Warshall recording global
+/// pivots as vias.
+fn fw_view_tracked(data: &mut [f64], via: &mut [u32], n: usize, v: View) {
+    debug_assert_eq!(v.rows, v.cols);
+    let s = v.rows;
+    kernels::with_scratch(s, |pivot| {
+        for k in 0..s {
+            let krow = (v.r0 + k) * n + v.c0;
+            pivot.copy_from_slice(&data[krow..krow + s]);
+            let kg = (v.r0 + k) as u32;
+            for i in 0..s {
+                if i == k {
+                    continue;
+                }
+                let dik = data[(v.r0 + i) * n + v.c0 + k];
+                if dik == INF {
+                    continue;
+                }
+                let irow = (v.r0 + i) * n + v.c0;
+                let row = &mut data[irow..irow + s];
+                let vrow = &mut via[irow..irow + s];
+                for ((rv, vv), &kv) in row.iter_mut().zip(vrow.iter_mut()).zip(pivot.iter()) {
+                    let cand = dik + kv;
+                    if cand < *rv {
+                        *rv = cand;
+                        *vv = kg;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// The tracked Kleene recursion over a square view.
+fn kleene_tracked(data: &mut [f64], via: &mut [u32], n: usize, v: View, base: usize, comm: &Comm) {
+    let s = v.rows;
+    if s <= base {
+        fw_view_tracked(data, via, n, v);
+        return;
+    }
+    let s1 = s / 2;
+    let s2 = s - s1;
+    let a11 = View {
+        r0: v.r0,
+        c0: v.c0,
+        rows: s1,
+        cols: s1,
+    };
+    let a12 = View {
+        r0: v.r0,
+        c0: v.c0 + s1,
+        rows: s1,
+        cols: s2,
+    };
+    let a21 = View {
+        r0: v.r0 + s1,
+        c0: v.c0,
+        rows: s2,
+        cols: s1,
+    };
+    let a22 = View {
+        r0: v.r0 + s1,
+        c0: v.c0 + s1,
+        rows: s2,
+        cols: s2,
+    };
+
+    kleene_tracked(data, via, n, a11, base, comm);
+    dist_minplus_tracked(data, via, n, a11, a12, a12, comm);
+    dist_minplus_tracked(data, via, n, a21, a11, a21, comm);
+    dist_minplus_tracked(data, via, n, a21, a12, a22, comm);
+    kleene_tracked(data, via, n, a22, base, comm);
+    dist_minplus_tracked(data, via, n, a12, a22, a12, comm);
+    dist_minplus_tracked(data, via, n, a22, a21, a21, comm);
+    dist_minplus_tracked(data, via, n, a12, a21, a11, comm);
+}
+
 /// The Kleene recursion over a square view.
 fn kleene(data: &mut [f64], n: usize, v: View, base: usize, comm: &Comm) {
     let s = v.rows;
@@ -272,6 +480,32 @@ mod tests {
         let g = generators::cycle(10);
         let res = MpiDcApsp::new(2).solve_matrix(&g.to_dense()).unwrap();
         assert!(res.distances.approx_eq(&fw_oracle(&g), 1e-9).is_ok());
+    }
+
+    #[test]
+    fn tracked_solve_round_trips_against_oracle() {
+        for (n, ranks, base, seed) in [
+            (50usize, 1usize, 8usize, 3u64),
+            (37, 3, 4, 29),
+            (70, 4, 8, 13),
+        ] {
+            let g = generators::erdos_renyi_paper(n, 0.1, seed);
+            let adj = g.to_dense();
+            let dc = MpiDcApsp {
+                ranks,
+                base_size: base,
+                cost: CommCost::zero(),
+            };
+            let (run, parents) = dc.solve_matrix_paths(&adj).unwrap();
+            let plain = dc.solve_matrix(&adj).unwrap();
+            assert!(
+                run.distances.approx_eq(&plain.distances, 0.0).is_ok(),
+                "tracking changed distances (n={n}, ranks={ranks})"
+            );
+            let dap = apsp_graph::paths::DistancesAndParents::new(run.distances, parents);
+            dap.validate_against(&adj, 1e-9)
+                .unwrap_or_else(|e| panic!("n={n} ranks={ranks}: {e}"));
+        }
     }
 
     #[test]

@@ -52,6 +52,137 @@ impl MpiFw2d {
         self
     }
 
+    /// Like [`MpiFw2d::solve_matrix`], additionally tracking the parent
+    /// (via) matrix for path reconstruction: each rank keeps a `u32` via
+    /// tile beside its distance tile and records the global pivot `k` on
+    /// every strict improvement. The broadcast traffic is unchanged — via
+    /// tiles never travel.
+    pub fn solve_matrix_paths(
+        &self,
+        adjacency: &Matrix,
+    ) -> Result<(MpiRunResult, apsp_graph::paths::ParentMatrix), ApspError> {
+        use apsp_blockmat::NO_VIA;
+
+        let g = self.grid;
+        if g == 0 {
+            return Err(ApspError::InvalidConfig("grid must be positive".into()));
+        }
+        let n = adjacency.order();
+        if n == 0 {
+            return Err(ApspError::InvalidInput("empty graph".into()));
+        }
+        let m = n.div_ceil(g);
+        let np = m * g;
+
+        let tile_of = |r: usize, c: usize| -> Vec<f64> {
+            let mut t = vec![INF; m * m];
+            for i in 0..m {
+                let gi = r * m + i;
+                for j in 0..m {
+                    let gj = c * m + j;
+                    t[i * m + j] = if gi < n && gj < n {
+                        adjacency.get(gi, gj)
+                    } else if gi == gj {
+                        0.0
+                    } else {
+                        INF
+                    };
+                }
+            }
+            t
+        };
+
+        let world = World::new(g * g, self.cost);
+        let results = world.run(|comm| {
+            let rank = comm.rank();
+            let (r, c) = (rank / g, rank % g);
+            let mut tile = tile_of(r, c);
+            let mut via = vec![NO_VIA; m * m];
+
+            for k in 0..np {
+                let owner = k / m;
+                let kloc = k % m;
+                let row_seg: Vec<f64> = if r == owner {
+                    let seg: Vec<f64> = tile[kloc * m..kloc * m + m].to_vec();
+                    for dest_r in 0..g {
+                        if dest_r != r {
+                            comm.send_vec(dest_r * g + c, (2 * k) as u64, seg.clone());
+                        }
+                    }
+                    seg
+                } else {
+                    comm.recv(owner * g + c, (2 * k) as u64)
+                };
+                let col_seg: Vec<f64> = if c == owner {
+                    let seg: Vec<f64> = (0..m).map(|i| tile[i * m + kloc]).collect();
+                    for dest_c in 0..g {
+                        if dest_c != c {
+                            comm.send_vec(r * g + dest_c, (2 * k + 1) as u64, seg.clone());
+                        }
+                    }
+                    seg
+                } else {
+                    comm.recv(r * g + owner, (2 * k + 1) as u64)
+                };
+
+                // Strict-< rank-1 update recording the pivot as the via.
+                // Degenerate cells (global row or column equal to k) only
+                // ever tie — the segments are same-generation snapshots
+                // and the diagonal is exactly 0 — so no guard is needed.
+                let kg = k as u32;
+                for (i, &dxk) in col_seg.iter().enumerate() {
+                    if dxk == INF {
+                        continue;
+                    }
+                    let row = &mut tile[i * m..i * m + m];
+                    let vrow = &mut via[i * m..i * m + m];
+                    for ((rv, vv), &dky) in row.iter_mut().zip(vrow.iter_mut()).zip(row_seg.iter())
+                    {
+                        let v = dxk + dky;
+                        if v < *rv {
+                            *rv = v;
+                            *vv = kg;
+                        }
+                    }
+                }
+                if let Some(rate) = self.update_sec_per_op {
+                    comm.advance(rate * (m * m) as f64);
+                }
+            }
+            (r, c, tile, via, comm.stats())
+        });
+
+        let mut out = Matrix::filled(n, INF);
+        let mut vias = vec![NO_VIA; n * n];
+        let mut stats = Vec::with_capacity(results.len());
+        let mut sim = 0.0f64;
+        for (r, c, tile, via, st) in results {
+            for i in 0..m {
+                let gi = r * m + i;
+                if gi >= n {
+                    continue;
+                }
+                for j in 0..m {
+                    let gj = c * m + j;
+                    if gj < n {
+                        out.set(gi, gj, tile[i * m + j]);
+                        vias[gi * n + gj] = via[i * m + j];
+                    }
+                }
+            }
+            sim = sim.max(st.elapsed);
+            stats.push(st);
+        }
+        Ok((
+            MpiRunResult {
+                distances: out,
+                stats,
+                simulated_comm_s: sim,
+            },
+            apsp_graph::paths::ParentMatrix::from_vias(n, vias),
+        ))
+    }
+
     /// Solves APSP for a dense symmetric adjacency matrix.
     pub fn solve_matrix(&self, adjacency: &Matrix) -> Result<MpiRunResult, ApspError> {
         let g = self.grid;
@@ -200,6 +331,23 @@ mod tests {
         // Every rank broadcasts its share of pivots: all ranks send.
         for st in &res.stats {
             assert!(st.messages_sent > 0);
+        }
+    }
+
+    #[test]
+    fn tracked_solve_round_trips_against_dijkstra() {
+        for (n, grid, seed) in [(32usize, 2usize, 17u64), (30, 4, 23), (11, 1, 0)] {
+            let g = generators::erdos_renyi_paper(n, 0.1, seed);
+            let adj = g.to_dense();
+            let (run, parents) = MpiFw2d::new(grid).solve_matrix_paths(&adj).unwrap();
+            let plain = MpiFw2d::new(grid).solve_matrix(&adj).unwrap();
+            assert!(
+                run.distances.approx_eq(&plain.distances, 0.0).is_ok(),
+                "tracking changed distances (n={n}, grid={grid})"
+            );
+            let dap = apsp_graph::paths::DistancesAndParents::new(run.distances, parents);
+            dap.validate_against(&adj, 1e-9)
+                .unwrap_or_else(|e| panic!("n={n} grid={grid}: {e}"));
         }
     }
 

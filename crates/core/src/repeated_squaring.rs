@@ -43,6 +43,9 @@ impl ApspSolver for RepeatedSquaring {
         adjacency: &Matrix,
         cfg: &SolverConfig,
     ) -> Result<ApspResult, ApspError> {
+        if cfg.track_paths {
+            return crate::tracked::solve_rs(ctx, adjacency, cfg);
+        }
         let n = adjacency.order();
         cfg.check(n)?;
         if cfg.validate_input {

@@ -3,6 +3,7 @@
 use crate::blocks::PartitionerChoice;
 use apsp_blockmat::kernels::MinPlusKernel;
 use apsp_blockmat::Matrix;
+use apsp_graph::paths::{DistancesAndParents, ParentMatrix};
 use sparklet::{MetricsSnapshot, SparkContext, SparkError};
 use std::time::Duration;
 
@@ -55,6 +56,12 @@ pub struct SolverConfig {
     /// register-blocked engine for mid sizes, rayon-parallel beyond; the
     /// explicit variants exist for ablations and benchmarks.
     pub kernel: MinPlusKernel,
+    /// Track shortest-path witnesses alongside distances: every block
+    /// update runs the argmin-recording kernel tier and the result carries
+    /// a [`ParentMatrix`] (see [`ApspResult::parents`]). Off by default —
+    /// tracking costs one `u32` per cell plus the tracked-kernel overhead
+    /// measured in `EXPERIMENTS.md`.
+    pub track_paths: bool,
 }
 
 impl SolverConfig {
@@ -67,6 +74,7 @@ impl SolverConfig {
             partitioner: PartitionerChoice::MultiDiagonal,
             validate_input: true,
             kernel: MinPlusKernel::Auto,
+            track_paths: false,
         }
     }
 
@@ -102,6 +110,30 @@ impl SolverConfig {
         self
     }
 
+    /// Enables shortest-path witness tracking: the solve returns a parent
+    /// (via) matrix alongside the distances, from which any path is
+    /// reconstructed in `O(length)`.
+    ///
+    /// ```
+    /// use apsp_core::{ApspSolver, BlockedCollectBroadcast, SolverConfig};
+    /// use apsp_graph::generators;
+    /// use sparklet::{SparkConfig, SparkContext};
+    ///
+    /// let g = generators::grid(4, 4);
+    /// let ctx = SparkContext::new(SparkConfig::with_cores(2));
+    /// let result = BlockedCollectBroadcast::default()
+    ///     .solve(&ctx, &g.to_dense(), &SolverConfig::new(8).with_paths())
+    ///     .unwrap();
+    /// let paths = result.into_paths().expect("tracking was requested");
+    /// let route = paths.reconstruct(0, 15).expect("grid is connected");
+    /// assert_eq!(route.first(), Some(&0));
+    /// assert_eq!(route.last(), Some(&15));
+    /// ```
+    pub fn with_paths(mut self) -> Self {
+        self.track_paths = true;
+        self
+    }
+
     /// Effective partition count for a context.
     pub fn partitions_for(&self, ctx: &SparkContext) -> usize {
         self.num_partitions.unwrap_or(2 * ctx.num_cores()).max(1)
@@ -120,10 +152,12 @@ impl SolverConfig {
     }
 }
 
-/// Outcome of a solve: the distance matrix plus observability.
+/// Outcome of a solve: the distance matrix plus observability, and — when
+/// the config asked for it — the parent matrix for path reconstruction.
 #[derive(Debug, Clone)]
 pub struct ApspResult {
     distances: Matrix,
+    parents: Option<ParentMatrix>,
     /// Engine-counter increments attributable to this solve.
     pub metrics: MetricsSnapshot,
     /// Wall-clock duration of the solve.
@@ -142,10 +176,16 @@ impl ApspResult {
     ) -> Self {
         ApspResult {
             distances,
+            parents: None,
             metrics,
             elapsed,
             iterations,
         }
+    }
+
+    pub(crate) fn with_parents(mut self, parents: ParentMatrix) -> Self {
+        self.parents = Some(parents);
+        self
     }
 
     /// The full `n × n` shortest-path length matrix.
@@ -153,9 +193,23 @@ impl ApspResult {
         &self.distances
     }
 
+    /// The parent (via) matrix, when the solve ran under
+    /// [`SolverConfig::with_paths`].
+    pub fn parents(&self) -> Option<&ParentMatrix> {
+        self.parents.as_ref()
+    }
+
     /// Consumes the result, returning the distance matrix.
     pub fn into_distances(self) -> Matrix {
         self.distances
+    }
+
+    /// Consumes the result into a [`DistancesAndParents`] handle for path
+    /// reconstruction; `None` unless the solve ran under
+    /// [`SolverConfig::with_paths`].
+    pub fn into_paths(self) -> Option<DistancesAndParents> {
+        let parents = self.parents?;
+        Some(DistancesAndParents::new(self.distances, parents))
     }
 }
 

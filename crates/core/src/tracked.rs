@@ -1,0 +1,745 @@
+//! Path-tracking (parent-matrix) variants of the four Spark solvers.
+//!
+//! When a [`SolverConfig`] carries `with_paths()`, each solver's `solve`
+//! dispatches here: the same algorithm skeletons run over
+//! [`TrackedBlock`] records — a distance block paired with a
+//! [`apsp_blockmat::ParentBlock`] of argmin ("via") entries — and every
+//! block update goes through the tracked kernel tier
+//! (`apsp_blockmat::kernels::select_tracked`).
+//!
+//! Three properties make this threading cheap:
+//!
+//! 1. **Operands stay plain.** A via cell records only the winning global
+//!    `k`, so the staged diagonal/column copies (side channel, copy
+//!    shuffles, broadcasts) remain untracked distance [`Block`]s — no new
+//!    dissemination traffic beyond the `u32` grid riding on each stored
+//!    record.
+//! 2. **Transposition is free.** On undirected instances an interior
+//!    vertex of a shortest `i → j` path is interior to the reversed path,
+//!    so the upper-triangle storage (paper §4) mirrors tracked blocks by
+//!    plain transposition, exactly like distances.
+//! 3. **Strict-`<` updates compose.** Every relaxation either strictly
+//!    improves a cell (and re-records its via) or leaves it alone, so any
+//!    interleaving of phases/sweeps keeps each cell's `(distance, via)`
+//!    pair consistent; at convergence `D(i,k) + D(k,j) = D(i,j)` holds for
+//!    every recorded via, which is what `reconstruct` expands against.
+
+use crate::blocks::BlockKey;
+use crate::building_blocks::{extract_col_parts, in_column, on_diagonal};
+use crate::solver::{validate_adjacency, ApspError, ApspResult, SolverConfig};
+use apsp_blockmat::kernels::MinPlusKernel;
+use apsp_blockmat::{Block, Matrix, Offsets, TrackedBlock, INF, NO_VIA};
+use apsp_graph::paths::ParentMatrix;
+use sparklet::{EstimateSize, Partitioner, Rdd, SparkContext, SparkError, SparkResult};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One RDD record of a tracked solve: a keyed (distance, parent) block.
+pub(crate) type TrackedRecord = (BlockKey, TrackedBlock);
+
+/// The tracked twin of `BlockedMatrix`: upper-triangular tracked records
+/// plus geometry.
+pub(crate) struct TrackedBlockedMatrix {
+    pub n: usize,
+    pub b: usize,
+    pub q: usize,
+    pub rdd: Rdd<TrackedRecord>,
+}
+
+impl TrackedBlockedMatrix {
+    /// Decomposes a dense symmetric adjacency matrix into upper-triangular
+    /// tracked blocks (vias all [`NO_VIA`]: every finite adjacency entry
+    /// is a direct edge).
+    pub fn from_matrix(
+        ctx: &SparkContext,
+        m: &Matrix,
+        b: usize,
+        partitioner: Arc<dyn Partitioner<BlockKey>>,
+    ) -> Self {
+        let n = m.order();
+        let q = n.div_ceil(b);
+        let blocks = m.to_blocks(b);
+        let mut records = Vec::with_capacity(q * (q + 1) / 2);
+        for bi in 0..q {
+            for bj in bi..q {
+                records.push((
+                    (bi, bj),
+                    TrackedBlock::from_dist(blocks[bi * q + bj].clone()),
+                ));
+            }
+        }
+        let rdd = ctx.parallelize_by(records, partitioner);
+        TrackedBlockedMatrix { n, b, q, rdd }
+    }
+
+    /// Rebuilds the dense distance matrix *and* the dense parent matrix
+    /// from the distributed upper triangle, mirroring across the diagonal
+    /// (valid for vias on undirected instances) and trimming padding.
+    pub fn collect_to_parts(&self) -> SparkResult<(Matrix, ParentMatrix)> {
+        let records = self.rdd.collect()?;
+        let (n, b) = (self.n, self.b);
+        let mut dist_blocks = Vec::with_capacity(records.len() * 2);
+        let mut via = vec![NO_VIA; n * n];
+        for ((bi, bj), tb) in records {
+            for i in 0..b {
+                let gi = bi * b + i;
+                if gi >= n {
+                    continue;
+                }
+                for j in 0..b {
+                    let gj = bj * b + j;
+                    if gj < n {
+                        let v = tb.via().get(i, j);
+                        via[gi * n + gj] = v;
+                        via[gj * n + gi] = v; // undirected mirror
+                    }
+                }
+            }
+            let (dist, _) = tb.into_parts();
+            if bi != bj {
+                dist_blocks.push(((bj, bi), dist.transpose()));
+            }
+            dist_blocks.push(((bi, bj), dist));
+        }
+        Ok((
+            Matrix::from_blocks(n, b, dist_blocks),
+            ParentMatrix::from_vias(n, via),
+        ))
+    }
+}
+
+/// Shared prologue of the tracked solvers: validation, timing, and the
+/// tracked decomposition.
+struct TrackedRun {
+    start: Instant,
+    metrics_before: sparklet::MetricsSnapshot,
+    blocked: TrackedBlockedMatrix,
+    partitioner: Arc<dyn Partitioner<BlockKey>>,
+}
+
+fn begin(
+    ctx: &SparkContext,
+    adjacency: &Matrix,
+    cfg: &SolverConfig,
+) -> Result<TrackedRun, ApspError> {
+    let n = adjacency.order();
+    cfg.check(n)?;
+    if cfg.validate_input {
+        validate_adjacency(adjacency)?;
+    }
+    let start = Instant::now();
+    let metrics_before = ctx.metrics();
+    let b = cfg.block_size;
+    let partitioner = cfg
+        .partitioner
+        .build(n.div_ceil(b), cfg.partitions_for(ctx));
+    let blocked = TrackedBlockedMatrix::from_matrix(ctx, adjacency, b, partitioner.clone());
+    Ok(TrackedRun {
+        start,
+        metrics_before,
+        blocked,
+        partitioner,
+    })
+}
+
+fn finish(
+    ctx: &SparkContext,
+    run: TrackedRun,
+    a: Rdd<TrackedRecord>,
+    iterations: u64,
+) -> Result<ApspResult, ApspError> {
+    let closed = TrackedBlockedMatrix {
+        n: run.blocked.n,
+        b: run.blocked.b,
+        q: run.blocked.q,
+        rdd: a,
+    };
+    let (distances, parents) = closed.collect_to_parts()?;
+    let metrics = ctx.metrics().delta(&run.metrics_before);
+    Ok(ApspResult::new(distances, metrics, run.start.elapsed(), iterations).with_parents(parents))
+}
+
+// ---------------------------------------------------------------------------
+// Blocked Collect/Broadcast (Algorithm 4), tracked
+// ---------------------------------------------------------------------------
+
+fn diag_key(iter: usize) -> String {
+    format!("cbp:{iter}:diag")
+}
+
+fn col_key(iter: usize, t: usize) -> String {
+    format!("cbp:{iter}:col:{t}")
+}
+
+fn col_t_key(iter: usize, t: usize) -> String {
+    format!("cbp:{iter}:colT:{t}")
+}
+
+/// Tracked Algorithm 4: identical staging structure to the untracked
+/// solver — Phase-1/2 results travel through the driver and shared storage
+/// as plain distance blocks — with every update running tracked.
+pub(crate) fn solve_cb(
+    ctx: &SparkContext,
+    adjacency: &Matrix,
+    cfg: &SolverConfig,
+) -> Result<ApspResult, ApspError> {
+    let run = begin(ctx, adjacency, cfg)?;
+    let (b, q) = (run.blocked.b, run.blocked.q);
+    let partitioner = run.partitioner.clone();
+    let mut a: Rdd<TrackedRecord> = run.blocked.rdd.clone().persist();
+    let kern = cfg.kernel;
+
+    for i in 0..q {
+        // Phase 1: close the diagonal block (tracked), stage its distances.
+        let diag_rdd = a
+            .filter(move |(key, _)| on_diagonal(key, i))
+            .map(move |(key, mut tb)| {
+                tb.floyd_warshall_in_place(i * b);
+                (key, tb)
+            })
+            .persist();
+        let diag_records = diag_rdd.collect()?;
+        let diag_block = diag_records
+            .into_iter()
+            .next()
+            .ok_or_else(|| {
+                ApspError::Engine(SparkError::User(format!("missing diagonal block {i}")))
+            })?
+            .1;
+        ctx.side_channel()
+            .put_block(diag_key(i), diag_block.dist().clone());
+
+        // Phase 2: tracked MinPlus on the pivot cross against the staged
+        // diagonal distances.
+        let side = ctx.clone();
+        let rowcol = a
+            .filter(move |(key, _)| in_column(key, i) && !on_diagonal(key, i))
+            .try_map(move |(key, mut tb)| {
+                let d = side.side_channel().get_block_arc(&diag_key(i))?;
+                if key.1 == i {
+                    tb.min_plus_assign(kern, &d, Offsets::blocks(b, i, key.0, key.1));
+                } else {
+                    tb.min_plus_left_assign(kern, &d, Offsets::blocks(b, i, key.0, key.1));
+                }
+                Ok((key, tb))
+            })
+            .persist();
+        for (key, tb) in rowcol.collect()? {
+            // Stage both orientations of the cross distances, as in the
+            // untracked solver; vias stay on the stored records.
+            let dist = tb.dist().clone();
+            let transposed = dist.transpose();
+            let (t, canonical_block, transposed_block) = if key.1 == i {
+                (key.0, dist, transposed)
+            } else {
+                (key.1, transposed, dist)
+            };
+            ctx.side_channel()
+                .put_block(col_t_key(i, t), transposed_block);
+            ctx.side_channel().put_block(col_key(i, t), canonical_block);
+        }
+
+        // Phase 3: tracked fold of the staged column products.
+        let side = ctx.clone();
+        let offcol =
+            a.filter(move |(key, _)| !in_column(key, i))
+                .try_map(move |((x, y), mut tb)| {
+                    let c_x = side.side_channel().get_block_arc(&col_key(i, x))?;
+                    let c_y_t = side.side_channel().get_block_arc(&col_t_key(i, y))?;
+                    tb.min_plus_into_self(kern, &c_x, &c_y_t, Offsets::blocks(b, i, x, y));
+                    Ok(((x, y), tb))
+                });
+
+        let next = diag_rdd
+            .union_all(&[rowcol.clone(), offcol])
+            .partition_by(partitioner.clone())
+            .persist();
+        next.count()?;
+        ctx.side_channel().remove(&diag_key(i));
+        for t in 0..q {
+            ctx.side_channel().remove(&col_key(i, t));
+            ctx.side_channel().remove(&col_t_key(i, t));
+        }
+        diag_rdd.unpersist();
+        rowcol.unpersist();
+        a.unpersist();
+        a = next;
+    }
+
+    finish(ctx, run, a, q as u64)
+}
+
+// ---------------------------------------------------------------------------
+// Blocked In-Memory (Algorithm 3), tracked
+// ---------------------------------------------------------------------------
+
+/// The tracked twin of `building_blocks::Piece`: only the resident block
+/// carries vias; the `CopyDiag`/`CopyCol` replicas stay plain distances.
+#[derive(Clone, Debug)]
+enum TrackedPiece {
+    /// The resident tracked block of `A`.
+    Stored(TrackedBlock),
+    /// A left operand (`A_Ii`, pre-oriented distance copy).
+    Left(Block),
+    /// A right operand (`A_iJ`, pre-oriented distance copy).
+    Right(Block),
+}
+
+impl EstimateSize for TrackedPiece {
+    fn estimate_bytes(&self) -> usize {
+        8 + match self {
+            TrackedPiece::Stored(t) => t.estimate_bytes(),
+            TrackedPiece::Left(b) | TrackedPiece::Right(b) => b.estimate_bytes(),
+        }
+    }
+}
+
+/// Converts an operand `Piece` (from `copy_diag`/`copy_col`) into its
+/// tracked-pipeline form.
+///
+/// # Panics
+/// Panics on `Piece::Stored`, which the copy building blocks never emit.
+fn promote(piece: crate::building_blocks::Piece) -> TrackedPiece {
+    use crate::building_blocks::Piece;
+    match piece {
+        Piece::Left(b) => TrackedPiece::Left(b),
+        Piece::Right(b) => TrackedPiece::Right(b),
+        Piece::Stored(_) => unreachable!("copy building blocks never emit Stored"),
+    }
+}
+
+/// `ListUnpack` + tracked `MatMin`: the tracked twin of
+/// `building_blocks::unpack_and_update_with`.
+fn unpack_tracked(
+    kernel: MinPlusKernel,
+    pieces: Vec<TrackedPiece>,
+    pivot: usize,
+    b: usize,
+    key: BlockKey,
+) -> TrackedBlock {
+    let mut stored: Option<TrackedBlock> = None;
+    let mut left: Option<Block> = None;
+    let mut right: Option<Block> = None;
+    for p in pieces {
+        match p {
+            TrackedPiece::Stored(t) => {
+                assert!(stored.is_none(), "duplicate Stored piece in pairing list");
+                stored = Some(t);
+            }
+            TrackedPiece::Left(b) => left = Some(b),
+            TrackedPiece::Right(b) => right = Some(b),
+        }
+    }
+    let mut a = stored.expect("pairing list lacks the Stored block");
+    let offsets = Offsets::blocks(b, pivot, key.0, key.1);
+    match (left, right) {
+        (Some(l), Some(r)) => a.min_plus_into_self(kernel, &l, &r, offsets),
+        (Some(l), None) => a.min_plus_left_assign(kernel, &l, offsets),
+        (None, Some(r)) => a.min_plus_assign(kernel, &r, offsets),
+        (None, None) => {}
+    }
+    a
+}
+
+/// Tracked Algorithm 3: diagonal and column copies replicate through the
+/// same `CopyDiag`/`CopyCol` shuffles (as distance blocks); the stored
+/// tracked records fold them in with the tracked kernels.
+pub(crate) fn solve_im(
+    ctx: &SparkContext,
+    adjacency: &Matrix,
+    cfg: &SolverConfig,
+) -> Result<ApspResult, ApspError> {
+    use crate::building_blocks::{copy_col, copy_diag};
+
+    let run = begin(ctx, adjacency, cfg)?;
+    let (b, q) = (run.blocked.b, run.blocked.q);
+    let partitioner = run.partitioner.clone();
+    let mut a: Rdd<TrackedRecord> = run.blocked.rdd.clone().persist();
+    let kern = cfg.kernel;
+
+    for i in 0..q {
+        // Phase 1: tracked diagonal closure + CopyDiag of its distances.
+        let diag_rdd = a
+            .filter(move |(key, _)| on_diagonal(key, i))
+            .map(move |(key, mut tb)| {
+                tb.floyd_warshall_in_place(i * b);
+                (key, tb)
+            })
+            .persist();
+        let diag_copies = diag_rdd.flat_map(move |(_, d)| {
+            copy_diag(i, d.dist(), q)
+                .into_iter()
+                .map(|(key, piece)| (key, promote(piece)))
+                .collect()
+        });
+
+        // Phase 2: pair cross blocks with the diagonal copies and resolve.
+        let cross_stored = a
+            .filter(move |(key, _)| in_column(key, i) && !on_diagonal(key, i))
+            .map(|(key, tb)| (key, TrackedPiece::Stored(tb)));
+        let phase2: Rdd<TrackedRecord> = cross_stored
+            .union(&diag_copies)
+            .combine_by_key(
+                partitioner.clone(),
+                |p| vec![p],
+                |mut list, p| {
+                    list.push(p);
+                    list
+                },
+                |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                },
+            )
+            .map(move |(key, pieces)| (key, unpack_tracked(kern, pieces, i, b, key)))
+            .persist();
+
+        // CopyCol of the updated cross distances to the Phase-3 targets.
+        let copies = phase2.flat_map(move |(key, tb)| {
+            let (t, canonical_block) = if key.1 == i {
+                (key.0, tb.dist().clone())
+            } else {
+                (key.1, tb.dist().transpose())
+            };
+            copy_col(t, i, &canonical_block, q)
+                .into_iter()
+                .map(|(key, piece)| (key, promote(piece)))
+                .collect()
+        });
+
+        // Phase 3: pair and resolve the remaining blocks.
+        let off_stored = a
+            .filter(move |(key, _)| !in_column(key, i))
+            .map(|(key, tb)| (key, TrackedPiece::Stored(tb)));
+        let phase3: Rdd<TrackedRecord> = off_stored
+            .union(&copies)
+            .combine_by_key(
+                partitioner.clone(),
+                |p| vec![p],
+                |mut list, p| {
+                    list.push(p);
+                    list
+                },
+                |mut a, mut b| {
+                    a.append(&mut b);
+                    a
+                },
+            )
+            .map(move |(key, pieces)| (key, unpack_tracked(kern, pieces, i, b, key)));
+
+        let next = diag_rdd
+            .union_all(&[phase2.clone(), phase3])
+            .partition_by(partitioner.clone())
+            .persist();
+        next.count()?;
+        diag_rdd.unpersist();
+        phase2.unpersist();
+        a.unpersist();
+        a = next;
+    }
+
+    finish(ctx, run, a, q as u64)
+}
+
+// ---------------------------------------------------------------------------
+// 2D Floyd-Warshall (Algorithm 2), tracked
+// ---------------------------------------------------------------------------
+
+/// Tracked Algorithm 2: the broadcast pivot column stays a plain `f64`
+/// vector; every block applies the tracked rank-1 update, recording the
+/// (single, global) pivot as the via.
+pub(crate) fn solve_fw2d(
+    ctx: &SparkContext,
+    adjacency: &Matrix,
+    cfg: &SolverConfig,
+) -> Result<ApspResult, ApspError> {
+    let n = adjacency.order();
+    let run = begin(ctx, adjacency, cfg)?;
+    let (b, q) = (run.blocked.b, run.blocked.q);
+    let mut a: Rdd<TrackedRecord> = run.blocked.rdd.clone().persist();
+    let mut prev: Option<Rdd<TrackedRecord>> = None;
+
+    for k in 0..n {
+        let pivot_block = k / b;
+        let k_local = k % b;
+
+        let segments = a
+            .filter(move |(key, _)| in_column(key, pivot_block))
+            .flat_map(move |(key, tb)| extract_col_parts(&key, tb.dist(), pivot_block, k_local))
+            .collect()?;
+        let mut column = vec![INF; q * b];
+        for (row_block, values) in segments {
+            column[row_block * b..row_block * b + b].copy_from_slice(&values);
+        }
+        let bcast = ctx.broadcast(column);
+
+        let col = bcast.clone();
+        let next = a
+            .map(move |((i, j), mut tb)| {
+                let col_i = &col.value()[i * b..i * b + b];
+                let col_j = &col.value()[j * b..j * b + b];
+                tb.fw_update_outer(col_i, col_j, k);
+                ((i, j), tb)
+            })
+            .persist();
+
+        if let Some(old) = prev.take() {
+            old.unpersist();
+        }
+        prev = Some(a);
+        a = next;
+    }
+
+    finish(ctx, run, a, n as u64)
+}
+
+// ---------------------------------------------------------------------------
+// Repeated squaring (Algorithm 1), tracked
+// ---------------------------------------------------------------------------
+
+fn rs_col_key(step: usize, j: usize, k: usize) -> String {
+    format!("rsp:{step}:{j}:{k}")
+}
+
+/// Tracked Algorithm 1: column sweeps stage distance blocks exactly as the
+/// untracked solver. Each sweep target `(X, J)` receives one **seeded**
+/// contribution (its own stored record folded with `min(self, self ⊗ C_J)`)
+/// plus unseeded tracked partial products from the other records; the
+/// `reduceByKey` merge is the tracked `MatMin`, whose strict-`<` rule keeps
+/// the seeded estimate on ties — the seeding contract the tracked product
+/// kernels rely on (see `apsp_blockmat::parent`).
+pub(crate) fn solve_rs(
+    ctx: &SparkContext,
+    adjacency: &Matrix,
+    cfg: &SolverConfig,
+) -> Result<ApspResult, ApspError> {
+    let n = adjacency.order();
+    let run = begin(ctx, adjacency, cfg)?;
+    let (b, q) = (run.blocked.b, run.blocked.q);
+    let partitioner = run.partitioner.clone();
+    let mut a: Rdd<TrackedRecord> = run.blocked.rdd.clone().persist();
+    let kern = cfg.kernel;
+
+    let squarings = (n.max(2) as f64).log2().ceil() as usize;
+    let mut sweeps_done = 0u64;
+
+    for step in 0..squarings {
+        let mut sweeps: Vec<Rdd<TrackedRecord>> = Vec::with_capacity(q);
+        for j in 0..q {
+            // Stage column J's distance blocks in canonical orientation.
+            for ((x, y), tb) in a.filter(move |(key, _)| in_column(key, j)).collect()? {
+                if y == j {
+                    ctx.side_channel()
+                        .put_block(rs_col_key(step, j, x), tb.dist().clone());
+                }
+                if x == j && x != y {
+                    ctx.side_channel()
+                        .put_block(rs_col_key(step, j, y), tb.dist().transpose());
+                }
+            }
+
+            let side = ctx.clone();
+            let contributions = a.try_flat_map(move |((rec_i, rec_k), tb)| {
+                let mut out: Vec<TrackedRecord> = Vec::with_capacity(2);
+                if rec_i <= j {
+                    let c_k = side
+                        .side_channel()
+                        .get_block_arc(&rs_col_key(step, j, rec_k))?;
+                    if rec_k == j {
+                        // The target's own record: the seeded contribution.
+                        let mut seeded = tb.clone();
+                        seeded.min_plus_assign(kern, &c_k, Offsets::blocks(b, rec_k, rec_i, j));
+                        out.push(((rec_i, j), seeded));
+                    } else {
+                        out.push((
+                            (rec_i, j),
+                            TrackedBlock::min_plus_product(
+                                kern,
+                                tb.dist(),
+                                &c_k,
+                                Offsets::blocks(b, rec_k, rec_i, j),
+                            ),
+                        ));
+                    }
+                }
+                if rec_k <= j && rec_i != rec_k {
+                    let c_i = side
+                        .side_channel()
+                        .get_block_arc(&rs_col_key(step, j, rec_i))?;
+                    out.push((
+                        (rec_k, j),
+                        TrackedBlock::min_plus_product(
+                            kern,
+                            &tb.dist().transpose(),
+                            &c_i,
+                            Offsets::blocks(b, rec_i, rec_k, j),
+                        ),
+                    ));
+                }
+                Ok(out)
+            });
+            let t_j = contributions.reduce_by_key(partitioner.clone(), |mut x, y| {
+                x.mat_min_assign(&y);
+                x
+            });
+            sweeps.push(t_j);
+            sweeps_done += 1;
+        }
+
+        let next = sweeps[0].union_all(&sweeps[1..]).persist();
+        next.count()?;
+        for j in 0..q {
+            for k in 0..q {
+                ctx.side_channel().remove(&rs_col_key(step, j, k));
+            }
+        }
+        a.unpersist();
+        a = next;
+    }
+
+    finish(ctx, run, a, sweeps_done)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::solver::{ApspSolver, SolverConfig};
+    use crate::{BlockedCollectBroadcast, BlockedInMemory, FloydWarshall2D, RepeatedSquaring};
+    use apsp_graph::{dijkstra, generators};
+    use sparklet::{SparkConfig, SparkContext};
+
+    fn ctx() -> SparkContext {
+        SparkContext::new(SparkConfig::with_cores(4))
+    }
+
+    fn check_solver(solver: &dyn ApspSolver, n: usize, b: usize, seed: u64) {
+        let g = generators::erdos_renyi_paper(n, 0.1, seed);
+        let adj = g.to_dense();
+        let res = solver
+            .solve(&ctx(), &adj, &SolverConfig::new(b).with_paths())
+            .unwrap_or_else(|e| panic!("{} failed: {e}", solver.name()));
+        assert!(
+            res.parents().is_some(),
+            "{} returned no parents",
+            solver.name()
+        );
+        let oracle = dijkstra::apsp_dijkstra(&g);
+        assert!(
+            res.distances().approx_eq(&oracle, 1e-9).is_ok(),
+            "{}: tracked distances diverge from Dijkstra",
+            solver.name()
+        );
+        let dap = res.into_paths().unwrap();
+        dap.validate_against(&adj, 1e-9)
+            .unwrap_or_else(|e| panic!("{}: {e}", solver.name()));
+    }
+
+    #[test]
+    fn tracked_cb_round_trips() {
+        check_solver(&BlockedCollectBroadcast, 60, 16, 7);
+        check_solver(&BlockedCollectBroadcast, 45, 16, 15); // uneven tail
+    }
+
+    #[test]
+    fn tracked_im_round_trips() {
+        check_solver(&BlockedInMemory, 60, 16, 8);
+        check_solver(&BlockedInMemory, 30, 15, 31);
+    }
+
+    #[test]
+    fn tracked_fw2d_round_trips() {
+        check_solver(&FloydWarshall2D, 37, 8, 3);
+    }
+
+    #[test]
+    fn tracked_rs_round_trips() {
+        check_solver(&RepeatedSquaring, 48, 12, 44);
+        check_solver(&RepeatedSquaring, 29, 9, 5);
+    }
+
+    #[test]
+    fn tracked_matches_untracked_distances_exactly_per_solver() {
+        // Tracking must be a pure observer: the distance matrix of a
+        // tracked solve is bit-identical to the untracked solve for the
+        // blocked solvers (same relaxation order, strict-< vs min is
+        // value-equivalent).
+        let g = generators::erdos_renyi_paper(40, 0.1, 12);
+        let adj = g.to_dense();
+        for solver in [
+            &BlockedCollectBroadcast as &dyn ApspSolver,
+            &BlockedInMemory,
+            &FloydWarshall2D,
+        ] {
+            let plain = solver.solve(&ctx(), &adj, &SolverConfig::new(12)).unwrap();
+            let tracked = solver
+                .solve(&ctx(), &adj, &SolverConfig::new(12).with_paths())
+                .unwrap();
+            assert!(
+                tracked
+                    .distances()
+                    .approx_eq(plain.distances(), 0.0)
+                    .is_ok(),
+                "{}: tracked distances not bit-identical",
+                solver.name()
+            );
+        }
+    }
+
+    #[test]
+    fn long_path_graph_reconstructs_every_pair() {
+        // Worst case for via recursion depth: all-pairs paths on a line.
+        let g = generators::path(40);
+        let adj = g.to_dense();
+        let res = BlockedCollectBroadcast
+            .solve(&ctx(), &adj, &SolverConfig::new(8).with_paths())
+            .unwrap();
+        let dap = res.into_paths().unwrap();
+        for i in 0..40 {
+            for j in 0..40 {
+                let p = dap.reconstruct(i, j).unwrap();
+                assert_eq!(p.len(), i.abs_diff(j) + 1, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_reconstruct_to_none() {
+        let mut g = apsp_graph::Graph::new(12);
+        g.add_edge(0, 1, 3.0);
+        g.add_edge(5, 7, 1.0);
+        let res = BlockedInMemory
+            .solve(&ctx(), &g.to_dense(), &SolverConfig::new(4).with_paths())
+            .unwrap();
+        let dap = res.into_paths().unwrap();
+        assert_eq!(dap.reconstruct(0, 5), None);
+        assert_eq!(dap.reconstruct(0, 1), Some(vec![0, 1]));
+        assert_eq!(dap.reconstruct(7, 5), Some(vec![7, 5]));
+    }
+
+    #[test]
+    fn non_tracking_solvers_reject_with_paths() {
+        use crate::solver::ApspError;
+        let g = generators::cycle(8);
+        let cfg = SolverConfig::new(4).with_paths();
+        for solver in [
+            &crate::CartesianSquaring as &dyn ApspSolver,
+            &crate::DistributedJohnson,
+        ] {
+            let err = solver.solve(&ctx(), &g.to_dense(), &cfg).unwrap_err();
+            assert!(
+                matches!(err, ApspError::InvalidConfig(_)),
+                "{} must reject with_paths explicitly",
+                solver.name()
+            );
+        }
+    }
+
+    #[test]
+    fn untracked_solve_has_no_parents() {
+        let g = generators::cycle(10);
+        let res = BlockedCollectBroadcast
+            .solve(&ctx(), &g.to_dense(), &SolverConfig::new(4))
+            .unwrap();
+        assert!(res.parents().is_none());
+        assert!(res.into_paths().is_none());
+    }
+}

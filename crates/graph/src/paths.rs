@@ -2,13 +2,26 @@
 //!
 //! The paper computes only path lengths ("we focus on computing length of
 //! all pairs shortest paths (i.e., no paths themselves)", §3). Downstream
-//! users routinely need the witnesses too, so the library provides the
-//! standard successor-matrix extension: Floyd-Warshall tracking, for each
-//! pair `(i, j)`, the first hop of a shortest `i → j` path, from which any
-//! path is extracted in `O(length)`.
+//! users routinely need the witnesses too, so the library provides two
+//! extensions:
+//!
+//! * the classic **successor matrix** ([`PathMatrix`],
+//!   [`floyd_warshall_paths`]): `succ[i][j]` is the first hop of a
+//!   shortest `i → j` path — the natural representation for a *sequential*
+//!   Floyd-Warshall, where the `succ[i][k]` operand entry is always at
+//!   hand;
+//! * the **via (parent) matrix** ([`ParentMatrix`],
+//!   [`DistancesAndParents`], [`floyd_warshall_vias`]): each cell records
+//!   an *interior vertex* of a shortest path (the winning `k` of the last
+//!   relaxation), from which [`DistancesAndParents::reconstruct`] expands
+//!   the full path by divide and conquer. This is the representation the
+//!   distributed solvers produce (`SolverConfig::with_paths()` in
+//!   `apsp-core`), because a via cell updates from plain *distance*
+//!   operands and survives the symmetric upper-triangle block storage —
+//!   see `apsp_blockmat::parent` for the kernel-level rationale.
 
 use crate::Graph;
-use apsp_blockmat::{Matrix, INF};
+use apsp_blockmat::{Matrix, INF, NO_VIA};
 
 /// Distances plus a successor matrix for path extraction.
 #[derive(Clone, Debug)]
@@ -89,6 +102,210 @@ impl PathMatrix {
         }
         Ok(())
     }
+}
+
+/// A vertex identifier, matching [`Graph`]'s `u32` vertex ids.
+pub type NodeId = u32;
+
+/// An `n × n` matrix of *via* entries: `via(i, j)` is the global id of an
+/// interior vertex on one shortest `i → j` path (the argmin `k` recorded
+/// by the tracked min-plus kernels), or [`NO_VIA`] when the best path is
+/// the direct edge (or the cell is diagonal / unreachable).
+///
+/// On undirected instances the via relation is symmetric — an interior
+/// vertex of a shortest `i → j` path is interior to the reversed path —
+/// which is what lets the distributed solvers assemble a full matrix from
+/// upper-triangular tracked blocks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParentMatrix {
+    n: usize,
+    via: Vec<u32>,
+}
+
+impl ParentMatrix {
+    /// Wraps a flat row-major via buffer of length `n²`.
+    ///
+    /// # Panics
+    /// Panics if `via.len() != n * n`.
+    pub fn from_vias(n: usize, via: Vec<u32>) -> Self {
+        assert_eq!(via.len(), n * n, "via buffer length must be n^2");
+        ParentMatrix { n, via }
+    }
+
+    /// Matrix order `n`.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// The via entry for `(i, j)`, or `None` when the cell records no
+    /// intermediate vertex.
+    pub fn via(&self, i: usize, j: usize) -> Option<NodeId> {
+        assert!(i < self.n && j < self.n, "vertex out of range");
+        match self.via[i * self.n + j] {
+            NO_VIA => None,
+            k => Some(k),
+        }
+    }
+}
+
+/// Distances plus the via matrix that reconstructs their witness paths —
+/// what the distributed solvers return under `SolverConfig::with_paths()`.
+#[derive(Clone, Debug)]
+pub struct DistancesAndParents {
+    distances: Matrix,
+    parents: ParentMatrix,
+}
+
+impl DistancesAndParents {
+    /// Pairs a distance matrix with its via matrix.
+    ///
+    /// # Panics
+    /// Panics if the orders differ.
+    pub fn new(distances: Matrix, parents: ParentMatrix) -> Self {
+        assert_eq!(
+            distances.order(),
+            parents.order(),
+            "distance and parent matrices must have the same order"
+        );
+        DistancesAndParents { distances, parents }
+    }
+
+    /// The distance matrix.
+    pub fn distances(&self) -> &Matrix {
+        &self.distances
+    }
+
+    /// The via matrix.
+    pub fn parents(&self) -> &ParentMatrix {
+        &self.parents
+    }
+
+    /// Shortest distance from `i` to `j`.
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        self.distances.get(i, j)
+    }
+
+    /// Splits into the distance and parent matrices.
+    pub fn into_parts(self) -> (Matrix, ParentMatrix) {
+        (self.distances, self.parents)
+    }
+
+    /// Reconstructs the vertex sequence of one shortest `i → j` path, or
+    /// `None` when `j` is unreachable from `i`. The path includes both
+    /// endpoints; `reconstruct(i, i)` is `[i]`.
+    ///
+    /// Runs in `O(length)` by expanding each via cell into its two
+    /// sub-segments until a cell reports a direct edge.
+    ///
+    /// # Panics
+    /// Panics on out-of-range vertices, and on a via matrix whose
+    /// expansion does not terminate — impossible for the matrices produced
+    /// by this workspace's tracked solvers on strictly positive weights,
+    /// but constructible by hand (or by zero-weight ties, which tracked
+    /// relaxations never record thanks to strict-`<` updates; the guard is
+    /// defense in depth).
+    pub fn reconstruct(&self, i: usize, j: usize) -> Option<Vec<NodeId>> {
+        let n = self.parents.n;
+        assert!(i < n && j < n, "vertex out of range");
+        if i == j {
+            return Some(vec![i as NodeId]);
+        }
+        if !self.distances.get(i, j).is_finite() {
+            return None;
+        }
+        let mut out = vec![i as NodeId];
+        // Depth-first, left-to-right expansion of (i, j) segments.
+        let mut stack: Vec<(u32, u32)> = vec![(i as u32, j as u32)];
+        // A valid expansion visits at most 2·n segments (the recursion
+        // tree over a simple path of ≤ n vertices).
+        let mut budget = 4 * n + 4;
+        while let Some((a, b)) = stack.pop() {
+            budget -= 1;
+            assert!(budget > 0, "via expansion for ({i},{j}) does not terminate");
+            match self.parents.via(a as usize, b as usize) {
+                None => out.push(b),
+                Some(k) => {
+                    debug_assert!(k != a && k != b, "degenerate via {k} at ({a},{b})");
+                    stack.push((k, b));
+                    stack.push((a, k));
+                }
+            }
+        }
+        Some(out)
+    }
+
+    /// Checks the defining invariant: every reconstructed path walks real
+    /// edges of `adjacency` and its edge-sum equals the reported distance.
+    /// Used by tests and examples; `O(n³)` worst case.
+    pub fn validate_against(&self, adjacency: &Matrix, tol: f64) -> Result<(), String> {
+        let n = self.parents.n;
+        for i in 0..n {
+            for j in 0..n {
+                match self.reconstruct(i, j) {
+                    None => {
+                        if self.distance(i, j).is_finite() {
+                            return Err(format!("({i},{j}): finite distance but no path"));
+                        }
+                    }
+                    Some(p) => {
+                        let mut sum = 0.0;
+                        for w in p.windows(2) {
+                            let edge = adjacency.get(w[0] as usize, w[1] as usize);
+                            if !edge.is_finite() {
+                                return Err(format!(
+                                    "({i},{j}): path uses non-edge {}→{}",
+                                    w[0], w[1]
+                                ));
+                            }
+                            sum += edge;
+                        }
+                        let d = self.distance(i, j);
+                        if (sum - d).abs() > tol {
+                            return Err(format!("({i},{j}): path sum {sum} != distance {d}"));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Floyd-Warshall with via tracking over a dense adjacency matrix: the
+/// sequential oracle for the distributed path-tracking solvers (works for
+/// directed inputs too).
+///
+/// ```
+/// use apsp_graph::{generators, paths};
+///
+/// let g = generators::path(5);
+/// let dap = paths::floyd_warshall_vias(&g.to_dense());
+/// assert_eq!(dap.reconstruct(0, 3), Some(vec![0, 1, 2, 3]));
+/// assert_eq!(dap.distance(0, 3), 3.0);
+/// ```
+pub fn floyd_warshall_vias(adjacency: &Matrix) -> DistancesAndParents {
+    let n = adjacency.order();
+    let mut dist = adjacency.clone();
+    let mut via = vec![NO_VIA; n * n];
+    for k in 0..n {
+        for i in 0..n {
+            if i == k {
+                continue;
+            }
+            let dik = dist.get(i, k);
+            if dik == INF {
+                continue;
+            }
+            for j in 0..n {
+                let cand = dik + dist.get(k, j);
+                if cand < dist.get(i, j) {
+                    dist.set(i, j, cand);
+                    via[i * n + j] = k as u32;
+                }
+            }
+        }
+    }
+    DistancesAndParents::new(dist, ParentMatrix::from_vias(n, via))
 }
 
 /// Floyd-Warshall with successor tracking over a dense adjacency matrix
@@ -192,5 +409,98 @@ mod tests {
         assert_eq!(p.len() as f64 - 1.0, pm.distance(0, 19));
         assert_eq!(p.first(), Some(&0));
         assert_eq!(p.last(), Some(&19));
+    }
+
+    #[test]
+    fn vias_on_a_line() {
+        let dap = floyd_warshall_vias(&generators::path(6).to_dense());
+        assert_eq!(dap.reconstruct(0, 4), Some(vec![0, 1, 2, 3, 4]));
+        assert_eq!(dap.reconstruct(4, 1), Some(vec![4, 3, 2, 1]));
+        assert_eq!(dap.reconstruct(3, 3), Some(vec![3]));
+        assert_eq!(dap.parents().via(0, 1), None, "direct edge has no via");
+        let v = dap.parents().via(0, 4).unwrap();
+        assert!((1..=3).contains(&v));
+    }
+
+    #[test]
+    fn vias_take_the_shortcut() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(0, 3, 2.5); // cheaper than 0-1-2-3
+        let dap = floyd_warshall_vias(&g.to_dense());
+        assert_eq!(dap.reconstruct(0, 3), Some(vec![0, 3]));
+        assert_eq!(dap.distance(0, 3), 2.5);
+    }
+
+    #[test]
+    fn vias_unreachable_is_none() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        let dap = floyd_warshall_vias(&g.to_dense());
+        assert_eq!(dap.reconstruct(0, 2), None);
+        assert_eq!(dap.reconstruct(2, 0), None);
+    }
+
+    #[test]
+    fn vias_round_trip_against_dijkstra() {
+        // The acceptance invariant of the path subsystem: reconstructed
+        // path weights equal the Dijkstra oracle's distances.
+        for seed in [2u64, 11, 23] {
+            let g = generators::erdos_renyi_paper(60, 0.1, seed);
+            let adj = g.to_dense();
+            let dap = floyd_warshall_vias(&adj);
+            let oracle = crate::dijkstra::apsp_dijkstra(&g);
+            assert!(
+                dap.distances().approx_eq(&oracle, 1e-9).is_ok(),
+                "seed {seed}: distances diverge from Dijkstra"
+            );
+            dap.validate_against(&adj, 1e-9)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn directed_vias_respect_one_way() {
+        let g = generators::erdos_renyi_directed(24, 0.15, 3);
+        let adj = g.to_dense();
+        let dap = floyd_warshall_vias(&adj);
+        dap.validate_against(&adj, 1e-9).unwrap();
+    }
+
+    #[test]
+    fn vias_agree_with_successor_paths_on_length() {
+        let g = generators::grid(4, 5);
+        let adj = g.to_dense();
+        let dap = floyd_warshall_vias(&adj);
+        let pm = apsp_paths(&g);
+        for (i, j) in [(0usize, 19usize), (7, 12), (19, 0)] {
+            let a = dap.reconstruct(i, j).unwrap();
+            let b = pm.path(i, j).unwrap();
+            // Shortest paths may differ, but their lengths cannot.
+            assert_eq!(a.len(), b.len(), "({i},{j})");
+            assert_eq!(a.first(), Some(&(i as u32)));
+            assert_eq!(a.last(), Some(&(j as u32)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not terminate")]
+    fn hand_built_via_cycle_is_caught() {
+        // via(0,1) = 2 and via(0,2) = 1 can never be produced by the
+        // tracked kernels; the expansion budget must catch it.
+        let mut via = vec![NO_VIA; 9];
+        via[1] = 2; // (0,1) -> 2
+        via[2] = 1; // (0,2) -> 1
+        let mut m = Matrix::identity(3);
+        m.set(0, 1, 1.0);
+        m.set(0, 2, 1.0);
+        m.set(1, 2, 1.0);
+        m.set(2, 1, 1.0);
+        m.set(1, 0, 1.0);
+        m.set(2, 0, 1.0);
+        let dap = DistancesAndParents::new(m, ParentMatrix::from_vias(3, via));
+        let _ = dap.reconstruct(0, 1);
     }
 }

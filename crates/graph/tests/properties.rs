@@ -1,7 +1,7 @@
 //! Property-based tests of the graph layer: generator invariants and
 //! oracle agreement.
 
-use apsp_graph::{dijkstra, floyd_warshall, generators, johnson};
+use apsp_graph::{dijkstra, floyd_warshall, generators, johnson, paths};
 use proptest::prelude::*;
 
 proptest! {
@@ -94,5 +94,40 @@ proptest! {
             blocks.into_iter().enumerate().map(|(idx, blk)| ((idx / q, idx % q), blk)),
         );
         prop_assert_eq!(back, m);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Round-trip property of the new via-matrix path subsystem: on any
+    /// random instance, every reconstructed path walks real edges and its
+    /// weight equals the Dijkstra oracle's distance.
+    #[test]
+    fn via_paths_round_trip_against_dijkstra(n in 2usize..48, seed in any::<u64>()) {
+        let g = generators::erdos_renyi_paper(n, 0.1, seed);
+        let adj = g.to_dense();
+        let dap = paths::floyd_warshall_vias(&adj);
+        let oracle = dijkstra::apsp_dijkstra(&g);
+        prop_assert!(dap.distances().approx_eq(&oracle, 1e-9).is_ok());
+        prop_assert!(dap.validate_against(&adj, 1e-9).is_ok());
+    }
+
+    /// The tracked blocked Kleene closure agrees with the sequential
+    /// via-tracking oracle for any block size, including b > n.
+    #[test]
+    fn tracked_closure_round_trips(n in 2usize..32, b in 1usize..40, seed in any::<u64>()) {
+        let g = generators::erdos_renyi_paper(n, 0.1, seed);
+        let adj = g.to_dense();
+        let mut tc = apsp_blockmat::closure::TrackedClosure::from_matrix(&adj, b);
+        tc.closure_in_place(apsp_blockmat::kernels::MinPlusKernel::Auto);
+        let (dist, via) = tc.into_parts();
+        let dap = paths::DistancesAndParents::new(
+            dist,
+            paths::ParentMatrix::from_vias(n, via),
+        );
+        let oracle = dijkstra::apsp_dijkstra(&g);
+        prop_assert!(dap.distances().approx_eq(&oracle, 1e-9).is_ok());
+        prop_assert!(dap.validate_against(&adj, 1e-9).is_ok());
     }
 }

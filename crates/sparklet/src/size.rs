@@ -98,6 +98,18 @@ impl EstimateSize for Matrix {
     }
 }
 
+impl EstimateSize for apsp_blockmat::ParentBlock {
+    fn estimate_bytes(&self) -> usize {
+        std::mem::size_of::<apsp_blockmat::ParentBlock>() + self.size_bytes()
+    }
+}
+
+impl EstimateSize for apsp_blockmat::TrackedBlock {
+    fn estimate_bytes(&self) -> usize {
+        std::mem::size_of::<apsp_blockmat::TrackedBlock>() + self.size_bytes()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

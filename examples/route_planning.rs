@@ -1,12 +1,16 @@
-//! Route planning: shortest *paths* (not just lengths) and distributed
-//! distance queries.
+//! Route planning: shortest *paths* (not just lengths), reconstructed
+//! from a distributed solve, plus distributed distance queries.
 //!
-//! The paper computes only path lengths (§3); this example shows the two
+//! The paper computes only path lengths (§3); this example shows the
 //! library extensions downstream users reach for first:
 //!
-//! 1. witness paths via the successor-matrix Floyd-Warshall
-//!    (`apspark::graph::paths`), and
-//! 2. querying a *distributed* result without collecting the full `n²`
+//! 1. witness paths from a **distributed** solver via
+//!    `SolverConfig::with_paths()` — the blocked engine tracks, per cell,
+//!    the argmin of the winning relaxation, and `reconstruct` expands the
+//!    actual route,
+//! 2. the sequential successor-matrix Floyd-Warshall
+//!    (`apspark::graph::paths`) as the cross-checking oracle, and
+//! 3. querying a *distributed* result without collecting the full `n²`
 //!    matrix to the driver (`solve_distributed`), which is what makes
 //!    paper-scale results usable at all (550 GB at `n = 262144`).
 //!
@@ -37,21 +41,32 @@ fn main() {
     for k in 0..7 {
         g.add_edge(id(k, k), id(k + 1, k + 1), 1.0);
     }
-
-    // 1. Witness paths (sequential successor-matrix FW).
-    let pm = paths::apsp_paths(&g);
+    let adj = g.to_dense();
     let from = id(0, 0) as usize;
     let to = id(7, 7) as usize;
-    let route = pm.path(from, to).expect("connected");
+
+    // 1. Distributed solve with path tracking: the Blocked-CB engine
+    //    records, per cell, the winning relaxation's intermediate vertex.
+    let ctx = SparkContext::new(SparkConfig::with_cores(4));
+    let result = BlockedCollectBroadcast
+        .solve(&ctx, &adj, &SolverConfig::new(16).with_paths())
+        .expect("solve failed");
+    let dap = result.into_paths().expect("with_paths was set");
+    let route = dap.reconstruct(from, to).expect("connected");
     println!(
-        "route {from} → {to}: distance {}, via {} hops",
-        pm.distance(from, to),
+        "route {from} → {to}: distance {}, via {} hops:",
+        dap.distance(from, to),
         route.len() - 1
     );
+    let pretty: Vec<String> = route
+        .iter()
+        .map(|&v| format!("({},{})", v as usize / cols, v as usize % cols))
+        .collect();
+    println!("  {}", pretty.join(" → "));
     let on_highway = route
         .windows(2)
         .filter(|w| {
-            let (a, b) = (w[0], w[1]);
+            let (a, b) = (w[0] as usize, w[1] as usize);
             let (ra, ca) = (a / cols, a % cols);
             let (rb, cb) = (b / cols, b % cols);
             ra != rb && ca != cb // diagonal move = highway hop
@@ -62,16 +77,22 @@ fn main() {
         route.len() - 1
     );
     assert_eq!(on_highway, 7, "the cheap diagonal must be taken end-to-end");
-    pm.validate_against(&g.to_dense(), 1e-9)
+    dap.validate_against(&adj, 1e-9)
         .expect("path invariant violated");
 
-    // 2. Distributed solve + point queries (no full collection).
-    let ctx = SparkContext::new(SparkConfig::with_cores(4));
+    // 2. Cross-check against the sequential successor-matrix oracle.
+    let pm = paths::apsp_paths(&g);
+    assert!((dap.distance(from, to) - pm.distance(from, to)).abs() < 1e-9);
+    let oracle_route = pm.path(from, to).expect("connected");
+    assert_eq!(route.len(), oracle_route.len(), "same optimal hop count");
+    println!("sequential successor-matrix oracle agrees on the hop count");
+
+    // 3. Distributed solve + point queries (no full collection).
     let dd = BlockedCollectBroadcast
-        .solve_distributed(&ctx, &g.to_dense(), &SolverConfig::new(16))
+        .solve_distributed(&ctx, &adj, &SolverConfig::new(16))
         .expect("solve failed");
     let d = dd.distance(from, to).expect("query failed");
-    assert!((d - pm.distance(from, to)).abs() < 1e-9);
+    assert!((d - dap.distance(from, to)).abs() < 1e-9);
     println!("distributed point query agrees: d({from},{to}) = {d}");
     let row = dd.row(from).expect("row query failed");
     let furthest = row

@@ -45,8 +45,8 @@ pub use sparklet;
 pub mod prelude {
     pub use apsp_blockmat::{Block, Matrix, INF};
     pub use apsp_core::{
-        ApspResult, ApspSolver, BlockedCollectBroadcast, BlockedInMemory, FloydWarshall2D,
-        RepeatedSquaring, SolverConfig,
+        ApspResult, ApspSolver, BlockedCollectBroadcast, BlockedInMemory, DistancesAndParents,
+        FloydWarshall2D, ParentMatrix, RepeatedSquaring, SolverConfig,
     };
     pub use apsp_graph::Graph;
     pub use sparklet::{SparkConfig, SparkContext};

@@ -1,0 +1,122 @@
+//! Integration: path reconstruction round-trips for **all six solvers**.
+//!
+//! The acceptance invariant of the parent-tracking subsystem: for every
+//! solver, on random instances, (a) tracked distances agree with the
+//! Dijkstra oracle, and (b) every reconstructed path walks real edges of
+//! the input and its edge-sum equals the reported distance
+//! (`validate_against`, which exercises `reconstruct` for all `n²` pairs).
+
+use apspark::core::{MpiDcApsp, MpiFw2d};
+use apspark::graph::paths::DistancesAndParents;
+use apspark::graph::{dijkstra, generators};
+use apspark::prelude::*;
+
+fn ctx() -> SparkContext {
+    SparkContext::new(SparkConfig::with_cores(4))
+}
+
+/// Random instances shared by all solver checks: a paper-family random
+/// graph with an uneven tail block, plus a structured long-path graph.
+fn instances() -> Vec<apspark::graph::Graph> {
+    vec![
+        generators::erdos_renyi_paper(61, 0.1, 0xC0FFEE),
+        generators::path(23),
+    ]
+}
+
+fn check(name: &str, g: &apspark::graph::Graph, dap: &DistancesAndParents) {
+    let adj = g.to_dense();
+    let oracle = dijkstra::apsp_dijkstra(g);
+    assert!(
+        dap.distances().approx_eq(&oracle, 1e-9).is_ok(),
+        "{name}: tracked distances diverge from the Dijkstra oracle"
+    );
+    dap.validate_against(&adj, 1e-9)
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
+}
+
+#[test]
+fn spark_solvers_reconstruct_paths() {
+    let solvers: [&dyn ApspSolver; 4] = [
+        &RepeatedSquaring,
+        &FloydWarshall2D,
+        &BlockedInMemory,
+        &BlockedCollectBroadcast,
+    ];
+    let sc = ctx();
+    for g in &instances() {
+        let adj = g.to_dense();
+        for solver in solvers {
+            let res = solver
+                .solve(&sc, &adj, &SolverConfig::new(16).with_paths())
+                .unwrap_or_else(|e| panic!("{} failed: {e}", solver.name()));
+            let dap = res.into_paths().expect("with_paths must yield parents");
+            check(solver.name(), g, &dap);
+        }
+    }
+}
+
+#[test]
+fn mpi_baselines_reconstruct_paths() {
+    for g in &instances() {
+        let adj = g.to_dense();
+
+        let (run, parents) = MpiFw2d::new(2)
+            .solve_matrix_paths(&adj)
+            .expect("FW-2D tracked solve failed");
+        check(
+            "MPI FW-2D",
+            g,
+            &DistancesAndParents::new(run.distances, parents),
+        );
+
+        let (run, parents) = MpiDcApsp::new(3)
+            .solve_matrix_paths(&adj)
+            .expect("DC tracked solve failed");
+        check(
+            "MPI DC",
+            g,
+            &DistancesAndParents::new(run.distances, parents),
+        );
+    }
+}
+
+#[test]
+fn every_solver_finds_an_equal_weight_route_between_fixed_endpoints() {
+    // A graph where the shortest 0 → 9 route is unique: a chain of cheap
+    // edges under a costly shortcut. Every solver must reconstruct it.
+    let mut g = apspark::graph::Graph::new(10);
+    for i in 0..9u32 {
+        g.add_edge(i, i + 1, 1.0);
+    }
+    g.add_edge(0, 9, 25.0); // decoy
+    let adj = g.to_dense();
+    let want: Vec<u32> = (0..10).collect();
+
+    let sc = ctx();
+    let spark: [&dyn ApspSolver; 4] = [
+        &RepeatedSquaring,
+        &FloydWarshall2D,
+        &BlockedInMemory,
+        &BlockedCollectBroadcast,
+    ];
+    for solver in spark {
+        let dap = solver
+            .solve(&sc, &adj, &SolverConfig::new(4).with_paths())
+            .unwrap()
+            .into_paths()
+            .unwrap();
+        assert_eq!(
+            dap.reconstruct(0, 9).unwrap(),
+            want,
+            "{} picked a non-optimal route",
+            solver.name()
+        );
+    }
+    let (run, parents) = MpiFw2d::new(2).solve_matrix_paths(&adj).unwrap();
+    let dap = DistancesAndParents::new(run.distances, parents);
+    assert_eq!(dap.reconstruct(0, 9).unwrap(), want, "MPI FW-2D");
+    let (run, parents) = MpiDcApsp::new(2).solve_matrix_paths(&adj).unwrap();
+    let dap = DistancesAndParents::new(run.distances, parents);
+    assert_eq!(dap.reconstruct(0, 9).unwrap(), want, "MPI DC");
+}
