@@ -13,7 +13,10 @@
 
 use apsp_bench::{HarnessArgs, TextTable};
 use apsp_blockmat::kernels::{self, MinPlusKernel};
-use apsp_blockmat::{Block, Offsets, ParentBlock};
+use apsp_blockmat::{
+    AlgBlock, Block, BoolSemiring, BottleneckF64, ElemBlock, Offsets, ParentBlock, Reachability,
+    Widest,
+};
 use std::time::Instant;
 
 /// Timed samples per (kernel, side) point; the best is recorded.
@@ -40,6 +43,17 @@ struct TrackedPoint {
 }
 
 #[derive(serde::Serialize)]
+struct AlgebraPoint {
+    algebra: String,
+    side: usize,
+    seconds: f64,
+    gops_equiv: f64,
+    /// Generic-loop time over the packed tropical fold at the same side —
+    /// what the non-specialized algebras pay for having no packed tier.
+    slowdown_vs_tropical: f64,
+}
+
+#[derive(serde::Serialize)]
 struct Baseline {
     description: &'static str,
     ops_model: &'static str,
@@ -47,6 +61,9 @@ struct Baseline {
     minplus: Vec<KernelPoint>,
     /// Tracked (argmin-recording) kernel tier, PR 3.
     tracked: Vec<TrackedPoint>,
+    /// Non-tropical path algebras on the generic fallback loops, PR 4:
+    /// bottleneck (max, min) and boolean (∨, ∧) fold-products.
+    algebra: Vec<AlgebraPoint>,
     floyd_warshall: Vec<KernelPoint>,
 }
 
@@ -178,6 +195,74 @@ fn main() {
         }
     }
 
+    // Non-tropical path algebras: the bottleneck (max, min) and boolean
+    // (∨, ∧) fold-products run on the generic fallback loops — these rows
+    // quantify what a workload pays until it gets a packed tier of its
+    // own, and guard against the tropical fold accidentally landing on
+    // the same (slow) path.
+    let mut algebra = Vec::new();
+    let mut atable = TextTable::new(&["side", "algebra", "time", "GOP-eq/s", "vs tropical"]);
+    let o0 = Offsets {
+        k: 0,
+        row: 0,
+        col: 0,
+    };
+    for &b in sides {
+        let ops = 2.0 * (b as f64).powi(3);
+        let a = dense_block(b, 2);
+        let x = dense_block(b, 3);
+        let mut c = Block::infinity(b);
+        let tropical_secs = best_of(|| {
+            c.data_mut().fill(apsp_blockmat::INF);
+            kernels::min_plus_into_with(MinPlusKernel::Auto, &a, &x, &mut c);
+        });
+
+        let cap = |seed: usize| {
+            ElemBlock::<BottleneckF64>::from_fn(b, |i, j| {
+                if i == j {
+                    f64::INFINITY
+                } else {
+                    1.0 + ((i * 31 + j * 17 + seed) % 97) as f64
+                }
+            })
+        };
+        let (wa, wx) = (cap(2), cap(3));
+        let mut wc = AlgBlock::<Widest>::from_dist(ElemBlock::zeros(b));
+        let widest_secs = best_of(|| {
+            wc.dist_mut().data_mut().fill(0.0);
+            wc.min_plus_into_self(MinPlusKernel::Auto, &wa, &wx, o0);
+        });
+
+        // Fully dense operands, like the capacity blocks above: the
+        // generic loop's `0̄`-skip elides whole inner rows on sparse
+        // inputs, which would flatter the measured rate — these rows
+        // must charge 2·b³ op-equivalents to 2·b³ executed ops.
+        let bools = |_seed: usize| ElemBlock::<BoolSemiring>::filled(b, true);
+        let (ba, bx) = (bools(2), bools(3));
+        let mut bc = AlgBlock::<Reachability>::from_dist(ElemBlock::zeros(b));
+        let bool_secs = best_of(|| {
+            bc.dist_mut().data_mut().fill(false);
+            bc.min_plus_into_self(MinPlusKernel::Auto, &ba, &bx, o0);
+        });
+
+        for (name, secs) in [("bottleneck", widest_secs), ("boolean", bool_secs)] {
+            algebra.push(AlgebraPoint {
+                algebra: name.into(),
+                side: b,
+                seconds: secs,
+                gops_equiv: ops / secs / 1e9,
+                slowdown_vs_tropical: secs / tropical_secs,
+            });
+            atable.row(vec![
+                b.to_string(),
+                name.into(),
+                format!("{:.3}ms", secs * 1e3),
+                format!("{:.2}", ops / secs / 1e9),
+                format!("{:.2}×", secs / tropical_secs),
+            ]);
+        }
+    }
+
     let mut floyd_warshall = Vec::new();
     for &b in sides {
         let base = dense_block(b, 1);
@@ -200,6 +285,8 @@ fn main() {
     print!("{}", table.render());
     println!("\ntracked (argmin-recording) kernels, overhead vs untracked auto-dispatch:\n");
     print!("{}", ttable.render());
+    println!("\npath-algebra generic fallback loops (fold c = c ⊕ (a ⊗ b)):\n");
+    print!("{}", atable.render());
     println!("\nFloyd-Warshall in place:");
     for p in &floyd_warshall {
         println!(
@@ -224,12 +311,14 @@ fn main() {
     };
     let baseline = Baseline {
         description: "Kernel-engine perf trajectory: min-plus product and in-place \
-                      Floyd-Warshall rates per kernel tier, plus the tracked \
-                      (argmin-recording) tier's overhead",
+                      Floyd-Warshall rates per kernel tier, the tracked \
+                      (argmin-recording) tier's overhead, and the generic \
+                      path-algebra fallback loops (bottleneck/boolean)",
         ops_model: "2*b^3 flop-equivalents per product (one add + one min per inner step)",
         samples: SAMPLES,
         minplus: sanitize(minplus),
         tracked,
+        algebra,
         floyd_warshall: sanitize(floyd_warshall),
     };
     match apsp_bench::write_json("BENCH_kernels", &baseline) {

@@ -3,6 +3,57 @@
 
 use apsp_bench::{fmt_duration, TextTable};
 
+/// Regression guard for the hot path: the tropical auto-dispatch must
+/// keep selecting the packed/parallel `f64` tiers at solver-relevant
+/// block sides — a refactor that silently rerouted the tropical algebra
+/// onto the generic fallback loops would also change these selections.
+#[test]
+fn tropical_auto_dispatch_keeps_the_packed_tier_at_large_sides() {
+    use apsp_blockmat::kernels::{self, MinPlusKernel};
+    for side in [128usize, 129, 256, 512, 1023] {
+        assert_eq!(
+            kernels::select(side),
+            MinPlusKernel::Packed,
+            "side {side} must stay on the packed register-blocked engine"
+        );
+    }
+    assert_eq!(kernels::select(1024), MinPlusKernel::Parallel);
+
+    // And the Tropical path-algebra fold is bit-identical to the packed
+    // kernel's output at the tier boundary (it dispatches into the same
+    // engine, not the generic semiring loop).
+    use apsp_blockmat::{AlgBlock, Block, Offsets, Tropical};
+    let b = 128;
+    let a = Block::from_fn(b, |i, j| {
+        if i == j {
+            0.0
+        } else {
+            ((i * 7 + j) % 13) as f64
+        }
+    });
+    let x = Block::from_fn(b, |i, j| {
+        if i == j {
+            0.0
+        } else {
+            ((i * 5 + j) % 11) as f64
+        }
+    });
+    let mut packed = Block::infinity(b);
+    kernels::min_plus_into_with(MinPlusKernel::Packed, &a, &x, &mut packed);
+    let mut alg = AlgBlock::<Tropical>::from_dist(Block::infinity(b));
+    alg.min_plus_into_self(
+        MinPlusKernel::Auto,
+        &a,
+        &x,
+        Offsets {
+            k: 0,
+            row: 0,
+            col: 0,
+        },
+    );
+    assert_eq!(alg.dist(), &packed);
+}
+
 #[test]
 fn duration_formatting_matches_paper_tables() {
     assert_eq!(fmt_duration(0.022), "0.022s");

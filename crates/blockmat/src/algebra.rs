@@ -1,0 +1,936 @@
+//! The path-algebra layer: a [`Semiring`] plus an optional per-cell
+//! payload, with bulk kernels dispatched per algebra.
+//!
+//! The paper (§2) poses APSP as matrix algebra over *(min, +)*; the same
+//! blocked machinery solves all-pairs bottleneck/widest paths by swapping
+//! in *(max, min)* (Shinn & Takaoka) and boolean transitive closure by
+//! swapping in *(∨, ∧)* (Katz et al., cited as \[10\]). This module makes
+//! the algebra a **type parameter** instead of a hard-coded `f64`:
+//!
+//! * [`PathAlgebra`] — the dispatch trait: an element [`Semiring`], a
+//!   per-cell payload type, and the bulk block operations the solvers
+//!   drive (`⊕⊗` fold-product, in-block closure, rank-1 update,
+//!   element-wise join). Every operation has a generic fallback loop;
+//!   algebras with a specialized kernel tier override them.
+//! * [`Tropical`] — plain *(min, +)* over `f64` with the zero-sized `()`
+//!   payload. Overrides every hook with the packed/branchless/parallel
+//!   engine in [`crate::kernels`], so the APSP hot path is **bit-exact**
+//!   with (and exactly as fast as) the dedicated `f64` stack.
+//! * [`TrackedTropical`] — tropical ⊗ argmin payload: each cell carries
+//!   the `u32` global id of the winning intermediate vertex. What used to
+//!   be a parallel `TrackedBlock` type hierarchy is this algebra riding
+//!   the same generic records. Overrides the hooks with the tracked
+//!   kernel tier.
+//! * [`Widest`] — the bottleneck *(max, min)* algebra over capacities
+//!   ([`BottleneckF64`]); generic loops.
+//! * [`Reachability`] — boolean transitive closure ([`BoolSemiring`]);
+//!   generic loops.
+//!
+//! [`AlgBlock<A>`] is the block record the generic solvers move through
+//! the engine: an element block plus its payload plane. For `()` payloads
+//! the plane is zero bytes, so `AlgBlock<Tropical>` *is* a distance
+//! [`crate::Block`] plus nothing.
+
+use crate::block::ElemBlock;
+use crate::kernels::{self, MinPlusKernel};
+use crate::parent::{Offsets, PayBlock, NO_VIA};
+use crate::semiring::{BoolSemiring, BottleneckF64, Semiring, TropicalF64};
+#[cfg(test)]
+use crate::Block;
+use crate::INF;
+use std::fmt::Debug;
+
+/// Element type of a path algebra (shorthand for the semiring's element).
+pub type Elem<A> = <<A as PathAlgebra>::Semi as Semiring>::Elem;
+
+/// A path algebra: the element [`Semiring`] the block values live in, an
+/// optional per-cell payload recorded on strict improvements, and the bulk
+/// block operations the blocked solvers are written against.
+///
+/// The provided method bodies are the generic fallback loops — correct for
+/// any algebra whose `⊕` is selective (returns one of its operands), which
+/// all path problems here satisfy. Implementations with a tuned kernel
+/// tier (the `f64` tropical fast path, the tracked tier) override them;
+/// the solvers never know the difference.
+///
+/// All bulk operations work on row-major `n × n` slices so they can run
+/// against block storage and scratch buffers alike.
+pub trait PathAlgebra: Copy + Send + Sync + 'static {
+    /// The element semiring.
+    type Semi: Semiring;
+
+    /// Per-cell payload carried beside each element (`()` when nothing is
+    /// tracked; `u32` argmin vias for the tracked tropical algebra).
+    type Payload: Copy + PartialEq + Debug + Send + Sync + 'static;
+
+    /// Whether the payload is meaningful. When `true`, the generic loops
+    /// skip degenerate terms (global `k` equal to the target's global row
+    /// or column — see the seeding contract in [`crate::parent`]) and
+    /// record [`PathAlgebra::payload_for`] on every strict improvement.
+    const TRACKS: bool;
+
+    /// Human-readable algebra name (for diagnostics and benches).
+    const NAME: &'static str;
+
+    /// The payload of a cell with no recorded witness.
+    fn empty_payload() -> Self::Payload;
+
+    /// The payload recorded when the term through global vertex `k` wins.
+    fn payload_for(k_global: usize) -> Self::Payload;
+
+    /// Fold-product `c = c ⊕ (a ⊗ b)` — the paper's `MatProd`+`MatMin`
+    /// composition, seeded (folds into the live `c`).
+    fn fold_product(
+        kernel: MinPlusKernel,
+        ad: &[Elem<Self>],
+        bd: &[Elem<Self>],
+        cd: &mut [Elem<Self>],
+        cp: &mut [Self::Payload],
+        n: usize,
+        o: Offsets,
+    ) {
+        let _ = kernel;
+        let zero = Self::Semi::zero();
+        for i in 0..n {
+            let ig = o.row + i;
+            for k in 0..n {
+                let kg = o.k + k;
+                if Self::TRACKS && kg == ig {
+                    continue;
+                }
+                let aik = ad[i * n + k];
+                if aik == zero {
+                    continue;
+                }
+                let pay = Self::payload_for(kg);
+                for j in 0..n {
+                    if Self::TRACKS && kg == o.col + j {
+                        continue;
+                    }
+                    let cand = Self::Semi::mul(aik, bd[k * n + j]);
+                    let cur = cd[i * n + j];
+                    let new = Self::Semi::add(cur, cand);
+                    if new != cur {
+                        cd[i * n + j] = new;
+                        cp[i * n + j] = pay;
+                    }
+                }
+            }
+        }
+    }
+
+    /// `c = c ⊕ (c ⊗ other)` — the pivot-column update. The default
+    /// builds the product in freshly allocated scratch; specialized
+    /// algebras use the thread-local scratch pools instead.
+    fn product_assign(
+        kernel: MinPlusKernel,
+        cd: &mut [Elem<Self>],
+        cp: &mut [Self::Payload],
+        other: &[Elem<Self>],
+        n: usize,
+        o: Offsets,
+    ) {
+        let mut sd = vec![Self::Semi::zero(); n * n];
+        let mut sp = vec![Self::empty_payload(); n * n];
+        Self::fold_product(kernel, cd, other, &mut sd, &mut sp, n, o);
+        Self::join(cd, cp, &sd, &sp);
+    }
+
+    /// `c = c ⊕ (other ⊗ c)` — the pivot-row mirror of
+    /// [`PathAlgebra::product_assign`].
+    fn product_left_assign(
+        kernel: MinPlusKernel,
+        cd: &mut [Elem<Self>],
+        cp: &mut [Self::Payload],
+        other: &[Elem<Self>],
+        n: usize,
+        o: Offsets,
+    ) {
+        let mut sd = vec![Self::Semi::zero(); n * n];
+        let mut sp = vec![Self::empty_payload(); n * n];
+        Self::fold_product(kernel, other, cd, &mut sd, &mut sp, n, o);
+        Self::join(cd, cp, &sd, &sp);
+    }
+
+    /// In-block Kleene/Floyd-Warshall closure of a diagonal block whose
+    /// row/column `0` is global vertex `diag_offset`.
+    fn closure_in_place(
+        cd: &mut [Elem<Self>],
+        cp: &mut [Self::Payload],
+        n: usize,
+        diag_offset: usize,
+    ) {
+        let zero = Self::Semi::zero();
+        for k in 0..n {
+            let pay = Self::payload_for(diag_offset + k);
+            for i in 0..n {
+                if Self::TRACKS && i == k {
+                    continue;
+                }
+                let dik = cd[i * n + k];
+                if dik == zero {
+                    continue;
+                }
+                for j in 0..n {
+                    let cand = Self::Semi::mul(dik, cd[k * n + j]);
+                    let cur = cd[i * n + j];
+                    let new = Self::Semi::add(cur, cand);
+                    if new != cur {
+                        cd[i * n + j] = new;
+                        cp[i * n + j] = pay;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rank-1 update through the single global pivot `k_global` (the
+    /// paper's `FloydWarshallUpdate`): `c[i][j] = c[i][j] ⊕ (col_i[i] ⊗
+    /// col_j[j])`.
+    fn rank1_update(
+        cd: &mut [Elem<Self>],
+        cp: &mut [Self::Payload],
+        col_i: &[Elem<Self>],
+        col_j: &[Elem<Self>],
+        n: usize,
+        k_global: usize,
+    ) {
+        assert_eq!(col_i.len(), n, "col_i length must equal block side");
+        assert_eq!(col_j.len(), n, "col_j length must equal block side");
+        let zero = Self::Semi::zero();
+        let pay = Self::payload_for(k_global);
+        for (i, &ci) in col_i.iter().enumerate() {
+            if ci == zero {
+                continue;
+            }
+            for (j, &cj) in col_j.iter().enumerate() {
+                let cand = Self::Semi::mul(ci, cj);
+                let cur = cd[i * n + j];
+                let new = Self::Semi::add(cur, cand);
+                if new != cur {
+                    cd[i * n + j] = new;
+                    cp[i * n + j] = pay;
+                }
+            }
+        }
+    }
+
+    /// Element-wise join `c = c ⊕ o` (the paper's `MatMin` / the
+    /// reduce-by-key merge), taking `o`'s payload exactly where `o`
+    /// strictly improves `c` — ties keep the established payload.
+    fn join(
+        cd: &mut [Elem<Self>],
+        cp: &mut [Self::Payload],
+        od: &[Elem<Self>],
+        op: &[Self::Payload],
+    ) {
+        for (((c, p), &o), &q) in cd.iter_mut().zip(cp.iter_mut()).zip(od).zip(op) {
+            let new = Self::Semi::add(*c, o);
+            if new != *c {
+                *c = new;
+                *p = q;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Algebra instances
+// ---------------------------------------------------------------------------
+
+/// Plain tropical *(min, +)* over `f64` — APSP distances, no payload.
+///
+/// Every hook forwards to the packed/branchless/parallel kernel engine,
+/// so a solve over this algebra is bit-exact with (and as fast as) the
+/// dedicated `f64` stack it replaced.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tropical;
+
+impl PathAlgebra for Tropical {
+    type Semi = TropicalF64;
+    type Payload = ();
+    const TRACKS: bool = false;
+    const NAME: &'static str = "tropical";
+
+    #[inline(always)]
+    fn empty_payload() {}
+    #[inline(always)]
+    fn payload_for(_k_global: usize) {}
+
+    fn fold_product(
+        kernel: MinPlusKernel,
+        ad: &[f64],
+        bd: &[f64],
+        cd: &mut [f64],
+        _cp: &mut [()],
+        n: usize,
+        _o: Offsets,
+    ) {
+        kernels::min_plus_slices_with(kernel, ad, bd, cd, n);
+    }
+
+    fn product_assign(
+        kernel: MinPlusKernel,
+        cd: &mut [f64],
+        _cp: &mut [()],
+        other: &[f64],
+        n: usize,
+        _o: Offsets,
+    ) {
+        kernels::with_scratch(n * n, |scratch| {
+            scratch.fill(INF);
+            kernels::min_plus_slices_with(kernel, cd, other, scratch, n);
+            for (d, &s) in cd.iter_mut().zip(scratch.iter()) {
+                *d = kernels::tmin(s, *d);
+            }
+        });
+    }
+
+    fn product_left_assign(
+        kernel: MinPlusKernel,
+        cd: &mut [f64],
+        _cp: &mut [()],
+        other: &[f64],
+        n: usize,
+        _o: Offsets,
+    ) {
+        kernels::with_scratch(n * n, |scratch| {
+            scratch.fill(INF);
+            kernels::min_plus_slices_with(kernel, other, cd, scratch, n);
+            for (d, &s) in cd.iter_mut().zip(scratch.iter()) {
+                *d = kernels::tmin(s, *d);
+            }
+        });
+    }
+
+    fn closure_in_place(cd: &mut [f64], _cp: &mut [()], n: usize, _diag_offset: usize) {
+        kernels::fw_in_place_slices(cd, n);
+    }
+
+    fn rank1_update(
+        cd: &mut [f64],
+        _cp: &mut [()],
+        col_i: &[f64],
+        col_j: &[f64],
+        n: usize,
+        _k_global: usize,
+    ) {
+        kernels::fw_update_outer_slices(cd, col_i, col_j, n);
+    }
+
+    fn join(cd: &mut [f64], _cp: &mut [()], od: &[f64], _op: &[()]) {
+        for (d, &o) in cd.iter_mut().zip(od) {
+            *d = kernels::tmin(o, *d);
+        }
+    }
+}
+
+/// Tropical ⊗ argmin payload: `f64` distances plus a `u32` via per cell.
+///
+/// The algebra behind `SolverConfig::with_paths`: hooks forward to the
+/// tracked kernel tier, which records the winning global `k` under strict
+/// `<` and skips degenerate terms (see [`crate::parent`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrackedTropical;
+
+impl PathAlgebra for TrackedTropical {
+    type Semi = TropicalF64;
+    type Payload = u32;
+    const TRACKS: bool = true;
+    const NAME: &'static str = "tropical+argmin";
+
+    #[inline(always)]
+    fn empty_payload() -> u32 {
+        NO_VIA
+    }
+    #[inline(always)]
+    fn payload_for(k_global: usize) -> u32 {
+        k_global as u32
+    }
+
+    fn fold_product(
+        kernel: MinPlusKernel,
+        ad: &[f64],
+        bd: &[f64],
+        cd: &mut [f64],
+        cp: &mut [u32],
+        n: usize,
+        o: Offsets,
+    ) {
+        kernels::min_plus_slices_tracked_with(kernel, ad, bd, cd, cp, n, o);
+    }
+
+    fn product_assign(
+        kernel: MinPlusKernel,
+        cd: &mut [f64],
+        cp: &mut [u32],
+        other: &[f64],
+        n: usize,
+        o: Offsets,
+    ) {
+        kernels::with_scratch(n * n, |sd| {
+            kernels::with_via_scratch(n * n, |sv| {
+                sd.fill(INF);
+                sv.fill(NO_VIA);
+                kernels::min_plus_slices_tracked_with(kernel, cd, other, sd, sv, n, o);
+                kernels::fold_tracked(cd, cp, sd, sv);
+            });
+        });
+    }
+
+    fn product_left_assign(
+        kernel: MinPlusKernel,
+        cd: &mut [f64],
+        cp: &mut [u32],
+        other: &[f64],
+        n: usize,
+        o: Offsets,
+    ) {
+        kernels::with_scratch(n * n, |sd| {
+            kernels::with_via_scratch(n * n, |sv| {
+                sd.fill(INF);
+                sv.fill(NO_VIA);
+                kernels::min_plus_slices_tracked_with(kernel, other, cd, sd, sv, n, o);
+                kernels::fold_tracked(cd, cp, sd, sv);
+            });
+        });
+    }
+
+    fn closure_in_place(cd: &mut [f64], cp: &mut [u32], n: usize, diag_offset: usize) {
+        kernels::fw_in_place_tracked_slices(cd, cp, n, diag_offset);
+    }
+
+    fn rank1_update(
+        cd: &mut [f64],
+        cp: &mut [u32],
+        col_i: &[f64],
+        col_j: &[f64],
+        n: usize,
+        k_global: usize,
+    ) {
+        kernels::fw_update_outer_tracked_slices(cd, cp, col_i, col_j, n, k_global);
+    }
+
+    fn join(cd: &mut [f64], cp: &mut [u32], od: &[f64], op: &[u32]) {
+        kernels::fold_tracked(cd, cp, od, op);
+    }
+}
+
+/// The bottleneck / widest-path algebra *(max, min)* over `f64`
+/// capacities — all-pairs bottleneck paths (Shinn & Takaoka) on the
+/// generic fallback loops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Widest;
+
+impl PathAlgebra for Widest {
+    type Semi = BottleneckF64;
+    type Payload = ();
+    const TRACKS: bool = false;
+    const NAME: &'static str = "bottleneck";
+
+    #[inline(always)]
+    fn empty_payload() {}
+    #[inline(always)]
+    fn payload_for(_k_global: usize) {}
+}
+
+/// Boolean transitive closure *(∨, ∧)* — reachability (Katz et al.
+/// \[10\]) on the generic fallback loops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Reachability;
+
+impl PathAlgebra for Reachability {
+    type Semi = BoolSemiring;
+    type Payload = ();
+    const TRACKS: bool = false;
+    const NAME: &'static str = "boolean";
+
+    #[inline(always)]
+    fn empty_payload() {}
+    #[inline(always)]
+    fn payload_for(_k_global: usize) {}
+}
+
+// ---------------------------------------------------------------------------
+// The combined block record
+// ---------------------------------------------------------------------------
+
+/// An element block paired with its payload plane: the record type the
+/// generic solvers move through the engine.
+///
+/// All mutating operations take the [`Offsets`] needed to translate
+/// block-local indices into global vertex ids (and, for tracking
+/// algebras, to suppress degenerate terms — see [`crate::parent`] for the
+/// seeding contract). For `()` payloads the plane occupies zero bytes and
+/// every payload write compiles away.
+pub struct AlgBlock<A: PathAlgebra> {
+    dist: ElemBlock<A::Semi>,
+    pay: PayBlock<A::Payload>,
+}
+
+/// A distance [`crate::Block`] paired with its `u32` via plane — the record type
+/// of the path-tracking solvers, now simply the [`TrackedTropical`]
+/// instantiation of the generic block.
+pub type TrackedBlock = AlgBlock<TrackedTropical>;
+
+impl<A: PathAlgebra> Clone for AlgBlock<A> {
+    fn clone(&self) -> Self {
+        AlgBlock {
+            dist: self.dist.clone(),
+            pay: self.pay.clone(),
+        }
+    }
+}
+
+impl<A: PathAlgebra> PartialEq for AlgBlock<A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.pay == other.pay
+    }
+}
+
+impl<A: PathAlgebra> Debug for AlgBlock<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AlgBlock<{}> {{ dist: {:?} }}", A::NAME, self.dist)
+    }
+}
+
+impl<A: PathAlgebra> AlgBlock<A> {
+    /// Wraps an element block with an all-empty payload plane — the
+    /// correct initial state for an adjacency block, whose finite entries
+    /// are all direct edges.
+    pub fn from_dist(dist: ElemBlock<A::Semi>) -> Self {
+        let pay = PayBlock::filled(dist.side(), A::empty_payload());
+        AlgBlock { dist, pay }
+    }
+
+    /// Side length `b`.
+    #[inline(always)]
+    pub fn side(&self) -> usize {
+        self.dist.side()
+    }
+
+    /// The element (distance/capacity/reachability) block.
+    #[inline(always)]
+    pub fn dist(&self) -> &ElemBlock<A::Semi> {
+        &self.dist
+    }
+
+    /// Mutable access to the element block (tests and adapters).
+    #[inline(always)]
+    pub fn dist_mut(&mut self) -> &mut ElemBlock<A::Semi> {
+        &mut self.dist
+    }
+
+    /// The payload plane (the parent block, for tracking algebras).
+    #[inline(always)]
+    pub fn via(&self) -> &PayBlock<A::Payload> {
+        &self.pay
+    }
+
+    /// Mutable access to the payload plane (tests and adapters).
+    #[inline(always)]
+    pub fn via_mut(&mut self) -> &mut PayBlock<A::Payload> {
+        &mut self.pay
+    }
+
+    /// Splits into the element block and the payload plane.
+    pub fn into_parts(self) -> (ElemBlock<A::Semi>, PayBlock<A::Payload>) {
+        (self.dist, self.pay)
+    }
+
+    /// Transposes both planes. Valid only on symmetric (undirected)
+    /// instances — see [`PayBlock::transpose`].
+    pub fn transpose(&self) -> Self {
+        AlgBlock {
+            dist: self.dist.transpose(),
+            pay: self.pay.transpose(),
+        }
+    }
+
+    /// Combined in-memory footprint in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.dist.size_bytes() + self.pay.size_bytes()
+    }
+
+    /// Pure product `a ⊗ b` (both plain element blocks): returns a fresh
+    /// record whose payloads are the winning global `k`s.
+    ///
+    /// The result is **unseeded** (all-`0̄`): per the seeding contract in
+    /// [`crate::parent`], the caller must eventually `⊕`-merge it with a
+    /// seeded estimate of the same cells (as the repeated-squaring reduce
+    /// does) when the index ranges overlap.
+    pub fn min_plus_product(
+        kernel: MinPlusKernel,
+        a: &ElemBlock<A::Semi>,
+        b: &ElemBlock<A::Semi>,
+        offsets: Offsets,
+    ) -> Self {
+        let mut out = Self::from_dist(ElemBlock::zeros(a.side()));
+        out.min_plus_into_self(kernel, a, b, offsets);
+        out
+    }
+
+    /// Fold `self = self ⊕ (a ⊗ b)` — the Phase-3 update of the blocked
+    /// solvers. `a` and `b` are plain element blocks (staged copies);
+    /// only `self` carries payloads.
+    pub fn min_plus_into_self(
+        &mut self,
+        kernel: MinPlusKernel,
+        a: &ElemBlock<A::Semi>,
+        b: &ElemBlock<A::Semi>,
+        offsets: Offsets,
+    ) {
+        let n = self.side();
+        assert_eq!(n, a.side());
+        assert_eq!(n, b.side());
+        A::fold_product(
+            kernel,
+            a.data(),
+            b.data(),
+            self.dist.data_mut(),
+            self.pay.data_mut(),
+            n,
+            offsets,
+        );
+    }
+
+    /// `self = self ⊕ (self ⊗ other)` (pivot-column update), built in
+    /// scratch and folded in under strict improvement, so a tie never
+    /// replaces an established payload.
+    pub fn min_plus_assign(
+        &mut self,
+        kernel: MinPlusKernel,
+        other: &ElemBlock<A::Semi>,
+        offsets: Offsets,
+    ) {
+        let n = self.side();
+        assert_eq!(n, other.side());
+        A::product_assign(
+            kernel,
+            self.dist.data_mut(),
+            self.pay.data_mut(),
+            other.data(),
+            n,
+            offsets,
+        );
+    }
+
+    /// `self = self ⊕ (other ⊗ self)` (pivot-row update), the left-operand
+    /// mirror of [`AlgBlock::min_plus_assign`].
+    pub fn min_plus_left_assign(
+        &mut self,
+        kernel: MinPlusKernel,
+        other: &ElemBlock<A::Semi>,
+        offsets: Offsets,
+    ) {
+        let n = self.side();
+        assert_eq!(n, other.side());
+        A::product_left_assign(
+            kernel,
+            self.dist.data_mut(),
+            self.pay.data_mut(),
+            other.data(),
+            n,
+            offsets,
+        );
+    }
+
+    /// Element-wise join: cells where `other` strictly improves take
+    /// `other`'s element *and* payload (the paper's `MatMin`, used by the
+    /// repeated-squaring reduce).
+    pub fn mat_min_assign(&mut self, other: &AlgBlock<A>) {
+        assert_eq!(self.side(), other.side(), "block sides must match");
+        A::join(
+            self.dist.data_mut(),
+            self.pay.data_mut(),
+            other.dist.data(),
+            other.pay.data(),
+        );
+    }
+
+    /// In-place closure of a diagonal block whose row/column `0` is global
+    /// vertex `diag_offset` (Floyd-Warshall for tropical algebras).
+    pub fn floyd_warshall_in_place(&mut self, diag_offset: usize) {
+        let n = self.side();
+        A::closure_in_place(self.dist.data_mut(), self.pay.data_mut(), n, diag_offset);
+    }
+
+    /// Rank-1 update through global pivot `k_global` (the paper's
+    /// `FloydWarshallUpdate`).
+    pub fn fw_update_outer(&mut self, col_i: &[Elem<A>], col_j: &[Elem<A>], k_global: usize) {
+        let n = self.side();
+        A::rank1_update(
+            self.dist.data_mut(),
+            self.pay.data_mut(),
+            col_i,
+            col_j,
+            n,
+            k_global,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parent::NO_VIA;
+
+    fn path4() -> Block {
+        // 0 -1- 1 -1- 2 -1- 3 (identity diagonal).
+        let mut a = Block::identity(4);
+        for i in 0..3 {
+            a.set(i, i + 1, 1.0);
+            a.set(i + 1, i, 1.0);
+        }
+        a
+    }
+
+    #[test]
+    fn from_dist_has_no_vias() {
+        let t = TrackedBlock::from_dist(path4());
+        assert_eq!(t.via().count_tracked(), 0);
+        assert_eq!(t.dist().get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn fw_records_interior_vertices() {
+        let mut t = TrackedBlock::from_dist(path4());
+        t.floyd_warshall_in_place(0);
+        assert_eq!(t.dist().get(0, 3), 3.0);
+        // The via of (0, 3) must be an interior vertex: 1 or 2.
+        let v = t.via().get(0, 3);
+        assert!(v == 1 || v == 2, "via(0,3) = {v}");
+        // Direct edges keep NO_VIA.
+        assert_eq!(t.via().get(0, 1), NO_VIA);
+        assert_eq!(t.via().get(0, 0), NO_VIA);
+    }
+
+    #[test]
+    fn fw_offset_shifts_vias_globally() {
+        let mut t = TrackedBlock::from_dist(path4());
+        t.floyd_warshall_in_place(100);
+        let v = t.via().get(0, 3);
+        assert!(v == 101 || v == 102, "via must be global, got {v}");
+    }
+
+    const O0: Offsets = Offsets {
+        k: 0,
+        row: 0,
+        col: 0,
+    };
+
+    #[test]
+    fn seeded_assign_matches_untracked_distances() {
+        let a = path4();
+        let b = path4();
+        for kernel in [
+            MinPlusKernel::Auto,
+            MinPlusKernel::Naive,
+            MinPlusKernel::Branchless,
+            MinPlusKernel::Tiled,
+            MinPlusKernel::Packed,
+            MinPlusKernel::Parallel,
+        ] {
+            let mut t = TrackedBlock::from_dist(a.clone());
+            t.min_plus_assign(kernel, &b, O0);
+            let mut want = a.clone();
+            want.min_plus_assign(&b);
+            assert_eq!(t.dist(), &want, "kernel {kernel:?}");
+            // (0,2) closes through 1.
+            assert_eq!(t.via().get(0, 2), 1, "kernel {kernel:?}");
+            // The direct edge keeps NO_VIA.
+            assert_eq!(t.via().get(0, 1), NO_VIA, "kernel {kernel:?}");
+        }
+    }
+
+    #[test]
+    fn unseeded_product_skips_degenerate_terms_and_merge_recovers_them() {
+        // Unseeded product of a block against itself: the k == i and
+        // k == j terms (through exact-zero diagonal cells) would record
+        // vias the path expansion cannot terminate on; the guards must
+        // drop them, and min-merging with the seeded estimate (the
+        // repeated-squaring reduce shape) must recover the full result.
+        let a = path4();
+        let prod = TrackedBlock::min_plus_product(MinPlusKernel::Naive, &a, &a, O0);
+        for i in 0..4 {
+            for j in 0..4 {
+                let v = prod.via().get(i, j);
+                assert!(
+                    v == NO_VIA || (v as usize != i && v as usize != j),
+                    "degenerate via {v} at ({i},{j})"
+                );
+            }
+        }
+        let mut merged = TrackedBlock::from_dist(a.clone());
+        merged.mat_min_assign(&prod);
+        let mut want = a.clone();
+        want.mat_min_assign(&a.min_plus(&a));
+        assert_eq!(merged.dist(), &want);
+        assert_eq!(merged.dist().get(0, 2), 2.0);
+    }
+
+    #[test]
+    fn assign_folds_under_strict_less() {
+        // min_plus_assign must not replace the via when the product only
+        // ties the current distance.
+        let mut t = TrackedBlock::from_dist(path4());
+        t.floyd_warshall_in_place(0);
+        let before = t.clone();
+        // Squaring a closed block changes nothing.
+        t.min_plus_assign(MinPlusKernel::Auto, &before.dist().clone(), O0);
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn left_and_right_assign_match_manual_products() {
+        let a = path4();
+        let mut closed = a.clone();
+        closed.floyd_warshall_in_place();
+
+        let mut right = TrackedBlock::from_dist(a.clone());
+        right.min_plus_assign(MinPlusKernel::Auto, &closed, O0);
+        let mut manual = a.clone();
+        manual.min_plus_assign(&closed);
+        assert_eq!(right.dist(), &manual);
+
+        let mut left = TrackedBlock::from_dist(a.clone());
+        left.min_plus_left_assign(MinPlusKernel::Auto, &closed, O0);
+        let mut manual = a.clone();
+        manual.min_plus_left_assign(&closed);
+        assert_eq!(left.dist(), &manual);
+    }
+
+    #[test]
+    fn mat_min_takes_strictly_smaller_with_via() {
+        let mut x = TrackedBlock::from_dist(Block::filled(2, 5.0));
+        let mut y = TrackedBlock::from_dist(Block::filled(2, 5.0));
+        y.dist_mut().set(0, 1, 3.0);
+        y.via_mut().set(0, 1, 7);
+        y.dist_mut().set(1, 0, 5.0); // tie: must NOT move the via
+        y.via_mut().set(1, 0, 9);
+        x.mat_min_assign(&y);
+        assert_eq!(x.dist().get(0, 1), 3.0);
+        assert_eq!(x.via().get(0, 1), 7);
+        assert_eq!(x.via().get(1, 0), NO_VIA, "tie must keep the old via");
+    }
+
+    #[test]
+    fn fw_update_outer_tracks_pivot() {
+        let mut t = TrackedBlock::from_dist(Block::filled(2, 10.0));
+        t.fw_update_outer(&[1.0, 4.0], &[2.0, 3.0], 42);
+        assert_eq!(t.dist().get(0, 0), 3.0);
+        assert_eq!(t.via().get(0, 0), 42);
+        // No improvement, no via.
+        let before = t.clone();
+        t.fw_update_outer(&[INF, INF], &[0.0, 0.0], 7);
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn transpose_mirrors_both_halves() {
+        let mut t = TrackedBlock::from_dist(path4());
+        t.floyd_warshall_in_place(0);
+        let tt = t.transpose();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(tt.dist().get(i, j), t.dist().get(j, i));
+                assert_eq!(tt.via().get(i, j), t.via().get(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn tropical_algblock_matches_plain_block_bit_exactly() {
+        // The Tropical algebra must be indistinguishable from the plain
+        // f64 fast path on every entry point.
+        let a = path4();
+        let mut closed = a.clone();
+        closed.floyd_warshall_in_place();
+
+        let mut alg = AlgBlock::<Tropical>::from_dist(a.clone());
+        alg.floyd_warshall_in_place(0);
+        assert_eq!(alg.dist(), &closed);
+
+        let mut alg = AlgBlock::<Tropical>::from_dist(a.clone());
+        alg.min_plus_assign(MinPlusKernel::Auto, &closed, O0);
+        let mut plain = a.clone();
+        plain.min_plus_assign(&closed);
+        assert_eq!(alg.dist(), &plain);
+
+        let mut alg = AlgBlock::<Tropical>::from_dist(a.clone());
+        alg.min_plus_into_self(MinPlusKernel::Auto, &closed, &closed, O0);
+        let mut plain = a.clone();
+        plain.min_plus_into_self(&closed, &closed);
+        assert_eq!(alg.dist(), &plain);
+    }
+
+    #[test]
+    fn widest_closure_picks_fattest_route() {
+        // 0 -5- 1 -3- 2 with a thin 0 -1- 2 pipe.
+        let mut blk = ElemBlock::<BottleneckF64>::identity(3);
+        blk.set(0, 1, 5.0);
+        blk.set(1, 0, 5.0);
+        blk.set(1, 2, 3.0);
+        blk.set(2, 1, 3.0);
+        blk.set(0, 2, 1.0);
+        blk.set(2, 0, 1.0);
+        let mut alg = AlgBlock::<Widest>::from_dist(blk);
+        alg.floyd_warshall_in_place(0);
+        assert_eq!(alg.dist().get(0, 2), 3.0);
+        assert_eq!(alg.dist().get(2, 0), 3.0);
+    }
+
+    #[test]
+    fn reachability_closure_is_transitive() {
+        let mut blk = ElemBlock::<BoolSemiring>::identity(4);
+        blk.set(0, 1, true);
+        blk.set(1, 2, true);
+        let mut alg = AlgBlock::<Reachability>::from_dist(blk);
+        alg.floyd_warshall_in_place(0);
+        assert!(alg.dist().get(0, 2));
+        assert!(!alg.dist().get(2, 0));
+        assert!(!alg.dist().get(0, 3));
+    }
+
+    #[test]
+    fn generic_default_hooks_match_tracked_kernels_on_tropical() {
+        // Run the trait's *default* loops over a tracked-like shim algebra
+        // and compare with the specialized tracked kernels: same
+        // distances, same strict-< via discipline.
+        #[derive(Clone, Copy)]
+        struct SlowTracked;
+        impl PathAlgebra for SlowTracked {
+            type Semi = TropicalF64;
+            type Payload = u32;
+            const TRACKS: bool = true;
+            const NAME: &'static str = "tropical+argmin (generic loops)";
+            fn empty_payload() -> u32 {
+                NO_VIA
+            }
+            fn payload_for(k_global: usize) -> u32 {
+                k_global as u32
+            }
+            // No overrides: exercise every default body.
+        }
+
+        let a = path4();
+        let o = Offsets {
+            k: 8,
+            row: 0,
+            col: 4,
+        };
+        let mut fast = TrackedBlock::from_dist(a.clone());
+        fast.min_plus_into_self(MinPlusKernel::Naive, &a, &a, o);
+        let mut slow = AlgBlock::<SlowTracked>::from_dist(a.clone());
+        slow.min_plus_into_self(MinPlusKernel::Naive, &a, &a, o);
+        assert_eq!(fast.dist(), slow.dist());
+        assert_eq!(fast.via().data(), slow.via().data());
+
+        let mut fast = TrackedBlock::from_dist(a.clone());
+        fast.floyd_warshall_in_place(12);
+        let mut slow = AlgBlock::<SlowTracked>::from_dist(a.clone());
+        slow.floyd_warshall_in_place(12);
+        assert_eq!(fast.dist(), slow.dist());
+        assert_eq!(fast.via().data(), slow.via().data());
+    }
+}

@@ -1,57 +1,94 @@
-//! The square dense block type used throughout the APSP solvers.
+//! The square dense block type used throughout the APSP solvers, generic
+//! over the element [`Semiring`].
+//!
+//! [`ElemBlock<S>`] is plain storage plus generic (semiring-loop) compute;
+//! the hot-path `f64` tropical kernels live in an inherent impl on the
+//! [`Block`] alias (`ElemBlock<TropicalF64>`), so the type the solvers
+//! shuffle is *literally* the `TropicalF64` instantiation of the generic
+//! block — same memory layout, same API, zero-cost.
 
+use crate::semiring::{Semiring, TropicalF64};
 use crate::{kernels, INF};
 use std::fmt;
+use std::marker::PhantomData;
 
-/// A square, dense, row-major `b × b` matrix block of `f64` distances.
+/// A square, dense, row-major `b × b` matrix block over a [`Semiring`].
 ///
-/// `Block` is the unit of distribution in all solvers: the adjacency matrix
-/// `A` of an `n`-vertex graph is 2D-decomposed into `q × q` blocks of side
-/// `b` (`q = ⌈n/b⌉`), each stored as one dense `Block` keyed by `(I, J)`.
+/// `Block` (= `ElemBlock<TropicalF64>`) is the unit of distribution in all
+/// solvers: the adjacency matrix `A` of an `n`-vertex graph is
+/// 2D-decomposed into `q × q` blocks of side `b` (`q = ⌈n/b⌉`), each
+/// stored as one dense block keyed by `(I, J)`.
 ///
-/// Entries are shortest-path length upper bounds; [`INF`] denotes "no path
-/// known". The in-place kernels tighten entries monotonically, which is the
-/// invariant all property tests lean on.
-#[derive(Clone, PartialEq)]
-pub struct Block {
+/// Entries are path-value upper bounds in the semiring order; the additive
+/// identity `0̄` ([`INF`] for tropical, `false` for boolean, `0.0` for
+/// bottleneck capacities) denotes "no path known". The in-place kernels
+/// tighten entries monotonically under `⊕`, which is the invariant all
+/// property tests lean on.
+pub struct ElemBlock<S: Semiring> {
     b: usize,
-    data: Box<[f64]>,
+    data: Box<[S::Elem]>,
+    _algebra: PhantomData<S>,
 }
 
-impl Block {
+/// The tropical `f64` block — the type the paper's solvers run on. All
+/// fast-path kernels (packed/branchless/parallel min-plus, in-block
+/// Floyd-Warshall, the rank-1 update) are inherent methods of this alias.
+pub type Block = ElemBlock<TropicalF64>;
+
+impl<S: Semiring> Clone for ElemBlock<S> {
+    fn clone(&self) -> Self {
+        ElemBlock {
+            b: self.b,
+            data: self.data.clone(),
+            _algebra: PhantomData,
+        }
+    }
+}
+
+impl<S: Semiring> PartialEq for ElemBlock<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.b == other.b && self.data == other.data
+    }
+}
+
+impl<S: Semiring> ElemBlock<S> {
     /// Creates a block filled with a constant value.
-    pub fn filled(b: usize, value: f64) -> Self {
-        Block {
+    pub fn filled(b: usize, value: S::Elem) -> Self {
+        ElemBlock {
             b,
             data: vec![value; b * b].into_boxed_slice(),
+            _algebra: PhantomData,
         }
     }
 
-    /// Creates a block of all-[`INF`] entries (the tropical zero matrix).
-    pub fn infinity(b: usize) -> Self {
-        Self::filled(b, INF)
+    /// Creates a block of all-`0̄` entries (the semiring zero matrix):
+    /// all-[`INF`] for tropical, all-`false` for boolean.
+    pub fn zeros(b: usize) -> Self {
+        Self::filled(b, S::zero())
     }
 
-    /// Creates the tropical identity: `0` on the diagonal, [`INF`] elsewhere.
+    /// Creates the semiring identity: `1̄` on the diagonal, `0̄` elsewhere
+    /// (`0`/[`INF`] for tropical).
     pub fn identity(b: usize) -> Self {
-        let mut blk = Self::infinity(b);
+        let mut blk = Self::zeros(b);
         for i in 0..b {
-            blk.data[i * b + i] = 0.0;
+            blk.data[i * b + i] = S::one();
         }
         blk
     }
 
     /// Builds a block from a function of `(row, col)`.
-    pub fn from_fn(b: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+    pub fn from_fn(b: usize, mut f: impl FnMut(usize, usize) -> S::Elem) -> Self {
         let mut data = Vec::with_capacity(b * b);
         for i in 0..b {
             for j in 0..b {
                 data.push(f(i, j));
             }
         }
-        Block {
+        ElemBlock {
             b,
             data: data.into_boxed_slice(),
+            _algebra: PhantomData,
         }
     }
 
@@ -59,11 +96,12 @@ impl Block {
     ///
     /// # Panics
     /// Panics if `data.len() != b * b`.
-    pub fn from_vec(b: usize, data: Vec<f64>) -> Self {
+    pub fn from_vec(b: usize, data: Vec<S::Elem>) -> Self {
         assert_eq!(data.len(), b * b, "buffer length must be b^2");
-        Block {
+        ElemBlock {
             b,
             data: data.into_boxed_slice(),
+            _algebra: PhantomData,
         }
     }
 
@@ -75,53 +113,53 @@ impl Block {
 
     /// Immutable view of the raw row-major buffer.
     #[inline(always)]
-    pub fn data(&self) -> &[f64] {
+    pub fn data(&self) -> &[S::Elem] {
         &self.data
     }
 
     /// Mutable view of the raw row-major buffer.
     #[inline(always)]
-    pub fn data_mut(&mut self) -> &mut [f64] {
+    pub fn data_mut(&mut self) -> &mut [S::Elem] {
         &mut self.data
     }
 
     /// Entry accessor.
     #[inline(always)]
-    pub fn get(&self, i: usize, j: usize) -> f64 {
+    pub fn get(&self, i: usize, j: usize) -> S::Elem {
         debug_assert!(i < self.b && j < self.b);
         self.data[i * self.b + j]
     }
 
     /// Entry mutator.
     #[inline(always)]
-    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+    pub fn set(&mut self, i: usize, j: usize, v: S::Elem) {
         debug_assert!(i < self.b && j < self.b);
         self.data[i * self.b + j] = v;
     }
 
     /// Immutable view of row `i`.
     #[inline(always)]
-    pub fn row(&self, i: usize) -> &[f64] {
+    pub fn row(&self, i: usize) -> &[S::Elem] {
         &self.data[i * self.b..(i + 1) * self.b]
     }
 
     /// Extracts column `k` as an owned vector (the paper's `ExtractCol`).
-    pub fn extract_col(&self, k: usize) -> Vec<f64> {
+    pub fn extract_col(&self, k: usize) -> Vec<S::Elem> {
         assert!(k < self.b, "column index out of range");
         (0..self.b).map(|i| self.data[i * self.b + k]).collect()
     }
 
     /// Extracts row `k` as an owned vector.
-    pub fn extract_row(&self, k: usize) -> Vec<f64> {
+    pub fn extract_row(&self, k: usize) -> Vec<S::Elem> {
         assert!(k < self.b, "row index out of range");
         self.row(k).to_vec()
     }
 
     /// Returns the transposed block. Used to materialize `A_JI` on demand
     /// from the stored upper-triangular block `A_IJ` (paper §4).
-    pub fn transpose(&self) -> Block {
+    pub fn transpose(&self) -> Self {
         let b = self.b;
-        let mut out = vec![INF; b * b];
+        let mut out = vec![S::zero(); b * b];
         // Simple cache-blocked transpose.
         const T: usize = 32;
         for ii in (0..b).step_by(T) {
@@ -133,9 +171,10 @@ impl Block {
                 }
             }
         }
-        Block {
+        ElemBlock {
             b,
             data: out.into_boxed_slice(),
+            _algebra: PhantomData,
         }
     }
 
@@ -150,6 +189,72 @@ impl Block {
             }
         }
         true
+    }
+
+    /// Semiring matrix product `self ⊗ other` — the generic (fallback)
+    /// triple loop with a `0̄`-skip. The executable specification the `f64`
+    /// fast-path kernels are validated against, and the compute path for
+    /// algebras without a specialized kernel tier.
+    pub fn mat_mul(&self, other: &Self) -> Self {
+        assert_eq!(self.b, other.b, "block sides must match");
+        let n = self.b;
+        let mut out = Self::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let aik = self.data[i * n + k];
+                if aik == S::zero() {
+                    continue;
+                }
+                for j in 0..n {
+                    let v = S::mul(aik, other.data[k * n + j]);
+                    out.data[i * n + j] = S::add(out.data[i * n + j], v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Element-wise `⊕` fold: `self = self ⊕ other` (the paper's `MatMin`
+    /// generalized).
+    pub fn mat_add_assign(&mut self, other: &Self) {
+        assert_eq!(self.b, other.b, "block sides must match");
+        for (d, &o) in self.data.iter_mut().zip(other.data.iter()) {
+            *d = S::add(*d, o);
+        }
+    }
+
+    /// Kleene/Floyd-Warshall closure within the block:
+    /// `d[i][j] ← d[i][j] ⊕ (d[i][k] ⊗ d[k][j])` for every pivot `k` —
+    /// the generic loop ([`Block::floyd_warshall_in_place`] is the `f64`
+    /// fast path).
+    pub fn closure_in_place(&mut self) {
+        let n = self.b;
+        for k in 0..n {
+            for i in 0..n {
+                let dik = self.data[i * n + k];
+                if dik == S::zero() {
+                    continue;
+                }
+                for j in 0..n {
+                    let v = S::mul(dik, self.data[k * n + j]);
+                    self.data[i * n + j] = S::add(self.data[i * n + j], v);
+                }
+            }
+        }
+    }
+
+    /// In-memory footprint of the block payload in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<S::Elem>()
+    }
+}
+
+/// The `f64` tropical fast path: every method below dispatches into the
+/// packed/branchless/parallel kernel engine in [`crate::kernels`].
+impl Block {
+    /// Creates a block of all-[`INF`] entries (the tropical zero matrix).
+    pub fn infinity(b: usize) -> Self {
+        Self::filled(b, INF)
     }
 
     /// Min-plus product `self ⊗ other` (the paper's `MatProd`).
@@ -277,27 +382,15 @@ impl Block {
                 .zip(other.data.iter())
                 .all(|(&a, &b)| crate::matrix::approx_eq_scalar(a, b, tol))
     }
-
-    /// In-memory footprint of the block payload in bytes.
-    pub fn size_bytes(&self) -> usize {
-        self.data.len() * std::mem::size_of::<f64>()
-    }
 }
 
-impl fmt::Debug for Block {
+impl<S: Semiring> fmt::Debug for ElemBlock<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Block(b={})", self.b)?;
         let shown = self.b.min(8);
         for i in 0..shown {
             let row: Vec<String> = (0..shown)
-                .map(|j| {
-                    let v = self.get(i, j);
-                    if v.is_infinite() {
-                        "  inf".into()
-                    } else {
-                        format!("{v:5.1}")
-                    }
-                })
+                .map(|j| format!("{:?}", self.get(i, j)))
                 .collect();
             writeln!(
                 f,
@@ -316,6 +409,7 @@ impl fmt::Debug for Block {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::semiring::BoolSemiring;
 
     fn path3() -> Block {
         let mut a = Block::identity(3);
@@ -412,6 +506,37 @@ mod tests {
     }
 
     #[test]
+    fn generic_mat_mul_matches_fast_path_on_tropical() {
+        let a = path3();
+        let b = Block::from_fn(3, |i, j| 1.0 + (i * 3 + j) as f64);
+        let fast = a.min_plus(&b);
+        let generic = a.mat_mul(&b);
+        assert_eq!(fast, generic);
+    }
+
+    #[test]
+    fn generic_closure_matches_fw_on_tropical() {
+        let mut fast = path3();
+        fast.floyd_warshall_in_place();
+        let mut generic = path3();
+        generic.closure_in_place();
+        assert_eq!(fast, generic);
+    }
+
+    #[test]
+    fn boolean_block_closure_is_reachability() {
+        // 0 -> 1 -> 2, 3 isolated (directed).
+        let mut a = ElemBlock::<BoolSemiring>::identity(4);
+        a.set(0, 1, true);
+        a.set(1, 2, true);
+        a.closure_in_place();
+        assert!(a.get(0, 2));
+        assert!(!a.get(2, 0));
+        assert!(!a.get(0, 3));
+        assert!(a.get(3, 3));
+    }
+
+    #[test]
     fn transpose_involution() {
         let a = Block::from_fn(5, |i, j| (i * 7 + j) as f64);
         assert_eq!(a.transpose().transpose(), a);
@@ -487,5 +612,6 @@ mod tests {
     #[test]
     fn size_bytes_is_payload() {
         assert_eq!(Block::infinity(16).size_bytes(), 16 * 16 * 8);
+        assert_eq!(ElemBlock::<BoolSemiring>::zeros(16).size_bytes(), 16 * 16);
     }
 }

@@ -1,16 +1,23 @@
-//! Blocked Kleene closure over arbitrary semirings.
+//! Blocked Kleene closure over arbitrary path algebras.
 //!
 //! The paper's §2 observes that APSP is matrix closure over (min, +) and
 //! cites the GraphBLAS line of work; this module provides the blocked
-//! (Venkataraman-style) closure for *any* [`Semiring`] — the same
-//! three-phase structure the distributed solvers use, executable
-//! sequentially over [`GenBlock`]s. Instantiated over [`crate::BoolSemiring`]
-//! it computes blocked transitive closure (Katz & Kider's GPU kernel,
-//! cited as \[10\]); over the tropical semirings it is a reference model
-//! of the Blocked In-Memory / Collect-Broadcast compute pattern.
+//! (Venkataraman-style) closure in two strengths:
+//!
+//! * [`BlockedGenMatrix`] — element-only closure for *any* [`Semiring`],
+//!   the executable specification of the three-phase compute pattern;
+//! * [`AlgClosure`] — closure over any [`PathAlgebra`], i.e. elements
+//!   *plus* per-cell payloads, routed through the algebra's kernel hooks.
+//!   Instantiated over [`crate::TrackedTropical`] it is the sequential
+//!   reference model for the distributed path-tracking solvers
+//!   ([`TrackedClosure`]); over [`crate::Widest`] or
+//!   [`crate::Reachability`] it is the sequential oracle for the
+//!   bottleneck and transitive-closure workloads.
 
+use crate::algebra::{AlgBlock, Elem, PathAlgebra, TrackedTropical};
+use crate::block::ElemBlock;
 use crate::kernels::MinPlusKernel;
-use crate::parent::{Offsets, TrackedBlock, NO_VIA};
+use crate::parent::Offsets;
 use crate::semiring::{GenBlock, Semiring};
 use crate::Matrix;
 
@@ -109,61 +116,63 @@ impl<S: Semiring> BlockedGenMatrix<S> {
     }
 }
 
-/// Blocked Kleene closure over the `f64` tropical fast path with **parent
-/// tracking**: the sequential reference model for the distributed
-/// path-tracking solvers.
+/// Blocked Kleene closure over any [`PathAlgebra`]: the sequential
+/// reference model of the distributed generic solvers.
 ///
-/// Stores the full `q × q` grid of [`TrackedBlock`]s (no symmetry
-/// packing — this is the oracle, not the distributed representation) and
-/// runs the same three-phase pivot iteration as
+/// Stores the full `q × q` grid of [`AlgBlock`]s (no symmetry packing —
+/// this is the oracle, not the distributed representation) and runs the
+/// same three-phase pivot iteration as
 /// [`BlockedGenMatrix::closure_in_place`], with every phase routed through
-/// the tracked kernels so each cell records the global intermediate vertex
-/// of its winning relaxation.
-pub struct TrackedClosure {
+/// the algebra's kernel hooks, so each cell records whatever payload the
+/// algebra tracks (argmin vias for [`TrackedTropical`], nothing for the
+/// payload-free algebras).
+pub struct AlgClosure<A: PathAlgebra> {
     n: usize,
     b: usize,
     q: usize,
-    blocks: Vec<TrackedBlock>, // row-major block order
+    blocks: Vec<AlgBlock<A>>, // row-major block order
 }
 
-impl TrackedClosure {
-    /// Decomposes a dense adjacency matrix into tracked blocks (padded
-    /// with `INF` off-diagonal / `0` on the diagonal, vias all
-    /// [`NO_VIA`]).
-    pub fn from_matrix(m: &Matrix, b: usize) -> Self {
+/// Blocked Kleene closure over the `f64` tropical fast path with **parent
+/// tracking** — the [`TrackedTropical`] instantiation of [`AlgClosure`].
+pub type TrackedClosure = AlgClosure<TrackedTropical>;
+
+impl<A: PathAlgebra> AlgClosure<A> {
+    /// Decomposes a dense element accessor into algebra blocks (padded
+    /// with `0̄` off-diagonal / `1̄` on the diagonal, payloads all empty).
+    pub fn from_fn(n: usize, b: usize, mut f: impl FnMut(usize, usize) -> Elem<A>) -> Self {
         assert!(b > 0, "block side must be positive");
-        let n = m.order();
         let q = n.div_ceil(b);
         let mut blocks = Vec::with_capacity(q * q);
         for bi in 0..q {
             for bj in 0..q {
-                let dist = crate::Block::from_fn(b, |i, j| {
+                let dist = ElemBlock::from_fn(b, |i, j| {
                     let (gi, gj) = (bi * b + i, bj * b + j);
                     if gi < n && gj < n {
-                        m.get(gi, gj)
+                        f(gi, gj)
                     } else if gi == gj {
-                        0.0
+                        A::Semi::one()
                     } else {
-                        crate::INF
+                        A::Semi::zero()
                     }
                 });
-                blocks.push(TrackedBlock::from_dist(dist));
+                blocks.push(AlgBlock::from_dist(dist));
             }
         }
-        TrackedClosure { n, b, q, blocks }
+        AlgClosure { n, b, q, blocks }
     }
 
     fn idx(&self, bi: usize, bj: usize) -> usize {
         bi * self.q + bj
     }
 
-    /// In-place tracked blocked Kleene closure (three-phase pivot
-    /// iteration, every relaxation recording its argmin).
+    /// In-place blocked Kleene closure (three-phase pivot iteration, every
+    /// relaxation recording the algebra's payload).
     pub fn closure_in_place(&mut self, kernel: MinPlusKernel) {
         let (q, b) = (self.q, self.b);
         for i in 0..q {
             let k0 = i * b;
-            // Phase 1: close the diagonal block, tracking vias globally.
+            // Phase 1: close the diagonal block, tracking payloads globally.
             let di = self.idx(i, i);
             self.blocks[di].floyd_warshall_in_place(k0);
             let diag = self.blocks[di].dist().clone();
@@ -181,7 +190,7 @@ impl TrackedClosure {
 
             // Phase 3: remainder, folding `A_Xi ⊗ A_iY` into `A_XY`.
             // Pivot-row operands are cloned once per pivot, not per target.
-            let rights: Vec<crate::Block> = (0..q)
+            let rights: Vec<ElemBlock<A::Semi>> = (0..q)
                 .map(|y| self.blocks[self.idx(i, y)].dist().clone())
                 .collect();
             for x in 0..q {
@@ -205,13 +214,14 @@ impl TrackedClosure {
         }
     }
 
-    /// Reassembles the dense distance matrix and the flat `n × n` via
-    /// matrix (row-major, [`NO_VIA`] for direct/unreachable/diagonal
-    /// cells), trimming padding.
-    pub fn into_parts(self) -> (Matrix, Vec<u32>) {
+    /// Reassembles the dense element matrix (as a side-`n`
+    /// [`ElemBlock`]) and the flat `n × n` payload matrix (row-major,
+    /// empty payload for direct/unreachable/diagonal cells), trimming
+    /// padding.
+    pub fn into_dense(self) -> (ElemBlock<A::Semi>, Vec<A::Payload>) {
         let (n, b, q) = (self.n, self.b, self.q);
-        let mut dist = Matrix::filled(n, crate::INF);
-        let mut via = vec![NO_VIA; n * n];
+        let mut dist = ElemBlock::zeros(n);
+        let mut pay = vec![A::empty_payload(); n * n];
         for bi in 0..q {
             for bj in 0..q {
                 let blk = &self.blocks[bi * q + bj];
@@ -224,21 +234,40 @@ impl TrackedClosure {
                         let gj = bj * b + j;
                         if gj < n {
                             dist.set(gi, gj, blk.dist().get(i, j));
-                            via[gi * n + gj] = blk.via().get(i, j);
+                            pay[gi * n + gj] = blk.via().get(i, j);
                         }
                     }
                 }
             }
         }
-        (dist, via)
+        (dist, pay)
+    }
+}
+
+impl TrackedClosure {
+    /// Decomposes a dense adjacency matrix into tracked blocks (padded
+    /// with `INF` off-diagonal / `0` on the diagonal, vias all
+    /// [`crate::NO_VIA`]).
+    pub fn from_matrix(m: &Matrix, b: usize) -> Self {
+        Self::from_fn(m.order(), b, |i, j| m.get(i, j))
+    }
+
+    /// Reassembles the dense distance matrix and the flat `n × n` via
+    /// matrix (row-major, [`crate::NO_VIA`] for direct/unreachable/diagonal
+    /// cells), trimming padding.
+    pub fn into_parts(self) -> (Matrix, Vec<u32>) {
+        let n = self.n;
+        let (dist, via) = self.into_dense();
+        (Matrix::from_vec(n, dist.data().to_vec()), via)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parent::NO_VIA;
     use crate::semiring::{BoolSemiring, TropicalF64, TropicalI64};
-    use crate::INF;
+    use crate::{Reachability, Widest, INF};
 
     #[test]
     fn tropical_blocked_closure_matches_dense_fw() {
@@ -364,6 +393,53 @@ mod tests {
         assert_eq!(dist.get(0, 5), 5.0);
         assert_eq!(via[1], NO_VIA, "direct edge (0,1) must stay untracked");
         assert_ne!(via[5], NO_VIA, "multi-hop (0,5) must carry a via");
+    }
+
+    #[test]
+    fn widest_alg_closure_matches_elementwise_reference() {
+        // Blocked AlgClosure over (max, min) vs the element-only blocked
+        // closure — same fixpoint, different machinery.
+        let n = 17;
+        let cap = |i: usize, j: usize| -> f64 {
+            if i == j {
+                f64::INFINITY
+            } else if (i + j).is_multiple_of(3) {
+                1.0 + ((i * 5 + j) % 7) as f64
+            } else {
+                0.0
+            }
+        };
+        let sym = |i: usize, j: usize| cap(i.min(j), i.max(j));
+        for b in [4usize, 17, 20] {
+            let mut alg = AlgClosure::<Widest>::from_fn(n, b, sym);
+            alg.closure_in_place(MinPlusKernel::Auto);
+            let (wide, _) = alg.into_dense();
+            let mut reference = BlockedGenMatrix::<crate::BottleneckF64>::from_fn(n, 5, sym);
+            reference.closure_in_place();
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(wide.get(i, j), reference.get(i, j), "b={b} ({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reachability_alg_closure_matches_boolean_reference() {
+        let n = 13;
+        let edge = |i: usize, j: usize| i == j || (i < 12 && j == i + 1) || (j < 12 && i == j + 1);
+        for b in [3usize, 13] {
+            let mut alg = AlgClosure::<Reachability>::from_fn(n, b, edge);
+            alg.closure_in_place(MinPlusKernel::Auto);
+            let (reach, _) = alg.into_dense();
+            let mut reference = BlockedGenMatrix::<BoolSemiring>::from_fn(n, 4, edge);
+            reference.closure_in_place();
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(reach.get(i, j), reference.get(i, j), "b={b} ({i},{j})");
+                }
+            }
+        }
     }
 
     #[test]

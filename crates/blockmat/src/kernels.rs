@@ -118,7 +118,7 @@ pub fn select(side: usize) -> MinPlusKernel {
 /// simpler loops. Between those, `bench_kernels` measures the plain
 /// row-streaming loop ahead of the cache-tiled one at every side ≥ 128
 /// (the branchy argmin update, not memory traffic, is the bottleneck) and
-/// within ~5% below it, so the auto-dispatch always picks the
+/// within ~10% below it, so the auto-dispatch always picks the
 /// row-streaming loop; the tiled tracked loop remains reachable as an
 /// explicit ablation choice.
 pub fn select_tracked(_side: usize) -> MinPlusKernel {
@@ -614,8 +614,17 @@ pub fn floyd_warshall_in_place_tracked(
 ) {
     let n = block.side();
     assert_eq!(n, via.side());
-    let d = block.data_mut();
-    let vd = via.data_mut();
+    fw_in_place_tracked_slices(block.data_mut(), via.data_mut(), n, diag_offset);
+}
+
+/// Slice-level [`floyd_warshall_in_place_tracked`] — the entry point the
+/// tracked path-algebra dispatch uses.
+pub(crate) fn fw_in_place_tracked_slices(
+    d: &mut [f64],
+    vd: &mut [u32],
+    n: usize,
+    diag_offset: usize,
+) {
     with_pool(&KROW, n, |krow| {
         for k in 0..n {
             krow.copy_from_slice(&d[k * n..k * n + n]);
@@ -653,10 +662,21 @@ pub fn fw_update_outer_tracked(
 ) {
     let n = block.side();
     assert_eq!(n, via.side());
+    fw_update_outer_tracked_slices(block.data_mut(), via.data_mut(), col_i, col_j, n, k_global);
+}
+
+/// Slice-level [`fw_update_outer_tracked`] — the entry point the tracked
+/// path-algebra dispatch uses.
+pub(crate) fn fw_update_outer_tracked_slices(
+    d: &mut [f64],
+    vd: &mut [u32],
+    col_i: &[f64],
+    col_j: &[f64],
+    n: usize,
+    k_global: usize,
+) {
     assert_eq!(col_i.len(), n, "col_i length must equal block side");
     assert_eq!(col_j.len(), n, "col_j length must equal block side");
-    let d = block.data_mut();
-    let vd = via.data_mut();
     let kg = k_global as u32;
     for (i, &ci) in col_i.iter().enumerate() {
         if ci == INF {
@@ -670,6 +690,17 @@ pub fn fw_update_outer_tracked(
                 *rv = v;
                 *vv = kg;
             }
+        }
+    }
+}
+
+/// `dist/via = (sd, sv)` where `sd` is strictly smaller — the shared fold
+/// of the tracked two-step updates and the tracked `MatMin`.
+pub(crate) fn fold_tracked(dist: &mut [f64], via: &mut [u32], sd: &[f64], sv: &[u32]) {
+    for ((d, v), (&s, &p)) in dist.iter_mut().zip(via.iter_mut()).zip(sd.iter().zip(sv)) {
+        if s < *d {
+            *d = s;
+            *v = p;
         }
     }
 }
@@ -703,7 +734,12 @@ fn bands_for(n: usize) -> usize {
 /// branchless inner loop vectorize.
 pub fn floyd_warshall_in_place(block: &mut Block) {
     let n = block.side();
-    let d = block.data_mut();
+    fw_in_place_slices(block.data_mut(), n);
+}
+
+/// Slice-level [`floyd_warshall_in_place`] over an `n × n` row-major
+/// buffer — the entry point the path-algebra dispatch uses.
+pub(crate) fn fw_in_place_slices(d: &mut [f64], n: usize) {
     with_pool(&KROW, n, |krow| {
         for k in 0..n {
             krow.copy_from_slice(&d[k * n..k * n + n]);
@@ -747,9 +783,14 @@ pub fn floyd_warshall_in_place_parallel(block: &mut Block) {
 /// col_i[i] + col_j[j])` — a rank-1 min-plus product folded in place.
 pub fn fw_update_outer(block: &mut Block, col_i: &[f64], col_j: &[f64]) {
     let n = block.side();
+    fw_update_outer_slices(block.data_mut(), col_i, col_j, n);
+}
+
+/// Slice-level [`fw_update_outer`] — the entry point the path-algebra
+/// dispatch uses.
+pub(crate) fn fw_update_outer_slices(d: &mut [f64], col_i: &[f64], col_j: &[f64], n: usize) {
     assert_eq!(col_i.len(), n, "col_i length must equal block side");
     assert_eq!(col_j.len(), n, "col_j length must equal block side");
-    let d = block.data_mut();
     for (i, &ci) in col_i.iter().enumerate() {
         if ci == INF {
             continue;

@@ -5,8 +5,9 @@
 //! Spark", ICPP 2019) delegates to bare-metal execution via NumPy / SciPy /
 //! Numba:
 //!
-//! * [`Block`] — a square, dense, row-major `f64` matrix block of an
-//!   adjacency matrix 2D decomposition,
+//! * [`ElemBlock`] — a square, dense, row-major matrix block over any
+//!   [`Semiring`], with [`Block`] (= `ElemBlock<TropicalF64>`) as the
+//!   `f64` instantiation of an adjacency matrix 2D decomposition,
 //! * min-plus matrix product kernels ([`Block::min_plus`],
 //!   [`kernels::min_plus_into`], tiled and [rayon]-parallel variants),
 //! * element-wise minimum ([`Block::mat_min_assign`], the paper's `MatMin`),
@@ -15,10 +16,15 @@
 //! * the rank-1 Floyd-Warshall update ([`Block::fw_update_outer`], the
 //!   paper's `FloydWarshallUpdate`),
 //! * a whole-matrix dense type ([`Matrix`]) used by reference solvers and
-//!   block (dis)assembly, and
-//! * a generic [`Semiring`] abstraction (tropical over `f64`/`f32`/`i64`,
-//!   and the boolean semiring for transitive closure) mirroring the paper's
-//!   §2 observation that APSP is a linear-algebra problem over *(min, +)*.
+//!   block (dis)assembly,
+//! * the [`Semiring`] abstraction (tropical over `f64`/`f32`/`i64`, the
+//!   bottleneck *(max, min)* semiring, and the boolean semiring for
+//!   transitive closure) mirroring the paper's §2 observation that APSP
+//!   is a linear-algebra problem over *(min, +)*, and
+//! * the [`algebra`] layer on top of it: [`PathAlgebra`] (a semiring plus
+//!   an optional per-cell payload) with per-algebra kernel dispatch, and
+//!   [`AlgBlock`] — the combined record the generic solvers run on
+//!   ([`TrackedBlock`] is its tropical-with-argmin instantiation).
 //!
 //! Absent edges are represented by [`INF`] (`f64::INFINITY`); the additive
 //! identity of the tropical semiring. The multiplicative identity is `0.0`.
@@ -49,6 +55,7 @@
 
 #![warn(missing_docs)]
 
+pub mod algebra;
 mod block;
 pub mod closure;
 pub mod kernels;
@@ -58,10 +65,13 @@ mod reference;
 pub mod semiring;
 pub mod serialize;
 
-pub use block::Block;
+pub use algebra::{
+    AlgBlock, PathAlgebra, Reachability, TrackedBlock, TrackedTropical, Tropical, Widest,
+};
+pub use block::{Block, ElemBlock};
 pub use matrix::Matrix;
-pub use parent::{Offsets, ParentBlock, TrackedBlock, NO_VIA};
-pub use semiring::{BoolSemiring, Semiring, TropicalF32, TropicalF64, TropicalI64};
+pub use parent::{Offsets, ParentBlock, PayBlock, NO_VIA};
+pub use semiring::{BoolSemiring, BottleneckF64, Semiring, TropicalF32, TropicalF64, TropicalI64};
 
 /// Distance value denoting the absence of a path (tropical additive identity).
 pub const INF: f64 = f64::INFINITY;

@@ -1,12 +1,19 @@
-//! Parent (argmin) tracking: the path-reconstruction sibling of [`Block`].
+//! Parent (argmin) tracking: the per-cell payload side of the path-algebra
+//! engine.
 //!
-//! The paper computes only path *lengths* (§3). This module extends the
-//! blocked min-plus engine with the standard argmin augmentation: alongside
-//! every distance entry, record **which `k` produced the winning
-//! relaxation** `d(i,j) = d(i,k) + d(k,j)`. The recorded `k` is a *global*
-//! vertex id — an interior vertex of one shortest `i → j` path — so a full
-//! path is recovered by recursively expanding `(i, j)` into `(i, k)` and
-//! `(k, j)` until a cell says "direct edge" ([`NO_VIA`]).
+//! The paper computes only path *lengths* (§3). This module provides the
+//! payload storage for the standard argmin augmentation: alongside every
+//! distance entry, record **which `k` produced the winning relaxation**
+//! `d(i,j) = d(i,k) + d(k,j)`. The recorded `k` is a *global* vertex id —
+//! an interior vertex of one shortest `i → j` path — so a full path is
+//! recovered by recursively expanding `(i, j)` into `(i, k)` and `(k, j)`
+//! until a cell says "direct edge" ([`NO_VIA`]).
+//!
+//! In path-algebra terms (see [`crate::algebra`]) the tracked stack is the
+//! tropical semiring *tensored with an argmin payload*: [`PayBlock`] is the
+//! generic payload plane, [`ParentBlock`] its `u32`-via instantiation, and
+//! `TrackedBlock` (= [`crate::AlgBlock`] over [`crate::TrackedTropical`])
+//! the combined record the tracking solvers move through the engine.
 //!
 //! # Why a "via" vertex rather than a predecessor
 //!
@@ -44,27 +51,60 @@
 //! *unseeded* tracked product over overlapping index ranges is the one
 //! shape that would lose these restatements; don't build one.
 
-use crate::{kernels, Block, INF};
+use std::fmt::Debug;
 
 /// "No intermediate vertex": the best known path is the direct edge
 /// (or the cell is the diagonal / unreachable).
 pub const NO_VIA: u32 = u32::MAX;
 
-/// A square `b × b` matrix of via entries, the companion of a distance
-/// [`Block`]: `via(i, j)` is the global id of an interior vertex on a
-/// shortest path for cell `(i, j)`, or [`NO_VIA`].
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct ParentBlock {
+/// A square `b × b` plane of per-cell payloads — the companion of an
+/// element block. For the tracked tropical algebra the payload is a `u32`
+/// via (see [`ParentBlock`]); algebras without tracking use the zero-sized
+/// `()` payload, making the plane free.
+pub struct PayBlock<P> {
     b: usize,
-    data: Box<[u32]>,
+    data: Box<[P]>,
 }
 
-impl ParentBlock {
-    /// Creates an all-[`NO_VIA`] parent block (every known path direct).
-    pub fn none(b: usize) -> Self {
-        ParentBlock {
+/// A square `b × b` matrix of via entries, the companion of a distance
+/// [`crate::Block`]: `via(i, j)` is the global id of an interior vertex on
+/// a shortest path for cell `(i, j)`, or [`NO_VIA`].
+pub type ParentBlock = PayBlock<u32>;
+
+impl<P: Clone> Clone for PayBlock<P> {
+    fn clone(&self) -> Self {
+        PayBlock {
+            b: self.b,
+            data: self.data.clone(),
+        }
+    }
+}
+
+impl<P: PartialEq> PartialEq for PayBlock<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.b == other.b && self.data == other.data
+    }
+}
+
+impl<P: Eq> Eq for PayBlock<P> {}
+
+impl<P: Debug> Debug for PayBlock<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PayBlock(b={}, data={:?})",
+            self.b,
+            &self.data[..self.data.len().min(16)]
+        )
+    }
+}
+
+impl<P: Copy> PayBlock<P> {
+    /// Creates a payload plane filled with a constant value.
+    pub fn filled(b: usize, value: P) -> Self {
+        PayBlock {
             b,
-            data: vec![NO_VIA; b * b].into_boxed_slice(),
+            data: vec![value; b * b].into_boxed_slice(),
         }
     }
 
@@ -76,58 +116,65 @@ impl ParentBlock {
 
     /// Immutable view of the raw row-major buffer.
     #[inline(always)]
-    pub fn data(&self) -> &[u32] {
+    pub fn data(&self) -> &[P] {
         &self.data
     }
 
     /// Mutable view of the raw row-major buffer.
     #[inline(always)]
-    pub fn data_mut(&mut self) -> &mut [u32] {
+    pub fn data_mut(&mut self) -> &mut [P] {
         &mut self.data
     }
 
     /// Entry accessor.
     #[inline(always)]
-    pub fn get(&self, i: usize, j: usize) -> u32 {
+    pub fn get(&self, i: usize, j: usize) -> P {
         debug_assert!(i < self.b && j < self.b);
         self.data[i * self.b + j]
     }
 
     /// Entry mutator.
     #[inline(always)]
-    pub fn set(&mut self, i: usize, j: usize, v: u32) {
+    pub fn set(&mut self, i: usize, j: usize, v: P) {
         debug_assert!(i < self.b && j < self.b);
         self.data[i * self.b + j] = v;
     }
 
-    /// Returns the transposed parent block.
+    /// Returns the transposed payload plane.
     ///
     /// Valid as a parent block for the transposed *distance* block only on
     /// symmetric (undirected) instances, where an interior vertex of a
     /// shortest `i → j` path is interior to a shortest `j → i` path.
-    pub fn transpose(&self) -> ParentBlock {
+    pub fn transpose(&self) -> PayBlock<P> {
         let b = self.b;
-        let mut out = vec![NO_VIA; b * b];
+        let mut out = self.data.to_vec();
         for i in 0..b {
             for j in 0..b {
                 out[j * b + i] = self.data[i * b + j];
             }
         }
-        ParentBlock {
+        PayBlock {
             b,
             data: out.into_boxed_slice(),
         }
+    }
+
+    /// In-memory footprint of the block payload in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<P>()
+    }
+}
+
+impl ParentBlock {
+    /// Creates an all-[`NO_VIA`] parent block (every known path direct).
+    pub fn none(b: usize) -> Self {
+        Self::filled(b, NO_VIA)
     }
 
     /// Number of cells carrying an intermediate vertex (i.e. whose best
     /// known path is not a direct edge).
     pub fn count_tracked(&self) -> usize {
         self.data.iter().filter(|&&v| v != NO_VIA).count()
-    }
-
-    /// In-memory footprint of the block payload in bytes.
-    pub fn size_bytes(&self) -> usize {
-        self.data.len() * std::mem::size_of::<u32>()
     }
 }
 
@@ -156,363 +203,9 @@ impl Offsets {
     }
 }
 
-/// A distance [`Block`] paired with its [`ParentBlock`]: the record type
-/// the path-tracking solvers move through the engine.
-///
-/// All mutating operations mirror the untracked [`Block`] entry points and
-/// take the [`Offsets`] needed to translate block-local indices into
-/// global vertex ids (and to suppress degenerate terms — see the module
-/// docs for the seeding contract).
-#[derive(Clone, PartialEq, Debug)]
-pub struct TrackedBlock {
-    dist: Block,
-    via: ParentBlock,
-}
-
-impl TrackedBlock {
-    /// Wraps a distance block with an all-[`NO_VIA`] parent block — the
-    /// correct initial state for an adjacency block, whose finite entries
-    /// are all direct edges.
-    pub fn from_dist(dist: Block) -> Self {
-        let via = ParentBlock::none(dist.side());
-        TrackedBlock { dist, via }
-    }
-
-    /// Side length `b`.
-    #[inline(always)]
-    pub fn side(&self) -> usize {
-        self.dist.side()
-    }
-
-    /// The distance block.
-    #[inline(always)]
-    pub fn dist(&self) -> &Block {
-        &self.dist
-    }
-
-    /// The parent block.
-    #[inline(always)]
-    pub fn via(&self) -> &ParentBlock {
-        &self.via
-    }
-
-    /// Splits into the distance and parent blocks.
-    pub fn into_parts(self) -> (Block, ParentBlock) {
-        (self.dist, self.via)
-    }
-
-    /// Transposes both halves. Valid only on symmetric (undirected)
-    /// instances — see [`ParentBlock::transpose`].
-    pub fn transpose(&self) -> TrackedBlock {
-        TrackedBlock {
-            dist: self.dist.transpose(),
-            via: self.via.transpose(),
-        }
-    }
-
-    /// Combined in-memory footprint in bytes.
-    pub fn size_bytes(&self) -> usize {
-        self.dist.size_bytes() + self.via.size_bytes()
-    }
-
-    /// Tracked pure product `a ⊗ b` (both plain distance blocks): returns
-    /// a fresh tracked block whose vias are the winning global `k`s.
-    ///
-    /// The result is **unseeded** (all-`INF`): per the module-level
-    /// seeding contract, the caller must eventually `min`-merge it with a
-    /// seeded estimate of the same cells (as the repeated-squaring reduce
-    /// does) when the index ranges overlap.
-    pub fn min_plus_product(
-        kernel: kernels::MinPlusKernel,
-        a: &Block,
-        b: &Block,
-        offsets: Offsets,
-    ) -> TrackedBlock {
-        let mut out = TrackedBlock {
-            dist: Block::infinity(a.side()),
-            via: ParentBlock::none(a.side()),
-        };
-        kernels::min_plus_into_tracked_with(kernel, a, b, &mut out.dist, &mut out.via, offsets);
-        out
-    }
-
-    /// Tracked zero-copy fold `self = min(self, a ⊗ b)` — the Phase-3
-    /// update of the blocked solvers. `a` and `b` are plain distance
-    /// blocks (staged copies); only `self` carries vias.
-    pub fn min_plus_into_self(
-        &mut self,
-        kernel: kernels::MinPlusKernel,
-        a: &Block,
-        b: &Block,
-        offsets: Offsets,
-    ) {
-        kernels::min_plus_into_tracked_with(kernel, a, b, &mut self.dist, &mut self.via, offsets);
-    }
-
-    /// Tracked `self = min(self, self ⊗ other)` (pivot-column update).
-    ///
-    /// Like [`Block::min_plus_assign`], the product is built in reused
-    /// thread-local scratch (distances *and* vias) and folded in under
-    /// strict `<`, so a tie never replaces an established via.
-    pub fn min_plus_assign(
-        &mut self,
-        kernel: kernels::MinPlusKernel,
-        other: &Block,
-        offsets: Offsets,
-    ) {
-        let n = self.side();
-        let (dist, via) = (&mut self.dist, &mut self.via);
-        kernels::with_scratch(n * n, |sd| {
-            kernels::with_via_scratch(n * n, |sv| {
-                sd.fill(INF);
-                sv.fill(NO_VIA);
-                kernels::min_plus_slices_tracked_with(
-                    kernel,
-                    dist.data(),
-                    other.data(),
-                    sd,
-                    sv,
-                    n,
-                    offsets,
-                );
-                fold_tracked(dist.data_mut(), via.data_mut(), sd, sv);
-            });
-        });
-    }
-
-    /// Tracked `self = min(self, other ⊗ self)` (pivot-row update), the
-    /// left-operand mirror of [`TrackedBlock::min_plus_assign`].
-    pub fn min_plus_left_assign(
-        &mut self,
-        kernel: kernels::MinPlusKernel,
-        other: &Block,
-        offsets: Offsets,
-    ) {
-        let n = self.side();
-        let (dist, via) = (&mut self.dist, &mut self.via);
-        kernels::with_scratch(n * n, |sd| {
-            kernels::with_via_scratch(n * n, |sv| {
-                sd.fill(INF);
-                sv.fill(NO_VIA);
-                kernels::min_plus_slices_tracked_with(
-                    kernel,
-                    other.data(),
-                    dist.data(),
-                    sd,
-                    sv,
-                    n,
-                    offsets,
-                );
-                fold_tracked(dist.data_mut(), via.data_mut(), sd, sv);
-            });
-        });
-    }
-
-    /// Tracked element-wise minimum: cells where `other` is strictly
-    /// smaller take `other`'s distance *and* via (the paper's `MatMin`,
-    /// used by the repeated-squaring reduce).
-    pub fn mat_min_assign(&mut self, other: &TrackedBlock) {
-        assert_eq!(self.side(), other.side(), "block sides must match");
-        fold_tracked(
-            self.dist.data_mut(),
-            self.via.data_mut(),
-            other.dist.data(),
-            other.via.data(),
-        );
-    }
-
-    /// Tracked in-place Floyd-Warshall closure of a diagonal block whose
-    /// row/column `0` is global vertex `diag_offset`.
-    pub fn floyd_warshall_in_place(&mut self, diag_offset: usize) {
-        kernels::floyd_warshall_in_place_tracked(&mut self.dist, &mut self.via, diag_offset);
-    }
-
-    /// Tracked rank-1 Floyd-Warshall update through global pivot
-    /// `k_global` (the paper's `FloydWarshallUpdate`).
-    pub fn fw_update_outer(&mut self, col_i: &[f64], col_j: &[f64], k_global: usize) {
-        kernels::fw_update_outer_tracked(&mut self.dist, &mut self.via, col_i, col_j, k_global);
-    }
-}
-
-/// `dist/via = (sd, sv)` where `sd` is strictly smaller — the shared fold
-/// of the tracked two-step updates.
-fn fold_tracked(dist: &mut [f64], via: &mut [u32], sd: &[f64], sv: &[u32]) {
-    for ((d, v), (&s, &p)) in dist.iter_mut().zip(via.iter_mut()).zip(sd.iter().zip(sv)) {
-        if s < *d {
-            *d = s;
-            *v = p;
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::kernels::MinPlusKernel;
-
-    fn path4() -> Block {
-        // 0 -1- 1 -1- 2 -1- 3 (identity diagonal).
-        let mut a = Block::identity(4);
-        for i in 0..3 {
-            a.set(i, i + 1, 1.0);
-            a.set(i + 1, i, 1.0);
-        }
-        a
-    }
-
-    #[test]
-    fn from_dist_has_no_vias() {
-        let t = TrackedBlock::from_dist(path4());
-        assert_eq!(t.via().count_tracked(), 0);
-        assert_eq!(t.dist().get(0, 1), 1.0);
-    }
-
-    #[test]
-    fn fw_records_interior_vertices() {
-        let mut t = TrackedBlock::from_dist(path4());
-        t.floyd_warshall_in_place(0);
-        assert_eq!(t.dist().get(0, 3), 3.0);
-        // The via of (0, 3) must be an interior vertex: 1 or 2.
-        let v = t.via().get(0, 3);
-        assert!(v == 1 || v == 2, "via(0,3) = {v}");
-        // Direct edges keep NO_VIA.
-        assert_eq!(t.via().get(0, 1), NO_VIA);
-        assert_eq!(t.via().get(0, 0), NO_VIA);
-    }
-
-    #[test]
-    fn fw_offset_shifts_vias_globally() {
-        let mut t = TrackedBlock::from_dist(path4());
-        t.floyd_warshall_in_place(100);
-        let v = t.via().get(0, 3);
-        assert!(v == 101 || v == 102, "via must be global, got {v}");
-    }
-
-    const O0: Offsets = Offsets {
-        k: 0,
-        row: 0,
-        col: 0,
-    };
-
-    #[test]
-    fn seeded_assign_matches_untracked_distances() {
-        let a = path4();
-        let b = path4();
-        for kernel in [
-            MinPlusKernel::Auto,
-            MinPlusKernel::Naive,
-            MinPlusKernel::Branchless,
-            MinPlusKernel::Tiled,
-            MinPlusKernel::Packed,
-            MinPlusKernel::Parallel,
-        ] {
-            let mut t = TrackedBlock::from_dist(a.clone());
-            t.min_plus_assign(kernel, &b, O0);
-            let mut want = a.clone();
-            want.min_plus_assign(&b);
-            assert_eq!(t.dist(), &want, "kernel {kernel:?}");
-            // (0,2) closes through 1.
-            assert_eq!(t.via().get(0, 2), 1, "kernel {kernel:?}");
-            // The direct edge keeps NO_VIA.
-            assert_eq!(t.via().get(0, 1), NO_VIA, "kernel {kernel:?}");
-        }
-    }
-
-    #[test]
-    fn unseeded_product_skips_degenerate_terms_and_merge_recovers_them() {
-        // Unseeded product of a block against itself: the k == i and
-        // k == j terms (through exact-zero diagonal cells) would record
-        // vias the path expansion cannot terminate on; the guards must
-        // drop them, and min-merging with the seeded estimate (the
-        // repeated-squaring reduce shape) must recover the full result.
-        let a = path4();
-        let prod = TrackedBlock::min_plus_product(MinPlusKernel::Naive, &a, &a, O0);
-        for i in 0..4 {
-            for j in 0..4 {
-                let v = prod.via().get(i, j);
-                assert!(
-                    v == NO_VIA || (v as usize != i && v as usize != j),
-                    "degenerate via {v} at ({i},{j})"
-                );
-            }
-        }
-        let mut merged = TrackedBlock::from_dist(a.clone());
-        merged.mat_min_assign(&prod);
-        let mut want = a.clone();
-        want.mat_min_assign(&a.min_plus(&a));
-        assert_eq!(merged.dist(), &want);
-        assert_eq!(merged.dist().get(0, 2), 2.0);
-    }
-
-    #[test]
-    fn assign_folds_under_strict_less() {
-        // min_plus_assign must not replace the via when the product only
-        // ties the current distance.
-        let mut t = TrackedBlock::from_dist(path4());
-        t.floyd_warshall_in_place(0);
-        let before = t.clone();
-        // Squaring a closed block changes nothing.
-        t.min_plus_assign(MinPlusKernel::Auto, &before.dist().clone(), O0);
-        assert_eq!(t, before);
-    }
-
-    #[test]
-    fn left_and_right_assign_match_manual_products() {
-        let a = path4();
-        let mut closed = a.clone();
-        closed.floyd_warshall_in_place();
-
-        let mut right = TrackedBlock::from_dist(a.clone());
-        right.min_plus_assign(MinPlusKernel::Auto, &closed, O0);
-        let mut manual = a.clone();
-        manual.min_plus_assign(&closed);
-        assert_eq!(right.dist(), &manual);
-
-        let mut left = TrackedBlock::from_dist(a.clone());
-        left.min_plus_left_assign(MinPlusKernel::Auto, &closed, O0);
-        let mut manual = a.clone();
-        manual.min_plus_left_assign(&closed);
-        assert_eq!(left.dist(), &manual);
-    }
-
-    #[test]
-    fn mat_min_takes_strictly_smaller_with_via() {
-        let mut x = TrackedBlock::from_dist(Block::filled(2, 5.0));
-        let mut y = TrackedBlock::from_dist(Block::filled(2, 5.0));
-        y.dist.set(0, 1, 3.0);
-        y.via.set(0, 1, 7);
-        y.dist.set(1, 0, 5.0); // tie: must NOT move the via
-        y.via.set(1, 0, 9);
-        x.mat_min_assign(&y);
-        assert_eq!(x.dist().get(0, 1), 3.0);
-        assert_eq!(x.via().get(0, 1), 7);
-        assert_eq!(x.via().get(1, 0), NO_VIA, "tie must keep the old via");
-    }
-
-    #[test]
-    fn fw_update_outer_tracks_pivot() {
-        let mut t = TrackedBlock::from_dist(Block::filled(2, 10.0));
-        t.fw_update_outer(&[1.0, 4.0], &[2.0, 3.0], 42);
-        assert_eq!(t.dist().get(0, 0), 3.0);
-        assert_eq!(t.via().get(0, 0), 42);
-        // No improvement, no via.
-        let before = t.clone();
-        t.fw_update_outer(&[INF, INF], &[0.0, 0.0], 7);
-        assert_eq!(t, before);
-    }
-
-    #[test]
-    fn transpose_mirrors_both_halves() {
-        let mut t = TrackedBlock::from_dist(path4());
-        t.floyd_warshall_in_place(0);
-        let tt = t.transpose();
-        for i in 0..4 {
-            for j in 0..4 {
-                assert_eq!(tt.dist().get(i, j), t.dist().get(j, i));
-                assert_eq!(tt.via().get(i, j), t.via().get(j, i));
-            }
-        }
-    }
 
     #[test]
     fn parent_block_basics() {
@@ -523,5 +216,25 @@ mod tests {
         assert_eq!(p.count_tracked(), 1);
         assert_eq!(p.size_bytes(), 9 * 4);
         assert_eq!(p.transpose().get(2, 0), 11);
+    }
+
+    #[test]
+    fn unit_payload_plane_is_free() {
+        let p = PayBlock::<()>::filled(8, ());
+        assert_eq!(p.size_bytes(), 0);
+        assert_eq!(p.transpose(), p);
+    }
+
+    #[test]
+    fn offsets_blocks_scale_by_side() {
+        let o = Offsets::blocks(16, 2, 0, 3);
+        assert_eq!(
+            o,
+            Offsets {
+                k: 32,
+                row: 0,
+                col: 48
+            }
+        );
     }
 }

@@ -115,6 +115,42 @@ impl Semiring for TropicalI64 {
     }
 }
 
+/// The bottleneck ("widest path") semiring `(max, min)` over non-negative
+/// `f64` capacities: `a ⊕ b = max(a, b)` picks the better of two routes,
+/// `a ⊗ b = min(a, b)` is the capacity of a concatenation. `0̄ = 0.0` (no
+/// path), `1̄ = +∞` (staying put constrains nothing). Shinn & Takaoka's
+/// APBP problem runs the same blocked machinery over this algebra.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BottleneckF64;
+
+impl Semiring for BottleneckF64 {
+    type Elem = f64;
+    #[inline(always)]
+    fn zero() -> f64 {
+        0.0
+    }
+    #[inline(always)]
+    fn one() -> f64 {
+        f64::INFINITY
+    }
+    #[inline(always)]
+    fn add(a: f64, b: f64) -> f64 {
+        if a < b {
+            b
+        } else {
+            a
+        }
+    }
+    #[inline(always)]
+    fn mul(a: f64, b: f64) -> f64 {
+        if a < b {
+            a
+        } else {
+            b
+        }
+    }
+}
+
 /// Boolean semiring `(∨, ∧)` — reachability / transitive closure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BoolSemiring;
@@ -139,105 +175,13 @@ impl Semiring for BoolSemiring {
     }
 }
 
-/// A square dense block over an arbitrary [`Semiring`]. Generic counterpart
-/// of [`crate::Block`]; used for transitive closure and integer-weight
-/// variants, and as the executable specification of the `f64` fast path.
-#[derive(Clone, PartialEq, Debug)]
-pub struct GenBlock<S: Semiring> {
-    b: usize,
-    data: Vec<S::Elem>,
-}
-
-impl<S: Semiring> GenBlock<S> {
-    /// All-`0̄` block (the semiring zero matrix).
-    pub fn zeros(b: usize) -> Self {
-        GenBlock {
-            b,
-            data: vec![S::zero(); b * b],
-        }
-    }
-
-    /// Semiring identity matrix: `1̄` diagonal, `0̄` elsewhere.
-    pub fn identity(b: usize) -> Self {
-        let mut blk = Self::zeros(b);
-        for i in 0..b {
-            blk.data[i * b + i] = S::one();
-        }
-        blk
-    }
-
-    /// Builds from a function of `(row, col)`.
-    pub fn from_fn(b: usize, mut f: impl FnMut(usize, usize) -> S::Elem) -> Self {
-        let mut data = Vec::with_capacity(b * b);
-        for i in 0..b {
-            for j in 0..b {
-                data.push(f(i, j));
-            }
-        }
-        GenBlock { b, data }
-    }
-
-    /// Side length.
-    pub fn side(&self) -> usize {
-        self.b
-    }
-
-    /// Entry accessor.
-    pub fn get(&self, i: usize, j: usize) -> S::Elem {
-        self.data[i * self.b + j]
-    }
-
-    /// Entry mutator.
-    pub fn set(&mut self, i: usize, j: usize, v: S::Elem) {
-        self.data[i * self.b + j] = v;
-    }
-
-    /// Semiring matrix product `self ⊗ other`.
-    pub fn mat_mul(&self, other: &Self) -> Self {
-        assert_eq!(self.b, other.b, "block sides must match");
-        let n = self.b;
-        let mut out = Self::zeros(n);
-        for i in 0..n {
-            for k in 0..n {
-                let aik = self.data[i * n + k];
-                if aik == S::zero() {
-                    continue;
-                }
-                for j in 0..n {
-                    let v = S::mul(aik, other.data[k * n + j]);
-                    out.data[i * n + j] = S::add(out.data[i * n + j], v);
-                }
-            }
-        }
-        out
-    }
-
-    /// Element-wise `⊕` fold: `self = self ⊕ other`.
-    pub fn mat_add_assign(&mut self, other: &Self) {
-        assert_eq!(self.b, other.b, "block sides must match");
-        for (d, &o) in self.data.iter_mut().zip(other.data.iter()) {
-            *d = S::add(*d, o);
-        }
-    }
-
-    /// Kleene/Floyd-Warshall closure within the block:
-    /// `d[i][j] ← d[i][j] ⊕ (d[i][k] ⊗ d[k][j])` for every pivot `k`.
-    pub fn closure_in_place(&mut self) {
-        let n = self.b;
-        for k in 0..n {
-            for i in 0..n {
-                let dik = self.data[i * n + k];
-                if dik == S::zero() {
-                    continue;
-                }
-                for j in 0..n {
-                    let v = S::mul(dik, self.data[k * n + j]);
-                    self.data[i * n + j] = S::add(self.data[i * n + j], v);
-                }
-            }
-        }
-    }
-}
+/// A square dense block over an arbitrary [`Semiring`].
+///
+/// Since the block type itself became generic this is simply an alias of
+/// [`crate::ElemBlock`]; it is kept because the name reads better at call
+/// sites that stress the *algebra* (transitive closure, integer-weight
+/// variants, the executable specification of the `f64` fast path).
+pub type GenBlock<S> = crate::ElemBlock<S>;
 
 #[cfg(test)]
 mod tests {
@@ -319,6 +263,23 @@ mod tests {
         assert_eq!(e.mat_mul(&a), a);
         let z = GenBlock::<TropicalI64>::zeros(b);
         assert_eq!(a.mat_mul(&z), z);
+    }
+
+    #[test]
+    fn bottleneck_closure_is_widest_path() {
+        // 0 -5- 1 -3- 2 plus a thin direct pipe 0 -1- 2: the widest 0→2
+        // route goes through 1 with bottleneck min(5, 3) = 3.
+        let mut a = GenBlock::<BottleneckF64>::identity(3);
+        a.set(0, 1, 5.0);
+        a.set(1, 0, 5.0);
+        a.set(1, 2, 3.0);
+        a.set(2, 1, 3.0);
+        a.set(0, 2, 1.0);
+        a.set(2, 0, 1.0);
+        a.closure_in_place();
+        assert_eq!(a.get(0, 2), 3.0);
+        assert_eq!(a.get(2, 0), 3.0);
+        assert_eq!(a.get(0, 0), f64::INFINITY, "diagonal stays 1̄");
     }
 
     #[test]

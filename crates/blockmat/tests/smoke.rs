@@ -2,7 +2,10 @@
 //! apsp-blockmat` should always witness, without needing the rest of the
 //! workspace.
 
-use apsp_blockmat::{Block, BoolSemiring, Semiring, TropicalF64, TropicalI64, INF};
+use apsp_blockmat::closure::BlockedGenMatrix;
+use apsp_blockmat::{
+    Block, BoolSemiring, BottleneckF64, ElemBlock, Semiring, TropicalF64, TropicalI64, INF,
+};
 
 /// `⊕` identity, `⊗` identity, and the annihilator law `a ⊗ 0̄ = 0̄` for
 /// every semiring instance the solvers may run on.
@@ -36,6 +39,55 @@ fn tropical_i64_semiring_laws() {
 #[test]
 fn boolean_semiring_laws() {
     semiring_laws::<BoolSemiring>(&[true, false]);
+}
+
+#[test]
+fn bottleneck_semiring_laws() {
+    semiring_laws::<BottleneckF64>(&[0.0, 0.5, 10.0, INF]);
+}
+
+/// The boolean-closure support the `semiring` module docs promise
+/// ("transitive closure over the boolean semiring, Katz et al. [10]"),
+/// exercised end-to-end: blocked Kleene closure over `(∨, ∧)` computes
+/// exactly the reachability relation of a directed graph.
+#[test]
+fn boolean_closure_computes_katz_style_transitive_closure() {
+    // Directed: 0 → 1 → 2 → 3 with a back-arc 2 → 0, plus isolated 4.
+    let n = 5;
+    let arcs = [(0usize, 1usize), (1, 2), (2, 3), (2, 0)];
+    let edge = |i: usize, j: usize| i == j || arcs.contains(&(i, j));
+
+    // In-block closure on the generic element block ...
+    let mut blk = ElemBlock::<BoolSemiring>::from_fn(n, &edge);
+    blk.closure_in_place();
+    // ... and the blocked (multi-block) Kleene closure must agree.
+    let mut blocked = BlockedGenMatrix::<BoolSemiring>::from_fn(n, 2, edge);
+    blocked.closure_in_place();
+
+    // Reference reachability by DFS over the arc list.
+    let mut want = [[false; 5]; 5];
+    for (s, row) in want.iter_mut().enumerate() {
+        let mut stack = vec![s];
+        while let Some(u) = stack.pop() {
+            if row[u] {
+                continue;
+            }
+            row[u] = true;
+            for &(a, b) in &arcs {
+                if a == u {
+                    stack.push(b);
+                }
+            }
+        }
+    }
+    for (i, wrow) in want.iter().enumerate() {
+        for (j, &w) in wrow.iter().enumerate() {
+            assert_eq!(blk.get(i, j), w, "in-block closure ({i},{j})");
+            assert_eq!(blocked.get(i, j), w, "blocked closure ({i},{j})");
+        }
+    }
+    // The cycle {0, 1, 2} reaches everything but 4; 3 is a sink.
+    assert!(blk.get(1, 0) && blk.get(1, 3) && !blk.get(3, 0) && !blk.get(0, 4));
 }
 
 #[test]

@@ -1,10 +1,10 @@
 //! Algorithm 4: Blocked Collect/Broadcast — the paper's best solver.
 
-use crate::blocks::{BlockRecord, BlockedMatrix};
-use crate::building_blocks::{floyd_warshall, in_column, on_diagonal};
+use crate::blocks::BlockedMatrix;
+use crate::engine::{self, AlgRun};
 use crate::solver::{validate_adjacency, ApspError, ApspResult, ApspSolver, SolverConfig};
-use apsp_blockmat::Matrix;
-use sparklet::{Rdd, SparkContext, SparkError};
+use apsp_blockmat::{Matrix, TrackedTropical, Tropical};
+use sparklet::{SparkContext, SparkError};
 use std::time::Instant;
 
 /// The paper's Algorithm 4: the blocked (Venkataraman) Floyd-Warshall
@@ -20,22 +20,13 @@ use std::time::Instant;
 ///
 /// Impure: staged blocks live outside the lineage, so recomputed tasks
 /// may find them gone (exercised by the fault-injection tests).
+///
+/// The algorithm itself lives in the crate-private `engine` module generically; this
+/// front-end instantiates it with the [`Tropical`] algebra (plain APSP)
+/// or [`TrackedTropical`] (`with_paths`), and [`crate::algebra`] exposes
+/// the same loop for bottleneck and reachability workloads.
 #[derive(Debug, Default, Clone)]
 pub struct BlockedCollectBroadcast;
-
-fn diag_key(iter: usize) -> String {
-    format!("cb:{iter}:diag")
-}
-
-fn col_key(iter: usize, t: usize) -> String {
-    format!("cb:{iter}:col:{t}")
-}
-
-/// Pre-transposed copy of the staged column block (`C_Tᵀ = A_iT`), staged
-/// once so Phase 3 targets don't each re-transpose their Right operand.
-fn col_t_key(iter: usize, t: usize) -> String {
-    format!("cb:{iter}:colT:{t}")
-}
 
 impl ApspSolver for BlockedCollectBroadcast {
     fn name(&self) -> &'static str {
@@ -53,7 +44,7 @@ impl ApspSolver for BlockedCollectBroadcast {
         cfg: &SolverConfig,
     ) -> Result<ApspResult, ApspError> {
         if cfg.track_paths {
-            return crate::tracked::solve_cb(ctx, adjacency, cfg);
+            return engine::solve_tracked(ctx, adjacency, cfg, engine::solve_cb::<TrackedTropical>);
         }
         let dd = self.solve_distributed(ctx, adjacency, cfg)?;
         let result = dd.blocked.collect_to_matrix()?;
@@ -167,100 +158,20 @@ impl BlockedCollectBroadcast {
         let start = Instant::now();
         let metrics_before = ctx.metrics();
 
-        let b = cfg.block_size;
-        let q = n.div_ceil(b);
-        let partitioner = cfg.partitioner.build(q, cfg.partitions_for(ctx));
-        let blocked = BlockedMatrix::from_matrix(ctx, adjacency, b, partitioner.clone());
-        let mut a: Rdd<BlockRecord> = blocked.rdd.clone().persist();
-        let kern = cfg.kernel;
-
-        for i in 0..q {
-            // Phase 1: close the diagonal block, stage it (lines 2–3).
-            let diag_rdd = a
-                .filter(move |(key, _)| on_diagonal(key, i))
-                .map(|(key, blk)| (key, floyd_warshall(blk)))
-                .persist();
-            let diag_records = diag_rdd.collect()?;
-            let diag_block = diag_records
-                .into_iter()
-                .next()
-                .ok_or_else(|| {
-                    ApspError::Engine(SparkError::User(format!("missing diagonal block {i}")))
-                })?
-                .1;
-            ctx.side_channel().put_block(diag_key(i), diag_block);
-
-            // Phase 2: update the pivot cross with MinPlus against the
-            // staged diagonal (line 5), collect and stage it (lines 6–7).
-            let side = ctx.clone();
-            let rowcol = a
-                .filter(move |(key, _)| in_column(key, i) && !on_diagonal(key, i))
-                .try_map(move |(key, mut blk)| {
-                    let d = side.side_channel().get_block_arc(&diag_key(i))?;
-                    if key.1 == i {
-                        // Stored A_Ti (pivot columns on the right).
-                        blk.min_plus_assign_with(kern, &d);
-                    } else {
-                        // Stored A_iY (pivot rows on the left).
-                        blk.min_plus_left_assign_with(kern, &d);
-                    }
-                    Ok((key, blk))
-                })
-                .persist();
-            for (key, blk) in rowcol.collect()? {
-                // Stage in canonical orientation C_T = A_Ti, plus the
-                // transpose (A_iT) so Phase 3 reads both orientations
-                // without per-target transposition. Whichever orientation
-                // the stored record already has is staged as-is — one
-                // transpose per cross block, not two.
-                let transposed = blk.transpose();
-                let (t, canonical_block, transposed_block) = if key.1 == i {
-                    (key.0, blk, transposed)
-                } else {
-                    (key.1, transposed, blk)
-                };
-                ctx.side_channel()
-                    .put_block(col_t_key(i, t), transposed_block);
-                ctx.side_channel().put_block(col_key(i, t), canonical_block);
-            }
-
-            // Phase 3: MinPlus on every remaining block from staged
-            // columns (line 9): A_XY = min(A_XY, A_Xi ⊗ A_iY).
-            let side = ctx.clone();
-            let offcol =
-                a.filter(move |(key, _)| !in_column(key, i))
-                    .try_map(move |((x, y), mut blk)| {
-                        let c_x = side.side_channel().get_block_arc(&col_key(i, x))?;
-                        let c_y_t = side.side_channel().get_block_arc(&col_t_key(i, y))?;
-                        blk.min_plus_into_self_with(kern, &c_x, &c_y_t);
-                        Ok(((x, y), blk))
-                    });
-
-            // Reassemble A (lines 11–12).
-            let next = diag_rdd
-                .union_all(&[rowcol.clone(), offcol])
-                .partition_by(partitioner.clone())
-                .persist();
-            // Materialize before the staged blocks are dropped: the
-            // side-channel data is outside the lineage (impurity!).
-            next.count()?;
-            ctx.side_channel().remove(&diag_key(i));
-            for t in 0..q {
-                ctx.side_channel().remove(&col_key(i, t));
-                ctx.side_channel().remove(&col_t_key(i, t));
-            }
-            diag_rdd.unpersist();
-            rowcol.unpersist();
-            a.unpersist();
-            a = next;
-        }
+        let run: AlgRun<Tropical> = engine::solve_cb(ctx, n, &|i, j| adjacency.get(i, j), cfg)?;
 
         let metrics = ctx.metrics().delta(&metrics_before);
+        let rdd = run.rdd.map(|(key, ab)| (key, ab.into_parts().0));
         Ok(DistributedDistances {
-            blocked: blocked.with_rdd(a),
+            blocked: BlockedMatrix {
+                n: run.n,
+                b: run.b,
+                q: run.q,
+                rdd,
+            },
             metrics,
             elapsed: start.elapsed(),
-            iterations: q as u64,
+            iterations: run.iterations,
         })
     }
 }

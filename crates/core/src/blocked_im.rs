@@ -1,12 +1,9 @@
 //! Algorithm 3: Blocked In-Memory — the pure blocked solver.
 
-use crate::blocks::{BlockRecord, BlockedMatrix};
-use crate::building_blocks::{
-    copy_col, copy_diag, floyd_warshall, in_column, on_diagonal, unpack_and_update_with, Piece,
-};
+use crate::engine::{self, AlgRun};
 use crate::solver::{validate_adjacency, ApspError, ApspResult, ApspSolver, SolverConfig};
-use apsp_blockmat::Matrix;
-use sparklet::{Rdd, SparkContext};
+use apsp_blockmat::{Matrix, TrackedTropical, Tropical};
+use sparklet::SparkContext;
 use std::time::Instant;
 
 /// The paper's Algorithm 3: the blocked (Venkataraman) Floyd-Warshall
@@ -27,6 +24,10 @@ use std::time::Instant;
 /// Pure and fault-tolerant, but data-intensive: the copy shuffles move
 /// (and spill) O(q²) blocks per iteration — the source of its local-
 /// storage blowup at scale.
+///
+/// The algorithm itself lives in the crate-private `engine` module generically; this
+/// front-end instantiates it with [`Tropical`] (plain APSP) or
+/// [`TrackedTropical`] (`with_paths`).
 #[derive(Debug, Default, Clone)]
 pub struct BlockedInMemory;
 
@@ -46,7 +47,7 @@ impl ApspSolver for BlockedInMemory {
         cfg: &SolverConfig,
     ) -> Result<ApspResult, ApspError> {
         if cfg.track_paths {
-            return crate::tracked::solve_im(ctx, adjacency, cfg);
+            return engine::solve_tracked(ctx, adjacency, cfg, engine::solve_im::<TrackedTropical>);
         }
         let n = adjacency.order();
         cfg.check(n)?;
@@ -56,96 +57,16 @@ impl ApspSolver for BlockedInMemory {
         let start = Instant::now();
         let metrics_before = ctx.metrics();
 
-        let b = cfg.block_size;
-        let q = n.div_ceil(b);
-        let partitioner = cfg.partitioner.build(q, cfg.partitions_for(ctx));
-        let blocked = BlockedMatrix::from_matrix(ctx, adjacency, b, partitioner.clone());
-        let mut a: Rdd<BlockRecord> = blocked.rdd.clone().persist();
-        let kern = cfg.kernel;
+        let run: AlgRun<Tropical> = engine::solve_im(ctx, n, &|i, j| adjacency.get(i, j), cfg)?;
+        let (vals, _) = run.collect_dense()?;
 
-        for i in 0..q {
-            // Phase 1: diagonal closure + CopyDiag to the cross (lines 2–4).
-            let diag_rdd = a
-                .filter(move |(key, _)| on_diagonal(key, i))
-                .map(|(key, blk)| (key, floyd_warshall(blk)))
-                .persist();
-            let diag_copies = diag_rdd.flat_map(move |(_, d)| copy_diag(i, &d, q));
-
-            // Phase 2: pair cross blocks with the diagonal copies via
-            // combineByKey (ListAppend) and resolve (ListUnpack + MatMin),
-            // lines 6–9.
-            let cross_stored = a
-                .filter(move |(key, _)| in_column(key, i) && !on_diagonal(key, i))
-                .map(|(key, blk)| (key, Piece::Stored(blk)));
-            let phase2: Rdd<BlockRecord> = cross_stored
-                .union(&diag_copies)
-                .combine_by_key(
-                    partitioner.clone(),
-                    |p| vec![p],
-                    |mut list, p| {
-                        list.push(p);
-                        list
-                    },
-                    |mut a, mut b| {
-                        a.append(&mut b);
-                        a
-                    },
-                )
-                .map(move |(key, pieces)| (key, unpack_and_update_with(kern, pieces)))
-                .persist();
-
-            // CopyCol: replicate the updated cross to Phase-3 targets in
-            // canonical orientation C_T = A_Ti (lines 9–10).
-            let copies = phase2.flat_map(move |(key, blk)| {
-                let (t, canonical_block) = if key.1 == i {
-                    (key.0, blk)
-                } else {
-                    (key.1, blk.transpose())
-                };
-                copy_col(t, i, &canonical_block, q)
-            });
-
-            // Phase 3: pair remaining blocks with their two cross copies
-            // and update (lines 12–14).
-            let off_stored = a
-                .filter(move |(key, _)| !in_column(key, i))
-                .map(|(key, blk)| (key, Piece::Stored(blk)));
-            let phase3: Rdd<BlockRecord> = off_stored
-                .union(&copies)
-                .combine_by_key(
-                    partitioner.clone(),
-                    |p| vec![p],
-                    |mut list, p| {
-                        list.push(p);
-                        list
-                    },
-                    |mut a, mut b| {
-                        a.append(&mut b);
-                        a
-                    },
-                )
-                .map(move |(key, pieces)| (key, unpack_and_update_with(kern, pieces)))
-                // Phase-3 keys with no Stored block can arise only for
-                // copies aimed at padded/cross keys — there are none, but
-                // the filter keeps the invariant explicit.
-                ;
-
-            // Reassemble and repartition (line 15) — mandatory, or the
-            // union's partition count compounds every iteration.
-            let next = diag_rdd
-                .union_all(&[phase2.clone(), phase3])
-                .partition_by(partitioner.clone())
-                .persist();
-            next.count()?;
-            diag_rdd.unpersist();
-            phase2.unpersist();
-            a.unpersist();
-            a = next;
-        }
-
-        let result = blocked.with_rdd(a).collect_to_matrix()?;
         let metrics = ctx.metrics().delta(&metrics_before);
-        Ok(ApspResult::new(result, metrics, start.elapsed(), q as u64))
+        Ok(ApspResult::new(
+            Matrix::from_vec(n, vals),
+            metrics,
+            start.elapsed(),
+            run.iterations,
+        ))
     }
 }
 

@@ -1,14 +1,17 @@
 //! The paper's Table 1: functional building blocks shared by the solvers.
 //!
-//! Each function operates on `((I, J), Block)` records (or pieces thereof)
-//! and is passed to `sparklet` transformations, mirroring how the paper
-//! passes them to Spark transformations. The compute-heavy ones delegate
-//! to the `apsp-blockmat` kernels — the analogue of the paper's
-//! NumPy/SciPy/Numba bare-metal offload.
+//! Each function operates on keyed block records (or pieces thereof) and
+//! is passed to `sparklet` transformations, mirroring how the paper
+//! passes them to Spark transformations. Since the solver skeletons are
+//! generic over a [`PathAlgebra`] (see `crate::engine`), the building
+//! blocks are too: the compute-heavy ones delegate to the algebra's
+//! kernel hooks in `apsp-blockmat` — the analogue of the paper's
+//! NumPy/SciPy/Numba bare-metal offload — and the plain-APSP versions are
+//! the [`apsp_blockmat::Tropical`] instantiations.
 
-use crate::blocks::{canonical, BlockKey, BlockRecord};
+use crate::blocks::{canonical, BlockKey};
 use apsp_blockmat::kernels::MinPlusKernel;
-use apsp_blockmat::Block;
+use apsp_blockmat::{AlgBlock, Block, ElemBlock, Offsets, PathAlgebra, Semiring};
 use sparklet::EstimateSize;
 
 /// `InColumn` (Table 1): does the stored upper-triangular record `key`
@@ -23,27 +26,20 @@ pub fn on_diagonal(key: &BlockKey, x: usize) -> bool {
     key.0 == x && key.1 == x
 }
 
-/// `ExtractCol` (Table 1): column `k` (block-local index) of the stored
-/// block, oriented as a segment of the *global* column: returns
-/// `(row_block, values)` where `values[r]` is the distance from row `r` of
-/// `row_block` to the pivot.
+/// `ExtractCol` (Table 1): column `k` (block-local index) of a stored
+/// element block, oriented as a segment of the *global* column: returns
+/// `(row_block, values)` where `values[r]` is the path value from row `r`
+/// of `row_block` to the pivot.
 ///
 /// For a stored record `(I, J)` with `J` the pivot's column-block, that is
 /// the block's `k`-th column; when `I` is the pivot's column-block (the
 /// record is the transposed half of the cross), it is the `k`-th *row*.
-pub fn extract_col(record: &BlockRecord, pivot_block: usize, k: usize) -> Vec<(usize, Vec<f64>)> {
-    extract_col_parts(&record.0, &record.1, pivot_block, k)
-}
-
-/// [`extract_col`] over borrowed parts, so callers holding a tracked (or
-/// otherwise wrapped) record can extract from its distance block without
-/// cloning it into a `BlockRecord`.
-pub fn extract_col_parts(
+pub fn extract_col_parts<S: Semiring>(
     key: &BlockKey,
-    blk: &Block,
+    blk: &ElemBlock<S>,
     pivot_block: usize,
     k: usize,
-) -> Vec<(usize, Vec<f64>)> {
+) -> Vec<(usize, Vec<S::Elem>)> {
     let (i, j) = key;
     let mut out = Vec::new();
     if *j == pivot_block {
@@ -58,24 +54,27 @@ pub fn extract_col_parts(
 /// A tagged block flowing through the pairing shuffles of the blocked
 /// solvers (the values `ListAppend`/`ListUnpack` see).
 ///
-/// `Stored` is a matrix block of `A`; `Left`/`Right` are copies created by
-/// `CopyDiag`/`CopyCol`, pre-oriented so the phase update for target block
-/// `(I, J)` is `A_IJ = min(A_IJ, Left ⊗ A_IJ)`, `min(A_IJ, A_IJ ⊗ Right)`,
-/// or `min(A_IJ, Left ⊗ Right)` depending on which pieces arrive.
-#[derive(Clone, Debug)]
-pub enum Piece {
-    /// The resident block of `A`.
-    Stored(Block),
-    /// A left operand (`A_Ii`, rows of the target's row-block).
-    Left(Block),
-    /// A right operand (`A_iJ`, columns of the target's column-block).
-    Right(Block),
+/// `Stored` is the resident algebra block of `A` (the only piece carrying
+/// payloads); `Left`/`Right` are element copies created by
+/// `CopyDiag`/`CopyCol`, pre-oriented so the phase update for target
+/// block `(I, J)` is `A_IJ = A_IJ ⊕ (Left ⊗ A_IJ)`,
+/// `A_IJ ⊕ (A_IJ ⊗ Right)`, or `A_IJ ⊕ (Left ⊗ Right)` depending on
+/// which pieces arrive.
+#[derive(Clone)]
+pub enum AlgPiece<A: PathAlgebra> {
+    /// The resident algebra block of `A`.
+    Stored(AlgBlock<A>),
+    /// A left operand (`A_Ii`, pre-oriented element copy).
+    Left(ElemBlock<A::Semi>),
+    /// A right operand (`A_iJ`, pre-oriented element copy).
+    Right(ElemBlock<A::Semi>),
 }
 
-impl EstimateSize for Piece {
+impl<A: PathAlgebra> EstimateSize for AlgPiece<A> {
     fn estimate_bytes(&self) -> usize {
         8 + match self {
-            Piece::Stored(b) | Piece::Left(b) | Piece::Right(b) => b.estimate_bytes(),
+            AlgPiece::Stored(t) => t.estimate_bytes(),
+            AlgPiece::Left(b) | AlgPiece::Right(b) => b.estimate_bytes(),
         }
     }
 }
@@ -83,7 +82,11 @@ impl EstimateSize for Piece {
 /// `CopyDiag` (Table 1): replicate the solved diagonal block `A_ii*` to
 /// every cross block of iteration `i`, pre-oriented (`Right` for stored
 /// `(X, i)` — pivot columns on the right; `Left` for `(i, Y)`).
-pub fn copy_diag(i: usize, diag: &Block, q: usize) -> Vec<(BlockKey, Piece)> {
+pub fn copy_diag<A: PathAlgebra>(
+    i: usize,
+    diag: &ElemBlock<A::Semi>,
+    q: usize,
+) -> Vec<(BlockKey, AlgPiece<A>)> {
     let mut out = Vec::with_capacity(q.saturating_sub(1));
     for t in 0..q {
         if t == i {
@@ -92,10 +95,10 @@ pub fn copy_diag(i: usize, diag: &Block, q: usize) -> Vec<(BlockKey, Piece)> {
         let key = canonical(t, i);
         let piece = if key == (t, i) {
             // Stored block is A_Ti (rows T, pivot cols): multiply on the right.
-            Piece::Right(diag.clone())
+            AlgPiece::Right(diag.clone())
         } else {
             // Stored block is A_iY (pivot rows, cols Y): multiply on the left.
-            Piece::Left(diag.clone())
+            AlgPiece::Left(diag.clone())
         };
         out.push((key, piece));
     }
@@ -109,7 +112,12 @@ pub fn copy_diag(i: usize, diag: &Block, q: usize) -> Vec<(BlockKey, Piece)> {
 /// Target `(X, Y)` (upper-triangular, neither index `i`) needs
 /// `Left = A_Xi = C_X` and `Right = A_iY = C_Yᵀ`; the diagonal target
 /// `(T, T)` needs both from this one cross block.
-pub fn copy_col(t: usize, i: usize, col_block: &Block, q: usize) -> Vec<(BlockKey, Piece)> {
+pub fn copy_col<A: PathAlgebra>(
+    t: usize,
+    i: usize,
+    col_block: &ElemBlock<A::Semi>,
+    q: usize,
+) -> Vec<(BlockKey, AlgPiece<A>)> {
     let mut out = Vec::with_capacity(q);
     for k in 0..q {
         if k == i {
@@ -118,11 +126,11 @@ pub fn copy_col(t: usize, i: usize, col_block: &Block, q: usize) -> Vec<(BlockKe
         let key = canonical(t, k);
         if t == key.0 {
             // This cross block provides the Left operand (A_{key.0} i).
-            out.push((key, Piece::Left(col_block.clone())));
+            out.push((key, AlgPiece::Left(col_block.clone())));
         }
         if t == key.1 {
             // ... and/or the Right operand (A_i {key.1} = C_tᵀ).
-            out.push((key, Piece::Right(col_block.transpose())));
+            out.push((key, AlgPiece::Right(col_block.transpose())));
         }
     }
     out
@@ -131,47 +139,57 @@ pub fn copy_col(t: usize, i: usize, col_block: &Block, q: usize) -> Vec<(BlockKe
 /// `ListUnpack` + `MatMin` (Table 1): resolve a pairing list into the
 /// updated block. Exactly one `Stored` piece must be present.
 ///
-/// * `Stored` + `Left` + `Right` → `min(A, L ⊗ R)` (Phase 3),
-/// * `Stored` + `Left` → `min(A, L ⊗ A)` (Phase 2, pivot rows),
-/// * `Stored` + `Right` → `min(A, A ⊗ R)` (Phase 2, pivot cols),
+/// * `Stored` + `Left` + `Right` → `A ⊕ (L ⊗ R)` (Phase 3),
+/// * `Stored` + `Left` → `A ⊕ (L ⊗ A)` (Phase 2, pivot rows),
+/// * `Stored` + `Right` → `A ⊕ (A ⊗ R)` (Phase 2, pivot cols),
 /// * `Stored` alone → unchanged.
+///
+/// `pivot` and the target `key` orient the block-local indices globally
+/// (payload-tracking algebras need them — see `apsp_blockmat::parent`).
 ///
 /// # Panics
 /// Panics when the list carries no or multiple `Stored` pieces (an
 /// algorithmic bug, not a data condition).
-pub fn unpack_and_update(pieces: Vec<Piece>) -> Block {
-    unpack_and_update_with(MinPlusKernel::Auto, pieces)
-}
-
-/// [`unpack_and_update`] with an explicit kernel choice. All three update
-/// shapes run through the zero-alloc fold entry points: Phase 3 folds
-/// `L ⊗ R` straight into `A`, and the Phase-2 shapes build the product in
-/// the reused thread-local scratch instead of cloning the accumulator.
-pub fn unpack_and_update_with(kernel: MinPlusKernel, pieces: Vec<Piece>) -> Block {
-    let mut stored: Option<Block> = None;
-    let mut left: Option<Block> = None;
-    let mut right: Option<Block> = None;
+pub fn unpack_and_update<A: PathAlgebra>(
+    kernel: MinPlusKernel,
+    pieces: Vec<AlgPiece<A>>,
+    pivot: usize,
+    b: usize,
+    key: BlockKey,
+) -> AlgBlock<A> {
+    let mut stored: Option<AlgBlock<A>> = None;
+    let mut left: Option<ElemBlock<A::Semi>> = None;
+    let mut right: Option<ElemBlock<A::Semi>> = None;
     for p in pieces {
         match p {
-            Piece::Stored(b) => {
+            AlgPiece::Stored(t) => {
                 assert!(stored.is_none(), "duplicate Stored piece in pairing list");
-                stored = Some(b);
+                stored = Some(t);
             }
-            Piece::Left(b) => left = Some(b),
-            Piece::Right(b) => right = Some(b),
+            AlgPiece::Left(b) => left = Some(b),
+            AlgPiece::Right(b) => right = Some(b),
         }
     }
     let mut a = stored.expect("pairing list lacks the Stored block");
+    let offsets = Offsets::blocks(b, pivot, key.0, key.1);
     match (left, right) {
-        (Some(l), Some(r)) => a.min_plus_into_self_with(kernel, &l, &r),
-        (Some(l), None) => a.min_plus_left_assign_with(kernel, &l),
-        (None, Some(r)) => a.min_plus_assign_with(kernel, &r),
+        (Some(l), Some(r)) => a.min_plus_into_self(kernel, &l, &r, offsets),
+        (Some(l), None) => a.min_plus_left_assign(kernel, &l, offsets),
+        (None, Some(r)) => a.min_plus_assign(kernel, &r, offsets),
         (None, None) => {}
     }
     a
 }
 
-/// `FloydWarshall` (Table 1): close a diagonal block in place.
+/// `FloydWarshall` (Table 1): close a diagonal algebra block in place;
+/// `diag_offset` is the global vertex id of its row/column `0`.
+pub fn floyd_warshall_alg<A: PathAlgebra>(mut blk: AlgBlock<A>, diag_offset: usize) -> AlgBlock<A> {
+    blk.floyd_warshall_in_place(diag_offset);
+    blk
+}
+
+/// `FloydWarshall` over a plain `f64` distance block (the directed
+/// solvers' untracked phase-1 step).
 pub fn floyd_warshall(mut blk: Block) -> Block {
     blk.floyd_warshall_in_place();
     blk
@@ -180,10 +198,21 @@ pub fn floyd_warshall(mut blk: Block) -> Block {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use apsp_blockmat::INF;
+    use apsp_blockmat::{Tropical, INF};
 
-    fn blk(vals: [[f64; 2]; 2]) -> Block {
-        Block::from_fn(2, |i, j| vals[i][j])
+    fn blk(vals: [[f64; 2]; 2]) -> ElemBlock<apsp_blockmat::TropicalF64> {
+        ElemBlock::from_fn(2, |i, j| vals[i][j])
+    }
+
+    fn stored(vals: [[f64; 2]; 2]) -> AlgPiece<Tropical> {
+        AlgPiece::Stored(AlgBlock::from_dist(blk(vals)))
+    }
+
+    const KEY: BlockKey = (2, 3);
+    const PIVOT: usize = 1;
+
+    fn unpack(pieces: Vec<AlgPiece<Tropical>>) -> AlgBlock<Tropical> {
+        unpack_and_update(MinPlusKernel::Auto, pieces, PIVOT, 2, KEY)
     }
 
     #[test]
@@ -196,18 +225,15 @@ mod tests {
 
     #[test]
     fn extract_col_handles_both_orientations() {
-        let b = Block::from_fn(2, |i, j| (10 * i + j) as f64);
+        let b = blk([[0.0, 1.0], [10.0, 11.0]]);
         // Record (1, 2), pivot block 2: column k of the block.
-        let rec = ((1usize, 2usize), b.clone());
-        let got = extract_col(&rec, 2, 1);
+        let got = extract_col_parts(&(1usize, 2usize), &b, 2, 1);
         assert_eq!(got, vec![(1, vec![1.0, 11.0])]);
         // Record (2, 4), pivot block 2: row k (transposed half).
-        let rec2 = ((2usize, 4usize), b.clone());
-        let got2 = extract_col(&rec2, 2, 0);
+        let got2 = extract_col_parts(&(2usize, 4usize), &b, 2, 0);
         assert_eq!(got2, vec![(4, vec![0.0, 1.0])]);
         // Diagonal record (2,2): column only (row would duplicate).
-        let rec3 = ((2usize, 2usize), b);
-        let got3 = extract_col(&rec3, 2, 0);
+        let got3 = extract_col_parts(&(2usize, 2usize), &b, 2, 0);
         assert_eq!(got3.len(), 1);
         assert_eq!(got3[0].0, 2);
     }
@@ -217,16 +243,16 @@ mod tests {
         let d = blk([[0.0, 1.0], [1.0, 0.0]]);
         let q = 4;
         let i = 2;
-        let copies = copy_diag(i, &d, q);
+        let copies = copy_diag::<Tropical>(i, &d, q);
         assert_eq!(copies.len(), 3);
         for (key, piece) in copies {
             assert!(in_column(&key, i));
             match piece {
                 // Stored (X, i) with X < i: right-multiply.
-                Piece::Right(_) => assert!(key.1 == i),
+                AlgPiece::Right(_) => assert!(key.1 == i),
                 // Stored (i, Y): left-multiply.
-                Piece::Left(_) => assert!(key.0 == i),
-                Piece::Stored(_) => panic!("copy must not be Stored"),
+                AlgPiece::Left(_) => assert!(key.0 == i),
+                AlgPiece::Stored(_) => panic!("copy must not be Stored"),
             }
         }
     }
@@ -237,14 +263,14 @@ mod tests {
         let q = 4;
         let i = 1;
         let t = 3;
-        let copies = copy_col(t, i, &c, q);
+        let copies = copy_col::<Tropical>(t, i, &c, q);
         // Targets: (0,3) R, (2,3) R, (3,3) L+R — 4 pieces.
         assert_eq!(copies.len(), 4);
         let diag_pieces: Vec<_> = copies.iter().filter(|(k, _)| *k == (3, 3)).collect();
         assert_eq!(diag_pieces.len(), 2);
         // Right pieces are transposed.
         for (key, piece) in &copies {
-            if let Piece::Right(b) = piece {
+            if let AlgPiece::Right(b) = piece {
                 assert_eq!(key.1, t);
                 assert_eq!(b.get(0, 1), c.get(1, 0));
             }
@@ -253,37 +279,36 @@ mod tests {
 
     #[test]
     fn unpack_phase3_computes_product() {
-        let a = blk([[10.0, 10.0], [10.0, 10.0]]);
-        let l = blk([[1.0, INF], [INF, 1.0]]);
-        let r = blk([[2.0, 3.0], [4.0, 5.0]]);
-        let out = unpack_and_update(vec![Piece::Left(l), Piece::Stored(a), Piece::Right(r)]);
-        assert_eq!(out.get(0, 0), 3.0); // 1 + 2
-        assert_eq!(out.get(1, 1), 6.0); // 1 + 5
+        let a = stored([[10.0, 10.0], [10.0, 10.0]]);
+        let l = AlgPiece::Left(blk([[1.0, INF], [INF, 1.0]]));
+        let r = AlgPiece::Right(blk([[2.0, 3.0], [4.0, 5.0]]));
+        let out = unpack(vec![l, a, r]);
+        assert_eq!(out.dist().get(0, 0), 3.0); // 1 + 2
+        assert_eq!(out.dist().get(1, 1), 6.0); // 1 + 5
     }
 
     #[test]
     fn unpack_phase2_left_and_right() {
-        let a = blk([[4.0, 4.0], [4.0, 4.0]]);
         let d = blk([[0.0, 1.0], [1.0, 0.0]]);
         // Right: A ⊗ D — can route through the cheap diagonal.
-        let out_r = unpack_and_update(vec![Piece::Stored(a.clone()), Piece::Right(d.clone())]);
-        assert_eq!(out_r.get(0, 0), 4.0);
-        assert_eq!(out_r.get(0, 1), 4.0);
+        let out_r = unpack(vec![stored([[4.0; 2]; 2]), AlgPiece::Right(d.clone())]);
+        assert_eq!(out_r.dist().get(0, 0), 4.0);
+        assert_eq!(out_r.dist().get(0, 1), 4.0);
         // Left: D ⊗ A.
-        let out_l = unpack_and_update(vec![Piece::Left(d), Piece::Stored(a)]);
-        assert_eq!(out_l.get(0, 0), 4.0);
+        let out_l = unpack(vec![AlgPiece::Left(d), stored([[4.0; 2]; 2])]);
+        assert_eq!(out_l.dist().get(0, 0), 4.0);
     }
 
     #[test]
     fn unpack_stored_only_is_identity() {
-        let a = blk([[0.0, 7.0], [7.0, 0.0]]);
-        assert_eq!(unpack_and_update(vec![Piece::Stored(a.clone())]), a);
+        let out = unpack(vec![stored([[0.0, 7.0], [7.0, 0.0]])]);
+        assert_eq!(out.dist(), &blk([[0.0, 7.0], [7.0, 0.0]]));
     }
 
     #[test]
     #[should_panic(expected = "lacks the Stored block")]
     fn unpack_requires_stored() {
-        let _ = unpack_and_update(vec![Piece::Left(Block::infinity(2))]);
+        let _ = unpack(vec![AlgPiece::Left(ElemBlock::zeros(2))]);
     }
 
     #[test]
@@ -295,5 +320,13 @@ mod tests {
         a.set(2, 1, 1.0);
         let closed = floyd_warshall(a);
         assert_eq!(closed.get(0, 2), 2.0);
+
+        let mut t = Block::identity(3);
+        t.set(0, 1, 1.0);
+        t.set(1, 0, 1.0);
+        t.set(1, 2, 1.0);
+        t.set(2, 1, 1.0);
+        let closed_alg = floyd_warshall_alg(AlgBlock::<Tropical>::from_dist(t), 0);
+        assert_eq!(closed_alg.dist(), &closed);
     }
 }

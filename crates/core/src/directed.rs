@@ -10,7 +10,7 @@
 use crate::blocks::{BlockKey, BlockRecord};
 use crate::building_blocks::floyd_warshall;
 use crate::solver::{ApspError, ApspResult, SolverConfig};
-use apsp_blockmat::{Matrix, INF};
+use apsp_blockmat::{AlgBlock, Matrix, PathAlgebra, TrackedTropical, Tropical, TropicalF64, INF};
 use sparklet::{Partitioner, Rdd, SparkContext, SparkError};
 use std::sync::Arc;
 use std::time::Instant;
@@ -60,6 +60,26 @@ impl FullBlockedMatrix {
 /// shortcut. Phase 2 updates both the pivot row-block and column-block;
 /// Phase 3 reads the staged *column* piece `C_X = A_Xi` and *row* piece
 /// `R_Y = A_iY` (distinct objects for directed inputs).
+///
+/// # Why `with_paths` is still rejected here
+///
+/// The tracked kernel tier records, per cell, the winning intermediate
+/// vertex of a fold `A_XY ⊕ (A_Xi ⊗ A_iY)` under a **seeding contract**:
+/// degenerate terms (global `k` equal to the target's row or column) are
+/// skipped because the fold target already holds the estimate they would
+/// restate. In this solver the Phase-2 cross blocks are staged *after*
+/// their own update but *consumed by each other's orientation*: the
+/// staged `C_X` and `R_Y` pieces are distinct objects whose element
+/// values may already include relaxations through pivot block `i` that
+/// the *stored* target has not seen, and — unlike the undirected solver —
+/// there is no transpose-mirror argument tying the two orientations'
+/// argmins together. Giving each orientation its own parent plane (so
+/// `via(i,j)` and `via(j,i)` evolve independently) is the planned fix
+/// (see ROADMAP); until those per-orientation parent blocks exist,
+/// accepting `with_paths` here could emit vias whose expansion does not
+/// terminate, so the config is rejected loudly instead. Use
+/// [`DirectedFloydWarshall2D`], whose single-pivot rank-1 updates need no
+/// seeding argument, for directed path tracking.
 #[derive(Debug, Default, Clone)]
 pub struct DirectedBlockedCB;
 
@@ -91,7 +111,11 @@ impl DirectedBlockedCB {
     ) -> Result<ApspResult, ApspError> {
         if cfg.track_paths {
             return Err(ApspError::InvalidConfig(
-                "path tracking (with_paths) is not supported by the directed solvers yet; use apsp_graph::paths::floyd_warshall_vias for directed witnesses".into(),
+                "path tracking (with_paths) is not supported by DirectedBlockedCB: its staged \
+                 cross pieces would need per-orientation parent blocks (see the type-level docs); \
+                 use DirectedFloydWarshall2D::solve with with_paths, or \
+                 apsp_graph::paths::floyd_warshall_vias for a sequential oracle"
+                    .into(),
             ));
         }
         let n = adjacency.order();
@@ -197,17 +221,20 @@ impl DirectedFloydWarshall2D {
     }
 
     /// Solves directed APSP for a dense adjacency matrix.
+    ///
+    /// Honors [`SolverConfig::with_paths`]: each block carries a
+    /// per-orientation parent plane (the full grid stores both `(X, Y)`
+    /// and `(Y, X)`, so no transpose-mirror argument is needed) and every
+    /// rank-1 update records the broadcast pivot as the via — a valid
+    /// interior vertex of the *directed* `i → j` path by construction.
+    /// Both modes run the same generic full-grid loop, instantiated with
+    /// [`Tropical`] or [`TrackedTropical`].
     pub fn solve(
         &self,
         ctx: &SparkContext,
         adjacency: &Matrix,
         cfg: &SolverConfig,
     ) -> Result<ApspResult, ApspError> {
-        if cfg.track_paths {
-            return Err(ApspError::InvalidConfig(
-                "path tracking (with_paths) is not supported by the directed solvers yet; use apsp_graph::paths::floyd_warshall_vias for directed witnesses".into(),
-            ));
-        }
         let n = adjacency.order();
         cfg.check(n)?;
         if cfg.validate_input {
@@ -215,59 +242,116 @@ impl DirectedFloydWarshall2D {
         }
         let start = Instant::now();
         let metrics_before = ctx.metrics();
-
-        let b = cfg.block_size;
-        let q = n.div_ceil(b);
-        let partitioner = cfg.partitioner.build(q, cfg.partitions_for(ctx));
-        let full = FullBlockedMatrix::from_matrix(ctx, adjacency, b, partitioner);
-        let mut a = full.rdd.clone().persist();
-        let mut prev: Option<Rdd<BlockRecord>> = None;
-
-        for k in 0..n {
-            let pivot = k / b;
-            let k_local = k % b;
-
-            // Pivot column: d(x, k) from column-block records (Y == pivot).
-            let col_segments = a
-                .filter(move |((_, y), _)| *y == pivot)
-                .map(move |((x, _), blk)| (x, blk.extract_col(k_local)))
-                .collect()?;
-            // Pivot row: d(k, y) from row-block records (X == pivot).
-            let row_segments = a
-                .filter(move |((x, _), _)| *x == pivot)
-                .map(move |((_, y), blk)| (y, blk.extract_row(k_local)))
-                .collect()?;
-
-            let mut col = vec![INF; q * b];
-            for (block_row, values) in col_segments {
-                col[block_row * b..block_row * b + b].copy_from_slice(&values);
-            }
-            let mut row = vec![INF; q * b];
-            for (block_col, values) in row_segments {
-                row[block_col * b..block_col * b + b].copy_from_slice(&values);
-            }
-            let col_b = ctx.broadcast(col);
-            let row_b = ctx.broadcast(row);
-
-            let next = a
-                .map(move |((x, y), mut blk)| {
-                    let col_i = &col_b.value()[x * b..x * b + b]; // d(·, k)
-                    let row_j = &row_b.value()[y * b..y * b + b]; // d(k, ·)
-                    blk.fw_update_outer(col_i, row_j);
-                    ((x, y), blk)
-                })
-                .persist();
-            if let Some(old) = prev.take() {
-                old.unpersist();
-            }
-            prev = Some(a);
-            a = next;
+        if cfg.track_paths {
+            let (vals, vias) = fw2d_full_grid::<TrackedTropical>(ctx, adjacency, cfg)?;
+            let metrics = ctx.metrics().delta(&metrics_before);
+            Ok(ApspResult::new(
+                Matrix::from_vec(n, vals),
+                metrics,
+                start.elapsed(),
+                n as u64,
+            )
+            .with_parents(apsp_graph::paths::ParentMatrix::from_vias(n, vias)))
+        } else {
+            let (vals, _) = fw2d_full_grid::<Tropical>(ctx, adjacency, cfg)?;
+            let metrics = ctx.metrics().delta(&metrics_before);
+            Ok(ApspResult::new(
+                Matrix::from_vec(n, vals),
+                metrics,
+                start.elapsed(),
+                n as u64,
+            ))
         }
-
-        let result = FullBlockedMatrix { n, b, q, rdd: a }.collect_to_matrix()?;
-        let metrics = ctx.metrics().delta(&metrics_before);
-        Ok(ApspResult::new(result, metrics, start.elapsed(), n as u64))
     }
+}
+
+/// The directed 2D Floyd-Warshall loop over the full `q × q` grid,
+/// generic over the path algebra (the tropical `f64` element type is
+/// fixed — directed inputs are adjacency matrices). Returns the dense
+/// `n × n` values and payloads, collected without transpose-mirroring:
+/// each orientation owns its elements *and* payloads.
+fn fw2d_full_grid<A: PathAlgebra<Semi = TropicalF64>>(
+    ctx: &SparkContext,
+    adjacency: &Matrix,
+    cfg: &SolverConfig,
+) -> Result<(Vec<f64>, Vec<A::Payload>), ApspError> {
+    let n = adjacency.order();
+    let b = cfg.block_size;
+    let q = n.div_ceil(b);
+    let partitioner = cfg.partitioner.build(q, cfg.partitions_for(ctx));
+    let blocks = adjacency.to_blocks(b);
+    let mut records = Vec::with_capacity(q * q);
+    for bi in 0..q {
+        for bj in 0..q {
+            records.push((
+                (bi, bj),
+                AlgBlock::<A>::from_dist(blocks[bi * q + bj].clone()),
+            ));
+        }
+    }
+    let mut a: Rdd<(BlockKey, AlgBlock<A>)> = ctx.parallelize_by(records, partitioner).persist();
+    let mut prev: Option<Rdd<(BlockKey, AlgBlock<A>)>> = None;
+
+    for k in 0..n {
+        let pivot = k / b;
+        let k_local = k % b;
+
+        // Pivot column: d(x, k) from column-block records (Y == pivot).
+        let col_segments = a
+            .filter(move |((_, y), _)| *y == pivot)
+            .map(move |((x, _), ab)| (x, ab.dist().extract_col(k_local)))
+            .collect()?;
+        // Pivot row: d(k, y) from row-block records (X == pivot).
+        let row_segments = a
+            .filter(move |((x, _), _)| *x == pivot)
+            .map(move |((_, y), ab)| (y, ab.dist().extract_row(k_local)))
+            .collect()?;
+
+        let mut col = vec![INF; q * b];
+        for (block_row, values) in col_segments {
+            col[block_row * b..block_row * b + b].copy_from_slice(&values);
+        }
+        let mut row = vec![INF; q * b];
+        for (block_col, values) in row_segments {
+            row[block_col * b..block_col * b + b].copy_from_slice(&values);
+        }
+        let col_b = ctx.broadcast(col);
+        let row_b = ctx.broadcast(row);
+
+        let next = a
+            .map(move |((x, y), mut ab)| {
+                let col_i = &col_b.value()[x * b..x * b + b]; // d(·, k)
+                let row_j = &row_b.value()[y * b..y * b + b]; // d(k, ·)
+                ab.fw_update_outer(col_i, row_j, k);
+                ((x, y), ab)
+            })
+            .persist();
+        if let Some(old) = prev.take() {
+            old.unpersist();
+        }
+        prev = Some(a);
+        a = next;
+    }
+
+    // Collect the full grid, trimming padding.
+    let mut vals = vec![INF; n * n];
+    let mut pays = vec![A::empty_payload(); n * n];
+    for ((bi, bj), ab) in a.collect()? {
+        for i in 0..b {
+            let gi = bi * b + i;
+            if gi >= n {
+                continue;
+            }
+            for j in 0..b {
+                let gj = bj * b + j;
+                if gj < n {
+                    vals[gi * n + gj] = ab.dist().get(i, j);
+                    pays[gi * n + gj] = ab.via().get(i, j);
+                }
+            }
+        }
+    }
+    Ok((vals, pays))
 }
 
 #[cfg(test)]
@@ -377,6 +461,69 @@ mod tests {
             .solve(&ctx(), &adj, &SolverConfig::new(10))
             .unwrap();
         assert!(fw.distances().approx_eq(cb.distances(), 1e-9).is_ok());
+    }
+
+    #[test]
+    fn directed_fw2d_tracked_round_trips() {
+        for seed in [11u64, 23] {
+            let g = generators::erdos_renyi_directed(34, 0.15, seed);
+            let adj = g.to_dense();
+            let res = DirectedFloydWarshall2D
+                .solve(&ctx(), &adj, &SolverConfig::new(8).with_paths())
+                .unwrap();
+            assert!(res.parents().is_some());
+            let oracle = apsp_dijkstra_directed(&g);
+            assert!(
+                res.distances().approx_eq(&oracle, 1e-9).is_ok(),
+                "seed {seed}: tracked distances diverge"
+            );
+            let dap = res.into_paths().unwrap();
+            dap.validate_against(&adj, 1e-9)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn directed_fw2d_tracked_matches_untracked_distances() {
+        let g = generators::erdos_renyi_directed(29, 0.2, 2);
+        let adj = g.to_dense();
+        let plain = DirectedFloydWarshall2D
+            .solve(&ctx(), &adj, &SolverConfig::new(7))
+            .unwrap();
+        let tracked = DirectedFloydWarshall2D
+            .solve(&ctx(), &adj, &SolverConfig::new(7).with_paths())
+            .unwrap();
+        assert!(tracked
+            .distances()
+            .approx_eq(plain.distances(), 0.0)
+            .is_ok());
+    }
+
+    #[test]
+    fn directed_fw2d_tracked_one_way_cycle_paths_walk_the_ring() {
+        let mut g = DiGraph::new(9);
+        for i in 0..9u32 {
+            g.add_arc(i, (i + 1) % 9, 1.0);
+        }
+        let res = DirectedFloydWarshall2D
+            .solve(&ctx(), &g.to_dense(), &SolverConfig::new(4).with_paths())
+            .unwrap();
+        let dap = res.into_paths().unwrap();
+        // 2 → 1 must walk forward around the ring (8 hops), never backward.
+        let p = dap.reconstruct(2, 1).unwrap();
+        assert_eq!(p.len(), 9);
+        for w in p.windows(2) {
+            assert_eq!((w[0] + 1) % 9, w[1], "path must follow arcs: {p:?}");
+        }
+    }
+
+    #[test]
+    fn directed_cb_still_rejects_with_paths() {
+        let g = generators::erdos_renyi_directed(12, 0.2, 3);
+        let err = DirectedBlockedCB
+            .solve(&ctx(), &g.to_dense(), &SolverConfig::new(4).with_paths())
+            .unwrap_err();
+        assert!(matches!(err, ApspError::InvalidConfig(_)));
     }
 
     #[test]

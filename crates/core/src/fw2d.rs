@@ -1,10 +1,9 @@
 //! Algorithm 2: 2D-decomposed Floyd-Warshall (the "pure" solver).
 
-use crate::blocks::{BlockRecord, BlockedMatrix};
-use crate::building_blocks::{extract_col, in_column};
+use crate::engine::{self, AlgRun};
 use crate::solver::{validate_adjacency, ApspError, ApspResult, ApspSolver, SolverConfig};
-use apsp_blockmat::{Matrix, INF};
-use sparklet::{Rdd, SparkContext};
+use apsp_blockmat::{Matrix, TrackedTropical, Tropical};
+use sparklet::SparkContext;
 use std::time::Instant;
 
 /// The paper's Algorithm 2: `n` iterations; in iteration `k` the pivot
@@ -16,6 +15,10 @@ use std::time::Instant;
 /// channel, no wide shuffles. The price is `n` synchronization points,
 /// which is what makes it uncompetitive at scale (Table 2: projected
 /// ~50+ days at `n = 262144`).
+///
+/// The algorithm itself lives in the crate-private `engine` module generically; this
+/// front-end instantiates it with [`Tropical`] (plain APSP) or
+/// [`TrackedTropical`] (`with_paths`).
 #[derive(Debug, Default, Clone)]
 pub struct FloydWarshall2D;
 
@@ -35,7 +38,12 @@ impl ApspSolver for FloydWarshall2D {
         cfg: &SolverConfig,
     ) -> Result<ApspResult, ApspError> {
         if cfg.track_paths {
-            return crate::tracked::solve_fw2d(ctx, adjacency, cfg);
+            return engine::solve_tracked(
+                ctx,
+                adjacency,
+                cfg,
+                engine::solve_fw2d::<TrackedTropical>,
+            );
         }
         let n = adjacency.order();
         cfg.check(n)?;
@@ -45,61 +53,23 @@ impl ApspSolver for FloydWarshall2D {
         let start = Instant::now();
         let metrics_before = ctx.metrics();
 
-        let b = cfg.block_size;
-        let partitioner = cfg
-            .partitioner
-            .build(n.div_ceil(b), cfg.partitions_for(ctx));
-        let blocked = BlockedMatrix::from_matrix(ctx, adjacency, b, partitioner);
-        let q = blocked.q;
-        let mut a: Rdd<BlockRecord> = blocked.rdd.clone().persist();
-        let mut prev: Option<Rdd<BlockRecord>> = None;
+        let run: AlgRun<Tropical> = engine::solve_fw2d(ctx, n, &|i, j| adjacency.get(i, j), cfg)?;
+        let (vals, _) = run.collect_dense()?;
 
-        for k in 0..n {
-            let pivot_block = k / b;
-            let k_local = k % b;
-
-            // Extract and collect the pivot column (lines 2–6 of Alg. 2).
-            let segments = a
-                .filter(move |(key, _)| in_column(key, pivot_block))
-                .flat_map(move |rec| extract_col(&rec, pivot_block, k_local))
-                .collect()?;
-            let mut column = vec![INF; q * b];
-            for (row_block, values) in segments {
-                column[row_block * b..row_block * b + b].copy_from_slice(&values);
-            }
-            // Broadcast to the executors (line 8).
-            let bcast = ctx.broadcast(column);
-
-            // FloydWarshallUpdate on every block (line 10), exploiting
-            // symmetry: column[x] = d(x, k) = d(k, x).
-            let col = bcast.clone();
-            let next = a
-                .map(move |((i, j), mut blk)| {
-                    let col_i = &col.value()[i * b..i * b + b];
-                    let col_j = &col.value()[j * b..j * b + b];
-                    blk.fw_update_outer(col_i, col_j);
-                    ((i, j), blk)
-                })
-                .persist();
-
-            // `a` was fully materialized by the column job; retire the
-            // generation before it to keep memory at ~two generations.
-            if let Some(old) = prev.take() {
-                old.unpersist();
-            }
-            prev = Some(a);
-            a = next;
-        }
-
-        let result = blocked.with_rdd(a).collect_to_matrix()?;
         let metrics = ctx.metrics().delta(&metrics_before);
-        Ok(ApspResult::new(result, metrics, start.elapsed(), n as u64))
+        Ok(ApspResult::new(
+            Matrix::from_vec(n, vals),
+            metrics,
+            start.elapsed(),
+            run.iterations,
+        ))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use apsp_blockmat::INF;
     use apsp_graph::{floyd_warshall, generators};
     use sparklet::SparkConfig;
 

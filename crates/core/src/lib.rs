@@ -38,22 +38,25 @@
 
 #![warn(missing_docs)]
 
+pub mod algebra;
 mod blocked_cb;
 mod blocked_im;
 mod blocks;
 pub mod building_blocks;
 mod cartesian_rs;
 pub mod directed;
+mod engine;
 mod fw2d;
 mod johnson_dist;
 mod mpi_dc;
 mod mpi_fw2d;
 mod repeated_squaring;
 mod solver;
-mod tracked;
 pub mod tuner;
 
+pub use algebra::{AlgebraResult, AlgebraSolver};
 pub use apsp_blockmat::kernels::MinPlusKernel;
+pub use apsp_blockmat::{PathAlgebra, Reachability, TrackedTropical, Tropical, Widest};
 pub use apsp_graph::paths::{DistancesAndParents, NodeId, ParentMatrix};
 pub use blocked_cb::{BlockedCollectBroadcast, DistributedDistances};
 pub use blocked_im::BlockedInMemory;

@@ -1,10 +1,9 @@
 //! Algorithm 1: repeated squaring with column-block sweeps.
 
-use crate::blocks::{BlockRecord, BlockedMatrix};
-use crate::building_blocks::in_column;
+use crate::engine::{self, AlgRun};
 use crate::solver::{validate_adjacency, ApspError, ApspResult, ApspSolver, SolverConfig};
-use apsp_blockmat::Matrix;
-use sparklet::{Rdd, SparkContext};
+use apsp_blockmat::{Matrix, TrackedTropical, Tropical};
+use sparklet::SparkContext;
 use std::time::Instant;
 
 /// The paper's Algorithm 1: compute `A^n` over the (min, +) semiring by
@@ -21,12 +20,12 @@ use std::time::Instant;
 /// Impure (side-channel staging) and asymptotically wasteful — `⌈log₂ n⌉`
 /// squarings of `O(n³)` work each — but the fastest solver to write, which
 /// is the paper's point about programmer productivity.
+///
+/// The algorithm itself lives in the crate-private `engine` module generically; this
+/// front-end instantiates it with [`Tropical`] (plain APSP) or
+/// [`TrackedTropical`] (`with_paths`).
 #[derive(Debug, Default, Clone)]
 pub struct RepeatedSquaring;
-
-fn col_key(step: usize, j: usize, k: usize) -> String {
-    format!("rs:{step}:{j}:{k}")
-}
 
 impl ApspSolver for RepeatedSquaring {
     fn name(&self) -> &'static str {
@@ -44,7 +43,7 @@ impl ApspSolver for RepeatedSquaring {
         cfg: &SolverConfig,
     ) -> Result<ApspResult, ApspError> {
         if cfg.track_paths {
-            return crate::tracked::solve_rs(ctx, adjacency, cfg);
+            return engine::solve_tracked(ctx, adjacency, cfg, engine::solve_rs::<TrackedTropical>);
         }
         let n = adjacency.order();
         cfg.check(n)?;
@@ -54,85 +53,15 @@ impl ApspSolver for RepeatedSquaring {
         let start = Instant::now();
         let metrics_before = ctx.metrics();
 
-        let b = cfg.block_size;
-        let q = n.div_ceil(b);
-        let partitioner = cfg.partitioner.build(q, cfg.partitions_for(ctx));
-        let blocked = BlockedMatrix::from_matrix(ctx, adjacency, b, partitioner.clone());
-        let mut a: Rdd<BlockRecord> = blocked.rdd.clone().persist();
+        let run: AlgRun<Tropical> = engine::solve_rs(ctx, n, &|i, j| adjacency.get(i, j), cfg)?;
+        let (vals, _) = run.collect_dense()?;
 
-        // ⌈log₂ n⌉ squarings close paths of any hop count (diagonal zeros
-        // make A^(2^s) monotone non-increasing and ≥-dominated by A^n).
-        let squarings = (n.max(2) as f64).log2().ceil() as usize;
-        let mut sweeps_done = 0u64;
-
-        for step in 0..squarings {
-            let mut sweeps: Vec<Rdd<BlockRecord>> = Vec::with_capacity(q);
-            for j in 0..q {
-                // Stage column J's blocks in canonical orientation
-                // C_K = A_KJ (rows K, cols J) — lines 3–4.
-                for ((x, y), blk) in a.filter(move |(key, _)| in_column(key, j)).collect()? {
-                    if y == j {
-                        ctx.side_channel()
-                            .put_block(col_key(step, j, x), blk.clone());
-                    }
-                    if x == j && x != y {
-                        ctx.side_channel()
-                            .put_block(col_key(step, j, y), blk.transpose());
-                    }
-                }
-
-                // MatProd against the staged column + reduceByKey(MatMin)
-                // — line 5. A stored record (I, K) contributes A_IK ⊗ C_K
-                // toward D_IJ and (via its transpose) A_KI ⊗ C_I toward
-                // D_KJ; only upper-triangular targets are emitted, since
-                // sweep J owns exactly the keys (X, J), X ≤ J.
-                let side = ctx.clone();
-                let kern = cfg.kernel;
-                let contributions = a.try_flat_map(move |((rec_i, rec_k), blk)| {
-                    let mut out: Vec<BlockRecord> = Vec::with_capacity(2);
-                    if rec_i <= j {
-                        let c_k = side
-                            .side_channel()
-                            .get_block_arc(&col_key(step, j, rec_k))?;
-                        out.push(((rec_i, j), blk.min_plus_with(kern, &c_k)));
-                    }
-                    if rec_k <= j && rec_i != rec_k {
-                        let c_i = side
-                            .side_channel()
-                            .get_block_arc(&col_key(step, j, rec_i))?;
-                        out.push(((rec_k, j), blk.transpose().min_plus_with(kern, &c_i)));
-                    }
-                    Ok(out)
-                });
-                let t_j = contributions.reduce_by_key(partitioner.clone(), |mut x, y| {
-                    x.mat_min_assign(&y);
-                    x
-                });
-                sweeps.push(t_j);
-                sweeps_done += 1;
-            }
-
-            // Line 6: union the sweeps into the next A.
-            let next = sweeps[0].union_all(&sweeps[1..]).persist();
-            // Materialize *before* dropping the staged columns — the
-            // products read them lazily (impurity in action).
-            next.count()?;
-            for j in 0..q {
-                for k in 0..q {
-                    ctx.side_channel().remove(&col_key(step, j, k));
-                }
-            }
-            a.unpersist();
-            a = next;
-        }
-
-        let result = blocked.with_rdd(a).collect_to_matrix()?;
         let metrics = ctx.metrics().delta(&metrics_before);
         Ok(ApspResult::new(
-            result,
+            Matrix::from_vec(n, vals),
             metrics,
             start.elapsed(),
-            sweeps_done,
+            run.iterations,
         ))
     }
 }

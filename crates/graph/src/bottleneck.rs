@@ -1,0 +1,197 @@
+//! Sequential oracles for the non-tropical all-pairs workloads: widest
+//! (bottleneck) paths and BFS reachability.
+//!
+//! These are the cross-validation references for the generic path-algebra
+//! solvers in `apsp-core` (`algebra::widest_paths` over *(max, min)*,
+//! `algebra::transitive_closure` over *(∨, ∧)*), playing the role
+//! [`crate::dijkstra::apsp_dijkstra`] plays for the tropical solvers.
+
+use crate::{Csr, Graph};
+use apsp_blockmat::{Matrix, INF};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Max-heap entry: `(capacity, vertex)` ordered by capacity.
+#[derive(PartialEq)]
+struct HeapItem {
+    cap: f64,
+    vertex: u32,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on capacity; capacities are never NaN (validated on
+        // input). Tie-break on vertex for determinism.
+        self.cap
+            .partial_cmp(&other.cap)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.vertex.cmp(&other.vertex))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source widest-path capacities from `source`: the modified
+/// Dijkstra that grows the tree by the fattest frontier edge. Entry `v`
+/// is the best bottleneck `max over routes (min over edges capacity)`,
+/// `0.0` if unreachable and [`INF`] for the source itself.
+pub fn widest_sssp(csr: &Csr, source: usize) -> Vec<f64> {
+    let n = csr.order();
+    assert!(source < n, "source out of range");
+    let mut cap = vec![0.0f64; n];
+    cap[source] = INF;
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapItem {
+        cap: INF,
+        vertex: source as u32,
+    });
+    while let Some(HeapItem { cap: c, vertex: u }) = heap.pop() {
+        let u = u as usize;
+        if c < cap[u] {
+            continue; // stale entry
+        }
+        for (v, w) in csr.neighbors(u) {
+            let nc = c.min(w);
+            if nc > cap[v as usize] {
+                cap[v as usize] = nc;
+                heap.push(HeapItem { cap: nc, vertex: v });
+            }
+        }
+    }
+    cap
+}
+
+/// All-pairs widest (bottleneck) paths by running the modified Dijkstra
+/// from every source — the oracle the *(max, min)* blocked solvers are
+/// cross-validated against. Edge weights are read as capacities.
+pub fn widest_paths(g: &Graph) -> Matrix {
+    let csr = g.to_csr();
+    let n = g.order();
+    let mut out = Matrix::filled(n, 0.0);
+    for s in 0..n {
+        let cap = widest_sssp(&csr, s);
+        for (t, &c) in cap.iter().enumerate() {
+            out.set(s, t, c);
+        }
+    }
+    out
+}
+
+/// All-pairs reachability by breadth-first search from every source: the
+/// flat row-major `n × n` boolean matrix (`true` on the diagonal) the
+/// boolean-closure solvers are cross-validated against.
+pub fn reachability_bfs(g: &Graph) -> Vec<bool> {
+    let csr = g.to_csr();
+    let n = g.order();
+    let mut out = vec![false; n * n];
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n {
+        let row = &mut out[s * n..(s + 1) * n];
+        row[s] = true;
+        queue.clear();
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for (v, _) in csr.neighbors(u) {
+                let v = v as usize;
+                if !row[v] {
+                    row[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipes() -> Graph {
+        // 0 -10- 1 -7- 2 -4- 3, thin shortcuts 0-2 (1) and 1-3 (2).
+        Graph::from_edges(
+            4,
+            [
+                (0, 1, 10.0),
+                (1, 2, 7.0),
+                (2, 3, 4.0),
+                (0, 2, 1.0),
+                (1, 3, 2.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn widest_prefers_fat_multi_hop() {
+        let w = widest_paths(&pipes());
+        assert_eq!(w.get(0, 1), 10.0);
+        assert_eq!(w.get(0, 2), 7.0, "through 1, not the thin direct pipe");
+        assert_eq!(w.get(0, 3), 4.0, "0-1-2-3 beats 0-1-3 (min 2)");
+        assert_eq!(w.get(0, 0), INF);
+        assert!(w.is_symmetric());
+    }
+
+    #[test]
+    fn widest_unreachable_is_zero() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 5.0);
+        let w = widest_paths(&g);
+        assert_eq!(w.get(0, 2), 0.0);
+        assert_eq!(w.get(2, 2), INF);
+    }
+
+    #[test]
+    fn parallel_edges_keep_the_fattest() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(0, 1, 9.0);
+        let w = widest_paths(&g);
+        assert_eq!(w.get(0, 1), 9.0);
+    }
+
+    #[test]
+    fn bfs_reachability_components() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(3, 4, 1.0);
+        let r = reachability_bfs(&g);
+        let n = 5;
+        assert!(r[2] /* (0,2) */);
+        assert!(!r[3] /* (0,3) */);
+        assert!(r[3 * n + 4]);
+        assert!(r[4 * n + 4]);
+        // Symmetric on undirected graphs.
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(r[i * n + j], r[j * n + i], "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn widest_matches_brute_force_on_small_random() {
+        // Brute-force: (max, min) Floyd-Warshall on the dense capacities.
+        let g = crate::generators::erdos_renyi_paper(24, 0.1, 0xB0);
+        let n = g.order();
+        let mut dense = g.to_dense_capacities();
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    let through = dense.get(i, k).min(dense.get(k, j));
+                    if through > dense.get(i, j) {
+                        dense.set(i, j, through);
+                    }
+                }
+            }
+        }
+        let w = widest_paths(&g);
+        assert!(w.approx_eq(&dense, 0.0).is_ok());
+    }
+}

@@ -81,6 +81,29 @@ impl Graph {
         m
     }
 
+    /// Dense **capacity** matrix for the bottleneck/widest-path workload:
+    /// [`INF`] diagonal (staying put constrains nothing), edge weights
+    /// read as capacities (parallel edges keep the fattest), `0.0` for
+    /// non-edges (no pipe at all) — the *(max, min)* semiring's `1̄` and
+    /// `0̄` where [`Graph::to_dense`] uses the tropical ones.
+    pub fn to_dense_capacities(&self) -> Matrix {
+        let mut m = Matrix::filled(self.n, 0.0);
+        for i in 0..self.n {
+            m.set(i, i, INF);
+        }
+        for &(u, v, w) in &self.edges {
+            let (u, v) = (u as usize, v as usize);
+            if u == v {
+                continue;
+            }
+            if w > m.get(u, v) {
+                m.set(u, v, w);
+                m.set(v, u, w);
+            }
+        }
+        m
+    }
+
     /// Compressed-sparse-row adjacency (both directions materialized).
     pub fn to_csr(&self) -> Csr {
         Csr::from_undirected_edges(self.n, &self.edges)

@@ -10,13 +10,16 @@
 //! * [`Csr`] — compressed sparse row adjacency for the heap-based solvers,
 //! * sequential oracles: [`floyd_warshall`], [`dijkstra::apsp_dijkstra`],
 //!   and [`johnson::apsp_johnson`] (the two classic algorithms the paper's
-//!   §3 discusses as the standard sequential approaches).
+//!   §3 discusses as the standard sequential approaches), plus
+//!   [`bottleneck`] — the widest-path (modified Dijkstra) and BFS
+//!   reachability oracles for the non-tropical path-algebra workloads.
 //!
 //! All distances are `f64`; unreachable pairs are
 //! [`INF`](apsp_blockmat::INF).
 
 #![warn(missing_docs)]
 
+pub mod bottleneck;
 mod csr;
 pub mod digraph;
 pub mod dijkstra;

@@ -1,7 +1,7 @@
 //! Lightweight payload-size estimation used for shuffle/broadcast byte
 //! accounting (the role Spark's SizeEstimator plays).
 
-use apsp_blockmat::{Block, Matrix};
+use apsp_blockmat::{AlgBlock, ElemBlock, Matrix, PathAlgebra, PayBlock, Semiring};
 
 /// Estimate of the serialized/in-memory footprint of a value, in bytes.
 ///
@@ -86,9 +86,9 @@ impl<A: EstimateSize, B: EstimateSize, C: EstimateSize> EstimateSize for (A, B, 
     }
 }
 
-impl EstimateSize for Block {
+impl<S: Semiring> EstimateSize for ElemBlock<S> {
     fn estimate_bytes(&self) -> usize {
-        std::mem::size_of::<Block>() + self.size_bytes()
+        std::mem::size_of::<Self>() + self.size_bytes()
     }
 }
 
@@ -98,21 +98,22 @@ impl EstimateSize for Matrix {
     }
 }
 
-impl EstimateSize for apsp_blockmat::ParentBlock {
+impl<P: Copy + Send + Sync + 'static> EstimateSize for PayBlock<P> {
     fn estimate_bytes(&self) -> usize {
-        std::mem::size_of::<apsp_blockmat::ParentBlock>() + self.size_bytes()
+        std::mem::size_of::<Self>() + self.size_bytes()
     }
 }
 
-impl EstimateSize for apsp_blockmat::TrackedBlock {
+impl<A: PathAlgebra> EstimateSize for AlgBlock<A> {
     fn estimate_bytes(&self) -> usize {
-        std::mem::size_of::<apsp_blockmat::TrackedBlock>() + self.size_bytes()
+        std::mem::size_of::<Self>() + self.size_bytes()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use apsp_blockmat::Block;
 
     #[test]
     fn scalars() {

@@ -43,7 +43,8 @@ pub use sparklet;
 
 /// Convenience prelude with the most common entry points.
 pub mod prelude {
-    pub use apsp_blockmat::{Block, Matrix, INF};
+    pub use apsp_blockmat::{Block, Matrix, PathAlgebra, INF};
+    pub use apsp_core::algebra::{transitive_closure, widest_paths, AlgebraSolver};
     pub use apsp_core::{
         ApspResult, ApspSolver, BlockedCollectBroadcast, BlockedInMemory, DistancesAndParents,
         FloydWarshall2D, ParentMatrix, RepeatedSquaring, SolverConfig,

@@ -1,0 +1,149 @@
+//! End-to-end validation of the generic path-algebra workloads: the
+//! blocked solvers over the *(max, min)* bottleneck algebra against the
+//! modified-Dijkstra oracle, and over the boolean algebra against BFS
+//! reachability — including property-based random instances and the
+//! kernel-tier boundary block sides (1–129) the tropical suites sweep.
+
+use apspark::core::algebra::{transitive_closure, widest_paths, AlgebraSolver};
+use apspark::graph::bottleneck::{reachability_bfs, widest_paths as widest_oracle};
+use apspark::graph::generators;
+use apspark::prelude::*;
+use proptest::prelude::*;
+
+fn ctx() -> SparkContext {
+    SparkContext::new(SparkConfig::with_cores(4))
+}
+
+fn check_widest(g: &Graph, solver: &impl AlgebraSolver, name: &str, b: usize) {
+    let res = widest_paths(&ctx(), g, solver, &SolverConfig::new(b))
+        .unwrap_or_else(|e| panic!("{name} b={b}: {e}"));
+    let oracle = widest_oracle(g);
+    let n = g.order();
+    for i in 0..n {
+        for j in 0..n {
+            assert_eq!(
+                res.get(i, j),
+                oracle.get(i, j),
+                "{name} b={b}: widest({i},{j})"
+            );
+        }
+    }
+}
+
+fn check_closure(g: &Graph, solver: &impl AlgebraSolver, name: &str, b: usize) {
+    let res = transitive_closure(&ctx(), g, solver, &SolverConfig::new(b))
+        .unwrap_or_else(|e| panic!("{name} b={b}: {e}"));
+    let oracle = reachability_bfs(g);
+    let n = g.order();
+    for i in 0..n {
+        for j in 0..n {
+            assert_eq!(
+                res.get(i, j),
+                oracle[i * n + j],
+                "{name} b={b}: reach({i},{j})"
+            );
+        }
+    }
+}
+
+/// The kernel-tier boundary sweep the tropical suites run: block sides
+/// around the branchless/packed crossover, plus degenerate 1 and
+/// larger-than-n.
+#[test]
+fn bottleneck_boundary_block_sides_match_dijkstra_oracle() {
+    // Tiny sides with a small instance (q stays sane), the kernel-tier
+    // crossover sides with a larger one.
+    let small = generators::erdos_renyi_paper(18, 0.1, 0x71DE);
+    for b in [1usize, 2, 3] {
+        check_widest(&small, &BlockedCollectBroadcast, "CB", b);
+        check_widest(&small, &BlockedInMemory, "IM", b);
+    }
+    let g = generators::erdos_renyi_paper(140, 0.1, 0x71DF);
+    for b in [63usize, 64, 65, 127, 128, 129] {
+        check_widest(&g, &BlockedCollectBroadcast, "CB", b);
+        check_widest(&g, &BlockedInMemory, "IM", b);
+    }
+}
+
+#[test]
+fn boolean_boundary_block_sides_match_bfs_oracle() {
+    let small = generators::erdos_renyi_paper(18, 0.1, 0xB000);
+    for b in [1usize, 2, 3] {
+        check_closure(&small, &BlockedCollectBroadcast, "CB", b);
+        check_closure(&small, &BlockedInMemory, "IM", b);
+    }
+    let g = generators::erdos_renyi_paper(140, 0.1, 0xB001);
+    for b in [63usize, 64, 65, 127, 128, 129] {
+        check_closure(&g, &BlockedCollectBroadcast, "CB", b);
+        check_closure(&g, &BlockedInMemory, "IM", b);
+    }
+}
+
+#[test]
+fn all_four_solvers_agree_on_both_workloads() {
+    let g = generators::erdos_renyi_paper(48, 0.1, 0xA11);
+    for b in [5usize, 12, 48] {
+        check_widest(&g, &BlockedCollectBroadcast, "CB", b);
+        check_widest(&g, &BlockedInMemory, "IM", b);
+        check_widest(&g, &FloydWarshall2D, "FW2D", b);
+        check_widest(&g, &RepeatedSquaring, "RS", b);
+        check_closure(&g, &BlockedCollectBroadcast, "CB", b);
+        check_closure(&g, &BlockedInMemory, "IM", b);
+        check_closure(&g, &FloydWarshall2D, "FW2D", b);
+        check_closure(&g, &RepeatedSquaring, "RS", b);
+    }
+}
+
+#[test]
+fn structured_families() {
+    // Path: the widest i→j capacity is the minimum edge between them;
+    // everything is reachable.
+    let mut g = Graph::new(20);
+    for i in 0..19u32 {
+        g.add_edge(i, i + 1, 1.0 + (i % 5) as f64);
+    }
+    check_widest(&g, &BlockedCollectBroadcast, "CB", 6);
+    check_closure(&g, &BlockedInMemory, "IM", 6);
+
+    // Disconnected components: zero capacity / unreachable across.
+    let mut h = Graph::new(15);
+    h.add_edge(0, 1, 9.0);
+    h.add_edge(1, 2, 4.0);
+    h.add_edge(10, 11, 2.0);
+    check_widest(&h, &BlockedInMemory, "IM", 4);
+    check_closure(&h, &BlockedCollectBroadcast, "CB", 4);
+    let res = transitive_closure(&ctx(), &h, &FloydWarshall2D, &SolverConfig::new(4)).unwrap();
+    assert!(!res.get(0, 10));
+    assert!(res.get(10, 11));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random instances: the blocked (max, min) solvers equal the
+    /// modified-Dijkstra oracle for any order/block-size combination.
+    #[test]
+    fn prop_widest_cb_matches_oracle(n in 2usize..40, b in 1usize..48, seed in any::<u64>()) {
+        let g = generators::erdos_renyi_paper(n, 0.1, seed);
+        let res = widest_paths(&ctx(), &g, &BlockedCollectBroadcast, &SolverConfig::new(b)).unwrap();
+        let oracle = widest_oracle(&g);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(res.get(i, j), oracle.get(i, j), "({},{})", i, j);
+            }
+        }
+    }
+
+    /// Random instances: blocked boolean closure equals BFS reachability.
+    #[test]
+    fn prop_closure_im_matches_bfs(n in 2usize..40, b in 1usize..48, seed in any::<u64>()) {
+        let g = generators::erdos_renyi_paper(n, 0.1, seed);
+        let res = transitive_closure(&ctx(), &g, &BlockedInMemory, &SolverConfig::new(b)).unwrap();
+        let oracle = reachability_bfs(&g);
+        for i in 0..n {
+            for j in 0..n {
+                prop_assert_eq!(res.get(i, j), oracle[i * n + j], "({},{})", i, j);
+            }
+        }
+    }
+}

@@ -1,4 +1,5 @@
-//! Integration: path reconstruction round-trips for **all six solvers**.
+//! Integration: path reconstruction round-trips for **all seven tracking
+//! solvers** (four Spark, two MPI, and the directed 2D Floyd-Warshall).
 //!
 //! The acceptance invariant of the parent-tracking subsystem: for every
 //! solver, on random instances, (a) tracked distances agree with the
@@ -6,6 +7,7 @@
 //! the input and its edge-sum equals the reported distance
 //! (`validate_against`, which exercises `reconstruct` for all `n²` pairs).
 
+use apspark::core::directed::DirectedFloydWarshall2D;
 use apspark::core::{MpiDcApsp, MpiFw2d};
 use apspark::graph::paths::DistancesAndParents;
 use apspark::graph::{dijkstra, generators};
@@ -54,6 +56,36 @@ fn spark_solvers_reconstruct_paths() {
             check(solver.name(), g, &dap);
         }
     }
+}
+
+#[test]
+fn directed_fw2d_reconstructs_directed_paths() {
+    let sc = ctx();
+    // Undirected instances are valid directed inputs; the directed
+    // solver's tracked result must satisfy the same invariants ...
+    for g in &instances() {
+        let adj = g.to_dense();
+        let res = DirectedFloydWarshall2D
+            .solve(&sc, &adj, &SolverConfig::new(16).with_paths())
+            .expect("directed tracked solve failed");
+        let dap = res.into_paths().expect("with_paths must yield parents");
+        check("Directed 2D FW", g, &dap);
+    }
+    // ... and on a genuinely one-way instance the reconstructed routes
+    // must follow arc directions.
+    let mut dg = apspark::graph::DiGraph::new(11);
+    for i in 0..11u32 {
+        dg.add_arc(i, (i + 1) % 11, 1.0);
+    }
+    let adj = dg.to_dense();
+    let res = DirectedFloydWarshall2D
+        .solve(&sc, &adj, &SolverConfig::new(4).with_paths())
+        .unwrap();
+    let dap = res.into_paths().unwrap();
+    dap.validate_against(&adj, 1e-9)
+        .unwrap_or_else(|e| panic!("one-way ring: {e}"));
+    let p = dap.reconstruct(5, 4).unwrap();
+    assert_eq!(p.len(), 11, "5 → 4 must walk all the way around the ring");
 }
 
 #[test]
