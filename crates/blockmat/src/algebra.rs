@@ -451,6 +451,59 @@ impl PathAlgebra for Reachability {
     fn payload_for(_k_global: usize) {}
 }
 
+/// Bottleneck *(max, min)* ⊗ argmax payload: `f64` capacities plus the
+/// `u32` via of the winning relaxation per cell — widest paths with
+/// witness reconstruction, on the generic tracked loops.
+///
+/// Witness soundness follows the same argument as the tropical tracked
+/// tier: a via is recorded only on a **strict** improvement, and a cell's
+/// operands already carried (at record time) widths at least as large as
+/// the improved value, so expanding `(i, j) → (i, k), (k, j)` walks a
+/// well-founded order of improvement events and terminates on direct
+/// edges. The degenerate-term guards (`k == i`, `k == j`) apply unchanged
+/// because the `(max, min)` identity `+∞` sits on the diagonal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrackedWidest;
+
+impl PathAlgebra for TrackedWidest {
+    type Semi = BottleneckF64;
+    type Payload = u32;
+    const TRACKS: bool = true;
+    const NAME: &'static str = "bottleneck+argmax";
+
+    #[inline(always)]
+    fn empty_payload() -> u32 {
+        NO_VIA
+    }
+    #[inline(always)]
+    fn payload_for(k_global: usize) -> u32 {
+        k_global as u32
+    }
+}
+
+/// Boolean closure ⊗ via payload: reachability plus, per reachable pair,
+/// an interior vertex of one connecting walk. A cell flips `false → true`
+/// exactly once, and its operands flipped strictly earlier, so via
+/// expansion is well-founded by flip order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TrackedReachability;
+
+impl PathAlgebra for TrackedReachability {
+    type Semi = BoolSemiring;
+    type Payload = u32;
+    const TRACKS: bool = true;
+    const NAME: &'static str = "boolean+via";
+
+    #[inline(always)]
+    fn empty_payload() -> u32 {
+        NO_VIA
+    }
+    #[inline(always)]
+    fn payload_for(k_global: usize) -> u32 {
+        k_global as u32
+    }
+}
+
 // ---------------------------------------------------------------------------
 // The combined block record
 // ---------------------------------------------------------------------------
@@ -890,6 +943,42 @@ mod tests {
         assert!(alg.dist().get(0, 2));
         assert!(!alg.dist().get(2, 0));
         assert!(!alg.dist().get(0, 3));
+    }
+
+    #[test]
+    fn tracked_widest_records_interior_vertex_and_matches_untracked() {
+        // 0 -5- 1 -3- 2 with a thin 0 -1- 2 pipe: widest 0↔2 route is via 1.
+        let mut blk = ElemBlock::<BottleneckF64>::identity(3);
+        blk.set(0, 1, 5.0);
+        blk.set(1, 0, 5.0);
+        blk.set(1, 2, 3.0);
+        blk.set(2, 1, 3.0);
+        blk.set(0, 2, 1.0);
+        blk.set(2, 0, 1.0);
+        let mut plain = AlgBlock::<Widest>::from_dist(blk.clone());
+        plain.floyd_warshall_in_place(0);
+        let mut tracked = AlgBlock::<TrackedWidest>::from_dist(blk);
+        tracked.floyd_warshall_in_place(0);
+        assert_eq!(tracked.dist().data(), plain.dist().data());
+        assert_eq!(tracked.dist().get(0, 2), 3.0);
+        assert_eq!(tracked.via().get(0, 2), 1);
+        assert_eq!(tracked.via().get(0, 1), NO_VIA, "direct edge keeps NO_VIA");
+    }
+
+    #[test]
+    fn tracked_reachability_records_interior_vertex() {
+        let mut blk = ElemBlock::<BoolSemiring>::identity(4);
+        blk.set(0, 1, true);
+        blk.set(1, 0, true);
+        blk.set(1, 2, true);
+        blk.set(2, 1, true);
+        let mut tracked = AlgBlock::<TrackedReachability>::from_dist(blk);
+        tracked.floyd_warshall_in_place(0);
+        assert!(tracked.dist().get(0, 2));
+        assert_eq!(tracked.via().get(0, 2), 1);
+        assert_eq!(tracked.via().get(0, 1), NO_VIA);
+        assert!(!tracked.dist().get(0, 3));
+        assert_eq!(tracked.via().get(0, 3), NO_VIA);
     }
 
     #[test]

@@ -66,7 +66,8 @@ pub mod semiring;
 pub mod serialize;
 
 pub use algebra::{
-    AlgBlock, PathAlgebra, Reachability, TrackedBlock, TrackedTropical, Tropical, Widest,
+    AlgBlock, PathAlgebra, Reachability, TrackedBlock, TrackedReachability, TrackedTropical,
+    TrackedWidest, Tropical, Widest,
 };
 pub use block::{Block, ElemBlock};
 pub use matrix::Matrix;

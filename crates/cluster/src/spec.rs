@@ -58,6 +58,28 @@ impl ClusterSpec {
         spec
     }
 
+    /// A single-machine spec for in-process solves: one "node" with
+    /// `cores` cores, 4 GiB of executor RAM per core, 64 GiB of local
+    /// staging, and loopback-class "network" numbers. This is the default
+    /// spec the query planner (`apsp-core::plan`) and
+    /// `SolverConfig::auto` route their feasibility checks through when
+    /// the caller supplies no cluster description: deterministic by
+    /// construction, so plans are reproducible across machines.
+    pub fn local(cores: usize) -> Self {
+        let cores = cores.max(1);
+        ClusterSpec {
+            nodes: 1,
+            cores_per_node: cores,
+            ram_per_node_bytes: cores as u64 * 4 * (1 << 30),
+            nic_bandwidth_bps: 12.5e9, // loopback: memory-bandwidth class
+            nic_latency_s: 5.0e-6,
+            ssd_capacity_bytes: 64 << 30,
+            ssd_bandwidth_bps: 2.0e9,
+            shared_fs_bandwidth_bps: 2.0e9,
+            shared_fs_latency_s: 1.0e-4,
+        }
+    }
+
     /// Total executor cores.
     pub fn total_cores(&self) -> usize {
         self.nodes * self.cores_per_node
@@ -111,6 +133,18 @@ mod tests {
         assert_eq!(c.total_ssd_capacity(), 32 << 40);
         assert!((c.aggregate_net_bandwidth() - 4.0e9).abs() < 1.0);
         assert!(c.total_ram() > 5 * (1u64 << 40)); // ~5.6 TB
+    }
+
+    #[test]
+    fn local_spec_is_single_node_and_deterministic() {
+        let c = ClusterSpec::local(8);
+        assert_eq!(c.nodes, 1);
+        assert_eq!(c.total_cores(), 8);
+        assert_eq!(c.total_ram(), 8 * 4 * (1u64 << 30));
+        assert_eq!(c.cross_node_fraction(), 0.0);
+        assert_eq!(ClusterSpec::local(8), ClusterSpec::local(8));
+        // Degenerate core counts are clamped to a usable machine.
+        assert_eq!(ClusterSpec::local(0).total_cores(), 1);
     }
 
     #[test]

@@ -32,13 +32,15 @@ use std::time::{Duration, Instant};
 
 pub use crate::engine::Stageable;
 pub use apsp_blockmat::{
-    BoolSemiring, BottleneckF64, Reachability, TrackedTropical, Tropical, Widest,
+    BoolSemiring, BottleneckF64, Reachability, TrackedReachability, TrackedTropical, TrackedWidest,
+    Tropical, Widest,
 };
 
 /// Outcome of a generic path-algebra solve: the dense `n × n` element
 /// matrix (as a side-`n` [`ElemBlock`]) plus run metadata.
 pub struct AlgebraResult<A: PathAlgebra> {
     values: ElemBlock<A::Semi>,
+    payloads: Vec<A::Payload>,
     /// Engine-counter increments attributable to this solve.
     pub metrics: MetricsSnapshot,
     /// Wall-clock duration of the solve.
@@ -58,9 +60,23 @@ impl<A: PathAlgebra> AlgebraResult<A> {
         self.values.get(i, j)
     }
 
+    /// The dense row-major `n × n` payload plane — the recorded vias for
+    /// tracking algebras ([`TrackedTropical`],
+    /// [`apsp_blockmat::TrackedWidest`],
+    /// [`apsp_blockmat::TrackedReachability`]); zero-sized `()` cells
+    /// otherwise.
+    pub fn payloads(&self) -> &[A::Payload] {
+        &self.payloads
+    }
+
     /// Consumes the result, returning the dense matrix.
     pub fn into_values(self) -> ElemBlock<A::Semi> {
         self.values
+    }
+
+    /// Consumes the result, returning the dense matrix and payload plane.
+    pub fn into_parts(self) -> (ElemBlock<A::Semi>, Vec<A::Payload>) {
+        (self.values, self.payloads)
     }
 }
 
@@ -129,10 +145,11 @@ fn finish<A: PathAlgebra>(
     run: AlgRun<A>,
 ) -> Result<AlgebraResult<A>, ApspError> {
     let n = run.n;
-    let (vals, _) = run.collect_dense()?;
+    let (vals, pays) = run.collect_dense()?;
     let metrics = ctx.metrics().delta(&metrics_before);
     Ok(AlgebraResult {
         values: ElemBlock::from_vec(n, vals),
+        payloads: pays,
         metrics,
         elapsed: start.elapsed(),
         iterations: run.iterations,
@@ -200,6 +217,16 @@ pub fn transitive_closure<S: AlgebraSolver>(
     cfg: &SolverConfig,
 ) -> Result<AlgebraResult<Reachability>, ApspError> {
     let n = g.order();
+    let adj = boolean_adjacency(g);
+    solver.solve_algebra::<Reachability>(ctx, n, &|i, j| adj[i * n + j], cfg)
+}
+
+/// Dense symmetric boolean adjacency (diagonal `true`) of an undirected
+/// graph — the *(∨, ∧)* input convention shared by
+/// [`transitive_closure`] and the planner's reachability execution
+/// (`crate::plan`).
+pub(crate) fn boolean_adjacency(g: &apsp_graph::Graph) -> Vec<bool> {
+    let n = g.order();
     let mut adj = vec![false; n * n];
     for (u, v, _) in g.edges() {
         let (u, v) = (u as usize, v as usize);
@@ -209,7 +236,7 @@ pub fn transitive_closure<S: AlgebraSolver>(
     for i in 0..n {
         adj[i * n + i] = true;
     }
-    solver.solve_algebra::<Reachability>(ctx, n, &|i, j| adj[i * n + j], cfg)
+    adj
 }
 
 #[cfg(test)]

@@ -50,6 +50,7 @@ mod fw2d;
 mod johnson_dist;
 mod mpi_dc;
 mod mpi_fw2d;
+pub mod plan;
 mod repeated_squaring;
 mod solver;
 pub mod tuner;
@@ -67,5 +68,8 @@ pub use fw2d::FloydWarshall2D;
 pub use johnson_dist::DistributedJohnson;
 pub use mpi_dc::MpiDcApsp;
 pub use mpi_fw2d::MpiFw2d;
+pub use plan::{
+    Capabilities, Plan, PlanNote, Problem, ResourceHints, Solution, SolverCaps, SolverId, Workload,
+};
 pub use repeated_squaring::RepeatedSquaring;
 pub use solver::{ApspError, ApspResult, ApspSolver, SolverConfig};

@@ -1,0 +1,1439 @@
+//! The library's front door: a **`Problem` → `Plan` → `Solution`** query
+//! pipeline with model-driven solver selection.
+//!
+//! The paper's central practical lesson (§5) is that *which* solver and
+//! *which* block size win depends on the problem size, core count, and
+//! memory — knowledge this workspace mechanizes in [`apsp_cluster`] and
+//! [`crate::tuner`], but which the expert surfaces
+//! ([`crate::ApspSolver`], [`crate::algebra::AlgebraSolver`], the MPI
+//! baselines) leave for the caller to wield by hand. This module is the
+//! single typed entry point that plans the execution instead:
+//!
+//! 1. [`Problem`] — a builder capturing the input graph (or matrix), the
+//!    [`Workload`], directedness, whether witness paths are wanted, and
+//!    resource hints;
+//! 2. [`Plan`] — the planner's decision: solver, block size, kernel
+//!    tier, and partitioner, chosen by wiring the closed-form tuner, the
+//!    cluster model's feasibility verdicts, and per-solver
+//!    [capability metadata](SolverCaps) into one pass, with a
+//!    [`Plan::explain`] report of why;
+//! 3. [`Solution`] — one result type over all workloads, with point
+//!    queries ([`Solution::dist`], [`Solution::path`],
+//!    [`Solution::reachable`], [`Solution::width`],
+//!    [`Solution::k_nearest`], [`Solution::submatrix`]).
+//!
+//! The old `ApspSolver`/`SolverConfig` surface stays as the expert layer
+//! the planner compiles down to ([`Plan::solver_config`]); a
+//! plan-executed solve is **bit-exact** with the explicitly-configured
+//! solver it selected.
+//!
+//! ```
+//! use apsp_core::plan::{Problem, Workload};
+//! use apsp_graph::generators;
+//! use sparklet::{SparkConfig, SparkContext};
+//!
+//! let g = generators::grid(4, 4);
+//! let ctx = SparkContext::new(SparkConfig::with_cores(2));
+//! let sol = Problem::new(&g).with_paths().solve(&ctx).unwrap();
+//! assert_eq!(sol.dist(0, 15), Some(6.0));
+//! assert_eq!(sol.path(0, 15).unwrap().len(), 7);
+//!
+//! // The same front door runs the (max, min) and boolean workloads.
+//! let widest = Problem::new(&g).workload(Workload::Widest).solve(&ctx).unwrap();
+//! assert_eq!(widest.width(0, 15), Some(1.0));
+//! ```
+
+use crate::algebra::AlgebraSolver;
+use crate::blocks::PartitionerChoice;
+use crate::solver::{ApspError, ApspResult, ApspSolver, SolverConfig};
+use crate::tuner;
+use apsp_blockmat::algebra::Elem;
+use apsp_blockmat::kernels::{self, MinPlusKernel};
+use apsp_blockmat::{
+    BoolSemiring, BottleneckF64, ElemBlock, Matrix, PathAlgebra, Reachability as ReachAlgebra,
+    TrackedReachability, TrackedWidest, Widest as WidestAlgebra, INF,
+};
+use apsp_cluster::{
+    project, ClusterSpec, KernelRates, PartitionerKind, Projection, SolverKind, SparkOverheads,
+    Workload as ModelWorkload,
+};
+use apsp_graph::paths::{NodeId, ParentMatrix};
+use apsp_graph::{DiGraph, Graph};
+use sparklet::{EstimateSize, MetricsSnapshot, SparkContext};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Workloads
+// ---------------------------------------------------------------------------
+
+/// Which all-pairs path problem to solve — the algebra the blocked
+/// engine is instantiated with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Workload {
+    /// Shortest-path lengths over *(min, +)* — the paper's APSP.
+    #[default]
+    ShortestPaths,
+    /// Widest (bottleneck) paths over *(max, min)*: edge weights read as
+    /// capacities.
+    Widest,
+    /// Boolean transitive closure over *(∨, ∧)*: reachability.
+    Reachability,
+}
+
+impl Workload {
+    /// Human-readable label used by [`Plan::explain`].
+    pub fn label(self) -> &'static str {
+        match self {
+            Workload::ShortestPaths => "shortest-paths",
+            Workload::Widest => "widest-paths",
+            Workload::Reachability => "reachability",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Solver identities and capability metadata
+// ---------------------------------------------------------------------------
+
+/// Identity of every solver the planner can schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverId {
+    /// [`crate::BlockedCollectBroadcast`] (Algorithm 4).
+    BlockedCollectBroadcast,
+    /// [`crate::BlockedInMemory`] (Algorithm 3).
+    BlockedInMemory,
+    /// [`crate::FloydWarshall2D`] (Algorithm 2).
+    FloydWarshall2D,
+    /// [`crate::RepeatedSquaring`] (Algorithm 1).
+    RepeatedSquaring,
+    /// [`crate::CartesianSquaring`].
+    CartesianSquaring,
+    /// [`crate::DistributedJohnson`].
+    DistributedJohnson,
+    /// [`crate::MpiFw2d`] (FW-2D-GbE baseline).
+    MpiFw2d,
+    /// [`crate::MpiDcApsp`] (DC-GbE baseline).
+    MpiDc,
+    /// [`crate::directed::DirectedBlockedCB`].
+    DirectedBlockedCB,
+    /// [`crate::directed::DirectedFloydWarshall2D`].
+    DirectedFloydWarshall2D,
+}
+
+/// What a solver can and cannot do — the static metadata the planner's
+/// capability rules run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverCaps {
+    /// Which solver this record describes.
+    pub id: SolverId,
+    /// Human-readable name (matches the paper's tables where applicable).
+    pub name: &'static str,
+    /// Accepts asymmetric (directed) adjacency input.
+    pub directed: bool,
+    /// Accepts symmetric (undirected) adjacency input.
+    pub undirected: bool,
+    /// Honors witness-path tracking (`SolverConfig::with_paths`).
+    pub paths: bool,
+    /// Runs non-tropical path algebras (the generic
+    /// [`AlgebraSolver`] engine behind [`Workload::Widest`] and
+    /// [`Workload::Reachability`]).
+    pub algebras: bool,
+    /// The cluster-model solver this maps onto for feasibility and cost
+    /// projections; `None` for solvers outside the paper's model.
+    pub model: Option<SolverKind>,
+}
+
+impl SolverId {
+    /// Every schedulable solver, in the planner's preference order.
+    pub const ALL: [SolverId; 10] = [
+        SolverId::BlockedCollectBroadcast,
+        SolverId::BlockedInMemory,
+        SolverId::FloydWarshall2D,
+        SolverId::RepeatedSquaring,
+        SolverId::CartesianSquaring,
+        SolverId::DistributedJohnson,
+        SolverId::MpiFw2d,
+        SolverId::MpiDc,
+        SolverId::DirectedBlockedCB,
+        SolverId::DirectedFloydWarshall2D,
+    ];
+
+    /// The capability record for this solver.
+    pub fn capabilities(self) -> SolverCaps {
+        match self {
+            SolverId::BlockedCollectBroadcast => SolverCaps {
+                id: self,
+                name: "Blocked Collect/Broadcast (Algorithm 4)",
+                directed: false,
+                undirected: true,
+                paths: true,
+                algebras: true,
+                model: Some(SolverKind::BlockedCollectBroadcast),
+            },
+            SolverId::BlockedInMemory => SolverCaps {
+                id: self,
+                name: "Blocked In-Memory (Algorithm 3)",
+                directed: false,
+                undirected: true,
+                paths: true,
+                algebras: true,
+                model: Some(SolverKind::BlockedInMemory),
+            },
+            SolverId::FloydWarshall2D => SolverCaps {
+                id: self,
+                name: "2D Floyd-Warshall (Algorithm 2)",
+                directed: false,
+                undirected: true,
+                paths: true,
+                algebras: true,
+                model: Some(SolverKind::FloydWarshall2D),
+            },
+            SolverId::RepeatedSquaring => SolverCaps {
+                id: self,
+                name: "Repeated Squaring (Algorithm 1)",
+                directed: false,
+                undirected: true,
+                paths: true,
+                algebras: true,
+                model: Some(SolverKind::RepeatedSquaring),
+            },
+            SolverId::CartesianSquaring => SolverCaps {
+                id: self,
+                name: "Cartesian Squaring",
+                directed: false,
+                undirected: true,
+                paths: false,
+                algebras: false,
+                model: None,
+            },
+            SolverId::DistributedJohnson => SolverCaps {
+                id: self,
+                name: "Distributed Johnson",
+                directed: false,
+                undirected: true,
+                paths: false,
+                algebras: false,
+                model: None,
+            },
+            SolverId::MpiFw2d => SolverCaps {
+                id: self,
+                name: "FW-2D-GbE (MPI baseline)",
+                directed: true,
+                undirected: true,
+                paths: true,
+                algebras: false,
+                model: Some(SolverKind::MpiFw2d),
+            },
+            SolverId::MpiDc => SolverCaps {
+                id: self,
+                name: "DC-GbE (MPI baseline)",
+                directed: true,
+                undirected: true,
+                paths: true,
+                algebras: false,
+                model: Some(SolverKind::MpiDc),
+            },
+            SolverId::DirectedBlockedCB => SolverCaps {
+                id: self,
+                name: "Directed Blocked-CB",
+                directed: true,
+                undirected: true,
+                paths: false, // staged cross pieces lack per-orientation parents
+                algebras: false,
+                model: Some(SolverKind::BlockedCollectBroadcast),
+            },
+            SolverId::DirectedFloydWarshall2D => SolverCaps {
+                id: self,
+                name: "Directed 2D Floyd-Warshall",
+                directed: true,
+                undirected: true,
+                paths: true,
+                algebras: false,
+                model: Some(SolverKind::FloydWarshall2D),
+            },
+        }
+    }
+
+    /// Human-readable solver name.
+    pub fn name(self) -> &'static str {
+        self.capabilities().name
+    }
+}
+
+/// Capability metadata, reachable from the solver types themselves (the
+/// planner works on [`SolverId`]; this trait ties each record to its
+/// implementation).
+pub trait Capabilities {
+    /// The static capability record of this solver type.
+    fn capabilities() -> SolverCaps;
+}
+
+macro_rules! impl_capabilities {
+    ($($ty:ty => $id:expr),+ $(,)?) => {$(
+        impl Capabilities for $ty {
+            fn capabilities() -> SolverCaps {
+                $id.capabilities()
+            }
+        }
+    )+};
+}
+
+impl_capabilities!(
+    crate::BlockedCollectBroadcast => SolverId::BlockedCollectBroadcast,
+    crate::BlockedInMemory => SolverId::BlockedInMemory,
+    crate::FloydWarshall2D => SolverId::FloydWarshall2D,
+    crate::RepeatedSquaring => SolverId::RepeatedSquaring,
+    crate::CartesianSquaring => SolverId::CartesianSquaring,
+    crate::DistributedJohnson => SolverId::DistributedJohnson,
+    crate::MpiFw2d => SolverId::MpiFw2d,
+    crate::MpiDcApsp => SolverId::MpiDc,
+    crate::directed::DirectedBlockedCB => SolverId::DirectedBlockedCB,
+    crate::directed::DirectedFloydWarshall2D => SolverId::DirectedFloydWarshall2D,
+);
+
+// ---------------------------------------------------------------------------
+// Problem
+// ---------------------------------------------------------------------------
+
+/// Optional resource knowledge the planner folds into its decision.
+#[derive(Debug, Clone, Default)]
+pub struct ResourceHints {
+    /// Core count to plan for (default: the context's cores).
+    pub cores: Option<usize>,
+    /// Cluster description for the feasibility model (default:
+    /// [`ClusterSpec::local`] of the planned core count).
+    pub cluster: Option<ClusterSpec>,
+    /// Pinned block size (skips the tuner; feasibility is still checked
+    /// and reported).
+    pub block_size: Option<usize>,
+    /// Explicit RDD partition count (default: `2 × cores`).
+    pub partitions: Option<usize>,
+}
+
+enum Input<'a> {
+    Graph(&'a Graph),
+    DiGraph(&'a DiGraph),
+    Dense(&'a Matrix),
+}
+
+/// A typed all-pairs path query: what to solve, over which input, with
+/// which resources. Build it, then [`Problem::plan`] or
+/// [`Problem::solve`].
+pub struct Problem<'a> {
+    input: Input<'a>,
+    directed: bool,
+    workload: Workload,
+    paths: bool,
+    prefer: Option<SolverId>,
+    kernel: MinPlusKernel,
+    partitioner: PartitionerChoice,
+    validate: bool,
+    hints: ResourceHints,
+}
+
+impl<'a> Problem<'a> {
+    fn with_input(input: Input<'a>, directed: bool) -> Self {
+        Problem {
+            input,
+            directed,
+            workload: Workload::ShortestPaths,
+            paths: false,
+            prefer: None,
+            kernel: MinPlusKernel::Auto,
+            partitioner: PartitionerChoice::MultiDiagonal,
+            validate: true,
+            hints: ResourceHints::default(),
+        }
+    }
+
+    /// A problem over an undirected weighted [`Graph`] — no manual
+    /// `to_dense()` needed; the planner derives each workload's dense
+    /// form itself.
+    pub fn new(g: &'a Graph) -> Self {
+        Self::with_input(Input::Graph(g), false)
+    }
+
+    /// A problem over a directed [`DiGraph`].
+    pub fn from_digraph(g: &'a DiGraph) -> Self {
+        Self::with_input(Input::DiGraph(g), true)
+    }
+
+    /// A problem over a dense weight matrix following the adjacency
+    /// conventions (`0` diagonal, [`INF`] non-edges). Assumed symmetric;
+    /// call [`Problem::directed`] for asymmetric instances.
+    pub fn from_matrix(m: &'a Matrix) -> Self {
+        Self::with_input(Input::Dense(m), false)
+    }
+
+    /// Marks the input as directed (asymmetric weights allowed).
+    pub fn directed(mut self) -> Self {
+        self.directed = true;
+        self
+    }
+
+    /// Selects the workload (default: [`Workload::ShortestPaths`]).
+    pub fn workload(mut self, w: Workload) -> Self {
+        self.workload = w;
+        self
+    }
+
+    /// Requests witness paths: the solve tracks per-cell vias and
+    /// [`Solution::path`] reconstructs routes.
+    pub fn with_paths(mut self) -> Self {
+        self.paths = true;
+        self
+    }
+
+    /// Expresses a solver preference. The planner honors it when the
+    /// capability rules allow and records a note when they force a
+    /// fallback.
+    pub fn prefer(mut self, solver: SolverId) -> Self {
+        self.prefer = Some(solver);
+        self
+    }
+
+    /// Pins the decomposition block size (skips the tuner).
+    pub fn block_size(mut self, b: usize) -> Self {
+        self.hints.block_size = Some(b);
+        self
+    }
+
+    /// Plans for an explicit core count instead of the context's.
+    pub fn cores(mut self, cores: usize) -> Self {
+        self.hints.cores = Some(cores);
+        self
+    }
+
+    /// Supplies a cluster description for the feasibility model (default:
+    /// a [`ClusterSpec::local`] description of this machine).
+    pub fn on_cluster(mut self, spec: ClusterSpec) -> Self {
+        self.hints.cluster = Some(spec);
+        self
+    }
+
+    /// Sets an explicit RDD partition count.
+    pub fn partitions(mut self, partitions: usize) -> Self {
+        self.hints.partitions = Some(partitions);
+        self
+    }
+
+    /// Pins the min-plus kernel tier (default: auto dispatch by side).
+    pub fn kernel(mut self, kernel: MinPlusKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Selects the block partitioner (default: multi-diagonal).
+    pub fn partitioner(mut self, p: PartitionerChoice) -> Self {
+        self.partitioner = p;
+        self
+    }
+
+    /// Disables input validation (trusted inputs, benchmarks).
+    pub fn without_validation(mut self) -> Self {
+        self.validate = false;
+        self
+    }
+
+    /// Vertex count of the input.
+    pub fn order(&self) -> usize {
+        match self.input {
+            Input::Graph(g) => g.order(),
+            Input::DiGraph(g) => g.order(),
+            Input::Dense(m) => m.order(),
+        }
+    }
+
+    // -- planning ----------------------------------------------------------
+
+    /// Runs the planner: capability rules, the block-size tuner, and the
+    /// cluster model's feasibility verdicts, producing the [`Plan`] that
+    /// [`Problem::execute`] runs. Pure decision-making — no solve happens
+    /// here.
+    pub fn plan(&self, ctx: &SparkContext) -> Result<Plan, ApspError> {
+        let n = self.order();
+        if n == 0 {
+            return Err(ApspError::InvalidInput("empty graph".into()));
+        }
+        if self.hints.block_size == Some(0) {
+            return Err(ApspError::InvalidConfig(
+                "block size must be positive".into(),
+            ));
+        }
+        let mut notes = Vec::new();
+        let directed = self.directed;
+
+        // --- Solver selection: start from the preference (or the paper's
+        // winner) and let the capability rules veto.
+        let mut solver = self.prefer.unwrap_or(if directed {
+            SolverId::DirectedBlockedCB
+        } else {
+            SolverId::BlockedCollectBroadcast
+        });
+
+        if directed && !solver.capabilities().directed {
+            let from = solver;
+            solver = SolverId::DirectedBlockedCB;
+            notes.push(PlanNote::new(
+                "directed-input",
+                format!(
+                    "{} stores only the upper block triangle (undirected); \
+                     switching to {} for the asymmetric input",
+                    from.name(),
+                    solver.name()
+                ),
+            ));
+        }
+
+        if self.workload != Workload::ShortestPaths {
+            if directed {
+                return Err(ApspError::InvalidConfig(format!(
+                    "the {} workload runs on the generic path-algebra engine, which stores \
+                     only the upper block triangle and so requires an undirected input; \
+                     directed instances currently support shortest paths only",
+                    self.workload.label()
+                )));
+            }
+            if !solver.capabilities().algebras {
+                let from = solver;
+                solver = SolverId::BlockedCollectBroadcast;
+                notes.push(PlanNote::new(
+                    "algebra-fallback",
+                    format!(
+                        "{} has no generic path-algebra engine; running the {} workload \
+                         on {}",
+                        from.name(),
+                        self.workload.label(),
+                        solver.name()
+                    ),
+                ));
+            }
+        }
+
+        if self.paths && !solver.capabilities().paths {
+            let from = solver;
+            solver = if directed {
+                SolverId::DirectedFloydWarshall2D
+            } else {
+                SolverId::BlockedCollectBroadcast
+            };
+            notes.push(PlanNote::new(
+                "paths-fallback",
+                format!(
+                    "{} rejects witness-path tracking; falling back to {}",
+                    from.name(),
+                    solver.name()
+                ),
+            ));
+        }
+
+        // --- Block size: closed-form suggestion (or the pin), then the
+        // cluster model's feasibility verdict.
+        let cores = self.hints.cores.unwrap_or_else(|| ctx.num_cores()).max(1);
+        let spec = self
+            .hints
+            .cluster
+            .clone()
+            .unwrap_or_else(|| ClusterSpec::local(cores));
+        let mut b = self
+            .hints
+            .block_size
+            .unwrap_or_else(|| tuner::suggest_block_size(n, cores, 2))
+            .clamp(1, n);
+        if let Some(pin) = self.hints.block_size {
+            if pin > n {
+                notes.push(PlanNote::new(
+                    "pinned-clamped",
+                    format!("pinned block size {pin} exceeds n = {n}; clamped to {b}"),
+                ));
+            }
+        }
+
+        let rates = KernelRates::paper();
+        let ov = SparkOverheads::default();
+        let mut projection = None;
+        if let Some(kind) = solver.capabilities().model {
+            let proj = self.project(kind, n, b, &spec, &rates, &ov);
+            if proj.feasibility.is_feasible() {
+                projection = Some(proj);
+            } else if self.hints.block_size.is_some() {
+                notes.push(PlanNote::new(
+                    "pinned-infeasible",
+                    format!(
+                        "pinned block size {b} is projected infeasible for {} ({:?}); \
+                         keeping the pin",
+                        solver.name(),
+                        proj.feasibility
+                    ),
+                ));
+                projection = Some(proj);
+            } else if let Some(b2) = tuner::feasible_block_size(kind, n, &spec, &rates, &ov, b) {
+                notes.push(PlanNote::new(
+                    "block-retune",
+                    format!(
+                        "closed-form block size {b} is projected infeasible for {} \
+                         ({:?}); re-tuned to {b2}",
+                        solver.name(),
+                        proj.feasibility
+                    ),
+                ));
+                b = b2;
+                projection = Some(self.project(kind, n, b, &spec, &rates, &ov));
+            } else if kind == SolverKind::BlockedInMemory {
+                // The paper's Table 3 move: when Blocked-IM cannot run at
+                // this scale for any block size, Blocked-CB takes over.
+                if let Some(b2) = tuner::feasible_block_size(
+                    SolverKind::BlockedCollectBroadcast,
+                    n,
+                    &spec,
+                    &rates,
+                    &ov,
+                    b,
+                ) {
+                    notes.push(PlanNote::new(
+                        "im-infeasible-fallback",
+                        format!(
+                            "{} is projected infeasible at n = {n} for every block size \
+                             ({:?}); falling back to {} with b = {b2}, as in the \
+                             paper's Table 3",
+                            solver.name(),
+                            proj.feasibility,
+                            SolverId::BlockedCollectBroadcast.name()
+                        ),
+                    ));
+                    solver = SolverId::BlockedCollectBroadcast;
+                    b = b2;
+                    projection = Some(self.project(
+                        SolverKind::BlockedCollectBroadcast,
+                        n,
+                        b,
+                        &spec,
+                        &rates,
+                        &ov,
+                    ));
+                } else {
+                    notes.push(PlanNote::new(
+                        "infeasible",
+                        format!(
+                            "no block size is projected feasible for {} or the \
+                             Blocked-CB fallback at n = {n} on this cluster; proceeding \
+                             with b = {b}",
+                            solver.name()
+                        ),
+                    ));
+                    projection = Some(proj);
+                }
+            } else {
+                notes.push(PlanNote::new(
+                    "infeasible",
+                    format!(
+                        "no block size is projected feasible for {} at n = {n} on this \
+                         cluster; proceeding with b = {b}",
+                        solver.name()
+                    ),
+                ));
+                projection = Some(proj);
+            }
+        }
+
+        Ok(Plan {
+            solver,
+            block_size: b,
+            kernel: self.kernel,
+            partitioner: self.partitioner,
+            workload: self.workload,
+            paths: self.paths,
+            directed,
+            n,
+            cores,
+            partitions: self.hints.partitions,
+            validate: self.validate,
+            notes,
+            projection,
+        })
+    }
+
+    fn project(
+        &self,
+        kind: SolverKind,
+        n: usize,
+        b: usize,
+        spec: &ClusterSpec,
+        rates: &KernelRates,
+        ov: &SparkOverheads,
+    ) -> Projection {
+        let w = ModelWorkload {
+            n,
+            b,
+            partitions_per_core: 2,
+            partitioner: match self.partitioner {
+                PartitionerChoice::MultiDiagonal => PartitionerKind::MultiDiagonal,
+                PartitionerChoice::PortableHash => PartitionerKind::PortableHash,
+            },
+        };
+        project(kind, &w, spec, rates, ov)
+    }
+
+    /// Plans and executes in one call: the headline
+    /// `Problem::new(&g).solve(&ctx)` entry point.
+    pub fn solve(&self, ctx: &SparkContext) -> Result<Solution, ApspError> {
+        let plan = self.plan(ctx)?;
+        self.execute(ctx, plan)
+    }
+
+    // -- execution ---------------------------------------------------------
+
+    /// Executes a (possibly hand-tweaked) plan against this problem's
+    /// input. The plan compiles down to the expert layer
+    /// ([`Plan::solver_config`] plus the selected solver's public
+    /// `solve`), so results are bit-exact with explicit calls.
+    pub fn execute(&self, ctx: &SparkContext, plan: Plan) -> Result<Solution, ApspError> {
+        let start = Instant::now();
+        match plan.workload {
+            Workload::ShortestPaths => self.execute_tropical(ctx, plan, start),
+            Workload::Widest => self.execute_widest(ctx, plan, start),
+            Workload::Reachability => self.execute_reachability(ctx, plan, start),
+        }
+    }
+
+    fn execute_tropical(
+        &self,
+        ctx: &SparkContext,
+        plan: Plan,
+        start: Instant,
+    ) -> Result<Solution, ApspError> {
+        let cfg = plan.solver_config();
+        let owned;
+        let adj: &Matrix = match self.input {
+            Input::Graph(g) => {
+                owned = g.to_dense();
+                &owned
+            }
+            Input::DiGraph(g) => {
+                owned = g.to_dense();
+                &owned
+            }
+            Input::Dense(m) => m,
+        };
+        let (result, mpi) = match plan.solver {
+            SolverId::BlockedCollectBroadcast => (
+                Some(crate::BlockedCollectBroadcast.solve(ctx, adj, &cfg)?),
+                None,
+            ),
+            SolverId::BlockedInMemory => {
+                (Some(crate::BlockedInMemory.solve(ctx, adj, &cfg)?), None)
+            }
+            SolverId::FloydWarshall2D => {
+                (Some(crate::FloydWarshall2D.solve(ctx, adj, &cfg)?), None)
+            }
+            SolverId::RepeatedSquaring => {
+                (Some(crate::RepeatedSquaring.solve(ctx, adj, &cfg)?), None)
+            }
+            SolverId::CartesianSquaring => {
+                (Some(crate::CartesianSquaring.solve(ctx, adj, &cfg)?), None)
+            }
+            SolverId::DistributedJohnson => {
+                (Some(crate::DistributedJohnson.solve(ctx, adj, &cfg)?), None)
+            }
+            SolverId::DirectedBlockedCB => (
+                Some(crate::directed::DirectedBlockedCB.solve(ctx, adj, &cfg)?),
+                None,
+            ),
+            SolverId::DirectedFloydWarshall2D => (
+                Some(crate::directed::DirectedFloydWarshall2D.solve(ctx, adj, &cfg)?),
+                None,
+            ),
+            SolverId::MpiFw2d => {
+                let grid = ((plan.cores as f64).sqrt().floor() as usize).max(1);
+                let solver = crate::MpiFw2d::new(grid);
+                if plan.paths {
+                    let (r, parents) = solver.solve_matrix_paths(adj)?;
+                    (None, Some((r.distances, Some(parents), adj.order() as u64)))
+                } else {
+                    let r = solver.solve_matrix(adj)?;
+                    (None, Some((r.distances, None, adj.order() as u64)))
+                }
+            }
+            SolverId::MpiDc => {
+                let solver = crate::MpiDcApsp::new(plan.cores.max(1));
+                if plan.paths {
+                    let (r, parents) = solver.solve_matrix_paths(adj)?;
+                    (None, Some((r.distances, Some(parents), 1)))
+                } else {
+                    let r = solver.solve_matrix(adj)?;
+                    (None, Some((r.distances, None, 1)))
+                }
+            }
+        };
+        let (values, vias, metrics, iterations) = match (result, mpi) {
+            (Some(res), None) => {
+                let metrics = res.metrics;
+                let iterations = res.iterations;
+                let (distances, parents) = split_apsp_result(res);
+                (distances, parents, metrics, iterations)
+            }
+            (None, Some((distances, parents, iterations))) => {
+                (distances, parents, MetricsSnapshot::default(), iterations)
+            }
+            _ => unreachable!("exactly one execution path fires"),
+        };
+        Ok(Solution {
+            n: plan.n,
+            workload: Workload::ShortestPaths,
+            values: Values::Distances(values),
+            vias,
+            plan,
+            metrics,
+            elapsed: start.elapsed(),
+            iterations,
+        })
+    }
+
+    fn capacities(&self) -> Result<Matrix, ApspError> {
+        match self.input {
+            Input::Graph(g) => Ok(g.to_dense_capacities()),
+            Input::Dense(m) => {
+                // Adjacency conventions → (max, min) conventions: weights
+                // become capacities, INF non-edges become 0 (no pipe), the
+                // diagonal becomes the multiplicative identity +∞.
+                Ok(Matrix::from_fn(m.order(), |i, j| {
+                    if i == j {
+                        INF
+                    } else {
+                        let w = m.get(i, j);
+                        if w.is_finite() {
+                            w
+                        } else {
+                            0.0
+                        }
+                    }
+                }))
+            }
+            Input::DiGraph(_) => Err(ApspError::InvalidConfig(
+                "widest-paths is undirected-only (checked at planning time)".into(),
+            )),
+        }
+    }
+
+    fn execute_widest(
+        &self,
+        ctx: &SparkContext,
+        plan: Plan,
+        start: Instant,
+    ) -> Result<Solution, ApspError> {
+        let cfg = plan.solver_config();
+        let caps = self.capacities()?;
+        let n = caps.order();
+        let weight = |i: usize, j: usize| caps.get(i, j);
+        if plan.paths {
+            let r = solve_algebra_on::<TrackedWidest>(plan.solver, ctx, n, &weight, &cfg)?;
+            let (metrics, iterations) = (r.metrics, r.iterations);
+            let (values, pays) = r.into_parts();
+            Ok(Solution {
+                n,
+                workload: Workload::Widest,
+                values: Values::Widths(values),
+                vias: Some(ParentMatrix::from_vias(n, pays)),
+                plan,
+                metrics,
+                elapsed: start.elapsed(),
+                iterations,
+            })
+        } else {
+            let r = solve_algebra_on::<WidestAlgebra>(plan.solver, ctx, n, &weight, &cfg)?;
+            let (metrics, iterations) = (r.metrics, r.iterations);
+            Ok(Solution {
+                n,
+                workload: Workload::Widest,
+                values: Values::Widths(r.into_values()),
+                vias: None,
+                plan,
+                metrics,
+                elapsed: start.elapsed(),
+                iterations,
+            })
+        }
+    }
+
+    fn execute_reachability(
+        &self,
+        ctx: &SparkContext,
+        plan: Plan,
+        start: Instant,
+    ) -> Result<Solution, ApspError> {
+        let cfg = plan.solver_config();
+        let n = self.order();
+        let adj = match self.input {
+            Input::Graph(g) => crate::algebra::boolean_adjacency(g),
+            Input::Dense(m) => {
+                // Adjacency conventions → (∨, ∧) conventions: finite
+                // off-diagonal weights are edges, the diagonal is `true`.
+                let mut adj = vec![false; n * n];
+                for i in 0..n {
+                    for j in 0..n {
+                        adj[i * n + j] = i == j || m.get(i, j).is_finite();
+                    }
+                }
+                adj
+            }
+            Input::DiGraph(_) => {
+                return Err(ApspError::InvalidConfig(
+                    "reachability is undirected-only (checked at planning time)".into(),
+                ))
+            }
+        };
+        let weight = |i: usize, j: usize| adj[i * n + j];
+        if plan.paths {
+            let r = solve_algebra_on::<TrackedReachability>(plan.solver, ctx, n, &weight, &cfg)?;
+            let (metrics, iterations) = (r.metrics, r.iterations);
+            let (values, pays) = r.into_parts();
+            Ok(Solution {
+                n,
+                workload: Workload::Reachability,
+                values: Values::Reach(values),
+                vias: Some(ParentMatrix::from_vias(n, pays)),
+                plan,
+                metrics,
+                elapsed: start.elapsed(),
+                iterations,
+            })
+        } else {
+            let r = solve_algebra_on::<ReachAlgebra>(plan.solver, ctx, n, &weight, &cfg)?;
+            let (metrics, iterations) = (r.metrics, r.iterations);
+            Ok(Solution {
+                n,
+                workload: Workload::Reachability,
+                values: Values::Reach(r.into_values()),
+                vias: None,
+                plan,
+                metrics,
+                elapsed: start.elapsed(),
+                iterations,
+            })
+        }
+    }
+}
+
+/// Splits an [`ApspResult`] into its distance matrix and optional parent
+/// matrix without re-solving.
+fn split_apsp_result(res: ApspResult) -> (Matrix, Option<ParentMatrix>) {
+    if res.parents().is_some() {
+        let dap = res.into_paths().expect("parents checked above");
+        let (d, p) = dap.into_parts();
+        (d, Some(p))
+    } else {
+        (res.into_distances(), None)
+    }
+}
+
+/// Monomorphic dispatch of the generic algebra engine over the planner's
+/// algebra-capable solvers.
+fn solve_algebra_on<A: PathAlgebra>(
+    id: SolverId,
+    ctx: &SparkContext,
+    n: usize,
+    weight: &dyn Fn(usize, usize) -> Elem<A>,
+    cfg: &SolverConfig,
+) -> Result<crate::algebra::AlgebraResult<A>, ApspError>
+where
+    ElemBlock<A::Semi>: crate::algebra::Stageable,
+    Elem<A>: EstimateSize,
+{
+    match id {
+        SolverId::BlockedCollectBroadcast => {
+            crate::BlockedCollectBroadcast.solve_algebra::<A>(ctx, n, weight, cfg)
+        }
+        SolverId::BlockedInMemory => crate::BlockedInMemory.solve_algebra::<A>(ctx, n, weight, cfg),
+        SolverId::FloydWarshall2D => crate::FloydWarshall2D.solve_algebra::<A>(ctx, n, weight, cfg),
+        SolverId::RepeatedSquaring => {
+            crate::RepeatedSquaring.solve_algebra::<A>(ctx, n, weight, cfg)
+        }
+        other => Err(ApspError::InvalidConfig(format!(
+            "{} has no generic path-algebra engine (planner bug: capability rule skipped)",
+            other.name()
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan
+// ---------------------------------------------------------------------------
+
+/// One capability or feasibility rule that fired during planning, with a
+/// stable rule id (for tests and tooling) and a human-readable detail
+/// line (for [`Plan::explain`]).
+#[derive(Debug, Clone)]
+pub struct PlanNote {
+    /// Stable machine-readable rule id (e.g. `paths-fallback`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub detail: String,
+}
+
+impl PlanNote {
+    fn new(rule: &'static str, detail: String) -> Self {
+        PlanNote { rule, detail }
+    }
+}
+
+/// The planner's decision: which solver, block size, kernel tier, and
+/// partitioner a [`Problem`] compiles to, plus the rule trail that led
+/// there. Execute with [`Problem::execute`], or inspect with
+/// [`Plan::explain`] / [`Plan::solver_config`].
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// The selected solver.
+    pub solver: SolverId,
+    /// The selected decomposition block side `b`.
+    pub block_size: usize,
+    /// The selected min-plus kernel (usually `Auto`; see
+    /// [`Plan::kernel_tier`] for what `Auto` resolves to).
+    pub kernel: MinPlusKernel,
+    /// The selected block partitioner.
+    pub partitioner: PartitionerChoice,
+    /// The planned workload.
+    pub workload: Workload,
+    /// Whether witness paths are tracked.
+    pub paths: bool,
+    /// Whether the input is directed.
+    pub directed: bool,
+    /// Problem order (vertex count).
+    pub n: usize,
+    /// Core count planned for.
+    pub cores: usize,
+    partitions: Option<usize>,
+    validate: bool,
+    notes: Vec<PlanNote>,
+    projection: Option<Projection>,
+}
+
+impl Plan {
+    /// The rules that fired during planning (empty when the defaults
+    /// applied cleanly).
+    pub fn notes(&self) -> &[PlanNote] {
+        &self.notes
+    }
+
+    /// The cluster model's projection for the selected configuration,
+    /// when the solver maps onto the model.
+    pub fn projection(&self) -> Option<&Projection> {
+        self.projection.as_ref()
+    }
+
+    /// The expert-layer configuration this plan compiles down to: running
+    /// the selected solver with exactly this config reproduces the
+    /// planned solve bit-for-bit.
+    pub fn solver_config(&self) -> SolverConfig {
+        let mut cfg = SolverConfig::new(self.block_size)
+            .with_partitioner(self.partitioner)
+            .with_kernel(self.kernel);
+        if let Some(p) = self.partitions {
+            cfg = cfg.with_partitions(p);
+        }
+        if self.paths {
+            cfg = cfg.with_paths();
+        }
+        if !self.validate {
+            cfg = cfg.without_validation();
+        }
+        cfg
+    }
+
+    /// Human-readable description of the kernel tier the solve will run:
+    /// the explicit tier when pinned, what `Auto` dispatches to for this
+    /// block size otherwise.
+    pub fn kernel_tier(&self) -> String {
+        if self.workload != Workload::ShortestPaths {
+            return "generic fallback loops (non-tropical algebra)".into();
+        }
+        match self.kernel {
+            MinPlusKernel::Auto => {
+                if self.paths {
+                    format!(
+                        "auto -> {:?} (tracked tier)",
+                        kernels::select_tracked(self.block_size)
+                    )
+                } else {
+                    format!("auto -> {:?}", kernels::select(self.block_size))
+                }
+            }
+            other => format!("{other:?} (pinned)"),
+        }
+    }
+
+    /// Renders the full planning report: the problem shape, every
+    /// selected knob, the cluster model's verdict, and each rule that
+    /// fired.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        let q = self.n.div_ceil(self.block_size.max(1));
+        out.push_str(&format!(
+            "plan for n = {} ({}, {}, paths {})\n",
+            self.n,
+            if self.directed {
+                "directed"
+            } else {
+                "undirected"
+            },
+            self.workload.label(),
+            if self.paths { "tracked" } else { "off" },
+        ));
+        out.push_str(&format!("  solver      = {}\n", self.solver.name()));
+        out.push_str(&format!(
+            "  block size  = {} (q = {q} blocks/side)\n",
+            self.block_size
+        ));
+        out.push_str(&format!("  kernel tier = {}\n", self.kernel_tier()));
+        let partitions = self
+            .partitions
+            .map(|p| p.to_string())
+            .unwrap_or_else(|| format!("{} (2 x {} cores)", 2 * self.cores, self.cores));
+        out.push_str(&format!(
+            "  partitioner = {}, {partitions} partitions\n",
+            match self.partitioner {
+                PartitionerChoice::MultiDiagonal => "multi-diagonal",
+                PartitionerChoice::PortableHash => "portable-hash",
+            },
+        ));
+        match &self.projection {
+            Some(p) => out.push_str(&format!(
+                "  projection  = {:?}, {} iterations (cluster model: {})\n",
+                p.feasibility,
+                p.iterations,
+                p.solver.label()
+            )),
+            None => out.push_str("  projection  = n/a (solver outside the cluster model)\n"),
+        }
+        if self.notes.is_empty() {
+            out.push_str("  rules       = none (defaults applied cleanly)\n");
+        } else {
+            out.push_str("  rules:\n");
+            for note in &self.notes {
+                out.push_str(&format!("    - [{}] {}\n", note.rule, note.detail));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Solution
+// ---------------------------------------------------------------------------
+
+enum Values {
+    Distances(Matrix),
+    Widths(ElemBlock<BottleneckF64>),
+    Reach(ElemBlock<BoolSemiring>),
+}
+
+/// Outcome of a planned solve: one result type over all three workloads,
+/// carrying the values, the optional witness vias, the [`Plan`] that
+/// produced it, and run metadata.
+pub struct Solution {
+    n: usize,
+    workload: Workload,
+    values: Values,
+    vias: Option<ParentMatrix>,
+    /// The plan this solution executed.
+    pub plan: Plan,
+    /// Engine-counter increments attributable to this solve (zero for
+    /// the MPI baselines, which bypass the Spark engine).
+    pub metrics: MetricsSnapshot,
+    /// Wall-clock duration of the solve.
+    pub elapsed: Duration,
+    /// Outer iterations executed.
+    pub iterations: u64,
+}
+
+impl Solution {
+    /// Vertex count.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Which workload this solution answers.
+    pub fn workload(&self) -> Workload {
+        self.workload
+    }
+
+    /// Shortest-path distance from `u` to `v`: `Some(d)` when the
+    /// workload is [`Workload::ShortestPaths`] and `v` is reachable,
+    /// `None` otherwise.
+    pub fn dist(&self, u: usize, v: usize) -> Option<f64> {
+        match &self.values {
+            Values::Distances(m) => {
+                let d = m.get(u, v);
+                d.is_finite().then_some(d)
+            }
+            _ => None,
+        }
+    }
+
+    /// Bottleneck width from `u` to `v`: `Some(w)` when the workload is
+    /// [`Workload::Widest`] and `v` is reachable (the diagonal reports
+    /// `+∞` — staying put constrains nothing), `None` otherwise.
+    pub fn width(&self, u: usize, v: usize) -> Option<f64> {
+        match &self.values {
+            Values::Widths(m) => {
+                let w = m.get(u, v);
+                (w > 0.0).then_some(w)
+            }
+            _ => None,
+        }
+    }
+
+    /// Whether `v` is reachable from `u` — answered by every workload
+    /// (finite distance, nonzero width, or a `true` closure cell).
+    pub fn reachable(&self, u: usize, v: usize) -> bool {
+        match &self.values {
+            Values::Distances(m) => m.get(u, v).is_finite(),
+            Values::Widths(m) => m.get(u, v) > 0.0,
+            Values::Reach(m) => m.get(u, v),
+        }
+    }
+
+    /// Reconstructs a witness path from `u` to `v`: the shortest route
+    /// for [`Workload::ShortestPaths`], a widest route for
+    /// [`Workload::Widest`], some connecting route for
+    /// [`Workload::Reachability`]. `None` when the solve did not track
+    /// paths or `v` is unreachable; `path(u, u)` is `[u]`.
+    pub fn path(&self, u: usize, v: usize) -> Option<Vec<NodeId>> {
+        let vias = self.vias.as_ref()?;
+        if !self.reachable(u, v) {
+            return None;
+        }
+        Some(vias.expand(u, v))
+    }
+
+    /// The `k` vertices "nearest" to `u` under the workload's own order:
+    /// ascending distance for shortest paths, descending width for
+    /// widest paths, reachable vertices (score `1.0`) in id order for
+    /// reachability. `u` itself and unreachable vertices are excluded;
+    /// ties break by vertex id.
+    pub fn k_nearest(&self, u: usize, k: usize) -> Vec<(NodeId, f64)> {
+        let mut scored: Vec<(NodeId, f64)> = (0..self.n)
+            .filter(|&v| v != u && self.reachable(u, v))
+            .map(|v| {
+                let score = match &self.values {
+                    Values::Distances(m) => m.get(u, v),
+                    Values::Widths(m) => m.get(u, v),
+                    Values::Reach(_) => 1.0,
+                };
+                (v as NodeId, score)
+            })
+            .collect();
+        match self.workload {
+            Workload::Widest => {
+                scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            }
+            _ => scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0))),
+        }
+        scored.truncate(k);
+        scored
+    }
+
+    /// Extracts the numeric values of the `rows × cols` submatrix, one
+    /// `Vec` per requested row: distances ([`INF`] when unreachable),
+    /// widths (`0.0` when unreachable), or `1.0`/`0.0` closure cells.
+    pub fn submatrix(&self, rows: &[usize], cols: &[usize]) -> Vec<Vec<f64>> {
+        rows.iter()
+            .map(|&i| {
+                cols.iter()
+                    .map(|&j| match &self.values {
+                        Values::Distances(m) => m.get(i, j),
+                        Values::Widths(m) => m.get(i, j),
+                        Values::Reach(m) => {
+                            if m.get(i, j) {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// The full distance matrix, for [`Workload::ShortestPaths`]
+    /// solutions.
+    pub fn distances(&self) -> Option<&Matrix> {
+        match &self.values {
+            Values::Distances(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The full width matrix, for [`Workload::Widest`] solutions.
+    pub fn widths(&self) -> Option<&ElemBlock<BottleneckF64>> {
+        match &self.values {
+            Values::Widths(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The full closure matrix, for [`Workload::Reachability`] solutions.
+    pub fn reachability(&self) -> Option<&ElemBlock<BoolSemiring>> {
+        match &self.values {
+            Values::Reach(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The witness via matrix, when the solve tracked paths.
+    pub fn parents(&self) -> Option<&ParentMatrix> {
+        self.vias.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsp_graph::generators;
+    use sparklet::SparkConfig;
+
+    fn ctx() -> SparkContext {
+        SparkContext::new(SparkConfig::with_cores(2))
+    }
+
+    #[test]
+    fn default_plan_picks_cb() {
+        let g = generators::grid(4, 4);
+        let plan = Problem::new(&g).plan(&ctx()).unwrap();
+        assert_eq!(plan.solver, SolverId::BlockedCollectBroadcast);
+        assert!(plan.notes().is_empty());
+        assert!(plan.block_size >= 1 && plan.block_size <= 16);
+        assert!(plan.projection().unwrap().feasibility.is_feasible());
+    }
+
+    #[test]
+    fn headline_call_works_for_all_three_workloads() {
+        let g = generators::grid(3, 3);
+        let sc = ctx();
+        for w in [
+            Workload::ShortestPaths,
+            Workload::Widest,
+            Workload::Reachability,
+        ] {
+            let sol = Problem::new(&g)
+                .workload(w)
+                .with_paths()
+                .solve(&sc)
+                .unwrap();
+            assert_eq!(sol.workload(), w);
+            assert!(sol.reachable(0, 8));
+            let p = sol.path(0, 8).expect("grid is connected and paths tracked");
+            assert_eq!(p.first(), Some(&0));
+            assert_eq!(p.last(), Some(&8));
+        }
+    }
+
+    #[test]
+    fn directed_input_routes_to_directed_solver() {
+        let g = generators::erdos_renyi_directed(20, 0.15, 3);
+        let plan = Problem::from_digraph(&g).plan(&ctx()).unwrap();
+        assert_eq!(plan.solver, SolverId::DirectedBlockedCB);
+    }
+
+    #[test]
+    fn directed_algebra_workloads_are_rejected() {
+        let g = generators::erdos_renyi_directed(10, 0.2, 1);
+        let err = Problem::from_digraph(&g)
+            .workload(Workload::Widest)
+            .plan(&ctx())
+            .unwrap_err();
+        assert!(matches!(err, ApspError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        let g = Graph::new(0);
+        assert!(matches!(
+            Problem::new(&g).plan(&ctx()),
+            Err(ApspError::InvalidInput(_))
+        ));
+    }
+
+    #[test]
+    fn zero_block_size_pin_is_rejected() {
+        let g = generators::grid(2, 2);
+        assert!(matches!(
+            Problem::new(&g).block_size(0).plan(&ctx()),
+            Err(ApspError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_block_size_pin_is_clamped_with_a_note() {
+        let g = generators::grid(3, 3);
+        let plan = Problem::new(&g).block_size(256).plan(&ctx()).unwrap();
+        assert_eq!(plan.block_size, 9);
+        assert!(
+            plan.notes().iter().any(|n| n.rule == "pinned-clamped"),
+            "clamping an explicit pin must be recorded: {:?}",
+            plan.notes()
+        );
+        assert!(plan.explain().contains("pinned-clamped"));
+    }
+
+    #[test]
+    fn solution_point_queries() {
+        // 0 -1- 1 -2- 2, isolated 3.
+        let g = Graph::from_edges(4, [(0, 1, 1.0), (1, 2, 2.0)]);
+        let sol = Problem::new(&g).with_paths().solve(&ctx()).unwrap();
+        assert_eq!(sol.dist(0, 2), Some(3.0));
+        assert_eq!(sol.dist(0, 3), None);
+        assert_eq!(sol.width(0, 2), None, "wrong workload");
+        assert!(sol.reachable(0, 2));
+        assert!(!sol.reachable(0, 3));
+        assert_eq!(sol.path(0, 2), Some(vec![0, 1, 2]));
+        assert_eq!(sol.path(0, 3), None);
+        assert_eq!(sol.path(3, 3), Some(vec![3]));
+        assert_eq!(sol.k_nearest(0, 5), vec![(1, 1.0), (2, 3.0)]);
+        assert_eq!(sol.k_nearest(0, 1), vec![(1, 1.0)]);
+        let sub = sol.submatrix(&[0, 3], &[2]);
+        assert_eq!(sub[0], vec![3.0]);
+        assert_eq!(sub[1], vec![INF]);
+    }
+
+    #[test]
+    fn k_nearest_widest_prefers_fat_pipes() {
+        let g = Graph::from_edges(3, [(0, 1, 10.0), (1, 2, 7.0), (0, 2, 1.0)]);
+        let sol = Problem::new(&g)
+            .workload(Workload::Widest)
+            .solve(&ctx())
+            .unwrap();
+        assert_eq!(sol.width(0, 2), Some(7.0));
+        assert_eq!(sol.k_nearest(0, 2), vec![(1, 10.0), (2, 7.0)]);
+        assert_eq!(sol.dist(0, 2), None, "wrong workload");
+    }
+
+    #[test]
+    fn plan_config_round_trips_to_expert_layer() {
+        let g = generators::grid(4, 4);
+        let plan = Problem::new(&g)
+            .with_paths()
+            .block_size(8)
+            .plan(&ctx())
+            .unwrap();
+        let cfg = plan.solver_config();
+        assert_eq!(cfg.block_size, 8);
+        assert!(cfg.track_paths);
+        assert_eq!(cfg.partitioner, PartitionerChoice::MultiDiagonal);
+    }
+
+    #[test]
+    fn capabilities_reachable_from_types_and_ids() {
+        assert_eq!(
+            <crate::BlockedCollectBroadcast as Capabilities>::capabilities().id,
+            SolverId::BlockedCollectBroadcast
+        );
+        for id in SolverId::ALL {
+            let caps = id.capabilities();
+            assert_eq!(caps.id, id);
+            assert!(caps.directed || caps.undirected);
+        }
+        assert!(!SolverId::DirectedBlockedCB.capabilities().paths);
+        assert!(SolverId::DirectedFloydWarshall2D.capabilities().paths);
+    }
+}

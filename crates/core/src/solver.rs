@@ -3,6 +3,7 @@
 use crate::blocks::PartitionerChoice;
 use apsp_blockmat::kernels::MinPlusKernel;
 use apsp_blockmat::Matrix;
+use apsp_cluster::{ClusterSpec, KernelRates, SolverKind, SparkOverheads};
 use apsp_graph::paths::{DistancesAndParents, ParentMatrix};
 use sparklet::{MetricsSnapshot, SparkContext, SparkError};
 use std::time::Duration;
@@ -80,9 +81,44 @@ impl SolverConfig {
 
     /// Config with the block size chosen by the closed-form tuner for an
     /// `n`-vertex problem on this context's core count (§5.2/§5.3
-    /// guidance, mechanized).
+    /// guidance, mechanized), then routed through the cluster model's
+    /// feasibility check — the same check the query planner
+    /// ([`crate::plan`]) applies — against a [`ClusterSpec::local`]
+    /// description of this machine, so `auto` can no longer hand back a
+    /// block size the model marks infeasible when a feasible one exists.
+    ///
+    /// Assumes the paper's best general-purpose solver (Blocked
+    /// Collect/Broadcast) for the feasibility sweep; use
+    /// [`SolverConfig::auto_for`] to tune for a specific solver or
+    /// cluster.
     pub fn auto(n: usize, ctx: &SparkContext) -> Self {
-        let b = crate::tuner::suggest_block_size(n, ctx.num_cores(), 2).min(n.max(1));
+        Self::auto_for(
+            SolverKind::BlockedCollectBroadcast,
+            n,
+            ctx,
+            &ClusterSpec::local(ctx.num_cores()),
+        )
+    }
+
+    /// [`SolverConfig::auto`] with the solver kind and cluster made
+    /// explicit: suggests a block size with the closed-form heuristic,
+    /// then — when the cluster model marks that size infeasible for
+    /// `solver` on `spec` — re-tunes to the feasible candidate with the
+    /// lowest projected total ([`crate::tuner::feasible_block_size`]).
+    /// When *no* block size is feasible the closed-form suggestion is
+    /// kept: the local solve is still attempted, and the planner is the
+    /// layer that reports infeasibility.
+    pub fn auto_for(solver: SolverKind, n: usize, ctx: &SparkContext, spec: &ClusterSpec) -> Self {
+        let suggested = crate::tuner::suggest_block_size(n, ctx.num_cores(), 2).min(n.max(1));
+        let b = crate::tuner::feasible_block_size(
+            solver,
+            n,
+            spec,
+            &KernelRates::paper(),
+            &SparkOverheads::default(),
+            suggested,
+        )
+        .unwrap_or(suggested);
         Self::new(b)
     }
 
@@ -264,6 +300,39 @@ mod tests {
         // Enough blocks for the configured parallelism.
         let q = 500usize.div_ceil(cfg.block_size);
         assert!(q * (q + 1) / 2 >= 8, "q={q} too coarse for 4 cores × B=2");
+    }
+
+    #[test]
+    fn auto_config_respects_memory_feasibility() {
+        // Regression: `auto` used to be closed-form only, happily
+        // suggesting block sizes whose padded working set overflows the
+        // cluster model's RAM. On a 10 MiB machine the n=1000 closed-form
+        // suggestion (b=500, 12 MB resident) must be re-tuned to a
+        // feasible size.
+        use apsp_cluster::{project, Workload};
+        let ctx = SparkContext::new(SparkConfig::with_cores(1));
+        let mut spec = ClusterSpec::local(1);
+        spec.ram_per_node_bytes = 10 << 20;
+        let closed_form = crate::tuner::suggest_block_size(1000, 1, 2).min(1000);
+        assert_eq!(closed_form, 500, "test premise: closed form picks b=500");
+        let cfg = SolverConfig::auto_for(SolverKind::BlockedCollectBroadcast, 1000, &ctx, &spec);
+        assert_ne!(cfg.block_size, closed_form);
+        let w = Workload::paper_default(1000, cfg.block_size);
+        assert!(
+            project(
+                SolverKind::BlockedCollectBroadcast,
+                &w,
+                &spec,
+                &KernelRates::paper(),
+                &SparkOverheads::default()
+            )
+            .feasibility
+            .is_feasible(),
+            "auto_for must return a model-feasible block size"
+        );
+        // On an unconstrained machine `auto` still equals the closed form.
+        let roomy = SolverConfig::auto(1000, &ctx);
+        assert_eq!(roomy.block_size, closed_form);
     }
 
     #[test]

@@ -62,6 +62,46 @@ pub fn tune_with_model(
     best
 }
 
+/// Routes a block-size suggestion through the cluster model's feasibility
+/// verdict — the check shared by the query planner (`crate::plan`) and
+/// [`crate::SolverConfig::auto`].
+///
+/// Returns `suggested` unchanged when [`project`] marks it feasible for
+/// `solver` on `spec`. Otherwise sweeps a candidate grid — the paper grid
+/// plus power-of-two refinements of `suggested` down to `1` — through
+/// [`tune_with_model`] and returns the feasible candidate with the lowest
+/// projected total. `None` when no candidate is feasible (the cluster
+/// cannot run this solver at this `n` for any block size, e.g. the
+/// paper's Blocked-IM at `n = 262144`).
+pub fn feasible_block_size(
+    solver: SolverKind,
+    n: usize,
+    spec: &ClusterSpec,
+    rates: &KernelRates,
+    overheads: &SparkOverheads,
+    suggested: usize,
+) -> Option<usize> {
+    let suggested = suggested.clamp(1, n.max(1));
+    let w = Workload::paper_default(n, suggested);
+    if project(solver, &w, spec, rates, overheads)
+        .feasibility
+        .is_feasible()
+    {
+        return Some(suggested);
+    }
+    let mut candidates = paper_candidates();
+    let mut half = suggested;
+    while half >= 1 {
+        candidates.push(half);
+        if half == 1 {
+            break;
+        }
+        half /= 2;
+    }
+    candidates.retain(|&b| b <= n.max(1));
+    tune_with_model(solver, n, spec, rates, overheads, &candidates).map(|(b, _)| b)
+}
+
 /// The paper's candidate grid for Table 2/Fig. 3 sweeps.
 pub fn paper_candidates() -> Vec<usize> {
     vec![
@@ -135,6 +175,72 @@ mod tests {
         )
         .expect("IM feasible at n=131072 for some b");
         assert!(b >= 1024, "tuner picked infeasible-region b = {b}");
+    }
+
+    #[test]
+    fn feasible_block_size_keeps_feasible_suggestions() {
+        let spec = ClusterSpec::local(4);
+        let got = feasible_block_size(
+            SolverKind::BlockedCollectBroadcast,
+            500,
+            &spec,
+            &KernelRates::paper(),
+            &SparkOverheads::default(),
+            125,
+        );
+        assert_eq!(got, Some(125));
+    }
+
+    #[test]
+    fn feasible_block_size_retunes_infeasible_suggestions() {
+        // A machine whose RAM sits between the q=2 and q=8 working sets of
+        // an n=1000 problem: the single-big-block suggestion overflows
+        // (padding inflates the resident set), smaller blocks fit.
+        let mut spec = ClusterSpec::local(1);
+        spec.ram_per_node_bytes = 10 << 20; // 10 MiB
+        let rates = KernelRates::paper();
+        let ov = SparkOverheads::default();
+        let suggested = 500; // q=2: 2·3·500²·8 = 12 MB > 10 MiB
+        let w = Workload::paper_default(1000, suggested);
+        assert!(
+            !project(SolverKind::BlockedCollectBroadcast, &w, &spec, &rates, &ov)
+                .feasibility
+                .is_feasible(),
+            "test premise: the suggestion must be infeasible"
+        );
+        let got = feasible_block_size(
+            SolverKind::BlockedCollectBroadcast,
+            1000,
+            &spec,
+            &rates,
+            &ov,
+            500,
+        )
+        .expect("a smaller block must fit");
+        assert_ne!(got, 500);
+        let w = Workload::paper_default(1000, got);
+        assert!(
+            project(SolverKind::BlockedCollectBroadcast, &w, &spec, &rates, &ov)
+                .feasibility
+                .is_feasible(),
+            "returned block size must be feasible"
+        );
+    }
+
+    #[test]
+    fn feasible_block_size_reports_hopeless_cases() {
+        // IM at n = 262144 on the paper cluster is infeasible for every b.
+        assert_eq!(
+            feasible_block_size(
+                SolverKind::BlockedInMemory,
+                262_144,
+                &ClusterSpec::paper_cluster(),
+                &KernelRates::paper(),
+                &SparkOverheads::default(),
+                2048,
+            ),
+            None
+        );
     }
 
     #[test]

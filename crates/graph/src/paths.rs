@@ -146,6 +146,49 @@ impl ParentMatrix {
             k => Some(k),
         }
     }
+
+    /// Expands the via entries into the full `i → j` vertex sequence,
+    /// **assuming the pair is known to be connected** — the caller owns
+    /// the reachability check, which is workload-specific (finite
+    /// distance for shortest paths, nonzero width for widest paths, a
+    /// `true` cell for transitive closure). `expand(i, i)` is `[i]`.
+    ///
+    /// Runs in `O(length)` by divide and conquer: each via cell splits
+    /// its segment into two sub-segments until a cell reports a direct
+    /// edge.
+    ///
+    /// # Panics
+    /// Panics on out-of-range vertices, and on a via matrix whose
+    /// expansion does not terminate — impossible for matrices produced by
+    /// this workspace's tracked solvers (vias are recorded only on strict
+    /// improvements, which well-founds the expansion), but constructible
+    /// by hand; the budget guard is defense in depth.
+    pub fn expand(&self, i: usize, j: usize) -> Vec<NodeId> {
+        let n = self.n;
+        assert!(i < n && j < n, "vertex out of range");
+        if i == j {
+            return vec![i as NodeId];
+        }
+        let mut out = vec![i as NodeId];
+        // Depth-first, left-to-right expansion of (i, j) segments.
+        let mut stack: Vec<(u32, u32)> = vec![(i as u32, j as u32)];
+        // A valid expansion visits at most 2·n segments (the recursion
+        // tree over a simple path of ≤ n vertices).
+        let mut budget = 4 * n + 4;
+        while let Some((a, b)) = stack.pop() {
+            budget -= 1;
+            assert!(budget > 0, "via expansion for ({i},{j}) does not terminate");
+            match self.via(a as usize, b as usize) {
+                None => out.push(b),
+                Some(k) => {
+                    debug_assert!(k != a && k != b, "degenerate via {k} at ({a},{b})");
+                    stack.push((k, b));
+                    stack.push((a, k));
+                }
+            }
+        }
+        out
+    }
 }
 
 /// Distances plus the via matrix that reconstructs their witness paths —
@@ -195,43 +238,16 @@ impl DistancesAndParents {
     /// endpoints; `reconstruct(i, i)` is `[i]`.
     ///
     /// Runs in `O(length)` by expanding each via cell into its two
-    /// sub-segments until a cell reports a direct edge.
-    ///
-    /// # Panics
-    /// Panics on out-of-range vertices, and on a via matrix whose
-    /// expansion does not terminate — impossible for the matrices produced
-    /// by this workspace's tracked solvers on strictly positive weights,
-    /// but constructible by hand (or by zero-weight ties, which tracked
-    /// relaxations never record thanks to strict-`<` updates; the guard is
-    /// defense in depth).
+    /// sub-segments until a cell reports a direct edge
+    /// ([`ParentMatrix::expand`], which also documents the
+    /// non-termination guard).
     pub fn reconstruct(&self, i: usize, j: usize) -> Option<Vec<NodeId>> {
         let n = self.parents.n;
         assert!(i < n && j < n, "vertex out of range");
-        if i == j {
-            return Some(vec![i as NodeId]);
-        }
-        if !self.distances.get(i, j).is_finite() {
+        if i != j && !self.distances.get(i, j).is_finite() {
             return None;
         }
-        let mut out = vec![i as NodeId];
-        // Depth-first, left-to-right expansion of (i, j) segments.
-        let mut stack: Vec<(u32, u32)> = vec![(i as u32, j as u32)];
-        // A valid expansion visits at most 2·n segments (the recursion
-        // tree over a simple path of ≤ n vertices).
-        let mut budget = 4 * n + 4;
-        while let Some((a, b)) = stack.pop() {
-            budget -= 1;
-            assert!(budget > 0, "via expansion for ({i},{j}) does not terminate");
-            match self.parents.via(a as usize, b as usize) {
-                None => out.push(b),
-                Some(k) => {
-                    debug_assert!(k != a && k != b, "degenerate via {k} at ({a},{b})");
-                    stack.push((k, b));
-                    stack.push((a, k));
-                }
-            }
-        }
-        Some(out)
+        Some(self.parents.expand(i, j))
     }
 
     /// Checks the defining invariant: every reconstructed path walks real

@@ -33,10 +33,15 @@ fn main() {
     g.add_edge(0, 60, 1.0); // the bridge
 
     let ctx = SparkContext::new(SparkConfig::with_cores(4));
-    let result = BlockedInMemory
-        .solve(&ctx, &g.to_dense(), &SolverConfig::new(30))
+    // The front door, with an expert preference: Blocked-IM is fine at
+    // this scale and the planner honors the request (it would fall back
+    // to Blocked-CB if the cluster model said otherwise).
+    let sol = Problem::new(&g)
+        .prefer(SolverId::BlockedInMemory)
+        .block_size(30)
+        .solve(&ctx)
         .expect("solve failed");
-    let d = result.distances();
+    let d = sol.distances().expect("shortest-paths solution");
 
     // Closeness: (n-1) / Σ_j d(i, j), counting only reachable pairs.
     let closeness: Vec<f64> = (0..n)

@@ -26,12 +26,12 @@ fn main() {
         graph.connected_components()
     );
 
-    // Distributed APSP over the neighbourhood graph = geodesic estimates.
+    // Distributed APSP over the neighbourhood graph = geodesic estimates,
+    // planned by the front door (the planner picks solver + block size).
     let ctx = SparkContext::new(SparkConfig::with_cores(4));
-    let result = BlockedCollectBroadcast
-        .solve(&ctx, &graph.to_dense(), &SolverConfig::new(75))
-        .expect("solve failed");
-    let geo = result.distances();
+    let sol = Problem::new(&graph).solve(&ctx).expect("solve failed");
+    println!("{}", sol.plan.explain());
+    let geo = sol.distances().expect("shortest-paths solution");
 
     // Compare geodesic vs ambient (straight-line) distance for a few
     // pairs: on a curled manifold geodesics are systematically longer.

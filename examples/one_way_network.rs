@@ -2,11 +2,15 @@
 //! extension: "by disregarding symmetricity of A, our algorithms can be
 //! directly adopted for cases where G is a directed graph").
 //!
+//! The front door accepts a `DiGraph` directly: the planner routes
+//! asymmetric inputs to the directed solvers (`Directed Blocked-CB`, or
+//! `Directed 2D Floyd-Warshall` when witness paths are requested —
+//! `Plan::explain()` names the rule that fires).
+//!
 //! ```sh
 //! cargo run --release --example one_way_network
 //! ```
 
-use apspark::core::{directed::DirectedBlockedCB, SolverConfig};
 use apspark::graph::DiGraph;
 use apspark::prelude::*;
 
@@ -40,33 +44,52 @@ fn main() {
     );
 
     let ctx = SparkContext::new(SparkConfig::with_cores(4));
-    let res = DirectedBlockedCB
-        .solve(&ctx, &g.to_dense(), &SolverConfig::new(12))
-        .expect("directed solve failed");
-    let d = res.distances();
+    let problem = Problem::from_digraph(&g);
+    let plan = problem.plan(&ctx).expect("planning failed");
+    print!("{}", plan.explain());
+    let sol = problem.execute(&ctx, plan).expect("directed solve failed");
 
     // Going "against" a one-way street forces a detour.
     let a = id(0, 1) as usize; // row 0 is eastbound
     let b = id(0, 0) as usize;
     println!(
-        "eastbound block: {} → {} takes {}, but {} → {} takes {} (detour!)",
+        "eastbound block: {} -> {} takes {:?}, but {} -> {} takes {:?} (detour!)",
         b,
         a,
-        d.get(b, a),
+        sol.dist(b, a),
         a,
         b,
-        d.get(a, b)
+        sol.dist(a, b)
     );
-    assert_eq!(d.get(b, a), 1.0);
-    assert!(d.get(a, b) > 1.0, "one-way violation");
+    assert_eq!(sol.dist(b, a), Some(1.0));
+    assert!(sol.dist(a, b).unwrap() > 1.0, "one-way violation");
 
     // Verify against the directed Dijkstra oracle.
     let oracle = apspark::graph::apsp_dijkstra_directed(&g);
-    d.approx_eq(&oracle, 1e-9)
+    sol.distances()
+        .expect("shortest-paths solution")
+        .approx_eq(&oracle, 1e-9)
         .expect("directed distributed solve diverged from Dijkstra");
     println!("verified against directed Dijkstra ✓");
 
+    // With witness paths the planner swaps solvers (Directed Blocked-CB
+    // rejects tracking) and says so.
+    let tracked = Problem::from_digraph(&g).with_paths();
+    let plan = tracked.plan(&ctx).expect("planning failed");
+    assert!(plan.explain().contains("paths-fallback"));
+    print!("{}", plan.explain());
+    let sol_p = tracked.execute(&ctx, plan).expect("tracked solve failed");
+    let detour = sol_p.path(a, b).expect("connected");
+    println!(
+        "the forced detour {} -> {}: {:?} ({} hops)",
+        a,
+        b,
+        detour,
+        detour.len() - 1
+    );
+
     // Average detour asymmetry across all pairs.
+    let d = sol.distances().unwrap();
     let mut asym = 0usize;
     let mut pairs = 0usize;
     for i in 0..n {

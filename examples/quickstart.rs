@@ -1,4 +1,6 @@
-//! Quickstart: solve APSP on a random graph with the paper's best solver.
+//! Quickstart: solve APSP through the library's front door — the
+//! `Problem → Plan → Solution` pipeline picks the solver and block size
+//! for you and explains why.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
@@ -21,29 +23,38 @@ fn main() {
     // An engine with 4 executor cores (the "cluster").
     let ctx = SparkContext::new(SparkConfig::with_cores(4));
 
-    // Blocked Collect/Broadcast (the paper's Algorithm 4) with 64-vertex
-    // blocks — the q = 4 decomposition runs 4 iterations.
-    let cfg = SolverConfig::new(64);
-    let solver = BlockedCollectBroadcast;
-    let result = solver
-        .solve(&ctx, &graph.to_dense(), &cfg)
-        .expect("solve failed");
-
-    let d = result.distances();
+    // One front door: describe the problem, let the planner choose the
+    // solver, block size, kernel tier, and partitioner (the paper's §5
+    // tuning lessons, mechanized), and execute.
+    let problem = Problem::new(&graph).with_paths();
+    let plan = problem.plan(&ctx).expect("planning failed");
+    print!("{}", plan.explain());
+    let sol = problem.execute(&ctx, plan).expect("solve failed");
     println!(
         "solved in {:.3}s over {} iterations",
-        result.elapsed.as_secs_f64(),
-        result.iterations
-    );
-    println!(
-        "d(0, 1) = {:.3}, d(0, {}) = {:.3}",
-        d.get(0, 1),
-        n - 1,
-        d.get(0, n - 1)
+        sol.elapsed.as_secs_f64(),
+        sol.iterations
     );
 
+    // Point queries against the unified Solution.
+    println!(
+        "d(0, 1) = {:?}, d(0, {}) = {:?}",
+        sol.dist(0, 1),
+        n - 1,
+        sol.dist(0, n - 1)
+    );
+    if let Some(route) = sol.path(0, n - 1) {
+        println!(
+            "one shortest route 0 -> {}: {} hops",
+            n - 1,
+            route.len() - 1
+        );
+    }
+    let near = sol.k_nearest(0, 3);
+    println!("3 nearest to vertex 0: {near:?}");
+
     // Engine observability: what did the solve cost the "cluster"?
-    let m = &result.metrics;
+    let m = &sol.metrics;
     println!(
         "jobs = {}, shuffles = {}, shuffle = {:.2} MB, side channel = {:.2} MB",
         m.jobs,
@@ -54,9 +65,9 @@ fn main() {
 
     // Cross-check against the sequential oracle.
     let oracle = apspark::graph::floyd_warshall(&graph);
-    result
-        .distances()
+    sol.distances()
+        .expect("shortest-paths solution")
         .approx_eq(&oracle, 1e-9)
-        .expect("distributed result diverged from sequential Floyd-Warshall");
+        .expect("planned result diverged from sequential Floyd-Warshall");
     println!("verified against sequential Floyd-Warshall ✓");
 }

@@ -1,5 +1,6 @@
-//! Boolean transitive closure / reachability: the blocked Spark solvers
-//! swapped onto the *(∨, ∧)* path algebra.
+//! Boolean transitive closure / reachability through the front door:
+//! the blocked Spark solvers swapped onto the *(∨, ∧)* path algebra by
+//! `Problem::new(&g).workload(Workload::Reachability)`.
 //!
 //! The `Semiring` layer cites Katz et al. [10] for transitive closure
 //! over the boolean semiring; this example runs exactly that through the
@@ -29,11 +30,16 @@ fn main() {
     g.add_edge(12, 13, 1.0); // pair
 
     let ctx = SparkContext::new(SparkConfig::with_cores(4));
-    let cfg = SolverConfig::new(4);
 
-    // Blocked boolean closure on the distributed engine.
-    let reach = transitive_closure(&ctx, &g, &BlockedCollectBroadcast, &cfg).expect("solve failed");
-    println!("reachability matrix (Blocked-CB over the boolean semiring):");
+    // The front door: boolean closure on the distributed engine, with
+    // witness walks tracked.
+    let sol = Problem::new(&g)
+        .workload(Workload::Reachability)
+        .with_paths()
+        .solve(&ctx)
+        .expect("solve failed");
+    let reach = sol.reachability().expect("reachability solution");
+    println!("reachability matrix (planned solve over the boolean semiring):");
     for i in 0..n {
         let row: String = (0..n)
             .map(|j| if reach.get(i, j) { '#' } else { '.' })
@@ -41,10 +47,17 @@ fn main() {
         println!("  {i:2}: {row}");
     }
 
-    assert!(reach.get(0, 5), "ring is connected");
-    assert!(reach.get(6, 11), "chain is connected");
-    assert!(!reach.get(0, 6), "islands stay separate");
-    assert!(!reach.get(11, 12));
+    assert!(sol.reachable(0, 5), "ring is connected");
+    assert!(sol.reachable(6, 11), "chain is connected");
+    assert!(!sol.reachable(0, 6), "islands stay separate");
+    assert!(!sol.reachable(11, 12));
+
+    // A witness walk across the ring, reconstructed from the closure.
+    let walk = sol.path(0, 3).expect("ring pair is connected");
+    println!("one 0 -> 3 walk across the ring: {walk:?}");
+    assert_eq!(walk.first(), Some(&0));
+    assert_eq!(walk.last(), Some(&3));
+    assert_eq!(sol.path(0, 12), None, "no walk between islands");
 
     // Component count from the closure's distinct rows.
     let mut rows: Vec<Vec<bool>> = (0..n)
@@ -58,8 +71,10 @@ fn main() {
     );
     assert_eq!(rows.len(), 3);
 
-    // BFS oracle agrees on every pair; so does a second blocked solver.
+    // BFS oracle agrees on every pair; so does a second blocked solver
+    // through the expert layer.
     let oracle = bottleneck::reachability_bfs(&g);
+    let cfg = SolverConfig::new(4);
     let rs = transitive_closure(&ctx, &g, &RepeatedSquaring, &cfg).expect("solve failed");
     for i in 0..n {
         for j in 0..n {

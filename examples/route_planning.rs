@@ -1,18 +1,19 @@
 //! Route planning: shortest *paths* (not just lengths), reconstructed
-//! from a distributed solve, plus distributed distance queries.
+//! from a planned distributed solve, plus distributed distance queries.
 //!
 //! The paper computes only path lengths (§3); this example shows the
 //! library extensions downstream users reach for first:
 //!
-//! 1. witness paths from a **distributed** solver via
-//!    `SolverConfig::with_paths()` — the blocked engine tracks, per cell,
-//!    the argmin of the winning relaxation, and `reconstruct` expands the
-//!    actual route,
+//! 1. witness paths through the front door — `Problem::new(&g)
+//!    .with_paths().solve(&ctx)` plans the solver, the blocked engine
+//!    tracks the argmin of each winning relaxation, and
+//!    `Solution::path` expands the actual route,
 //! 2. the sequential successor-matrix Floyd-Warshall
 //!    (`apspark::graph::paths`) as the cross-checking oracle, and
 //! 3. querying a *distributed* result without collecting the full `n²`
-//!    matrix to the driver (`solve_distributed`), which is what makes
-//!    paper-scale results usable at all (550 GB at `n = 262144`).
+//!    matrix to the driver (`solve_distributed`, expert layer), which is
+//!    what makes paper-scale results usable at all (550 GB at
+//!    `n = 262144`).
 //!
 //! ```sh
 //! cargo run --release --example route_planning
@@ -45,24 +46,24 @@ fn main() {
     let from = id(0, 0) as usize;
     let to = id(7, 7) as usize;
 
-    // 1. Distributed solve with path tracking: the Blocked-CB engine
-    //    records, per cell, the winning relaxation's intermediate vertex.
+    // 1. Planned solve with path tracking: the planner picks the solver
+    //    and block size, the engine records per-cell vias.
     let ctx = SparkContext::new(SparkConfig::with_cores(4));
-    let result = BlockedCollectBroadcast
-        .solve(&ctx, &adj, &SolverConfig::new(16).with_paths())
-        .expect("solve failed");
-    let dap = result.into_paths().expect("with_paths was set");
-    let route = dap.reconstruct(from, to).expect("connected");
+    let problem = Problem::new(&g).with_paths();
+    let plan = problem.plan(&ctx).expect("planning failed");
+    print!("{}", plan.explain());
+    let sol = problem.execute(&ctx, plan).expect("solve failed");
+    let route = sol.path(from, to).expect("connected");
     println!(
-        "route {from} → {to}: distance {}, via {} hops:",
-        dap.distance(from, to),
+        "route {from} -> {to}: distance {}, via {} hops:",
+        sol.dist(from, to).expect("connected"),
         route.len() - 1
     );
     let pretty: Vec<String> = route
         .iter()
         .map(|&v| format!("({},{})", v as usize / cols, v as usize % cols))
         .collect();
-    println!("  {}", pretty.join(" → "));
+    println!("  {}", pretty.join(" -> "));
     let on_highway = route
         .windows(2)
         .filter(|w| {
@@ -77,22 +78,21 @@ fn main() {
         route.len() - 1
     );
     assert_eq!(on_highway, 7, "the cheap diagonal must be taken end-to-end");
-    dap.validate_against(&adj, 1e-9)
-        .expect("path invariant violated");
 
     // 2. Cross-check against the sequential successor-matrix oracle.
     let pm = paths::apsp_paths(&g);
-    assert!((dap.distance(from, to) - pm.distance(from, to)).abs() < 1e-9);
+    assert!((sol.dist(from, to).unwrap() - pm.distance(from, to)).abs() < 1e-9);
     let oracle_route = pm.path(from, to).expect("connected");
     assert_eq!(route.len(), oracle_route.len(), "same optimal hop count");
     println!("sequential successor-matrix oracle agrees on the hop count");
 
-    // 3. Distributed solve + point queries (no full collection).
+    // 3. Expert layer: distributed solve + point queries (no full
+    //    collection to the driver).
     let dd = BlockedCollectBroadcast
         .solve_distributed(&ctx, &adj, &SolverConfig::new(16))
         .expect("solve failed");
     let d = dd.distance(from, to).expect("query failed");
-    assert!((d - dap.distance(from, to)).abs() < 1e-9);
+    assert!((d - sol.dist(from, to).unwrap()).abs() < 1e-9);
     println!("distributed point query agrees: d({from},{to}) = {d}");
     let row = dd.row(from).expect("row query failed");
     let furthest = row

@@ -1,11 +1,12 @@
-//! Widest (bottleneck) paths: the same blocked Spark solvers, swapped
-//! onto the *(max, min)* path algebra.
+//! Widest (bottleneck) paths through the front door: the same blocked
+//! Spark solvers, swapped onto the *(max, min)* path algebra by the
+//! planner.
 //!
 //! The paper frames APSP as matrix algebra over *(min, +)* (§2). The
 //! solver stack is generic over that algebra, so the all-pairs
 //! **bottleneck** problem — "what is the fattest pipe between every pair
-//! of hosts?" (Shinn & Takaoka's APBP) — runs through the identical
-//! dataflow by instantiating `(max, min)` over capacities:
+//! of hosts?" (Shinn & Takaoka's APBP) — is just
+//! `Problem::new(&g).workload(Workload::Widest)`:
 //!
 //! * `⊕ = max` picks the better of two routes,
 //! * `⊗ = min` is the capacity of a concatenation,
@@ -38,11 +39,15 @@ fn main() {
     g.add_edge(3, 7, 0.1); // maintenance link: 100 Mb/s
 
     let ctx = SparkContext::new(SparkConfig::with_cores(4));
-    let cfg = SolverConfig::new(4);
 
-    // The generic solve: Blocked Collect/Broadcast over (max, min).
-    let wide = widest_paths(&ctx, &g, &BlockedCollectBroadcast, &cfg).expect("solve failed");
-    println!("all-pairs bottleneck capacities (Blocked-CB over (max, min)):");
+    // The front door: widest-paths workload, with witness routes.
+    let sol = Problem::new(&g)
+        .workload(Workload::Widest)
+        .with_paths()
+        .solve(&ctx)
+        .expect("solve failed");
+    println!("all-pairs bottleneck capacities (planned solve over (max, min)):");
+    let wide = sol.widths().expect("widest solution");
     for i in 0..n {
         let row: Vec<String> = (0..n).map(|j| format!("{:5.1}", wide.get(i, j))).collect();
         println!("  host {i}: [{}]", row.join(", "));
@@ -50,14 +55,32 @@ fn main() {
 
     // Cross-rack traffic is limited by the fat uplink, not the thin
     // maintenance link.
-    assert_eq!(wide.get(1, 6), 4.0, "cross-rack bottleneck is the uplink");
-    assert_eq!(wide.get(0, 3), 10.0, "intra-rack stays at rack speed");
+    assert_eq!(
+        sol.width(1, 6),
+        Some(4.0),
+        "cross-rack bottleneck is the uplink"
+    );
+    assert_eq!(
+        sol.width(0, 3),
+        Some(10.0),
+        "intra-rack stays at rack speed"
+    );
+    let route = sol.path(1, 6).expect("paths were tracked");
     println!(
-        "host 1 → host 6 bottleneck: {} Gb/s (via the uplink)",
-        wide.get(1, 6)
+        "host 1 -> host 6 bottleneck: {} Gb/s via {:?} (through the uplink)",
+        sol.width(1, 6).unwrap(),
+        route
+    );
+    assert!(
+        route
+            .windows(2)
+            .any(|w| { (w[0] == 0 && w[1] == 4) || (w[0] == 4 && w[1] == 0) }),
+        "the widest route must cross the 0-4 uplink"
     );
 
-    // Every blocked solver computes the same algebra; spot-check another.
+    // Every blocked solver computes the same algebra; spot-check another
+    // through the expert layer.
+    let cfg = SolverConfig::new(4);
     let im = widest_paths(&ctx, &g, &BlockedInMemory, &cfg).expect("solve failed");
     for i in 0..n {
         for j in 0..n {

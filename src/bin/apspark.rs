@@ -3,9 +3,15 @@
 //! ```text
 //! apspark generate --n 256 [--directed] [--seed S] --output graph.txt
 //! apspark solve    --input graph.txt [--directed] [--solver cb|im|fw2d|rs|cartesian|johnson|mpi-fw2d|mpi-dc]
-//!                  [--block-size B] [--cores C] [--output dists.txt]
+//!                  [--auto] [--path SRC DST] [--block-size B] [--cores C] [--output dists.txt]
 //! apspark project  --n 262144 [--cores 1024] [--solver cb] [--block-size B]
 //! ```
+//!
+//! `solve --auto` routes through the query planner (`core::plan`): the
+//! solver and block size are chosen by the capability rules and the
+//! cluster model, and the `Plan::explain()` report is printed. `solve
+//! --path SRC DST` additionally tracks witness paths and prints the
+//! reconstructed route.
 
 use apspark::cluster::{project, ClusterSpec, KernelRates, SolverKind, SparkOverheads, Workload};
 use apspark::core::{directed::DirectedBlockedCB, tuner, DistributedJohnson, MpiDcApsp, MpiFw2d};
@@ -37,9 +43,13 @@ fn main() -> ExitCode {
                 "apspark — distributed APSP (ICPP'19 reproduction)\n\n\
                  generate --n N [--directed] [--seed S] --output FILE\n\
                  solve    --input FILE [--directed] [--solver NAME] [--block-size B]\n          \
-                 [--cores C] [--output FILE]\n\
+                 [--auto] [--path SRC DST] [--cores C] [--output FILE]\n\
                  project  --n N [--cores P] [--solver NAME] [--block-size B]\n\n\
-                 solvers: cb (default), im, fw2d, rs, cartesian, johnson, mpi-fw2d, mpi-dc"
+                 solvers: cb (default), im, fw2d, rs, cartesian, johnson, mpi-fw2d, mpi-dc\n\n\
+                 --auto        let the query planner pick the solver and block size\n               \
+                 (prints the Plan::explain() report; --solver becomes a preference)\n\
+                 --path SRC DST  track witness paths and print the reconstructed\n               \
+                 SRC -> DST route (implies the planner)"
             );
             Ok(())
         }
@@ -62,8 +72,14 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("expected --flag, got '{a}'"));
         };
         match key {
-            "directed" => {
-                out.insert("directed".into(), "true".into());
+            "directed" | "auto" => {
+                out.insert(key.into(), "true".into());
+            }
+            "path" => {
+                let src = it.next().ok_or("--path needs SRC and DST")?;
+                let dst = it.next().ok_or("--path needs SRC and DST")?;
+                out.insert("path-src".into(), src.clone());
+                out.insert("path-dst".into(), dst.clone());
             }
             _ => {
                 let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
@@ -127,7 +143,86 @@ fn write_distances(m: &apspark::blockmat::Matrix, output: Option<&String>) -> Re
     Ok(())
 }
 
+fn solver_id(name: &str) -> Result<SolverId, String> {
+    Ok(match name {
+        "cb" => SolverId::BlockedCollectBroadcast,
+        "im" => SolverId::BlockedInMemory,
+        "fw2d" => SolverId::FloydWarshall2D,
+        "rs" => SolverId::RepeatedSquaring,
+        "cartesian" => SolverId::CartesianSquaring,
+        "johnson" => SolverId::DistributedJohnson,
+        "mpi-fw2d" => SolverId::MpiFw2d,
+        "mpi-dc" => SolverId::MpiDc,
+        other => return Err(format!("unknown solver '{other}'")),
+    })
+}
+
+/// The planner-backed solve route (`--auto` and/or `--path SRC DST`).
+fn cmd_solve_planned(flags: &HashMap<String, String>) -> Result<(), String> {
+    let input = flags.get("input").ok_or("--input is required")?;
+    let cores = get_usize(flags, "cores")?
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |p| p.get()));
+    let directed = flags.contains_key("directed");
+    let path_query = match (get_usize(flags, "path-src")?, get_usize(flags, "path-dst")?) {
+        (Some(s), Some(d)) => Some((s, d)),
+        _ => None,
+    };
+
+    let (graph, digraph);
+    let mut problem = if directed {
+        digraph = io::load_digraph(input).map_err(|e| e.to_string())?;
+        Problem::from_digraph(&digraph)
+    } else {
+        graph = io::load_graph(input).map_err(|e| e.to_string())?;
+        Problem::new(&graph)
+    };
+    problem = problem.cores(cores);
+    if let Some(name) = flags.get("solver") {
+        problem = problem.prefer(solver_id(name)?);
+    }
+    if let Some(b) = get_usize(flags, "block-size")? {
+        problem = problem.block_size(b);
+    }
+    if let Some((src, dst)) = path_query {
+        let n = problem.order();
+        if src >= n || dst >= n {
+            return Err(format!("--path endpoints must be < n = {n}"));
+        }
+        problem = problem.with_paths();
+    }
+
+    let ctx = SparkContext::new(SparkConfig::with_cores(cores));
+    let plan = problem.plan(&ctx).map_err(|e| e.to_string())?;
+    print!("{}", plan.explain());
+    let start = std::time::Instant::now();
+    let sol = problem.execute(&ctx, plan).map_err(|e| e.to_string())?;
+    println!("solved in {:.3}s", start.elapsed().as_secs_f64());
+
+    if let Some((src, dst)) = path_query {
+        match sol.path(src, dst) {
+            Some(route) => {
+                let hops: Vec<String> = route.iter().map(|v| v.to_string()).collect();
+                println!(
+                    "route {src} -> {dst}: distance {}, {} hops: {}",
+                    sol.dist(src, dst).expect("reachable pair has a distance"),
+                    route.len() - 1,
+                    hops.join(" -> ")
+                );
+            }
+            None => println!("no route from {src} to {dst}"),
+        }
+    }
+    if flags.contains_key("output") {
+        let distances = sol.distances().expect("shortest-paths solution");
+        write_distances(distances, flags.get("output"))?;
+    }
+    Ok(())
+}
+
 fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
+    if flags.contains_key("auto") || flags.contains_key("path-src") {
+        return cmd_solve_planned(flags);
+    }
     let input = flags.get("input").ok_or("--input is required")?;
     let solver_name = flags.get("solver").map(String::as_str).unwrap_or("cb");
     let cores = get_usize(flags, "cores")?

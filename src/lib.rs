@@ -7,29 +7,59 @@
 //! The workspace reproduces *Schoeneman & Zola, "Solving All-Pairs
 //! Shortest-Paths Problem in Large Graphs Using Apache Spark"* (ICPP 2019):
 //!
-//! * [`blockmat`] — dense (min,+) block kernels,
+//! * [`blockmat`] — dense block kernels over pluggable path algebras,
 //! * [`graph`] — inputs and sequential oracles,
 //! * [`sparklet`] — the miniature Spark engine the solvers run on,
 //! * [`mpilite`] — the MPI-like substrate for the baselines,
 //! * [`cluster`] — the paper-testbed cost model and projections,
-//! * [`core`] — the four Spark APSP solvers and two MPI baselines.
+//! * [`core`] — the solvers **and the query planner front door**.
 //!
-//! ## Quickstart
+//! ## Quickstart: one front door
+//!
+//! The headline API is the `Problem → Plan → Solution` pipeline
+//! ([`core::plan`]): describe *what* you want solved and the planner
+//! picks the solver, block size, kernel tier, and partitioner for you —
+//! the paper's §5 tuning lessons, mechanized.
 //!
 //! ```
 //! use apspark::prelude::*;
 //!
 //! // A small random graph in the paper's benchmark family.
 //! let g = apspark::graph::generators::erdos_renyi_paper(256, 0.1, 42);
-//!
-//! // Solve with the best solver (Blocked Collect/Broadcast) on 4 cores.
 //! let ctx = SparkContext::new(SparkConfig::with_cores(4));
-//! let cfg = SolverConfig::new(64).with_partitions(8);
+//!
+//! // Plan + solve in one call; ask for witness paths too.
+//! let sol = Problem::new(&g).with_paths().solve(&ctx).unwrap();
+//! println!("{}", sol.plan.explain()); // why this solver and block size
+//!
+//! // Point queries against the unified Solution.
+//! let d = sol.dist(0, 255);
+//! assert_eq!(d.is_some(), sol.reachable(0, 255));
+//! if let Some(route) = sol.path(0, 255) {
+//!     assert_eq!(route.first(), Some(&0));
+//! }
+//!
+//! // The same front door runs the (max, min) and boolean workloads:
+//! let widest = Problem::new(&g).workload(Workload::Widest).solve(&ctx).unwrap();
+//! let reach = Problem::new(&g).workload(Workload::Reachability).solve(&ctx).unwrap();
+//! assert_eq!(widest.width(0, 255).is_some(), reach.reachable(0, 255));
+//! ```
+//!
+//! ## Expert layer
+//!
+//! The planner compiles down to the explicit solver surface, which stays
+//! public for ablations and benchmarks — a plan-executed solve is
+//! bit-exact with the explicitly-configured solver it selected:
+//!
+//! ```
+//! use apspark::prelude::*;
+//!
+//! let g = apspark::graph::generators::erdos_renyi_paper(96, 0.1, 7);
+//! let ctx = SparkContext::new(SparkConfig::with_cores(4));
+//! let cfg = SolverConfig::new(32).with_partitions(8);
 //! let result = BlockedCollectBroadcast::default()
 //!     .solve(&ctx, &g.to_dense(), &cfg)
 //!     .unwrap();
-//!
-//! // Cross-check against the sequential oracle.
 //! let oracle = apspark::graph::floyd_warshall(&g);
 //! assert!(result.distances().approx_eq(&oracle, 1e-9).is_ok());
 //! ```
@@ -41,10 +71,15 @@ pub use apsp_graph as graph;
 pub use mpilite;
 pub use sparklet;
 
-/// Convenience prelude with the most common entry points.
+/// Convenience prelude with the most common entry points: the
+/// `Problem → Plan → Solution` front door first, the expert solver layer
+/// beneath it.
 pub mod prelude {
     pub use apsp_blockmat::{Block, Matrix, PathAlgebra, INF};
     pub use apsp_core::algebra::{transitive_closure, widest_paths, AlgebraSolver};
+    pub use apsp_core::plan::{
+        Plan, PlanNote, Problem, ResourceHints, Solution, SolverCaps, SolverId, Workload,
+    };
     pub use apsp_core::{
         ApspResult, ApspSolver, BlockedCollectBroadcast, BlockedInMemory, DistancesAndParents,
         FloydWarshall2D, ParentMatrix, RepeatedSquaring, SolverConfig,

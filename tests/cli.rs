@@ -149,6 +149,153 @@ fn directed_solve_via_cli() {
 }
 
 #[test]
+fn auto_solve_prints_explain_report_and_correct_distances() {
+    let graph = temp("auto.txt");
+    let dists = temp("auto-d.txt");
+    let out = bin()
+        .args(["generate", "--n", "64", "--seed", "3", "--output"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let out = bin()
+        .args(["solve", "--auto", "--cores", "2", "--input"])
+        .arg(&graph)
+        .arg("--output")
+        .arg(&dists)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // The Plan::explain() report must name the decision.
+    assert!(text.contains("plan for n = 64"), "missing report: {text}");
+    assert!(
+        text.contains("solver      = Blocked Collect/Broadcast"),
+        "missing solver line: {text}"
+    );
+    assert!(text.contains("block size"), "missing block size: {text}");
+    assert!(text.contains("kernel tier"), "missing kernel tier: {text}");
+
+    // And the emitted matrix matches the sequential oracle.
+    let g = apspark::graph::io::load_graph(&graph).unwrap();
+    let oracle = apspark::graph::floyd_warshall(&g);
+    let text = std::fs::read_to_string(&dists).unwrap();
+    for (i, row) in text.lines().enumerate() {
+        for (j, tok) in row.split_whitespace().enumerate() {
+            let v = if tok == "inf" {
+                f64::INFINITY
+            } else {
+                tok.parse::<f64>().unwrap()
+            };
+            let expect = oracle.get(i, j);
+            assert!(
+                (v - expect).abs() < 1e-6 || (v.is_infinite() && expect.is_infinite()),
+                "({i},{j}): {v} vs {expect}"
+            );
+        }
+    }
+    let _ = std::fs::remove_file(graph);
+    let _ = std::fs::remove_file(dists);
+}
+
+#[test]
+fn path_solve_prints_a_valid_route() {
+    let graph = temp("route.txt");
+    let out = bin()
+        .args(["generate", "--n", "48", "--seed", "5", "--output"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Pick endpoints known reachable from the oracle.
+    let g = apspark::graph::io::load_graph(&graph).unwrap();
+    let oracle = apspark::graph::floyd_warshall(&g);
+    let (src, dst) = (
+        0usize,
+        (1..48).find(|&j| oracle.get(0, j).is_finite()).unwrap(),
+    );
+
+    let out = bin()
+        .args(["solve", "--cores", "2", "--path"])
+        .args([src.to_string(), dst.to_string()])
+        .arg("--input")
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    let route_line = text
+        .lines()
+        .find(|l| l.starts_with(&format!("route {src} -> {dst}:")))
+        .unwrap_or_else(|| panic!("no route line in: {text}"));
+    // The printed distance must match the oracle.
+    let dist: f64 = route_line
+        .split("distance ")
+        .nth(1)
+        .and_then(|s| s.split(',').next())
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(
+        (dist - oracle.get(src, dst)).abs() < 1e-6,
+        "printed {dist} vs oracle {}",
+        oracle.get(src, dst)
+    );
+    // The hop list starts at src and ends at dst.
+    let hops: Vec<&str> = route_line
+        .split(": ")
+        .last()
+        .unwrap()
+        .split(" -> ")
+        .collect();
+    assert_eq!(hops.first(), Some(&src.to_string().as_str()));
+    assert_eq!(hops.last(), Some(&dst.to_string().as_str()));
+
+    // Unreachable / out-of-range endpoints fail cleanly.
+    let out = bin()
+        .args(["solve", "--cores", "2", "--path", "0", "4800", "--input"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let _ = std::fs::remove_file(graph);
+}
+
+#[test]
+fn auto_solve_handles_directed_inputs() {
+    let graph = temp("auto-dir.txt");
+    let out = bin()
+        .args(["generate", "--n", "32", "--directed", "--output"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = bin()
+        .args(["solve", "--auto", "--directed", "--cores", "2", "--input"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("Directed Blocked-CB"), "{text}");
+    let _ = std::fs::remove_file(graph);
+}
+
+#[test]
 fn project_prints_feasibility() {
     let out = bin()
         .args(["project", "--n", "262144", "--solver", "im"])
@@ -181,6 +328,12 @@ fn help_lists_subcommands_and_solvers() {
             assert!(
                 text.contains(solver),
                 "`{flag}` output missing solver `{solver}`: {text}"
+            );
+        }
+        for planner_flag in ["--auto", "--path SRC DST"] {
+            assert!(
+                text.contains(planner_flag),
+                "`{flag}` output missing `{planner_flag}`: {text}"
             );
         }
     }
