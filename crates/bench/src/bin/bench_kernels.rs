@@ -14,10 +14,42 @@
 use apsp_bench::{HarnessArgs, TextTable};
 use apsp_blockmat::kernels::{self, MinPlusKernel};
 use apsp_blockmat::{
-    AlgBlock, Block, BoolSemiring, BottleneckF64, ElemBlock, Offsets, ParentBlock, Reachability,
-    Widest,
+    AlgBlock, Block, BoolSemiring, BottleneckF64, ElemBlock, Offsets, ParentBlock, PathAlgebra,
+    Reachability, Widest,
 };
 use std::time::Instant;
+
+/// Generic-loop twin of [`Widest`]: same semiring, no hook overrides, so
+/// every operation runs the `PathAlgebra` default element-wise loops.
+/// The `fallback` rows time this shim — the pre-specialization behavior —
+/// rather than the specialized engines' `Naive` oracles, which share the
+/// engines' data layout (and, for booleans, short-circuit the inner fold).
+#[derive(Debug, Clone, Copy, Default)]
+struct FallbackWidest;
+
+impl PathAlgebra for FallbackWidest {
+    type Semi = BottleneckF64;
+    type Payload = ();
+    const TRACKS: bool = false;
+    const NAME: &'static str = "bottleneck-fallback";
+
+    fn empty_payload() {}
+    fn payload_for(_k_global: usize) {}
+}
+
+/// Generic-loop twin of [`Reachability`]; see [`FallbackWidest`].
+#[derive(Debug, Clone, Copy, Default)]
+struct FallbackReach;
+
+impl PathAlgebra for FallbackReach {
+    type Semi = BoolSemiring;
+    type Payload = ();
+    const TRACKS: bool = false;
+    const NAME: &'static str = "boolean-fallback";
+
+    fn empty_payload() {}
+    fn payload_for(_k_global: usize) {}
+}
 
 /// Timed samples per (kernel, side) point; the best is recorded.
 const SAMPLES: usize = 3;
@@ -45,11 +77,20 @@ struct TrackedPoint {
 #[derive(serde::Serialize)]
 struct AlgebraPoint {
     algebra: String,
+    /// Which tier the row timed: `fallback` (the generic `PathAlgebra`
+    /// default loops, via a shim algebra with no hook overrides) or the
+    /// specialized engine Auto dispatches to (the packed (max, min) tier
+    /// / the bitset tier).
+    kernel: String,
     side: usize,
     seconds: f64,
     gops_equiv: f64,
-    /// Generic-loop time over the packed tropical fold at the same side —
-    /// what the non-specialized algebras pay for having no packed tier.
+    /// Fallback-loop time over this row's time for the same algebra and
+    /// side (1.0 on the fallback rows themselves) — the payoff of the
+    /// specialized tier.
+    speedup_vs_fallback: f64,
+    /// This row's time over the packed tropical fold at the same side —
+    /// how close the algebra runs to the (min, +) flagship.
     slowdown_vs_tropical: f64,
 }
 
@@ -61,8 +102,9 @@ struct Baseline {
     minplus: Vec<KernelPoint>,
     /// Tracked (argmin-recording) kernel tier, PR 3.
     tracked: Vec<TrackedPoint>,
-    /// Non-tropical path algebras on the generic fallback loops, PR 4:
-    /// bottleneck (max, min) and boolean (∨, ∧) fold-products.
+    /// Non-tropical path algebras, PR 6: bottleneck (max, min) and
+    /// boolean (∨, ∧) fold-products, each timed on the generic fallback
+    /// loop and on its specialized tier (packed (max, min) / bitset).
     algebra: Vec<AlgebraPoint>,
     floyd_warshall: Vec<KernelPoint>,
 }
@@ -195,13 +237,22 @@ fn main() {
         }
     }
 
-    // Non-tropical path algebras: the bottleneck (max, min) and boolean
-    // (∨, ∧) fold-products run on the generic fallback loops — these rows
-    // quantify what a workload pays until it gets a packed tier of its
-    // own, and guard against the tropical fold accidentally landing on
-    // the same (slow) path.
+    // Non-tropical path algebras: each fold-product timed twice — on the
+    // generic fallback loops (via the no-override shim algebras above)
+    // and on the specialized tier Auto now dispatches to (the packed
+    // (max, min) engine / the bitset engine). The pair quantifies the
+    // specialized tier's payoff and how close each algebra runs to the
+    // packed tropical flagship.
     let mut algebra = Vec::new();
-    let mut atable = TextTable::new(&["side", "algebra", "time", "GOP-eq/s", "vs tropical"]);
+    let mut atable = TextTable::new(&[
+        "side",
+        "algebra",
+        "kernel",
+        "time",
+        "GOP-eq/s",
+        "vs fallback",
+        "vs tropical",
+    ]);
     let o0 = Offsets {
         k: 0,
         row: 0,
@@ -227,11 +278,19 @@ fn main() {
             })
         };
         let (wa, wx) = (cap(2), cap(3));
+        // The shim has no overrides, so the kernel argument is inert: any
+        // value runs the same generic element-wise loop.
+        let mut wf = AlgBlock::<FallbackWidest>::from_dist(ElemBlock::zeros(b));
+        let widest_fallback_secs = best_of(|| {
+            wf.dist_mut().data_mut().fill(0.0);
+            wf.min_plus_into_self(MinPlusKernel::Auto, &wa, &wx, o0);
+        });
         let mut wc = AlgBlock::<Widest>::from_dist(ElemBlock::zeros(b));
         let widest_secs = best_of(|| {
             wc.dist_mut().data_mut().fill(0.0);
             wc.min_plus_into_self(MinPlusKernel::Auto, &wa, &wx, o0);
         });
+        let maxmin_tier = format!("{:?}", kernels::select_maxmin(b)).to_lowercase();
 
         // Fully dense operands, like the capacity blocks above: the
         // generic loop's `0̄`-skip elides whole inner rows on sparse
@@ -239,25 +298,54 @@ fn main() {
         // must charge 2·b³ op-equivalents to 2·b³ executed ops.
         let bools = |_seed: usize| ElemBlock::<BoolSemiring>::filled(b, true);
         let (ba, bx) = (bools(2), bools(3));
+        let mut bf = AlgBlock::<FallbackReach>::from_dist(ElemBlock::zeros(b));
+        let bool_fallback_secs = best_of(|| {
+            bf.dist_mut().data_mut().fill(false);
+            bf.min_plus_into_self(MinPlusKernel::Auto, &ba, &bx, o0);
+        });
         let mut bc = AlgBlock::<Reachability>::from_dist(ElemBlock::zeros(b));
         let bool_secs = best_of(|| {
             bc.dist_mut().data_mut().fill(false);
             bc.min_plus_into_self(MinPlusKernel::Auto, &ba, &bx, o0);
         });
 
-        for (name, secs) in [("bottleneck", widest_secs), ("boolean", bool_secs)] {
+        for (name, kernel, secs, fallback_secs) in [
+            (
+                "bottleneck",
+                "fallback",
+                widest_fallback_secs,
+                widest_fallback_secs,
+            ),
+            (
+                "bottleneck",
+                maxmin_tier.as_str(),
+                widest_secs,
+                widest_fallback_secs,
+            ),
+            (
+                "boolean",
+                "fallback",
+                bool_fallback_secs,
+                bool_fallback_secs,
+            ),
+            ("boolean", "bitset", bool_secs, bool_fallback_secs),
+        ] {
             algebra.push(AlgebraPoint {
                 algebra: name.into(),
+                kernel: kernel.into(),
                 side: b,
                 seconds: secs,
                 gops_equiv: ops / secs / 1e9,
+                speedup_vs_fallback: fallback_secs / secs,
                 slowdown_vs_tropical: secs / tropical_secs,
             });
             atable.row(vec![
                 b.to_string(),
                 name.into(),
+                kernel.into(),
                 format!("{:.3}ms", secs * 1e3),
                 format!("{:.2}", ops / secs / 1e9),
+                format!("{:.2}×", fallback_secs / secs),
                 format!("{:.2}×", secs / tropical_secs),
             ]);
         }
@@ -285,7 +373,7 @@ fn main() {
     print!("{}", table.render());
     println!("\ntracked (argmin-recording) kernels, overhead vs untracked auto-dispatch:\n");
     print!("{}", ttable.render());
-    println!("\npath-algebra generic fallback loops (fold c = c ⊕ (a ⊗ b)):\n");
+    println!("\npath-algebra tiers, fallback loop vs specialized kernel (fold c = c ⊕ (a ⊗ b)):\n");
     print!("{}", atable.render());
     println!("\nFloyd-Warshall in place:");
     for p in &floyd_warshall {
@@ -312,8 +400,9 @@ fn main() {
     let baseline = Baseline {
         description: "Kernel-engine perf trajectory: min-plus product and in-place \
                       Floyd-Warshall rates per kernel tier, the tracked \
-                      (argmin-recording) tier's overhead, and the generic \
-                      path-algebra fallback loops (bottleneck/boolean)",
+                      (argmin-recording) tier's overhead, and the non-tropical \
+                      algebras (bottleneck/boolean) on their fallback loops vs \
+                      the packed (max, min) and bitset tiers",
         ops_model: "2*b^3 flop-equivalents per product (one add + one min per inner step)",
         samples: SAMPLES,
         minplus: sanitize(minplus),

@@ -54,6 +54,73 @@ fn tropical_auto_dispatch_keeps_the_packed_tier_at_large_sides() {
     assert_eq!(alg.dist(), &packed);
 }
 
+/// The PR 6 twin of the tropical guard: the non-tropical dispatchers must
+/// keep their specialized tiers — packed (max, min) at sides ≥ 128 for the
+/// bottleneck algebra, and the bitset tier for *every* reachability side.
+#[test]
+fn non_tropical_auto_dispatch_keeps_the_specialized_tiers() {
+    use apsp_blockmat::kernels::{self, BooleanKernel, MinPlusKernel};
+    for side in [128usize, 129, 256, 512, 1023] {
+        assert_eq!(
+            kernels::select_maxmin(side),
+            MinPlusKernel::Packed,
+            "side {side} must stay on the packed (max, min) engine"
+        );
+    }
+    assert_eq!(kernels::select_maxmin(64), MinPlusKernel::Branchless);
+    assert_eq!(kernels::select_maxmin(1024), MinPlusKernel::Parallel);
+    for side in [1usize, 64, 128, 1024, 4096] {
+        assert_eq!(
+            kernels::select_boolean(side),
+            BooleanKernel::Bitset,
+            "Reachability must always take the bitset tier (side {side})"
+        );
+    }
+
+    // The Widest fold Auto-dispatches into the same packed engine the
+    // explicit kernel runs (not the generic semiring loop)...
+    use apsp_blockmat::{
+        AlgBlock, BitBlock, BoolSemiring, BottleneckF64, ElemBlock, Offsets, Reachability, Widest,
+    };
+    let b = 128;
+    let o0 = Offsets {
+        k: 0,
+        row: 0,
+        col: 0,
+    };
+    let cap = |seed: usize| {
+        ElemBlock::<BottleneckF64>::from_fn(b, |i, j| {
+            if i == j {
+                f64::INFINITY
+            } else {
+                ((i * 7 + j + seed) % 13) as f64
+            }
+        })
+    };
+    let (wa, wx) = (cap(2), cap(3));
+    let mut packed = ElemBlock::<BottleneckF64>::zeros(b);
+    kernels::maxmin_into_with(MinPlusKernel::Packed, &wa, &wx, &mut packed);
+    let mut alg = AlgBlock::<Widest>::from_dist(ElemBlock::zeros(b));
+    alg.min_plus_into_self(MinPlusKernel::Auto, &wa, &wx, o0);
+    assert_eq!(alg.dist(), &packed);
+
+    // ...and the Reachability fold is bit-identical to the word-packed
+    // BitBlock product.
+    let adj = |seed: usize| {
+        ElemBlock::<BoolSemiring>::from_fn(b, |i, j| i == j || (i * 7 + j + seed).is_multiple_of(5))
+    };
+    let (ba, bx) = (adj(2), adj(3));
+    let mut bits = BitBlock::zeros(b);
+    kernels::bool_or_product_into(
+        &BitBlock::from_elem_block(&ba),
+        &BitBlock::from_elem_block(&bx),
+        &mut bits,
+    );
+    let mut alg = AlgBlock::<Reachability>::from_dist(ElemBlock::zeros(b));
+    alg.min_plus_into_self(MinPlusKernel::Auto, &ba, &bx, o0);
+    assert_eq!(alg.dist(), &bits.to_elem_block());
+}
+
 #[test]
 fn duration_formatting_matches_paper_tables() {
     assert_eq!(fmt_duration(0.022), "0.022s");

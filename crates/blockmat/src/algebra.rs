@@ -22,9 +22,14 @@
 //!   the same generic records. Overrides the hooks with the tracked
 //!   kernel tier.
 //! * [`Widest`] — the bottleneck *(max, min)* algebra over capacities
-//!   ([`BottleneckF64`]); generic loops.
-//! * [`Reachability`] — boolean transitive closure ([`BoolSemiring`]);
-//!   generic loops.
+//!   ([`BottleneckF64`]). Overrides the hooks with the packed *(max, min)*
+//!   twin of the tropical engine (`vmaxpd`/`vminpd` in place of
+//!   `vminpd`/`vaddpd`), sharing the same 4×8 register blocking, scratch
+//!   pools, and size-tier dispatch ([`kernels::select_maxmin`]).
+//! * [`Reachability`] — boolean transitive closure ([`BoolSemiring`]).
+//!   Overrides the hooks with the bitset engine: booleans packed 64 per
+//!   `u64` word ([`crate::BitBlock`]) so the *(∨, ∧)* product is a
+//!   word-wide `|` of rows selected by set bits.
 //!
 //! [`AlgBlock<A>`] is the block record the generic solvers move through
 //! the engine: an element block plus its payload plane. For `()` payloads
@@ -417,8 +422,15 @@ impl PathAlgebra for TrackedTropical {
 }
 
 /// The bottleneck / widest-path algebra *(max, min)* over `f64`
-/// capacities — all-pairs bottleneck paths (Shinn & Takaoka) on the
-/// generic fallback loops.
+/// capacities — all-pairs bottleneck paths (Shinn & Takaoka).
+///
+/// Every hook forwards to the packed *(max, min)* engine in
+/// [`crate::kernels`]: the same 4×8 register-blocked micro-kernel,
+/// scratch-pooled fold entry points, and size-tier dispatch as the
+/// tropical fast path ([`kernels::select_maxmin`]), with `vmaxpd`/`vminpd`
+/// standing in for `vminpd`/`vaddpd` and `0.0` (no pipe) as the inert
+/// pad/skip value. Pin [`MinPlusKernel::Naive`] to run the branchy oracle
+/// loop instead.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Widest;
 
@@ -432,10 +444,86 @@ impl PathAlgebra for Widest {
     fn empty_payload() {}
     #[inline(always)]
     fn payload_for(_k_global: usize) {}
+
+    fn fold_product(
+        kernel: MinPlusKernel,
+        ad: &[f64],
+        bd: &[f64],
+        cd: &mut [f64],
+        _cp: &mut [()],
+        n: usize,
+        _o: Offsets,
+    ) {
+        kernels::maxmin_slices_with(kernel, ad, bd, cd, n);
+    }
+
+    fn product_assign(
+        kernel: MinPlusKernel,
+        cd: &mut [f64],
+        _cp: &mut [()],
+        other: &[f64],
+        n: usize,
+        _o: Offsets,
+    ) {
+        kernels::with_scratch(n * n, |scratch| {
+            scratch.fill(0.0);
+            kernels::maxmin_slices_with(kernel, cd, other, scratch, n);
+            for (d, &s) in cd.iter_mut().zip(scratch.iter()) {
+                *d = kernels::bmax(s, *d);
+            }
+        });
+    }
+
+    fn product_left_assign(
+        kernel: MinPlusKernel,
+        cd: &mut [f64],
+        _cp: &mut [()],
+        other: &[f64],
+        n: usize,
+        _o: Offsets,
+    ) {
+        kernels::with_scratch(n * n, |scratch| {
+            scratch.fill(0.0);
+            kernels::maxmin_slices_with(kernel, other, cd, scratch, n);
+            for (d, &s) in cd.iter_mut().zip(scratch.iter()) {
+                *d = kernels::bmax(s, *d);
+            }
+        });
+    }
+
+    fn closure_in_place(cd: &mut [f64], _cp: &mut [()], n: usize, _diag_offset: usize) {
+        kernels::maxmin_fw_in_place_slices(cd, n);
+    }
+
+    fn rank1_update(
+        cd: &mut [f64],
+        _cp: &mut [()],
+        col_i: &[f64],
+        col_j: &[f64],
+        n: usize,
+        _k_global: usize,
+    ) {
+        kernels::maxmin_rank1_slices(cd, col_i, col_j, n);
+    }
+
+    fn join(cd: &mut [f64], _cp: &mut [()], od: &[f64], _op: &[()]) {
+        for (d, &o) in cd.iter_mut().zip(od) {
+            *d = kernels::bmax(o, *d);
+        }
+    }
 }
 
 /// Boolean transitive closure *(∨, ∧)* — reachability (Katz et al.
-/// \[10\]) on the generic fallback loops.
+/// \[10\]).
+///
+/// Every hook forwards to the bitset kernels in [`crate::kernels`]: the
+/// boolean plane is packed 64 cells per `u64` word at the block boundary
+/// (see [`crate::BitBlock`]), so the `(∨, ∧)` product becomes a word-wide
+/// `|` of `b`-rows selected by `a`'s set bits — 64 column relaxations per
+/// instruction, with sparse rows costing only their popcount. There is no
+/// size crossover ([`kernels::select_boolean`]): the bitset tier wins at
+/// every side. Pin [`MinPlusKernel::Naive`] to run the element-at-a-time
+/// oracle loop instead.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Reachability;
 
@@ -449,6 +537,83 @@ impl PathAlgebra for Reachability {
     fn empty_payload() {}
     #[inline(always)]
     fn payload_for(_k_global: usize) {}
+
+    fn fold_product(
+        kernel: MinPlusKernel,
+        ad: &[bool],
+        bd: &[bool],
+        cd: &mut [bool],
+        _cp: &mut [()],
+        n: usize,
+        _o: Offsets,
+    ) {
+        if kernel == MinPlusKernel::Naive {
+            kernels::bool_naive_fold_slices(ad, bd, cd, n);
+        } else {
+            kernels::bool_fold_slices(ad, bd, cd, n);
+        }
+    }
+
+    fn product_assign(
+        kernel: MinPlusKernel,
+        cd: &mut [bool],
+        _cp: &mut [()],
+        other: &[bool],
+        n: usize,
+        _o: Offsets,
+    ) {
+        if kernel == MinPlusKernel::Naive {
+            // Oracle path: the trait-default two-step shape (product in
+            // fresh scratch, then join) with the naive loop.
+            let mut sd = vec![false; n * n];
+            kernels::bool_naive_fold_slices(cd, other, &mut sd, n);
+            for (c, &s) in cd.iter_mut().zip(sd.iter()) {
+                *c |= s;
+            }
+        } else {
+            kernels::bool_product_assign_slices(cd, other, n);
+        }
+    }
+
+    fn product_left_assign(
+        kernel: MinPlusKernel,
+        cd: &mut [bool],
+        _cp: &mut [()],
+        other: &[bool],
+        n: usize,
+        _o: Offsets,
+    ) {
+        if kernel == MinPlusKernel::Naive {
+            let mut sd = vec![false; n * n];
+            kernels::bool_naive_fold_slices(other, cd, &mut sd, n);
+            for (c, &s) in cd.iter_mut().zip(sd.iter()) {
+                *c |= s;
+            }
+        } else {
+            kernels::bool_product_left_assign_slices(cd, other, n);
+        }
+    }
+
+    fn closure_in_place(cd: &mut [bool], _cp: &mut [()], n: usize, _diag_offset: usize) {
+        kernels::bool_closure_slices(cd, n);
+    }
+
+    fn rank1_update(
+        cd: &mut [bool],
+        _cp: &mut [()],
+        col_i: &[bool],
+        col_j: &[bool],
+        n: usize,
+        _k_global: usize,
+    ) {
+        kernels::bool_rank1_slices(cd, col_i, col_j, n);
+    }
+
+    fn join(cd: &mut [bool], _cp: &mut [()], od: &[bool], _op: &[()]) {
+        for (c, &o) in cd.iter_mut().zip(od) {
+            *c |= o;
+        }
+    }
 }
 
 /// Bottleneck *(max, min)* ⊗ argmax payload: `f64` capacities plus the
@@ -1021,5 +1186,165 @@ mod tests {
         slow.floyd_warshall_in_place(12);
         assert_eq!(fast.dist(), slow.dist());
         assert_eq!(fast.via().data(), slow.via().data());
+    }
+
+    fn random_cap_block(b: usize, seed: u64, density: f64) -> ElemBlock<BottleneckF64> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        ElemBlock::from_fn(b, |i, j| {
+            if i == j {
+                INF
+            } else if next() < density {
+                1.0 + next() * 9.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    #[test]
+    fn tracked_widest_distances_match_packed_widest() {
+        // The degenerate-term audit for the (max, min) algebra: the
+        // tracked generic loops and the packed untracked engine must
+        // agree bit-exactly on capacities at a packed-tier side.
+        for &b in &[7usize, 64, 129] {
+            let caps = random_cap_block(b, 77, 0.3);
+            let mut packed = AlgBlock::<Widest>::from_dist(caps.clone());
+            packed.min_plus_assign(MinPlusKernel::Packed, &caps, O0);
+            let mut tracked = AlgBlock::<TrackedWidest>::from_dist(caps.clone());
+            tracked.min_plus_assign(MinPlusKernel::Naive, &caps, O0);
+            assert_eq!(packed.dist().data(), tracked.dist().data(), "b={b}");
+
+            let mut packed = AlgBlock::<Widest>::from_dist(caps.clone());
+            packed.floyd_warshall_in_place(0);
+            let mut tracked = AlgBlock::<TrackedWidest>::from_dist(caps);
+            tracked.floyd_warshall_in_place(0);
+            assert_eq!(packed.dist().data(), tracked.dist().data(), "fw b={b}");
+        }
+    }
+
+    #[test]
+    fn tracked_widest_tie_keeps_established_via() {
+        // Reapplying a closed block only produces ties (max is
+        // idempotent): neither widths nor vias may move.
+        let caps = random_cap_block(16, 5, 0.4);
+        let mut t = AlgBlock::<TrackedWidest>::from_dist(caps);
+        t.floyd_warshall_in_place(0);
+        let before = t.clone();
+        let closed = before.dist().clone();
+        t.min_plus_assign(MinPlusKernel::Auto, &closed, O0);
+        assert_eq!(t, before, "tie via product must not rewrite vias");
+        let mut again = before.clone();
+        again.floyd_warshall_in_place(0);
+        assert_eq!(again, before, "re-closing must be a fixpoint");
+    }
+
+    #[test]
+    fn tracked_widest_join_tie_keeps_old_via() {
+        let mut x = AlgBlock::<TrackedWidest>::from_dist(ElemBlock::filled(2, 5.0));
+        let mut y = AlgBlock::<TrackedWidest>::from_dist(ElemBlock::filled(2, 5.0));
+        y.dist_mut().set(0, 1, 7.0); // strictly wider: must take value + via
+        y.via_mut().set(0, 1, 3);
+        y.via_mut().set(1, 0, 9); // tie on 5.0: must NOT move the via
+        x.mat_min_assign(&y);
+        assert_eq!(x.dist().get(0, 1), 7.0);
+        assert_eq!(x.via().get(0, 1), 3);
+        assert_eq!(x.via().get(1, 0), NO_VIA, "tie must keep the old via");
+    }
+
+    #[test]
+    fn tracked_widest_unseeded_product_skips_degenerate_terms() {
+        // Same seeding contract as tropical (crate::parent): an unseeded
+        // product must never record a via equal to the target's own row
+        // or column vertex, and merging with the seeded estimate recovers
+        // the two-hop widths.
+        let caps = random_cap_block(8, 9, 0.4);
+        let prod =
+            AlgBlock::<TrackedWidest>::min_plus_product(MinPlusKernel::Naive, &caps, &caps, O0);
+        for i in 0..8 {
+            for j in 0..8 {
+                let v = prod.via().get(i, j);
+                assert!(
+                    v == NO_VIA || (v as usize != i && v as usize != j),
+                    "degenerate via {v} at ({i},{j})"
+                );
+            }
+        }
+        let mut merged = AlgBlock::<TrackedWidest>::from_dist(caps.clone());
+        merged.mat_min_assign(&prod);
+        let mut want = AlgBlock::<Widest>::from_dist(caps.clone());
+        want.min_plus_assign(MinPlusKernel::Auto, &caps, O0);
+        assert_eq!(merged.dist().data(), want.dist().data());
+    }
+
+    #[test]
+    fn widest_algblock_hooks_match_generic_shim() {
+        // The specialized (max, min) hooks must be bit-exact with the
+        // trait's generic default loops on every entry point.
+        #[derive(Clone, Copy)]
+        struct SlowWidest;
+        impl PathAlgebra for SlowWidest {
+            type Semi = BottleneckF64;
+            type Payload = ();
+            const TRACKS: bool = false;
+            const NAME: &'static str = "bottleneck (generic loops)";
+            fn empty_payload() {}
+            fn payload_for(_k_global: usize) {}
+        }
+
+        for &b in &[7usize, 64, 129] {
+            let caps = random_cap_block(b, 33, 0.35);
+            let other = random_cap_block(b, 34, 0.35);
+
+            let mut fast = AlgBlock::<Widest>::from_dist(caps.clone());
+            fast.min_plus_assign(MinPlusKernel::Auto, &other, O0);
+            let mut slow = AlgBlock::<SlowWidest>::from_dist(caps.clone());
+            slow.min_plus_assign(MinPlusKernel::Naive, &other, O0);
+            assert_eq!(fast.dist().data(), slow.dist().data(), "assign b={b}");
+
+            let mut fast = AlgBlock::<Widest>::from_dist(caps.clone());
+            fast.floyd_warshall_in_place(0);
+            let mut slow = AlgBlock::<SlowWidest>::from_dist(caps.clone());
+            slow.floyd_warshall_in_place(0);
+            assert_eq!(fast.dist().data(), slow.dist().data(), "fw b={b}");
+        }
+    }
+
+    #[test]
+    fn reachability_algblock_hooks_match_generic_shim() {
+        #[derive(Clone, Copy)]
+        struct SlowReach;
+        impl PathAlgebra for SlowReach {
+            type Semi = BoolSemiring;
+            type Payload = ();
+            const TRACKS: bool = false;
+            const NAME: &'static str = "boolean (generic loops)";
+            fn empty_payload() {}
+            fn payload_for(_k_global: usize) {}
+        }
+
+        for &b in &[7usize, 63, 64, 65, 129] {
+            let adj =
+                ElemBlock::<BoolSemiring>::from_fn(b, |i, j| i == j || (i * 31 + j * 17) % 13 == 0);
+            let other =
+                ElemBlock::<BoolSemiring>::from_fn(b, |i, j| i == j || (i * 7 + j * 5) % 11 == 0);
+
+            let mut fast = AlgBlock::<Reachability>::from_dist(adj.clone());
+            fast.min_plus_assign(MinPlusKernel::Auto, &other, O0);
+            let mut slow = AlgBlock::<SlowReach>::from_dist(adj.clone());
+            slow.min_plus_assign(MinPlusKernel::Naive, &other, O0);
+            assert_eq!(fast.dist().data(), slow.dist().data(), "assign b={b}");
+
+            let mut fast = AlgBlock::<Reachability>::from_dist(adj.clone());
+            fast.floyd_warshall_in_place(0);
+            let mut slow = AlgBlock::<SlowReach>::from_dist(adj.clone());
+            slow.floyd_warshall_in_place(0);
+            assert_eq!(fast.dist().data(), slow.dist().data(), "fw b={b}");
+        }
     }
 }

@@ -384,6 +384,159 @@ impl Block {
     }
 }
 
+/// A square boolean block packed 64 cells per `u64` word — the plane
+/// representation of the bitset reachability kernels.
+///
+/// Row `i` occupies words `i * words_per_row .. (i + 1) * words_per_row`;
+/// bit `j % 64` of word `j / 64` is cell `(i, j)`. **Invariant:** bits past
+/// column `side - 1` in each row's last word are zero, so word-wide `|`/`&`
+/// products preserve exact cell semantics and unpacking never reads
+/// garbage. Pack/unpack happens at the block boundary
+/// ([`BitBlock::from_bools`] / [`BitBlock::to_bools`]); the kernels in
+/// [`crate::kernels`] (`bool_or_product_into`, `bool_closure_in_place`)
+/// then run entirely at word level.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitBlock {
+    side: usize,
+    wpr: usize,
+    words: Box<[u64]>,
+}
+
+impl BitBlock {
+    /// Words per packed row for a block of side `n`.
+    #[inline(always)]
+    pub fn words_per_row_for(n: usize) -> usize {
+        n.div_ceil(64)
+    }
+
+    /// An all-`false` block (the boolean zero matrix).
+    pub fn zeros(b: usize) -> Self {
+        let wpr = Self::words_per_row_for(b);
+        BitBlock {
+            side: b,
+            wpr,
+            words: vec![0u64; b * wpr].into_boxed_slice(),
+        }
+    }
+
+    /// Packs a row-major `b × b` boolean plane.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != b * b`.
+    pub fn from_bools(b: usize, data: &[bool]) -> Self {
+        assert_eq!(data.len(), b * b, "buffer length must be b^2");
+        let mut blk = Self::zeros(b);
+        Self::pack_slice(data, b, &mut blk.words);
+        blk
+    }
+
+    /// Packs a boolean element block.
+    pub fn from_elem_block(block: &ElemBlock<crate::semiring::BoolSemiring>) -> Self {
+        Self::from_bools(block.side(), block.data())
+    }
+
+    /// Unpacks into a row-major `Vec<bool>` plane.
+    pub fn to_bools(&self) -> Vec<bool> {
+        let mut out = vec![false; self.side * self.side];
+        Self::unpack_slice(&self.words, self.side, &mut out);
+        out
+    }
+
+    /// Unpacks into a boolean element block.
+    pub fn to_elem_block(&self) -> ElemBlock<crate::semiring::BoolSemiring> {
+        ElemBlock::from_vec(self.side, self.to_bools())
+    }
+
+    /// Side length `b`.
+    #[inline(always)]
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Words per packed row.
+    #[inline(always)]
+    pub fn words_per_row(&self) -> usize {
+        self.wpr
+    }
+
+    /// The packed word plane.
+    #[inline(always)]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable access to the packed word plane. Callers must preserve the
+    /// zero-tail-bits invariant.
+    #[inline(always)]
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Cell accessor.
+    #[inline(always)]
+    pub fn get(&self, i: usize, j: usize) -> bool {
+        debug_assert!(i < self.side && j < self.side);
+        self.words[i * self.wpr + j / 64] >> (j % 64) & 1 == 1
+    }
+
+    /// Cell mutator.
+    #[inline(always)]
+    pub fn set(&mut self, i: usize, j: usize, v: bool) {
+        assert!(i < self.side && j < self.side, "index out of range");
+        let w = &mut self.words[i * self.wpr + j / 64];
+        if v {
+            *w |= 1u64 << (j % 64);
+        } else {
+            *w &= !(1u64 << (j % 64));
+        }
+    }
+
+    /// Number of `true` cells.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Packs an `n × n` boolean plane into a word buffer of
+    /// `n * words_per_row_for(n)` words (tail bits zeroed).
+    pub(crate) fn pack_slice(src: &[bool], n: usize, words: &mut [u64]) {
+        let wpr = Self::words_per_row_for(n);
+        debug_assert_eq!(words.len(), n * wpr);
+        for i in 0..n {
+            let row = &src[i * n..(i + 1) * n];
+            let wrow = &mut words[i * wpr..(i + 1) * wpr];
+            for (w, chunk) in wrow.iter_mut().zip(row.chunks(64)) {
+                let mut bits = 0u64;
+                for (b, &v) in chunk.iter().enumerate() {
+                    bits |= (v as u64) << b;
+                }
+                *w = bits;
+            }
+        }
+    }
+
+    /// Unpacks an `n * words_per_row_for(n)` word buffer into an `n × n`
+    /// boolean plane.
+    pub(crate) fn unpack_slice(words: &[u64], n: usize, dst: &mut [bool]) {
+        let wpr = Self::words_per_row_for(n);
+        debug_assert_eq!(words.len(), n * wpr);
+        for i in 0..n {
+            let wrow = &words[i * wpr..(i + 1) * wpr];
+            let row = &mut dst[i * n..(i + 1) * n];
+            for (&w, chunk) in wrow.iter().zip(row.chunks_mut(64)) {
+                for (b, v) in chunk.iter_mut().enumerate() {
+                    *v = w >> b & 1 == 1;
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for BitBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BitBlock(b={}, {} set)", self.side, self.count_ones())
+    }
+}
+
 impl<S: Semiring> fmt::Debug for ElemBlock<S> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "Block(b={})", self.b)?;

@@ -12,7 +12,9 @@
 //!   reference model for the distributed path-tracking solvers
 //!   ([`TrackedClosure`]); over [`crate::Widest`] or
 //!   [`crate::Reachability`] it is the sequential oracle for the
-//!   bottleneck and transitive-closure workloads.
+//!   bottleneck and transitive-closure workloads — running on the packed
+//!   *(max, min)* and bitset kernel tiers respectively (pin
+//!   [`MinPlusKernel::Naive`] to force the generic fallback loops).
 
 use crate::algebra::{AlgBlock, Elem, PathAlgebra, TrackedTropical};
 use crate::block::ElemBlock;

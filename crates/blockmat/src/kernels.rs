@@ -37,6 +37,7 @@
 //! fold entry points on [`Block`] (`min_plus_into_self`,
 //! `min_plus_assign`, `min_plus_left_assign`).
 
+use crate::block::BitBlock;
 use crate::parent::{Offsets, ParentBlock, NO_VIA};
 use crate::{Block, INF};
 use rayon::prelude::*;
@@ -73,6 +74,30 @@ const PARALLEL_SIDE: usize = 1024;
 #[inline(always)]
 pub(crate) fn tmin(a: f64, b: f64) -> f64 {
     crate::tropical_add(a, b)
+}
+
+/// Branchless bottleneck "addition" (`max`) — the select form compiles to
+/// a single `vmaxpd`, exactly as [`tmin`] compiles to `vminpd`. Safe for
+/// the same reason: capacities live in `[0, ∞]` and neither `min` nor
+/// `max` of such values can produce NaN.
+#[inline(always)]
+pub(crate) fn bmax(a: f64, b: f64) -> f64 {
+    if a < b {
+        b
+    } else {
+        a
+    }
+}
+
+/// Branchless bottleneck "multiplication" (`min`) — the capacity of a
+/// concatenated route is its thinnest pipe.
+#[inline(always)]
+pub(crate) fn bmin(a: f64, b: f64) -> f64 {
+    if a < b {
+        a
+    } else {
+        b
+    }
 }
 
 /// Which min-plus product implementation to run.
@@ -123,6 +148,46 @@ pub fn select(side: usize) -> MinPlusKernel {
 /// explicit ablation choice.
 pub fn select_tracked(_side: usize) -> MinPlusKernel {
     MinPlusKernel::Branchless
+}
+
+/// Resolves the kernel tier the *(max, min)* bottleneck dispatch runs for
+/// a given block side.
+///
+/// `vmaxpd`/`vminpd` are instruction-for-instruction symmetric to the
+/// tropical `vminpd`/`vaddpd` pair, so the crossovers match [`select`]:
+/// branchless below 128, the packed register-blocked micro-kernel up to
+/// 1024, rayon-parallel row bands beyond. (There is no tiled *(max, min)*
+/// twin — the legacy tiled kernel predates the engine and was never worth
+/// porting; an explicit `Tiled` pin runs the branchless loop.)
+pub fn select_maxmin(side: usize) -> MinPlusKernel {
+    if side < SMALL_SIDE {
+        MinPlusKernel::Branchless
+    } else if side < PARALLEL_SIDE {
+        MinPlusKernel::Packed
+    } else {
+        MinPlusKernel::Parallel
+    }
+}
+
+/// Which boolean (reachability) product implementation to run.
+///
+/// Unlike the `f64` algebras there is no size crossover to arbitrate: the
+/// bitset kernel packs 64 reachability bits per `u64` word, so the `(∨, ∧)`
+/// product is a word-wide `|`/`&` that beats the element loop at *every*
+/// side. The fallback loop remains reachable as the correctness oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BooleanKernel {
+    /// Generic element-at-a-time fallback loop (the correctness oracle).
+    Fallback,
+    /// Word-packed bitset kernel: 64 booleans per `u64`, `|`/`&` products.
+    #[default]
+    Bitset,
+}
+
+/// Resolves the kernel the boolean (reachability) auto-dispatch runs for a
+/// given block side: the bitset kernel, at every side.
+pub fn select_boolean(_side: usize) -> BooleanKernel {
+    BooleanKernel::Bitset
 }
 
 // ---------------------------------------------------------------------------
@@ -335,7 +400,7 @@ fn packed_rows(ad: &[f64], bd: &[f64], crows: &mut [f64], n: usize, i_lo: usize,
     with_pool(&PACK, panels * TILE * NR, |bp| {
         for kk in (0..n).step_by(TILE) {
             let k_len = (n - kk).min(TILE);
-            pack_panels(bd, bp, n, kk, k_len, panels);
+            pack_panels(bd, bp, n, kk, k_len, panels, INF);
             let mut i = i_lo;
             while i < i_hi {
                 let m = (i_hi - i).min(MR);
@@ -362,9 +427,18 @@ fn packed_rows(ad: &[f64], bd: &[f64], crows: &mut [f64], n: usize, i_lo: usize,
 
 /// Packs `b[kk..kk+k_len][0..n]` into `panels` NR-wide column panels:
 /// panel `p` holds columns `p*NR..p*NR+NR` with the `NR` entries of each
-/// `k` contiguous (tail columns padded with [`INF`], which is inert under
-/// `min`).
-fn pack_panels(bd: &[f64], bp: &mut [f64], n: usize, kk: usize, k_len: usize, panels: usize) {
+/// `k` contiguous. Tail columns are padded with `pad` — the algebra's
+/// additive identity ([`INF`] for tropical `min`, `0.0` for bottleneck
+/// `max`), so padding lanes never win a fold.
+fn pack_panels(
+    bd: &[f64],
+    bp: &mut [f64],
+    n: usize,
+    kk: usize,
+    k_len: usize,
+    panels: usize,
+    pad: f64,
+) {
     for p in 0..panels {
         let j0 = p * NR;
         let w = (n - j0).min(NR);
@@ -374,7 +448,7 @@ fn pack_panels(bd: &[f64], bp: &mut [f64], n: usize, kk: usize, k_len: usize, pa
             let dst = &mut panel[k * NR..k * NR + NR];
             dst[..w].copy_from_slice(src);
             for d in dst[w..].iter_mut() {
-                *d = INF;
+                *d = pad;
             }
         }
     }
@@ -802,6 +876,422 @@ pub(crate) fn fw_update_outer_slices(d: &mut [f64], col_i: &[f64], col_j: &[f64]
     }
 }
 
+// ---------------------------------------------------------------------------
+// (max, min) bottleneck kernels
+// ---------------------------------------------------------------------------
+
+/// `c = max(c, a ⊗ b)` over the bottleneck *(max, min)* algebra, with an
+/// explicit kernel choice (`Auto` resolves via [`select_maxmin`]).
+///
+/// The engine mirrors the tropical family member for member — branchless
+/// rows, the packed 4×8 register-blocked micro-kernel over `NR`-wide
+/// B-panels, and rayon-parallel row bands — with the roles of the
+/// identities swapped: `0.0` (no pipe) is the additive identity/annihilator
+/// that pads panels and drives the sparsity skip, where the tropical engine
+/// uses [`INF`].
+pub fn maxmin_into_with(
+    kernel: MinPlusKernel,
+    a: &crate::block::ElemBlock<crate::semiring::BottleneckF64>,
+    b: &crate::block::ElemBlock<crate::semiring::BottleneckF64>,
+    c: &mut crate::block::ElemBlock<crate::semiring::BottleneckF64>,
+) {
+    let n = a.side();
+    assert_eq!(n, b.side());
+    assert_eq!(n, c.side());
+    maxmin_slices_with(kernel, a.data(), b.data(), c.data_mut(), n);
+}
+
+/// Slice-level *(max, min)* dispatch: `cd = max(cd, ad ⊗ bd)` over `n × n`
+/// row-major capacity buffers (the entry point the [`crate::algebra::Widest`]
+/// hooks use).
+pub(crate) fn maxmin_slices_with(
+    kernel: MinPlusKernel,
+    ad: &[f64],
+    bd: &[f64],
+    cd: &mut [f64],
+    n: usize,
+) {
+    let kernel = if kernel == MinPlusKernel::Auto {
+        select_maxmin(n)
+    } else {
+        kernel
+    };
+    match kernel {
+        MinPlusKernel::Naive => maxmin_naive_rows(ad, bd, cd, n),
+        // No tiled (max, min) twin; the pin maps to the branchless loop.
+        MinPlusKernel::Branchless | MinPlusKernel::Tiled => maxmin_branchless_rows(ad, bd, cd, n),
+        MinPlusKernel::Packed => maxmin_packed_rows(ad, bd, cd, n, 0, n),
+        MinPlusKernel::Parallel => maxmin_parallel_rows(ad, bd, cd, n),
+        MinPlusKernel::Auto => unreachable!("Auto resolved above"),
+    }
+}
+
+/// Reference branchy loop — bit-identical to the generic fallback loop a
+/// hook-free `PathAlgebra` over [`crate::semiring::BottleneckF64`] runs.
+fn maxmin_naive_rows(ad: &[f64], bd: &[f64], cd: &mut [f64], n: usize) {
+    for i in 0..n {
+        for k in 0..n {
+            let aik = ad[i * n + k];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bd[k * n..k * n + n];
+            let crow = &mut cd[i * n..i * n + n];
+            for j in 0..n {
+                let v = bmin(aik, brow[j]);
+                if v > crow[j] {
+                    crow[j] = v;
+                }
+            }
+        }
+    }
+}
+
+fn maxmin_branchless_rows(ad: &[f64], bd: &[f64], cd: &mut [f64], n: usize) {
+    for i in 0..n {
+        for k in 0..n {
+            let aik = ad[i * n + k];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bd[k * n..k * n + n];
+            let crow = &mut cd[i * n..i * n + n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv = bmax(bmin(aik, bv), *cv);
+            }
+        }
+    }
+}
+
+/// The packed *(max, min)* register-blocked kernel over rows
+/// `[i_lo, i_hi)` — the structural twin of [`packed_rows`] with `0.0` as
+/// the inert pad/skip value.
+fn maxmin_packed_rows(
+    ad: &[f64],
+    bd: &[f64],
+    crows: &mut [f64],
+    n: usize,
+    i_lo: usize,
+    i_hi: usize,
+) {
+    let panels = n.div_ceil(NR);
+    with_pool(&PACK, panels * TILE * NR, |bp| {
+        for kk in (0..n).step_by(TILE) {
+            let k_len = (n - kk).min(TILE);
+            pack_panels(bd, bp, n, kk, k_len, panels, 0.0);
+            let mut i = i_lo;
+            while i < i_hi {
+                let m = (i_hi - i).min(MR);
+                // Sparsity fast path: a zero-capacity `a` segment is the
+                // annihilator — min(0, b) = 0 never raises any max.
+                let any_capacity = (0..m).any(|r| {
+                    ad[(i + r) * n + kk..(i + r) * n + kk + k_len]
+                        .iter()
+                        .any(|v| *v != 0.0)
+                });
+                if any_capacity {
+                    match m {
+                        4 => maxmin_row_block::<4>(ad, bp, crows, n, i, i_lo, kk, k_len, panels),
+                        3 => maxmin_row_block::<3>(ad, bp, crows, n, i, i_lo, kk, k_len, panels),
+                        2 => maxmin_row_block::<2>(ad, bp, crows, n, i, i_lo, kk, k_len, panels),
+                        _ => maxmin_row_block::<1>(ad, bp, crows, n, i, i_lo, kk, k_len, panels),
+                    }
+                }
+                i += m;
+            }
+        }
+    });
+}
+
+/// The `M × NR` *(max, min)* micro-kernel: register accumulation under
+/// `acc = max(acc, min(aik, b))` maps to one `vminpd` + one `vmaxpd` per
+/// step, symmetric to the tropical `vaddpd` + `vminpd` pair.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn maxmin_row_block<const M: usize>(
+    ad: &[f64],
+    bp: &[f64],
+    crows: &mut [f64],
+    n: usize,
+    i: usize,
+    i_lo: usize,
+    kk: usize,
+    k_len: usize,
+    panels: usize,
+) {
+    let arows: [&[f64]; M] =
+        std::array::from_fn(|r| &ad[(i + r) * n + kk..(i + r) * n + kk + k_len]);
+    for p in 0..panels {
+        let j0 = p * NR;
+        let w = (n - j0).min(NR);
+        let panel = &bp[p * k_len * NR..(p + 1) * k_len * NR];
+
+        let mut acc = [[0.0; NR]; M];
+        for k in 0..k_len {
+            let bk: &[f64; NR] = panel[k * NR..k * NR + NR].try_into().unwrap();
+            for r in 0..M {
+                let aik = arows[r][k];
+                for c in 0..NR {
+                    acc[r][c] = bmax(bmin(aik, bk[c]), acc[r][c]);
+                }
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            let row0 = (i - i_lo + r) * n + j0;
+            let crow = &mut crows[row0..row0 + w];
+            for (cv, &av) in crow.iter_mut().zip(accr[..w].iter()) {
+                *cv = bmax(av, *cv);
+            }
+        }
+    }
+}
+
+fn maxmin_parallel_rows(ad: &[f64], bd: &[f64], cd: &mut [f64], n: usize) {
+    let band = bands_for(n);
+    cd.par_chunks_mut(band * n)
+        .enumerate()
+        .for_each(|(chunk, crows)| {
+            let i0 = chunk * band;
+            let i1 = i0 + crows.len() / n;
+            maxmin_packed_rows(ad, bd, crows, n, i0, i1);
+        });
+}
+
+/// Slice-level in-place *(max, min)* closure (widest-path Floyd-Warshall):
+/// `d[i][j] = max(d[i][j], min(d[i][k], d[k][j]))` with the pivot row
+/// copied into the reused scratch buffer, exactly like the tropical
+/// [`fw_in_place_slices`].
+pub(crate) fn maxmin_fw_in_place_slices(d: &mut [f64], n: usize) {
+    with_pool(&KROW, n, |krow| {
+        for k in 0..n {
+            krow.copy_from_slice(&d[k * n..k * n + n]);
+            for i in 0..n {
+                let dik = d[i * n + k];
+                if dik == 0.0 {
+                    continue;
+                }
+                let row = &mut d[i * n..i * n + n];
+                for (rv, &kv) in row.iter_mut().zip(krow.iter()) {
+                    *rv = bmax(bmin(dik, kv), *rv);
+                }
+            }
+        }
+    });
+}
+
+/// Slice-level rank-1 *(max, min)* update: `d[i][j] = max(d[i][j],
+/// min(col_i[i], col_j[j]))`.
+pub(crate) fn maxmin_rank1_slices(d: &mut [f64], col_i: &[f64], col_j: &[f64], n: usize) {
+    assert_eq!(col_i.len(), n, "col_i length must equal block side");
+    assert_eq!(col_j.len(), n, "col_j length must equal block side");
+    for (i, &ci) in col_i.iter().enumerate() {
+        if ci == 0.0 {
+            continue;
+        }
+        let row = &mut d[i * n..i * n + n];
+        for (rv, &cj) in row.iter_mut().zip(col_j) {
+            *rv = bmax(bmin(ci, cj), *rv);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bitset boolean (reachability) kernels
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Word scratch for the bitset boolean kernels (packed operand and
+    /// product planes).
+    static BITS: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with a thread-local `u64` word-scratch buffer of at least
+/// `len` words. Contents are **unspecified on entry**, like
+/// [`with_scratch`].
+pub(crate) fn with_word_scratch<R>(len: usize, f: impl FnOnce(&mut [u64]) -> R) -> R {
+    BITS.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut buf) => {
+            if buf.len() < len {
+                buf.resize(len, 0);
+            }
+            f(&mut buf[..len])
+        }
+        Err(_) => f(&mut vec![0u64; len]),
+    })
+}
+
+/// The word-level `(∨, ∧)` product core: `cw |= aw ⊗ bw`, all three packed
+/// `n`-row planes of `wpr` words per row.
+///
+/// For each set bit `a(i, k)` (found via `trailing_zeros`, so sparse rows
+/// cost only their popcount), row `k` of `b` is OR-ed word-wide into row
+/// `i` of `c` — 64 column relaxations per instruction. Tail bits past
+/// column `n` are zero in every packed row (the [`BitBlock`] invariant),
+/// so they stay zero in `c`.
+fn bool_mul_words(aw: &[u64], bw: &[u64], cw: &mut [u64], n: usize, wpr: usize) {
+    for i in 0..n {
+        let arow = &aw[i * wpr..(i + 1) * wpr];
+        let crow = &mut cw[i * wpr..(i + 1) * wpr];
+        for (wi, &word) in arow.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let k = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let brow = &bw[k * wpr..(k + 1) * wpr];
+                for (cv, &bv) in crow.iter_mut().zip(brow) {
+                    *cv |= bv;
+                }
+            }
+        }
+    }
+}
+
+/// `c = c ∨ (a ⊗ b)` over packed [`BitBlock`] planes — the public
+/// bitset-product entry point.
+pub fn bool_or_product_into(a: &BitBlock, b: &BitBlock, c: &mut BitBlock) {
+    let n = a.side();
+    assert_eq!(n, b.side());
+    assert_eq!(n, c.side());
+    let wpr = a.words_per_row();
+    bool_mul_words(a.words(), b.words(), c.words_mut(), n, wpr);
+}
+
+/// In-place boolean transitive closure of a packed [`BitBlock`]: the
+/// word-level Floyd-Warshall. For each pivot `k`, its row is copied out
+/// (breaking the `i == k` alias exactly like the tropical pivot-row
+/// scratch) and OR-ed into every row `i` with bit `(i, k)` set.
+pub fn bool_closure_in_place(c: &mut BitBlock) {
+    let n = c.side();
+    let wpr = c.words_per_row();
+    let cw = c.words_mut();
+    with_word_scratch(wpr.max(1), |krow| {
+        for k in 0..n {
+            krow[..wpr].copy_from_slice(&cw[k * wpr..(k + 1) * wpr]);
+            let (kw, kbit) = (k / 64, k % 64);
+            for i in 0..n {
+                if cw[i * wpr + kw] >> kbit & 1 == 1 {
+                    let crow = &mut cw[i * wpr..(i + 1) * wpr];
+                    for (cv, &kv) in crow.iter_mut().zip(krow.iter()) {
+                        *cv |= kv;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Reference element-at-a-time boolean fold — bit-identical to the
+/// generic fallback loop a hook-free `PathAlgebra` over
+/// [`crate::semiring::BoolSemiring`] runs; the oracle the bitset kernels
+/// are validated against.
+pub(crate) fn bool_naive_fold_slices(ad: &[bool], bd: &[bool], cd: &mut [bool], n: usize) {
+    for i in 0..n {
+        for k in 0..n {
+            if !ad[i * n + k] {
+                continue;
+            }
+            let brow = &bd[k * n..k * n + n];
+            let crow = &mut cd[i * n..i * n + n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv |= bv;
+            }
+        }
+    }
+}
+
+/// Slice-level bitset fold `cd = cd ∨ (ad ⊗ bd)` over `n × n` boolean
+/// planes: pack at the block boundary, run the word kernel, unpack. The
+/// packed planes live in the thread-local word pool, so steady-state calls
+/// allocate nothing.
+pub(crate) fn bool_fold_slices(ad: &[bool], bd: &[bool], cd: &mut [bool], n: usize) {
+    let wpr = BitBlock::words_per_row_for(n);
+    with_word_scratch(3 * n * wpr, |words| {
+        let (aw, rest) = words.split_at_mut(n * wpr);
+        let (bw, cw) = rest.split_at_mut(n * wpr);
+        BitBlock::pack_slice(ad, n, aw);
+        BitBlock::pack_slice(bd, n, bw);
+        BitBlock::pack_slice(cd, n, cw);
+        bool_mul_words(aw, bw, cw, n, wpr);
+        BitBlock::unpack_slice(cw, n, cd);
+    });
+}
+
+/// Slice-level bitset pivot-column update `cd = cd ∨ (cd ⊗ other)`. The
+/// product reads the packed snapshot of `cd`, so the result matches the
+/// two-step scratch-product-then-join contract bit for bit (no
+/// Gauss-Seidel early propagation).
+pub(crate) fn bool_product_assign_slices(cd: &mut [bool], other: &[bool], n: usize) {
+    let wpr = BitBlock::words_per_row_for(n);
+    with_word_scratch(3 * n * wpr, |words| {
+        let (aw, rest) = words.split_at_mut(n * wpr);
+        let (bw, pw) = rest.split_at_mut(n * wpr);
+        BitBlock::pack_slice(cd, n, aw);
+        BitBlock::pack_slice(other, n, bw);
+        pw.fill(0);
+        bool_mul_words(aw, bw, pw, n, wpr);
+        for (p, &a) in pw.iter_mut().zip(aw.iter()) {
+            *p |= a;
+        }
+        BitBlock::unpack_slice(pw, n, cd);
+    });
+}
+
+/// Slice-level bitset pivot-row update `cd = cd ∨ (other ⊗ cd)` — the
+/// left-operand mirror of [`bool_product_assign_slices`].
+pub(crate) fn bool_product_left_assign_slices(cd: &mut [bool], other: &[bool], n: usize) {
+    let wpr = BitBlock::words_per_row_for(n);
+    with_word_scratch(3 * n * wpr, |words| {
+        let (aw, rest) = words.split_at_mut(n * wpr);
+        let (bw, pw) = rest.split_at_mut(n * wpr);
+        BitBlock::pack_slice(other, n, aw);
+        BitBlock::pack_slice(cd, n, bw);
+        pw.fill(0);
+        bool_mul_words(aw, bw, pw, n, wpr);
+        for (p, &b) in pw.iter_mut().zip(bw.iter()) {
+            *p |= b;
+        }
+        BitBlock::unpack_slice(pw, n, cd);
+    });
+}
+
+/// Slice-level bitset in-place closure over an `n × n` boolean plane.
+pub(crate) fn bool_closure_slices(cd: &mut [bool], n: usize) {
+    let wpr = BitBlock::words_per_row_for(n);
+    with_word_scratch(n * wpr + wpr.max(1), |words| {
+        let (cw, krow) = words.split_at_mut(n * wpr);
+        BitBlock::pack_slice(cd, n, cw);
+        for k in 0..n {
+            krow[..wpr].copy_from_slice(&cw[k * wpr..(k + 1) * wpr]);
+            let (kw, kbit) = (k / 64, k % 64);
+            for i in 0..n {
+                if cw[i * wpr + kw] >> kbit & 1 == 1 {
+                    let crow = &mut cw[i * wpr..(i + 1) * wpr];
+                    for (cv, &kv) in crow.iter_mut().zip(krow.iter()) {
+                        *cv |= kv;
+                    }
+                }
+            }
+        }
+        BitBlock::unpack_slice(cw, n, cd);
+    });
+}
+
+/// Slice-level boolean rank-1 update: `cd[i][j] |= col_i[i] ∧ col_j[j]` —
+/// a row-wide OR of `col_j` into every row whose `col_i` bit is set.
+pub(crate) fn bool_rank1_slices(cd: &mut [bool], col_i: &[bool], col_j: &[bool], n: usize) {
+    assert_eq!(col_i.len(), n, "col_i length must equal block side");
+    assert_eq!(col_j.len(), n, "col_j length must equal block side");
+    for (i, &ci) in col_i.iter().enumerate() {
+        if !ci {
+            continue;
+        }
+        let row = &mut cd[i * n..i * n + n];
+        for (rv, &cj) in row.iter_mut().zip(col_j) {
+            *rv |= cj;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1054,5 +1544,275 @@ mod tests {
         assert_eq!(a.get(0, 0), 0.0);
         let c = a.min_plus(&a);
         assert_eq!(c.get(0, 0), 0.0);
+    }
+
+    // ---- (max, min) kernel family -------------------------------------
+
+    fn random_caps(b: usize, seed: u64, density: f64) -> Vec<f64> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..b * b)
+            .map(|idx| {
+                if idx / b == idx % b {
+                    INF
+                } else if next() < density {
+                    1.0 + next() * 9.0
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    fn random_bools(b: usize, seed: u64, density: f64) -> Vec<bool> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..b * b)
+            .map(|idx| idx / b == idx % b || next() < density)
+            .collect()
+    }
+
+    #[test]
+    fn maxmin_every_kernel_matches_naive_bit_exactly() {
+        for &b in &[1usize, 2, 7, 63, 64, 65, 129, 130] {
+            let a = random_caps(b, 42, 0.3);
+            let x = random_caps(b, 43, 0.3);
+            let mut oracle = vec![0.0; b * b];
+            maxmin_slices_with(MinPlusKernel::Naive, &a, &x, &mut oracle, b);
+            for kernel in ALL_KERNELS {
+                let mut c = vec![0.0; b * b];
+                maxmin_slices_with(kernel, &a, &x, &mut c, b);
+                assert_eq!(oracle, c, "b={b} kernel={kernel:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn maxmin_packed_handles_all_zero_operands() {
+        for &b in &[1usize, 9, 64, 65] {
+            let z = vec![0.0; b * b];
+            let r = random_caps(b, 3, 0.5);
+            for (a, x) in [(&z, &r), (&r, &z), (&z, &z)] {
+                let mut c = r.clone();
+                maxmin_slices_with(MinPlusKernel::Packed, a, x, &mut c, b);
+                assert_eq!(c, r, "zero-capacity operand must leave c untouched, b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn maxmin_fold_accumulates_into_seeded_c() {
+        let b = 16;
+        let a = random_caps(b, 11, 0.5);
+        let x = random_caps(b, 12, 0.5);
+        let seed = random_caps(b, 13, 0.5);
+        let mut folded = seed.clone();
+        maxmin_slices_with(MinPlusKernel::Packed, &a, &x, &mut folded, b);
+        let mut pure = vec![0.0; b * b];
+        maxmin_slices_with(MinPlusKernel::Packed, &a, &x, &mut pure, b);
+        let manual: Vec<f64> = seed
+            .iter()
+            .zip(pure.iter())
+            .map(|(&s, &p)| bmax(s, p))
+            .collect();
+        assert_eq!(folded, manual);
+    }
+
+    #[test]
+    fn maxmin_fw_matches_reference_loop() {
+        for &b in &[1usize, 2, 33, 64, 96] {
+            let mut fast = random_caps(b, 99, 0.25);
+            let mut slow = fast.clone();
+            maxmin_fw_in_place_slices(&mut fast, b);
+            for k in 0..b {
+                for i in 0..b {
+                    let dik = slow[i * b + k];
+                    for j in 0..b {
+                        let v = bmin(dik, slow[k * b + j]);
+                        if v > slow[i * b + j] {
+                            slow[i * b + j] = v;
+                        }
+                    }
+                }
+            }
+            assert_eq!(fast, slow, "b={b}");
+        }
+    }
+
+    #[test]
+    fn maxmin_rank1_matches_reference_loop() {
+        let b = 24;
+        let mut fast = random_caps(b, 21, 0.6);
+        let slow = fast.clone();
+        let col_i: Vec<f64> = (0..b)
+            .map(|i| if i % 5 == 0 { 0.0 } else { i as f64 + 1.0 })
+            .collect();
+        let col_j: Vec<f64> = (0..b).map(|j| (j * 2) as f64).collect();
+        maxmin_rank1_slices(&mut fast, &col_i, &col_j, b);
+        for (i, &ci) in col_i.iter().enumerate() {
+            for (j, &cj) in col_j.iter().enumerate() {
+                let expect = bmax(slow[i * b + j], bmin(ci, cj));
+                assert_eq!(fast[i * b + j], expect, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn select_maxmin_tiers_by_side() {
+        assert_eq!(select_maxmin(1), MinPlusKernel::Branchless);
+        assert_eq!(select_maxmin(SMALL_SIDE - 1), MinPlusKernel::Branchless);
+        assert_eq!(select_maxmin(SMALL_SIDE), MinPlusKernel::Packed);
+        assert_eq!(select_maxmin(PARALLEL_SIDE - 1), MinPlusKernel::Packed);
+        assert_eq!(select_maxmin(PARALLEL_SIDE), MinPlusKernel::Parallel);
+    }
+
+    // ---- bitset kernel family -----------------------------------------
+
+    #[test]
+    fn select_boolean_always_bitset() {
+        for side in [1, SMALL_SIDE, PARALLEL_SIDE, 4096] {
+            assert_eq!(select_boolean(side), BooleanKernel::Bitset);
+        }
+    }
+
+    #[test]
+    fn bitset_fold_matches_naive_at_word_boundaries() {
+        for &b in &[1usize, 2, 63, 64, 65, 127, 128, 129] {
+            let a = random_bools(b, 51, 0.2);
+            let x = random_bools(b, 52, 0.2);
+            let seed = random_bools(b, 53, 0.05);
+            let mut oracle = seed.clone();
+            bool_naive_fold_slices(&a, &x, &mut oracle, b);
+            let mut fast = seed.clone();
+            bool_fold_slices(&a, &x, &mut fast, b);
+            assert_eq!(oracle, fast, "b={b}");
+        }
+    }
+
+    #[test]
+    fn bitset_fold_handles_constant_planes() {
+        for &b in &[1usize, 63, 64, 65] {
+            for (av, xv) in [(false, false), (false, true), (true, false), (true, true)] {
+                let a = vec![av; b * b];
+                let x = vec![xv; b * b];
+                let mut oracle = vec![false; b * b];
+                bool_naive_fold_slices(&a, &x, &mut oracle, b);
+                let mut fast = vec![false; b * b];
+                bool_fold_slices(&a, &x, &mut fast, b);
+                assert_eq!(oracle, fast, "b={b} a={av} x={xv}");
+            }
+        }
+    }
+
+    #[test]
+    fn bitset_product_assigns_match_two_step_contract() {
+        for &b in &[1usize, 63, 64, 65, 129] {
+            let other = random_bools(b, 61, 0.2);
+            let seed = random_bools(b, 62, 0.1);
+
+            // Right-assign: c = c | (c & other-product).
+            let mut oracle = seed.clone();
+            let mut sd = vec![false; b * b];
+            bool_naive_fold_slices(&oracle.clone(), &other, &mut sd, b);
+            for (c, &s) in oracle.iter_mut().zip(sd.iter()) {
+                *c |= s;
+            }
+            let mut fast = seed.clone();
+            bool_product_assign_slices(&mut fast, &other, b);
+            assert_eq!(oracle, fast, "right-assign b={b}");
+
+            // Left-assign: c = c | (other-product & c).
+            let mut oracle = seed.clone();
+            let mut sd = vec![false; b * b];
+            bool_naive_fold_slices(&other, &oracle.clone(), &mut sd, b);
+            for (c, &s) in oracle.iter_mut().zip(sd.iter()) {
+                *c |= s;
+            }
+            let mut fast = seed.clone();
+            bool_product_left_assign_slices(&mut fast, &other, b);
+            assert_eq!(oracle, fast, "left-assign b={b}");
+        }
+    }
+
+    #[test]
+    fn bitset_closure_matches_reference_loop() {
+        for &b in &[1usize, 2, 33, 63, 64, 65, 96] {
+            let mut fast = random_bools(b, 71, 0.08);
+            let mut slow = fast.clone();
+            bool_closure_slices(&mut fast, b);
+            for k in 0..b {
+                for i in 0..b {
+                    if !slow[i * b + k] {
+                        continue;
+                    }
+                    for j in 0..b {
+                        slow[i * b + j] |= slow[k * b + j];
+                    }
+                }
+            }
+            assert_eq!(fast, slow, "b={b}");
+        }
+    }
+
+    #[test]
+    fn bitset_rank1_matches_reference_loop() {
+        let b = 65;
+        let mut fast = random_bools(b, 81, 0.1);
+        let slow = fast.clone();
+        let col_i: Vec<bool> = (0..b).map(|i| i % 3 == 0).collect();
+        let col_j: Vec<bool> = (0..b).map(|j| j % 2 == 0).collect();
+        bool_rank1_slices(&mut fast, &col_i, &col_j, b);
+        for (i, &ci) in col_i.iter().enumerate() {
+            for (j, &cj) in col_j.iter().enumerate() {
+                assert_eq!(fast[i * b + j], slow[i * b + j] || (ci && cj), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn bitblock_roundtrips_and_counts() {
+        for &b in &[1usize, 63, 64, 65, 129] {
+            let plane = random_bools(b, 91, 0.3);
+            let bb = BitBlock::from_bools(b, &plane);
+            assert_eq!(bb.side(), b);
+            assert_eq!(bb.to_bools(), plane);
+            assert_eq!(bb.count_ones(), plane.iter().filter(|&&v| v).count());
+            for i in 0..b {
+                for j in 0..b {
+                    assert_eq!(bb.get(i, j), plane[i * b + j], "({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bitblock_product_and_closure_match_plane_kernels() {
+        for &b in &[1usize, 63, 64, 65] {
+            let ap = random_bools(b, 95, 0.2);
+            let xp = random_bools(b, 96, 0.2);
+            let a = BitBlock::from_bools(b, &ap);
+            let x = BitBlock::from_bools(b, &xp);
+            let mut c = BitBlock::zeros(b);
+            bool_or_product_into(&a, &x, &mut c);
+            let mut plane = vec![false; b * b];
+            bool_naive_fold_slices(&ap, &xp, &mut plane, b);
+            assert_eq!(c.to_bools(), plane, "product b={b}");
+
+            let mut closed_bits = a.clone();
+            bool_closure_in_place(&mut closed_bits);
+            let mut closed_plane = ap.clone();
+            bool_closure_slices(&mut closed_plane, b);
+            assert_eq!(closed_bits.to_bools(), closed_plane, "closure b={b}");
+        }
     }
 }

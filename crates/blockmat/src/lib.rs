@@ -20,7 +20,12 @@
 //! * the [`Semiring`] abstraction (tropical over `f64`/`f32`/`i64`, the
 //!   bottleneck *(max, min)* semiring, and the boolean semiring for
 //!   transitive closure) mirroring the paper's §2 observation that APSP
-//!   is a linear-algebra problem over *(min, +)*, and
+//!   is a linear-algebra problem over *(min, +)*,
+//! * specialized non-tropical kernels: the packed register-blocked
+//!   *(max, min)* engine ([`kernels::maxmin_into_with`],
+//!   [`kernels::select_maxmin`]) and the word-packed boolean bitset engine
+//!   ([`BitBlock`], [`kernels::bool_or_product_into`],
+//!   [`kernels::bool_closure_in_place`]), and
 //! * the [`algebra`] layer on top of it: [`PathAlgebra`] (a semiring plus
 //!   an optional per-cell payload) with per-algebra kernel dispatch, and
 //!   [`AlgBlock`] — the combined record the generic solvers run on
@@ -69,7 +74,7 @@ pub use algebra::{
     AlgBlock, PathAlgebra, Reachability, TrackedBlock, TrackedReachability, TrackedTropical,
     TrackedWidest, Tropical, Widest,
 };
-pub use block::{Block, ElemBlock};
+pub use block::{BitBlock, Block, ElemBlock};
 pub use matrix::Matrix;
 pub use parent::{Offsets, ParentBlock, PayBlock, NO_VIA};
 pub use semiring::{BoolSemiring, BottleneckF64, Semiring, TropicalF32, TropicalF64, TropicalI64};

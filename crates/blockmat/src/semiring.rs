@@ -119,7 +119,9 @@ impl Semiring for TropicalI64 {
 /// `f64` capacities: `a ⊕ b = max(a, b)` picks the better of two routes,
 /// `a ⊗ b = min(a, b)` is the capacity of a concatenation. `0̄ = 0.0` (no
 /// path), `1̄ = +∞` (staying put constrains nothing). Shinn & Takaoka's
-/// APBP problem runs the same blocked machinery over this algebra.
+/// APBP problem runs the same blocked machinery over this algebra; the
+/// bulk path runs on the packed *(max, min)* kernels in [`crate::kernels`]
+/// (see [`crate::algebra::Widest`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BottleneckF64;
 
@@ -151,7 +153,9 @@ impl Semiring for BottleneckF64 {
     }
 }
 
-/// Boolean semiring `(∨, ∧)` — reachability / transitive closure.
+/// Boolean semiring `(∨, ∧)` — reachability / transitive closure. Bulk
+/// operations run on the word-packed bitset kernels (see
+/// [`crate::BitBlock`] and [`crate::algebra::Reachability`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BoolSemiring;
 

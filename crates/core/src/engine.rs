@@ -11,9 +11,13 @@
 //! * `SolverConfig::with_paths` = [`TrackedTropical`] — the same
 //!   skeletons with a `u32` argmin payload riding on each cell (what used
 //!   to be the four hand-cloned solvers in `tracked.rs`);
-//! * bottleneck/widest paths = [`apsp_blockmat::Widest`], boolean
-//!   transitive closure = [`apsp_blockmat::Reachability`] — new workloads
-//!   on the *same* solvers, exposed through [`crate::algebra`].
+//! * bottleneck/widest paths = [`apsp_blockmat::Widest`] — the same
+//!   skeletons over the packed *(max, min)* kernel engine (the 4×8
+//!   register-blocked twin of the tropical fast path);
+//! * boolean transitive closure = [`apsp_blockmat::Reachability`] — the
+//!   same skeletons over the bitset engine, which packs 64 booleans per
+//!   `u64` word at the block boundary. Both are exposed through
+//!   [`crate::algebra`].
 //!
 //! Three properties make the generic threading cheap:
 //!

@@ -1043,21 +1043,44 @@ impl Plan {
     /// the explicit tier when pinned, what `Auto` dispatches to for this
     /// block size otherwise.
     pub fn kernel_tier(&self) -> String {
-        if self.workload != Workload::ShortestPaths {
-            return "generic fallback loops (non-tropical algebra)".into();
-        }
-        match self.kernel {
-            MinPlusKernel::Auto => {
+        match self.workload {
+            Workload::ShortestPaths => match self.kernel {
+                MinPlusKernel::Auto => {
+                    if self.paths {
+                        format!(
+                            "auto -> {:?} (tracked tier)",
+                            kernels::select_tracked(self.block_size)
+                        )
+                    } else {
+                        format!("auto -> {:?}", kernels::select(self.block_size))
+                    }
+                }
+                other => format!("{other:?} (pinned)"),
+            },
+            Workload::Widest => {
                 if self.paths {
-                    format!(
-                        "auto -> {:?} (tracked tier)",
-                        kernels::select_tracked(self.block_size)
-                    )
+                    "generic tracked loops (bottleneck + argmax payload)".into()
                 } else {
-                    format!("auto -> {:?}", kernels::select(self.block_size))
+                    match self.kernel {
+                        MinPlusKernel::Auto => format!(
+                            "auto -> {:?} (packed (max, min) engine)",
+                            kernels::select_maxmin(self.block_size)
+                        ),
+                        other => format!("{other:?} (pinned, (max, min) engine)"),
+                    }
                 }
             }
-            other => format!("{other:?} (pinned)"),
+            Workload::Reachability => {
+                if self.paths {
+                    "generic tracked loops (boolean + via payload)".into()
+                } else {
+                    match self.kernel {
+                        MinPlusKernel::Auto => "bitset (64 cells per u64 word)".into(),
+                        MinPlusKernel::Naive => "Naive (pinned, boolean oracle loop)".into(),
+                        other => format!("{other:?} (pinned -> bitset)"),
+                    }
+                }
+            }
         }
     }
 
