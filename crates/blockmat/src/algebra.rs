@@ -60,7 +60,16 @@ pub type Elem<A> = <<A as PathAlgebra>::Semi as Semiring>::Elem;
 ///
 /// All bulk operations work on row-major `n × n` slices so they can run
 /// against block storage and scratch buffers alike.
-pub trait PathAlgebra: Copy + Send + Sync + 'static {
+///
+/// The `where` clauses require every element and payload type to carry a
+/// fixed-width wire encoding ([`crate::serialize::Wire`]) so that any
+/// algebra's block planes can be checkpointed; the bound is implied at
+/// use sites, so generic solver code never has to restate it.
+pub trait PathAlgebra: Copy + Send + Sync + 'static
+where
+    <Self::Semi as Semiring>::Elem: crate::serialize::Wire,
+    Self::Payload: crate::serialize::Wire,
+{
     /// The element semiring.
     type Semi: Semiring;
 
@@ -768,6 +777,46 @@ impl<A: PathAlgebra> AlgBlock<A> {
     /// Combined in-memory footprint in bytes.
     pub fn size_bytes(&self) -> usize {
         self.dist.size_bytes() + self.pay.size_bytes()
+    }
+
+    /// Serializes both planes to the fixed-width wire format: a
+    /// little-endian `u64` side length, the element plane, then the
+    /// payload plane (zero bytes for `()` payloads). Bit-exact for
+    /// floats — `NaN` payloads and `-0.0` survive unchanged — which is
+    /// what makes checkpoint/resume reproduce an uninterrupted solve
+    /// exactly.
+    pub fn to_wire_bytes(&self) -> bytes::Bytes {
+        use crate::serialize::Wire;
+        let b = self.side();
+        let mut buf = bytes::BytesMut::with_capacity(
+            8 + b * b * (<Elem<A> as Wire>::WIDTH + <A::Payload as Wire>::WIDTH),
+        );
+        bytes::BufMut::put_u64_le(&mut buf, b as u64);
+        crate::serialize::encode_plane(self.dist.data(), &mut buf);
+        crate::serialize::encode_plane(self.pay.data(), &mut buf);
+        buf.freeze()
+    }
+
+    /// Decodes both planes from the wire format of
+    /// [`AlgBlock::to_wire_bytes`].
+    pub fn from_wire_bytes(mut bytes: &[u8]) -> Result<Self, crate::serialize::DecodeError> {
+        use crate::serialize::DecodeError;
+        if bytes.len() < 8 {
+            return Err(DecodeError::Truncated {
+                expected: 8,
+                actual: bytes.len(),
+            });
+        }
+        let side = bytes::Buf::get_u64_le(&mut bytes);
+        if side > crate::serialize::MAX_DIM {
+            return Err(DecodeError::BadDimension(side));
+        }
+        let side = side as usize;
+        let elems = crate::serialize::decode_plane::<Elem<A>>(&mut bytes, side * side)?;
+        let pays = crate::serialize::decode_plane::<A::Payload>(&mut bytes, side * side)?;
+        let mut blk = Self::from_dist(ElemBlock::from_vec(side, elems));
+        blk.pay.data_mut().copy_from_slice(&pays);
+        Ok(blk)
     }
 
     /// Pure product `a ⊗ b` (both plain element blocks): returns a fresh

@@ -21,6 +21,25 @@ pub enum DecodeError {
     },
     /// The header declares an implausible dimension.
     BadDimension(u64),
+    /// A framed payload does not start with [`FRAME_MAGIC`].
+    BadMagic,
+    /// A framed payload was written by an incompatible format version.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this build understands.
+        supported: u32,
+    },
+    /// A framed payload's body does not hash to the checksum in its
+    /// header — the blob was corrupted at rest or in flight.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum of the body as read.
+        actual: u64,
+    },
+    /// A framed payload carries an unknown kind tag.
+    BadKind(u8),
 }
 
 impl std::fmt::Display for DecodeError {
@@ -33,6 +52,20 @@ impl std::fmt::Display for DecodeError {
                 )
             }
             DecodeError::BadDimension(d) => write!(f, "implausible dimension {d}"),
+            DecodeError::BadMagic => write!(f, "payload lacks the APSPCKPT frame magic"),
+            DecodeError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "frame version {found} is not supported (this build reads version {supported})"
+                )
+            }
+            DecodeError::ChecksumMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: header says {expected:#018x}, body hashes to {actual:#018x}"
+                )
+            }
+            DecodeError::BadKind(k) => write!(f, "unknown frame kind tag {k}"),
         }
     }
 }
@@ -41,7 +74,7 @@ impl std::error::Error for DecodeError {}
 
 /// Upper bound on accepted dimensions (guards against corrupt headers
 /// causing huge allocations).
-const MAX_DIM: u64 = 1 << 20;
+pub(crate) const MAX_DIM: u64 = 1 << 20;
 
 impl Block {
     /// Serializes to the row-major wire format.
@@ -123,6 +156,198 @@ impl Matrix {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Framed container: versioned, checksummed envelopes for blobs at rest.
+// ---------------------------------------------------------------------------
+
+/// Magic prefix of every framed payload.
+pub const FRAME_MAGIC: [u8; 8] = *b"APSPCKPT";
+/// Current frame format version; bump on any layout change.
+pub const FRAME_VERSION: u32 = 1;
+/// Size of the frame header: magic (8) + version (4) + kind (1) +
+/// body length (8) + checksum (8).
+pub const FRAME_HEADER_LEN: usize = 29;
+/// Kind tag for a serialized matrix block.
+pub const FRAME_KIND_BLOCK: u8 = 1;
+/// Kind tag for a checkpoint manifest.
+pub const FRAME_KIND_MANIFEST: u8 = 2;
+
+/// FNV-1a over `bytes` — the integrity checksum for framed payloads
+/// (stable, dependency-free; not cryptographic, which is fine for
+/// detecting storage corruption).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// Wraps `body` in a versioned, checksummed frame.
+pub fn frame(kind: u8, body: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(FRAME_HEADER_LEN + body.len());
+    buf.put_slice(&FRAME_MAGIC);
+    buf.put_u32_le(FRAME_VERSION);
+    buf.put_u8(kind);
+    buf.put_u64_le(body.len() as u64);
+    buf.put_u64_le(fnv1a64(body));
+    buf.put_slice(body);
+    buf.freeze()
+}
+
+/// Validates a frame and returns `(kind, body)`. Rejects bad magic,
+/// unsupported versions, truncation, and checksum mismatches with a
+/// typed [`DecodeError`].
+pub fn unframe(bytes: &[u8]) -> Result<(u8, &[u8]), DecodeError> {
+    if bytes.len() < FRAME_HEADER_LEN {
+        return Err(DecodeError::Truncated {
+            expected: FRAME_HEADER_LEN,
+            actual: bytes.len(),
+        });
+    }
+    if bytes[..8] != FRAME_MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    let mut header = &bytes[8..FRAME_HEADER_LEN];
+    let version = header.get_u32_le();
+    if version != FRAME_VERSION {
+        return Err(DecodeError::UnsupportedVersion {
+            found: version,
+            supported: FRAME_VERSION,
+        });
+    }
+    let kind = header.get_u8();
+    let body_len = header.get_u64_le();
+    let expected_checksum = header.get_u64_le();
+    let body = &bytes[FRAME_HEADER_LEN..];
+    if (body.len() as u64) < body_len {
+        return Err(DecodeError::Truncated {
+            expected: FRAME_HEADER_LEN + body_len as usize,
+            actual: bytes.len(),
+        });
+    }
+    let body = &body[..body_len as usize];
+    let actual_checksum = fnv1a64(body);
+    if actual_checksum != expected_checksum {
+        return Err(DecodeError::ChecksumMismatch {
+            expected: expected_checksum,
+            actual: actual_checksum,
+        });
+    }
+    Ok((kind, body))
+}
+
+// ---------------------------------------------------------------------------
+// Element codec: fixed-width little-endian encoding per plane element.
+// ---------------------------------------------------------------------------
+
+/// Fixed-width little-endian wire codec for plane elements. Implemented
+/// for every semiring element and payload type the path algebras use, so
+/// checkpointing stays generic over [`crate::algebra::PathAlgebra`].
+///
+/// `get` assumes the caller has already length-checked the input (as
+/// [`decode_plane`] does) and may panic on short slices.
+pub trait Wire: Copy {
+    /// Encoded width in bytes.
+    const WIDTH: usize;
+    /// Appends the encoding of `self` to `buf`.
+    fn put(self, buf: &mut BytesMut);
+    /// Reads one value, advancing `bytes`.
+    fn get(bytes: &mut &[u8]) -> Self;
+}
+
+impl Wire for f64 {
+    const WIDTH: usize = 8;
+    fn put(self, buf: &mut BytesMut) {
+        buf.put_f64_le(self);
+    }
+    fn get(bytes: &mut &[u8]) -> Self {
+        bytes.get_f64_le()
+    }
+}
+
+impl Wire for f32 {
+    const WIDTH: usize = 4;
+    fn put(self, buf: &mut BytesMut) {
+        buf.put_f32_le(self);
+    }
+    fn get(bytes: &mut &[u8]) -> Self {
+        bytes.get_f32_le()
+    }
+}
+
+impl Wire for i64 {
+    const WIDTH: usize = 8;
+    fn put(self, buf: &mut BytesMut) {
+        buf.put_i64_le(self);
+    }
+    fn get(bytes: &mut &[u8]) -> Self {
+        bytes.get_i64_le()
+    }
+}
+
+impl Wire for u64 {
+    const WIDTH: usize = 8;
+    fn put(self, buf: &mut BytesMut) {
+        buf.put_u64_le(self);
+    }
+    fn get(bytes: &mut &[u8]) -> Self {
+        bytes.get_u64_le()
+    }
+}
+
+impl Wire for u32 {
+    const WIDTH: usize = 4;
+    fn put(self, buf: &mut BytesMut) {
+        buf.put_u32_le(self);
+    }
+    fn get(bytes: &mut &[u8]) -> Self {
+        bytes.get_u32_le()
+    }
+}
+
+impl Wire for bool {
+    const WIDTH: usize = 1;
+    fn put(self, buf: &mut BytesMut) {
+        buf.put_u8(self as u8);
+    }
+    fn get(bytes: &mut &[u8]) -> Self {
+        bytes.get_u8() != 0
+    }
+}
+
+impl Wire for () {
+    const WIDTH: usize = 0;
+    fn put(self, _buf: &mut BytesMut) {}
+    fn get(_bytes: &mut &[u8]) -> Self {}
+}
+
+/// Appends the fixed-width encodings of `vals` to `buf`.
+pub fn encode_plane<T: Wire>(vals: &[T], buf: &mut BytesMut) {
+    for &v in vals {
+        v.put(buf);
+    }
+}
+
+/// Decodes `count` fixed-width values, advancing `bytes`.
+pub fn decode_plane<T: Wire>(bytes: &mut &[u8], count: usize) -> Result<Vec<T>, DecodeError> {
+    let need = count
+        .checked_mul(T::WIDTH)
+        .ok_or(DecodeError::BadDimension(count as u64))?;
+    if bytes.len() < need {
+        return Err(DecodeError::Truncated {
+            expected: need,
+            actual: bytes.len(),
+        });
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        out.push(T::get(bytes));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,5 +397,109 @@ mod tests {
         let blk = Block::infinity(0);
         let back = Block::from_bytes(&blk.to_bytes()).unwrap();
         assert_eq!(back.side(), 0);
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let body = b"the quick brown fox";
+        let framed = frame(FRAME_KIND_BLOCK, body);
+        assert_eq!(framed.len(), FRAME_HEADER_LEN + body.len());
+        let (kind, got) = unframe(&framed).unwrap();
+        assert_eq!(kind, FRAME_KIND_BLOCK);
+        assert_eq!(got, body);
+    }
+
+    #[test]
+    fn frame_empty_body() {
+        let framed = frame(FRAME_KIND_MANIFEST, &[]);
+        let (kind, got) = unframe(&framed).unwrap();
+        assert_eq!(kind, FRAME_KIND_MANIFEST);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn corrupted_body_fails_checksum() {
+        let framed = frame(FRAME_KIND_BLOCK, &[1, 2, 3, 4]);
+        let mut raw = framed.to_vec();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xFF;
+        assert!(matches!(
+            unframe(&raw),
+            Err(DecodeError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let framed = frame(FRAME_KIND_BLOCK, &[9; 8]);
+        let mut raw = framed.to_vec();
+        raw[0] = b'X';
+        assert_eq!(unframe(&raw), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let framed = frame(FRAME_KIND_BLOCK, &[9; 8]);
+        let mut raw = framed.to_vec();
+        raw[8..12].copy_from_slice(&(FRAME_VERSION + 1).to_le_bytes());
+        assert_eq!(
+            unframe(&raw),
+            Err(DecodeError::UnsupportedVersion {
+                found: FRAME_VERSION + 1,
+                supported: FRAME_VERSION,
+            })
+        );
+    }
+
+    #[test]
+    fn truncated_frame_rejected() {
+        let framed = frame(FRAME_KIND_BLOCK, &[7; 100]);
+        assert!(matches!(
+            unframe(&framed[..FRAME_HEADER_LEN + 50]),
+            Err(DecodeError::Truncated { .. })
+        ));
+        assert!(matches!(
+            unframe(&framed[..10]),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn wire_roundtrips_every_element_type() {
+        let mut buf = BytesMut::new();
+        encode_plane(&[1.5f64, INF, -0.0], &mut buf);
+        encode_plane(&[2.5f32], &mut buf);
+        encode_plane(&[-7i64, i64::MAX], &mut buf);
+        encode_plane(&[u32::MAX, 0], &mut buf);
+        encode_plane(&[true, false], &mut buf);
+        encode_plane(&[(), ()], &mut buf);
+        let frozen = buf.freeze();
+        let mut cur: &[u8] = &frozen;
+        assert_eq!(decode_plane::<f64>(&mut cur, 3).unwrap(), vec![1.5, INF, -0.0]);
+        assert_eq!(decode_plane::<f32>(&mut cur, 1).unwrap(), vec![2.5]);
+        assert_eq!(decode_plane::<i64>(&mut cur, 2).unwrap(), vec![-7, i64::MAX]);
+        assert_eq!(decode_plane::<u32>(&mut cur, 2).unwrap(), vec![u32::MAX, 0]);
+        assert_eq!(decode_plane::<bool>(&mut cur, 2).unwrap(), vec![true, false]);
+        assert_eq!(decode_plane::<()>(&mut cur, 2).unwrap(), vec![(), ()]);
+        assert_eq!(cur.len(), 0);
+    }
+
+    #[test]
+    fn decode_plane_rejects_short_input() {
+        let mut cur: &[u8] = &[0u8; 15];
+        assert!(matches!(
+            decode_plane::<f64>(&mut cur, 2),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_zero_survives_bit_exactly() {
+        let mut buf = BytesMut::new();
+        encode_plane(&[-0.0f64], &mut buf);
+        let frozen = buf.freeze();
+        let mut cur: &[u8] = &frozen;
+        let back = decode_plane::<f64>(&mut cur, 1).unwrap()[0];
+        assert_eq!(back.to_bits(), (-0.0f64).to_bits());
     }
 }

@@ -147,30 +147,41 @@ pub fn copy_col<A: PathAlgebra>(
 /// `pivot` and the target `key` orient the block-local indices globally
 /// (payload-tracking algebras need them — see `apsp_blockmat::parent`).
 ///
-/// # Panics
-/// Panics when the list carries no or multiple `Stored` pieces (an
-/// algorithmic bug, not a data condition).
+/// A pairing list with no or multiple `Stored` pieces is an algorithmic
+/// bug (a shuffle delivered the wrong records); it surfaces as a typed
+/// [`sparklet::SparkError`] so the engine fails the task cleanly instead
+/// of panicking the executor.
 pub fn unpack_and_update<A: PathAlgebra>(
     kernel: MinPlusKernel,
     pieces: Vec<AlgPiece<A>>,
     pivot: usize,
     b: usize,
     key: BlockKey,
-) -> AlgBlock<A> {
+) -> Result<AlgBlock<A>, sparklet::SparkError> {
     let mut stored: Option<AlgBlock<A>> = None;
     let mut left: Option<ElemBlock<A::Semi>> = None;
     let mut right: Option<ElemBlock<A::Semi>> = None;
     for p in pieces {
         match p {
             AlgPiece::Stored(t) => {
-                assert!(stored.is_none(), "duplicate Stored piece in pairing list");
+                if stored.is_some() {
+                    return Err(sparklet::SparkError::User(format!(
+                        "duplicate Stored piece in pairing list for block ({}, {})",
+                        key.0, key.1
+                    )));
+                }
                 stored = Some(t);
             }
             AlgPiece::Left(b) => left = Some(b),
             AlgPiece::Right(b) => right = Some(b),
         }
     }
-    let mut a = stored.expect("pairing list lacks the Stored block");
+    let mut a = stored.ok_or_else(|| {
+        sparklet::SparkError::User(format!(
+            "pairing list lacks the Stored block for ({}, {})",
+            key.0, key.1
+        ))
+    })?;
     let offsets = Offsets::blocks(b, pivot, key.0, key.1);
     match (left, right) {
         (Some(l), Some(r)) => a.min_plus_into_self(kernel, &l, &r, offsets),
@@ -178,7 +189,7 @@ pub fn unpack_and_update<A: PathAlgebra>(
         (None, Some(r)) => a.min_plus_assign(kernel, &r, offsets),
         (None, None) => {}
     }
-    a
+    Ok(a)
 }
 
 /// `FloydWarshall` (Table 1): close a diagonal algebra block in place;
@@ -212,7 +223,7 @@ mod tests {
     const PIVOT: usize = 1;
 
     fn unpack(pieces: Vec<AlgPiece<Tropical>>) -> AlgBlock<Tropical> {
-        unpack_and_update(MinPlusKernel::Auto, pieces, PIVOT, 2, KEY)
+        unpack_and_update(MinPlusKernel::Auto, pieces, PIVOT, 2, KEY).unwrap()
     }
 
     #[test]
@@ -306,9 +317,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "lacks the Stored block")]
     fn unpack_requires_stored() {
-        let _ = unpack(vec![AlgPiece::Left(ElemBlock::zeros(2))]);
+        let err = unpack_and_update::<Tropical>(
+            MinPlusKernel::Auto,
+            vec![AlgPiece::Left(ElemBlock::zeros(2))],
+            PIVOT,
+            2,
+            KEY,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("lacks the Stored block"));
+    }
+
+    #[test]
+    fn unpack_rejects_duplicate_stored() {
+        let err = unpack_and_update::<Tropical>(
+            MinPlusKernel::Auto,
+            vec![
+                stored([[0.0, 1.0], [1.0, 0.0]]),
+                stored([[0.0, 2.0], [2.0, 0.0]]),
+            ],
+            PIVOT,
+            2,
+            KEY,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate Stored piece"));
     }
 
     #[test]

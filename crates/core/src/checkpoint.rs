@@ -1,0 +1,512 @@
+//! Round-granular checkpoint/resume for the engine loops.
+//!
+//! Every engine skeleton ([`crate::engine`]) advances the distributed
+//! matrix in discrete rounds (`q` pivot iterations for the blocked
+//! solvers, `n` pivots for FW2D, `⌈log₂ n⌉` squarings for RS) with a
+//! well-defined barrier at the end of each: the reassembled RDD `A` after
+//! `next.count()` is the *complete* state of the solve — everything else
+//! (staged side-channel copies, broadcasts) is derived per round.
+//!
+//! A [`CheckpointSpec`] on [`SolverConfig`](crate::SolverConfig) makes
+//! the engine snapshot that state into its own [`sparklet::SideChannel`]
+//! directory at the barrier. The on-disk layout is:
+//!
+//! ```text
+//! <dir>/ckpt-<round>-<bi>-<bj>   framed block: u32 bi, u32 bj, AlgBlock wire bytes
+//! <dir>/ckpt-meta-<round>        framed manifest: solver, algebra, geometry, round
+//! ```
+//!
+//! Every blob is a [`frame`] — magic, version, kind, length, FNV-1a
+//! checksum — so torn or bit-rotted checkpoints surface as typed
+//! [`ApspError::Checkpoint`] errors rather than garbage resumes. The
+//! **manifest is written last** and is the commit point: a round without
+//! its manifest is invisible to resume, so a crash mid-snapshot can at
+//! worst waste the partial blobs (pruned by the next successful
+//! checkpoint), never corrupt a resume.
+
+use crate::engine::AlgRecord;
+use crate::solver::{ApspError, SolverConfig};
+use apsp_blockmat::serialize::{
+    frame, unframe, DecodeError, FRAME_KIND_BLOCK, FRAME_KIND_MANIFEST,
+};
+use apsp_blockmat::{AlgBlock, PathAlgebra};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sparklet::{Rdd, SideChannel, SparkContext};
+use std::marker::PhantomData;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A cooperative checkpoint request flag for
+/// [`CheckpointPolicy::OnSignal`]: share one handle with the solve and
+/// call [`request`](CheckpointSignal::request) from any thread (a signal
+/// handler, a deadline timer); the engine snapshots at the next round
+/// barrier and clears the flag.
+#[derive(Clone, Debug, Default)]
+pub struct CheckpointSignal(Arc<AtomicBool>);
+
+impl CheckpointSignal {
+    /// A fresh, un-requested signal.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests a checkpoint at the next round barrier.
+    pub fn request(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// True while a request is pending (not yet consumed by a barrier).
+    pub fn is_requested(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+
+    fn take(&self) -> bool {
+        self.0.swap(false, Ordering::SeqCst)
+    }
+}
+
+/// When the engine snapshots.
+#[derive(Clone, Debug, Default)]
+pub enum CheckpointPolicy {
+    /// Never snapshot (resume-only specs).
+    #[default]
+    Off,
+    /// Snapshot after every `k`-th round (`k ≥ 1`).
+    EveryRounds(usize),
+    /// Snapshot at the next round barrier after the signal fires.
+    OnSignal(CheckpointSignal),
+}
+
+impl CheckpointPolicy {
+    fn should_snapshot(&self, round: usize) -> bool {
+        match self {
+            CheckpointPolicy::Off => false,
+            CheckpointPolicy::EveryRounds(k) => *k > 0 && (round + 1) % k == 0,
+            CheckpointPolicy::OnSignal(sig) => sig.take(),
+        }
+    }
+}
+
+/// Checkpoint/resume configuration carried on
+/// [`SolverConfig::checkpoint`](crate::SolverConfig::checkpoint).
+#[derive(Clone, Debug)]
+pub struct CheckpointSpec {
+    /// Directory backing the checkpoint side channel.
+    pub dir: PathBuf,
+    /// When to snapshot.
+    pub policy: CheckpointPolicy,
+    /// Restore the latest committed round from `dir` before solving and
+    /// continue from the round after it.
+    pub resume: bool,
+}
+
+impl CheckpointSpec {
+    /// Snapshot every `k` rounds into `dir`; no resume.
+    pub fn every(dir: impl Into<PathBuf>, k: usize) -> Self {
+        CheckpointSpec {
+            dir: dir.into(),
+            policy: CheckpointPolicy::EveryRounds(k),
+            resume: false,
+        }
+    }
+
+    /// Snapshot when `signal` fires; no resume.
+    pub fn on_signal(dir: impl Into<PathBuf>, signal: CheckpointSignal) -> Self {
+        CheckpointSpec {
+            dir: dir.into(),
+            policy: CheckpointPolicy::OnSignal(signal),
+            resume: false,
+        }
+    }
+
+    /// Resume from the latest committed round in `dir` without writing
+    /// further checkpoints.
+    pub fn resume_from(dir: impl Into<PathBuf>) -> Self {
+        CheckpointSpec {
+            dir: dir.into(),
+            policy: CheckpointPolicy::Off,
+            resume: true,
+        }
+    }
+
+    /// Also resume from `dir` if it holds a committed round (keeps the
+    /// snapshot policy, so resumed runs stay protected).
+    pub fn and_resume(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+}
+
+fn meta_key(round: usize) -> String {
+    format!("ckpt-meta-{round}")
+}
+
+fn block_key(round: usize, bi: usize, bj: usize) -> String {
+    format!("ckpt-{round}-{bi}-{bj}")
+}
+
+/// Geometry + identity stamped into every manifest; resume refuses to
+/// restore a snapshot whose manifest disagrees with the live solve.
+#[derive(Debug, PartialEq, Eq)]
+struct Manifest {
+    solver: String,
+    algebra: String,
+    tracks: bool,
+    n: u64,
+    b: u64,
+    q: u64,
+    total_rounds: u64,
+    round: u64,
+    block_count: u64,
+}
+
+impl Manifest {
+    fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64 + self.solver.len() + self.algebra.len());
+        buf.put_u32_le(self.solver.len() as u32);
+        buf.put_slice(self.solver.as_bytes());
+        buf.put_u32_le(self.algebra.len() as u32);
+        buf.put_slice(self.algebra.as_bytes());
+        buf.put_u8(self.tracks as u8);
+        for v in [
+            self.n,
+            self.b,
+            self.q,
+            self.total_rounds,
+            self.round,
+            self.block_count,
+        ] {
+            buf.put_u64_le(v);
+        }
+        buf.freeze()
+    }
+
+    fn decode(mut body: &[u8]) -> Result<Self, DecodeError> {
+        let string = |body: &mut &[u8]| -> Result<String, DecodeError> {
+            if body.remaining() < 4 {
+                return Err(DecodeError::Truncated {
+                    expected: 4,
+                    actual: body.remaining(),
+                });
+            }
+            let len = body.get_u32_le() as usize;
+            if body.remaining() < len {
+                return Err(DecodeError::Truncated {
+                    expected: len,
+                    actual: body.remaining(),
+                });
+            }
+            Ok(String::from_utf8_lossy(body.take_bytes(len)).into_owned())
+        };
+        let solver = string(&mut body)?;
+        let algebra = string(&mut body)?;
+        if body.remaining() < 1 + 6 * 8 {
+            return Err(DecodeError::Truncated {
+                expected: 1 + 6 * 8,
+                actual: body.remaining(),
+            });
+        }
+        let tracks = body.get_u8() != 0;
+        let mut word = || body.get_u64_le();
+        Ok(Manifest {
+            solver,
+            algebra,
+            tracks,
+            n: word(),
+            b: word(),
+            q: word(),
+            total_rounds: word(),
+            round: word(),
+            block_count: word(),
+        })
+    }
+}
+
+fn decode_err(what: &str, key: &str, e: DecodeError) -> ApspError {
+    ApspError::Checkpoint(format!("{what} '{key}' is not a valid checkpoint frame: {e}"))
+}
+
+/// The engine-side checkpoint driver: one per solve, inactive (all
+/// methods no-ops) unless the config carries a [`CheckpointSpec`].
+pub(crate) struct Checkpointer<A: PathAlgebra> {
+    inner: Option<Inner>,
+    _algebra: PhantomData<fn() -> A>,
+}
+
+struct Inner {
+    ctx: SparkContext,
+    store: SideChannel,
+    policy: CheckpointPolicy,
+    solver: &'static str,
+    n: usize,
+    b: usize,
+    q: usize,
+    total_rounds: usize,
+}
+
+impl<A: PathAlgebra> Checkpointer<A> {
+    /// Builds the driver for one solve. When the spec asks for resume and
+    /// `dir` holds a committed round of matching geometry, also returns
+    /// `(last_round, records)` — the engine seeds its loop RDD from the
+    /// records and starts at `last_round + 1`.
+    #[allow(clippy::type_complexity)]
+    pub fn prepare(
+        ctx: &SparkContext,
+        cfg: &SolverConfig,
+        solver: &'static str,
+        n: usize,
+        b: usize,
+        q: usize,
+        total_rounds: usize,
+    ) -> Result<(Self, Option<(usize, Vec<AlgRecord<A>>)>), ApspError> {
+        let Some(spec) = &cfg.checkpoint else {
+            return Ok((
+                Checkpointer {
+                    inner: None,
+                    _algebra: PhantomData,
+                },
+                None,
+            ));
+        };
+        let store = ctx.open_side_channel(&spec.dir)?;
+        let inner = Inner {
+            ctx: ctx.clone(),
+            store,
+            policy: spec.policy.clone(),
+            solver,
+            n,
+            b,
+            q,
+            total_rounds,
+        };
+        let resumed = if spec.resume {
+            Some(inner.restore::<A>(&spec.dir)?)
+        } else {
+            None
+        };
+        if let Some((round, _)) = &resumed {
+            ctx.note_rounds_resumed(*round as u64 + 1);
+        }
+        Ok((
+            Checkpointer {
+                inner: Some(inner),
+                _algebra: PhantomData,
+            },
+            resumed,
+        ))
+    }
+
+    /// Round barrier hook: when the policy fires for `round`, snapshots
+    /// the reassembled RDD (blocks first, manifest last — the commit
+    /// point) and prunes every older committed round.
+    pub fn after_round(&self, round: usize, a: &Rdd<AlgRecord<A>>) -> Result<(), ApspError> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        if !inner.policy.should_snapshot(round) {
+            return Ok(());
+        }
+        let records = a.collect()?;
+        let mut bytes_written = 0u64;
+        for ((bi, bj), ab) in &records {
+            let wire = ab.to_wire_bytes();
+            let mut body = BytesMut::with_capacity(8 + wire.len());
+            body.put_u32_le(*bi as u32);
+            body.put_u32_le(*bj as u32);
+            body.put_slice(&wire);
+            let framed = frame(FRAME_KIND_BLOCK, &body);
+            bytes_written += framed.len() as u64;
+            inner.store.put_bytes(block_key(round, *bi, *bj), framed)?;
+        }
+        let manifest = Manifest {
+            solver: inner.solver.to_string(),
+            algebra: A::NAME.to_string(),
+            tracks: A::TRACKS,
+            n: inner.n as u64,
+            b: inner.b as u64,
+            q: inner.q as u64,
+            total_rounds: inner.total_rounds as u64,
+            round: round as u64,
+            block_count: records.len() as u64,
+        };
+        let framed = frame(FRAME_KIND_MANIFEST, &manifest.encode());
+        bytes_written += framed.len() as u64;
+        inner.store.put_bytes(meta_key(round), framed)?;
+        inner.ctx.note_checkpoint(bytes_written);
+        inner.prune(round);
+        Ok(())
+    }
+}
+
+impl Inner {
+    /// Latest committed round in the store, by manifest key.
+    fn latest_round(&self) -> Option<usize> {
+        self.store
+            .keys()
+            .iter()
+            .filter_map(|k| k.strip_prefix("ckpt-meta-")?.parse::<usize>().ok())
+            .max()
+    }
+
+    fn restore<A: PathAlgebra>(
+        &self,
+        dir: &Path,
+    ) -> Result<(usize, Vec<AlgRecord<A>>), ApspError> {
+        let round = self.latest_round().ok_or_else(|| {
+            ApspError::Checkpoint(format!(
+                "no committed checkpoint round under '{}'",
+                dir.display()
+            ))
+        })?;
+        let mkey = meta_key(round);
+        let raw = self.store.get_bytes(&mkey)?;
+        let (kind, body) =
+            unframe(&raw).map_err(|e| decode_err("checkpoint manifest", &mkey, e))?;
+        if kind != FRAME_KIND_MANIFEST {
+            return Err(decode_err("checkpoint manifest", &mkey, DecodeError::BadKind(kind)));
+        }
+        let manifest =
+            Manifest::decode(body).map_err(|e| decode_err("checkpoint manifest", &mkey, e))?;
+        let expected = Manifest {
+            solver: self.solver.to_string(),
+            algebra: A::NAME.to_string(),
+            tracks: A::TRACKS,
+            n: self.n as u64,
+            b: self.b as u64,
+            q: self.q as u64,
+            total_rounds: self.total_rounds as u64,
+            round: round as u64,
+            block_count: (self.q * (self.q + 1) / 2) as u64,
+        };
+        if manifest != expected {
+            return Err(ApspError::Checkpoint(format!(
+                "checkpoint '{mkey}' does not match this solve: \
+                 snapshot is {manifest:?}, solve expects {expected:?}"
+            )));
+        }
+        let mut records = Vec::with_capacity(self.q * (self.q + 1) / 2);
+        for bi in 0..self.q {
+            for bj in bi..self.q {
+                let bkey = block_key(round, bi, bj);
+                let raw = self.store.get_bytes(&bkey)?;
+                let (kind, mut body) =
+                    unframe(&raw).map_err(|e| decode_err("checkpoint block", &bkey, e))?;
+                if kind != FRAME_KIND_BLOCK {
+                    return Err(decode_err(
+                        "checkpoint block",
+                        &bkey,
+                        DecodeError::BadKind(kind),
+                    ));
+                }
+                if body.remaining() < 8 {
+                    return Err(decode_err(
+                        "checkpoint block",
+                        &bkey,
+                        DecodeError::Truncated {
+                            expected: 8,
+                            actual: body.remaining(),
+                        },
+                    ));
+                }
+                let (got_bi, got_bj) = (body.get_u32_le() as usize, body.get_u32_le() as usize);
+                if (got_bi, got_bj) != (bi, bj) {
+                    return Err(ApspError::Checkpoint(format!(
+                        "checkpoint block '{bkey}' is keyed ({bi}, {bj}) \
+                         but stamped ({got_bi}, {got_bj})"
+                    )));
+                }
+                let ab = AlgBlock::<A>::from_wire_bytes(body)
+                    .map_err(|e| decode_err("checkpoint block", &bkey, e))?;
+                records.push(((bi, bj), ab));
+            }
+        }
+        Ok((round, records))
+    }
+
+    /// Drops every committed round older than `current` (blocks and
+    /// manifest). Enumerating keys by geometry keeps this independent of
+    /// the backend's listing order.
+    fn prune(&self, current: usize) {
+        let older: Vec<usize> = self
+            .store
+            .keys()
+            .iter()
+            .filter_map(|k| k.strip_prefix("ckpt-meta-")?.parse::<usize>().ok())
+            .filter(|r| *r < current)
+            .collect();
+        for round in older {
+            for bi in 0..self.q {
+                for bj in bi..self.q {
+                    self.store.remove(&block_key(round, bi, bj));
+                }
+            }
+            self.store.remove(&meta_key(round));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signal_is_consumed_by_take() {
+        let sig = CheckpointSignal::new();
+        assert!(!sig.is_requested());
+        sig.request();
+        assert!(sig.is_requested());
+        let policy = CheckpointPolicy::OnSignal(sig.clone());
+        assert!(policy.should_snapshot(0));
+        assert!(!policy.should_snapshot(1), "take() must clear the flag");
+        assert!(!sig.is_requested());
+    }
+
+    #[test]
+    fn every_k_rounds_fires_on_multiples() {
+        let p = CheckpointPolicy::EveryRounds(3);
+        let fired: Vec<usize> = (0..9).filter(|r| p.should_snapshot(*r)).collect();
+        assert_eq!(fired, vec![2, 5, 8]);
+        assert!(!CheckpointPolicy::EveryRounds(0).should_snapshot(0));
+        assert!(!CheckpointPolicy::Off.should_snapshot(0));
+    }
+
+    #[test]
+    fn manifest_roundtrips() {
+        let m = Manifest {
+            solver: "cb".into(),
+            algebra: "tropical".into(),
+            tracks: true,
+            n: 512,
+            b: 128,
+            q: 4,
+            total_rounds: 4,
+            round: 2,
+            block_count: 10,
+        };
+        let decoded = Manifest::decode(&m.encode()).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn truncated_manifest_is_typed() {
+        let m = Manifest {
+            solver: "rs".into(),
+            algebra: "widest".into(),
+            tracks: false,
+            n: 64,
+            b: 16,
+            q: 4,
+            total_rounds: 6,
+            round: 0,
+            block_count: 10,
+        };
+        let enc = m.encode();
+        for cut in [0, 3, 5, enc.len() - 1] {
+            assert!(matches!(
+                Manifest::decode(&enc[..cut]),
+                Err(DecodeError::Truncated { .. })
+            ));
+        }
+    }
+}

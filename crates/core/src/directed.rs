@@ -147,7 +147,7 @@ impl DirectedBlockedCB {
                     ApspError::Engine(SparkError::User(format!("missing diagonal block {i}")))
                 })?
                 .1;
-            ctx.side_channel().put_block(diag_key(i), diag);
+            ctx.side_channel().put_block(diag_key(i), diag)?;
 
             // Phase 2: pivot column blocks A_Xi ← min(A_Xi, A_Xi ⊗ D*) and
             // pivot row blocks A_iY ← min(A_iY, D* ⊗ A_iY).
@@ -166,9 +166,9 @@ impl DirectedBlockedCB {
                 .persist();
             for ((x, y), blk) in cross.collect()? {
                 if y == i {
-                    ctx.side_channel().put_block(col_key(i, x), blk);
+                    ctx.side_channel().put_block(col_key(i, x), blk)?;
                 } else {
-                    ctx.side_channel().put_block(row_key(i, y), blk);
+                    ctx.side_channel().put_block(row_key(i, y), blk)?;
                 }
             }
 

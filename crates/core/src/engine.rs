@@ -38,6 +38,7 @@
 //!    what path reconstruction expands against.
 
 use crate::blocks::BlockKey;
+use crate::checkpoint::Checkpointer;
 use crate::building_blocks::{
     copy_col, copy_diag, extract_col_parts, in_column, on_diagonal, unpack_and_update, AlgPiece,
 };
@@ -65,15 +66,16 @@ pub(crate) type DenseParts<A> = (Vec<Elem<A>>, Vec<<A as PathAlgebra>::Payload>)
 /// disk backend serializes to real files, the paper's `tofile()`); other
 /// element types ride the generic typed-blob store.
 pub trait Stageable: Sized + Send + Sync + 'static {
-    /// Writes the block under `key`.
-    fn stage(ch: &SideChannel, key: String, blk: Self);
+    /// Writes the block under `key`; fails when the backing store does
+    /// (e.g. an unwritable disk directory).
+    fn stage(ch: &SideChannel, key: String, blk: Self) -> SparkResult<()>;
     /// Fetches the block under `key`.
     fn fetch(ch: &SideChannel, key: &str) -> SparkResult<Arc<Self>>;
 }
 
 impl Stageable for Block {
-    fn stage(ch: &SideChannel, key: String, blk: Self) {
-        ch.put_block(key, blk);
+    fn stage(ch: &SideChannel, key: String, blk: Self) -> SparkResult<()> {
+        ch.put_block(key, blk)
     }
     fn fetch(ch: &SideChannel, key: &str) -> SparkResult<Arc<Self>> {
         ch.get_block_arc(key)
@@ -81,8 +83,9 @@ impl Stageable for Block {
 }
 
 impl Stageable for ElemBlock<BottleneckF64> {
-    fn stage(ch: &SideChannel, key: String, blk: Self) {
+    fn stage(ch: &SideChannel, key: String, blk: Self) -> SparkResult<()> {
         ch.put(key, blk);
+        Ok(())
     }
     fn fetch(ch: &SideChannel, key: &str) -> SparkResult<Arc<Self>> {
         ch.get_arc(key)
@@ -90,8 +93,9 @@ impl Stageable for ElemBlock<BottleneckF64> {
 }
 
 impl Stageable for ElemBlock<BoolSemiring> {
-    fn stage(ch: &SideChannel, key: String, blk: Self) {
+    fn stage(ch: &SideChannel, key: String, blk: Self) -> SparkResult<()> {
         ch.put(key, blk);
+        Ok(())
     }
     fn fetch(ch: &SideChannel, key: &str) -> SparkResult<Arc<Self>> {
         ch.get_arc(key)
@@ -210,10 +214,17 @@ where
     ElemBlock<A::Semi>: Stageable,
 {
     let (b, q, partitioner, initial) = begin::<A>(ctx, n, get, cfg);
-    let mut a: Rdd<AlgRecord<A>> = initial.persist();
+    let (ckpt, resumed) = Checkpointer::<A>::prepare(ctx, cfg, "cb", n, b, q, q)?;
+    let (first_round, mut a): (usize, Rdd<AlgRecord<A>>) = match resumed {
+        Some((round, records)) => (
+            round + 1,
+            ctx.parallelize_by(records, partitioner.clone()).persist(),
+        ),
+        None => (0, initial.persist()),
+    };
     let kern = cfg.kernel;
 
-    for i in 0..q {
+    for i in first_round..q {
         // Phase 1: close the diagonal block, stage its elements (lines 2–3).
         let diag_rdd = a
             .filter(move |(key, _)| on_diagonal(key, i))
@@ -234,7 +245,7 @@ where
             ctx.side_channel(),
             cb_diag_key(i),
             diag_block.dist().clone(),
-        );
+        )?;
 
         // Phase 2: update the pivot cross against the staged diagonal
         // (line 5), collect and stage both orientations (lines 6–7).
@@ -266,8 +277,8 @@ where
             } else {
                 (key.1, transposed, dist)
             };
-            Stageable::stage(ctx.side_channel(), cb_col_t_key(i, t), transposed_block);
-            Stageable::stage(ctx.side_channel(), cb_col_key(i, t), canonical_block);
+            Stageable::stage(ctx.side_channel(), cb_col_t_key(i, t), transposed_block)?;
+            Stageable::stage(ctx.side_channel(), cb_col_key(i, t), canonical_block)?;
         }
 
         // Phase 3: fold the staged column products into every remaining
@@ -300,6 +311,7 @@ where
         rowcol.unpersist();
         a.unpersist();
         a = next;
+        ckpt.after_round(i, &a)?;
     }
 
     Ok(AlgRun {
@@ -325,10 +337,17 @@ pub(crate) fn solve_im<A: PathAlgebra>(
     cfg: &SolverConfig,
 ) -> Result<AlgRun<A>, ApspError> {
     let (b, q, partitioner, initial) = begin::<A>(ctx, n, get, cfg);
-    let mut a: Rdd<AlgRecord<A>> = initial.persist();
+    let (ckpt, resumed) = Checkpointer::<A>::prepare(ctx, cfg, "im", n, b, q, q)?;
+    let (first_round, mut a): (usize, Rdd<AlgRecord<A>>) = match resumed {
+        Some((round, records)) => (
+            round + 1,
+            ctx.parallelize_by(records, partitioner.clone()).persist(),
+        ),
+        None => (0, initial.persist()),
+    };
     let kern = cfg.kernel;
 
-    for i in 0..q {
+    for i in first_round..q {
         // Phase 1: diagonal closure + CopyDiag of its elements (lines 2–4).
         let diag_rdd = a
             .filter(move |(key, _)| on_diagonal(key, i))
@@ -359,7 +378,7 @@ pub(crate) fn solve_im<A: PathAlgebra>(
                     a
                 },
             )
-            .map(move |(key, pieces)| (key, unpack_and_update(kern, pieces, i, b, key)))
+            .try_map(move |(key, pieces)| Ok((key, unpack_and_update(kern, pieces, i, b, key)?)))
             .persist();
 
         // CopyCol: replicate the updated cross elements to Phase-3 targets
@@ -392,7 +411,7 @@ pub(crate) fn solve_im<A: PathAlgebra>(
                     a
                 },
             )
-            .map(move |(key, pieces)| (key, unpack_and_update(kern, pieces, i, b, key)));
+            .try_map(move |(key, pieces)| Ok((key, unpack_and_update(kern, pieces, i, b, key)?)));
 
         // Reassemble and repartition (line 15) — mandatory, or the union's
         // partition count compounds every iteration.
@@ -405,6 +424,7 @@ pub(crate) fn solve_im<A: PathAlgebra>(
         phase2.unpersist();
         a.unpersist();
         a = next;
+        ckpt.after_round(i, &a)?;
     }
 
     Ok(AlgRun {
@@ -432,11 +452,18 @@ pub(crate) fn solve_fw2d<A: PathAlgebra>(
 where
     Elem<A>: EstimateSize,
 {
-    let (b, q, _partitioner, initial) = begin::<A>(ctx, n, get, cfg);
-    let mut a: Rdd<AlgRecord<A>> = initial.persist();
+    let (b, q, partitioner, initial) = begin::<A>(ctx, n, get, cfg);
+    let (ckpt, resumed) = Checkpointer::<A>::prepare(ctx, cfg, "fw2d", n, b, q, n)?;
+    let (first_round, mut a): (usize, Rdd<AlgRecord<A>>) = match resumed {
+        Some((round, records)) => (
+            round + 1,
+            ctx.parallelize_by(records, partitioner).persist(),
+        ),
+        None => (0, initial.persist()),
+    };
     let mut prev: Option<Rdd<AlgRecord<A>>> = None;
 
-    for k in 0..n {
+    for k in first_round..n {
         let pivot_block = k / b;
         let k_local = k % b;
 
@@ -471,6 +498,7 @@ where
         }
         prev = Some(a);
         a = next;
+        ckpt.after_round(k, &a)?;
     }
 
     Ok(AlgRun {
@@ -507,15 +535,22 @@ where
     ElemBlock<A::Semi>: Stageable,
 {
     let (b, q, partitioner, initial) = begin::<A>(ctx, n, get, cfg);
-    let mut a: Rdd<AlgRecord<A>> = initial.persist();
     let kern = cfg.kernel;
 
     // ⌈log₂ n⌉ squarings close paths of any hop count (diagonal identity
     // makes A^(2^s) monotone and dominated by the closure).
     let squarings = (n.max(2) as f64).log2().ceil() as usize;
-    let mut sweeps_done = 0u64;
+    let (ckpt, resumed) = Checkpointer::<A>::prepare(ctx, cfg, "rs", n, b, q, squarings)?;
+    let (first_step, mut a): (usize, Rdd<AlgRecord<A>>) = match resumed {
+        Some((step, records)) => (
+            step + 1,
+            ctx.parallelize_by(records, partitioner.clone()).persist(),
+        ),
+        None => (0, initial.persist()),
+    };
+    let mut sweeps_done = (first_step * q) as u64;
 
-    for step in 0..squarings {
+    for step in first_step..squarings {
         let mut sweeps: Vec<Rdd<AlgRecord<A>>> = Vec::with_capacity(q);
         for j in 0..q {
             // Stage column J's element blocks in canonical orientation
@@ -526,14 +561,14 @@ where
                         ctx.side_channel(),
                         rs_col_key(step, j, x),
                         ab.dist().clone(),
-                    );
+                    )?;
                 }
                 if x == j && x != y {
                     Stageable::stage(
                         ctx.side_channel(),
                         rs_col_key(step, j, y),
                         ab.dist().transpose(),
-                    );
+                    )?;
                 }
             }
 
@@ -604,6 +639,7 @@ where
         }
         a.unpersist();
         a = next;
+        ckpt.after_round(step, &a)?;
     }
 
     Ok(AlgRun {

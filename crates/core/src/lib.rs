@@ -44,6 +44,7 @@ mod blocked_im;
 mod blocks;
 pub mod building_blocks;
 mod cartesian_rs;
+pub mod checkpoint;
 pub mod directed;
 mod engine;
 mod fw2d;
@@ -63,6 +64,7 @@ pub use blocked_cb::{BlockedCollectBroadcast, DistributedDistances};
 pub use blocked_im::BlockedInMemory;
 pub use blocks::{canonical, oriented, BlockKey, BlockRecord, BlockedMatrix, PartitionerChoice};
 pub use cartesian_rs::CartesianSquaring;
+pub use checkpoint::{CheckpointPolicy, CheckpointSignal, CheckpointSpec};
 pub use directed::{DirectedBlockedCB, DirectedFloydWarshall2D, FullBlockedMatrix};
 pub use fw2d::FloydWarshall2D;
 pub use johnson_dist::DistributedJohnson;

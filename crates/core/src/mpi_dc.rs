@@ -91,7 +91,11 @@ impl MpiDcApsp {
             sim = sim.max(st.elapsed);
             stats.push(st);
         }
-        let (data, via) = first.expect("at least one rank");
+        let (data, via) = first.ok_or_else(|| {
+            ApspError::Engine(sparklet::SparkError::User(
+                "mpi world returned no rank results".into(),
+            ))
+        })?;
         Ok((
             MpiRunResult {
                 distances: Matrix::from_vec(n, data),
@@ -139,8 +143,13 @@ impl MpiDcApsp {
             sim = sim.max(st.elapsed);
             stats.push(st);
         }
+        let data = first.ok_or_else(|| {
+            ApspError::Engine(sparklet::SparkError::User(
+                "mpi world returned no rank results".into(),
+            ))
+        })?;
         Ok(MpiRunResult {
-            distances: Matrix::from_vec(n, first.expect("at least one rank")),
+            distances: Matrix::from_vec(n, data),
             stats,
             simulated_comm_s: sim,
         })

@@ -45,6 +45,7 @@
 
 use crate::algebra::AlgebraSolver;
 use crate::blocks::PartitionerChoice;
+use crate::checkpoint::CheckpointSpec;
 use crate::solver::{ApspError, ApspResult, ApspSolver, SolverConfig};
 use crate::tuner;
 use apsp_blockmat::algebra::Elem;
@@ -329,6 +330,7 @@ pub struct Problem<'a> {
     partitioner: PartitionerChoice,
     validate: bool,
     hints: ResourceHints,
+    checkpoint: Option<CheckpointSpec>,
 }
 
 impl<'a> Problem<'a> {
@@ -343,6 +345,7 @@ impl<'a> Problem<'a> {
             partitioner: PartitionerChoice::MultiDiagonal,
             validate: true,
             hints: ResourceHints::default(),
+            checkpoint: None,
         }
     }
 
@@ -432,6 +435,35 @@ impl<'a> Problem<'a> {
     /// Disables input validation (trusted inputs, benchmarks).
     pub fn without_validation(mut self) -> Self {
         self.validate = false;
+        self
+    }
+
+    /// Attaches a checkpoint/resume spec (see [`CheckpointSpec`]).
+    pub fn checkpoint(mut self, spec: CheckpointSpec) -> Self {
+        self.checkpoint = Some(spec);
+        self
+    }
+
+    /// Snapshot every `k` engine rounds into `dir`.
+    pub fn checkpoint_every(self, dir: impl Into<std::path::PathBuf>, k: usize) -> Self {
+        self.checkpoint(CheckpointSpec::every(dir, k))
+    }
+
+    /// Resumes from the latest committed round under `dir` (typed
+    /// [`ApspError::Checkpoint`] when none is committed or the snapshot
+    /// was taken by a different solve). Combined with
+    /// [`Problem::checkpoint_every`], the resumed run keeps snapshotting
+    /// into the same directory.
+    pub fn resume(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        let dir = dir.into();
+        self.checkpoint = Some(match self.checkpoint.take() {
+            Some(mut spec) => {
+                spec.dir = dir;
+                spec.resume = true;
+                spec
+            }
+            None => CheckpointSpec::resume_from(dir),
+        });
         self
     }
 
@@ -648,6 +680,7 @@ impl<'a> Problem<'a> {
             cores,
             partitions: self.hints.partitions,
             validate: self.validate,
+            checkpoint: self.checkpoint.clone(),
             notes,
             projection,
         })
@@ -715,67 +748,70 @@ impl<'a> Problem<'a> {
             }
             Input::Dense(m) => m,
         };
-        let (result, mpi) = match plan.solver {
-            SolverId::BlockedCollectBroadcast => (
-                Some(crate::BlockedCollectBroadcast.solve(ctx, adj, &cfg)?),
-                None,
-            ),
+        // Two execution substrates, made unrepresentable to mix up: the
+        // sparklet engine returns an [`ApspResult`] with live metrics,
+        // the MPI baselines return bare matrices.
+        enum Executed {
+            Engine(ApspResult),
+            Mpi(Matrix, Option<ParentMatrix>, u64),
+        }
+        let executed = match plan.solver {
+            SolverId::BlockedCollectBroadcast => {
+                Executed::Engine(crate::BlockedCollectBroadcast.solve(ctx, adj, &cfg)?)
+            }
             SolverId::BlockedInMemory => {
-                (Some(crate::BlockedInMemory.solve(ctx, adj, &cfg)?), None)
+                Executed::Engine(crate::BlockedInMemory.solve(ctx, adj, &cfg)?)
             }
             SolverId::FloydWarshall2D => {
-                (Some(crate::FloydWarshall2D.solve(ctx, adj, &cfg)?), None)
+                Executed::Engine(crate::FloydWarshall2D.solve(ctx, adj, &cfg)?)
             }
             SolverId::RepeatedSquaring => {
-                (Some(crate::RepeatedSquaring.solve(ctx, adj, &cfg)?), None)
+                Executed::Engine(crate::RepeatedSquaring.solve(ctx, adj, &cfg)?)
             }
             SolverId::CartesianSquaring => {
-                (Some(crate::CartesianSquaring.solve(ctx, adj, &cfg)?), None)
+                Executed::Engine(crate::CartesianSquaring.solve(ctx, adj, &cfg)?)
             }
             SolverId::DistributedJohnson => {
-                (Some(crate::DistributedJohnson.solve(ctx, adj, &cfg)?), None)
+                Executed::Engine(crate::DistributedJohnson.solve(ctx, adj, &cfg)?)
             }
-            SolverId::DirectedBlockedCB => (
-                Some(crate::directed::DirectedBlockedCB.solve(ctx, adj, &cfg)?),
-                None,
-            ),
-            SolverId::DirectedFloydWarshall2D => (
-                Some(crate::directed::DirectedFloydWarshall2D.solve(ctx, adj, &cfg)?),
-                None,
-            ),
+            SolverId::DirectedBlockedCB => {
+                Executed::Engine(crate::directed::DirectedBlockedCB.solve(ctx, adj, &cfg)?)
+            }
+            SolverId::DirectedFloydWarshall2D => {
+                Executed::Engine(crate::directed::DirectedFloydWarshall2D.solve(ctx, adj, &cfg)?)
+            }
             SolverId::MpiFw2d => {
                 let grid = ((plan.cores as f64).sqrt().floor() as usize).max(1);
                 let solver = crate::MpiFw2d::new(grid);
                 if plan.paths {
                     let (r, parents) = solver.solve_matrix_paths(adj)?;
-                    (None, Some((r.distances, Some(parents), adj.order() as u64)))
+                    Executed::Mpi(r.distances, Some(parents), adj.order() as u64)
                 } else {
                     let r = solver.solve_matrix(adj)?;
-                    (None, Some((r.distances, None, adj.order() as u64)))
+                    Executed::Mpi(r.distances, None, adj.order() as u64)
                 }
             }
             SolverId::MpiDc => {
                 let solver = crate::MpiDcApsp::new(plan.cores.max(1));
                 if plan.paths {
                     let (r, parents) = solver.solve_matrix_paths(adj)?;
-                    (None, Some((r.distances, Some(parents), 1)))
+                    Executed::Mpi(r.distances, Some(parents), 1)
                 } else {
                     let r = solver.solve_matrix(adj)?;
-                    (None, Some((r.distances, None, 1)))
+                    Executed::Mpi(r.distances, None, 1)
                 }
             }
         };
-        let (values, vias, metrics, iterations) = match (result, mpi) {
-            (Some(res), None) => {
+        let (values, vias, metrics, iterations) = match executed {
+            Executed::Engine(res) => {
                 let metrics = res.metrics;
                 let iterations = res.iterations;
                 let (distances, parents) = split_apsp_result(res);
                 (distances, parents, metrics, iterations)
             }
-            (None, Some((distances, parents, iterations))) => {
+            Executed::Mpi(distances, parents, iterations) => {
                 (distances, parents, MetricsSnapshot::default(), iterations)
             }
-            _ => unreachable!("exactly one execution path fires"),
         };
         Ok(Solution {
             n: plan.n,
@@ -787,6 +823,53 @@ impl<'a> Problem<'a> {
             elapsed: start.elapsed(),
             iterations,
         })
+    }
+
+    /// In-memory inputs get the same scrutiny the file loader
+    /// (`graph::io`) applies: a NaN or negative weight is a typed
+    /// [`ApspError::InvalidInput`], never silently coerced into "no edge"
+    /// or a bogus capacity.
+    fn validate_weights(&self) -> Result<(), ApspError> {
+        let check = |i: usize, j: usize, w: f64| -> Result<(), ApspError> {
+            if w.is_nan() {
+                return Err(ApspError::InvalidInput(format!(
+                    "weight ({i}, {j}) is NaN — in-memory inputs follow the \
+                     same rules as file inputs (finite or +inf non-edge)"
+                )));
+            }
+            if w < 0.0 {
+                return Err(ApspError::InvalidInput(format!(
+                    "weight ({i}, {j}) is negative ({w}) — the {} workload \
+                     requires non-negative weights",
+                    self.workload.label()
+                )));
+            }
+            Ok(())
+        };
+        match self.input {
+            Input::Graph(g) => {
+                for (u, v, w) in g.edges() {
+                    check(u as usize, v as usize, w)?;
+                }
+            }
+            Input::DiGraph(g) => {
+                for (u, v, w) in g.arcs() {
+                    check(u as usize, v as usize, w)?;
+                }
+            }
+            Input::Dense(m) => {
+                let n = m.order();
+                for i in 0..n {
+                    for j in 0..n {
+                        let w = m.get(i, j);
+                        if w.is_finite() || w.is_nan() {
+                            check(i, j, w)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
     }
 
     fn capacities(&self) -> Result<Matrix, ApspError> {
@@ -822,6 +905,9 @@ impl<'a> Problem<'a> {
         start: Instant,
     ) -> Result<Solution, ApspError> {
         let cfg = plan.solver_config();
+        if plan.validate {
+            self.validate_weights()?;
+        }
         let caps = self.capacities()?;
         let n = caps.order();
         let weight = |i: usize, j: usize| caps.get(i, j);
@@ -862,6 +948,9 @@ impl<'a> Problem<'a> {
         start: Instant,
     ) -> Result<Solution, ApspError> {
         let cfg = plan.solver_config();
+        if plan.validate {
+            self.validate_weights()?;
+        }
         let n = self.order();
         let adj = match self.input {
             Input::Graph(g) => crate::algebra::boolean_adjacency(g),
@@ -917,13 +1006,7 @@ impl<'a> Problem<'a> {
 /// Splits an [`ApspResult`] into its distance matrix and optional parent
 /// matrix without re-solving.
 fn split_apsp_result(res: ApspResult) -> (Matrix, Option<ParentMatrix>) {
-    if res.parents().is_some() {
-        let dap = res.into_paths().expect("parents checked above");
-        let (d, p) = dap.into_parts();
-        (d, Some(p))
-    } else {
-        (res.into_distances(), None)
-    }
+    res.into_distances_and_parents()
 }
 
 /// Monomorphic dispatch of the generic algebra engine over the planner's
@@ -1003,6 +1086,7 @@ pub struct Plan {
     pub cores: usize,
     partitions: Option<usize>,
     validate: bool,
+    checkpoint: Option<CheckpointSpec>,
     notes: Vec<PlanNote>,
     projection: Option<Projection>,
 }
@@ -1036,7 +1120,33 @@ impl Plan {
         if !self.validate {
             cfg = cfg.without_validation();
         }
+        if let Some(spec) = &self.checkpoint {
+            cfg = cfg.with_checkpoints(spec.clone());
+        }
         cfg
+    }
+
+    /// Attaches (or replaces) a checkpoint/resume spec on an existing
+    /// plan — the plan-level twin of [`Problem::checkpoint`].
+    pub fn with_checkpoints(mut self, spec: CheckpointSpec) -> Self {
+        self.checkpoint = Some(spec);
+        self
+    }
+
+    /// Resumes this plan's solve from the latest committed round under
+    /// `dir`, keeping any snapshot policy already attached — the
+    /// plan-level twin of [`Problem::resume`].
+    pub fn resume(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        let dir = dir.into();
+        self.checkpoint = Some(match self.checkpoint.take() {
+            Some(mut spec) => {
+                spec.dir = dir;
+                spec.resume = true;
+                spec
+            }
+            None => CheckpointSpec::resume_from(dir),
+        });
+        self
     }
 
     /// Human-readable description of the kernel tier the solve will run:

@@ -19,6 +19,9 @@ pub enum ApspError {
     /// The underlying engine failed (injected fault exhausted retries,
     /// side-channel blob lost, …).
     Engine(SparkError),
+    /// Checkpoint write, read, or validation failed (corrupt frame,
+    /// geometry mismatch, no committed round to resume from, …).
+    Checkpoint(String),
 }
 
 impl std::fmt::Display for ApspError {
@@ -27,6 +30,7 @@ impl std::fmt::Display for ApspError {
             ApspError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             ApspError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
             ApspError::Engine(e) => write!(f, "engine error: {e}"),
+            ApspError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }
@@ -63,6 +67,10 @@ pub struct SolverConfig {
     /// tracking costs one `u32` per cell plus the tracked-kernel overhead
     /// measured in `EXPERIMENTS.md`.
     pub track_paths: bool,
+    /// Round-granular checkpointing and resume (see
+    /// [`crate::checkpoint::CheckpointSpec`]). `None` (default) runs
+    /// without checkpoints.
+    pub checkpoint: Option<crate::checkpoint::CheckpointSpec>,
 }
 
 impl SolverConfig {
@@ -76,6 +84,7 @@ impl SolverConfig {
             validate_input: true,
             kernel: MinPlusKernel::Auto,
             track_paths: false,
+            checkpoint: None,
         }
     }
 
@@ -170,6 +179,13 @@ impl SolverConfig {
         self
     }
 
+    /// Enables round-granular checkpointing (and, when
+    /// `spec.resume` is set, resuming) under `spec`.
+    pub fn with_checkpoints(mut self, spec: crate::checkpoint::CheckpointSpec) -> Self {
+        self.checkpoint = Some(spec);
+        self
+    }
+
     /// Effective partition count for a context.
     pub fn partitions_for(&self, ctx: &SparkContext) -> usize {
         self.num_partitions.unwrap_or(2 * ctx.num_cores()).max(1)
@@ -246,6 +262,13 @@ impl ApspResult {
     pub fn into_paths(self) -> Option<DistancesAndParents> {
         let parents = self.parents?;
         Some(DistancesAndParents::new(self.distances, parents))
+    }
+
+    /// Consumes the result into the distance matrix plus the parent
+    /// matrix when one was tracked — the panic-free splitter the query
+    /// layer builds [`crate::plan::Solution`] from.
+    pub fn into_distances_and_parents(self) -> (Matrix, Option<ParentMatrix>) {
+        (self.distances, self.parents)
     }
 }
 

@@ -1,0 +1,272 @@
+//! Deterministic fault injection ("chaos") above the runtime.
+//!
+//! [`FailurePlan`](crate::SparkContext::inject_task_failure) injects a fixed
+//! number of failures into one named task; chaos schedules instead draw
+//! faults from a seeded hash so that *every* task launch and side-channel
+//! read is a potential failure site. Determinism contract: the decision for
+//! a given fault site depends only on `(seed, site identity, occurrence
+//! number at that site)` — never on thread interleaving — so a schedule
+//! replays identically across runs and core counts.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A seeded schedule of runtime faults. All rates are probabilities in
+/// `[0, 1]` evaluated independently per fault site (see module docs for
+/// the determinism contract).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ChaosConfig {
+    /// Seed for the fault schedule; same seed → same schedule.
+    pub seed: u64,
+    /// Probability that a task launch fails (recoverable: the scheduler
+    /// retries, and the occurrence counter advances so the retry redraws).
+    pub task_failure_rate: f64,
+    /// Probability that a side-channel read fails transiently.
+    pub transient_read_rate: f64,
+    /// Probability that a side-channel read finds its blob deleted
+    /// (permanent: the blob is really removed, so retries keep missing).
+    pub missing_key_rate: f64,
+    /// Probability that a side-channel read observes a corrupted blob.
+    pub corrupt_rate: f64,
+    /// Number of clean side-channel reads before read faults arm
+    /// (task faults are always armed). Lets a schedule let a solve make
+    /// checkpointable progress before the storage starts failing.
+    pub arm_after_reads: u64,
+}
+
+impl ChaosConfig {
+    /// A schedule with the given seed and no faults; add rates with the
+    /// builder methods.
+    pub fn new(seed: u64) -> Self {
+        ChaosConfig {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Fail task launches with probability `rate`.
+    pub fn task_failures(mut self, rate: f64) -> Self {
+        self.task_failure_rate = rate;
+        self
+    }
+
+    /// Fail side-channel reads transiently with probability `rate`.
+    pub fn transient_reads(mut self, rate: f64) -> Self {
+        self.transient_read_rate = rate;
+        self
+    }
+
+    /// Permanently delete side-channel blobs at read time with
+    /// probability `rate`.
+    pub fn missing_keys(mut self, rate: f64) -> Self {
+        self.missing_key_rate = rate;
+        self
+    }
+
+    /// Corrupt side-channel blobs at read time with probability `rate`.
+    pub fn corrupt_blocks(mut self, rate: f64) -> Self {
+        self.corrupt_rate = rate;
+        self
+    }
+
+    /// Keep the first `n` side-channel reads clean before arming read
+    /// faults.
+    pub fn arm_after_reads(mut self, n: u64) -> Self {
+        self.arm_after_reads = n;
+        self
+    }
+}
+
+/// What a chaos draw decided for one side-channel read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ReadFault {
+    /// Fail this read only; the blob survives.
+    Transient,
+    /// Delete the blob, then let the read miss (and keep missing).
+    Missing,
+    /// Corrupt the stored blob before the read observes it.
+    Corrupt,
+}
+
+/// Shared chaos state: the config plus per-site occurrence counters.
+#[derive(Debug, Default)]
+pub(crate) struct ChaosState {
+    cfg: ChaosConfig,
+    /// Launches seen per (rdd, partition) task site.
+    task_counts: Mutex<HashMap<(usize, usize), u64>>,
+    /// Reads seen per blob key.
+    read_counts: Mutex<HashMap<String, u64>>,
+    /// Total reads seen (for `arm_after_reads`).
+    total_reads: Mutex<u64>,
+}
+
+/// FNV-1a over bytes — stable, dependency-free site hashing.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer: turns a site/occurrence hash into a uniform draw.
+fn unit_draw(x: u64) -> f64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl ChaosState {
+    pub(crate) fn new(cfg: ChaosConfig) -> Self {
+        ChaosState {
+            cfg,
+            ..Default::default()
+        }
+    }
+
+    fn draw(&self, site: u64, occurrence: u64) -> f64 {
+        unit_draw(
+            self.cfg
+                .seed
+                .wrapping_mul(0x2545_f491_4f6c_dd1d)
+                .wrapping_add(site)
+                .rotate_left(17)
+                .wrapping_add(occurrence),
+        )
+    }
+
+    /// Should this launch of task `(rdd, partition)` fail?
+    pub(crate) fn task_should_fail(&self, rdd: usize, partition: usize) -> bool {
+        if self.cfg.task_failure_rate <= 0.0 {
+            return false;
+        }
+        let occurrence = {
+            let mut counts = self.task_counts.lock().unwrap();
+            let c = counts.entry((rdd, partition)).or_insert(0);
+            let now = *c;
+            *c += 1;
+            now
+        };
+        let site = fnv1a64(format!("task:{rdd}:{partition}").as_bytes());
+        self.draw(site, occurrence) < self.cfg.task_failure_rate
+    }
+
+    /// Draw the fault (if any) for this read of blob `key`.
+    pub(crate) fn read_fault(&self, key: &str) -> Option<ReadFault> {
+        let any_rate =
+            self.cfg.transient_read_rate + self.cfg.missing_key_rate + self.cfg.corrupt_rate;
+        if any_rate <= 0.0 {
+            return None;
+        }
+        {
+            let mut total = self.total_reads.lock().unwrap();
+            let seen = *total;
+            *total += 1;
+            if seen < self.cfg.arm_after_reads {
+                return None;
+            }
+        }
+        let occurrence = {
+            let mut counts = self.read_counts.lock().unwrap();
+            let c = counts.entry(key.to_string()).or_insert(0);
+            let now = *c;
+            *c += 1;
+            now
+        };
+        let site = fnv1a64(format!("read:{key}").as_bytes());
+        let u = self.draw(site, occurrence);
+        if u < self.cfg.transient_read_rate {
+            Some(ReadFault::Transient)
+        } else if u < self.cfg.transient_read_rate + self.cfg.missing_key_rate {
+            Some(ReadFault::Missing)
+        } else if u < any_rate {
+            Some(ReadFault::Corrupt)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_site_same_decision() {
+        let a = ChaosState::new(ChaosConfig::new(42).task_failures(0.5));
+        let b = ChaosState::new(ChaosConfig::new(42).task_failures(0.5));
+        let seq_a: Vec<bool> = (0..64).map(|_| a.task_should_fail(3, 1)).collect();
+        let seq_b: Vec<bool> = (0..64).map(|_| b.task_should_fail(3, 1)).collect();
+        assert_eq!(seq_a, seq_b);
+        assert!(seq_a.iter().any(|&f| f), "rate 0.5 over 64 draws must fire");
+        assert!(seq_a.iter().any(|&f| !f), "rate 0.5 over 64 draws must pass");
+    }
+
+    #[test]
+    fn decisions_are_independent_of_interleaving() {
+        // Site (3,1) draws the same sequence whether or not other sites
+        // are interrogated in between.
+        let a = ChaosState::new(ChaosConfig::new(7).task_failures(0.5));
+        let b = ChaosState::new(ChaosConfig::new(7).task_failures(0.5));
+        let seq_a: Vec<bool> = (0..32).map(|_| a.task_should_fail(3, 1)).collect();
+        let seq_b: Vec<bool> = (0..32)
+            .map(|_| {
+                b.task_should_fail(0, 0);
+                b.task_should_fail(9, 4);
+                b.task_should_fail(3, 1)
+            })
+            .collect();
+        assert_eq!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ChaosState::new(ChaosConfig::new(1).task_failures(0.5));
+        let b = ChaosState::new(ChaosConfig::new(2).task_failures(0.5));
+        let seq_a: Vec<bool> = (0..128).map(|_| a.task_should_fail(0, 0)).collect();
+        let seq_b: Vec<bool> = (0..128).map(|_| b.task_should_fail(0, 0)).collect();
+        assert_ne!(seq_a, seq_b);
+    }
+
+    #[test]
+    fn read_faults_partition_by_rate_bands() {
+        let s = ChaosState::new(
+            ChaosConfig::new(99)
+                .transient_reads(0.2)
+                .missing_keys(0.2)
+                .corrupt_blocks(0.2),
+        );
+        let mut seen = [0usize; 4];
+        for i in 0..400 {
+            let key = format!("blk:{}", i % 10);
+            match s.read_fault(&key) {
+                None => seen[0] += 1,
+                Some(ReadFault::Transient) => seen[1] += 1,
+                Some(ReadFault::Missing) => seen[2] += 1,
+                Some(ReadFault::Corrupt) => seen[3] += 1,
+            }
+        }
+        assert!(seen.iter().all(|&c| c > 0), "all bands drawn: {seen:?}");
+    }
+
+    #[test]
+    fn arming_delay_keeps_early_reads_clean() {
+        let s = ChaosState::new(ChaosConfig::new(5).missing_keys(1.0).arm_after_reads(10));
+        for i in 0..10 {
+            assert_eq!(s.read_fault(&format!("k{i}")), None, "read {i} must be clean");
+        }
+        assert_eq!(s.read_fault("k10"), Some(ReadFault::Missing));
+    }
+
+    #[test]
+    fn zero_rates_draw_nothing_and_count_nothing() {
+        let s = ChaosState::new(ChaosConfig::new(0));
+        assert!(!s.task_should_fail(0, 0));
+        assert_eq!(s.read_fault("k"), None);
+        assert!(s.task_counts.lock().unwrap().is_empty());
+        assert!(s.read_counts.lock().unwrap().is_empty());
+    }
+}

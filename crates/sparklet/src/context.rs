@@ -1,5 +1,6 @@
 //! The driver-side entry point: context, configuration, job execution.
 
+use crate::chaos::{ChaosConfig, ChaosState};
 use crate::error::SparkResult;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::rdd::{Rdd, RddInner};
@@ -21,6 +22,9 @@ pub struct SparkConfig {
     /// Maximum attempts per task before the job fails
     /// (Spark's `spark.task.maxFailures`, default 4).
     pub max_task_attempts: usize,
+    /// Base delay before a task retry, in milliseconds; each further
+    /// retry doubles it (capped at 64× base). `0` disables backoff.
+    pub retry_backoff_ms: u64,
     /// Where the shared-storage side channel keeps block blobs.
     pub side_channel_backend: crate::sidechannel::SideChannelBackend,
 }
@@ -31,6 +35,7 @@ impl SparkConfig {
         SparkConfig {
             num_cores: num_cores.max(1),
             max_task_attempts: 4,
+            retry_backoff_ms: 1,
             side_channel_backend: Default::default(),
         }
     }
@@ -38,6 +43,12 @@ impl SparkConfig {
     /// Sets the per-task attempt limit.
     pub fn max_task_attempts(mut self, attempts: usize) -> Self {
         self.max_task_attempts = attempts.max(1);
+        self
+    }
+
+    /// Sets the base retry backoff delay (milliseconds; `0` disables).
+    pub fn retry_backoff_ms(mut self, ms: u64) -> Self {
+        self.retry_backoff_ms = ms;
         self
     }
 
@@ -93,6 +104,8 @@ pub(crate) struct CtxInner {
     pub(crate) side: SideChannel,
     pub(crate) failures: FailurePlan,
     pub(crate) config: SparkConfig,
+    /// Installed chaos schedule, shared with the side channel(s).
+    pub(crate) chaos: Arc<Mutex<Option<Arc<ChaosState>>>>,
     next_id: AtomicUsize,
 }
 
@@ -101,8 +114,16 @@ impl CtxInner {
         self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 
+    /// The installed chaos schedule, if any.
+    pub(crate) fn chaos(&self) -> Option<Arc<ChaosState>> {
+        self.chaos.lock().clone()
+    }
+
     /// Runs one task (a partition of `rdd`'s pipelined narrow chain) with
-    /// the configured retry budget. Lineage recovery = recompute.
+    /// the configured retry budget and exponential backoff between
+    /// attempts. Lineage recovery = recompute. A task that exhausts its
+    /// budget fails the job with the final error wrapped in scheduling
+    /// context ([`crate::SparkError::TaskFailed`]).
     pub(crate) fn run_task<T: Data>(
         &self,
         rdd: &Arc<RddInner<T>>,
@@ -117,9 +138,14 @@ impl CtxInner {
                 Err(e) => {
                     attempt += 1;
                     if attempt >= max {
-                        return Err(e);
+                        return Err(e.with_task_context(rdd.name, rdd.id, partition, attempt));
                     }
                     self.metrics.add(&self.metrics.task_retries, 1);
+                    let base = self.config.retry_backoff_ms;
+                    if base > 0 {
+                        let factor = 1u64 << (attempt as u32 - 1).min(6);
+                        std::thread::sleep(std::time::Duration::from_millis(base * factor));
+                    }
                 }
             }
         }
@@ -182,13 +208,20 @@ impl SparkContext {
             .build()
             .expect("failed to build executor pool");
         let metrics = Arc::new(Metrics::default());
+        let chaos: Arc<Mutex<Option<Arc<ChaosState>>>> = Arc::new(Mutex::new(None));
         SparkContext {
             inner: Arc::new(CtxInner {
                 pool,
-                side: SideChannel::new(metrics.clone(), config.side_channel_backend.clone()),
+                side: SideChannel::new(
+                    metrics.clone(),
+                    config.side_channel_backend.clone(),
+                    chaos.clone(),
+                )
+                .expect("cannot create side-channel directory"),
                 metrics,
                 failures: FailurePlan::new(),
                 config,
+                chaos,
                 next_id: AtomicUsize::new(0),
             }),
         }
@@ -270,6 +303,53 @@ impl SparkContext {
     /// The shared-persistent-storage side channel (GPFS stand-in).
     pub fn side_channel(&self) -> &SideChannel {
         &self.inner.side
+    }
+
+    /// Opens an additional disk-backed [`SideChannel`] under `dir`, sharing
+    /// this context's metrics and chaos schedule. Used for checkpoint
+    /// directories, which must stay separate from the per-round staging
+    /// blobs (the solvers assert the main channel is empty after a solve).
+    pub fn open_side_channel(
+        &self,
+        dir: impl Into<std::path::PathBuf>,
+    ) -> SparkResult<SideChannel> {
+        SideChannel::new(
+            self.inner.metrics.clone(),
+            crate::sidechannel::SideChannelBackend::Disk(dir.into()),
+            self.inner.chaos.clone(),
+        )
+    }
+
+    /// Installs a deterministic chaos schedule: every task launch and
+    /// side-channel read from now on may fault per `config`'s rates.
+    /// Replaces any previously installed schedule (with fresh occurrence
+    /// counters).
+    pub fn install_chaos(&self, config: ChaosConfig) {
+        *self.inner.chaos.lock() = Some(Arc::new(ChaosState::new(config)));
+    }
+
+    /// Removes the installed chaos schedule; subsequent operations run
+    /// clean. Damage already done (deleted or corrupted blobs) persists.
+    pub fn clear_chaos(&self) {
+        *self.inner.chaos.lock() = None;
+    }
+
+    /// Records a committed checkpoint snapshot of `bytes` bytes.
+    pub fn note_checkpoint(&self, bytes: u64) {
+        self.inner
+            .metrics
+            .add(&self.inner.metrics.checkpoints_written, 1);
+        self.inner
+            .metrics
+            .add(&self.inner.metrics.checkpoint_bytes, bytes);
+    }
+
+    /// Records `rounds` engine rounds skipped thanks to a resumed
+    /// checkpoint.
+    pub fn note_rounds_resumed(&self, rounds: u64) {
+        self.inner
+            .metrics
+            .add(&self.inner.metrics.rounds_resumed, rounds);
     }
 
     /// Point-in-time copy of the engine counters.

@@ -60,6 +60,7 @@
 
 mod accumulator;
 mod broadcast;
+mod chaos;
 mod context;
 mod error;
 mod metrics;
@@ -72,6 +73,7 @@ mod size;
 
 pub use accumulator::{DoubleAccumulator, LongAccumulator};
 pub use broadcast::Broadcast;
+pub use chaos::ChaosConfig;
 pub use context::{SparkConfig, SparkContext};
 pub use error::{SparkError, SparkResult};
 pub use metrics::{Metrics, MetricsSnapshot};

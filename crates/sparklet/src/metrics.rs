@@ -36,6 +36,12 @@ pub struct Metrics {
     pub cache_hits: AtomicU64,
     /// Records collected back to the driver by actions.
     pub collected_records: AtomicU64,
+    /// Round-granular checkpoint snapshots committed.
+    pub checkpoints_written: AtomicU64,
+    /// Bytes written into checkpoint snapshots (framed, with headers).
+    pub checkpoint_bytes: AtomicU64,
+    /// Rounds skipped on resume because a checkpoint restored them.
+    pub rounds_resumed: AtomicU64,
 }
 
 impl Metrics {
@@ -60,6 +66,9 @@ impl Metrics {
             side_channel_bytes_read: self.side_channel_bytes_read.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             collected_records: self.collected_records.load(Ordering::Relaxed),
+            checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
+            checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
+            rounds_resumed: self.rounds_resumed.load(Ordering::Relaxed),
         }
     }
 }
@@ -82,6 +91,9 @@ pub struct MetricsSnapshot {
     pub side_channel_bytes_read: u64,
     pub cache_hits: u64,
     pub collected_records: u64,
+    pub checkpoints_written: u64,
+    pub checkpoint_bytes: u64,
+    pub rounds_resumed: u64,
 }
 
 impl MetricsSnapshot {
@@ -103,6 +115,9 @@ impl MetricsSnapshot {
             side_channel_bytes_read: self.side_channel_bytes_read - before.side_channel_bytes_read,
             cache_hits: self.cache_hits - before.cache_hits,
             collected_records: self.collected_records - before.collected_records,
+            checkpoints_written: self.checkpoints_written - before.checkpoints_written,
+            checkpoint_bytes: self.checkpoint_bytes - before.checkpoint_bytes,
+            rounds_resumed: self.rounds_resumed - before.rounds_resumed,
         }
     }
 
@@ -126,11 +141,17 @@ mod tests {
         let a = m.snapshot();
         m.add(&m.tasks, 3);
         m.add(&m.shuffle_bytes, 100);
+        m.add(&m.checkpoints_written, 2);
+        m.add(&m.checkpoint_bytes, 4096);
+        m.add(&m.rounds_resumed, 1);
         let b = m.snapshot();
         let d = b.delta(&a);
         assert_eq!(d.tasks, 3);
         assert_eq!(d.shuffle_bytes, 100);
         assert_eq!(d.jobs, 0);
+        assert_eq!(d.checkpoints_written, 2);
+        assert_eq!(d.checkpoint_bytes, 4096);
+        assert_eq!(d.rounds_resumed, 1);
     }
 
     #[test]

@@ -36,6 +36,14 @@ impl<T: Data> RddInner<T> {
                 partition: p,
             });
         }
+        if let Some(chaos) = self.ctx.chaos() {
+            if chaos.task_should_fail(self.id, p) {
+                return Err(crate::SparkError::InjectedFailure {
+                    rdd: self.id,
+                    partition: p,
+                });
+            }
+        }
         if self.use_cache.load(Ordering::Relaxed) {
             // Holding the partition lock during compute also serializes
             // concurrent recomputation of the same partition.
@@ -580,9 +588,14 @@ mod tests {
                 Ok(x)
             }
         });
+        // Exhausted retries arrive wrapped in task context; the original
+        // user error stays reachable through `root()`.
         match rdd.collect() {
-            Err(crate::SparkError::User(msg)) => assert_eq!(msg, "boom"),
-            other => panic!("expected user error, got {other:?}"),
+            Err(e) => match e.root() {
+                crate::SparkError::User(msg) => assert_eq!(msg, "boom"),
+                other => panic!("expected user error at the root, got {other:?}"),
+            },
+            Ok(v) => panic!("expected user error, got {v:?}"),
         }
     }
 

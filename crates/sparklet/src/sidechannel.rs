@@ -7,14 +7,19 @@
 //! lineage: if the blobs disappear, recomputed tasks cannot reproduce them
 //! — which is precisely why the paper classifies those solvers as "impure"
 //! / not fault-tolerant. [`SideChannel`] models the mechanism: a keyed blob
-//! store with byte accounting and an availability switch + deletion for
-//! fault-injection experiments.
+//! store with byte accounting, an availability switch + deletion for
+//! fault-injection experiments, and (on the disk backend) versioned,
+//! checksummed frames so corruption at rest is *detected* rather than
+//! silently decoded into garbage distances.
 
+use crate::chaos::{ChaosState, ReadFault};
 use crate::error::{SparkError, SparkResult};
 use crate::metrics::Metrics;
 use crate::size::EstimateSize;
 use crate::Data;
+use apsp_blockmat::serialize::{self, FRAME_KIND_BLOCK};
 use apsp_blockmat::Block;
+use bytes::Bytes;
 use parking_lot::Mutex;
 use std::any::Any;
 use std::collections::HashMap;
@@ -24,6 +29,11 @@ use std::sync::Arc;
 
 type Blob = Arc<dyn Any + Send + Sync>;
 
+/// Marker blob installed by the chaos harness in place of an in-memory
+/// typed blob it decided to corrupt (typed blobs have no byte
+/// representation to flip, so corruption is modeled at read time).
+struct CorruptedBlob;
+
 /// Where staged blobs physically live.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub enum SideChannelBackend {
@@ -32,8 +42,8 @@ pub enum SideChannelBackend {
     Memory,
     /// Real files under a directory — the paper's actual mechanism
     /// (`block.tofile()` onto GPFS). Only the block-typed API
-    /// ([`SideChannel::put_block`] / [`SideChannel::get_block_arc`]) uses
-    /// the disk; generic typed blobs stay in memory.
+    /// ([`SideChannel::put_block`] / [`SideChannel::get_block_arc`]) and
+    /// the raw-bytes API use the disk; generic typed blobs stay in memory.
     Disk(PathBuf),
 }
 
@@ -44,19 +54,31 @@ pub struct SideChannel {
     metrics: Arc<Metrics>,
     available: AtomicBool,
     backend: SideChannelBackend,
+    /// Chaos schedule shared with the owning context ([`None`] = no chaos).
+    chaos: Arc<Mutex<Option<Arc<ChaosState>>>>,
 }
 
 impl SideChannel {
-    pub(crate) fn new(metrics: Arc<Metrics>, backend: SideChannelBackend) -> Self {
+    pub(crate) fn new(
+        metrics: Arc<Metrics>,
+        backend: SideChannelBackend,
+        chaos: Arc<Mutex<Option<Arc<ChaosState>>>>,
+    ) -> SparkResult<Self> {
         if let SideChannelBackend::Disk(dir) = &backend {
-            std::fs::create_dir_all(dir).expect("cannot create side-channel directory");
+            std::fs::create_dir_all(dir).map_err(|e| {
+                SparkError::User(format!(
+                    "cannot create side-channel directory {}: {e}",
+                    dir.display()
+                ))
+            })?;
         }
-        SideChannel {
+        Ok(SideChannel {
             blobs: Mutex::new(HashMap::new()),
             metrics,
             available: AtomicBool::new(true),
             backend,
-        }
+            chaos,
+        })
     }
 
     /// The configured backend.
@@ -64,45 +86,219 @@ impl SideChannel {
         &self.backend
     }
 
+    /// Short human-readable backend label (`"memory"` or `"disk:<dir>"`).
+    pub fn backend_name(&self) -> String {
+        match &self.backend {
+            SideChannelBackend::Memory => "memory".to_string(),
+            SideChannelBackend::Disk(dir) => format!("disk:{}", dir.display()),
+        }
+    }
+
     fn disk_path(dir: &std::path::Path, key: &str) -> PathBuf {
         // Keys use ':' separators; keep filenames portable.
         dir.join(key.replace([':', '/'], "_"))
     }
 
-    /// Stages a matrix block. On the [`SideChannelBackend::Disk`] backend
-    /// this writes the block's binary serialization to a real file — the
-    /// paper's `tofile()` path — otherwise it is an in-memory blob.
-    pub fn put_block(&self, key: impl Into<String>, value: Block) {
-        let key = key.into();
-        match &self.backend {
-            SideChannelBackend::Memory => self.put(key, value),
-            SideChannelBackend::Disk(dir) => {
-                let bytes = value.to_bytes();
-                self.metrics.add(&self.metrics.side_channel_writes, 1);
-                self.metrics
-                    .add(&self.metrics.side_channel_bytes_written, bytes.len() as u64);
-                std::fs::write(Self::disk_path(dir, &key), &bytes)
-                    .expect("side-channel write failed");
+    /// Every key currently stored (memory blob keys plus, on the disk
+    /// backend, the staged file names — which have `:` mapped to `_`).
+    pub fn keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self.blobs.lock().keys().cloned().collect();
+        if let SideChannelBackend::Disk(dir) = &self.backend {
+            if let Ok(entries) = std::fs::read_dir(dir) {
+                for e in entries.flatten() {
+                    keys.push(e.file_name().to_string_lossy().into_owned());
+                }
+            }
+        }
+        keys.sort();
+        keys.dedup();
+        keys
+    }
+
+    /// Builds the diagnostic miss error for `key`: names the backend and
+    /// the stored keys sharing the longest prefix with the missing one.
+    fn miss_error(&self, key: &str) -> SparkError {
+        let probe = match &self.backend {
+            SideChannelBackend::Memory => key.to_string(),
+            // Disk keys are listed in filename form; compare like with like.
+            SideChannelBackend::Disk(_) => key.replace([':', '/'], "_"),
+        };
+        let lcp = |a: &str, b: &str| {
+            a.bytes()
+                .zip(b.bytes())
+                .take_while(|(x, y)| x == y)
+                .count()
+        };
+        let mut nearest = self.keys();
+        nearest.retain(|k| k != key && k != &probe);
+        nearest.sort_by(|a, b| lcp(b, &probe).cmp(&lcp(a, &probe)).then_with(|| a.cmp(b)));
+        nearest.truncate(3);
+        SparkError::SideChannelMiss {
+            key: key.to_string(),
+            backend: self.backend_name(),
+            nearest,
+        }
+    }
+
+    /// Applies the installed chaos schedule (if any) to a read of `key`.
+    /// Transient faults fail just this read; missing-key faults really
+    /// delete the blob first (so retries keep missing); corruption faults
+    /// flip stored bytes where a byte representation exists, else poison
+    /// the typed blob.
+    fn apply_read_fault(&self, key: &str) -> SparkResult<()> {
+        let state = self.chaos.lock().clone();
+        let Some(state) = state else { return Ok(()) };
+        match state.read_fault(key) {
+            None => Ok(()),
+            Some(ReadFault::Transient) => Err(SparkError::SideChannelTransient {
+                key: key.to_string(),
+            }),
+            Some(ReadFault::Missing) => {
+                self.remove(key);
+                Ok(())
+            }
+            Some(ReadFault::Corrupt) => {
+                self.corrupt(key);
+                Ok(())
             }
         }
     }
 
-    /// Fetches a staged matrix block.
+    /// Corrupts the stored representation of `key` in place (chaos only).
+    fn corrupt(&self, key: &str) {
+        if let SideChannelBackend::Disk(dir) = &self.backend {
+            let path = Self::disk_path(dir, key);
+            if let Ok(mut raw) = std::fs::read(&path) {
+                if let Some(last) = raw.last_mut() {
+                    *last ^= 0xFF;
+                    let _ = std::fs::write(&path, &raw);
+                    return;
+                }
+            }
+        }
+        let mut blobs = self.blobs.lock();
+        if let Some(blob) = blobs.get(key) {
+            if let Some(bytes) = blob.downcast_ref::<Bytes>() {
+                let mut raw = bytes.to_vec();
+                if let Some(last) = raw.last_mut() {
+                    *last ^= 0xFF;
+                }
+                blobs.insert(key.to_string(), Arc::new(Bytes::from(raw)));
+            } else {
+                blobs.insert(key.to_string(), Arc::new(CorruptedBlob));
+            }
+        }
+    }
+
+    /// Stages a matrix block. On the [`SideChannelBackend::Disk`] backend
+    /// this writes the block's binary serialization to a real file — the
+    /// paper's `tofile()` path — wrapped in a versioned, checksummed
+    /// frame; otherwise it is an in-memory blob.
+    pub fn put_block(&self, key: impl Into<String>, value: Block) -> SparkResult<()> {
+        let key = key.into();
+        match &self.backend {
+            SideChannelBackend::Memory => {
+                self.put(key, value);
+                Ok(())
+            }
+            SideChannelBackend::Disk(dir) => {
+                let framed = serialize::frame(FRAME_KIND_BLOCK, &value.to_bytes());
+                self.metrics.add(&self.metrics.side_channel_writes, 1);
+                self.metrics
+                    .add(&self.metrics.side_channel_bytes_written, framed.len() as u64);
+                std::fs::write(Self::disk_path(dir, &key), &framed).map_err(|e| {
+                    SparkError::User(format!("side-channel write failed for '{key}': {e}"))
+                })
+            }
+        }
+    }
+
+    /// Fetches a staged matrix block. Disk-backed blobs are integrity
+    /// checked: a frame that fails its checksum (or carries a foreign
+    /// version) surfaces [`SparkError::SideChannelCorrupt`] instead of
+    /// decoding garbage.
     pub fn get_block_arc(&self, key: &str) -> SparkResult<Arc<Block>> {
         match &self.backend {
             SideChannelBackend::Memory => self.get_arc::<Block>(key),
             SideChannelBackend::Disk(dir) => {
                 if !self.available.load(Ordering::Relaxed) {
-                    return Err(SparkError::SideChannelMiss { key: key.into() });
+                    return Err(self.miss_error(key));
                 }
+                self.apply_read_fault(key)?;
                 let bytes = std::fs::read(Self::disk_path(dir, key))
-                    .map_err(|_| SparkError::SideChannelMiss { key: key.into() })?;
-                let blk = Block::from_bytes(&bytes)
-                    .map_err(|_| SparkError::SideChannelType { key: key.into() })?;
+                    .map_err(|_| self.miss_error(key))?;
+                let corrupt = |detail: String| SparkError::SideChannelCorrupt {
+                    key: key.to_string(),
+                    detail,
+                };
+                let (kind, body) =
+                    serialize::unframe(&bytes).map_err(|e| corrupt(e.to_string()))?;
+                if kind != FRAME_KIND_BLOCK {
+                    return Err(corrupt(format!("expected a block frame, found kind {kind}")));
+                }
+                let blk = Block::from_bytes(body).map_err(|e| corrupt(e.to_string()))?;
                 self.metrics.add(&self.metrics.side_channel_reads, 1);
                 self.metrics
                     .add(&self.metrics.side_channel_bytes_read, bytes.len() as u64);
                 Ok(Arc::new(blk))
+            }
+        }
+    }
+
+    /// Stores raw bytes under `key` (checkpoint frames, opaque payloads).
+    /// Hits the disk on the [`SideChannelBackend::Disk`] backend.
+    pub fn put_bytes(&self, key: impl Into<String>, value: Bytes) -> SparkResult<()> {
+        let key = key.into();
+        self.metrics.add(&self.metrics.side_channel_writes, 1);
+        self.metrics
+            .add(&self.metrics.side_channel_bytes_written, value.len() as u64);
+        match &self.backend {
+            SideChannelBackend::Memory => {
+                self.blobs.lock().insert(key, Arc::new(value));
+                Ok(())
+            }
+            SideChannelBackend::Disk(dir) => std::fs::write(Self::disk_path(dir, &key), &value)
+                .map_err(|e| {
+                    SparkError::User(format!("side-channel write failed for '{key}': {e}"))
+                }),
+        }
+    }
+
+    /// Reads raw bytes stored by [`SideChannel::put_bytes`]. Performs no
+    /// integrity check itself — callers framing their payloads (the
+    /// checkpoint store) verify the checksum on decode.
+    pub fn get_bytes(&self, key: &str) -> SparkResult<Bytes> {
+        if !self.available.load(Ordering::Relaxed) {
+            return Err(self.miss_error(key));
+        }
+        self.apply_read_fault(key)?;
+        match &self.backend {
+            SideChannelBackend::Memory => {
+                // Guard dropped before `miss_error` re-locks for its
+                // nearest-key diagnostics.
+                let blob = self.blobs.lock().get(key).cloned();
+                let blob = blob.ok_or_else(|| self.miss_error(key))?;
+                if blob.downcast_ref::<CorruptedBlob>().is_some() {
+                    return Err(SparkError::SideChannelCorrupt {
+                        key: key.to_string(),
+                        detail: "blob poisoned by chaos schedule".to_string(),
+                    });
+                }
+                let typed = blob
+                    .downcast::<Bytes>()
+                    .map_err(|_| SparkError::SideChannelType { key: key.into() })?;
+                self.metrics.add(&self.metrics.side_channel_reads, 1);
+                self.metrics
+                    .add(&self.metrics.side_channel_bytes_read, typed.len() as u64);
+                Ok((*typed).clone())
+            }
+            SideChannelBackend::Disk(dir) => {
+                let raw = std::fs::read(Self::disk_path(dir, key))
+                    .map_err(|_| self.miss_error(key))?;
+                self.metrics.add(&self.metrics.side_channel_reads, 1);
+                self.metrics
+                    .add(&self.metrics.side_channel_bytes_read, raw.len() as u64);
+                Ok(Bytes::from(raw))
             }
         }
     }
@@ -124,14 +320,19 @@ impl SideChannel {
     /// or the storage is unavailable — the impure solvers' failure mode.
     pub fn get_arc<T: Data + EstimateSize>(&self, key: &str) -> SparkResult<Arc<T>> {
         if !self.available.load(Ordering::Relaxed) {
-            return Err(SparkError::SideChannelMiss { key: key.into() });
+            return Err(self.miss_error(key));
         }
-        let blob = self
-            .blobs
-            .lock()
-            .get(key)
-            .cloned()
-            .ok_or_else(|| SparkError::SideChannelMiss { key: key.into() })?;
+        self.apply_read_fault(key)?;
+        // Drop the map guard before building the miss diagnostic:
+        // `miss_error` enumerates stored keys and takes this lock again.
+        let blob = self.blobs.lock().get(key).cloned();
+        let blob = blob.ok_or_else(|| self.miss_error(key))?;
+        if blob.downcast_ref::<CorruptedBlob>().is_some() {
+            return Err(SparkError::SideChannelCorrupt {
+                key: key.to_string(),
+                detail: "blob poisoned by chaos schedule".to_string(),
+            });
+        }
         let typed = blob
             .downcast::<T>()
             .map_err(|_| SparkError::SideChannelType { key: key.into() })?;
@@ -206,7 +407,7 @@ impl SideChannel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{SparkConfig, SparkContext};
+    use crate::{ChaosConfig, SparkConfig, SparkContext};
 
     #[test]
     fn put_get_roundtrip() {
@@ -220,10 +421,28 @@ mod tests {
     }
 
     #[test]
-    fn miss_is_an_error() {
+    fn miss_is_an_error_naming_backend_and_neighbours() {
         let sc = SparkContext::new(SparkConfig::with_cores(2));
-        let err = sc.side_channel().get::<u64>("nope").unwrap_err();
-        assert_eq!(err, SparkError::SideChannelMiss { key: "nope".into() });
+        let ch = sc.side_channel();
+        ch.put("cb:1:diag", 1u64);
+        ch.put("cb:1:col:2", 2u64);
+        ch.put("unrelated", 3u64);
+        let err = ch.get::<u64>("cb:0:diag").unwrap_err();
+        match err {
+            SparkError::SideChannelMiss {
+                key,
+                backend,
+                nearest,
+            } => {
+                assert_eq!(key, "cb:0:diag");
+                assert_eq!(backend, "memory");
+                assert_eq!(nearest.len(), 3);
+                // The cb-prefixed keys rank before the unrelated one.
+                assert!(nearest[0].starts_with("cb:"), "nearest: {nearest:?}");
+                assert!(nearest[1].starts_with("cb:"), "nearest: {nearest:?}");
+            }
+            other => panic!("expected miss, got {other:?}"),
+        }
     }
 
     #[test]
@@ -288,13 +507,28 @@ mod tests {
     }
 
     #[test]
+    fn raw_bytes_roundtrip_both_backends() {
+        let sc = SparkContext::new(SparkConfig::with_cores(2));
+        let payload = Bytes::from(vec![1u8, 2, 3, 255]);
+        sc.side_channel().put_bytes("raw", payload.clone()).unwrap();
+        assert_eq!(sc.side_channel().get_bytes("raw").unwrap(), payload);
+
+        let dir = std::env::temp_dir().join(format!("sparklet-raw-{}", std::process::id()));
+        let sc = SparkContext::new(SparkConfig::with_cores(2).disk_side_channel(&dir));
+        sc.side_channel().put_bytes("raw", payload.clone()).unwrap();
+        assert_eq!(sc.side_channel().get_bytes("raw").unwrap(), payload);
+        assert!(sc.side_channel().keys().contains(&"raw".to_string()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn disk_backend_roundtrips_blocks() {
         let dir = std::env::temp_dir().join(format!("sparklet-sc-{}", std::process::id()));
         let sc = SparkContext::new(SparkConfig::with_cores(2).disk_side_channel(&dir));
         let ch = sc.side_channel();
         let mut blk = Block::identity(4);
         blk.set(1, 2, 7.5);
-        ch.put_block("col:3", blk.clone());
+        ch.put_block("col:3", blk.clone()).unwrap();
         assert!(ch.contains("col:3"));
         assert_eq!(ch.len(), 1);
         let got = ch.get_block_arc("col:3").unwrap();
@@ -303,8 +537,8 @@ mod tests {
         assert!(dir.join("col_3").exists());
         ch.remove("col:3");
         assert!(!ch.contains("col:3"));
-        ch.put_block("a", Block::infinity(2));
-        ch.put_block("b", Block::infinity(2));
+        ch.put_block("a", Block::infinity(2)).unwrap();
+        ch.put_block("b", Block::infinity(2)).unwrap();
         ch.clear();
         assert!(ch.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
@@ -315,7 +549,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("sparklet-sc-av-{}", std::process::id()));
         let sc = SparkContext::new(SparkConfig::with_cores(2).disk_side_channel(&dir));
         let ch = sc.side_channel();
-        ch.put_block("k", Block::identity(2));
+        ch.put_block("k", Block::identity(2)).unwrap();
         ch.set_available(false);
         assert!(ch.get_block_arc("k").is_err());
         ch.set_available(true);
@@ -328,11 +562,36 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("sparklet-sc-b-{}", std::process::id()));
         let sc = SparkContext::new(SparkConfig::with_cores(2).disk_side_channel(&dir));
         let before = sc.metrics();
-        sc.side_channel().put_block("x", Block::identity(8));
+        sc.side_channel()
+            .put_block("x", Block::identity(8))
+            .unwrap();
         let _ = sc.side_channel().get_block_arc("x").unwrap();
         let d = sc.metrics().delta(&before);
-        assert_eq!(d.side_channel_bytes_written, 8 + 64 * 8);
-        assert_eq!(d.side_channel_bytes_read, 8 + 64 * 8);
+        let framed = (serialize::FRAME_HEADER_LEN + 8 + 64 * 8) as u64;
+        assert_eq!(d.side_channel_bytes_written, framed);
+        assert_eq!(d.side_channel_bytes_read, framed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_corruption_is_detected_by_checksum() {
+        let dir = std::env::temp_dir().join(format!("sparklet-sc-c-{}", std::process::id()));
+        let sc = SparkContext::new(SparkConfig::with_cores(2).disk_side_channel(&dir));
+        let ch = sc.side_channel();
+        ch.put_block("x", Block::identity(4)).unwrap();
+        // Flip one byte of the stored payload on disk.
+        let path = dir.join("x");
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01;
+        std::fs::write(&path, &raw).unwrap();
+        match ch.get_block_arc("x") {
+            Err(SparkError::SideChannelCorrupt { key, detail }) => {
+                assert_eq!(key, "x");
+                assert!(detail.contains("checksum"), "detail: {detail}");
+            }
+            other => panic!("expected corruption error, got {other:?}"),
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -347,8 +606,59 @@ mod tests {
             Ok(x + v)
         });
         match rdd.collect() {
-            Err(SparkError::SideChannelMiss { key }) => assert_eq!(key, "v"),
-            other => panic!("expected miss, got {other:?}"),
+            Err(e) => match e.root() {
+                SparkError::SideChannelMiss { key, .. } => assert_eq!(key, "v"),
+                other => panic!("expected miss at root, got {other:?}"),
+            },
+            other => panic!("expected failure, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn chaos_missing_key_really_deletes() {
+        let sc = SparkContext::new(SparkConfig::with_cores(2));
+        sc.install_chaos(ChaosConfig::new(3).missing_keys(1.0));
+        let ch = sc.side_channel();
+        ch.put("k", 7u64);
+        assert!(matches!(
+            ch.get::<u64>("k").unwrap_err(),
+            SparkError::SideChannelMiss { .. }
+        ));
+        // The blob is gone for good, not just failed once.
+        sc.clear_chaos();
+        assert!(!ch.contains("k"));
+    }
+
+    #[test]
+    fn chaos_transient_fault_clears_on_retry() {
+        let sc = SparkContext::new(SparkConfig::with_cores(2));
+        // Rate 0.5: over 64 draws on the same key both outcomes occur, and
+        // the blob itself survives every one of them.
+        sc.install_chaos(ChaosConfig::new(11).transient_reads(0.5));
+        let ch = sc.side_channel();
+        ch.put("k", 7u64);
+        let outcomes: Vec<bool> = (0..64).map(|_| ch.get::<u64>("k").is_ok()).collect();
+        assert!(outcomes.iter().any(|&ok| ok));
+        assert!(outcomes.iter().any(|&ok| !ok));
+        sc.clear_chaos();
+        assert_eq!(ch.get::<u64>("k").unwrap(), 7);
+    }
+
+    #[test]
+    fn chaos_corruption_poisons_typed_blob() {
+        let sc = SparkContext::new(SparkConfig::with_cores(2));
+        sc.install_chaos(ChaosConfig::new(17).corrupt_blocks(1.0));
+        let ch = sc.side_channel();
+        ch.put("k", 7u64);
+        assert!(matches!(
+            ch.get::<u64>("k").unwrap_err(),
+            SparkError::SideChannelCorrupt { .. }
+        ));
+        // Corruption persists even after the schedule is lifted.
+        sc.clear_chaos();
+        assert!(matches!(
+            ch.get::<u64>("k").unwrap_err(),
+            SparkError::SideChannelCorrupt { .. }
+        ));
     }
 }

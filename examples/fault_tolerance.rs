@@ -52,8 +52,19 @@ fn main() {
     let outcome = BlockedCollectBroadcast.solve(&ctx2, &adj, &SolverConfig::new(8));
     saboteur.join().unwrap();
     match outcome {
-        Err(apspark::core::ApspError::Engine(SparkError::SideChannelMiss { key })) => {
-            println!("Blocked-CB failed unrecoverably once storage vanished (blob '{key}') ✓");
+        Err(apspark::core::ApspError::Engine(e))
+            if matches!(e.root(), SparkError::SideChannelMiss { .. }) =>
+        {
+            // Exhausted retries arrive wrapped in task context (which rdd,
+            // which partition, how many attempts); `root()` digs out the
+            // original storage miss.
+            let SparkError::SideChannelMiss { key, backend, .. } = e.root() else {
+                unreachable!("guard matched SideChannelMiss");
+            };
+            println!(
+                "Blocked-CB failed unrecoverably once storage vanished \
+                 (blob '{key}' on {backend}) ✓\n  full context: {e}"
+            );
         }
         Ok(_) => {
             // Timing-dependent: the solve may have finished before the

@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# No-panic budget guard for the solver core.
+#
+# PR 7 made every error path reachable from `Problem::solve` return a
+# typed `ApspError` instead of panicking: executor tasks fail with
+# `SparkError` and retry, exhausted budgets surface as `TaskFailed`
+# context, checkpoint corruption is `ApspError::Checkpoint`. This guard
+# pins the number of panic-capable call sites in `crates/core/src`
+# *non-test, non-doc-comment* code at zero so none quietly return.
+#
+# Counted: `.unwrap()`, `.expect(`, `panic!(`, `unreachable!(`,
+# `todo!(`, `unimplemented!(`.
+# Excluded: doc comments (`///`, `//!` — examples may unwrap) and
+# everything at or below a `#[cfg(test)]` line (test modules sit at the
+# bottom of each file in this repo).
+#
+# Run from anywhere inside the repo: scripts/no_panic_budget.sh
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BUDGET=0
+
+total=0
+for f in crates/core/src/*.rs; do
+    count=$(awk '/^#\[cfg\(test\)\]/{exit} {print}' "$f" \
+        | grep -vE '^[[:space:]]*(///|//!|//)' \
+        | grep -cE '\.unwrap\(\)|\.expect\(|panic!\(|unreachable!\(|todo!\(|unimplemented!\(' \
+        || true)
+    if [ "$count" -gt 0 ]; then
+        echo "$f: $count panic-capable site(s)"
+    fi
+    total=$((total + count))
+done
+
+echo "panic-capable sites in crates/core/src (non-test): $total (budget: $BUDGET)"
+if [ "$total" -gt "$BUDGET" ]; then
+    echo "NO-PANIC BUDGET VIOLATION: convert the sites above to typed ApspError/SparkError paths"
+    exit 1
+fi
+echo "ok: solver core stays panic-free"

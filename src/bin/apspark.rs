@@ -49,7 +49,13 @@ fn main() -> ExitCode {
                  --auto        let the query planner pick the solver and block size\n               \
                  (prints the Plan::explain() report; --solver becomes a preference)\n\
                  --path SRC DST  track witness paths and print the reconstructed\n               \
-                 SRC -> DST route (implies the planner)"
+                 SRC -> DST route (implies the planner)\n\
+                 --stats       print the engine counters after the solve (tasks,\n               \
+                 retries, shuffles, side channel, checkpoints, resumed rounds)\n\
+                 --checkpoint-dir DIR   snapshot the solve round-by-round into DIR\n\
+                 --checkpoint-every K   snapshot every K rounds (default 1)\n\
+                 --resume      restore the latest committed round from\n               \
+                 --checkpoint-dir and continue from there"
             );
             Ok(())
         }
@@ -72,7 +78,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
             return Err(format!("expected --flag, got '{a}'"));
         };
         match key {
-            "directed" | "auto" => {
+            "directed" | "auto" | "stats" | "resume" => {
                 out.insert(key.into(), "true".into());
             }
             "path" => {
@@ -143,6 +149,47 @@ fn write_distances(m: &apspark::blockmat::Matrix, output: Option<&String>) -> Re
     Ok(())
 }
 
+/// `--checkpoint-dir` / `--checkpoint-every` / `--resume` → a
+/// [`CheckpointSpec`], or an error when the flags are inconsistent.
+fn checkpoint_spec(flags: &HashMap<String, String>) -> Result<Option<CheckpointSpec>, String> {
+    let every = get_usize(flags, "checkpoint-every")?;
+    let resume = flags.contains_key("resume");
+    let Some(dir) = flags.get("checkpoint-dir") else {
+        if every.is_some() || resume {
+            return Err("--checkpoint-every/--resume require --checkpoint-dir".into());
+        }
+        return Ok(None);
+    };
+    let mut spec = CheckpointSpec::every(dir, every.unwrap_or(1).max(1));
+    if resume {
+        spec = spec.and_resume();
+    }
+    Ok(Some(spec))
+}
+
+/// `--stats`: the engine counters attributable to the solve, including
+/// the resilience counters (retries, checkpoints, resumed rounds).
+fn print_stats(m: &apspark::sparklet::MetricsSnapshot) {
+    println!(
+        "stats: {} tasks ({} retried), {} shuffles ({:.1} MB), \
+         side channel {} writes / {} reads ({:.1} / {:.1} MB)",
+        m.tasks,
+        m.task_retries,
+        m.shuffles,
+        m.shuffle_bytes as f64 / 1e6,
+        m.side_channel_writes,
+        m.side_channel_reads,
+        m.side_channel_bytes_written as f64 / 1e6,
+        m.side_channel_bytes_read as f64 / 1e6,
+    );
+    println!(
+        "       {} checkpoints written ({:.1} MB), {} rounds resumed",
+        m.checkpoints_written,
+        m.checkpoint_bytes as f64 / 1e6,
+        m.rounds_resumed,
+    );
+}
+
 fn solver_id(name: &str) -> Result<SolverId, String> {
     Ok(match name {
         "cb" => SolverId::BlockedCollectBroadcast,
@@ -190,6 +237,9 @@ fn cmd_solve_planned(flags: &HashMap<String, String>) -> Result<(), String> {
         }
         problem = problem.with_paths();
     }
+    if let Some(spec) = checkpoint_spec(flags)? {
+        problem = problem.checkpoint(spec);
+    }
 
     let ctx = SparkContext::new(SparkConfig::with_cores(cores));
     let plan = problem.plan(&ctx).map_err(|e| e.to_string())?;
@@ -197,6 +247,9 @@ fn cmd_solve_planned(flags: &HashMap<String, String>) -> Result<(), String> {
     let start = std::time::Instant::now();
     let sol = problem.execute(&ctx, plan).map_err(|e| e.to_string())?;
     println!("solved in {:.3}s", start.elapsed().as_secs_f64());
+    if flags.contains_key("stats") {
+        print_stats(&sol.metrics);
+    }
 
     if let Some((src, dst)) = path_query {
         match sol.path(src, dst) {
@@ -239,6 +292,14 @@ fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
     let n = adj.order();
     let b = get_usize(flags, "block-size")?
         .unwrap_or_else(|| tuner::suggest_block_size(n, cores, 2).min(n));
+    let ckpt = checkpoint_spec(flags)?;
+    if ckpt.is_some() && (directed || !matches!(solver_name, "cb" | "im" | "fw2d" | "rs")) {
+        return Err(format!(
+            "--checkpoint-dir supports the engine-backed undirected solvers \
+             (cb, im, fw2d, rs), not '{solver_name}'{}",
+            if directed { " with --directed" } else { "" }
+        ));
+    }
     println!("solving n = {n} with {solver_name}, b = {b}, {cores} cores");
 
     let start = std::time::Instant::now();
@@ -279,9 +340,16 @@ fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
                 other => return Err(format!("unknown solver '{other}'")),
             };
             let ctx = SparkContext::new(SparkConfig::with_cores(cores));
+            let mut cfg = SolverConfig::new(b);
+            if let Some(spec) = ckpt {
+                cfg = cfg.with_checkpoints(spec);
+            }
             let res = solver
-                .solve(&ctx, &adj, &SolverConfig::new(b))
+                .solve(&ctx, &adj, &cfg)
                 .map_err(|e| e.to_string())?;
+            if flags.contains_key("stats") {
+                print_stats(&res.metrics);
+            }
             println!(
                 "iterations = {}, shuffles = {}, shuffle MB = {:.1}, side-channel MB = {:.1}",
                 res.iterations,

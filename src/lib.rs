@@ -81,8 +81,9 @@ pub mod prelude {
         Plan, PlanNote, Problem, ResourceHints, Solution, SolverCaps, SolverId, Workload,
     };
     pub use apsp_core::{
-        ApspResult, ApspSolver, BlockedCollectBroadcast, BlockedInMemory, DistancesAndParents,
-        FloydWarshall2D, ParentMatrix, RepeatedSquaring, SolverConfig,
+        ApspResult, ApspSolver, BlockedCollectBroadcast, BlockedInMemory, CheckpointPolicy,
+        CheckpointSignal, CheckpointSpec, DistancesAndParents, FloydWarshall2D, ParentMatrix,
+        RepeatedSquaring, SolverConfig,
     };
     pub use apsp_graph::Graph;
     pub use sparklet::{SparkConfig, SparkContext};

@@ -1,0 +1,388 @@
+//! Solver-level chaos harness: every engine-backed solver × every
+//! workload, driven through deterministic seeded failure schedules
+//! (task failures, transient side-channel reads, lost keys, corrupted
+//! blocks), must either recover **bit-exactly** or fail with a clean
+//! typed [`ApspError`] — never a panic, never a wrong answer.
+//!
+//! The schedule is deterministic in `(seed, fault site, occurrence)`
+//! (see `sparklet::chaos`), so CI replays exact schedules by seed:
+//! `CHAOS_SEED=7 cargo test --test chaos`.
+
+use apspark::core::ApspError;
+use apspark::graph::generators;
+use apspark::prelude::*;
+use apspark::sparklet::ChaosConfig;
+
+const SOLVERS: [SolverId; 4] = [
+    SolverId::BlockedCollectBroadcast,
+    SolverId::BlockedInMemory,
+    SolverId::FloydWarshall2D,
+    SolverId::RepeatedSquaring,
+];
+
+const WORKLOADS: [Workload; 3] = [
+    Workload::ShortestPaths,
+    Workload::Widest,
+    Workload::Reachability,
+];
+
+/// Seeds driven by the harness. `CHAOS_SEED` pins a single seed (the CI
+/// chaos job fans out over several); the default set keeps local runs
+/// fast while still crossing schedules.
+fn seeds() -> Vec<u64> {
+    if let Ok(s) = std::env::var("CHAOS_SEED") {
+        return vec![s.parse().expect("CHAOS_SEED must be a u64")];
+    }
+    vec![0xC0FFEE, 7]
+}
+
+fn ctx(cores: usize) -> SparkContext {
+    // No backoff sleeps: chaos runs retry a lot by design.
+    SparkContext::new(SparkConfig::with_cores(cores).retry_backoff_ms(0))
+}
+
+fn solve(
+    g: &Graph,
+    solver: SolverId,
+    w: Workload,
+    context: &SparkContext,
+) -> Result<Solution, ApspError> {
+    Problem::new(g)
+        .workload(w)
+        .prefer(solver)
+        .block_size(12)
+        .solve(context)
+}
+
+/// Bit-exact equality across every value kind a [`Solution`] can carry.
+fn assert_bit_exact(got: &Solution, want: &Solution, label: &str) {
+    assert!(
+        got.distances() == want.distances(),
+        "{label}: distances diverged after recovery"
+    );
+    assert!(
+        got.widths() == want.widths(),
+        "{label}: widths diverged after recovery"
+    );
+    assert!(
+        got.reachability() == want.reachability(),
+        "{label}: reachability diverged after recovery"
+    );
+    assert!(
+        got.parents() == want.parents(),
+        "{label}: parents diverged after recovery"
+    );
+}
+
+/// Every solver × workload under a schedule of task failures and
+/// transient side-channel faults: recovery must be bit-exact, failure
+/// must be a typed error.
+#[test]
+fn chaos_task_and_transient_faults_recover_bit_exact_or_fail_typed() {
+    let g = generators::erdos_renyi_paper(48, 0.1, 0xCA05);
+    for w in WORKLOADS {
+        for solver in SOLVERS {
+            // Bit-exactness only holds within one solver (each has its
+            // own floating-point reduction order), so the clean
+            // reference is per solver × workload.
+            let clean = solve(&g, solver, w, &ctx(4)).expect("clean reference solve");
+            for seed in seeds() {
+                let context = ctx(4);
+                context.install_chaos(
+                    ChaosConfig::new(seed ^ solver as u64)
+                        .task_failures(0.03)
+                        .transient_reads(0.05),
+                );
+                let label = format!("{solver:?}/{w:?}/seed {seed}");
+                match solve(&g, solver, w, &context) {
+                    Ok(sol) => assert_bit_exact(&sol, &clean, &label),
+                    // Exhausted budgets are legal; panics are not. The
+                    // error must render (Display exercises the context
+                    // chain) and carry a reachable root cause.
+                    Err(ApspError::Engine(e)) => {
+                        let _ = format!("{e} / root: {}", e.root());
+                    }
+                    Err(other) => panic!("{label}: unexpected error class: {other}"),
+                }
+            }
+        }
+    }
+}
+
+/// The impure solvers under the full side-channel fault palette: lost
+/// keys (really deleted) and corrupted blocks (caught by checksum or
+/// poison marker) can only end in bit-exact recovery or a typed error.
+#[test]
+fn chaos_side_channel_faults_never_corrupt_results() {
+    let g = generators::erdos_renyi_paper(48, 0.1, 0xCA06);
+    for w in WORKLOADS {
+        for solver in [SolverId::BlockedCollectBroadcast, SolverId::RepeatedSquaring] {
+            let clean = solve(&g, solver, w, &ctx(4)).expect("clean reference solve");
+            for seed in seeds() {
+                let context = ctx(4);
+                context.install_chaos(
+                    ChaosConfig::new(seed.wrapping_mul(31).wrapping_add(solver as u64))
+                        .transient_reads(0.04)
+                        .missing_keys(0.02)
+                        .corrupt_blocks(0.02),
+                );
+                let label = format!("{solver:?}/{w:?}/seed {seed}");
+                match solve(&g, solver, w, &context) {
+                    Ok(sol) => assert_bit_exact(&sol, &clean, &label),
+                    Err(ApspError::Engine(e)) => {
+                        let _ = format!("{e} / root: {}", e.root());
+                    }
+                    Err(other) => panic!("{label}: unexpected error class: {other}"),
+                }
+            }
+        }
+    }
+}
+
+/// Same seed → same decisions: the schedule is a pure function of
+/// `(seed, site, occurrence)`, so two runs of one configuration agree on
+/// success/failure, and successes agree bit-for-bit.
+#[test]
+fn chaos_schedules_are_deterministic_per_seed() {
+    let g = generators::erdos_renyi_paper(40, 0.1, 0xCA07);
+    for seed in seeds() {
+        let run = || {
+            let context = ctx(3);
+            context.install_chaos(
+                ChaosConfig::new(seed)
+                    .task_failures(0.05)
+                    .transient_reads(0.05),
+            );
+            solve(&g, SolverId::BlockedCollectBroadcast, Workload::ShortestPaths, &context)
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(
+            a.is_ok(),
+            b.is_ok(),
+            "seed {seed}: outcome class diverged between identical runs"
+        );
+        if let (Ok(a), Ok(b)) = (a, b) {
+            assert_bit_exact(&a, &b, &format!("determinism/seed {seed}"));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint/resume under chaos — the acceptance bar: a checkpointed
+// Blocked-CB solve at side 512 with paths, killed mid-flight by an armed
+// failure schedule, resumes to bit-identical distances AND parents, in
+// all three workloads.
+// ---------------------------------------------------------------------------
+
+fn expect_err(res: Result<Solution, ApspError>, what: &str) -> ApspError {
+    match res {
+        Err(e) => e,
+        Ok(_) => panic!("{what}: solve unexpectedly succeeded"),
+    }
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("apsp-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Kills a checkpointed tracked Blocked-CB solve at n = 512 mid-flight
+/// (first 20 side-channel reads stay clean — past round 0's barrier —
+/// then every read reports the key missing), then resumes from the last
+/// committed round and demands bit-identical distances and parents.
+fn checkpoint_resume_512(w: Workload, tag: &str) {
+    let g = generators::erdos_renyi_paper(512, 0.1, 0x512);
+    let build = |dir: Option<&std::path::Path>, resume: bool| {
+        let mut p = Problem::new(&g)
+            .workload(w)
+            .prefer(SolverId::BlockedCollectBroadcast)
+            .block_size(128)
+            .with_paths();
+        if let Some(d) = dir {
+            p = p.checkpoint_every(d, 1);
+            if resume {
+                p = p.resume(d);
+            }
+        }
+        p
+    };
+
+    let clean = build(None, false)
+        .solve(&ctx(4))
+        .expect("uninterrupted reference solve");
+
+    let dir = temp_dir(tag);
+    let context = ctx(4);
+    context.install_chaos(
+        ChaosConfig::new(0xDEAD)
+            .missing_keys(1.0)
+            .arm_after_reads(20),
+    );
+    let err = expect_err(
+        build(Some(&dir), false).solve(&context),
+        "armed schedule must kill the solve mid-flight",
+    );
+    match &err {
+        ApspError::Engine(e) => {
+            let _ = format!("{e}");
+        }
+        other => panic!("interrupted solve must fail in the engine, got {other}"),
+    }
+
+    // The dying run must have committed at least one round.
+    let resumed_ctx = ctx(4);
+    let before = resumed_ctx.metrics();
+    let resumed = build(Some(&dir), true)
+        .solve(&resumed_ctx)
+        .expect("resume from the last committed round");
+    let delta = resumed_ctx.metrics().delta(&before);
+    assert!(
+        delta.rounds_resumed > 0,
+        "resume must restore at least one committed round"
+    );
+    assert!(
+        clean.metrics.checkpoints_written == 0,
+        "reference solve runs without checkpoints"
+    );
+
+    assert_bit_exact(&resumed, &clean, &format!("resume/{w:?}"));
+    assert!(
+        resumed.parents().is_some(),
+        "with_paths survives checkpoint/resume"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn checkpointed_cb_512_resumes_bit_exact_shortest_paths() {
+    checkpoint_resume_512(Workload::ShortestPaths, "sp");
+}
+
+#[test]
+fn checkpointed_cb_512_resumes_bit_exact_widest() {
+    checkpoint_resume_512(Workload::Widest, "widest");
+}
+
+#[test]
+fn checkpointed_cb_512_resumes_bit_exact_reachability() {
+    checkpoint_resume_512(Workload::Reachability, "reach");
+}
+
+/// Checkpointing accounts its writes in the resilience counters, and a
+/// full solve prunes to exactly one committed round.
+#[test]
+fn checkpoint_metrics_and_pruning() {
+    let g = generators::erdos_renyi_paper(64, 0.1, 0xC12);
+    let dir = temp_dir("metrics");
+    let context = ctx(3);
+    let sol = Problem::new(&g)
+        .block_size(16) // q = 4 rounds
+        .prefer(SolverId::BlockedCollectBroadcast)
+        .checkpoint_every(&dir, 1)
+        .solve(&context)
+        .expect("checkpointed solve");
+    assert_eq!(sol.metrics.checkpoints_written, 4, "one snapshot per round");
+    assert!(sol.metrics.checkpoint_bytes > 0);
+    assert_eq!(sol.metrics.rounds_resumed, 0);
+
+    // Only the final round's manifest survives pruning.
+    let manifests: Vec<String> = std::fs::read_dir(&dir)
+        .expect("checkpoint dir exists")
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|name| name.starts_with("ckpt-meta-"))
+        .collect();
+    assert_eq!(manifests, vec!["ckpt-meta-3".to_string()]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Resuming into a *different* solve (wrong solver, wrong geometry) is a
+/// typed checkpoint error, not a wrong answer.
+#[test]
+fn resume_refuses_mismatched_geometry() {
+    let g = generators::erdos_renyi_paper(64, 0.1, 0xC13);
+    let dir = temp_dir("geom");
+    Problem::new(&g)
+        .block_size(16)
+        .prefer(SolverId::BlockedCollectBroadcast)
+        .checkpoint_every(&dir, 1)
+        .solve(&ctx(3))
+        .expect("checkpointed solve");
+
+    // Same directory, different block size → geometry mismatch.
+    let err = expect_err(
+        Problem::new(&g)
+            .block_size(32)
+            .prefer(SolverId::BlockedCollectBroadcast)
+            .resume(&dir)
+            .solve(&ctx(3)),
+        "mismatched geometry must be rejected",
+    );
+    assert!(
+        matches!(&err, ApspError::Checkpoint(msg) if msg.contains("does not match")),
+        "unexpected error: {err}"
+    );
+
+    // Different solver → also rejected.
+    let err = expect_err(
+        Problem::new(&g)
+            .block_size(16)
+            .prefer(SolverId::RepeatedSquaring)
+            .resume(&dir)
+            .solve(&ctx(3)),
+        "wrong solver must be rejected",
+    );
+    assert!(matches!(err, ApspError::Checkpoint(_)), "got {err}");
+
+    // An empty directory has nothing to resume.
+    let empty = temp_dir("geom-empty");
+    let err = expect_err(
+        Problem::new(&g)
+            .block_size(16)
+            .prefer(SolverId::BlockedCollectBroadcast)
+            .resume(&empty)
+            .solve(&ctx(3)),
+        "nothing committed to resume from",
+    );
+    assert!(
+        matches!(&err, ApspError::Checkpoint(msg) if msg.contains("no committed checkpoint")),
+        "unexpected error: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&empty);
+}
+
+/// The signal-driven policy snapshots exactly when asked, and the resumed
+/// solve completes bit-exactly — the cooperative "drain before eviction"
+/// path.
+#[test]
+fn on_signal_checkpoint_resumes_bit_exact() {
+    let g = generators::erdos_renyi_paper(96, 0.1, 0xC14);
+    let clean = Problem::new(&g)
+        .block_size(24)
+        .prefer(SolverId::BlockedInMemory)
+        .solve(&ctx(3))
+        .expect("clean solve");
+
+    let dir = temp_dir("signal");
+    let signal = CheckpointSignal::new();
+    signal.request(); // snapshot at the first round barrier
+    let sol = Problem::new(&g)
+        .block_size(24)
+        .prefer(SolverId::BlockedInMemory)
+        .checkpoint(CheckpointSpec::on_signal(&dir, signal.clone()))
+        .solve(&ctx(3))
+        .expect("signal-checkpointed solve");
+    assert_eq!(sol.metrics.checkpoints_written, 1);
+    assert!(!signal.is_requested(), "barrier consumes the request");
+
+    let resumed = Problem::new(&g)
+        .block_size(24)
+        .prefer(SolverId::BlockedInMemory)
+        .resume(&dir)
+        .solve(&ctx(3))
+        .expect("resume from the signalled snapshot");
+    assert_bit_exact(&resumed, &clean, "on-signal resume");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,150 @@
+//! Checkpoint format stability: a golden fixture written by the current
+//! frame version must keep resuming bit-exactly forever, and any future
+//! layout change must announce itself by bumping `FRAME_VERSION` — which
+//! this suite proves is rejected with a typed error, not misread.
+//!
+//! The fixture under `tests/fixtures/checkpoint_v1/` was produced by:
+//!
+//! ```sh
+//! apspark generate --n 16 --seed 9 --output g16.txt
+//! apspark solve --input g16.txt --solver cb --block-size 8 \
+//!     --checkpoint-dir tests/fixtures/checkpoint_v1
+//! ```
+//!
+//! i.e. an untracked Blocked-CB solve of `G(16, 0.1, seed 9)` at `b = 8`
+//! (`q = 2`), pruned to the final committed round.
+
+use apspark::core::ApspError;
+use apspark::graph::generators;
+use apspark::prelude::*;
+
+fn fixture_graph() -> Graph {
+    generators::erdos_renyi_paper(16, 0.1, 9)
+}
+
+fn fixture_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("checkpoint_v1")
+}
+
+/// Copies the fixture into a scratch directory so corruption tests never
+/// touch the committed blobs.
+fn scratch_copy(tag: &str) -> std::path::PathBuf {
+    let dst = std::env::temp_dir().join(format!("apsp-ckptfmt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dst);
+    std::fs::create_dir_all(&dst).expect("create scratch dir");
+    for entry in std::fs::read_dir(fixture_dir()).expect("fixture dir exists") {
+        let entry = entry.expect("readable fixture entry");
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).expect("copy fixture blob");
+    }
+    dst
+}
+
+fn resume_from(dir: &std::path::Path) -> Result<Solution, ApspError> {
+    let g = fixture_graph();
+    Problem::new(&g)
+        .prefer(SolverId::BlockedCollectBroadcast)
+        .block_size(8)
+        .resume(dir)
+        .solve(&SparkContext::new(SparkConfig::with_cores(2)))
+}
+
+#[test]
+fn golden_fixture_resumes_bit_exact() {
+    let g = fixture_graph();
+    let clean = Problem::new(&g)
+        .prefer(SolverId::BlockedCollectBroadcast)
+        .block_size(8)
+        .solve(&SparkContext::new(SparkConfig::with_cores(2)))
+        .expect("fresh solve");
+    let resumed = resume_from(&fixture_dir()).unwrap_or_else(|e| {
+        panic!("the golden v1 fixture must stay readable forever: {e}")
+    });
+    assert!(
+        resumed.distances() == clean.distances(),
+        "fixture-resumed distances diverged from a fresh solve"
+    );
+}
+
+#[test]
+fn version_bumped_manifest_is_rejected_typed() {
+    let dir = scratch_copy("version");
+    let meta = dir.join("ckpt-meta-1");
+    let mut bytes = std::fs::read(&meta).expect("fixture manifest");
+    // Frame layout: magic [0..8], version u32 LE [8..12].
+    bytes[8] = bytes[8].wrapping_add(1);
+    std::fs::write(&meta, &bytes).expect("rewrite manifest");
+
+    let err = match resume_from(&dir) {
+        Err(e) => e,
+        Ok(_) => panic!("a future-format manifest must not be readable"),
+    };
+    match &err {
+        ApspError::Checkpoint(msg) => assert!(
+            msg.contains("version"),
+            "rejection must name the version mismatch, got: {msg}"
+        ),
+        other => panic!("expected ApspError::Checkpoint, got {other}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_rotted_block_is_rejected_by_checksum() {
+    let dir = scratch_copy("rot");
+    let block = dir.join("ckpt-1-0-1");
+    let mut bytes = std::fs::read(&block).expect("fixture block");
+    // Flip one bit in the body (header is 29 bytes).
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&block, &bytes).expect("rewrite block");
+
+    let err = match resume_from(&dir) {
+        Err(e) => e,
+        Ok(_) => panic!("a corrupted block must not resume"),
+    };
+    match &err {
+        ApspError::Checkpoint(msg) => assert!(
+            msg.contains("checksum"),
+            "rejection must name the checksum, got: {msg}"
+        ),
+        other => panic!("expected ApspError::Checkpoint, got {other}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_bytes_are_rejected_by_magic() {
+    let dir = scratch_copy("magic");
+    // Longer than a frame header, so the rejection is about the magic,
+    // not about truncation.
+    std::fs::write(dir.join("ckpt-meta-1"), [0x2a_u8; 64]).expect("rewrite manifest");
+    let err = match resume_from(&dir) {
+        Err(e) => e,
+        Ok(_) => panic!("garbage must not resume"),
+    };
+    assert!(
+        matches!(&err, ApspError::Checkpoint(msg) if msg.contains("magic")),
+        "expected a magic rejection, got: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_block_is_rejected_typed() {
+    let dir = scratch_copy("trunc");
+    let block = dir.join("ckpt-1-0-0");
+    let bytes = std::fs::read(&block).expect("fixture block");
+    std::fs::write(&block, &bytes[..bytes.len() / 2]).expect("truncate block");
+    let err = match resume_from(&dir) {
+        Err(e) => e,
+        Ok(_) => panic!("a truncated block must not resume"),
+    };
+    assert!(
+        matches!(&err, ApspError::Checkpoint(msg) if msg.contains("truncated")),
+        "expected a truncation rejection, got: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -45,7 +45,8 @@ fn deleting_files_mid_lineage_is_fatal_for_impure_solver() {
     let dir = temp_dir("cb-wipe");
     let ctx = SparkContext::new(SparkConfig::with_cores(2).disk_side_channel(&dir));
     ctx.side_channel()
-        .put_block("cb:0:diag", apspark::blockmat::Block::identity(4));
+        .put_block("cb:0:diag", apspark::blockmat::Block::identity(4))
+        .expect("staging to a live directory succeeds");
     assert!(ctx.side_channel().contains("cb:0:diag"));
     std::fs::remove_dir_all(&dir).unwrap();
     assert!(ctx.side_channel().get_block_arc("cb:0:diag").is_err());

@@ -50,10 +50,13 @@ fn impure_cb_fails_when_storage_lost() {
     let err = BlockedCollectBroadcast
         .solve(&ctx, &adj, &SolverConfig::new(12))
         .expect_err("CB cannot run without shared storage");
+    // Exhausted retries wrap the cause in task context; the root cause
+    // stays reachable through `SparkError::root`.
     assert!(
         matches!(
-            err,
-            apspark::core::ApspError::Engine(SparkError::SideChannelMiss { .. })
+            &err,
+            apspark::core::ApspError::Engine(e)
+                if matches!(e.root(), SparkError::SideChannelMiss { .. })
         ),
         "unexpected error: {err}"
     );
@@ -68,8 +71,9 @@ fn impure_rs_fails_when_storage_lost() {
         .solve(&ctx, &adj, &SolverConfig::new(12))
         .expect_err("RS cannot run without shared storage");
     assert!(matches!(
-        err,
-        apspark::core::ApspError::Engine(SparkError::SideChannelMiss { .. })
+        &err,
+        apspark::core::ApspError::Engine(e)
+            if matches!(e.root(), SparkError::SideChannelMiss { .. })
     ));
 }
 
@@ -102,11 +106,11 @@ fn retry_budget_is_respected() {
     let out = BlockedInMemory.solve(&ctx, &adj, &SolverConfig::new(12));
     assert!(
         matches!(
-            out,
-            Err(apspark::core::ApspError::Engine(
-                SparkError::InjectedFailure { .. }
-            ))
+            &out,
+            Err(apspark::core::ApspError::Engine(e))
+                if matches!(e.root(), SparkError::InjectedFailure { .. })
+                    && matches!(e, SparkError::TaskFailed { .. })
         ),
-        "expected exhausted retries, got {out:?}"
+        "expected exhausted retries wrapped in task context, got {out:?}"
     );
 }
