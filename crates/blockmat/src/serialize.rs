@@ -171,6 +171,8 @@ pub const FRAME_HEADER_LEN: usize = 29;
 pub const FRAME_KIND_BLOCK: u8 = 1;
 /// Kind tag for a checkpoint manifest.
 pub const FRAME_KIND_MANIFEST: u8 = 2;
+/// Kind tag for a closure-store manifest (the store's commit record).
+pub const FRAME_KIND_STORE_MANIFEST: u8 = 3;
 
 /// FNV-1a over `bytes` — the integrity checksum for framed payloads
 /// (stable, dependency-free; not cryptographic, which is fine for
@@ -475,11 +477,20 @@ mod tests {
         encode_plane(&[(), ()], &mut buf);
         let frozen = buf.freeze();
         let mut cur: &[u8] = &frozen;
-        assert_eq!(decode_plane::<f64>(&mut cur, 3).unwrap(), vec![1.5, INF, -0.0]);
+        assert_eq!(
+            decode_plane::<f64>(&mut cur, 3).unwrap(),
+            vec![1.5, INF, -0.0]
+        );
         assert_eq!(decode_plane::<f32>(&mut cur, 1).unwrap(), vec![2.5]);
-        assert_eq!(decode_plane::<i64>(&mut cur, 2).unwrap(), vec![-7, i64::MAX]);
+        assert_eq!(
+            decode_plane::<i64>(&mut cur, 2).unwrap(),
+            vec![-7, i64::MAX]
+        );
         assert_eq!(decode_plane::<u32>(&mut cur, 2).unwrap(), vec![u32::MAX, 0]);
-        assert_eq!(decode_plane::<bool>(&mut cur, 2).unwrap(), vec![true, false]);
+        assert_eq!(
+            decode_plane::<bool>(&mut cur, 2).unwrap(),
+            vec![true, false]
+        );
         assert_eq!(decode_plane::<()>(&mut cur, 2).unwrap(), vec![(), ()]);
         assert_eq!(cur.len(), 0);
     }

@@ -1,13 +1,13 @@
 //! Round-granular checkpoint/resume for the engine loops.
 //!
-//! Every engine skeleton ([`crate::engine`]) advances the distributed
+//! Every engine skeleton (`core::engine`) advances the distributed
 //! matrix in discrete rounds (`q` pivot iterations for the blocked
 //! solvers, `n` pivots for FW2D, `⌈log₂ n⌉` squarings for RS) with a
 //! well-defined barrier at the end of each: the reassembled RDD `A` after
 //! `next.count()` is the *complete* state of the solve — everything else
 //! (staged side-channel copies, broadcasts) is derived per round.
 //!
-//! A [`CheckpointSpec`] on [`SolverConfig`](crate::SolverConfig) makes
+//! A [`CheckpointSpec`] on [`SolverConfig`] makes
 //! the engine snapshot that state into its own [`sparklet::SideChannel`]
 //! directory at the barrier. The on-disk layout is:
 //!
@@ -82,7 +82,7 @@ impl CheckpointPolicy {
     fn should_snapshot(&self, round: usize) -> bool {
         match self {
             CheckpointPolicy::Off => false,
-            CheckpointPolicy::EveryRounds(k) => *k > 0 && (round + 1) % k == 0,
+            CheckpointPolicy::EveryRounds(k) => *k > 0 && (round + 1).is_multiple_of(*k),
             CheckpointPolicy::OnSignal(sig) => sig.take(),
         }
     }
@@ -138,27 +138,29 @@ impl CheckpointSpec {
     }
 }
 
-fn meta_key(round: usize) -> String {
+pub(crate) fn meta_key(round: usize) -> String {
     format!("ckpt-meta-{round}")
 }
 
-fn block_key(round: usize, bi: usize, bj: usize) -> String {
+pub(crate) fn block_key(round: usize, bi: usize, bj: usize) -> String {
     format!("ckpt-{round}-{bi}-{bj}")
 }
 
 /// Geometry + identity stamped into every manifest; resume refuses to
 /// restore a snapshot whose manifest disagrees with the live solve.
+/// `pub(crate)` so the closure store can finalize a finished checkpoint
+/// directory without re-solving ([`crate::store`]).
 #[derive(Debug, PartialEq, Eq)]
-struct Manifest {
-    solver: String,
-    algebra: String,
-    tracks: bool,
-    n: u64,
-    b: u64,
-    q: u64,
-    total_rounds: u64,
-    round: u64,
-    block_count: u64,
+pub(crate) struct Manifest {
+    pub(crate) solver: String,
+    pub(crate) algebra: String,
+    pub(crate) tracks: bool,
+    pub(crate) n: u64,
+    pub(crate) b: u64,
+    pub(crate) q: u64,
+    pub(crate) total_rounds: u64,
+    pub(crate) round: u64,
+    pub(crate) block_count: u64,
 }
 
 impl Manifest {
@@ -182,7 +184,7 @@ impl Manifest {
         buf.freeze()
     }
 
-    fn decode(mut body: &[u8]) -> Result<Self, DecodeError> {
+    pub(crate) fn decode(mut body: &[u8]) -> Result<Self, DecodeError> {
         let string = |body: &mut &[u8]| -> Result<String, DecodeError> {
             if body.remaining() < 4 {
                 return Err(DecodeError::Truncated {
@@ -224,7 +226,9 @@ impl Manifest {
 }
 
 fn decode_err(what: &str, key: &str, e: DecodeError) -> ApspError {
-    ApspError::Checkpoint(format!("{what} '{key}' is not a valid checkpoint frame: {e}"))
+    ApspError::Checkpoint(format!(
+        "{what} '{key}' is not a valid checkpoint frame: {e}"
+    ))
 }
 
 /// The engine-side checkpoint driver: one per solve, inactive (all
@@ -349,10 +353,7 @@ impl Inner {
             .max()
     }
 
-    fn restore<A: PathAlgebra>(
-        &self,
-        dir: &Path,
-    ) -> Result<(usize, Vec<AlgRecord<A>>), ApspError> {
+    fn restore<A: PathAlgebra>(&self, dir: &Path) -> Result<(usize, Vec<AlgRecord<A>>), ApspError> {
         let round = self.latest_round().ok_or_else(|| {
             ApspError::Checkpoint(format!(
                 "no committed checkpoint round under '{}'",
@@ -364,7 +365,11 @@ impl Inner {
         let (kind, body) =
             unframe(&raw).map_err(|e| decode_err("checkpoint manifest", &mkey, e))?;
         if kind != FRAME_KIND_MANIFEST {
-            return Err(decode_err("checkpoint manifest", &mkey, DecodeError::BadKind(kind)));
+            return Err(decode_err(
+                "checkpoint manifest",
+                &mkey,
+                DecodeError::BadKind(kind),
+            ));
         }
         let manifest =
             Manifest::decode(body).map_err(|e| decode_err("checkpoint manifest", &mkey, e))?;

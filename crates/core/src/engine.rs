@@ -38,10 +38,10 @@
 //!    what path reconstruction expands against.
 
 use crate::blocks::BlockKey;
-use crate::checkpoint::Checkpointer;
 use crate::building_blocks::{
     copy_col, copy_diag, extract_col_parts, in_column, on_diagonal, unpack_and_update, AlgPiece,
 };
+use crate::checkpoint::Checkpointer;
 use crate::solver::{ApspError, SolverConfig};
 use apsp_blockmat::algebra::Elem;
 use apsp_blockmat::{

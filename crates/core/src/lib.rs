@@ -54,6 +54,7 @@ mod mpi_fw2d;
 pub mod plan;
 mod repeated_squaring;
 mod solver;
+pub mod store;
 pub mod tuner;
 
 pub use algebra::{AlgebraResult, AlgebraSolver};
@@ -75,3 +76,4 @@ pub use plan::{
 };
 pub use repeated_squaring::RepeatedSquaring;
 pub use solver::{ApspError, ApspResult, ApspSolver, SolverConfig};
+pub use store::{finalize_checkpoint, ClosureStore, DEFAULT_STORE_CACHE_BUDGET};

@@ -47,12 +47,13 @@ use crate::algebra::AlgebraSolver;
 use crate::blocks::PartitionerChoice;
 use crate::checkpoint::CheckpointSpec;
 use crate::solver::{ApspError, ApspResult, ApspSolver, SolverConfig};
+use crate::store::{self, ClosureStore, StoreContents, ValueSource};
 use crate::tuner;
 use apsp_blockmat::algebra::Elem;
 use apsp_blockmat::kernels::{self, MinPlusKernel};
 use apsp_blockmat::{
     BoolSemiring, BottleneckF64, ElemBlock, Matrix, PathAlgebra, Reachability as ReachAlgebra,
-    TrackedReachability, TrackedWidest, Widest as WidestAlgebra, INF,
+    TrackedReachability, TrackedWidest, Widest as WidestAlgebra, INF, NO_VIA,
 };
 use apsp_cluster::{
     project, ClusterSpec, KernelRates, PartitionerKind, Projection, SolverKind, SparkOverheads,
@@ -61,6 +62,7 @@ use apsp_cluster::{
 use apsp_graph::paths::{NodeId, ParentMatrix};
 use apsp_graph::{DiGraph, Graph};
 use sparklet::{EstimateSize, MetricsSnapshot, SparkContext};
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 // ---------------------------------------------------------------------------
@@ -331,6 +333,7 @@ pub struct Problem<'a> {
     validate: bool,
     hints: ResourceHints,
     checkpoint: Option<CheckpointSpec>,
+    store: Option<PathBuf>,
 }
 
 impl<'a> Problem<'a> {
@@ -346,6 +349,7 @@ impl<'a> Problem<'a> {
             validate: true,
             hints: ResourceHints::default(),
             checkpoint: None,
+            store: None,
         }
     }
 
@@ -447,6 +451,16 @@ impl<'a> Problem<'a> {
     /// Snapshot every `k` engine rounds into `dir`.
     pub fn checkpoint_every(self, dir: impl Into<std::path::PathBuf>, k: usize) -> Self {
         self.checkpoint(CheckpointSpec::every(dir, k))
+    }
+
+    /// Persists the solved closure into `dir` as a committed on-disk
+    /// store (see [`crate::store`]): after the solve succeeds,
+    /// [`Problem::execute`] runs [`Solution::save`] so a later process
+    /// can [`Solution::open`] the answer and point-query it without
+    /// re-solving.
+    pub fn store(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store = Some(dir.into());
+        self
     }
 
     /// Resumes from the latest committed round under `dir` (typed
@@ -681,6 +695,7 @@ impl<'a> Problem<'a> {
             partitions: self.hints.partitions,
             validate: self.validate,
             checkpoint: self.checkpoint.clone(),
+            store: self.store.clone(),
             notes,
             projection,
         })
@@ -722,11 +737,16 @@ impl<'a> Problem<'a> {
     /// `solve`), so results are bit-exact with explicit calls.
     pub fn execute(&self, ctx: &SparkContext, plan: Plan) -> Result<Solution, ApspError> {
         let start = Instant::now();
-        match plan.workload {
+        let store_dir = plan.store.clone();
+        let sol = match plan.workload {
             Workload::ShortestPaths => self.execute_tropical(ctx, plan, start),
             Workload::Widest => self.execute_widest(ctx, plan, start),
             Workload::Reachability => self.execute_reachability(ctx, plan, start),
+        }?;
+        if let Some(dir) = store_dir {
+            sol.save(&dir)?;
         }
+        Ok(sol)
     }
 
     fn execute_tropical(
@@ -1087,6 +1107,7 @@ pub struct Plan {
     partitions: Option<usize>,
     validate: bool,
     checkpoint: Option<CheckpointSpec>,
+    store: Option<PathBuf>,
     notes: Vec<PlanNote>,
     projection: Option<Projection>,
 }
@@ -1131,6 +1152,18 @@ impl Plan {
     pub fn with_checkpoints(mut self, spec: CheckpointSpec) -> Self {
         self.checkpoint = Some(spec);
         self
+    }
+
+    /// Persists the solved closure into `dir` after execution — the
+    /// plan-level twin of [`Problem::store`].
+    pub fn with_store(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.store = Some(dir.into());
+        self
+    }
+
+    /// The closure-store directory this plan will save into, if any.
+    pub fn store_dir(&self) -> Option<&Path> {
+        self.store.as_deref()
     }
 
     /// Resumes this plan's solve from the latest committed round under
@@ -1257,6 +1290,9 @@ enum Values {
     Distances(Matrix),
     Widths(ElemBlock<BottleneckF64>),
     Reach(ElemBlock<BoolSemiring>),
+    /// Disk-resident closure behind an LRU block cache — produced by
+    /// [`Solution::open`], never by a solve.
+    Stored(ClosureStore),
 }
 
 /// Outcome of a planned solve: one result type over all three workloads,
@@ -1289,16 +1325,52 @@ impl Solution {
         self.workload
     }
 
+    fn check_node(&self, what: &str, id: usize) -> Result<(), ApspError> {
+        if id >= self.n {
+            return Err(ApspError::InvalidInput(format!(
+                "{what} node id {id} is out of range for n = {}",
+                self.n
+            )));
+        }
+        Ok(())
+    }
+
+    /// The raw numeric cell under the submatrix conventions: distance
+    /// ([`INF`] unreachable), width (`0.0` unreachable), or `1.0`/`0.0`
+    /// closure cells. Bounds are the caller's responsibility.
+    fn raw_cell(&self, u: usize, v: usize) -> Result<f64, ApspError> {
+        match &self.values {
+            Values::Distances(m) => Ok(m.get(u, v)),
+            Values::Widths(m) => Ok(m.get(u, v)),
+            Values::Reach(m) => Ok(if m.get(u, v) { 1.0 } else { 0.0 }),
+            Values::Stored(s) => s.cell(u, v),
+        }
+    }
+
     /// Shortest-path distance from `u` to `v`: `Some(d)` when the
     /// workload is [`Workload::ShortestPaths`] and `v` is reachable,
-    /// `None` otherwise.
+    /// `None` otherwise (including out-of-range ids — use
+    /// [`Solution::try_dist`] to distinguish them).
     pub fn dist(&self, u: usize, v: usize) -> Option<f64> {
+        self.try_dist(u, v).ok().flatten()
+    }
+
+    /// [`Solution::dist`] with typed failures: out-of-range ids are
+    /// [`ApspError::InvalidInput`], store I/O problems are
+    /// [`ApspError::Store`], a wrong-workload query is `Ok(None)`.
+    pub fn try_dist(&self, u: usize, v: usize) -> Result<Option<f64>, ApspError> {
+        self.check_node("source", u)?;
+        self.check_node("target", v)?;
         match &self.values {
             Values::Distances(m) => {
                 let d = m.get(u, v);
-                d.is_finite().then_some(d)
+                Ok(d.is_finite().then_some(d))
             }
-            _ => None,
+            Values::Stored(s) if s.workload() == Workload::ShortestPaths => {
+                let d = s.cell(u, v)?;
+                Ok(d.is_finite().then_some(d))
+            }
+            _ => Ok(None),
         }
     }
 
@@ -1306,22 +1378,45 @@ impl Solution {
     /// [`Workload::Widest`] and `v` is reachable (the diagonal reports
     /// `+∞` — staying put constrains nothing), `None` otherwise.
     pub fn width(&self, u: usize, v: usize) -> Option<f64> {
+        self.try_width(u, v).ok().flatten()
+    }
+
+    /// [`Solution::width`] with typed failures (see
+    /// [`Solution::try_dist`] for the error contract).
+    pub fn try_width(&self, u: usize, v: usize) -> Result<Option<f64>, ApspError> {
+        self.check_node("source", u)?;
+        self.check_node("target", v)?;
         match &self.values {
             Values::Widths(m) => {
                 let w = m.get(u, v);
-                (w > 0.0).then_some(w)
+                Ok((w > 0.0).then_some(w))
             }
-            _ => None,
+            Values::Stored(s) if s.workload() == Workload::Widest => {
+                let w = s.cell(u, v)?;
+                Ok((w > 0.0).then_some(w))
+            }
+            _ => Ok(None),
         }
     }
 
     /// Whether `v` is reachable from `u` — answered by every workload
     /// (finite distance, nonzero width, or a `true` closure cell).
+    /// `false` for out-of-range ids; use [`Solution::try_reachable`] to
+    /// distinguish.
     pub fn reachable(&self, u: usize, v: usize) -> bool {
+        self.try_reachable(u, v).unwrap_or(false)
+    }
+
+    /// [`Solution::reachable`] with typed failures (see
+    /// [`Solution::try_dist`] for the error contract).
+    pub fn try_reachable(&self, u: usize, v: usize) -> Result<bool, ApspError> {
+        self.check_node("source", u)?;
+        self.check_node("target", v)?;
         match &self.values {
-            Values::Distances(m) => m.get(u, v).is_finite(),
-            Values::Widths(m) => m.get(u, v) > 0.0,
-            Values::Reach(m) => m.get(u, v),
+            Values::Distances(m) => Ok(m.get(u, v).is_finite()),
+            Values::Widths(m) => Ok(m.get(u, v) > 0.0),
+            Values::Reach(m) => Ok(m.get(u, v)),
+            Values::Stored(s) => s.reachable(u, v),
         }
     }
 
@@ -1331,11 +1426,25 @@ impl Solution {
     /// [`Workload::Reachability`]. `None` when the solve did not track
     /// paths or `v` is unreachable; `path(u, u)` is `[u]`.
     pub fn path(&self, u: usize, v: usize) -> Option<Vec<NodeId>> {
-        let vias = self.vias.as_ref()?;
-        if !self.reachable(u, v) {
-            return None;
+        self.try_path(u, v).ok().flatten()
+    }
+
+    /// [`Solution::path`] with typed failures (see [`Solution::try_dist`]
+    /// for the error contract). For store-backed solutions the expansion
+    /// loads only the via blocks it touches.
+    pub fn try_path(&self, u: usize, v: usize) -> Result<Option<Vec<NodeId>>, ApspError> {
+        self.check_node("source", u)?;
+        self.check_node("target", v)?;
+        if let Values::Stored(s) = &self.values {
+            return s.path(u, v);
         }
-        Some(vias.expand(u, v))
+        let Some(vias) = self.vias.as_ref() else {
+            return Ok(None);
+        };
+        if !self.try_reachable(u, v)? {
+            return Ok(None);
+        }
+        Ok(Some(vias.expand(u, v)))
     }
 
     /// The `k` vertices "nearest" to `u` under the workload's own order:
@@ -1344,17 +1453,22 @@ impl Solution {
     /// reachability. `u` itself and unreachable vertices are excluded;
     /// ties break by vertex id.
     pub fn k_nearest(&self, u: usize, k: usize) -> Vec<(NodeId, f64)> {
-        let mut scored: Vec<(NodeId, f64)> = (0..self.n)
-            .filter(|&v| v != u && self.reachable(u, v))
-            .map(|v| {
-                let score = match &self.values {
-                    Values::Distances(m) => m.get(u, v),
-                    Values::Widths(m) => m.get(u, v),
-                    Values::Reach(_) => 1.0,
-                };
-                (v as NodeId, score)
-            })
-            .collect();
+        self.try_k_nearest(u, k).unwrap_or_default()
+    }
+
+    /// [`Solution::k_nearest`] with typed failures (see
+    /// [`Solution::try_dist`] for the error contract). Store-backed
+    /// solutions sweep the row block-by-block through the cache rather
+    /// than loading the full closure.
+    pub fn try_k_nearest(&self, u: usize, k: usize) -> Result<Vec<(NodeId, f64)>, ApspError> {
+        self.check_node("source", u)?;
+        let mut scored: Vec<(NodeId, f64)> = Vec::new();
+        for v in 0..self.n {
+            if v == u || !self.try_reachable(u, v)? {
+                continue;
+            }
+            scored.push((v as NodeId, self.raw_cell(u, v)?));
+        }
         match self.workload {
             Workload::Widest => {
                 scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -1362,29 +1476,41 @@ impl Solution {
             _ => scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0))),
         }
         scored.truncate(k);
-        scored
+        Ok(scored)
     }
 
     /// Extracts the numeric values of the `rows × cols` submatrix, one
     /// `Vec` per requested row: distances ([`INF`] when unreachable),
     /// widths (`0.0` when unreachable), or `1.0`/`0.0` closure cells.
+    /// Empty on out-of-range ids or an empty window; use
+    /// [`Solution::try_submatrix`] to distinguish.
     pub fn submatrix(&self, rows: &[usize], cols: &[usize]) -> Vec<Vec<f64>> {
+        self.try_submatrix(rows, cols).unwrap_or_default()
+    }
+
+    /// [`Solution::submatrix`] with typed failures: an empty `rows` or
+    /// `cols` window and out-of-range ids are
+    /// [`ApspError::InvalidInput`]; store I/O problems are
+    /// [`ApspError::Store`]. Store-backed solutions stream the window
+    /// through the block cache.
+    pub fn try_submatrix(
+        &self,
+        rows: &[usize],
+        cols: &[usize],
+    ) -> Result<Vec<Vec<f64>>, ApspError> {
+        if rows.is_empty() || cols.is_empty() {
+            return Err(ApspError::InvalidInput(
+                "empty submatrix window: rows and cols must each name at least one vertex".into(),
+            ));
+        }
+        for &i in rows {
+            self.check_node("row", i)?;
+        }
+        for &j in cols {
+            self.check_node("column", j)?;
+        }
         rows.iter()
-            .map(|&i| {
-                cols.iter()
-                    .map(|&j| match &self.values {
-                        Values::Distances(m) => m.get(i, j),
-                        Values::Widths(m) => m.get(i, j),
-                        Values::Reach(m) => {
-                            if m.get(i, j) {
-                                1.0
-                            } else {
-                                0.0
-                            }
-                        }
-                    })
-                    .collect()
-            })
+            .map(|&i| cols.iter().map(|&j| self.raw_cell(i, j)).collect())
             .collect()
     }
 
@@ -1414,8 +1540,136 @@ impl Solution {
     }
 
     /// The witness via matrix, when the solve tracked paths.
+    /// `None` for store-backed solutions, whose via plane stays on disk.
     pub fn parents(&self) -> Option<&ParentMatrix> {
         self.vias.as_ref()
+    }
+
+    // -- persistence ---------------------------------------------------------
+
+    /// Persists this solution into `dir` as a committed closure store
+    /// (see [`crate::store`]): the full block grid is framed and
+    /// checksummed, and the manifest is written last, so `dir` either
+    /// opens as this exact answer or not at all. A later process gets it
+    /// back with [`Solution::open`] — no re-solve, point queries served
+    /// from disk through a block cache.
+    ///
+    /// Store-backed solutions refuse to re-save (the directory already
+    /// *is* the store; copy it to relocate).
+    pub fn save(&self, dir: impl AsRef<Path>) -> Result<(), ApspError> {
+        let dir = dir.as_ref();
+        let via_fn = self
+            .vias
+            .as_ref()
+            .map(|pm| move |i: usize, j: usize| pm.via(i, j).unwrap_or(NO_VIA));
+        let vias: Option<&dyn Fn(usize, usize) -> u32> = match &via_fn {
+            Some(f) => Some(f),
+            None => None,
+        };
+        let write = |values: ValueSource<'_>| {
+            store::write_store(
+                dir,
+                &StoreContents {
+                    workload: self.workload,
+                    solver: self.plan.solver,
+                    directed: self.plan.directed,
+                    n: self.n,
+                    b: self.plan.block_size.clamp(1, self.n),
+                    values,
+                    vias,
+                },
+            )
+        };
+        match &self.values {
+            Values::Distances(m) => {
+                let f = |i: usize, j: usize| m.get(i, j);
+                write(ValueSource::F64(&f))
+            }
+            Values::Widths(m) => {
+                let f = |i: usize, j: usize| m.get(i, j);
+                write(ValueSource::F64(&f))
+            }
+            Values::Reach(m) => {
+                let f = |i: usize, j: usize| m.get(i, j);
+                write(ValueSource::Bool(&f))
+            }
+            Values::Stored(s) => Err(ApspError::Store(format!(
+                "this solution is already store-backed (under '{}'); copy the \
+                 directory to relocate it",
+                s.dir().display()
+            ))),
+        }
+    }
+
+    /// Opens a committed closure store as a `Solution`, with the default
+    /// cache budget ([`crate::store::DEFAULT_STORE_CACHE_BUDGET`]). The
+    /// manifest is validated up front; blocks load lazily as queries
+    /// touch them, so opening is O(1) in the closure size.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Solution, ApspError> {
+        Self::open_with_cache_budget(dir, store::DEFAULT_STORE_CACHE_BUDGET)
+    }
+
+    /// [`Solution::open`] with an explicit decoded-block cache budget in
+    /// bytes — small budgets bound resident memory and trade it for
+    /// re-reads (observable via [`Solution::store`] metrics).
+    pub fn open_with_cache_budget(
+        dir: impl Into<PathBuf>,
+        cache_budget_bytes: u64,
+    ) -> Result<Solution, ApspError> {
+        Ok(Self::from_store(ClosureStore::open_with_budget(
+            dir,
+            cache_budget_bytes,
+        )?))
+    }
+
+    /// Wraps an already-open [`ClosureStore`] as a `Solution`. The plan
+    /// is reconstructed from the store manifest (solver, geometry,
+    /// workload, tracking) with a `store-open` note marking its origin.
+    pub fn from_store(store: ClosureStore) -> Solution {
+        let note = PlanNote::new(
+            "store-open",
+            format!(
+                "plan reconstructed from the store manifest under '{}'",
+                store.dir().display()
+            ),
+        );
+        let plan = Plan {
+            solver: store.solver(),
+            block_size: store.block_size(),
+            kernel: MinPlusKernel::Auto,
+            partitioner: PartitionerChoice::MultiDiagonal,
+            workload: store.workload(),
+            paths: store.tracked(),
+            directed: store.directed(),
+            n: store.order(),
+            cores: 1,
+            partitions: None,
+            validate: true,
+            checkpoint: None,
+            store: None,
+            notes: vec![note],
+            projection: None,
+        };
+        Solution {
+            n: store.order(),
+            workload: store.workload(),
+            values: Values::Stored(store),
+            vias: None,
+            plan,
+            metrics: MetricsSnapshot::default(),
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        }
+    }
+
+    /// The backing [`ClosureStore`] of a store-backed solution — live
+    /// cache counters, geometry, and the backing directory. `None` for
+    /// in-memory solutions.
+    pub fn store(&self) -> Option<&ClosureStore> {
+        match &self.values {
+            Values::Stored(s) => Some(s),
+            _ => None,
+        }
     }
 }
 

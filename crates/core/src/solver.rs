@@ -22,6 +22,9 @@ pub enum ApspError {
     /// Checkpoint write, read, or validation failed (corrupt frame,
     /// geometry mismatch, no committed round to resume from, …).
     Checkpoint(String),
+    /// Closure-store write, read, or validation failed (corrupt frame,
+    /// geometry or workload mismatch, missing manifest, …).
+    Store(String),
 }
 
 impl std::fmt::Display for ApspError {
@@ -31,6 +34,7 @@ impl std::fmt::Display for ApspError {
             ApspError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
             ApspError::Engine(e) => write!(f, "engine error: {e}"),
             ApspError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            ApspError::Store(msg) => write!(f, "closure-store error: {msg}"),
         }
     }
 }

@@ -166,29 +166,58 @@ impl ParentMatrix {
     pub fn expand(&self, i: usize, j: usize) -> Vec<NodeId> {
         let n = self.n;
         assert!(i < n && j < n, "vertex out of range");
-        if i == j {
-            return vec![i as NodeId];
+        let expanded = expand_vias_with(i, j, n, |a, b| {
+            Ok::<Option<NodeId>, std::convert::Infallible>(self.via(a, b))
+        });
+        match expanded {
+            Ok(Some(path)) => path,
+            Ok(None) => panic!("via expansion for ({i},{j}) does not terminate"),
+            Err(never) => match never {},
         }
-        let mut out = vec![i as NodeId];
-        // Depth-first, left-to-right expansion of (i, j) segments.
-        let mut stack: Vec<(u32, u32)> = vec![(i as u32, j as u32)];
-        // A valid expansion visits at most 2·n segments (the recursion
-        // tree over a simple path of ≤ n vertices).
-        let mut budget = 4 * n + 4;
-        while let Some((a, b)) = stack.pop() {
-            budget -= 1;
-            assert!(budget > 0, "via expansion for ({i},{j}) does not terminate");
-            match self.via(a as usize, b as usize) {
-                None => out.push(b),
-                Some(k) => {
-                    debug_assert!(k != a && k != b, "degenerate via {k} at ({a},{b})");
-                    stack.push((k, b));
-                    stack.push((a, k));
-                }
+    }
+}
+
+/// Expands a `(i, j)` via chain into the full vertex sequence, reading
+/// each via cell through a caller-supplied (possibly fallible) lookup —
+/// the shared core of [`ParentMatrix::expand`] and of disk-backed stores
+/// whose via plane is loaded lazily.
+///
+/// The lookup receives global vertex ids and returns the interior vertex
+/// recorded for that pair (or `None` for a direct edge). Returns
+/// `Ok(None)` when the expansion exceeds its termination budget (a via
+/// cycle, impossible for matrices produced by the tracked solvers), and
+/// propagates the lookup's error otherwise. The caller owns bounds and
+/// reachability checks.
+pub fn expand_vias_with<E>(
+    i: usize,
+    j: usize,
+    n: usize,
+    mut via: impl FnMut(usize, usize) -> Result<Option<NodeId>, E>,
+) -> Result<Option<Vec<NodeId>>, E> {
+    if i == j {
+        return Ok(Some(vec![i as NodeId]));
+    }
+    let mut out = vec![i as NodeId];
+    // Depth-first, left-to-right expansion of (i, j) segments.
+    let mut stack: Vec<(u32, u32)> = vec![(i as u32, j as u32)];
+    // A valid expansion visits at most 2·n segments (the recursion
+    // tree over a simple path of ≤ n vertices).
+    let mut budget = 4 * n + 4;
+    while let Some((a, b)) = stack.pop() {
+        budget -= 1;
+        if budget == 0 {
+            return Ok(None);
+        }
+        match via(a as usize, b as usize)? {
+            None => out.push(b),
+            Some(k) => {
+                debug_assert!(k != a && k != b, "degenerate via {k} at ({a},{b})");
+                stack.push((k, b));
+                stack.push((a, k));
             }
         }
-        out
     }
+    Ok(Some(out))
 }
 
 /// Distances plus the via matrix that reconstructs their witness paths —

@@ -1,0 +1,278 @@
+//! A byte-budgeted LRU cache for blobs fetched from slow storage.
+//!
+//! The closure store (`apsp-core`) answers point queries against on-disk
+//! block matrices far larger than memory; this cache is the admission
+//! layer in front of the disk reads. Policy:
+//!
+//! * every entry carries an explicit byte weight (the decoded block's
+//!   footprint), and the cache evicts least-recently-used entries until
+//!   the resident total fits the budget;
+//! * a new entry is **always admitted**, even when it alone exceeds the
+//!   budget — a point query must be answerable under any budget, the
+//!   oversized block simply becomes the next eviction victim;
+//! * hits, misses, and evictions are counted on the shared [`Metrics`]
+//!   (`store_cache_*` counters) when the cache is built with
+//!   [`ByteLruCache::with_metrics`], so cache behaviour is observable
+//!   through the same [`MetricsSnapshot`](crate::MetricsSnapshot) pipeline
+//!   as the engine counters.
+
+use crate::metrics::Metrics;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+use std::sync::Arc;
+
+struct Entry<V> {
+    value: Arc<V>,
+    bytes: u64,
+    stamp: u64,
+}
+
+/// An LRU cache bounded by total entry bytes rather than entry count.
+///
+/// Values are handed out as [`Arc`]s, so an entry evicted while a caller
+/// still holds it stays alive for that caller; the cache merely stops
+/// accounting for it.
+pub struct ByteLruCache<K, V> {
+    entries: HashMap<K, Entry<V>>,
+    /// Recency index: stamp → key, oldest first. Stamps are unique
+    /// (monotonic clock), so this is a faithful LRU order.
+    recency: BTreeMap<u64, K>,
+    budget: u64,
+    used: u64,
+    clock: u64,
+    metrics: Option<Arc<Metrics>>,
+}
+
+impl<K: Eq + Hash + Clone, V> ByteLruCache<K, V> {
+    /// An empty cache with the given byte budget and no metrics wiring.
+    pub fn new(budget_bytes: u64) -> Self {
+        ByteLruCache {
+            entries: HashMap::new(),
+            recency: BTreeMap::new(),
+            budget: budget_bytes,
+            used: 0,
+            clock: 0,
+            metrics: None,
+        }
+    }
+
+    /// An empty cache that counts hits, misses, and evictions on the
+    /// `store_cache_*` counters of `metrics`.
+    pub fn with_metrics(budget_bytes: u64, metrics: Arc<Metrics>) -> Self {
+        let mut c = Self::new(budget_bytes);
+        c.metrics = Some(metrics);
+        c
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget
+    }
+
+    /// Bytes currently accounted to resident entries.
+    pub fn used_bytes(&self) -> u64 {
+        self.used
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are resident.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn note(&self, field: impl Fn(&Metrics) -> &std::sync::atomic::AtomicU64, v: u64) {
+        if let Some(m) = &self.metrics {
+            m.add(field(m), v);
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit. Counts one hit or
+    /// one miss.
+    pub fn get(&mut self, key: &K) -> Option<Arc<V>> {
+        let stamp = self.tick();
+        match self.entries.get_mut(key) {
+            Some(entry) => {
+                self.recency.remove(&entry.stamp);
+                entry.stamp = stamp;
+                let value = Arc::clone(&entry.value);
+                self.recency.insert(stamp, key.clone());
+                self.note(|m| &m.store_cache_hits, 1);
+                Some(value)
+            }
+            None => {
+                self.note(|m| &m.store_cache_misses, 1);
+                None
+            }
+        }
+    }
+
+    /// Inserts `value` under `key` with an explicit byte weight, evicting
+    /// least-recently-used entries until the budget holds (or the cache is
+    /// otherwise empty — the new entry is always admitted). Replacing an
+    /// existing key re-weights it. Returns the shared handle to the
+    /// inserted value.
+    pub fn insert(&mut self, key: K, value: V, bytes: u64) -> Arc<V> {
+        if let Some(old) = self.entries.remove(&key) {
+            self.recency.remove(&old.stamp);
+            self.used -= old.bytes;
+        }
+        while self.used + bytes > self.budget && !self.entries.is_empty() {
+            self.evict_lru();
+        }
+        let value = Arc::new(value);
+        let stamp = self.tick();
+        self.entries.insert(
+            key.clone(),
+            Entry {
+                value: Arc::clone(&value),
+                bytes,
+                stamp,
+            },
+        );
+        self.recency.insert(stamp, key);
+        self.used += bytes;
+        value
+    }
+
+    fn evict_lru(&mut self) {
+        // BTreeMap iterates stamps in ascending order: first = oldest.
+        let Some((&stamp, _)) = self.recency.iter().next() else {
+            return;
+        };
+        if let Some(key) = self.recency.remove(&stamp) {
+            if let Some(entry) = self.entries.remove(&key) {
+                self.used -= entry.bytes;
+                self.note(|m| &m.store_cache_evictions, 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot(m: &Arc<Metrics>) -> (u64, u64, u64) {
+        let s = m.snapshot();
+        (
+            s.store_cache_hits,
+            s.store_cache_misses,
+            s.store_cache_evictions,
+        )
+    }
+
+    #[test]
+    fn byte_accounting_is_exact_under_insert_and_evict() {
+        let mut c: ByteLruCache<u32, Vec<u8>> = ByteLruCache::new(100);
+        c.insert(1, vec![0; 40], 40);
+        c.insert(2, vec![0; 40], 40);
+        assert_eq!(c.used_bytes(), 80);
+        assert_eq!(c.len(), 2);
+        // 40 + 40 + 40 > 100: key 1 (LRU) must go.
+        c.insert(3, vec![0; 40], 40);
+        assert_eq!(c.used_bytes(), 80);
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&1).is_none());
+        assert!(c.get(&2).is_some());
+        assert!(c.get(&3).is_some());
+    }
+
+    #[test]
+    fn eviction_follows_recency_not_insertion_order() {
+        let mut c: ByteLruCache<u32, u8> = ByteLruCache::new(3);
+        c.insert(1, 10, 1);
+        c.insert(2, 20, 1);
+        c.insert(3, 30, 1);
+        // Touch 1: the LRU entry is now 2.
+        assert_eq!(c.get(&1).as_deref(), Some(&10));
+        c.insert(4, 40, 1);
+        assert!(c.get(&2).is_none(), "2 was least recently used");
+        assert_eq!(c.get(&1).as_deref(), Some(&10));
+        assert_eq!(c.get(&3).as_deref(), Some(&30));
+        assert_eq!(c.get(&4).as_deref(), Some(&40));
+    }
+
+    #[test]
+    fn oversized_entry_is_admitted_alone() {
+        let mut c: ByteLruCache<u32, u8> = ByteLruCache::new(10);
+        c.insert(1, 1, 4);
+        c.insert(2, 2, 4);
+        // 25 bytes > budget: everything else evicts, but the entry lands.
+        c.insert(3, 3, 25);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes(), 25);
+        assert_eq!(c.get(&3).as_deref(), Some(&3));
+    }
+
+    #[test]
+    fn replacing_a_key_reweights_it() {
+        let mut c: ByteLruCache<u32, u8> = ByteLruCache::new(100);
+        c.insert(1, 1, 30);
+        c.insert(1, 2, 50);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes(), 50);
+        assert_eq!(c.get(&1).as_deref(), Some(&2));
+    }
+
+    #[test]
+    fn zero_budget_keeps_only_the_latest_entry() {
+        let mut c: ByteLruCache<u32, u8> = ByteLruCache::new(0);
+        c.insert(1, 1, 8);
+        assert_eq!(c.len(), 1);
+        c.insert(2, 2, 8);
+        assert_eq!(c.len(), 1, "budget 0 admits exactly the newest entry");
+        assert!(c.get(&1).is_none());
+        assert_eq!(c.get(&2).as_deref(), Some(&2));
+    }
+
+    #[test]
+    fn metrics_counters_match_a_hand_computed_trace() {
+        let m = Arc::new(Metrics::default());
+        let mut c: ByteLruCache<u32, u8> = ByteLruCache::with_metrics(2, Arc::clone(&m));
+        // Trace: miss 1, insert 1; miss 2, insert 2; hit 1; insert 3
+        // (evicts 2, the LRU); hit 3; miss 2.
+        assert!(c.get(&1).is_none()); //           miss=1
+        c.insert(1, 10, 1);
+        assert!(c.get(&2).is_none()); //           miss=2
+        c.insert(2, 20, 1);
+        assert_eq!(c.get(&1).as_deref(), Some(&10)); // hit=1
+        c.insert(3, 30, 1); //                     evict=1 (key 2)
+        assert_eq!(c.get(&3).as_deref(), Some(&30)); // hit=2
+        assert!(c.get(&2).is_none()); //           miss=3
+        assert_eq!(snapshot(&m), (2, 3, 1));
+        assert_eq!(c.used_bytes(), 2);
+    }
+
+    #[test]
+    fn refetch_after_eviction_is_bit_identical() {
+        // The cache stores decoded blobs; simulate the store's
+        // fetch-on-miss loop and check the round-trip is exact.
+        let payload = |k: u32| -> Vec<f64> { vec![k as f64, -0.0, f64::INFINITY, 1.5e-300] };
+        let mut c: ByteLruCache<u32, Vec<f64>> = ByteLruCache::new(32);
+        let first = c.insert(7, payload(7), 32);
+        let bits: Vec<u64> = first.iter().map(|v| v.to_bits()).collect();
+        c.insert(8, payload(8), 32); // evicts 7
+        assert!(c.get(&7).is_none());
+        let again = c.insert(7, payload(7), 32);
+        let bits2: Vec<u64> = again.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(bits, bits2);
+    }
+
+    #[test]
+    fn arc_handles_survive_eviction() {
+        let mut c: ByteLruCache<u32, String> = ByteLruCache::new(1);
+        let held = c.insert(1, "alive".to_string(), 1);
+        c.insert(2, "new".to_string(), 1); // evicts 1
+        assert!(c.get(&1).is_none());
+        assert_eq!(held.as_str(), "alive");
+    }
+}

@@ -202,7 +202,10 @@ mod tests {
         let seq_b: Vec<bool> = (0..64).map(|_| b.task_should_fail(3, 1)).collect();
         assert_eq!(seq_a, seq_b);
         assert!(seq_a.iter().any(|&f| f), "rate 0.5 over 64 draws must fire");
-        assert!(seq_a.iter().any(|&f| !f), "rate 0.5 over 64 draws must pass");
+        assert!(
+            seq_a.iter().any(|&f| !f),
+            "rate 0.5 over 64 draws must pass"
+        );
     }
 
     #[test]
@@ -256,7 +259,11 @@ mod tests {
     fn arming_delay_keeps_early_reads_clean() {
         let s = ChaosState::new(ChaosConfig::new(5).missing_keys(1.0).arm_after_reads(10));
         for i in 0..10 {
-            assert_eq!(s.read_fault(&format!("k{i}")), None, "read {i} must be clean");
+            assert_eq!(
+                s.read_fault(&format!("k{i}")),
+                None,
+                "read {i} must be clean"
+            );
         }
         assert_eq!(s.read_fault("k10"), Some(ReadFault::Missing));
     }

@@ -60,6 +60,7 @@
 
 mod accumulator;
 mod broadcast;
+pub mod cache;
 mod chaos;
 mod context;
 mod error;
@@ -73,6 +74,7 @@ mod size;
 
 pub use accumulator::{DoubleAccumulator, LongAccumulator};
 pub use broadcast::Broadcast;
+pub use cache::ByteLruCache;
 pub use chaos::ChaosConfig;
 pub use context::{SparkConfig, SparkContext};
 pub use error::{SparkError, SparkResult};

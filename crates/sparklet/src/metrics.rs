@@ -42,6 +42,18 @@ pub struct Metrics {
     pub checkpoint_bytes: AtomicU64,
     /// Rounds skipped on resume because a checkpoint restored them.
     pub rounds_resumed: AtomicU64,
+    /// Closure-store block cache hits (block served from memory).
+    pub store_cache_hits: AtomicU64,
+    /// Closure-store block cache misses (block fetched from disk).
+    pub store_cache_misses: AtomicU64,
+    /// Closure-store cache evictions under the byte budget.
+    pub store_cache_evictions: AtomicU64,
+    /// Closure-store blocks read from disk (equals misses for a
+    /// cache-fronted store).
+    pub store_blocks_read: AtomicU64,
+    /// Bytes read from closure-store blocks on disk (framed, with
+    /// headers).
+    pub store_bytes_read: AtomicU64,
 }
 
 impl Metrics {
@@ -69,6 +81,11 @@ impl Metrics {
             checkpoints_written: self.checkpoints_written.load(Ordering::Relaxed),
             checkpoint_bytes: self.checkpoint_bytes.load(Ordering::Relaxed),
             rounds_resumed: self.rounds_resumed.load(Ordering::Relaxed),
+            store_cache_hits: self.store_cache_hits.load(Ordering::Relaxed),
+            store_cache_misses: self.store_cache_misses.load(Ordering::Relaxed),
+            store_cache_evictions: self.store_cache_evictions.load(Ordering::Relaxed),
+            store_blocks_read: self.store_blocks_read.load(Ordering::Relaxed),
+            store_bytes_read: self.store_bytes_read.load(Ordering::Relaxed),
         }
     }
 }
@@ -94,6 +111,11 @@ pub struct MetricsSnapshot {
     pub checkpoints_written: u64,
     pub checkpoint_bytes: u64,
     pub rounds_resumed: u64,
+    pub store_cache_hits: u64,
+    pub store_cache_misses: u64,
+    pub store_cache_evictions: u64,
+    pub store_blocks_read: u64,
+    pub store_bytes_read: u64,
 }
 
 impl MetricsSnapshot {
@@ -118,6 +140,11 @@ impl MetricsSnapshot {
             checkpoints_written: self.checkpoints_written - before.checkpoints_written,
             checkpoint_bytes: self.checkpoint_bytes - before.checkpoint_bytes,
             rounds_resumed: self.rounds_resumed - before.rounds_resumed,
+            store_cache_hits: self.store_cache_hits - before.store_cache_hits,
+            store_cache_misses: self.store_cache_misses - before.store_cache_misses,
+            store_cache_evictions: self.store_cache_evictions - before.store_cache_evictions,
+            store_blocks_read: self.store_blocks_read - before.store_blocks_read,
+            store_bytes_read: self.store_bytes_read - before.store_bytes_read,
         }
     }
 

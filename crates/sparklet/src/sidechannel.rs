@@ -123,12 +123,7 @@ impl SideChannel {
             // Disk keys are listed in filename form; compare like with like.
             SideChannelBackend::Disk(_) => key.replace([':', '/'], "_"),
         };
-        let lcp = |a: &str, b: &str| {
-            a.bytes()
-                .zip(b.bytes())
-                .take_while(|(x, y)| x == y)
-                .count()
-        };
+        let lcp = |a: &str, b: &str| a.bytes().zip(b.bytes()).take_while(|(x, y)| x == y).count();
         let mut nearest = self.keys();
         nearest.retain(|k| k != key && k != &probe);
         nearest.sort_by(|a, b| lcp(b, &probe).cmp(&lcp(a, &probe)).then_with(|| a.cmp(b)));
@@ -204,8 +199,10 @@ impl SideChannel {
             SideChannelBackend::Disk(dir) => {
                 let framed = serialize::frame(FRAME_KIND_BLOCK, &value.to_bytes());
                 self.metrics.add(&self.metrics.side_channel_writes, 1);
-                self.metrics
-                    .add(&self.metrics.side_channel_bytes_written, framed.len() as u64);
+                self.metrics.add(
+                    &self.metrics.side_channel_bytes_written,
+                    framed.len() as u64,
+                );
                 std::fs::write(Self::disk_path(dir, &key), &framed).map_err(|e| {
                     SparkError::User(format!("side-channel write failed for '{key}': {e}"))
                 })
@@ -225,8 +222,8 @@ impl SideChannel {
                     return Err(self.miss_error(key));
                 }
                 self.apply_read_fault(key)?;
-                let bytes = std::fs::read(Self::disk_path(dir, key))
-                    .map_err(|_| self.miss_error(key))?;
+                let bytes =
+                    std::fs::read(Self::disk_path(dir, key)).map_err(|_| self.miss_error(key))?;
                 let corrupt = |detail: String| SparkError::SideChannelCorrupt {
                     key: key.to_string(),
                     detail,
@@ -234,7 +231,9 @@ impl SideChannel {
                 let (kind, body) =
                     serialize::unframe(&bytes).map_err(|e| corrupt(e.to_string()))?;
                 if kind != FRAME_KIND_BLOCK {
-                    return Err(corrupt(format!("expected a block frame, found kind {kind}")));
+                    return Err(corrupt(format!(
+                        "expected a block frame, found kind {kind}"
+                    )));
                 }
                 let blk = Block::from_bytes(body).map_err(|e| corrupt(e.to_string()))?;
                 self.metrics.add(&self.metrics.side_channel_reads, 1);
@@ -293,8 +292,8 @@ impl SideChannel {
                 Ok((*typed).clone())
             }
             SideChannelBackend::Disk(dir) => {
-                let raw = std::fs::read(Self::disk_path(dir, key))
-                    .map_err(|_| self.miss_error(key))?;
+                let raw =
+                    std::fs::read(Self::disk_path(dir, key)).map_err(|_| self.miss_error(key))?;
                 self.metrics.add(&self.metrics.side_channel_reads, 1);
                 self.metrics
                     .add(&self.metrics.side_channel_bytes_read, raw.len() as u64);

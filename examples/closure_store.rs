@@ -1,0 +1,111 @@
+//! Closure store: solve once, persist the closure, and answer point
+//! queries from disk in a later process — through an LRU block cache
+//! whose budget can be far smaller than the closure itself.
+//!
+//! ```sh
+//! cargo run --release --example closure_store
+//! ```
+//!
+//! Also the measurement harness behind the cold-open vs warm-cache table
+//! in `EXPERIMENTS.md`.
+
+use apspark::prelude::*;
+use std::time::Instant;
+
+fn percentile(mut us: Vec<u128>, p: f64) -> u128 {
+    us.sort_unstable();
+    us[((us.len() - 1) as f64 * p) as usize]
+}
+
+fn main() {
+    let n = 2048;
+    let b = 128;
+    let graph = apspark::graph::generators::erdos_renyi_paper(n, 0.1, 42);
+    let ctx = SparkContext::new(SparkConfig::with_cores(4));
+
+    // Solve once, tracked, and persist the closure next to the process.
+    let dir = std::env::temp_dir().join("apspark-closure-store-example");
+    let _ = std::fs::remove_dir_all(&dir);
+    let t = Instant::now();
+    let sol = Problem::new(&graph)
+        .with_paths()
+        .block_size(b)
+        .solve(&ctx)
+        .expect("solve failed");
+    let solve_s = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    sol.save(&dir).expect("save failed");
+    let save_s = t.elapsed().as_secs_f64();
+    let store_bytes: u64 = std::fs::read_dir(&dir)
+        .expect("store dir")
+        .map(|e| e.expect("entry").metadata().expect("meta").len())
+        .sum();
+    println!(
+        "solved n = {n} in {solve_s:.3}s; saved {} blocks ({:.1} MB) in {save_s:.3}s",
+        (n / b) * (n / b),
+        store_bytes as f64 / 1e6
+    );
+    drop(sol); // from here on, the closure lives only on disk
+
+    // Reopen under a cache budget of ~16 blocks — 6% of the closure —
+    // as a fresh process would, and compare first-touch (disk + decode)
+    // against cached point queries.
+    let per_block = (b * b * 12) as u64; // f64 values + u32 vias
+    let t = Instant::now();
+    let disk = Solution::open_with_cache_budget(&dir, 16 * per_block).expect("open failed");
+    println!(
+        "reopened in {:.1} us under a {:.1} MB budget ({:.1} MB closure)",
+        t.elapsed().as_micros(),
+        (16 * per_block) as f64 / 1e6,
+        store_bytes as f64 / 1e6
+    );
+
+    // Cold: one query per block row/column stride, every touch a miss.
+    let mut cold = Vec::new();
+    for i in (0..n).step_by(b) {
+        for j in (0..n).step_by(b) {
+            let t = Instant::now();
+            let _ = disk.dist(i, j);
+            cold.push(t.elapsed().as_micros());
+        }
+    }
+    // Warm: re-ask within the most recent blocks — pure cache hits.
+    let mut warm = Vec::new();
+    for _ in 0..cold.len() {
+        let t = Instant::now();
+        let _ = disk.dist(n - 1, n - 1);
+        warm.push(t.elapsed().as_nanos());
+    }
+    println!(
+        "cold point query  p50 = {} us, p99 = {} us (disk read + checksum + decode)",
+        percentile(cold.clone(), 0.5),
+        percentile(cold, 0.99)
+    );
+    println!(
+        "warm point query  p50 = {} ns, p99 = {} ns (cache hit)",
+        percentile(warm.clone(), 0.5),
+        percentile(warm, 0.99)
+    );
+
+    // Routes reconstruct from the stored via planes, fetching only the
+    // blocks the path crosses.
+    let t = Instant::now();
+    let route = disk.path(0, n - 1);
+    println!(
+        "path(0, {}) from disk in {} us: {} hops",
+        n - 1,
+        t.elapsed().as_micros(),
+        route.map_or(0, |r| r.len() - 1)
+    );
+
+    let m = disk.store().expect("store-backed").metrics();
+    println!(
+        "cache: {} hits, {} misses, {} evictions; {} blocks ({:.1} MB) read",
+        m.store_cache_hits,
+        m.store_cache_misses,
+        m.store_cache_evictions,
+        m.store_blocks_read,
+        m.store_bytes_read as f64 / 1e6
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -3,7 +3,10 @@
 //! ```text
 //! apspark generate --n 256 [--directed] [--seed S] --output graph.txt
 //! apspark solve    --input graph.txt [--directed] [--solver cb|im|fw2d|rs|cartesian|johnson|mpi-fw2d|mpi-dc]
-//!                  [--auto] [--path SRC DST] [--block-size B] [--cores C] [--output dists.txt]
+//!                  [--auto] [--path SRC DST] [--store DIR] [--block-size B] [--cores C] [--output dists.txt]
+//! apspark query    --store DIR [--dist U V | --path U V | --k-nearest U K | --submatrix R0 R1 C0 C1]
+//!                  [--cache-mb M] [--stats]
+//! apspark finalize --checkpoint-dir DIR --store DIR
 //! apspark project  --n 262144 [--cores 1024] [--solver cb] [--block-size B]
 //! ```
 //!
@@ -11,9 +14,14 @@
 //! solver and block size are chosen by the capability rules and the
 //! cluster model, and the `Plan::explain()` report is printed. `solve
 //! --path SRC DST` additionally tracks witness paths and prints the
-//! reconstructed route.
+//! reconstructed route. `solve --store DIR` persists the solved closure
+//! as a committed on-disk store that `query` answers from a fresh
+//! process — blocks load lazily through an LRU cache, so point queries
+//! never materialize the full matrix. `finalize` converts a *finished*
+//! checkpoint directory into a store without re-solving.
 
 use apspark::cluster::{project, ClusterSpec, KernelRates, SolverKind, SparkOverheads, Workload};
+use apspark::core::plan::Workload as PlanWorkload;
 use apspark::core::{directed::DirectedBlockedCB, tuner, DistributedJohnson, MpiDcApsp, MpiFw2d};
 use apspark::graph::{generators, io};
 use apspark::prelude::*;
@@ -37,21 +45,31 @@ fn main() -> ExitCode {
     let result = match cmd.as_str() {
         "generate" => cmd_generate(&flags),
         "solve" => cmd_solve(&flags),
+        "query" => cmd_query(&flags),
+        "finalize" => cmd_finalize(&flags),
         "project" => cmd_project(&flags),
         "--help" | "-h" | "help" => {
             println!(
                 "apspark — distributed APSP (ICPP'19 reproduction)\n\n\
                  generate --n N [--directed] [--seed S] --output FILE\n\
                  solve    --input FILE [--directed] [--solver NAME] [--block-size B]\n          \
-                 [--auto] [--path SRC DST] [--cores C] [--output FILE]\n\
+                 [--auto] [--path SRC DST] [--store DIR] [--cores C] [--output FILE]\n\
+                 query    --store DIR [--dist U V | --path U V | --k-nearest U K |\n          \
+                 --submatrix R0 R1 C0 C1] [--cache-mb M] [--stats]\n\
+                 finalize --checkpoint-dir DIR --store DIR\n\
                  project  --n N [--cores P] [--solver NAME] [--block-size B]\n\n\
                  solvers: cb (default), im, fw2d, rs, cartesian, johnson, mpi-fw2d, mpi-dc\n\n\
                  --auto        let the query planner pick the solver and block size\n               \
                  (prints the Plan::explain() report; --solver becomes a preference)\n\
                  --path SRC DST  track witness paths and print the reconstructed\n               \
                  SRC -> DST route (implies the planner)\n\
+                 --store DIR   persist the solved closure into DIR as a committed\n               \
+                 on-disk store (implies the planner); query it later with\n               \
+                 'apspark query --store DIR' — no re-solve\n\
                  --stats       print the engine counters after the solve (tasks,\n               \
-                 retries, shuffles, side channel, checkpoints, resumed rounds)\n\
+                 retries, shuffles, side channel, checkpoints, resumed rounds);\n               \
+                 on 'query', print the store cache counters instead\n\
+                 --cache-mb M  bound the query block cache at M MiB (default 64)\n\
                  --checkpoint-dir DIR   snapshot the solve round-by-round into DIR\n\
                  --checkpoint-every K   snapshot every K rounds (default 1)\n\
                  --resume      restore the latest committed round from\n               \
@@ -86,6 +104,24 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
                 let dst = it.next().ok_or("--path needs SRC and DST")?;
                 out.insert("path-src".into(), src.clone());
                 out.insert("path-dst".into(), dst.clone());
+            }
+            "dist" => {
+                let src = it.next().ok_or("--dist needs U and V")?;
+                let dst = it.next().ok_or("--dist needs U and V")?;
+                out.insert("dist-src".into(), src.clone());
+                out.insert("dist-dst".into(), dst.clone());
+            }
+            "k-nearest" => {
+                let src = it.next().ok_or("--k-nearest needs U and K")?;
+                let k = it.next().ok_or("--k-nearest needs U and K")?;
+                out.insert("knear-src".into(), src.clone());
+                out.insert("knear-k".into(), k.clone());
+            }
+            "submatrix" => {
+                for slot in ["sub-r0", "sub-r1", "sub-c0", "sub-c1"] {
+                    let v = it.next().ok_or("--submatrix needs R0 R1 C0 C1")?;
+                    out.insert(slot.into(), v.clone());
+                }
             }
             _ => {
                 let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
@@ -240,6 +276,9 @@ fn cmd_solve_planned(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(spec) = checkpoint_spec(flags)? {
         problem = problem.checkpoint(spec);
     }
+    if let Some(dir) = flags.get("store") {
+        problem = problem.store(dir);
+    }
 
     let ctx = SparkContext::new(SparkConfig::with_cores(cores));
     let plan = problem.plan(&ctx).map_err(|e| e.to_string())?;
@@ -249,6 +288,9 @@ fn cmd_solve_planned(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("solved in {:.3}s", start.elapsed().as_secs_f64());
     if flags.contains_key("stats") {
         print_stats(&sol.metrics);
+    }
+    if let Some(dir) = flags.get("store") {
+        println!("saved closure store to {dir} (open with 'apspark query --store {dir}')");
     }
 
     if let Some((src, dst)) = path_query {
@@ -273,7 +315,7 @@ fn cmd_solve_planned(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
-    if flags.contains_key("auto") || flags.contains_key("path-src") {
+    if flags.contains_key("auto") || flags.contains_key("path-src") || flags.contains_key("store") {
         return cmd_solve_planned(flags);
     }
     let input = flags.get("input").ok_or("--input is required")?;
@@ -344,9 +386,7 @@ fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
             if let Some(spec) = ckpt {
                 cfg = cfg.with_checkpoints(spec);
             }
-            let res = solver
-                .solve(&ctx, &adj, &cfg)
-                .map_err(|e| e.to_string())?;
+            let res = solver.solve(&ctx, &adj, &cfg).map_err(|e| e.to_string())?;
             if flags.contains_key("stats") {
                 print_stats(&res.metrics);
             }
@@ -364,6 +404,125 @@ fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
     };
     println!("solved in {:.3}s", start.elapsed().as_secs_f64());
     write_distances(&distances, flags.get("output"))
+}
+
+/// `apspark query`: point queries against a committed closure store,
+/// from a fresh process — no solve, no full-matrix load.
+fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dir = flags.get("store").ok_or("--store is required")?;
+    let budget = match get_usize(flags, "cache-mb")? {
+        Some(mb) => (mb.max(1) as u64) << 20,
+        None => DEFAULT_STORE_CACHE_BUDGET,
+    };
+    let sol = Solution::open_with_cache_budget(dir, budget).map_err(|e| e.to_string())?;
+    println!(
+        "opened {} store at {dir}: n = {}, b = {}, solver {}, paths {}",
+        sol.workload().label(),
+        sol.order(),
+        sol.plan.block_size,
+        sol.plan.solver.name(),
+        if sol.plan.paths { "tracked" } else { "off" },
+    );
+
+    if let (Some(u), Some(v)) = (get_usize(flags, "dist-src")?, get_usize(flags, "dist-dst")?) {
+        match sol.workload() {
+            PlanWorkload::ShortestPaths => match sol.try_dist(u, v).map_err(|e| e.to_string())? {
+                Some(d) => println!("dist({u}, {v}) = {d}"),
+                None => println!("dist({u}, {v}) = unreachable"),
+            },
+            PlanWorkload::Widest => match sol.try_width(u, v).map_err(|e| e.to_string())? {
+                Some(w) => println!("width({u}, {v}) = {w}"),
+                None => println!("width({u}, {v}) = unreachable"),
+            },
+            PlanWorkload::Reachability => {
+                let r = sol.try_reachable(u, v).map_err(|e| e.to_string())?;
+                println!("reachable({u}, {v}) = {r}");
+            }
+        }
+    }
+    if let (Some(u), Some(v)) = (get_usize(flags, "path-src")?, get_usize(flags, "path-dst")?) {
+        match sol.try_path(u, v).map_err(|e| e.to_string())? {
+            Some(route) => {
+                let hops: Vec<String> = route.iter().map(|x| x.to_string()).collect();
+                println!(
+                    "route {u} -> {v}: {} hops: {}",
+                    route.len() - 1,
+                    hops.join(" -> ")
+                );
+            }
+            None => println!(
+                "no route from {u} to {v}{}",
+                if sol.plan.paths {
+                    ""
+                } else {
+                    " (store was saved without path tracking)"
+                }
+            ),
+        }
+    }
+    if let (Some(u), Some(k)) = (get_usize(flags, "knear-src")?, get_usize(flags, "knear-k")?) {
+        let near = sol.try_k_nearest(u, k).map_err(|e| e.to_string())?;
+        let items: Vec<String> = near.iter().map(|(v, s)| format!("{v}:{s}")).collect();
+        println!("k-nearest({u}, {k}): {}", items.join(" "));
+    }
+    if let (Some(r0), Some(r1), Some(c0), Some(c1)) = (
+        get_usize(flags, "sub-r0")?,
+        get_usize(flags, "sub-r1")?,
+        get_usize(flags, "sub-c0")?,
+        get_usize(flags, "sub-c1")?,
+    ) {
+        if r1 < r0 || c1 < c0 {
+            return Err("--submatrix wants R0 <= R1 and C0 <= C1 (inclusive)".into());
+        }
+        let rows: Vec<usize> = (r0..=r1).collect();
+        let cols: Vec<usize> = (c0..=c1).collect();
+        let sub = sol.try_submatrix(&rows, &cols).map_err(|e| e.to_string())?;
+        println!("submatrix [{r0}..={r1}] x [{c0}..={c1}]:");
+        for row in &sub {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|v| {
+                    if v.is_finite() {
+                        format!("{v}")
+                    } else {
+                        "inf".into()
+                    }
+                })
+                .collect();
+            println!("  {}", cells.join(" "));
+        }
+    }
+    if flags.contains_key("stats") {
+        if let Some(store) = sol.store() {
+            let m = store.metrics();
+            println!(
+                "store cache: {} hits, {} misses, {} evictions; {} blocks read \
+                 ({:.1} MB) under a {:.1} MB budget",
+                m.store_cache_hits,
+                m.store_cache_misses,
+                m.store_cache_evictions,
+                m.store_blocks_read,
+                m.store_bytes_read as f64 / 1e6,
+                store.cache_budget_bytes() as f64 / 1e6,
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `apspark finalize`: converts a finished checkpoint directory into a
+/// committed closure store without re-solving.
+fn cmd_finalize(flags: &HashMap<String, String>) -> Result<(), String> {
+    let ckpt = flags
+        .get("checkpoint-dir")
+        .ok_or("--checkpoint-dir is required")?;
+    let store = flags.get("store").ok_or("--store is required")?;
+    finalize_checkpoint(ckpt, store).map_err(|e| e.to_string())?;
+    println!(
+        "finalized checkpoint {ckpt} into store {store} \
+         (open with 'apspark query --store {store}')"
+    );
+    Ok(())
 }
 
 fn cmd_project(flags: &HashMap<String, String>) -> Result<(), String> {

@@ -81,9 +81,9 @@ pub mod prelude {
         Plan, PlanNote, Problem, ResourceHints, Solution, SolverCaps, SolverId, Workload,
     };
     pub use apsp_core::{
-        ApspResult, ApspSolver, BlockedCollectBroadcast, BlockedInMemory, CheckpointPolicy,
-        CheckpointSignal, CheckpointSpec, DistancesAndParents, FloydWarshall2D, ParentMatrix,
-        RepeatedSquaring, SolverConfig,
+        finalize_checkpoint, ApspResult, ApspSolver, BlockedCollectBroadcast, BlockedInMemory,
+        CheckpointPolicy, CheckpointSignal, CheckpointSpec, ClosureStore, DistancesAndParents,
+        FloydWarshall2D, ParentMatrix, RepeatedSquaring, SolverConfig, DEFAULT_STORE_CACHE_BUDGET,
     };
     pub use apsp_graph::Graph;
     pub use sparklet::{SparkConfig, SparkContext};

@@ -116,7 +116,10 @@ fn chaos_task_and_transient_faults_recover_bit_exact_or_fail_typed() {
 fn chaos_side_channel_faults_never_corrupt_results() {
     let g = generators::erdos_renyi_paper(48, 0.1, 0xCA06);
     for w in WORKLOADS {
-        for solver in [SolverId::BlockedCollectBroadcast, SolverId::RepeatedSquaring] {
+        for solver in [
+            SolverId::BlockedCollectBroadcast,
+            SolverId::RepeatedSquaring,
+        ] {
             let clean = solve(&g, solver, w, &ctx(4)).expect("clean reference solve");
             for seed in seeds() {
                 let context = ctx(4);
@@ -153,7 +156,12 @@ fn chaos_schedules_are_deterministic_per_seed() {
                     .task_failures(0.05)
                     .transient_reads(0.05),
             );
-            solve(&g, SolverId::BlockedCollectBroadcast, Workload::ShortestPaths, &context)
+            solve(
+                &g,
+                SolverId::BlockedCollectBroadcast,
+                Workload::ShortestPaths,
+                &context,
+            )
         };
         let (a, b) = (run(), run());
         assert_eq!(

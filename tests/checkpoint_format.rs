@@ -59,9 +59,8 @@ fn golden_fixture_resumes_bit_exact() {
         .block_size(8)
         .solve(&SparkContext::new(SparkConfig::with_cores(2)))
         .expect("fresh solve");
-    let resumed = resume_from(&fixture_dir()).unwrap_or_else(|e| {
-        panic!("the golden v1 fixture must stay readable forever: {e}")
-    });
+    let resumed = resume_from(&fixture_dir())
+        .unwrap_or_else(|e| panic!("the golden v1 fixture must stay readable forever: {e}"));
     assert!(
         resumed.distances() == clean.distances(),
         "fixture-resumed distances diverged from a fresh solve"

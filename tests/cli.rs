@@ -350,3 +350,182 @@ fn bad_flags_fail_cleanly() {
     let out = bin().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());
 }
+
+#[test]
+fn solve_store_then_query_roundtrip() {
+    let graph = temp("store-g.txt");
+    let store = temp("store-dir");
+    let _ = std::fs::remove_dir_all(&store);
+
+    let out = bin()
+        .args(["generate", "--n", "48", "--seed", "5", "--output"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    // Solve once, persisting the closure (tracked, so paths work later).
+    let out = bin()
+        .args([
+            "solve",
+            "--cores",
+            "2",
+            "--block-size",
+            "16",
+            "--path",
+            "0",
+            "47",
+            "--input",
+        ])
+        .arg(&graph)
+        .arg("--store")
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("saved closure store"), "{text}");
+
+    // A fresh process answers point queries from the store — no input
+    // graph, no solve, and a tiny cache budget still works.
+    let out = bin()
+        .args([
+            "query",
+            "--dist",
+            "0",
+            "47",
+            "--path",
+            "0",
+            "47",
+            "--k-nearest",
+            "0",
+            "3",
+        ])
+        .args([
+            "--submatrix",
+            "0",
+            "1",
+            "46",
+            "47",
+            "--cache-mb",
+            "1",
+            "--stats",
+        ])
+        .arg("--store")
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("opened shortest-paths store"), "{text}");
+    assert!(text.contains("dist(0, 47)"), "{text}");
+    assert!(
+        text.contains("route 0 -> 47") || text.contains("no route"),
+        "{text}"
+    );
+    assert!(text.contains("k-nearest(0, 3):"), "{text}");
+    assert!(text.contains("submatrix"), "{text}");
+    assert!(text.contains("store cache:"), "{text}");
+
+    let _ = std::fs::remove_file(graph);
+    let _ = std::fs::remove_dir_all(store);
+}
+
+#[test]
+fn finalize_turns_a_finished_checkpoint_into_a_store() {
+    let graph = temp("fin-g.txt");
+    let ckpt = temp("fin-ckpt");
+    let store = temp("fin-store");
+    let _ = std::fs::remove_dir_all(&ckpt);
+    let _ = std::fs::remove_dir_all(&store);
+
+    let out = bin()
+        .args(["generate", "--n", "32", "--seed", "8", "--output"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+
+    let out = bin()
+        .args([
+            "solve",
+            "--solver",
+            "cb",
+            "--cores",
+            "2",
+            "--block-size",
+            "16",
+            "--input",
+        ])
+        .arg(&graph)
+        .arg("--checkpoint-dir")
+        .arg(&ckpt)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = bin()
+        .arg("finalize")
+        .arg("--checkpoint-dir")
+        .arg(&ckpt)
+        .arg("--store")
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("finalized checkpoint"));
+
+    let out = bin()
+        .args(["query", "--dist", "0", "31"])
+        .arg("--store")
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("dist(0, 31)"), "{text}");
+
+    let _ = std::fs::remove_file(graph);
+    let _ = std::fs::remove_dir_all(ckpt);
+    let _ = std::fs::remove_dir_all(store);
+}
+
+#[test]
+fn query_rejects_a_directory_that_is_not_a_store() {
+    let dir = temp("not-a-store");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = bin()
+        .arg("query")
+        .arg("--store")
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("manifest"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -1,0 +1,308 @@
+//! Closure-store round-trip properties: solve → save → open must answer
+//! every point query **bit-exactly** like the in-memory solution it was
+//! saved from, across all three workloads, tracked and untracked, at
+//! block-boundary sizes — under a cache budget small enough to force
+//! eviction mid-test, so re-fetched blocks are exercised too.
+
+use apspark::core::ApspError;
+use apspark::graph::generators;
+use apspark::prelude::*;
+
+fn ctx() -> SparkContext {
+    SparkContext::new(SparkConfig::with_cores(2))
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("apsp-store-rt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Deterministic LCG so "random" queries are reproducible.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self, bound: usize) -> usize {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.0 >> 33) as usize) % bound.max(1)
+    }
+}
+
+/// A cache budget of ~2.5 decoded blocks: multi-block stores must evict.
+/// Reachability stores decode to 1-byte cells, the f64 workloads to 8.
+fn tight_budget(n: usize, workload: Workload, tracked: bool) -> u64 {
+    let b = n.min(64) as u64;
+    let value = if workload == Workload::Reachability {
+        1
+    } else {
+        8
+    };
+    let per_block = b * b * (value + if tracked { 4 } else { 0 });
+    (per_block * 5 / 2).max(1)
+}
+
+fn assert_roundtrip(n: usize, workload: Workload, tracked: bool, seed: u64) {
+    let g = generators::erdos_renyi_paper(n, 0.2, seed);
+    let sc = ctx();
+    let mut problem = Problem::new(&g).workload(workload).block_size(64);
+    if tracked {
+        problem = problem.with_paths();
+    }
+    let mem = problem.solve(&sc).expect("solve");
+    let dir = scratch(&format!("{n}-{}-{tracked}", workload.label()));
+    mem.save(&dir).expect("save");
+
+    let disk =
+        Solution::open_with_cache_budget(&dir, tight_budget(n, workload, tracked)).expect("open");
+    assert_eq!(disk.order(), n);
+    assert_eq!(disk.workload(), workload);
+    assert_eq!(disk.plan.solver, mem.plan.solver);
+    assert_eq!(disk.plan.paths, tracked);
+
+    let mut rng = Lcg(seed ^ (n as u64) << 8);
+    for _ in 0..48 {
+        let (u, v) = (rng.next(n), rng.next(n));
+        assert_eq!(mem.dist(u, v), disk.dist(u, v), "dist({u}, {v}) at n = {n}");
+        assert_eq!(mem.width(u, v), disk.width(u, v), "width({u}, {v})");
+        assert_eq!(
+            mem.reachable(u, v),
+            disk.reachable(u, v),
+            "reachable({u}, {v})"
+        );
+        assert_eq!(mem.path(u, v), disk.path(u, v), "path({u}, {v}) at n = {n}");
+    }
+    for _ in 0..3 {
+        let u = rng.next(n);
+        assert_eq!(mem.k_nearest(u, n), disk.k_nearest(u, n), "k_nearest({u})");
+        assert_eq!(mem.k_nearest(u, 3), disk.k_nearest(u, 3));
+    }
+    let r0 = rng.next(n);
+    let c0 = rng.next(n);
+    let rows: Vec<usize> = (r0..(r0 + 4).min(n)).collect();
+    let cols: Vec<usize> = (c0..(c0 + 4).min(n)).collect();
+    assert_eq!(mem.submatrix(&rows, &cols), disk.submatrix(&rows, &cols));
+
+    // Multi-block stores under the tight budget must have churned the
+    // cache; the counters prove queries really stream from disk.
+    let store = disk.store().expect("store-backed solution");
+    let m = store.metrics();
+    let q = n.div_ceil(64);
+    if q > 1 {
+        assert!(
+            m.store_cache_evictions > 0,
+            "q = {q} store under a 2.5-block budget must evict (metrics: {m:?})"
+        );
+        assert!(m.store_cache_hits > 0, "block reuse must hit the cache");
+    }
+    assert!(m.store_blocks_read > 0 && m.store_bytes_read > 0);
+    assert_eq!(
+        m.store_cache_misses, m.store_blocks_read,
+        "every miss is one block fetch"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn assert_roundtrip_all_workloads(n: usize, seed: u64) {
+    for workload in [
+        Workload::ShortestPaths,
+        Workload::Widest,
+        Workload::Reachability,
+    ] {
+        for tracked in [false, true] {
+            assert_roundtrip(n, workload, tracked, seed);
+        }
+    }
+}
+
+#[test]
+fn roundtrip_single_vertex() {
+    assert_roundtrip_all_workloads(1, 11);
+}
+
+#[test]
+fn roundtrip_just_below_block_boundary() {
+    assert_roundtrip_all_workloads(127, 12);
+}
+
+#[test]
+fn roundtrip_at_block_boundary() {
+    assert_roundtrip_all_workloads(128, 13);
+}
+
+#[test]
+fn roundtrip_just_above_block_boundary() {
+    assert_roundtrip_all_workloads(129, 14);
+}
+
+#[test]
+fn finalized_checkpoint_matches_fresh_solve() {
+    let g = generators::erdos_renyi_paper(24, 0.2, 21);
+    let sc = ctx();
+    let ckpt = scratch("fin-ckpt");
+    let store = scratch("fin-store");
+
+    // A finished solve with round-granular checkpoints leaves the final
+    // round committed; finalize turns it into a store without re-solving.
+    let mem = Problem::new(&g)
+        .with_paths()
+        .block_size(8)
+        .checkpoint_every(&ckpt, 1)
+        .solve(&sc)
+        .expect("checkpointed solve");
+    apspark::core::finalize_checkpoint(&ckpt, &store).expect("finalize");
+
+    let disk = Solution::open(&store).expect("open finalized store");
+    assert_eq!(disk.order(), 24);
+    for u in 0..24 {
+        for v in 0..24 {
+            assert_eq!(mem.dist(u, v), disk.dist(u, v), "dist({u}, {v})");
+        }
+    }
+    let mut rng = Lcg(77);
+    for _ in 0..24 {
+        let (u, v) = (rng.next(24), rng.next(24));
+        assert_eq!(mem.path(u, v), disk.path(u, v), "path({u}, {v})");
+    }
+    let _ = std::fs::remove_dir_all(&ckpt);
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn finalized_untracked_reachability_checkpoint() {
+    let g = generators::erdos_renyi_paper(20, 0.15, 22);
+    let sc = ctx();
+    let ckpt = scratch("fin-reach-ckpt");
+    let store = scratch("fin-reach-store");
+    let mem = Problem::new(&g)
+        .workload(Workload::Reachability)
+        .block_size(8)
+        .checkpoint_every(&ckpt, 1)
+        .solve(&sc)
+        .expect("checkpointed reachability solve");
+    apspark::core::finalize_checkpoint(&ckpt, &store).expect("finalize");
+    let disk = Solution::open(&store).expect("open");
+    assert_eq!(disk.workload(), Workload::Reachability);
+    for u in 0..20 {
+        for v in 0..20 {
+            assert_eq!(mem.reachable(u, v), disk.reachable(u, v));
+        }
+    }
+    assert_eq!(
+        disk.path(0, 1),
+        None,
+        "untracked store has no witness paths"
+    );
+    let _ = std::fs::remove_dir_all(&ckpt);
+    let _ = std::fs::remove_dir_all(&store);
+}
+
+#[test]
+fn finalize_refuses_mid_solve_checkpoints() {
+    let err = apspark::core::finalize_checkpoint(
+        std::env::temp_dir().join("apsp-no-such-ckpt-dir"),
+        scratch("fin-missing"),
+    )
+    .expect_err("missing checkpoint dir must not finalize");
+    assert!(
+        matches!(&err, ApspError::Store(msg) if msg.contains("checkpoint")),
+        "expected a typed store error naming the checkpoint, got: {err}"
+    );
+}
+
+// --- negative paths: typed errors, never panics ---------------------------
+
+#[test]
+fn out_of_range_queries_are_typed_for_memory_and_store() {
+    let g = generators::erdos_renyi_paper(10, 0.3, 31);
+    let sc = ctx();
+    let mem = Problem::new(&g).with_paths().solve(&sc).expect("solve");
+    let dir = scratch("oob");
+    mem.save(&dir).expect("save");
+    let disk = Solution::open(&dir).expect("open");
+
+    for sol in [&mem, &disk] {
+        assert!(matches!(
+            sol.try_dist(10, 0),
+            Err(ApspError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            sol.try_dist(0, 99),
+            Err(ApspError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            sol.try_reachable(10, 0),
+            Err(ApspError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            sol.try_path(0, 10),
+            Err(ApspError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            sol.try_k_nearest(10, 3),
+            Err(ApspError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            sol.try_submatrix(&[0, 10], &[1]),
+            Err(ApspError::InvalidInput(_))
+        ));
+        // The panic-free facade degrades gracefully instead.
+        assert_eq!(sol.dist(10, 0), None);
+        assert!(!sol.reachable(10, 0));
+        assert_eq!(sol.path(0, 10), None);
+        assert!(sol.k_nearest(10, 3).is_empty());
+        assert!(sol.submatrix(&[0, 10], &[1]).is_empty());
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn empty_submatrix_window_is_typed() {
+    let g = generators::erdos_renyi_paper(6, 0.4, 32);
+    let sol = Problem::new(&g).solve(&ctx()).expect("solve");
+    assert!(matches!(
+        sol.try_submatrix(&[], &[0]),
+        Err(ApspError::InvalidInput(_))
+    ));
+    assert!(matches!(
+        sol.try_submatrix(&[0], &[]),
+        Err(ApspError::InvalidInput(_))
+    ));
+    assert!(sol.submatrix(&[], &[0]).is_empty());
+}
+
+#[test]
+fn saving_a_store_backed_solution_is_refused() {
+    let g = generators::erdos_renyi_paper(8, 0.3, 33);
+    let sol = Problem::new(&g).solve(&ctx()).expect("solve");
+    let dir = scratch("resave");
+    sol.save(&dir).expect("save");
+    let disk = Solution::open(&dir).expect("open");
+    assert!(matches!(
+        disk.save(scratch("resave-2")),
+        Err(ApspError::Store(_))
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn problem_store_builder_saves_during_execute() {
+    let g = generators::erdos_renyi_paper(12, 0.25, 34);
+    let dir = scratch("builder");
+    let sc = ctx();
+    let mem = Problem::new(&g)
+        .with_paths()
+        .store(&dir)
+        .solve(&sc)
+        .expect("solve with store");
+    let disk = Solution::open(&dir).expect("the solve must have committed a store");
+    for u in 0..12 {
+        for v in 0..12 {
+            assert_eq!(mem.dist(u, v), disk.dist(u, v));
+            assert_eq!(mem.path(u, v), disk.path(u, v));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,238 @@
+//! Closure-store format conformance: a golden fixture written by the
+//! current frame version must keep opening bit-exactly forever, and every
+//! way a store can rot on disk — future version, foreign bytes, flipped
+//! bits, truncation, a lying manifest — must be a **typed**
+//! `ApspError::Store`, never a panic or a silently wrong answer.
+//!
+//! The fixture under `tests/fixtures/store_v1/` was produced by:
+//!
+//! ```sh
+//! apspark generate --n 16 --seed 9 --output g16.txt
+//! apspark solve --input g16.txt --block-size 8 --path 0 15 \
+//!     --store tests/fixtures/store_v1
+//! ```
+//!
+//! i.e. a tracked shortest-paths Blocked-CB solve of `G(16, 0.1, seed 9)`
+//! at `b = 8` (`q = 2`): four block files plus the manifest.
+
+use apspark::blockmat::serialize::{frame, unframe, FRAME_KIND_BLOCK};
+use apspark::core::ApspError;
+use apspark::graph::generators;
+use apspark::prelude::*;
+
+fn fixture_graph() -> Graph {
+    generators::erdos_renyi_paper(16, 0.1, 9)
+}
+
+fn fixture_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("fixtures")
+        .join("store_v1")
+}
+
+/// Copies the fixture into a scratch directory so corruption tests never
+/// touch the committed blobs.
+fn scratch_copy(tag: &str) -> std::path::PathBuf {
+    let dst = std::env::temp_dir().join(format!("apsp-storefmt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dst);
+    std::fs::create_dir_all(&dst).expect("create scratch dir");
+    for entry in std::fs::read_dir(fixture_dir()).expect("fixture dir exists") {
+        let entry = entry.expect("readable fixture entry");
+        std::fs::copy(entry.path(), dst.join(entry.file_name())).expect("copy fixture blob");
+    }
+    dst
+}
+
+fn open_err(dir: &std::path::Path) -> ApspError {
+    match Solution::open(dir) {
+        Err(e) => e,
+        Ok(_) => panic!("corrupt store must not open"),
+    }
+}
+
+#[test]
+fn golden_fixture_answers_bit_exact() {
+    let g = fixture_graph();
+    let fresh = Problem::new(&g)
+        .with_paths()
+        .block_size(8)
+        .solve(&SparkContext::new(SparkConfig::with_cores(2)))
+        .expect("fresh solve");
+    let stored = Solution::open(fixture_dir())
+        .unwrap_or_else(|e| panic!("the golden v1 store must stay readable forever: {e}"));
+    assert_eq!(stored.order(), 16);
+    assert_eq!(stored.workload(), Workload::ShortestPaths);
+    assert!(stored.plan.paths, "fixture was saved from a tracked solve");
+    for u in 0..16 {
+        for v in 0..16 {
+            assert_eq!(fresh.dist(u, v), stored.dist(u, v), "dist({u}, {v})");
+            assert_eq!(fresh.path(u, v), stored.path(u, v), "path({u}, {v})");
+        }
+    }
+    assert_eq!(fresh.k_nearest(0, 16), stored.k_nearest(0, 16));
+}
+
+#[test]
+fn version_bumped_manifest_is_rejected_typed() {
+    let dir = scratch_copy("version");
+    let meta = dir.join("store-manifest");
+    let mut bytes = std::fs::read(&meta).expect("fixture manifest");
+    // Frame layout: magic [0..8], version u32 LE [8..12].
+    bytes[8] = bytes[8].wrapping_add(1);
+    std::fs::write(&meta, &bytes).expect("rewrite manifest");
+    let err = open_err(&dir);
+    assert!(
+        matches!(&err, ApspError::Store(msg) if msg.contains("version")),
+        "rejection must name the version mismatch, got: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_bytes_are_rejected_by_magic() {
+    let dir = scratch_copy("magic");
+    // Longer than a frame header, so the rejection is about the magic,
+    // not about truncation.
+    std::fs::write(dir.join("store-manifest"), [0x2a_u8; 64]).expect("rewrite manifest");
+    let err = open_err(&dir);
+    assert!(
+        matches!(&err, ApspError::Store(msg) if msg.contains("magic")),
+        "expected a magic rejection, got: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_manifest_is_rejected_typed() {
+    let dir = scratch_copy("trunc-manifest");
+    let meta = dir.join("store-manifest");
+    let bytes = std::fs::read(&meta).expect("fixture manifest");
+    std::fs::write(&meta, &bytes[..bytes.len() / 2]).expect("truncate manifest");
+    let err = open_err(&dir);
+    assert!(
+        matches!(&err, ApspError::Store(msg) if msg.contains("truncated")),
+        "expected a truncation rejection, got: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_manifest_means_no_store() {
+    let dir = scratch_copy("no-manifest");
+    std::fs::remove_file(dir.join("store-manifest")).expect("remove manifest");
+    let err = open_err(&dir);
+    assert!(
+        matches!(&err, ApspError::Store(msg) if msg.contains("manifest")),
+        "an uncommitted directory must be rejected as not-a-store, got: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bit_rotted_block_is_rejected_by_checksum_on_first_touch() {
+    let dir = scratch_copy("rot");
+    let block = dir.join("store-blk-0-1");
+    let mut bytes = std::fs::read(&block).expect("fixture block");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0x01;
+    std::fs::write(&block, &bytes).expect("rewrite block");
+
+    // Blocks load lazily: the store still opens, and the rot surfaces as
+    // a typed error on the first query that touches block (0, 1) —
+    // row 0, column 15 at b = 8.
+    let sol = Solution::open(&dir).expect("open is manifest-only");
+    assert!(sol.try_dist(0, 0).is_ok(), "clean blocks stay readable");
+    let err = sol
+        .try_dist(0, 15)
+        .expect_err("rotted block must not decode");
+    assert!(
+        matches!(&err, ApspError::Store(msg) if msg.contains("checksum")),
+        "rejection must name the checksum, got: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_block_is_rejected_typed() {
+    let dir = scratch_copy("trunc-block");
+    let block = dir.join("store-blk-1-1");
+    let bytes = std::fs::read(&block).expect("fixture block");
+    std::fs::write(&block, &bytes[..bytes.len() / 2]).expect("truncate block");
+    let sol = Solution::open(&dir).expect("open is manifest-only");
+    let err = sol
+        .try_dist(15, 15)
+        .expect_err("truncated block must not decode");
+    assert!(
+        matches!(&err, ApspError::Store(msg) if msg.contains("truncated")),
+        "expected a truncation rejection, got: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_block_file_is_typed_not_a_panic() {
+    let dir = scratch_copy("missing-block");
+    std::fs::remove_file(dir.join("store-blk-1-0")).expect("remove block");
+    let sol = Solution::open(&dir).expect("open is manifest-only");
+    let err = sol.try_dist(15, 0).expect_err("missing block must error");
+    assert!(matches!(&err, ApspError::Store(_)), "got: {err}");
+    // The panic-free facade degrades to "no answer" instead.
+    assert_eq!(sol.dist(15, 0), None);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn geometry_lying_manifest_is_rejected() {
+    let dir = scratch_copy("geometry");
+    let meta = dir.join("store-manifest");
+    let raw = std::fs::read(&meta).expect("fixture manifest");
+    let (kind, body) = unframe(&raw).expect("fixture manifest frames");
+    // Manifest body: u32 len + "shortest-paths" (14) + u32 len + "cb" (2)
+    // + tracked u8 + directed u8, then n as u64 LE at offset 26. Bump n
+    // to 17 so the declared q = 2 no longer matches ceil(n / b) = 3.
+    let mut body = body.to_vec();
+    assert_eq!(body[26], 16, "fixture n moved; update this test's offset");
+    body[26] = 17;
+    std::fs::write(&meta, frame(kind, &body)).expect("rewrite manifest");
+    let err = open_err(&dir);
+    assert!(
+        matches!(&err, ApspError::Store(msg) if msg.contains("mismatch")),
+        "a manifest whose geometry lies must be rejected, got: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn wrong_frame_kind_manifest_is_rejected() {
+    let dir = scratch_copy("kind");
+    let meta = dir.join("store-manifest");
+    let raw = std::fs::read(&meta).expect("fixture manifest");
+    let (_, body) = unframe(&raw).expect("fixture manifest frames");
+    // A valid frame of the wrong kind (a block tag on the manifest file)
+    // must be rejected by the kind check, not misparsed.
+    std::fs::write(&meta, frame(FRAME_KIND_BLOCK, body)).expect("rewrite manifest");
+    let err = open_err(&dir);
+    assert!(
+        matches!(&err, ApspError::Store(msg) if msg.contains("kind")),
+        "expected a frame-kind rejection, got: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mislabeled_block_stamp_is_rejected() {
+    let dir = scratch_copy("stamp");
+    // Serve block (0, 0)'s bytes under (0, 1)'s name: the stamp check
+    // must catch the swap even though the frame itself is pristine.
+    std::fs::copy(dir.join("store-blk-0-0"), dir.join("store-blk-0-1")).expect("swap block files");
+    let sol = Solution::open(&dir).expect("open is manifest-only");
+    let err = sol
+        .try_dist(0, 15)
+        .expect_err("a mislabeled block must not be served");
+    assert!(
+        matches!(&err, ApspError::Store(msg) if msg.contains("stamped")),
+        "expected a stamp rejection, got: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

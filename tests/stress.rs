@@ -78,3 +78,49 @@ fn mpi_dc_large_recursion() {
         );
     }
 }
+
+#[test]
+#[ignore = "soak test: run with --ignored"]
+fn store_row_sweep_under_four_block_budget() {
+    // Save a 384-vertex tracked closure (q = 6 at b = 64 → 36 blocks),
+    // reopen it under a ~4-block cache budget, and sweep every full row.
+    // Each row touches q blocks and the working set never fits, so the
+    // sweep exercises sustained eviction churn while staying bit-exact
+    // against a per-source Dijkstra oracle.
+    let n = 384;
+    let g = generators::erdos_renyi_paper(n, 0.1, 0x57E58);
+    let ctx = SparkContext::new(SparkConfig::default());
+    let mem = Problem::new(&g)
+        .with_paths()
+        .block_size(64)
+        .solve(&ctx)
+        .expect("solve failed");
+    let dir = std::env::temp_dir().join(format!("apsp-store-soak-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    mem.save(&dir).expect("save failed");
+
+    let per_block = 64u64 * 64 * (8 + 4); // f64 values + u32 vias
+    let disk = Solution::open_with_cache_budget(&dir, 4 * per_block).expect("open failed");
+    let csr = g.to_csr();
+    for s in 0..n {
+        let oracle = apspark::graph::dijkstra::sssp(&csr, s);
+        for (t, &expect) in oracle.iter().enumerate() {
+            let got = disk.dist(s, t).unwrap_or(f64::INFINITY);
+            assert!(
+                (got - expect).abs() < 1e-9 || (got.is_infinite() && expect.is_infinite()),
+                "d({s},{t}) = {got}, oracle {expect}"
+            );
+        }
+        // A witness path per row keeps the via plane hot too.
+        if let Some(route) = disk.path(s, (s + n / 2) % n) {
+            assert_eq!(route.first(), Some(&(s as u32)));
+        }
+    }
+    let m = disk.store().expect("store-backed").metrics();
+    assert!(
+        m.store_cache_evictions > 1_000,
+        "a 36-block store swept row-by-row under a 4-block budget must churn, got {m:?}"
+    );
+    assert!(m.store_cache_hits > 0, "within-row reuse must hit");
+    let _ = std::fs::remove_dir_all(&dir);
+}
