@@ -1,0 +1,298 @@
+//! Dense-vs-hierarchical baseline on a road-network-like graph →
+//! `results/BENCH_sparse.json`.
+//!
+//! The headline number for the sparse frontier: on a ≥20k-vertex
+//! `road_grid` the hierarchical partition/stitch path must beat the dense
+//! blocked solve by ≥5× wall-clock while staying **bit-equal** to the
+//! Dijkstra oracle (road-grid weights are dyadic, so float sums are exact
+//! in every relaxation order).
+//!
+//! Modes:
+//!
+//! * default — measure the hierarchical solve, verify sampled rows
+//!   bit-equal against Dijkstra, reuse a dense timing from
+//!   `--dense-only` if one is staged (the dense solve takes ~n³ ≈ 1 h on
+//!   one core), measure it inline otherwise, and write the committed
+//!   artifact;
+//! * `--dense-only` — measure just the dense blocked solve and stage its
+//!   timing under `/tmp` for a later default run to pick up;
+//! * `--quick` — a CI-sized smoke (48×48 grid): dense + hierarchical +
+//!   bit-equality, printed only (the committed baseline is not rewritten).
+
+use apsp_bench::{fmt_duration, write_json, TextTable};
+use apsp_core::hierarchy::{HierarchicalClosure, HierarchyConfig};
+use apsp_core::plan::{Problem, SolverId};
+use apsp_core::{ApspSolver, BlockedCollectBroadcast, SolverConfig};
+use apsp_graph::{dijkstra, generators, Graph};
+use serde::Serialize;
+use sparklet::{SparkConfig, SparkContext};
+use std::time::Instant;
+
+const SEED: u64 = 9;
+const STAGED_DENSE: &str = "/tmp/bench_sparse_dense_staged.json";
+
+#[derive(Serialize)]
+struct DenseLeg {
+    solver: &'static str,
+    block_size: usize,
+    seconds: f64,
+    sample_rows_bit_equal_dijkstra: bool,
+}
+
+#[derive(Serialize)]
+struct HierLeg {
+    parts: usize,
+    target_part_size: usize,
+    boundary_vertices: usize,
+    cut_edges: usize,
+    seconds: f64,
+}
+
+#[derive(Serialize)]
+struct SparseBench {
+    description: String,
+    graph: String,
+    n: usize,
+    edges: usize,
+    density: f64,
+    dense: DenseLeg,
+    hierarchical: HierLeg,
+    speedup: f64,
+    verified_sources: usize,
+    hierarchical_bit_equal_dijkstra: bool,
+    planner_rule: String,
+}
+
+fn ctx() -> SparkContext {
+    SparkContext::new(SparkConfig::default())
+}
+
+fn sample_sources(n: usize) -> Vec<usize> {
+    // Deterministic spread: corners, center, and a diagonal sweep.
+    let mut s = vec![0, n / 2, n - 1, n / 3, 2 * n / 3, n / 7, 5 * n / 7, n / 13];
+    s.sort_unstable();
+    s.dedup();
+    s
+}
+
+/// Dense blocked solve, timed, plus a bit-equality spot check of sampled
+/// rows against per-source Dijkstra.
+fn run_dense(g: &Graph, sources: &[usize]) -> DenseLeg {
+    let sc = ctx();
+    let n = g.order();
+    let cfg = SolverConfig::auto(n, &sc).without_validation();
+    let block_size = cfg.block_size;
+    let adj = g.to_dense();
+    eprintln!("[dense] solving n = {n} with Blocked-CB, b = {block_size} ...");
+    let t0 = Instant::now();
+    let res = BlockedCollectBroadcast
+        .solve(&sc, &adj, &cfg)
+        .expect("dense solve failed");
+    let seconds = t0.elapsed().as_secs_f64();
+    eprintln!("[dense] done in {}", fmt_duration(seconds));
+    let csr = g.to_csr();
+    let mut exact = true;
+    for &s in sources {
+        let oracle = dijkstra::sssp(&csr, s);
+        for (t, &expect) in oracle.iter().enumerate() {
+            let got = res.distances().get(s, t);
+            if got != expect && !(got.is_infinite() && expect.is_infinite()) {
+                eprintln!("[dense] row {s}: d({s},{t}) = {got} vs Dijkstra {expect}");
+                exact = false;
+                break;
+            }
+        }
+    }
+    DenseLeg {
+        solver: "Blocked Collect/Broadcast (Algorithm 4)",
+        block_size,
+        seconds,
+        sample_rows_bit_equal_dijkstra: exact,
+    }
+}
+
+/// Hierarchical solve, timed, plus the full sampled-row bit-equality
+/// verdict against per-source Dijkstra.
+fn run_hier(g: &Graph, sources: &[usize]) -> (HierLeg, bool) {
+    let sc = ctx();
+    eprintln!("[hier] solving n = {} hierarchically ...", g.order());
+    let t0 = Instant::now();
+    let h = HierarchicalClosure::solve(&sc, g, &HierarchyConfig::default())
+        .expect("hierarchical solve failed");
+    let seconds = t0.elapsed().as_secs_f64();
+    let stats = h.stats();
+    eprintln!(
+        "[hier] done in {} ({} parts, {} boundary vertices, {} cut edges)",
+        fmt_duration(seconds),
+        stats.parts,
+        stats.boundary_vertices,
+        stats.cut_edges
+    );
+    let csr = g.to_csr();
+    let mut exact = true;
+    for &s in sources {
+        let oracle = dijkstra::sssp(&csr, s);
+        let row = h.row(s).expect("row query failed");
+        for (t, (&got, &expect)) in row.iter().zip(oracle.iter()).enumerate() {
+            if got != expect && !(got.is_infinite() && expect.is_infinite()) {
+                eprintln!("[hier] row {s}: d({s},{t}) = {got} vs Dijkstra {expect}");
+                exact = false;
+                break;
+            }
+        }
+    }
+    (
+        HierLeg {
+            parts: stats.parts,
+            target_part_size: stats.target_part_size,
+            boundary_vertices: stats.boundary_vertices,
+            cut_edges: stats.cut_edges,
+            seconds,
+        },
+        exact,
+    )
+}
+
+fn planner_rule_for(g: &Graph) -> String {
+    let sc = ctx();
+    let plan = Problem::new(g).plan(&sc).expect("planning failed");
+    if plan.solver == SolverId::SparseHierarchical {
+        plan.notes()
+            .iter()
+            .find(|n| n.rule == "sparse-hierarchical")
+            .map(|n| n.rule.to_string())
+            .unwrap_or_else(|| "prefer".into())
+    } else {
+        format!("dense ({:?})", plan.solver)
+    }
+}
+
+/// Extracts the raw scalar after `"key":` in a flat JSON document whose
+/// keys are unique (the staged dense-timing file). Not a JSON parser —
+/// just enough for the shim-only environment.
+fn json_scalar(body: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":");
+    let at = body.find(&pat)? + pat.len();
+    let rest = body[at..].trim_start();
+    let end = rest.find([',', '}', '\n']).unwrap_or(rest.len());
+    Some(rest[..end].trim().to_string())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let dense_only = args.iter().any(|a| a == "--dense-only");
+
+    let (rows, cols) = if quick { (48, 48) } else { (142, 142) };
+    let g = generators::road_grid(rows, cols, SEED);
+    let n = g.order();
+    let sources = sample_sources(n);
+    eprintln!(
+        "road_grid({rows}, {cols}, {SEED}): n = {n}, edges = {}, density = {:.5}",
+        g.num_edges(),
+        g.density()
+    );
+
+    if dense_only {
+        let dense = run_dense(&g, &sources);
+        #[derive(Serialize)]
+        struct Staged {
+            n: usize,
+            dense: DenseLeg,
+        }
+        let staged = Staged { n, dense };
+        let body = serde_json::to_string_pretty(&staged).expect("serialize");
+        std::fs::write(STAGED_DENSE, body).expect("stage dense timing");
+        eprintln!("[dense] staged timing at {STAGED_DENSE}");
+        return;
+    }
+
+    let (hier, hier_exact) = run_hier(&g, &sources);
+
+    // Dense leg: reuse a staged full-size timing when present (it takes
+    // ~an hour on one core); measure inline otherwise. The serde_json
+    // shim is write-only, so the staged file is scanned for its scalar
+    // fields directly (flat, known-unique keys).
+    let dense = match std::fs::read_to_string(STAGED_DENSE) {
+        Ok(body) if !quick => {
+            let staged_n = json_scalar(&body, "n")
+                .and_then(|s| s.parse::<usize>().ok())
+                .unwrap_or(0);
+            if staged_n == n {
+                eprintln!("[dense] reusing staged timing from {STAGED_DENSE}");
+                DenseLeg {
+                    solver: "Blocked Collect/Broadcast (Algorithm 4)",
+                    block_size: json_scalar(&body, "block_size")
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(0),
+                    seconds: json_scalar(&body, "seconds")
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or(f64::NAN),
+                    sample_rows_bit_equal_dijkstra: json_scalar(
+                        &body,
+                        "sample_rows_bit_equal_dijkstra",
+                    ) == Some("true".into()),
+                }
+            } else {
+                run_dense(&g, &sources)
+            }
+        }
+        _ => run_dense(&g, &sources),
+    };
+
+    let speedup = dense.seconds / hier.seconds;
+    let mut t = TextTable::new(&["leg", "seconds", "notes"]);
+    t.row(vec![
+        "dense Blocked-CB".into(),
+        fmt_duration(dense.seconds),
+        format!("b = {}", dense.block_size),
+    ]);
+    t.row(vec![
+        "hierarchical".into(),
+        fmt_duration(hier.seconds),
+        format!("{} parts, {} boundary", hier.parts, hier.boundary_vertices),
+    ]);
+    t.row(vec![
+        "speedup".into(),
+        format!("{speedup:.1}x"),
+        format!(
+            "bit-equal vs Dijkstra on {} rows: {hier_exact}",
+            sources.len()
+        ),
+    ]);
+    println!(
+        "== dense vs hierarchical (road_grid {rows}x{cols}) ==\n{}",
+        t.render()
+    );
+
+    assert!(
+        hier_exact,
+        "hierarchical distances must be bit-equal to Dijkstra"
+    );
+    if quick {
+        // CI smoke: assert correctness, never rewrite the committed baseline.
+        println!("quick mode: baseline not rewritten (speedup {speedup:.1}x at toy scale)");
+        return;
+    }
+
+    let res = SparseBench {
+        description: "Dense blocked solve vs hierarchical partition/stitch path on a \
+                      road-network-like graph; hierarchical distances verified bit-equal \
+                      to per-source Dijkstra on the sampled rows (dyadic weights make \
+                      float sums order-independent)"
+            .into(),
+        graph: format!("road_grid({rows}, {cols}, seed {SEED})"),
+        n,
+        edges: g.num_edges(),
+        density: g.density(),
+        dense,
+        hierarchical: hier,
+        speedup,
+        verified_sources: sources.len(),
+        hierarchical_bit_equal_dijkstra: hier_exact,
+        planner_rule: planner_rule_for(&g),
+    };
+    if let Ok(path) = write_json("BENCH_sparse", &res) {
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,778 @@
+//! Hierarchical sparse APSP: partition → local-solve → boundary-stitch.
+//!
+//! Every dense solver in this workspace materializes the full `n × n`
+//! closure, which is the right trade on the paper's dense instances but
+//! pays `Θ(n³)` work and `Θ(n²)` memory on road-like graphs whose
+//! adjacency is overwhelmingly `INF`. This module implements the
+//! disassembly/assembly scheme of the sparse-APSP line of work
+//! (Urakov–Timeryaev; H3-style hierarchical partitioning):
+//!
+//! 1. **Partition** — BFS region growing over the [`Csr`] carves the
+//!    vertex set into connected parts of roughly
+//!    [`crate::tuner::hierarchical_part_size`] vertices each;
+//! 2. **Local solve** — each part's induced subgraph is closed with the
+//!    existing dense blocked engine ([`AlgClosure`] /
+//!    [`TrackedClosure`]), all parts in parallel on the sparklet pool;
+//! 3. **Skeleton** — the endpoints of cut edges form a coarse boundary
+//!    graph whose edges are cut edges plus per-part boundary-to-boundary
+//!    local distances; one dense [`BlockedCollectBroadcast`] solve closes
+//!    it. Because every inter-part path must cross the boundary at cut
+//!    edges, the skeleton closure equals the true global distances
+//!    between boundary vertices;
+//! 4. **Stitch** — point queries evaluate
+//!    `dist(u, v) = min(local(u, v), min over boundary pairs
+//!    local(u, bᵤ) + skeleton(bᵤ, bᵥ) + local(bᵥ, v))`
+//!    lazily, so the full `n × n` matrix is never allocated. The
+//!    same-part `local(u, v)` term is exact even when the witness path
+//!    leaves the part: its first-exit/last-entry prefix and suffix are
+//!    part-internal and the middle decomposes into skeleton edges, so
+//!    the boundary-pair minimum covers it.
+//!
+//! Path witnesses compose the same way: a local via plane per part plus
+//! the skeleton's parent matrix, with each skeleton hop resolved through
+//! a provenance map back to either a cut edge or a part-internal
+//! expansion.
+//!
+//! [`Csr`]: apsp_graph::Csr
+
+use std::collections::{HashMap, VecDeque};
+
+use apsp_blockmat::closure::{AlgClosure, TrackedClosure};
+use apsp_blockmat::kernels::MinPlusKernel;
+use apsp_blockmat::{Matrix, Tropical, INF, NO_VIA};
+use apsp_graph::paths::{expand_vias_with, NodeId, ParentMatrix};
+use apsp_graph::Graph;
+use sparklet::{MetricsSnapshot, SparkContext};
+
+use crate::solver::{ApspError, ApspSolver, SolverConfig};
+use crate::{tuner, BlockedCollectBroadcast};
+
+/// Configuration for [`HierarchicalClosure::solve`].
+#[derive(Clone, Debug, Default)]
+pub struct HierarchyConfig {
+    /// Target vertices per partition; `None` defers to
+    /// [`crate::tuner::hierarchical_part_size`].
+    pub target_part_size: Option<usize>,
+    /// Record local via planes and the skeleton parent matrix so
+    /// [`HierarchicalClosure::path`] can reconstruct witness routes.
+    pub track_paths: bool,
+}
+
+impl HierarchyConfig {
+    /// Enables path-witness tracking.
+    pub fn with_paths(mut self) -> Self {
+        self.track_paths = true;
+        self
+    }
+
+    /// Pins the target partition size (mostly for tests; the tuner's
+    /// cost-model default is the right choice for real inputs).
+    pub fn with_target_part_size(mut self, m: usize) -> Self {
+        self.target_part_size = Some(m);
+        self
+    }
+}
+
+/// Shape of a solved hierarchy — how the partitioner carved the graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HierarchyStats {
+    /// Number of partitions.
+    pub parts: usize,
+    /// Target vertices per partition the partitioner aimed for.
+    pub target_part_size: usize,
+    /// Vertices of the largest partition actually produced.
+    pub largest_part: usize,
+    /// Boundary (skeleton) vertices: endpoints of cut edges.
+    pub boundary_vertices: usize,
+    /// Distinct cut-edge pairs crossing between partitions.
+    pub cut_edges: usize,
+}
+
+/// Where a skeleton adjacency entry came from — needed to expand a
+/// skeleton hop back into concrete input-graph vertices.
+#[derive(Clone, Copy, Debug)]
+enum SkelSrc {
+    /// A cut edge of the input graph: the hop is a direct edge.
+    Cut,
+    /// A boundary-to-boundary shortest path inside this part.
+    Local(u32),
+}
+
+/// One partition's solved state.
+struct Part {
+    /// Global vertex ids of this part, sorted ascending; position is the
+    /// part-local index.
+    verts: Vec<u32>,
+    /// Local `m × m` closure (distances within the induced subgraph).
+    dist: Matrix,
+    /// Flat `m × m` via plane in part-local ids ([`NO_VIA`] for direct
+    /// or unreachable cells); present only under path tracking.
+    via: Option<Vec<u32>>,
+    /// Part-local indices of this part's boundary vertices, sorted.
+    boundary: Vec<u32>,
+}
+
+/// A solved hierarchical closure: per-part local closures plus the
+/// boundary skeleton, serving exact distance/path point queries without
+/// ever allocating the `n × n` matrix.
+pub struct HierarchicalClosure {
+    n: usize,
+    /// Global vertex id → partition id.
+    part_of: Vec<u32>,
+    /// Global vertex id → index within its partition's `verts`.
+    local_of: Vec<u32>,
+    parts: Vec<Part>,
+    /// Global ids of the boundary vertices, sorted ascending; position is
+    /// the skeleton index.
+    skel_verts: Vec<u32>,
+    /// Global vertex id → skeleton index, `u32::MAX` for interior vertices.
+    skel_of: Vec<u32>,
+    /// `s × s` closure of the boundary skeleton.
+    skel_dist: Matrix,
+    /// Skeleton parent matrix (path tracking only).
+    skel_parents: Option<ParentMatrix>,
+    /// Provenance of each finite skeleton adjacency entry, keyed by the
+    /// unordered skeleton-index pair.
+    skel_prov: HashMap<(u32, u32), SkelSrc>,
+    stats: HierarchyStats,
+    track: bool,
+    /// Engine counters of the skeleton solve (the only distributed stage
+    /// whose metrics are observable; local solves run in-task).
+    pub(crate) skeleton_metrics: MetricsSnapshot,
+    /// Outer iterations of the skeleton solve.
+    pub(crate) skeleton_iterations: u64,
+}
+
+/// What one parallel local-solve task ships to the pool: the part's
+/// induced subgraph in part-local ids.
+#[derive(Clone)]
+struct LocalTask {
+    part: usize,
+    m: usize,
+    edges: Vec<(u32, u32, f64)>,
+    track: bool,
+}
+
+fn solve_local(task: LocalTask) -> (usize, Matrix, Option<Vec<u32>>) {
+    let m = task.m;
+    let b = tuner::suggest_block_size(m, 1, 2).clamp(1, m);
+    let mut adj = Matrix::identity(m);
+    for &(lu, lv, w) in &task.edges {
+        let (lu, lv) = (lu as usize, lv as usize);
+        if w < adj.get(lu, lv) {
+            adj.set(lu, lv, w);
+            adj.set(lv, lu, w);
+        }
+    }
+    if task.track {
+        let mut tc = TrackedClosure::from_matrix(&adj, b);
+        tc.closure_in_place(MinPlusKernel::Auto);
+        let (dist, via) = tc.into_parts();
+        (task.part, dist, Some(via))
+    } else {
+        let mut c = AlgClosure::<Tropical>::from_fn(m, b, |i, j| adj.get(i, j));
+        c.closure_in_place(MinPlusKernel::Auto);
+        let (dist, _) = c.into_dense();
+        (task.part, Matrix::from_vec(m, dist.data().to_vec()), None)
+    }
+}
+
+impl HierarchicalClosure {
+    /// Partitions `g`, closes every part in parallel, closes the boundary
+    /// skeleton, and returns the lazily-queryable hierarchy.
+    pub fn solve(sc: &SparkContext, g: &Graph, cfg: &HierarchyConfig) -> Result<Self, ApspError> {
+        let n = g.order();
+        if n == 0 {
+            return Err(ApspError::InvalidInput("empty graph".into()));
+        }
+        let target = cfg
+            .target_part_size
+            .unwrap_or_else(|| tuner::hierarchical_part_size(n))
+            .max(1);
+        let track = cfg.track_paths;
+
+        // 1. BFS region growing: each seed grows a connected part,
+        // assigning on push until the part holds `target` vertices; the
+        // next unassigned vertex seeds the next part. Isolated vertices
+        // become singleton parts, so disconnected inputs need no special
+        // casing anywhere downstream.
+        let csr = g.to_csr();
+        let mut part_of = vec![u32::MAX; n];
+        let mut part_verts: Vec<Vec<u32>> = Vec::new();
+        for seed in 0..n {
+            if part_of[seed] != u32::MAX {
+                continue;
+            }
+            let pid = part_verts.len() as u32;
+            let mut verts = Vec::new();
+            let mut queue = VecDeque::new();
+            part_of[seed] = pid;
+            queue.push_back(seed as u32);
+            let mut count = 1usize;
+            while let Some(u) = queue.pop_front() {
+                verts.push(u);
+                for (v, _) in csr.neighbors(u as usize) {
+                    if part_of[v as usize] == u32::MAX && count < target {
+                        part_of[v as usize] = pid;
+                        count += 1;
+                        queue.push_back(v);
+                    }
+                }
+            }
+            verts.sort_unstable();
+            part_verts.push(verts);
+        }
+        let num_parts = part_verts.len();
+        let mut local_of = vec![0u32; n];
+        for verts in &part_verts {
+            for (lv, &v) in verts.iter().enumerate() {
+                local_of[v as usize] = lv as u32;
+            }
+        }
+
+        // 2. Classify edges: internal edges feed the local solves, cut
+        // edges define the boundary.
+        let mut internal: Vec<Vec<(u32, u32, f64)>> = vec![Vec::new(); num_parts];
+        let mut cut: Vec<(u32, u32, f64)> = Vec::new();
+        let mut is_boundary = vec![false; n];
+        for (u, v, w) in g.edges() {
+            if u == v {
+                continue;
+            }
+            let (pu, pv) = (part_of[u as usize], part_of[v as usize]);
+            if pu == pv {
+                internal[pu as usize].push((local_of[u as usize], local_of[v as usize], w));
+            } else {
+                is_boundary[u as usize] = true;
+                is_boundary[v as usize] = true;
+                cut.push((u, v, w));
+            }
+        }
+
+        // 3. Local closures, all parts in parallel on the pool.
+        let tasks: Vec<LocalTask> = internal
+            .into_iter()
+            .enumerate()
+            .map(|(part, edges)| LocalTask {
+                part,
+                m: part_verts[part].len(),
+                edges,
+                track,
+            })
+            .collect();
+        let solved = sc
+            .parallelize(tasks, num_parts.max(1))
+            .map(solve_local)
+            .collect()?;
+        let mut parts: Vec<Option<Part>> = (0..num_parts).map(|_| None).collect();
+        for (pid, dist, via) in solved {
+            let verts = std::mem::take(&mut part_verts[pid]);
+            let boundary: Vec<u32> = verts
+                .iter()
+                .enumerate()
+                .filter(|&(_, &v)| is_boundary[v as usize])
+                .map(|(lv, _)| lv as u32)
+                .collect();
+            parts[pid] = Some(Part {
+                verts,
+                dist,
+                via,
+                boundary,
+            });
+        }
+        let parts: Vec<Part> = parts
+            .into_iter()
+            .map(|p| {
+                p.ok_or_else(|| {
+                    ApspError::InvalidInput(
+                        "hierarchy invariant: a partition's local closure is missing".into(),
+                    )
+                })
+            })
+            .collect::<Result<_, _>>()?;
+
+        // 4. Skeleton adjacency over boundary vertices: per-part
+        // boundary-to-boundary local distances plus cut edges, minimum
+        // wins, provenance recorded for path expansion.
+        let skel_verts: Vec<u32> = (0..n as u32).filter(|&v| is_boundary[v as usize]).collect();
+        let s = skel_verts.len();
+        let mut skel_of = vec![u32::MAX; n];
+        for (si, &v) in skel_verts.iter().enumerate() {
+            skel_of[v as usize] = si as u32;
+        }
+        let mut skel_adj = Matrix::identity(s);
+        let mut skel_prov: HashMap<(u32, u32), SkelSrc> = HashMap::new();
+        for (pid, part) in parts.iter().enumerate() {
+            for (a, &bl_a) in part.boundary.iter().enumerate() {
+                let sa = skel_of[part.verts[bl_a as usize] as usize];
+                for &bl_b in part.boundary.iter().skip(a + 1) {
+                    let d = part.dist.get(bl_a as usize, bl_b as usize);
+                    if !d.is_finite() {
+                        continue;
+                    }
+                    let sb = skel_of[part.verts[bl_b as usize] as usize];
+                    if d < skel_adj.get(sa as usize, sb as usize) {
+                        skel_adj.set(sa as usize, sb as usize, d);
+                        skel_adj.set(sb as usize, sa as usize, d);
+                        skel_prov.insert((sa.min(sb), sa.max(sb)), SkelSrc::Local(pid as u32));
+                    }
+                }
+            }
+        }
+        let mut cut_pairs: Vec<(u32, u32)> = Vec::with_capacity(cut.len());
+        for &(u, v, w) in &cut {
+            let (su, sv) = (skel_of[u as usize], skel_of[v as usize]);
+            cut_pairs.push((su.min(sv), su.max(sv)));
+            if w < skel_adj.get(su as usize, sv as usize) {
+                skel_adj.set(su as usize, sv as usize, w);
+                skel_adj.set(sv as usize, su as usize, w);
+                skel_prov.insert((su.min(sv), su.max(sv)), SkelSrc::Cut);
+            }
+        }
+        cut_pairs.sort_unstable();
+        cut_pairs.dedup();
+
+        // 5. Close the skeleton with the dense distributed engine. A
+        // single-part (or edgeless) input has no cut edges: s = 0 and
+        // the skeleton stage vanishes.
+        let (skel_dist, skel_parents, skeleton_metrics, skeleton_iterations) = if s == 0 {
+            (Matrix::identity(0), None, MetricsSnapshot::default(), 0)
+        } else {
+            let b = tuner::suggest_block_size(s, sc.num_cores(), 2).clamp(1, s);
+            let mut scfg = SolverConfig::new(b).without_validation();
+            if track {
+                scfg = scfg.with_paths();
+            }
+            let res = BlockedCollectBroadcast.solve(sc, &skel_adj, &scfg)?;
+            let metrics = res.metrics;
+            let iterations = res.iterations;
+            let (dist, parents) = res.into_distances_and_parents();
+            (dist, parents, metrics, iterations)
+        };
+
+        let stats = HierarchyStats {
+            parts: num_parts,
+            target_part_size: target,
+            largest_part: parts.iter().map(|p| p.verts.len()).fold(0, usize::max),
+            boundary_vertices: s,
+            cut_edges: cut_pairs.len(),
+        };
+        Ok(HierarchicalClosure {
+            n,
+            part_of,
+            local_of,
+            parts,
+            skel_verts,
+            skel_of,
+            skel_dist,
+            skel_parents,
+            skel_prov,
+            stats,
+            track,
+            skeleton_metrics,
+            skeleton_iterations,
+        })
+    }
+
+    /// Number of vertices of the solved instance.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Whether path witnesses were tracked.
+    pub fn tracks_paths(&self) -> bool {
+        self.track
+    }
+
+    /// How the partitioner carved the graph.
+    pub fn stats(&self) -> HierarchyStats {
+        self.stats
+    }
+
+    /// Exact shortest-path distance `u → v` ([`INF`] when unreachable).
+    ///
+    /// Evaluates the stitch rule lazily in
+    /// `O(|boundary(u)| · |boundary(v)|)`; no `n × n` state exists.
+    /// Callers own the bounds check (`u, v < n`), matching the dense
+    /// matrix accessors.
+    pub fn dist(&self, u: usize, v: usize) -> f64 {
+        if u == v {
+            return 0.0;
+        }
+        let (pu, pv) = (self.part_of[u] as usize, self.part_of[v] as usize);
+        let (lu, lv) = (self.local_of[u] as usize, self.local_of[v] as usize);
+        let mut best = if pu == pv {
+            self.parts[pu].dist.get(lu, lv)
+        } else {
+            INF
+        };
+        for &bu in &self.parts[pu].boundary {
+            let du = self.parts[pu].dist.get(lu, bu as usize);
+            if !du.is_finite() {
+                continue;
+            }
+            let su = self.skel_of[self.parts[pu].verts[bu as usize] as usize] as usize;
+            for &bv in &self.parts[pv].boundary {
+                let dv = self.parts[pv].dist.get(bv as usize, lv);
+                if !dv.is_finite() {
+                    continue;
+                }
+                let sv = self.skel_of[self.parts[pv].verts[bv as usize] as usize] as usize;
+                let ds = self.skel_dist.get(su, sv);
+                if ds.is_finite() {
+                    let cand = du + ds + dv;
+                    if cand < best {
+                        best = cand;
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// One full distance row `dist(u, ·)` — the bulk query behind
+    /// `k_nearest` and row-level verification, amortizing the skeleton
+    /// relaxation across all `n` targets
+    /// (`O(s · |boundary(u)| + Σ_p |boundary(p)| · |p|)`).
+    pub fn row(&self, u: usize) -> Result<Vec<f64>, ApspError> {
+        if u >= self.n {
+            return Err(ApspError::InvalidInput(format!(
+                "vertex {u} out of range for order {}",
+                self.n
+            )));
+        }
+        let mut out = vec![INF; self.n];
+        let pu = self.part_of[u] as usize;
+        let lu = self.local_of[u] as usize;
+        let part_u = &self.parts[pu];
+        for (lv, &gv) in part_u.verts.iter().enumerate() {
+            out[gv as usize] = part_u.dist.get(lu, lv);
+        }
+        let s = self.skel_verts.len();
+        if s > 0 {
+            // d_sk[t]: best distance from `u` to skeleton vertex `t`
+            // through u's own boundary. Same association order
+            // ((du + ds) + dv) as `dist`, so the two agree bit-for-bit.
+            let mut d_sk = vec![INF; s];
+            for &bu in &part_u.boundary {
+                let du = part_u.dist.get(lu, bu as usize);
+                if !du.is_finite() {
+                    continue;
+                }
+                let su = self.skel_of[part_u.verts[bu as usize] as usize] as usize;
+                for (t, slot) in d_sk.iter_mut().enumerate() {
+                    let cand = du + self.skel_dist.get(su, t);
+                    if cand < *slot {
+                        *slot = cand;
+                    }
+                }
+            }
+            for part in &self.parts {
+                for &bl in &part.boundary {
+                    let sb = self.skel_of[part.verts[bl as usize] as usize] as usize;
+                    let db = d_sk[sb];
+                    if !db.is_finite() {
+                        continue;
+                    }
+                    for (lv, &gv) in part.verts.iter().enumerate() {
+                        let cand = db + part.dist.get(bl as usize, lv);
+                        if cand < out[gv as usize] {
+                            out[gv as usize] = cand;
+                        }
+                    }
+                }
+            }
+        }
+        out[u] = 0.0;
+        Ok(out)
+    }
+
+    /// A witness shortest path `u → v` as global vertex ids, stitched
+    /// from the local via planes and the skeleton parent matrix.
+    ///
+    /// `Ok(None)` when tracking was off or the pair is unreachable.
+    pub fn path(&self, u: usize, v: usize) -> Result<Option<Vec<NodeId>>, ApspError> {
+        if u >= self.n || v >= self.n {
+            return Err(ApspError::InvalidInput(format!(
+                "vertex pair ({u}, {v}) out of range for order {}",
+                self.n
+            )));
+        }
+        if !self.track {
+            return Ok(None);
+        }
+        if u == v {
+            return Ok(Some(vec![u as NodeId]));
+        }
+        // Re-run the stitch minimization, remembering the argmin route.
+        let (pu, pv) = (self.part_of[u] as usize, self.part_of[v] as usize);
+        let (lu, lv) = (self.local_of[u] as usize, self.local_of[v] as usize);
+        let mut best = if pu == pv {
+            self.parts[pu].dist.get(lu, lv)
+        } else {
+            INF
+        };
+        // `None` = part-internal route (only possible when pu == pv);
+        // `Some((bu, bv))` = cross route through those boundary locals.
+        let mut route: Option<(u32, u32)> = None;
+        for &bu in &self.parts[pu].boundary {
+            let du = self.parts[pu].dist.get(lu, bu as usize);
+            if !du.is_finite() {
+                continue;
+            }
+            let su = self.skel_of[self.parts[pu].verts[bu as usize] as usize] as usize;
+            for &bv in &self.parts[pv].boundary {
+                let dv = self.parts[pv].dist.get(bv as usize, lv);
+                if !dv.is_finite() {
+                    continue;
+                }
+                let sv = self.skel_of[self.parts[pv].verts[bv as usize] as usize] as usize;
+                let ds = self.skel_dist.get(su, sv);
+                if ds.is_finite() {
+                    let cand = du + ds + dv;
+                    if cand < best {
+                        best = cand;
+                        route = Some((bu, bv));
+                    }
+                }
+            }
+        }
+        if !best.is_finite() {
+            return Ok(None);
+        }
+        match route {
+            None => Ok(Some(self.local_path(pu, lu, lv)?)),
+            Some((bu, bv)) => {
+                let gu = self.parts[pu].verts[bu as usize];
+                let gv = self.parts[pv].verts[bv as usize];
+                let mut out = self.local_path(pu, lu, bu as usize)?;
+                let skel = self.skel_path(
+                    self.skel_of[gu as usize] as usize,
+                    self.skel_of[gv as usize] as usize,
+                )?;
+                out.extend_from_slice(&skel[1..]);
+                let tail = self.local_path(pv, bv as usize, lv)?;
+                out.extend_from_slice(&tail[1..]);
+                Ok(Some(out))
+            }
+        }
+    }
+
+    /// Expands a part-internal shortest path `from → to` (part-local
+    /// indices) into global vertex ids via the part's via plane.
+    fn local_path(&self, p: usize, from: usize, to: usize) -> Result<Vec<NodeId>, ApspError> {
+        let part = &self.parts[p];
+        let m = part.verts.len();
+        let via = part.via.as_ref().ok_or_else(|| {
+            ApspError::InvalidInput(
+                "hierarchy invariant: path tracking on but local via plane missing".into(),
+            )
+        })?;
+        let local = expand_vias_with(from, to, m, |a, b| match via[a * m + b] {
+            NO_VIA => Ok::<Option<NodeId>, ApspError>(None),
+            k => Ok(Some(k)),
+        })?
+        .ok_or_else(|| {
+            ApspError::InvalidInput(
+                "hierarchy invariant: local via expansion exceeded its budget".into(),
+            )
+        })?;
+        Ok(local
+            .into_iter()
+            .map(|lv| part.verts[lv as usize])
+            .collect())
+    }
+
+    /// Expands a skeleton shortest path `su → sv` (skeleton indices)
+    /// into global vertex ids: the skeleton parent matrix yields the hop
+    /// sequence, and each hop — by construction a finite skeleton
+    /// adjacency entry — resolves through its provenance to either a cut
+    /// edge or a part-internal expansion.
+    fn skel_path(&self, su: usize, sv: usize) -> Result<Vec<NodeId>, ApspError> {
+        let s = self.skel_verts.len();
+        let pm = self.skel_parents.as_ref().ok_or_else(|| {
+            ApspError::InvalidInput(
+                "hierarchy invariant: path tracking on but skeleton parents missing".into(),
+            )
+        })?;
+        let hops = expand_vias_with(su, sv, s, |a, b| Ok::<_, ApspError>(pm.via(a, b)))?
+            .ok_or_else(|| {
+                ApspError::InvalidInput(
+                    "hierarchy invariant: skeleton via expansion exceeded its budget".into(),
+                )
+            })?;
+        let first = hops.first().ok_or_else(|| {
+            ApspError::InvalidInput("hierarchy invariant: empty skeleton expansion".into())
+        })?;
+        let mut out = vec![self.skel_verts[*first as usize]];
+        for win in hops.windows(2) {
+            let (a, b) = (win[0], win[1]);
+            let src = self
+                .skel_prov
+                .get(&(a.min(b), a.max(b)))
+                .copied()
+                .ok_or_else(|| {
+                    ApspError::InvalidInput(
+                        "hierarchy invariant: skeleton edge without provenance".into(),
+                    )
+                })?;
+            let (ga, gb) = (self.skel_verts[a as usize], self.skel_verts[b as usize]);
+            match src {
+                SkelSrc::Cut => out.push(gb),
+                SkelSrc::Local(p) => {
+                    let seg = self.local_path(
+                        p as usize,
+                        self.local_of[ga as usize] as usize,
+                        self.local_of[gb as usize] as usize,
+                    )?;
+                    out.extend_from_slice(&seg[1..]);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apsp_graph::{dijkstra, generators};
+    use sparklet::SparkConfig;
+
+    fn ctx() -> SparkContext {
+        SparkContext::new(SparkConfig::with_cores(2))
+    }
+
+    fn assert_matches_dijkstra(g: &Graph, cfg: &HierarchyConfig, tol: f64) {
+        let sc = ctx();
+        let h = HierarchicalClosure::solve(&sc, g, cfg).expect("solve");
+        let oracle = dijkstra::apsp_dijkstra(g);
+        let n = g.order();
+        for u in 0..n {
+            let row = h.row(u).expect("row");
+            for (v, &got) in row.iter().enumerate() {
+                let want = oracle.get(u, v);
+                if want.is_infinite() {
+                    assert!(got.is_infinite(), "({u},{v}) reachable only in hierarchy");
+                } else {
+                    assert!(
+                        (got - want).abs() <= tol,
+                        "({u},{v}): hierarchy {got} vs Dijkstra {want}"
+                    );
+                }
+                assert_eq!(h.dist(u, v), got, "dist/row disagree at ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_matches_dijkstra_exactly() {
+        let g = generators::grid(9, 7);
+        let cfg = HierarchyConfig::default().with_target_part_size(10);
+        assert_matches_dijkstra(&g, &cfg, 0.0);
+    }
+
+    #[test]
+    fn road_grid_bit_equal_dijkstra() {
+        // Dyadic weights: every path length is exact in f64, so the
+        // hierarchy must agree bit-for-bit.
+        let g = generators::road_grid(8, 9, 3);
+        let cfg = HierarchyConfig::default().with_target_part_size(12);
+        assert_matches_dijkstra(&g, &cfg, 0.0);
+    }
+
+    #[test]
+    fn single_partition_degenerate_case() {
+        // target ≥ n: one part, no boundary, no skeleton stage.
+        let g = generators::grid(5, 5);
+        let sc = ctx();
+        let cfg = HierarchyConfig::default().with_target_part_size(100);
+        let h = HierarchicalClosure::solve(&sc, &g, &cfg).expect("solve");
+        let st = h.stats();
+        assert_eq!(st.parts, 1);
+        assert_eq!(st.boundary_vertices, 0);
+        assert_eq!(st.cut_edges, 0);
+        assert_matches_dijkstra(&g, &cfg, 0.0);
+    }
+
+    #[test]
+    fn disconnected_components_stay_unreachable() {
+        let mut g = Graph::new(9);
+        for i in 0..3u32 {
+            g.add_edge(3 * i, 3 * i + 1, 1.0);
+            g.add_edge(3 * i + 1, 3 * i + 2, 2.0);
+        }
+        let cfg = HierarchyConfig::default().with_target_part_size(2);
+        assert_matches_dijkstra(&g, &cfg, 0.0);
+    }
+
+    #[test]
+    fn isolated_vertices_form_singleton_parts() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1, 1.0);
+        let sc = ctx();
+        let cfg = HierarchyConfig::default().with_target_part_size(2);
+        let h = HierarchicalClosure::solve(&sc, &g, &cfg).expect("solve");
+        assert!(h.stats().parts >= 4, "stats: {:?}", h.stats());
+        assert_eq!(h.dist(0, 1), 1.0);
+        assert!(h.dist(0, 4).is_infinite());
+    }
+
+    #[test]
+    fn paths_are_valid_witnesses() {
+        let g = generators::road_grid(7, 7, 11);
+        let sc = ctx();
+        let cfg = HierarchyConfig::default()
+            .with_paths()
+            .with_target_part_size(9);
+        let h = HierarchicalClosure::solve(&sc, &g, &cfg).expect("solve");
+        let adj = g.to_dense();
+        let n = g.order();
+        for u in (0..n).step_by(5) {
+            for v in (0..n).step_by(7) {
+                let d = h.dist(u, v);
+                let path = h.path(u, v).expect("path query");
+                if d.is_infinite() {
+                    assert!(path.is_none());
+                    continue;
+                }
+                let path = path.expect("reachable pair must yield a path");
+                assert_eq!(path[0] as usize, u);
+                assert_eq!(*path.last().expect("non-empty") as usize, v);
+                let mut len = 0.0;
+                for w in path.windows(2) {
+                    let hop = adj.get(w[0] as usize, w[1] as usize);
+                    assert!(hop.is_finite(), "non-edge {}-{} in path", w[0], w[1]);
+                    len += hop;
+                }
+                // Dyadic weights: the witness length is exactly the distance.
+                assert_eq!(len, d, "path length mismatch for ({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn untracked_hierarchy_returns_no_paths() {
+        let g = generators::grid(4, 4);
+        let sc = ctx();
+        let h = HierarchicalClosure::solve(&sc, &g, &HierarchyConfig::default()).expect("solve");
+        assert!(h.path(0, 15).expect("query").is_none());
+        assert!(!h.tracks_paths());
+    }
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        let sc = ctx();
+        let err = HierarchicalClosure::solve(&sc, &Graph::new(0), &HierarchyConfig::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn row_rejects_out_of_range() {
+        let g = generators::grid(3, 3);
+        let sc = ctx();
+        let h = HierarchicalClosure::solve(&sc, &g, &HierarchyConfig::default()).expect("solve");
+        assert!(h.row(9).is_err());
+        assert!(h.path(0, 9).is_err());
+    }
+}

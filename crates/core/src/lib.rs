@@ -48,6 +48,7 @@ pub mod checkpoint;
 pub mod directed;
 mod engine;
 mod fw2d;
+pub mod hierarchy;
 mod johnson_dist;
 mod mpi_dc;
 mod mpi_fw2d;
@@ -68,6 +69,7 @@ pub use cartesian_rs::CartesianSquaring;
 pub use checkpoint::{CheckpointPolicy, CheckpointSignal, CheckpointSpec};
 pub use directed::{DirectedBlockedCB, DirectedFloydWarshall2D, FullBlockedMatrix};
 pub use fw2d::FloydWarshall2D;
+pub use hierarchy::{HierarchicalClosure, HierarchyConfig, HierarchyStats};
 pub use johnson_dist::DistributedJohnson;
 pub use mpi_dc::MpiDcApsp;
 pub use mpi_fw2d::MpiFw2d;

@@ -61,6 +61,8 @@ use apsp_cluster::{
 };
 use apsp_graph::paths::{NodeId, ParentMatrix};
 use apsp_graph::{DiGraph, Graph};
+
+use crate::hierarchy::{HierarchicalClosure, HierarchyConfig};
 use sparklet::{EstimateSize, MetricsSnapshot, SparkContext};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -121,6 +123,10 @@ pub enum SolverId {
     DirectedBlockedCB,
     /// [`crate::directed::DirectedFloydWarshall2D`].
     DirectedFloydWarshall2D,
+    /// [`crate::hierarchy::HierarchicalClosure`] — the sparse
+    /// partition/local-solve/boundary-stitch path; distances and paths
+    /// are served lazily per point query, never as an `n × n` matrix.
+    SparseHierarchical,
 }
 
 /// What a solver can and cannot do — the static metadata the planner's
@@ -148,7 +154,7 @@ pub struct SolverCaps {
 
 impl SolverId {
     /// Every schedulable solver, in the planner's preference order.
-    pub const ALL: [SolverId; 10] = [
+    pub const ALL: [SolverId; 11] = [
         SolverId::BlockedCollectBroadcast,
         SolverId::BlockedInMemory,
         SolverId::FloydWarshall2D,
@@ -159,6 +165,7 @@ impl SolverId {
         SolverId::MpiDc,
         SolverId::DirectedBlockedCB,
         SolverId::DirectedFloydWarshall2D,
+        SolverId::SparseHierarchical,
     ];
 
     /// The capability record for this solver.
@@ -253,6 +260,15 @@ impl SolverId {
                 paths: true,
                 algebras: false,
                 model: Some(SolverKind::FloydWarshall2D),
+            },
+            SolverId::SparseHierarchical => SolverCaps {
+                id: self,
+                name: "Sparse Hierarchical (partition + boundary stitch)",
+                directed: false,
+                undirected: true,
+                paths: true,
+                algebras: false, // tropical-only: the stitch rule is (min, +)
+                model: None,     // outside the paper's dense cluster model
             },
         }
     }
@@ -573,6 +589,57 @@ impl<'a> Problem<'a> {
             ));
         }
 
+        // --- Sparse routing: when the default dense winner is about to
+        // run on a large road-like graph, switch to the hierarchical
+        // partition/stitch path instead of paying the dense O(n²)
+        // closure. Only the auto-selected default is rerouted (an
+        // explicit preference is a user decision), and only for plain
+        // in-memory solves — the store/checkpoint machinery serializes
+        // dense closures, which the hierarchical result deliberately
+        // never materializes.
+        if self.prefer.is_none()
+            && solver == SolverId::BlockedCollectBroadcast
+            && self.workload == Workload::ShortestPaths
+            && self.store.is_none()
+            && self.checkpoint.is_none()
+        {
+            if let Input::Graph(g) = &self.input {
+                let density = g.density();
+                let avg_degree = g.avg_degree();
+                if tuner::prefers_hierarchical(n, density, avg_degree) {
+                    solver = SolverId::SparseHierarchical;
+                    notes.push(PlanNote::new(
+                        "sparse-hierarchical",
+                        format!(
+                            "density {density:.5} <= {} and avg degree {avg_degree:.1} \
+                             <= {} at n = {n} >= {}: partitioned local closures + a \
+                             boundary-skeleton solve replace the dense n x n closure \
+                             (distances served lazily per query)",
+                            tuner::SPARSE_MAX_DENSITY,
+                            tuner::SPARSE_MAX_AVG_DEGREE,
+                            tuner::SPARSE_MIN_N,
+                        ),
+                    ));
+                }
+            }
+        }
+
+        // An explicitly preferred hierarchical solver still needs an
+        // edge-list input to partition: dense-matrix (and digraph)
+        // inputs fall back to the dense winner.
+        if solver == SolverId::SparseHierarchical && !matches!(self.input, Input::Graph(_)) {
+            solver = SolverId::BlockedCollectBroadcast;
+            notes.push(PlanNote::new(
+                "sparse-input-fallback",
+                format!(
+                    "{} partitions an edge-list Graph input; this input is already \
+                     a dense matrix, so {} runs instead",
+                    SolverId::SparseHierarchical.name(),
+                    solver.name()
+                ),
+            ));
+        }
+
         // --- Block size: closed-form suggestion (or the pin), then the
         // cluster model's feasibility verdict.
         let cores = self.hints.cores.unwrap_or_else(|| ctx.num_cores()).max(1);
@@ -756,6 +823,42 @@ impl<'a> Problem<'a> {
         start: Instant,
     ) -> Result<Solution, ApspError> {
         let cfg = plan.solver_config();
+        // The hierarchical path partitions the edge list directly —
+        // branch *before* the dense materialization below, so a sparse
+        // input routed here never allocates n² cells.
+        if plan.solver == SolverId::SparseHierarchical {
+            let g = match &self.input {
+                Input::Graph(g) => g,
+                _ => {
+                    return Err(ApspError::InvalidConfig(
+                        "the hierarchical solver needs an edge-list Graph input \
+                         (planner bug: the sparse-input-fallback rule was skipped)"
+                            .into(),
+                    ))
+                }
+            };
+            if plan.validate {
+                self.validate_weights()?;
+            }
+            let hcfg = HierarchyConfig {
+                target_part_size: None,
+                track_paths: plan.paths,
+            };
+            let h = HierarchicalClosure::solve(ctx, g, &hcfg)?;
+            let metrics = h.skeleton_metrics;
+            // Outer stages: one local closure per part + the skeleton solve.
+            let iterations = h.stats().parts as u64 + h.skeleton_iterations;
+            return Ok(Solution {
+                n: plan.n,
+                workload: Workload::ShortestPaths,
+                values: Values::Hierarchical(Box::new(h)),
+                vias: None,
+                plan,
+                metrics,
+                elapsed: start.elapsed(),
+                iterations,
+            });
+        }
         let owned;
         let adj: &Matrix = match self.input {
             Input::Graph(g) => {
@@ -820,6 +923,13 @@ impl<'a> Problem<'a> {
                     let r = solver.solve_matrix(adj)?;
                     Executed::Mpi(r.distances, None, 1)
                 }
+            }
+            SolverId::SparseHierarchical => {
+                return Err(ApspError::InvalidConfig(
+                    "the hierarchical solver is handled before dense materialization \
+                     (unreachable: execute_tropical returned early above)"
+                        .into(),
+                ))
             }
         };
         let (values, vias, metrics, iterations) = match executed {
@@ -1293,6 +1403,10 @@ enum Values {
     /// Disk-resident closure behind an LRU block cache — produced by
     /// [`Solution::open`], never by a solve.
     Stored(ClosureStore),
+    /// Lazily-stitched hierarchical closure over a sparse graph — point
+    /// queries evaluate `local + skeleton + local` on demand; no `n × n`
+    /// matrix exists.
+    Hierarchical(Box<HierarchicalClosure>),
 }
 
 /// Outcome of a planned solve: one result type over all three workloads,
@@ -1344,6 +1458,7 @@ impl Solution {
             Values::Widths(m) => Ok(m.get(u, v)),
             Values::Reach(m) => Ok(if m.get(u, v) { 1.0 } else { 0.0 }),
             Values::Stored(s) => s.cell(u, v),
+            Values::Hierarchical(h) => Ok(h.dist(u, v)),
         }
     }
 
@@ -1368,6 +1483,10 @@ impl Solution {
             }
             Values::Stored(s) if s.workload() == Workload::ShortestPaths => {
                 let d = s.cell(u, v)?;
+                Ok(d.is_finite().then_some(d))
+            }
+            Values::Hierarchical(h) => {
+                let d = h.dist(u, v);
                 Ok(d.is_finite().then_some(d))
             }
             _ => Ok(None),
@@ -1417,6 +1536,7 @@ impl Solution {
             Values::Widths(m) => Ok(m.get(u, v) > 0.0),
             Values::Reach(m) => Ok(m.get(u, v)),
             Values::Stored(s) => s.reachable(u, v),
+            Values::Hierarchical(h) => Ok(h.dist(u, v).is_finite()),
         }
     }
 
@@ -1437,6 +1557,9 @@ impl Solution {
         self.check_node("target", v)?;
         if let Values::Stored(s) = &self.values {
             return s.path(u, v);
+        }
+        if let Values::Hierarchical(h) = &self.values {
+            return h.path(u, v);
         }
         let Some(vias) = self.vias.as_ref() else {
             return Ok(None);
@@ -1462,6 +1585,20 @@ impl Solution {
     /// than loading the full closure.
     pub fn try_k_nearest(&self, u: usize, k: usize) -> Result<Vec<(NodeId, f64)>, ApspError> {
         self.check_node("source", u)?;
+        // Hierarchical solutions amortize the stitch across the whole row
+        // instead of paying O(|B_u| · |B_v|) per cell.
+        if let Values::Hierarchical(h) = &self.values {
+            let row = h.row(u)?;
+            let mut scored: Vec<(NodeId, f64)> = row
+                .into_iter()
+                .enumerate()
+                .filter(|&(v, d)| v != u && d.is_finite())
+                .map(|(v, d)| (v as NodeId, d))
+                .collect();
+            scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            scored.truncate(k);
+            return Ok(scored);
+        }
         let mut scored: Vec<(NodeId, f64)> = Vec::new();
         for v in 0..self.n {
             if v == u || !self.try_reachable(u, v)? {
@@ -1598,6 +1735,12 @@ impl Solution {
                  directory to relocate it",
                 s.dir().display()
             ))),
+            Values::Hierarchical(_) => Err(ApspError::Store(
+                "hierarchical solutions serve point queries lazily and never \
+                 materialize the n x n closure a store would persist; re-solve \
+                 with prefer(BlockedCollectBroadcast) to save"
+                    .into(),
+            )),
         }
     }
 

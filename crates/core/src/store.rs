@@ -89,6 +89,7 @@ pub(crate) fn solver_tag(id: SolverId) -> &'static str {
         SolverId::MpiDc => "mpi-dc",
         SolverId::DirectedBlockedCB => "directed-cb",
         SolverId::DirectedFloydWarshall2D => "directed-fw2d",
+        SolverId::SparseHierarchical => "hierarchical",
     }
 }
 

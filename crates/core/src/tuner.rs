@@ -102,6 +102,63 @@ pub fn feasible_block_size(
     tune_with_model(solver, n, spec, rates, overheads, &candidates).map(|(b, _)| b)
 }
 
+/// Sparse inputs smaller than this never route to the hierarchical path:
+/// below ~1k vertices the dense blocked solve is already sub-second and
+/// the partition/stitch machinery is pure overhead.
+pub const SPARSE_MIN_N: usize = 1024;
+
+/// Densest input the hierarchical path will accept: above ~2% finite
+/// off-diagonal cells the boundary sets grow toward `n` and the skeleton
+/// solve degenerates into the dense solve it was meant to avoid.
+pub const SPARSE_MAX_DENSITY: f64 = 0.02;
+
+/// Highest average degree the hierarchical path will accept. Density
+/// alone cannot separate road-like graphs from sparse expanders:
+/// Erdős–Rényi just above the connectivity threshold
+/// (`pe = (1+ε)·ln n / n`, the paper's §5.1 workload) has density
+/// `Θ(ln n / n)` — under [`SPARSE_MAX_DENSITY`] for every `n ≥ 1024` —
+/// yet no locality: a BFS-grown part has almost every vertex adjacent
+/// to the outside, so the skeleton approaches the whole graph and the
+/// hierarchy pays the dense solve *plus* its own overhead. Road
+/// networks and grids have bounded degree (≈ 2–5, `road_grid` ≈ 4.1);
+/// threshold-ER degree is `(1+ε)·ln n` ≥ 7.6 at `n = 1024` and grows,
+/// so a cut at 6 separates the two families at every qualifying size.
+pub const SPARSE_MAX_AVG_DEGREE: f64 = 6.0;
+
+/// Target partition size for the hierarchical sparse path.
+///
+/// Cost model (road-like graphs, boundary `≈ 4√m` per side-`√m` part):
+/// local closures cost `Θ(n·m²)` total, the skeleton closure costs
+/// `Θ(s³)` with `s ≈ 4n/√m` boundary vertices. Balancing the two gives
+/// `m = (48·n²)^(2/7)` — e.g. `m ≈ 870` at `n ≈ 20k`. Clamped to
+/// `[MIN_BLOCK, 4096]` (and to `n`) so tiny inputs stay one part and
+/// huge ones keep cache-resident local solves.
+pub fn hierarchical_part_size(n: usize) -> usize {
+    let balanced = (48.0 * (n as f64) * (n as f64)).powf(2.0 / 7.0).round() as usize;
+    balanced.clamp(MIN_BLOCK, 4096).min(n.max(1))
+}
+
+/// Whether the planner should prefer the hierarchical sparse path over
+/// the dense blocked solve for an `n`-vertex undirected graph with the
+/// given [`apsp_graph::Graph::density`] and
+/// [`apsp_graph::Graph::avg_degree`].
+///
+/// The gate is deliberately conservative — all three thresholds must
+/// hold:
+///
+/// * `n ≥` [`SPARSE_MIN_N`]: the dense solve's `Θ(n³)` must be large
+///   enough that the `Θ(n·m² + s³)` hierarchical total wins after its
+///   constant factors (partitioning, per-part setup, lazy stitching);
+/// * `density ≤` [`SPARSE_MAX_DENSITY`]: denser graphs push the
+///   boundary sets toward `n`, making the skeleton closure as large as
+///   the problem it replaces;
+/// * `avg_degree ≤` [`SPARSE_MAX_AVG_DEGREE`]: the bounded-degree
+///   locality signal that separates road-like graphs from sparse
+///   expanders (see the constant's rationale).
+pub fn prefers_hierarchical(n: usize, density: f64, avg_degree: f64) -> bool {
+    n >= SPARSE_MIN_N && density <= SPARSE_MAX_DENSITY && avg_degree <= SPARSE_MAX_AVG_DEGREE
+}
+
 /// The paper's candidate grid for Table 2/Fig. 3 sweeps.
 pub fn paper_candidates() -> Vec<usize> {
     vec![
@@ -129,6 +186,34 @@ mod tests {
         let b = suggest_block_size(100, 4, 2);
         assert!(b <= 64);
         assert!(b >= 1);
+    }
+
+    #[test]
+    fn hierarchical_part_size_balances_and_clamps() {
+        // Balanced point at n = 20164: (48·n²)^(2/7) ≈ 870.
+        let m = hierarchical_part_size(20_164);
+        assert!((700..=1100).contains(&m), "m = {m}");
+        // Tiny inputs: clamp to MIN_BLOCK then to n.
+        assert_eq!(hierarchical_part_size(10), 10);
+        assert_eq!(hierarchical_part_size(0), 1);
+        assert_eq!(hierarchical_part_size(100), 64);
+        // Huge inputs: cap at 4096 so local solves stay cache-resident.
+        assert_eq!(hierarchical_part_size(10_000_000), 4096);
+    }
+
+    #[test]
+    fn sparse_gate_needs_size_sparsity_and_bounded_degree() {
+        assert!(prefers_hierarchical(20_164, 0.0002, 4.1), "road_grid");
+        assert!(prefers_hierarchical(1024, 0.02, 6.0), "boundary values");
+        assert!(!prefers_hierarchical(1023, 0.0001, 4.0), "too small");
+        assert!(!prefers_hierarchical(20_164, 0.1, 4.0), "too dense");
+        assert!(
+            !prefers_hierarchical(96, 0.05, 3.9),
+            "grid(8,12) stays dense"
+        );
+        // Threshold Erdős–Rényi: sparse by density but an expander —
+        // degree (1+ε)·ln n ≈ 7.7 at n = 1100 fails the locality gate.
+        assert!(!prefers_hierarchical(1100, 0.0075, 7.7), "sparse expander");
     }
 
     #[test]

@@ -146,6 +146,43 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
     g
 }
 
+/// Road-network-like graph: a `rows × cols` grid whose street segments
+/// carry perturbed (quasi-Euclidean) lengths, plus a small fraction of
+/// diagonal shortcuts. Vertex `(r, c)` has index `r * cols + c`, like
+/// [`grid`].
+///
+/// Axis edges are unit length perturbed by ±25%; roughly 5% of cells
+/// additionally get a diagonal of perturbed length √2. All weights are
+/// quantized to multiples of `2⁻¹⁰` (dyadic rationals), so every path
+/// sum is exact in `f64` regardless of summation order — solvers that
+/// relax edges in different orders (blocked min-plus, Dijkstra,
+/// hierarchical stitching) produce **bit-identical** distances on this
+/// family, which is what the differential suites rely on.
+///
+/// Deterministic given `perturb_seed`.
+pub fn road_grid(rows: usize, cols: usize, perturb_seed: u64) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    let mut rng = StdRng::seed_from_u64(perturb_seed ^ 0x40AD);
+    // Snap to the dyadic lattice k/1024; keep weights strictly positive.
+    let quantize = |x: f64| ((x * 1024.0).round() / 1024.0).max(1.0 / 1024.0);
+    for r in 0..rows {
+        for c in 0..cols {
+            let id = (r * cols + c) as u32;
+            if c + 1 < cols {
+                g.add_edge(id, id + 1, quantize(rng.gen_range(0.75..1.25)));
+            }
+            if r + 1 < rows {
+                g.add_edge(id, id + cols as u32, quantize(rng.gen_range(0.75..1.25)));
+            }
+            if r + 1 < rows && c + 1 < cols && rng.gen::<f64>() < 0.05 {
+                let diag = std::f64::consts::SQRT_2 * rng.gen_range(0.9..1.1);
+                g.add_edge(id, id + cols as u32 + 1, quantize(diag));
+            }
+        }
+    }
+    g
+}
+
 /// Complete graph with uniform random weights in `[1, 10)`.
 pub fn complete(n: usize, seed: u64) -> Graph {
     erdos_renyi(n, 1.0, seed)
@@ -398,6 +435,33 @@ mod tests {
         // Radius 0 → no edges; radius √2 → complete.
         assert_eq!(random_geometric(50, 0.0, 1).num_edges(), 0);
         assert_eq!(random_geometric(50, 1.5, 1).num_edges(), 50 * 49 / 2);
+    }
+
+    #[test]
+    fn road_grid_weights_are_dyadic_and_deterministic() {
+        let g = road_grid(12, 9, 42);
+        assert_eq!(g.order(), 108);
+        // At least the axis edges are present; a few diagonals too.
+        let axis = 12 * 8 + 11 * 9;
+        assert!(g.num_edges() >= axis, "axis edges missing");
+        assert!(g.num_edges() > axis, "expected some diagonal shortcuts");
+        for (u, v, w) in g.edges() {
+            assert!(u != v);
+            assert!(w > 0.0);
+            let scaled = w * 1024.0;
+            assert_eq!(scaled, scaled.round(), "weight {w} is not dyadic");
+        }
+        let h = road_grid(12, 9, 42);
+        assert!(g.edges().eq(h.edges()), "same seed must reproduce");
+        let k = road_grid(12, 9, 43);
+        assert!(!g.edges().eq(k.edges()), "different seed should differ");
+    }
+
+    #[test]
+    fn road_grid_stays_connected_and_sparse() {
+        let g = road_grid(10, 10, 7);
+        assert_eq!(g.connected_components(), 1);
+        assert!(g.density() < 0.05, "density {}", g.density());
     }
 
     #[test]

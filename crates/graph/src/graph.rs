@@ -109,6 +109,34 @@ impl Graph {
         Csr::from_undirected_edges(self.n, &self.edges)
     }
 
+    /// Number of off-diagonal cells the dense export would populate:
+    /// twice the count of *distinct* undirected pairs `{u, v}`, `u ≠ v`
+    /// (parallel edges collapse, self-loops are dropped — exactly the
+    /// cells [`Graph::to_dense`] fills with a finite weight).
+    pub fn nnz(&self) -> usize {
+        let mut pairs: Vec<(u32, u32)> = self
+            .edges
+            .iter()
+            .filter(|&&(u, v, _)| u != v)
+            .map(|&(u, v, _)| (u.min(v), u.max(v)))
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        2 * pairs.len()
+    }
+
+    /// Fraction of off-diagonal adjacency cells that are finite:
+    /// `nnz / (n·(n-1))`, in `[0, 1]`. Zero for graphs with fewer than
+    /// two vertices. This is the sparsity signal the planner's tuner
+    /// reads to decide dense-vs-hierarchical routing.
+    pub fn density(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.n * (self.n - 1)) as f64
+        }
+    }
+
     /// Average vertex degree (each undirected edge contributes two endpoints).
     pub fn avg_degree(&self) -> f64 {
         if self.n == 0 {
@@ -229,6 +257,25 @@ mod tests {
         g.add_edge(0, 1, 2.0);
         g.add_edge(2, 3, 4.0);
         assert!(validate_adjacency(&g.to_dense()).is_ok());
+    }
+
+    #[test]
+    fn nnz_collapses_parallel_edges_and_self_loops() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 5.0);
+        g.add_edge(1, 0, 3.0); // parallel (reversed orientation)
+        g.add_edge(2, 2, 1.0); // self-loop: never densified
+        g.add_edge(2, 3, 4.0);
+        assert_eq!(g.nnz(), 4); // {0,1} and {2,3}, both directions
+        assert!((g.density() - 4.0 / 12.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn density_degenerate_graphs() {
+        assert_eq!(Graph::new(0).density(), 0.0);
+        assert_eq!(Graph::new(1).density(), 0.0);
+        let g = crate::generators::complete(6, 1);
+        assert_eq!(g.density(), 1.0);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! apspark generate --n 256 [--directed] [--seed S] --output graph.txt
-//! apspark solve    --input graph.txt [--directed] [--solver cb|im|fw2d|rs|cartesian|johnson|mpi-fw2d|mpi-dc]
+//! apspark solve    --input graph.txt [--directed] [--solver cb|im|fw2d|rs|cartesian|johnson|mpi-fw2d|mpi-dc|hierarchical]
 //!                  [--auto] [--path SRC DST] [--store DIR] [--block-size B] [--cores C] [--output dists.txt]
 //! apspark query    --store DIR [--dist U V | --path U V | --k-nearest U K | --submatrix R0 R1 C0 C1]
 //!                  [--cache-mb M] [--stats]
@@ -58,7 +58,8 @@ fn main() -> ExitCode {
                  --submatrix R0 R1 C0 C1] [--cache-mb M] [--stats]\n\
                  finalize --checkpoint-dir DIR --store DIR\n\
                  project  --n N [--cores P] [--solver NAME] [--block-size B]\n\n\
-                 solvers: cb (default), im, fw2d, rs, cartesian, johnson, mpi-fw2d, mpi-dc\n\n\
+                 solvers: cb (default), im, fw2d, rs, cartesian, johnson, mpi-fw2d, mpi-dc,\n          \
+                 hierarchical (alias: sparse; planner-only, for sparse road-like graphs)\n\n\
                  --auto        let the query planner pick the solver and block size\n               \
                  (prints the Plan::explain() report; --solver becomes a preference)\n\
                  --path SRC DST  track witness paths and print the reconstructed\n               \
@@ -236,6 +237,7 @@ fn solver_id(name: &str) -> Result<SolverId, String> {
         "johnson" => SolverId::DistributedJohnson,
         "mpi-fw2d" => SolverId::MpiFw2d,
         "mpi-dc" => SolverId::MpiDc,
+        "hierarchical" | "sparse" => SolverId::SparseHierarchical,
         other => return Err(format!("unknown solver '{other}'")),
     })
 }
@@ -315,11 +317,17 @@ fn cmd_solve_planned(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_solve(flags: &HashMap<String, String>) -> Result<(), String> {
-    if flags.contains_key("auto") || flags.contains_key("path-src") || flags.contains_key("store") {
+    let solver_name = flags.get("solver").map(String::as_str).unwrap_or("cb");
+    // The hierarchical solver partitions the edge list and serves point
+    // queries lazily — it only runs through the planner.
+    if flags.contains_key("auto")
+        || flags.contains_key("path-src")
+        || flags.contains_key("store")
+        || matches!(solver_name, "hierarchical" | "sparse")
+    {
         return cmd_solve_planned(flags);
     }
     let input = flags.get("input").ok_or("--input is required")?;
-    let solver_name = flags.get("solver").map(String::as_str).unwrap_or("cb");
     let cores = get_usize(flags, "cores")?
         .unwrap_or_else(|| std::thread::available_parallelism().map_or(4, |p| p.get()));
     let directed = flags.contains_key("directed");

@@ -1,0 +1,343 @@
+//! Integration suite for the sparse hierarchical APSP path: planner
+//! auto-routing, oracle equality (Dijkstra and the dense planner path),
+//! degenerate inputs, path witnesses, and `Solution` point queries.
+
+use apspark::core::hierarchy::{HierarchicalClosure, HierarchyConfig};
+use apspark::core::ApspError;
+use apspark::graph::{dijkstra, generators};
+use apspark::prelude::*;
+
+fn ctx() -> SparkContext {
+    SparkContext::new(SparkConfig::with_cores(2))
+}
+
+/// Dense Dijkstra oracle, bit-exact on dyadic weights.
+fn oracle(g: &Graph) -> Matrix {
+    dijkstra::apsp_dijkstra(g)
+}
+
+fn assert_rows_match(h: &HierarchicalClosure, want: &Matrix, tol: f64, label: &str) {
+    let n = h.order();
+    for u in 0..n {
+        let row = h.row(u).unwrap();
+        for (v, &got) in row.iter().enumerate() {
+            let w = want.get(u, v);
+            if tol == 0.0 {
+                assert!(
+                    got.to_bits() == w.to_bits(),
+                    "{label}: ({u},{v}) hierarchical {got} != oracle {w} (bit-exact)"
+                );
+            } else if w.is_finite() {
+                assert!(
+                    (got - w).abs() <= tol,
+                    "{label}: ({u},{v}) hierarchical {got} != oracle {w}"
+                );
+            } else {
+                assert!(
+                    !got.is_finite(),
+                    "{label}: ({u},{v}) finite {got}, want INF"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Planner routing
+// ---------------------------------------------------------------------------
+
+#[test]
+fn planner_auto_routes_large_sparse_road_graphs() {
+    let g = generators::road_grid(40, 40, 7);
+    assert!(g.order() >= 1024 && g.density() <= 0.02);
+    let sc = ctx();
+    let plan = Problem::new(&g).plan(&sc).unwrap();
+    assert_eq!(plan.solver, SolverId::SparseHierarchical);
+    let explain = plan.explain();
+    assert!(
+        explain.contains("sparse-hierarchical"),
+        "explain must name the routing rule:\n{explain}"
+    );
+}
+
+#[test]
+fn dense_and_small_inputs_keep_their_plans() {
+    let sc = ctx();
+    // Small grid: below the n >= 1024 gate, stays on the dense default.
+    let small = generators::grid(8, 12);
+    let plan = Problem::new(&small).plan(&sc).unwrap();
+    assert_eq!(plan.solver, SolverId::BlockedCollectBroadcast);
+    assert!(!plan.explain().contains("sparse-hierarchical"));
+
+    // Large but dense: fails the density gate.
+    let dense = generators::erdos_renyi(1100, 0.1, 0xD15E);
+    assert!(dense.density() > 0.02);
+    let plan = Problem::new(&dense).plan(&sc).unwrap();
+    assert_eq!(plan.solver, SolverId::BlockedCollectBroadcast);
+    assert!(!plan.explain().contains("sparse-hierarchical"));
+
+    // The paper's threshold ER workload: sparse by density but an
+    // expander — a BFS part has almost every vertex on its boundary, so
+    // hierarchical routing would rebuild the dense solve as a skeleton.
+    // The average-degree locality gate keeps it on the dense winner.
+    let expander = generators::erdos_renyi_paper(1100, 0.1, 0xD15F);
+    assert!(expander.density() <= 0.02, "threshold ER is sparse");
+    assert!(expander.avg_degree() > 6.0, "but not bounded-degree");
+    let plan = Problem::new(&expander).plan(&sc).unwrap();
+    assert_eq!(plan.solver, SolverId::BlockedCollectBroadcast);
+    assert!(!plan.explain().contains("sparse-hierarchical"));
+}
+
+#[test]
+fn auto_routed_solve_matches_dijkstra_bit_for_bit() {
+    let g = generators::road_grid(40, 40, 7);
+    let sc = ctx();
+    let sol = Problem::new(&g).solve(&sc).unwrap();
+    let csr = g.to_csr();
+    for s in [0usize, 41, 777, 1599] {
+        let want = dijkstra::sssp(&csr, s);
+        for (v, &w) in want.iter().enumerate() {
+            let got = sol.try_dist(s, v).unwrap();
+            if s == v {
+                assert_eq!(got, Some(0.0));
+            } else {
+                let got = got.expect("road grid is connected");
+                assert!(
+                    got.to_bits() == w.to_bits(),
+                    "({s},{v}): solve {got} != dijkstra {w}"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Forced hierarchical solves vs oracles across generators
+// ---------------------------------------------------------------------------
+
+#[test]
+fn forced_hierarchy_matches_oracle_on_grid() {
+    let g = generators::grid(9, 7);
+    let sc = ctx();
+    let cfg = HierarchyConfig::default().with_target_part_size(8);
+    let h = HierarchicalClosure::solve(&sc, &g, &cfg).unwrap();
+    assert!(h.stats().parts > 1, "partition must be non-trivial");
+    assert_rows_match(&h, &oracle(&g), 0.0, "grid(9,7)");
+}
+
+#[test]
+fn forced_hierarchy_matches_oracle_on_random_geometric() {
+    let g = generators::random_geometric(140, 0.18, 5);
+    let sc = ctx();
+    let cfg = HierarchyConfig::default().with_target_part_size(16);
+    let h = HierarchicalClosure::solve(&sc, &g, &cfg).unwrap();
+    assert_rows_match(&h, &oracle(&g), 1e-9, "random_geometric(140)");
+}
+
+#[test]
+fn forced_hierarchy_is_bit_equal_on_road_grid() {
+    let g = generators::road_grid(12, 11, 3);
+    let sc = ctx();
+    let cfg = HierarchyConfig::default().with_target_part_size(10);
+    let h = HierarchicalClosure::solve(&sc, &g, &cfg).unwrap();
+    assert_rows_match(&h, &oracle(&g), 0.0, "road_grid(12,11)");
+}
+
+#[test]
+fn hierarchy_agrees_with_dense_planner_path() {
+    let g = generators::road_grid(10, 13, 11);
+    let sc = ctx();
+    let dense = Problem::new(&g)
+        .prefer(SolverId::BlockedCollectBroadcast)
+        .solve(&sc)
+        .unwrap();
+    let hier = Problem::new(&g)
+        .prefer(SolverId::SparseHierarchical)
+        .solve(&sc)
+        .unwrap();
+    let n = g.order();
+    for u in 0..n {
+        for v in 0..n {
+            let a = dense.try_dist(u, v).unwrap();
+            let b = hier.try_dist(u, v).unwrap();
+            match (a, b) {
+                (Some(x), Some(y)) => assert!(
+                    (x - y).abs() <= 1e-9,
+                    "({u},{v}): dense {x} != hierarchical {y}"
+                ),
+                (None, None) => {}
+                _ => panic!("({u},{v}): reachability disagrees: {a:?} vs {b:?}"),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate and adversarial inputs
+// ---------------------------------------------------------------------------
+
+#[test]
+fn disconnected_components_stay_unreachable_end_to_end() {
+    // Two 3-cycles with no bridge, plus one isolated vertex.
+    let g = Graph::from_edges(
+        7,
+        [
+            (0, 1, 1.0),
+            (1, 2, 2.0),
+            (0, 2, 2.5),
+            (3, 4, 1.0),
+            (4, 5, 1.0),
+            (3, 5, 3.0),
+        ],
+    );
+    let sc = ctx();
+    let sol = Problem::new(&g)
+        .prefer(SolverId::SparseHierarchical)
+        .solve(&sc)
+        .unwrap();
+    let want = oracle(&g);
+    for u in 0..7 {
+        for v in 0..7 {
+            let w = want.get(u, v);
+            let got = sol.try_dist(u, v).unwrap();
+            if w.is_finite() {
+                assert_eq!(got, Some(w), "({u},{v})");
+            } else {
+                assert_eq!(got, None, "({u},{v}) should be unreachable");
+            }
+            assert_eq!(sol.try_reachable(u, v).unwrap(), w.is_finite());
+        }
+    }
+}
+
+#[test]
+fn single_partition_degenerate_case_collapses_to_local_solve() {
+    let g = generators::grid(4, 5);
+    let sc = ctx();
+    // Target part size >= n: one part, empty skeleton.
+    let cfg = HierarchyConfig::default().with_target_part_size(64);
+    let h = HierarchicalClosure::solve(&sc, &g, &cfg).unwrap();
+    let s = h.stats();
+    assert_eq!(s.parts, 1);
+    assert_eq!(s.boundary_vertices, 0);
+    assert_eq!(s.cut_edges, 0);
+    assert_rows_match(&h, &oracle(&g), 0.0, "single-partition grid(4,5)");
+}
+
+#[test]
+fn single_vertex_graph_solves() {
+    let g = Graph::new(1);
+    let sc = ctx();
+    let h = HierarchicalClosure::solve(&sc, &g, &HierarchyConfig::default()).unwrap();
+    assert_eq!(h.dist(0, 0), 0.0);
+    assert_eq!(h.row(0).unwrap(), vec![0.0]);
+}
+
+// ---------------------------------------------------------------------------
+// Path witnesses
+// ---------------------------------------------------------------------------
+
+/// Checks `DistancesAndParents::validate_against`'s invariant on the
+/// stitched witnesses: every hop is a real edge and the edge-sum equals
+/// the oracle distance. (Hierarchical solutions never materialize a
+/// `ParentMatrix`, so the check walks `Solution::try_path` directly.)
+#[test]
+fn hierarchical_paths_are_valid_witnesses_end_to_end() {
+    let g = generators::road_grid(9, 10, 21);
+    let sc = ctx();
+    let sol = Problem::new(&g)
+        .with_paths()
+        .prefer(SolverId::SparseHierarchical)
+        .solve(&sc)
+        .unwrap();
+    let adj = g.to_dense();
+    let want = oracle(&g);
+    let n = g.order();
+    for u in 0..n {
+        for v in 0..n {
+            let p = sol
+                .try_path(u, v)
+                .unwrap()
+                .unwrap_or_else(|| panic!("({u},{v}) reachable but no path"));
+            assert_eq!(p.first(), Some(&(u as u32)), "({u},{v}) wrong start");
+            assert_eq!(p.last(), Some(&(v as u32)), "({u},{v}) wrong end");
+            let mut sum = 0.0;
+            for w in p.windows(2) {
+                let e = adj.get(w[0] as usize, w[1] as usize);
+                assert!(
+                    e.is_finite() && w[0] != w[1],
+                    "({u},{v}) path uses non-edge {}→{}",
+                    w[0],
+                    w[1]
+                );
+                sum += e;
+            }
+            let d = want.get(u, v);
+            assert!(
+                (sum - d).abs() <= 1e-9,
+                "({u},{v}) witness sums to {sum}, oracle {d}"
+            );
+        }
+    }
+}
+
+#[test]
+fn untracked_hierarchical_solution_has_no_paths() {
+    let g = generators::road_grid(6, 6, 2);
+    let sc = ctx();
+    let sol = Problem::new(&g)
+        .prefer(SolverId::SparseHierarchical)
+        .solve(&sc)
+        .unwrap();
+    assert_eq!(sol.try_path(0, g.order() - 1).unwrap(), None);
+}
+
+// ---------------------------------------------------------------------------
+// Point queries and store interaction
+// ---------------------------------------------------------------------------
+
+#[test]
+fn k_nearest_matches_brute_force_on_hierarchical_solution() {
+    let g = generators::road_grid(8, 9, 13);
+    let sc = ctx();
+    let sol = Problem::new(&g)
+        .prefer(SolverId::SparseHierarchical)
+        .solve(&sc)
+        .unwrap();
+    let want = oracle(&g);
+    let n = g.order();
+    for u in [0usize, n / 2, n - 1] {
+        for k in [1usize, 5, n] {
+            let got = sol.try_k_nearest(u, k).unwrap();
+            let mut brute: Vec<(u32, f64)> = (0..n)
+                .filter(|&v| v != u && want.get(u, v).is_finite())
+                .map(|v| (v as u32, want.get(u, v)))
+                .collect();
+            brute.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            brute.truncate(k);
+            assert_eq!(got.len(), brute.len(), "u = {u}, k = {k}");
+            for (g_pair, b_pair) in got.iter().zip(&brute) {
+                assert_eq!(g_pair.0, b_pair.0, "u = {u}, k = {k}");
+                assert!((g_pair.1 - b_pair.1).abs() <= 1e-12, "u = {u}, k = {k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn hierarchical_solutions_refuse_to_persist() {
+    let g = generators::road_grid(6, 7, 4);
+    let sc = ctx();
+    let sol = Problem::new(&g)
+        .prefer(SolverId::SparseHierarchical)
+        .solve(&sc)
+        .unwrap();
+    let dir = std::env::temp_dir().join("apspark-hier-save-refusal");
+    match sol.save(&dir) {
+        Err(ApspError::Store(msg)) => {
+            assert!(msg.contains("lazily"), "unexpected refusal message: {msg}")
+        }
+        other => panic!("save must refuse on hierarchical solutions, got {other:?}"),
+    }
+    assert!(!dir.exists(), "refused save must not leave artifacts");
+}
