@@ -49,11 +49,13 @@ pub mod directed;
 mod engine;
 mod fw2d;
 pub mod hierarchy;
+pub mod jobs;
 mod johnson_dist;
 mod mpi_dc;
 mod mpi_fw2d;
 pub mod plan;
 mod repeated_squaring;
+pub mod serve;
 mod solver;
 pub mod store;
 pub mod tuner;
@@ -70,6 +72,10 @@ pub use checkpoint::{CheckpointPolicy, CheckpointSignal, CheckpointSpec};
 pub use directed::{DirectedBlockedCB, DirectedFloydWarshall2D, FullBlockedMatrix};
 pub use fw2d::FloydWarshall2D;
 pub use hierarchy::{HierarchicalClosure, HierarchyConfig, HierarchyStats};
+pub use jobs::{
+    solver_by_name, workload_by_name, CancelOutcome, GraphSource, JobQueue, JobSpec, JobState,
+    JobStatus, QueueFull, SolutionRegistry, STORE_SOLUTION_KEY,
+};
 pub use johnson_dist::DistributedJohnson;
 pub use mpi_dc::MpiDcApsp;
 pub use mpi_fw2d::MpiFw2d;
@@ -77,5 +83,9 @@ pub use plan::{
     Capabilities, Plan, PlanNote, Problem, ResourceHints, Solution, SolverCaps, SolverId, Workload,
 };
 pub use repeated_squaring::RepeatedSquaring;
+pub use serve::{
+    answer_json, answer_query, render_text, InterruptedJob, QueryAnswer, QueryError, QueryRequest,
+    ServeConfig, Server, ServerHandle, ShutdownReport,
+};
 pub use solver::{ApspError, ApspResult, ApspSolver, SolverConfig};
 pub use store::{finalize_checkpoint, ClosureStore, DEFAULT_STORE_CACHE_BUDGET};

@@ -1,0 +1,1362 @@
+//! APSP-as-a-service: an HTTP/1.1 query server fronting [`crate::plan`].
+//!
+//! The paper's premise is that the expensive closure is computed once and
+//! amortized across many downstream uses. This module is that
+//! amortization made operational: a long-running server that mounts a
+//! committed closure store (PR 8) and answers `dist`/`path`/`k-nearest`/
+//! `submatrix`/`reachable` *point queries* at memory speed to many
+//! concurrent clients, while long full solves run as *jobs* on a bounded
+//! queue (`POST /solve` → id, `GET /jobs/<id>` → status, `DELETE` →
+//! cancel) that rejects with `429` when full — backpressure, not
+//! unbounded buffering.
+//!
+//! The workspace is offline and shim-based (no tokio/actix, no Condvar in
+//! the `parking_lot` shim), so the transport is deliberately small: a
+//! hand-rolled request/response layer over [`std::net::TcpListener`],
+//! thread-per-connection with `Connection: close` semantics, and polling
+//! worker loops. What it fronts is the point: every query goes through
+//! the same bounds-checked `try_*` twins of [`Solution`] that the CLI
+//! uses — [`answer_query`] *is* the CLI's query path, so HTTP and CLI
+//! semantics cannot drift.
+//!
+//! ## Request lifecycle
+//!
+//! ```text
+//! accept → parse request → draining? ── yes → 503
+//!                │ no
+//!                ├── GET /dist|/path|/k-nearest|/submatrix|/reachable
+//!                │       resolve Solution (?job=… or default)
+//!                │       → answer_query → 200 JSON | 400 | 404 | 500
+//!                ├── POST /solve → JobSpec::from_json → queue.submit
+//!                │       → 202 {job} | 429 (queue full)
+//!                ├── GET /jobs, GET|DELETE /jobs/<id>, /metrics, /health
+//!                └── anything else → 404 / 405
+//! ```
+//!
+//! Graceful shutdown ([`ServerHandle::shutdown`]) stops admitting work,
+//! answers new requests `503`, drains in-flight ones, fires each running
+//! job's [`CheckpointSignal`](crate::checkpoint::CheckpointSignal) so
+//! the solve commits a round-granular
+//! snapshot (PR 7), then trips the cancel tokens; interrupted jobs are
+//! reported with their checkpoint directories, resumable via a later
+//! `POST /solve` carrying `"resume_from"`.
+
+use crate::jobs::{
+    CancelOutcome, JobQueue, JobSpec, JobState, SolutionRegistry, STORE_SOLUTION_KEY,
+};
+use crate::plan::{Solution, Workload};
+use crate::solver::ApspError;
+use crate::store::DEFAULT_STORE_CACHE_BUDGET;
+use apsp_graph::paths::NodeId;
+use serde::Value;
+use sparklet::{Metrics, MetricsSnapshot};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// The shared query-handler layer (used by both HTTP and the CLI)
+// ---------------------------------------------------------------------------
+
+/// A parsed point query, transport-agnostic: the HTTP router builds one
+/// from URL parameters, `apspark query` builds one from CLI flags, and
+/// both answer it through [`answer_query`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryRequest {
+    /// `GET /dist?src&dst` — the workload's scalar (distance, width, or
+    /// reachability bit).
+    Dist {
+        /// Source vertex.
+        src: usize,
+        /// Target vertex.
+        dst: usize,
+    },
+    /// `GET /reachable?src&dst` — reachability, answered by every
+    /// workload.
+    Reachable {
+        /// Source vertex.
+        src: usize,
+        /// Target vertex.
+        dst: usize,
+    },
+    /// `GET /path?src&dst` — witness-route reconstruction.
+    Path {
+        /// Source vertex.
+        src: usize,
+        /// Target vertex.
+        dst: usize,
+    },
+    /// `GET /k-nearest?src&k` — the `k` nearest vertices under the
+    /// workload's own order.
+    KNearest {
+        /// Source vertex.
+        src: usize,
+        /// How many neighbours.
+        k: usize,
+    },
+    /// `GET /submatrix?r0&r1&c0&c1` — the inclusive window
+    /// `[r0..=r1] × [c0..=c1]` of raw closure cells.
+    Submatrix {
+        /// First row (inclusive).
+        r0: usize,
+        /// Last row (inclusive).
+        r1: usize,
+        /// First column (inclusive).
+        c0: usize,
+        /// Last column (inclusive).
+        c1: usize,
+    },
+}
+
+/// A typed answer to a [`QueryRequest`], renderable as JSON
+/// ([`answer_json`]) or CLI text ([`render_text`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryAnswer {
+    /// A scalar distance (`metric == "dist"`) or width
+    /// (`metric == "width"`); `None` means unreachable.
+    Scalar {
+        /// `"dist"` or `"width"`, after the workload.
+        metric: &'static str,
+        /// The value, when the target is reachable.
+        value: Option<f64>,
+    },
+    /// A reachability bit.
+    Reachable {
+        /// Whether `dst` is reachable from `src`.
+        reachable: bool,
+    },
+    /// A reconstructed route, or `None` (unreachable, or the solve did
+    /// not track paths — `paths_tracked` distinguishes).
+    Path {
+        /// The route, as vertex ids including both endpoints.
+        route: Option<Vec<NodeId>>,
+        /// Whether the backing solution tracked witness paths at all.
+        paths_tracked: bool,
+    },
+    /// The `k` nearest vertices with their scores.
+    KNearest {
+        /// `(vertex, score)` pairs in the workload's order.
+        items: Vec<(NodeId, f64)>,
+    },
+    /// A dense window of raw closure cells (distances with `+∞` for
+    /// unreachable, widths with `0.0`, or `1.0`/`0.0` closure bits).
+    Submatrix {
+        /// One `Vec` per requested row.
+        cells: Vec<Vec<f64>>,
+    },
+}
+
+/// A failed [`answer_query`], pre-classified for the transport: the HTTP
+/// layer maps the variants to `400`/`404`/`500`, the CLI prints the
+/// message and exits nonzero. Out-of-range vertex ids are *not-found*
+/// (the resource named by the id does not exist); malformed windows are
+/// *bad-request*; store I/O problems are *internal*.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The request itself is malformed (bad window, unparsable ids).
+    BadRequest(String),
+    /// The request names a vertex or resource that does not exist.
+    NotFound(String),
+    /// The backing solution failed to answer (store I/O, engine error).
+    Internal(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::BadRequest(m) => write!(f, "bad request: {m}"),
+            QueryError::NotFound(m) => write!(f, "not found: {m}"),
+            QueryError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+fn check_node(sol: &Solution, what: &str, id: usize) -> Result<(), QueryError> {
+    if id >= sol.order() {
+        return Err(QueryError::NotFound(format!(
+            "{what} vertex {id} is out of range for n = {}",
+            sol.order()
+        )));
+    }
+    Ok(())
+}
+
+fn internal(e: ApspError) -> QueryError {
+    match e {
+        // Bounds are pre-checked above, so InvalidInput here means a
+        // malformed request shape that slipped past the parser.
+        ApspError::InvalidInput(m) => QueryError::BadRequest(m),
+        other => QueryError::Internal(other.to_string()),
+    }
+}
+
+/// Answers a point query against `sol` through its bounds-checked
+/// `try_*` twins. This is the *single* query path shared by the HTTP
+/// handlers and `apspark query`, so the two transports cannot drift:
+/// same bounds checks, same typed-error degradation, same
+/// workload-dependent `dist`/`width`/`reachable` dispatch.
+pub fn answer_query(sol: &Solution, req: &QueryRequest) -> Result<QueryAnswer, QueryError> {
+    match *req {
+        QueryRequest::Dist { src, dst } => {
+            check_node(sol, "source", src)?;
+            check_node(sol, "target", dst)?;
+            match sol.workload() {
+                Workload::ShortestPaths => Ok(QueryAnswer::Scalar {
+                    metric: "dist",
+                    value: sol.try_dist(src, dst).map_err(internal)?,
+                }),
+                Workload::Widest => Ok(QueryAnswer::Scalar {
+                    metric: "width",
+                    value: sol.try_width(src, dst).map_err(internal)?,
+                }),
+                Workload::Reachability => Ok(QueryAnswer::Reachable {
+                    reachable: sol.try_reachable(src, dst).map_err(internal)?,
+                }),
+            }
+        }
+        QueryRequest::Reachable { src, dst } => {
+            check_node(sol, "source", src)?;
+            check_node(sol, "target", dst)?;
+            Ok(QueryAnswer::Reachable {
+                reachable: sol.try_reachable(src, dst).map_err(internal)?,
+            })
+        }
+        QueryRequest::Path { src, dst } => {
+            check_node(sol, "source", src)?;
+            check_node(sol, "target", dst)?;
+            Ok(QueryAnswer::Path {
+                route: sol.try_path(src, dst).map_err(internal)?,
+                paths_tracked: sol.plan.paths,
+            })
+        }
+        QueryRequest::KNearest { src, k } => {
+            check_node(sol, "source", src)?;
+            Ok(QueryAnswer::KNearest {
+                items: sol.try_k_nearest(src, k).map_err(internal)?,
+            })
+        }
+        QueryRequest::Submatrix { r0, r1, c0, c1 } => {
+            if r1 < r0 || c1 < c0 {
+                return Err(QueryError::BadRequest(
+                    "submatrix wants r0 <= r1 and c0 <= c1 (inclusive)".into(),
+                ));
+            }
+            check_node(sol, "row", r0)?;
+            check_node(sol, "row", r1)?;
+            check_node(sol, "column", c0)?;
+            check_node(sol, "column", c1)?;
+            let rows: Vec<usize> = (r0..=r1).collect();
+            let cols: Vec<usize> = (c0..=c1).collect();
+            Ok(QueryAnswer::Submatrix {
+                cells: sol.try_submatrix(&rows, &cols).map_err(internal)?,
+            })
+        }
+    }
+}
+
+/// Renders an answer as the CLI's human-readable text — the exact lines
+/// `apspark query` has always printed, now produced from the same
+/// [`QueryAnswer`] the HTTP layer serializes.
+pub fn render_text(req: &QueryRequest, ans: &QueryAnswer) -> String {
+    match (req, ans) {
+        (QueryRequest::Dist { src, dst }, QueryAnswer::Scalar { metric, value }) => match value {
+            Some(v) => format!("{metric}({src}, {dst}) = {v}"),
+            None => format!("{metric}({src}, {dst}) = unreachable"),
+        },
+        (
+            QueryRequest::Dist { src, dst } | QueryRequest::Reachable { src, dst },
+            QueryAnswer::Reachable { reachable },
+        ) => {
+            format!("reachable({src}, {dst}) = {reachable}")
+        }
+        (
+            QueryRequest::Path { src, dst },
+            QueryAnswer::Path {
+                route,
+                paths_tracked,
+            },
+        ) => match route {
+            Some(route) => {
+                let hops: Vec<String> = route.iter().map(|x| x.to_string()).collect();
+                format!(
+                    "route {src} -> {dst}: {} hops: {}",
+                    route.len().saturating_sub(1),
+                    hops.join(" -> ")
+                )
+            }
+            None => format!(
+                "no route from {src} to {dst}{}",
+                if *paths_tracked {
+                    ""
+                } else {
+                    " (store was saved without path tracking)"
+                }
+            ),
+        },
+        (QueryRequest::KNearest { src, k }, QueryAnswer::KNearest { items }) => {
+            let items: Vec<String> = items.iter().map(|(v, s)| format!("{v}:{s}")).collect();
+            format!("k-nearest({src}, {k}): {}", items.join(" "))
+        }
+        (QueryRequest::Submatrix { r0, r1, c0, c1 }, QueryAnswer::Submatrix { cells }) => {
+            let mut out = format!("submatrix [{r0}..={r1}] x [{c0}..={c1}]:");
+            for row in cells {
+                let cells: Vec<String> = row
+                    .iter()
+                    .map(|v| {
+                        if v.is_finite() {
+                            format!("{v}")
+                        } else {
+                            "inf".into()
+                        }
+                    })
+                    .collect();
+                out.push_str("\n  ");
+                out.push_str(&cells.join(" "));
+            }
+            out
+        }
+        // A mismatched pairing cannot come out of answer_query; render
+        // it debug-style rather than hiding it.
+        (_, ans) => format!("{ans:?}"),
+    }
+}
+
+/// Serializes an answer as the HTTP response body. Non-finite floats
+/// (unreachable distances in a submatrix) render as JSON `null`.
+pub fn answer_json(req: &QueryRequest, ans: &QueryAnswer) -> Value {
+    let mut fields: Vec<(String, Value)> = Vec::new();
+    match *req {
+        QueryRequest::Dist { src, dst } => {
+            fields.push(("query".into(), Value::Str("dist".into())));
+            fields.push(("src".into(), Value::UInt(src as u64)));
+            fields.push(("dst".into(), Value::UInt(dst as u64)));
+        }
+        QueryRequest::Reachable { src, dst } => {
+            fields.push(("query".into(), Value::Str("reachable".into())));
+            fields.push(("src".into(), Value::UInt(src as u64)));
+            fields.push(("dst".into(), Value::UInt(dst as u64)));
+        }
+        QueryRequest::Path { src, dst } => {
+            fields.push(("query".into(), Value::Str("path".into())));
+            fields.push(("src".into(), Value::UInt(src as u64)));
+            fields.push(("dst".into(), Value::UInt(dst as u64)));
+        }
+        QueryRequest::KNearest { src, k } => {
+            fields.push(("query".into(), Value::Str("k-nearest".into())));
+            fields.push(("src".into(), Value::UInt(src as u64)));
+            fields.push(("k".into(), Value::UInt(k as u64)));
+        }
+        QueryRequest::Submatrix { r0, r1, c0, c1 } => {
+            fields.push(("query".into(), Value::Str("submatrix".into())));
+            fields.push(("r0".into(), Value::UInt(r0 as u64)));
+            fields.push(("r1".into(), Value::UInt(r1 as u64)));
+            fields.push(("c0".into(), Value::UInt(c0 as u64)));
+            fields.push(("c1".into(), Value::UInt(c1 as u64)));
+        }
+    }
+    match ans {
+        QueryAnswer::Scalar { metric, value } => {
+            fields.push(("metric".into(), Value::Str((*metric).into())));
+            fields.push((
+                "value".into(),
+                match value {
+                    Some(v) => Value::Float(*v),
+                    None => Value::Null,
+                },
+            ));
+        }
+        QueryAnswer::Reachable { reachable } => {
+            fields.push(("reachable".into(), Value::Bool(*reachable)));
+        }
+        QueryAnswer::Path {
+            route,
+            paths_tracked,
+        } => {
+            match route {
+                Some(route) => {
+                    fields.push((
+                        "route".into(),
+                        Value::Array(route.iter().map(|&v| Value::UInt(v as u64)).collect()),
+                    ));
+                    fields.push((
+                        "hops".into(),
+                        Value::UInt(route.len().saturating_sub(1) as u64),
+                    ));
+                }
+                None => {
+                    fields.push(("route".into(), Value::Null));
+                    fields.push(("hops".into(), Value::Null));
+                }
+            }
+            fields.push(("paths_tracked".into(), Value::Bool(*paths_tracked)));
+        }
+        QueryAnswer::KNearest { items } => {
+            fields.push((
+                "items".into(),
+                Value::Array(
+                    items
+                        .iter()
+                        .map(|&(v, s)| {
+                            Value::Object(vec![
+                                ("v".into(), Value::UInt(v as u64)),
+                                ("score".into(), Value::Float(s)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        QueryAnswer::Submatrix { cells } => {
+            fields.push((
+                "cells".into(),
+                Value::Array(
+                    cells
+                        .iter()
+                        .map(|row| {
+                            Value::Array(
+                                row.iter()
+                                    .map(|&v| {
+                                        if v.is_finite() {
+                                            Value::Float(v)
+                                        } else {
+                                            Value::Null
+                                        }
+                                    })
+                                    .collect(),
+                            )
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+    }
+    Value::Object(fields)
+}
+
+// ---------------------------------------------------------------------------
+// Minimal HTTP/1.1 request/response plumbing
+// ---------------------------------------------------------------------------
+
+const MAX_LINE: usize = 8 * 1024;
+const MAX_HEADERS: usize = 64;
+const MAX_BODY: usize = 1024 * 1024;
+
+struct HttpRequest {
+    method: String,
+    path: String,
+    params: Vec<(String, String)>,
+    body: String,
+}
+
+fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' if i + 2 < bytes.len() => {
+                let hex = &s[i + 1..i + 3];
+                match u8::from_str_radix(hex, 16) {
+                    Ok(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    Err(_) => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let params = query
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| match kv.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(kv), String::new()),
+        })
+        .collect();
+    (path.to_string(), params)
+}
+
+/// Reads one request. `Ok(None)` means the client closed without sending
+/// one; `Err` is a malformed request the caller answers with `400`.
+fn read_request(stream: &mut TcpStream) -> Result<Option<HttpRequest>, String> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    let n = reader
+        .by_ref()
+        .take(MAX_LINE as u64)
+        .read_line(&mut line)
+        .map_err(|e| format!("cannot read request line: {e}"))?;
+    if n == 0 {
+        return Ok(None);
+    }
+    let line = line.trim_end_matches(['\r', '\n']);
+    let mut parts = line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v),
+        _ => return Err(format!("malformed request line '{line}'")),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol '{version}'"));
+    }
+    let mut content_length = 0usize;
+    for _ in 0..MAX_HEADERS {
+        let mut header = String::new();
+        reader
+            .by_ref()
+            .take(MAX_LINE as u64)
+            .read_line(&mut header)
+            .map_err(|e| format!("cannot read header: {e}"))?;
+        let header = header.trim_end_matches(['\r', '\n']);
+        if header.is_empty() {
+            let body = if content_length > 0 {
+                if content_length > MAX_BODY {
+                    return Err(format!(
+                        "request body of {content_length} bytes exceeds the {MAX_BODY}-byte limit"
+                    ));
+                }
+                let mut buf = vec![0u8; content_length];
+                reader
+                    .read_exact(&mut buf)
+                    .map_err(|e| format!("cannot read request body: {e}"))?;
+                String::from_utf8_lossy(&buf).into_owned()
+            } else {
+                String::new()
+            };
+            let (path, params) = parse_target(&target);
+            return Ok(Some(HttpRequest {
+                method,
+                path,
+                params,
+                body,
+            }));
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("malformed Content-Length '{}'", value.trim()))?;
+            }
+        }
+    }
+    Err(format!("more than {MAX_HEADERS} headers"))
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn write_response(stream: &mut TcpStream, status: u16, body: &Value) {
+    let body = serde_json::to_string(body).unwrap_or_else(|_| "{}".to_string());
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_reason(status),
+        body.len(),
+    );
+    // A client that hung up mid-response is its own problem; the server
+    // must not die (or panic) over it.
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn error_body(kind: &str, detail: &str) -> Value {
+    Value::Object(vec![(
+        "error".to_string(),
+        Value::Object(vec![
+            ("kind".to_string(), Value::Str(kind.to_string())),
+            ("detail".to_string(), Value::Str(detail.to_string())),
+        ]),
+    )])
+}
+
+impl QueryError {
+    fn to_response(&self) -> (u16, Value) {
+        match self {
+            QueryError::BadRequest(m) => (400, error_body("bad-request", m)),
+            QueryError::NotFound(m) => (404, error_body("not-found", m)),
+            QueryError::Internal(m) => (500, error_body("internal", m)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server configuration and lifecycle
+// ---------------------------------------------------------------------------
+
+/// Configuration for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// TCP port to bind on 127.0.0.1; `0` picks an ephemeral port
+    /// (reported by [`ServerHandle::addr`]).
+    pub port: u16,
+    /// Solve-job worker threads.
+    pub workers: usize,
+    /// Bound on unfinished jobs (queued + running); submissions beyond
+    /// it are refused with `429`.
+    pub queue_depth: usize,
+    /// A committed closure store to mount as the default query target.
+    pub store: Option<PathBuf>,
+    /// Decoded-block cache budget for the mounted store, in bytes.
+    pub cache_budget_bytes: u64,
+    /// Executor cores per solve job.
+    pub cores: usize,
+    /// Root for per-job checkpoint directories; a per-process directory
+    /// under the system temp dir when absent.
+    pub work_dir: Option<PathBuf>,
+    /// How long [`ServerHandle::shutdown`] waits for running jobs to
+    /// checkpoint and for in-flight requests to drain.
+    pub drain_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            port: 0,
+            workers: 2,
+            queue_depth: 4,
+            store: None,
+            cache_budget_bytes: DEFAULT_STORE_CACHE_BUDGET,
+            cores: std::thread::available_parallelism().map_or(4, |p| p.get().min(8)),
+            work_dir: None,
+            drain_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+struct Shared {
+    metrics: Arc<Metrics>,
+    registry: SolutionRegistry,
+    queue: JobQueue,
+    /// New requests are answered `503` once set.
+    draining: AtomicBool,
+    /// Workers exit their poll loop once set (after finishing the
+    /// current job).
+    stop_workers: AtomicBool,
+    /// The accept loop exits once set.
+    stop_accept: AtomicBool,
+    /// Connections currently being served (accepted, not yet closed).
+    open_connections: AtomicUsize,
+    cores: usize,
+}
+
+/// The service subsystem's entry point; start one with [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Binds `127.0.0.1:<port>`, mounts the configured store (if any),
+    /// and spawns the accept loop plus the worker pool. Returns a handle
+    /// for querying state and shutting down.
+    pub fn start(config: ServeConfig) -> Result<ServerHandle, ApspError> {
+        let metrics = Arc::new(Metrics::default());
+        let work_dir = config.work_dir.clone().unwrap_or_else(|| {
+            std::env::temp_dir().join(format!("apspark-serve-{}", std::process::id()))
+        });
+        std::fs::create_dir_all(&work_dir).map_err(|e| {
+            ApspError::Store(format!(
+                "cannot create serve work dir '{}': {e}",
+                work_dir.display()
+            ))
+        })?;
+        let registry = SolutionRegistry::new();
+        if let Some(dir) = &config.store {
+            let sol = Solution::open_with_cache_budget(dir, config.cache_budget_bytes)?;
+            registry.register(STORE_SOLUTION_KEY, Arc::new(sol));
+        }
+        let listener = TcpListener::bind(("127.0.0.1", config.port)).map_err(|e| {
+            ApspError::InvalidConfig(format!("cannot bind 127.0.0.1:{}: {e}", config.port))
+        })?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ApspError::InvalidConfig(format!("cannot resolve bound address: {e}")))?;
+        listener.set_nonblocking(true).map_err(|e| {
+            ApspError::InvalidConfig(format!("cannot set the listener nonblocking: {e}"))
+        })?;
+
+        let shared = Arc::new(Shared {
+            queue: JobQueue::new(config.queue_depth, metrics.clone(), work_dir),
+            metrics,
+            registry,
+            draining: AtomicBool::new(false),
+            stop_workers: AtomicBool::new(false),
+            stop_accept: AtomicBool::new(false),
+            open_connections: AtomicUsize::new(0),
+            cores: config.cores.max(1),
+        });
+
+        let accept = {
+            let shared = shared.clone();
+            std::thread::spawn(move || accept_loop(listener, shared))
+        };
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(shared))
+            })
+            .collect();
+
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+            workers,
+            drain_timeout: config.drain_timeout,
+        })
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.stop_accept.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.open_connections.fetch_add(1, Ordering::AcqRel);
+                let shared = shared.clone();
+                std::thread::spawn(move || {
+                    handle_connection(stream, &shared);
+                    shared.open_connections.fetch_sub(1, Ordering::AcqRel);
+                });
+            }
+            // Nonblocking accept: poll (the parking_lot shim has no
+            // Condvar to park on).
+            Err(_) => std::thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        if shared.stop_workers.load(Ordering::Acquire) {
+            return;
+        }
+        let Some((id, spec, cancel, signal, ckpt_dir)) = shared.queue.claim_next() else {
+            std::thread::sleep(Duration::from_millis(2));
+            continue;
+        };
+        match crate::jobs::run_job(
+            &spec,
+            cancel,
+            signal,
+            &ckpt_dir,
+            shared.metrics.clone(),
+            shared.cores,
+        ) {
+            Ok(sol) => {
+                let n = sol.order();
+                let elapsed = sol.elapsed.as_secs_f64();
+                shared.registry.register(&id, Arc::new(sol));
+                shared.queue.complete(&id, n, elapsed);
+            }
+            Err(e) => shared.queue.finish_err(&id, &e),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let (status, body) = match read_request(&mut stream) {
+        Err(detail) => (400, error_body("bad-request", &detail)),
+        Ok(None) => return,
+        Ok(Some(req)) => {
+            if shared.draining.load(Ordering::Acquire) {
+                (503, error_body("draining", "the server is shutting down"))
+            } else {
+                route(shared, &req)
+            }
+        }
+    };
+    shared.metrics.note_request_served();
+    write_response(&mut stream, status, &body);
+}
+
+fn param<'a>(req: &'a HttpRequest, key: &str) -> Option<&'a str> {
+    req.params
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+fn param_usize(req: &HttpRequest, key: &str) -> Result<usize, QueryError> {
+    let raw = param(req, key)
+        .ok_or_else(|| QueryError::BadRequest(format!("missing required parameter '{key}'")))?;
+    raw.parse::<usize>().map_err(|_| {
+        QueryError::BadRequest(format!(
+            "parameter '{key}' must be a non-negative integer, got '{raw}'"
+        ))
+    })
+}
+
+fn parse_query_request(req: &HttpRequest) -> Result<QueryRequest, QueryError> {
+    match req.path.as_str() {
+        "/dist" => Ok(QueryRequest::Dist {
+            src: param_usize(req, "src")?,
+            dst: param_usize(req, "dst")?,
+        }),
+        "/reachable" => Ok(QueryRequest::Reachable {
+            src: param_usize(req, "src")?,
+            dst: param_usize(req, "dst")?,
+        }),
+        "/path" => Ok(QueryRequest::Path {
+            src: param_usize(req, "src")?,
+            dst: param_usize(req, "dst")?,
+        }),
+        "/k-nearest" => Ok(QueryRequest::KNearest {
+            src: param_usize(req, "src")?,
+            k: param_usize(req, "k")?,
+        }),
+        "/submatrix" => Ok(QueryRequest::Submatrix {
+            r0: param_usize(req, "r0")?,
+            r1: param_usize(req, "r1")?,
+            c0: param_usize(req, "c0")?,
+            c1: param_usize(req, "c1")?,
+        }),
+        other => Err(QueryError::NotFound(format!("no such endpoint '{other}'"))),
+    }
+}
+
+fn resolve_solution(shared: &Shared, req: &HttpRequest) -> Result<Arc<Solution>, QueryError> {
+    match param(req, "job") {
+        Some(id) => shared
+            .registry
+            .get(id)
+            .ok_or_else(|| match shared.queue.status(id) {
+                Some(st) => QueryError::NotFound(format!(
+                    "job '{id}' is {}; no solution to query",
+                    st.state.label()
+                )),
+                None => QueryError::NotFound(format!("no solution under job id '{id}'")),
+            }),
+        None => shared.registry.default_solution().ok_or_else(|| {
+            QueryError::NotFound(
+                "no solution available: POST /solve a job first, or start the server \
+                 with --store DIR"
+                    .to_string(),
+            )
+        }),
+    }
+}
+
+fn route(shared: &Shared, req: &HttpRequest) -> (u16, Value) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => (
+            200,
+            Value::Object(vec![
+                ("status".to_string(), Value::Str("ok".to_string())),
+                ("draining".to_string(), Value::Bool(false)),
+            ]),
+        ),
+        ("GET", "/metrics") => (200, metrics_json(shared)),
+        ("GET", "/dist" | "/reachable" | "/path" | "/k-nearest" | "/submatrix") => {
+            let sol = match resolve_solution(shared, req) {
+                Ok(sol) => sol,
+                Err(e) => return e.to_response(),
+            };
+            let query = match parse_query_request(req) {
+                Ok(q) => q,
+                Err(e) => return e.to_response(),
+            };
+            match answer_query(&sol, &query) {
+                Ok(ans) => (200, answer_json(&query, &ans)),
+                Err(e) => e.to_response(),
+            }
+        }
+        ("POST", "/solve") => handle_solve(shared, req),
+        ("GET", "/jobs") => {
+            let jobs: Vec<Value> = shared.queue.list().iter().map(|st| st.to_json()).collect();
+            (
+                200,
+                Value::Object(vec![("jobs".to_string(), Value::Array(jobs))]),
+            )
+        }
+        ("GET", path) if path.starts_with("/jobs/") => {
+            let id = &path["/jobs/".len()..];
+            match shared.queue.status(id) {
+                Some(st) => (200, st.to_json()),
+                None => (404, error_body("not-found", &format!("no job '{id}'"))),
+            }
+        }
+        ("DELETE", path) if path.starts_with("/jobs/") => {
+            let id = &path["/jobs/".len()..];
+            match shared.queue.cancel(id) {
+                CancelOutcome::CancelledQueued => (200, job_state_body(id, JobState::Cancelled)),
+                CancelOutcome::CancellingRunning => (
+                    202,
+                    Value::Object(vec![
+                        ("job".to_string(), Value::Str(id.to_string())),
+                        ("state".to_string(), Value::Str("cancelling".to_string())),
+                    ]),
+                ),
+                CancelOutcome::AlreadyFinished(state) => (
+                    409,
+                    error_body(
+                        "conflict",
+                        &format!("job '{id}' already finished ({})", state.label()),
+                    ),
+                ),
+                CancelOutcome::NotFound => {
+                    (404, error_body("not-found", &format!("no job '{id}'")))
+                }
+            }
+        }
+        (
+            _,
+            "/health" | "/metrics" | "/dist" | "/reachable" | "/path" | "/k-nearest" | "/submatrix"
+            | "/solve" | "/jobs",
+        ) => (
+            405,
+            error_body(
+                "method-not-allowed",
+                &format!("{} is not supported on {}", req.method, req.path),
+            ),
+        ),
+        (_, path) if path.starts_with("/jobs/") => (
+            405,
+            error_body(
+                "method-not-allowed",
+                &format!("{} is not supported on {}", req.method, req.path),
+            ),
+        ),
+        (_, path) => (
+            404,
+            error_body("not-found", &format!("no such endpoint '{path}'")),
+        ),
+    }
+}
+
+fn job_state_body(id: &str, state: JobState) -> Value {
+    Value::Object(vec![
+        ("job".to_string(), Value::Str(id.to_string())),
+        ("state".to_string(), Value::Str(state.label().to_string())),
+    ])
+}
+
+fn handle_solve(shared: &Shared, req: &HttpRequest) -> (u16, Value) {
+    let body = match serde_json::from_str(&req.body) {
+        Ok(v) => v,
+        Err(e) => {
+            return (
+                400,
+                error_body("bad-request", &format!("malformed JSON body: {e}")),
+            )
+        }
+    };
+    let spec = match JobSpec::from_json(&body) {
+        Ok(s) => s,
+        Err(detail) => return (400, error_body("bad-request", &detail)),
+    };
+    match shared.queue.submit(spec) {
+        Ok(id) => (
+            202,
+            Value::Object(vec![
+                ("job".to_string(), Value::Str(id.clone())),
+                ("status_url".to_string(), Value::Str(format!("/jobs/{id}"))),
+            ]),
+        ),
+        Err(full) => (
+            429,
+            error_body(
+                "queue-full",
+                &format!(
+                    "the job queue holds {} of {} unfinished jobs; retry later",
+                    full.depth, full.capacity
+                ),
+            ),
+        ),
+    }
+}
+
+fn metrics_json(shared: &Shared) -> Value {
+    let m = shared.metrics.snapshot();
+    let u = |v: u64| Value::UInt(v);
+    Value::Object(vec![
+        ("requests_served".to_string(), u(m.requests_served)),
+        ("jobs_queued".to_string(), u(m.jobs_queued)),
+        ("jobs_rejected".to_string(), u(m.jobs_rejected)),
+        ("jobs_cancelled".to_string(), u(m.jobs_cancelled)),
+        ("queue_depth_peak".to_string(), u(m.queue_depth_peak)),
+        (
+            "queue".to_string(),
+            Value::Object(vec![
+                ("depth".to_string(), u(shared.queue.depth() as u64)),
+                ("capacity".to_string(), u(shared.queue.capacity() as u64)),
+            ]),
+        ),
+        ("jobs".to_string(), u(m.jobs)),
+        ("stages".to_string(), u(m.stages)),
+        ("tasks".to_string(), u(m.tasks)),
+        ("task_retries".to_string(), u(m.task_retries)),
+        ("shuffles".to_string(), u(m.shuffles)),
+        ("shuffle_records".to_string(), u(m.shuffle_records)),
+        ("shuffle_bytes".to_string(), u(m.shuffle_bytes)),
+        ("broadcast_bytes".to_string(), u(m.broadcast_bytes)),
+        ("side_channel_writes".to_string(), u(m.side_channel_writes)),
+        ("side_channel_reads".to_string(), u(m.side_channel_reads)),
+        (
+            "side_channel_bytes_written".to_string(),
+            u(m.side_channel_bytes_written),
+        ),
+        (
+            "side_channel_bytes_read".to_string(),
+            u(m.side_channel_bytes_read),
+        ),
+        ("cache_hits".to_string(), u(m.cache_hits)),
+        ("collected_records".to_string(), u(m.collected_records)),
+        ("checkpoints_written".to_string(), u(m.checkpoints_written)),
+        ("checkpoint_bytes".to_string(), u(m.checkpoint_bytes)),
+        ("rounds_resumed".to_string(), u(m.rounds_resumed)),
+        ("store_cache_hits".to_string(), u(m.store_cache_hits)),
+        ("store_cache_misses".to_string(), u(m.store_cache_misses)),
+        (
+            "store_cache_evictions".to_string(),
+            u(m.store_cache_evictions),
+        ),
+        ("store_blocks_read".to_string(), u(m.store_blocks_read)),
+        ("store_bytes_read".to_string(), u(m.store_bytes_read)),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// The running server's handle
+// ---------------------------------------------------------------------------
+
+/// A running job interrupted by shutdown, with the committed checkpoint
+/// it can resume from (`POST /solve` with `"resume_from"`).
+#[derive(Debug, Clone)]
+pub struct InterruptedJob {
+    /// The job's id.
+    pub id: String,
+    /// Directory holding the committed round.
+    pub checkpoint_dir: PathBuf,
+}
+
+/// What a graceful [`ServerHandle::shutdown`] accomplished.
+#[derive(Debug, Clone, Default)]
+pub struct ShutdownReport {
+    /// Requests answered over the server's lifetime (any status).
+    pub requests_served: u64,
+    /// Running jobs that committed a round-granular checkpoint before
+    /// being cancelled; each is resumable.
+    pub interrupted: Vec<InterruptedJob>,
+    /// Final engine counters.
+    pub metrics: MetricsSnapshot,
+}
+
+/// Handle to a running [`Server`]: address, live metrics, job queue, and
+/// graceful shutdown.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    drain_timeout: Duration,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `0` was configured).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.addr.port()
+    }
+
+    /// Point-in-time engine counters (aggregated across all jobs and
+    /// the request handlers).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// The solve-job queue (submit/status/cancel are also reachable
+    /// in-process, e.g. from the CLI front end).
+    pub fn jobs(&self) -> &JobQueue {
+        &self.shared.queue
+    }
+
+    /// The solution registered under `key` (a job id or
+    /// [`STORE_SOLUTION_KEY`]).
+    pub fn solution(&self, key: &str) -> Option<Arc<Solution>> {
+        self.shared.registry.get(key)
+    }
+
+    /// The default point-query target (mounted store, else the latest
+    /// finished job).
+    pub fn default_solution(&self) -> Option<Arc<Solution>> {
+        self.shared.registry.default_solution()
+    }
+
+    /// Graceful shutdown:
+    ///
+    /// 1. stop admitting work — workers finish their current job and
+    ///    exit, new requests are answered `503`;
+    /// 2. fire every running job's [`CheckpointSignal`] so the engine
+    ///    commits a snapshot at the next round barrier (PR 7);
+    /// 3. wait (bounded by the configured drain timeout) for those
+    ///    checkpoints to land, then trip the cancel tokens — the engine
+    ///    refuses further task launches and the solves unwind;
+    /// 4. drain in-flight connections, stop the accept loop, join all
+    ///    threads.
+    ///
+    /// Interrupted jobs with a committed checkpoint are reported as
+    /// resumable.
+    ///
+    /// [`CheckpointSignal`]: crate::checkpoint::CheckpointSignal
+    pub fn shutdown(mut self) -> ShutdownReport {
+        let shared = &self.shared;
+        shared.draining.store(true, Ordering::Release);
+        shared.stop_workers.store(true, Ordering::Release);
+
+        // Ask every running job for a round-granular snapshot, then wait
+        // for the signals to be consumed at a round barrier and for the
+        // commits to land in the aggregate counter.
+        let running = shared.queue.running();
+        let before = shared.metrics.snapshot().checkpoints_written;
+        for job in &running {
+            job.signal.request();
+        }
+        let deadline = Instant::now() + self.drain_timeout;
+        loop {
+            let unsettled: Vec<_> = running
+                .iter()
+                .filter(|j| !shared.queue.is_settled(&j.id))
+                .collect();
+            let taken = unsettled
+                .iter()
+                .filter(|j| !j.signal.is_requested())
+                .count() as u64;
+            let committed = shared.metrics.snapshot().checkpoints_written - before;
+            if unsettled.is_empty() || (taken == unsettled.len() as u64 && committed >= taken) {
+                break;
+            }
+            if Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // Checkpoints are on disk (or the job finished on its own);
+        // now unwind whatever is still running.
+        for job in &running {
+            job.cancel.cancel();
+        }
+        while running.iter().any(|j| !shared.queue.is_settled(&j.id)) && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // Drain in-flight connections, then stop accepting.
+        while shared.open_connections.load(Ordering::Acquire) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        shared.stop_accept.store(true, Ordering::Release);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+
+        // Which interrupted jobs left a committed round behind?
+        let mut interrupted = Vec::new();
+        for job in &running {
+            let has_checkpoint = std::fs::read_dir(&job.checkpoint_dir)
+                .map(|mut entries| entries.next().is_some())
+                .unwrap_or(false);
+            if has_checkpoint
+                && shared
+                    .queue
+                    .status(&job.id)
+                    .is_some_and(|st| st.state == JobState::Cancelled)
+            {
+                shared.queue.mark_resumable(&job.id);
+                interrupted.push(InterruptedJob {
+                    id: job.id.clone(),
+                    checkpoint_dir: job.checkpoint_dir.clone(),
+                });
+            }
+        }
+
+        let metrics = shared.metrics.snapshot();
+        ShutdownReport {
+            requests_served: metrics.requests_served,
+            interrupted,
+            metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Problem;
+    use sparklet::{SparkConfig, SparkContext};
+
+    fn solved(n: usize) -> Solution {
+        let g = apsp_graph::generators::erdos_renyi_paper(n, 0.5, 3);
+        let ctx = SparkContext::new(SparkConfig::with_cores(2));
+        Problem::new(&g).with_paths().solve(&ctx).unwrap()
+    }
+
+    #[test]
+    fn answer_query_matches_the_solution_twins_and_bounds_check() {
+        let sol = solved(16);
+        match answer_query(&sol, &QueryRequest::Dist { src: 0, dst: 5 }).unwrap() {
+            QueryAnswer::Scalar { metric, value } => {
+                assert_eq!(metric, "dist");
+                assert_eq!(value, sol.try_dist(0, 5).unwrap());
+            }
+            other => panic!("wrong answer shape: {other:?}"),
+        }
+        // Out-of-range ids are NotFound (the resource does not exist),
+        // malformed windows are BadRequest.
+        assert!(matches!(
+            answer_query(&sol, &QueryRequest::Dist { src: 0, dst: 99 }),
+            Err(QueryError::NotFound(_))
+        ));
+        assert!(matches!(
+            answer_query(
+                &sol,
+                &QueryRequest::Submatrix {
+                    r0: 3,
+                    r1: 1,
+                    c0: 0,
+                    c1: 1
+                }
+            ),
+            Err(QueryError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn render_text_reproduces_the_cli_lines() {
+        let req = QueryRequest::Dist { src: 0, dst: 5 };
+        let ans = QueryAnswer::Scalar {
+            metric: "dist",
+            value: Some(2.5),
+        };
+        assert_eq!(render_text(&req, &ans), "dist(0, 5) = 2.5");
+        let ans = QueryAnswer::Scalar {
+            metric: "dist",
+            value: None,
+        };
+        assert_eq!(render_text(&req, &ans), "dist(0, 5) = unreachable");
+
+        let req = QueryRequest::Path { src: 1, dst: 4 };
+        let ans = QueryAnswer::Path {
+            route: Some(vec![1, 2, 4]),
+            paths_tracked: true,
+        };
+        assert_eq!(render_text(&req, &ans), "route 1 -> 4: 2 hops: 1 -> 2 -> 4");
+        let ans = QueryAnswer::Path {
+            route: None,
+            paths_tracked: false,
+        };
+        assert_eq!(
+            render_text(&req, &ans),
+            "no route from 1 to 4 (store was saved without path tracking)"
+        );
+
+        let req = QueryRequest::KNearest { src: 2, k: 2 };
+        let ans = QueryAnswer::KNearest {
+            items: vec![(7, 1.5), (3, 2.0)],
+        };
+        assert_eq!(render_text(&req, &ans), "k-nearest(2, 2): 7:1.5 3:2");
+
+        let req = QueryRequest::Submatrix {
+            r0: 0,
+            r1: 1,
+            c0: 0,
+            c1: 1,
+        };
+        let ans = QueryAnswer::Submatrix {
+            cells: vec![vec![0.0, f64::INFINITY], vec![1.0, 0.0]],
+        };
+        assert_eq!(
+            render_text(&req, &ans),
+            "submatrix [0..=1] x [0..=1]:\n  0 inf\n  1 0"
+        );
+    }
+
+    #[test]
+    fn answer_json_uses_null_for_unreachable() {
+        let req = QueryRequest::Dist { src: 0, dst: 1 };
+        let ans = QueryAnswer::Scalar {
+            metric: "dist",
+            value: None,
+        };
+        assert!(answer_json(&req, &ans).get("value").unwrap().is_null());
+
+        let req = QueryRequest::Submatrix {
+            r0: 0,
+            r1: 0,
+            c0: 0,
+            c1: 1,
+        };
+        let ans = QueryAnswer::Submatrix {
+            cells: vec![vec![2.0, f64::INFINITY]],
+        };
+        let cells = answer_json(&req, &ans);
+        let row = cells.get("cells").and_then(Value::as_array).unwrap()[0]
+            .as_array()
+            .unwrap()
+            .to_vec();
+        assert_eq!(row[0].as_f64(), Some(2.0));
+        assert!(row[1].is_null());
+    }
+
+    #[test]
+    fn request_targets_parse_with_query_strings_and_escapes() {
+        let (path, params) = parse_target("/dist?src=3&dst=7");
+        assert_eq!(path, "/dist");
+        assert_eq!(
+            params,
+            vec![("src".into(), "3".into()), ("dst".into(), "7".into())]
+        );
+        let (path, params) = parse_target("/jobs");
+        assert_eq!(path, "/jobs");
+        assert!(params.is_empty());
+        assert_eq!(percent_decode("a%20b+c"), "a b c");
+        assert_eq!(percent_decode("100%"), "100%");
+        assert_eq!(percent_decode("%2Ftmp%2Fx"), "/tmp/x");
+    }
+}

@@ -11,8 +11,38 @@ use crate::{Broadcast, Data};
 use parking_lot::Mutex;
 use rayon::prelude::*;
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// A cooperative cancellation flag for jobs running on a [`SparkContext`].
+///
+/// Clone it, hand one copy to the code driving the solve (via
+/// [`SparkContext::install_cancel_token`]) and keep the other; calling
+/// [`CancelToken::cancel`] makes the next task launch on that context fail
+/// with [`crate::SparkError::Cancelled`] *immediately* — cancellation
+/// pre-empts the retry/backoff budget, so a cancelled long solve unwinds
+/// within one task granule rather than one retry budget.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
 
 /// Engine configuration (the analogue of `SparkConf`).
 #[derive(Debug, Clone)]
@@ -106,6 +136,8 @@ pub(crate) struct CtxInner {
     pub(crate) config: SparkConfig,
     /// Installed chaos schedule, shared with the side channel(s).
     pub(crate) chaos: Arc<Mutex<Option<Arc<ChaosState>>>>,
+    /// Installed cancellation token, checked before every task attempt.
+    cancel: Mutex<Option<CancelToken>>,
     next_id: AtomicUsize,
 }
 
@@ -132,6 +164,16 @@ impl CtxInner {
         let max = self.config.max_task_attempts;
         let mut attempt = 0;
         loop {
+            // Cancellation outranks the retry budget: a cancelled context
+            // refuses to launch (or re-launch) any task, so a long solve
+            // unwinds within one task granule instead of one backoff cycle.
+            if let Some(token) = self.cancel.lock().as_ref() {
+                if token.is_cancelled() {
+                    return Err(crate::SparkError::Cancelled {
+                        reason: "cancel token tripped".to_string(),
+                    });
+                }
+            }
             self.metrics.add(&self.metrics.tasks, 1);
             match rdd.partition_data(partition) {
                 Ok(v) => return Ok(v),
@@ -202,12 +244,20 @@ pub struct SparkContext {
 impl SparkContext {
     /// Starts an engine with the given configuration.
     pub fn new(config: SparkConfig) -> Self {
+        SparkContext::with_shared_metrics(config, Arc::new(Metrics::default()))
+    }
+
+    /// Starts an engine whose counters are recorded into an *existing*
+    /// [`Metrics`] instance. This is how a long-running service gives each
+    /// solve job its own context (own cancel token, own chaos schedule,
+    /// own side channel) while keeping one aggregate, server-wide metrics
+    /// view across all of them.
+    pub fn with_shared_metrics(config: SparkConfig, metrics: Arc<Metrics>) -> Self {
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(config.num_cores)
             .thread_name(|i| format!("sparklet-exec-{i}"))
             .build()
             .expect("failed to build executor pool");
-        let metrics = Arc::new(Metrics::default());
         let chaos: Arc<Mutex<Option<Arc<ChaosState>>>> = Arc::new(Mutex::new(None));
         SparkContext {
             inner: Arc::new(CtxInner {
@@ -222,9 +272,32 @@ impl SparkContext {
                 failures: FailurePlan::new(),
                 config,
                 chaos,
+                cancel: Mutex::new(None),
                 next_id: AtomicUsize::new(0),
             }),
         }
+    }
+
+    /// The shared [`Metrics`] instance backing this context's counters.
+    /// Pass it to [`SparkContext::with_shared_metrics`] to build further
+    /// contexts that aggregate into the same counters.
+    pub fn shared_metrics(&self) -> Arc<Metrics> {
+        self.inner.metrics.clone()
+    }
+
+    /// Installs a cancellation token: every subsequent task launch on this
+    /// context first checks it and fails with
+    /// [`crate::SparkError::Cancelled`] once [`CancelToken::cancel`] has
+    /// been called (pre-empting retries and backoff). Replaces any
+    /// previously installed token.
+    pub fn install_cancel_token(&self, token: CancelToken) {
+        *self.inner.cancel.lock() = Some(token);
+    }
+
+    /// Removes the installed cancellation token; subsequent tasks launch
+    /// unconditionally.
+    pub fn clear_cancel_token(&self) {
+        *self.inner.cancel.lock() = None;
     }
 
     /// Number of executor threads.
@@ -375,5 +448,46 @@ impl std::fmt::Debug for SparkContext {
         f.debug_struct("SparkContext")
             .field("num_cores", &self.inner.config.num_cores)
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cancel_token_preempts_tasks() {
+        let ctx = SparkContext::new(SparkConfig::with_cores(2));
+        let token = CancelToken::new();
+        ctx.install_cancel_token(token.clone());
+
+        // Un-tripped token: jobs run normally.
+        let rdd = ctx.parallelize((0u64..16).collect::<Vec<_>>(), 4);
+        assert_eq!(rdd.map(|x| x * 2).collect().unwrap().len(), 16);
+
+        // Tripped token: the next job fails with Cancelled, without
+        // consuming the retry budget.
+        token.cancel();
+        let before = ctx.metrics();
+        let err = rdd.map(|x| x + 1).collect().unwrap_err();
+        assert!(matches!(err.root(), crate::SparkError::Cancelled { .. }));
+        let delta = ctx.metrics().delta(&before);
+        assert_eq!(delta.tasks, 0, "cancelled tasks must not launch");
+        assert_eq!(delta.task_retries, 0, "cancellation must pre-empt retries");
+
+        // Clearing the token restores normal operation.
+        ctx.clear_cancel_token();
+        assert_eq!(rdd.collect().unwrap().len(), 16);
+    }
+
+    #[test]
+    fn shared_metrics_aggregate_across_contexts() {
+        let a = SparkContext::new(SparkConfig::with_cores(1));
+        let b = SparkContext::with_shared_metrics(SparkConfig::with_cores(1), a.shared_metrics());
+        a.collect_unwrap(&a.parallelize(vec![1u64, 2, 3], 1));
+        b.collect_unwrap(&b.parallelize(vec![4u64, 5], 1));
+        let snap = a.metrics();
+        assert_eq!(snap.jobs, 2, "both contexts' jobs land in one Metrics");
+        assert_eq!(snap.collected_records, 5);
     }
 }

@@ -61,6 +61,13 @@ pub enum SparkError {
         /// The error from the last attempt.
         source: Box<SparkError>,
     },
+    /// The job was cancelled from outside (e.g. a service `DELETE
+    /// /jobs/<id>` or a shutdown drain). Cancellation pre-empts the retry
+    /// budget: a cancelled task fails immediately, without backoff.
+    Cancelled {
+        /// Why the job was cancelled (who asked).
+        reason: String,
+    },
     /// Error raised by user code inside a `try_*` transformation.
     User(String),
 }
@@ -153,6 +160,7 @@ impl fmt::Display for SparkError {
                      {attempts} attempts): {source}"
                 )
             }
+            SparkError::Cancelled { reason } => write!(f, "job cancelled: {reason}"),
             SparkError::User(msg) => write!(f, "user error: {msg}"),
         }
     }

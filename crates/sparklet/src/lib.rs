@@ -76,7 +76,7 @@ pub use accumulator::{DoubleAccumulator, LongAccumulator};
 pub use broadcast::Broadcast;
 pub use cache::ByteLruCache;
 pub use chaos::ChaosConfig;
-pub use context::{SparkConfig, SparkContext};
+pub use context::{CancelToken, SparkConfig, SparkContext};
 pub use error::{SparkError, SparkResult};
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use partitioner::Partitioner;

@@ -54,11 +54,44 @@ pub struct Metrics {
     /// Bytes read from closure-store blocks on disk (framed, with
     /// headers).
     pub store_bytes_read: AtomicU64,
+    /// HTTP requests answered by the query service (any status).
+    pub requests_served: AtomicU64,
+    /// Solve jobs accepted onto the service's bounded queue.
+    pub jobs_queued: AtomicU64,
+    /// Solve jobs rejected because the queue was full (backpressure).
+    pub jobs_rejected: AtomicU64,
+    /// Solve jobs cancelled (while queued or mid-run).
+    pub jobs_cancelled: AtomicU64,
+    /// High-water mark of the service job queue (queued + running).
+    pub queue_depth_peak: AtomicU64,
 }
 
 impl Metrics {
     pub(crate) fn add(&self, field: &AtomicU64, v: u64) {
         field.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Records one answered service request.
+    pub fn note_request_served(&self) {
+        self.requests_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a solve job accepted onto the service queue, and folds the
+    /// resulting depth (queued + running) into the high-water mark.
+    pub fn note_job_queued(&self, depth_now: u64) {
+        self.jobs_queued.fetch_add(1, Ordering::Relaxed);
+        self.queue_depth_peak
+            .fetch_max(depth_now, Ordering::Relaxed);
+    }
+
+    /// Records a solve job rejected by queue backpressure.
+    pub fn note_job_rejected(&self) {
+        self.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a cancelled solve job (queued or running).
+    pub fn note_job_cancelled(&self) {
+        self.jobs_cancelled.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Takes a point-in-time copy of all counters.
@@ -86,6 +119,11 @@ impl Metrics {
             store_cache_evictions: self.store_cache_evictions.load(Ordering::Relaxed),
             store_blocks_read: self.store_blocks_read.load(Ordering::Relaxed),
             store_bytes_read: self.store_bytes_read.load(Ordering::Relaxed),
+            requests_served: self.requests_served.load(Ordering::Relaxed),
+            jobs_queued: self.jobs_queued.load(Ordering::Relaxed),
+            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
+            jobs_cancelled: self.jobs_cancelled.load(Ordering::Relaxed),
+            queue_depth_peak: self.queue_depth_peak.load(Ordering::Relaxed),
         }
     }
 }
@@ -116,6 +154,11 @@ pub struct MetricsSnapshot {
     pub store_cache_evictions: u64,
     pub store_blocks_read: u64,
     pub store_bytes_read: u64,
+    pub requests_served: u64,
+    pub jobs_queued: u64,
+    pub jobs_rejected: u64,
+    pub jobs_cancelled: u64,
+    pub queue_depth_peak: u64,
 }
 
 impl MetricsSnapshot {
@@ -145,6 +188,13 @@ impl MetricsSnapshot {
             store_cache_evictions: self.store_cache_evictions - before.store_cache_evictions,
             store_blocks_read: self.store_blocks_read - before.store_blocks_read,
             store_bytes_read: self.store_bytes_read - before.store_bytes_read,
+            requests_served: self.requests_served - before.requests_served,
+            jobs_queued: self.jobs_queued - before.jobs_queued,
+            jobs_rejected: self.jobs_rejected - before.jobs_rejected,
+            jobs_cancelled: self.jobs_cancelled - before.jobs_cancelled,
+            // A high-water mark, not a monotone sum: the delta keeps the
+            // later snapshot's peak (it covers the whole window).
+            queue_depth_peak: self.queue_depth_peak,
         }
     }
 
@@ -179,6 +229,29 @@ mod tests {
         assert_eq!(d.checkpoints_written, 2);
         assert_eq!(d.checkpoint_bytes, 4096);
         assert_eq!(d.rounds_resumed, 1);
+    }
+
+    #[test]
+    fn service_counters_and_peak() {
+        let m = Metrics::default();
+        m.note_request_served();
+        m.note_request_served();
+        m.note_job_queued(1);
+        m.note_job_queued(3);
+        m.note_job_queued(2); // depth fell back; peak must not regress
+        m.note_job_rejected();
+        m.note_job_cancelled();
+        let a = m.snapshot();
+        assert_eq!(a.requests_served, 2);
+        assert_eq!(a.jobs_queued, 3);
+        assert_eq!(a.jobs_rejected, 1);
+        assert_eq!(a.jobs_cancelled, 1);
+        assert_eq!(a.queue_depth_peak, 3);
+        // delta carries the later peak (high-water mark, not additive)
+        m.note_job_queued(5);
+        let d = m.snapshot().delta(&a);
+        assert_eq!(d.jobs_queued, 1);
+        assert_eq!(d.queue_depth_peak, 5);
     }
 
     #[test]

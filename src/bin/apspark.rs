@@ -6,6 +6,8 @@
 //!                  [--auto] [--path SRC DST] [--store DIR] [--block-size B] [--cores C] [--output dists.txt]
 //! apspark query    --store DIR [--dist U V | --path U V | --k-nearest U K | --submatrix R0 R1 C0 C1]
 //!                  [--cache-mb M] [--stats]
+//! apspark serve    [--store DIR] [--port P] [--workers W] [--queue-depth Q]
+//!                  [--cache-mb M] [--cores C] [--work-dir DIR] [--stats]
 //! apspark finalize --checkpoint-dir DIR --store DIR
 //! apspark project  --n 262144 [--cores 1024] [--solver cb] [--block-size B]
 //! ```
@@ -19,9 +21,18 @@
 //! process — blocks load lazily through an LRU cache, so point queries
 //! never materialize the full matrix. `finalize` converts a *finished*
 //! checkpoint directory into a store without re-solving.
+//!
+//! `serve` keeps a store (and any solutions solved in-process) warm
+//! behind an HTTP endpoint: point queries (`GET /dist`, `/path`,
+//! `/k-nearest`, `/submatrix`, `/reachable`) answer synchronously
+//! through the *same* handler layer `query` uses, and full solves run
+//! as jobs on a bounded queue (`POST /solve`, `GET /jobs/<id>`,
+//! `DELETE /jobs/<id>`) that answers `429` when full. The server drains
+//! gracefully on `quit` (or stdin EOF): running jobs checkpoint at the
+//! next round barrier and are reported as resumable.
 
 use apspark::cluster::{project, ClusterSpec, KernelRates, SolverKind, SparkOverheads, Workload};
-use apspark::core::plan::Workload as PlanWorkload;
+use apspark::core::serve::{answer_query, render_text, QueryRequest, ServeConfig, Server};
 use apspark::core::{directed::DirectedBlockedCB, tuner, DistributedJohnson, MpiDcApsp, MpiFw2d};
 use apspark::graph::{generators, io};
 use apspark::prelude::*;
@@ -46,6 +57,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&flags),
         "solve" => cmd_solve(&flags),
         "query" => cmd_query(&flags),
+        "serve" => cmd_serve(&flags),
         "finalize" => cmd_finalize(&flags),
         "project" => cmd_project(&flags),
         "--help" | "-h" | "help" => {
@@ -56,6 +68,8 @@ fn main() -> ExitCode {
                  [--auto] [--path SRC DST] [--store DIR] [--cores C] [--output FILE]\n\
                  query    --store DIR [--dist U V | --path U V | --k-nearest U K |\n          \
                  --submatrix R0 R1 C0 C1] [--cache-mb M] [--stats]\n\
+                 serve    [--store DIR] [--port P] [--workers W] [--queue-depth Q]\n          \
+                 [--cache-mb M] [--cores C] [--work-dir DIR] [--stats]\n\
                  finalize --checkpoint-dir DIR --store DIR\n\
                  project  --n N [--cores P] [--solver NAME] [--block-size B]\n\n\
                  solvers: cb (default), im, fw2d, rs, cartesian, johnson, mpi-fw2d, mpi-dc,\n          \
@@ -225,21 +239,21 @@ fn print_stats(m: &apspark::sparklet::MetricsSnapshot) {
         m.checkpoint_bytes as f64 / 1e6,
         m.rounds_resumed,
     );
+    // The service counters only exist once a server has run; keep the
+    // solve/query output unchanged when they are all zero.
+    if m.requests_served + m.jobs_queued + m.jobs_rejected + m.jobs_cancelled > 0 {
+        println!(
+            "       service: {} requests served; jobs: {} queued (peak depth {}), \
+             {} rejected, {} cancelled",
+            m.requests_served, m.jobs_queued, m.queue_depth_peak, m.jobs_rejected, m.jobs_cancelled,
+        );
+    }
 }
 
 fn solver_id(name: &str) -> Result<SolverId, String> {
-    Ok(match name {
-        "cb" => SolverId::BlockedCollectBroadcast,
-        "im" => SolverId::BlockedInMemory,
-        "fw2d" => SolverId::FloydWarshall2D,
-        "rs" => SolverId::RepeatedSquaring,
-        "cartesian" => SolverId::CartesianSquaring,
-        "johnson" => SolverId::DistributedJohnson,
-        "mpi-fw2d" => SolverId::MpiFw2d,
-        "mpi-dc" => SolverId::MpiDc,
-        "hierarchical" | "sparse" => SolverId::SparseHierarchical,
-        other => return Err(format!("unknown solver '{other}'")),
-    })
+    // The same name table the service's POST /solve body uses, so the
+    // CLI and HTTP spellings cannot drift.
+    apspark::core::solver_by_name(name).ok_or_else(|| format!("unknown solver '{name}'"))
 }
 
 /// The planner-backed solve route (`--auto` and/or `--path SRC DST`).
@@ -432,46 +446,18 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
         if sol.plan.paths { "tracked" } else { "off" },
     );
 
-    if let (Some(u), Some(v)) = (get_usize(flags, "dist-src")?, get_usize(flags, "dist-dst")?) {
-        match sol.workload() {
-            PlanWorkload::ShortestPaths => match sol.try_dist(u, v).map_err(|e| e.to_string())? {
-                Some(d) => println!("dist({u}, {v}) = {d}"),
-                None => println!("dist({u}, {v}) = unreachable"),
-            },
-            PlanWorkload::Widest => match sol.try_width(u, v).map_err(|e| e.to_string())? {
-                Some(w) => println!("width({u}, {v}) = {w}"),
-                None => println!("width({u}, {v}) = unreachable"),
-            },
-            PlanWorkload::Reachability => {
-                let r = sol.try_reachable(u, v).map_err(|e| e.to_string())?;
-                println!("reachable({u}, {v}) = {r}");
-            }
-        }
+    // Build the requested queries and answer them through the same
+    // handler layer the HTTP server routes through (`serve::answer_query`
+    // + `serve::render_text`), so CLI and service semantics cannot drift.
+    let mut queries = Vec::new();
+    if let (Some(src), Some(dst)) = (get_usize(flags, "dist-src")?, get_usize(flags, "dist-dst")?) {
+        queries.push(QueryRequest::Dist { src, dst });
     }
-    if let (Some(u), Some(v)) = (get_usize(flags, "path-src")?, get_usize(flags, "path-dst")?) {
-        match sol.try_path(u, v).map_err(|e| e.to_string())? {
-            Some(route) => {
-                let hops: Vec<String> = route.iter().map(|x| x.to_string()).collect();
-                println!(
-                    "route {u} -> {v}: {} hops: {}",
-                    route.len() - 1,
-                    hops.join(" -> ")
-                );
-            }
-            None => println!(
-                "no route from {u} to {v}{}",
-                if sol.plan.paths {
-                    ""
-                } else {
-                    " (store was saved without path tracking)"
-                }
-            ),
-        }
+    if let (Some(src), Some(dst)) = (get_usize(flags, "path-src")?, get_usize(flags, "path-dst")?) {
+        queries.push(QueryRequest::Path { src, dst });
     }
-    if let (Some(u), Some(k)) = (get_usize(flags, "knear-src")?, get_usize(flags, "knear-k")?) {
-        let near = sol.try_k_nearest(u, k).map_err(|e| e.to_string())?;
-        let items: Vec<String> = near.iter().map(|(v, s)| format!("{v}:{s}")).collect();
-        println!("k-nearest({u}, {k}): {}", items.join(" "));
+    if let (Some(src), Some(k)) = (get_usize(flags, "knear-src")?, get_usize(flags, "knear-k")?) {
+        queries.push(QueryRequest::KNearest { src, k });
     }
     if let (Some(r0), Some(r1), Some(c0), Some(c1)) = (
         get_usize(flags, "sub-r0")?,
@@ -479,26 +465,11 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
         get_usize(flags, "sub-c0")?,
         get_usize(flags, "sub-c1")?,
     ) {
-        if r1 < r0 || c1 < c0 {
-            return Err("--submatrix wants R0 <= R1 and C0 <= C1 (inclusive)".into());
-        }
-        let rows: Vec<usize> = (r0..=r1).collect();
-        let cols: Vec<usize> = (c0..=c1).collect();
-        let sub = sol.try_submatrix(&rows, &cols).map_err(|e| e.to_string())?;
-        println!("submatrix [{r0}..={r1}] x [{c0}..={c1}]:");
-        for row in &sub {
-            let cells: Vec<String> = row
-                .iter()
-                .map(|v| {
-                    if v.is_finite() {
-                        format!("{v}")
-                    } else {
-                        "inf".into()
-                    }
-                })
-                .collect();
-            println!("  {}", cells.join(" "));
-        }
+        queries.push(QueryRequest::Submatrix { r0, r1, c0, c1 });
+    }
+    for req in &queries {
+        let ans = answer_query(&sol, req).map_err(|e| e.to_string())?;
+        println!("{}", render_text(req, &ans));
     }
     if flags.contains_key("stats") {
         if let Some(store) = sol.store() {
@@ -514,6 +485,86 @@ fn cmd_query(flags: &HashMap<String, String>) -> Result<(), String> {
                 store.cache_budget_bytes() as f64 / 1e6,
             );
         }
+    }
+    Ok(())
+}
+
+/// `apspark serve`: the HTTP query server. Runs until stdin says `quit`
+/// (or closes), then drains gracefully: running solve jobs checkpoint at
+/// the next round barrier and are reported as resumable.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let mut config = ServeConfig {
+        port: get_usize(flags, "port")?
+            .map(|p| u16::try_from(p).map_err(|_| format!("--port {p} does not fit a TCP port")))
+            .transpose()?
+            .unwrap_or(0),
+        ..ServeConfig::default()
+    };
+    if let Some(w) = get_usize(flags, "workers")? {
+        config.workers = w.max(1);
+    }
+    if let Some(q) = get_usize(flags, "queue-depth")? {
+        config.queue_depth = q.max(1);
+    }
+    if let Some(c) = get_usize(flags, "cores")? {
+        config.cores = c.max(1);
+    }
+    if let Some(mb) = get_usize(flags, "cache-mb")? {
+        config.cache_budget_bytes = (mb.max(1) as u64) << 20;
+    }
+    config.store = flags.get("store").map(Into::into);
+    config.work_dir = flags.get("work-dir").map(Into::into);
+
+    let handle = Server::start(config.clone()).map_err(|e| e.to_string())?;
+    if let Some(dir) = &config.store {
+        if let Some(sol) = handle.default_solution() {
+            println!(
+                "mounted {} store at {}: n = {}",
+                sol.workload().label(),
+                dir.display(),
+                sol.order()
+            );
+        }
+    }
+    println!(
+        "serving on http://{} ({} workers, queue depth {}); \
+         GET /health /metrics /dist /path /k-nearest /submatrix /reachable, \
+         POST /solve, GET|DELETE /jobs/<id>",
+        handle.addr(),
+        config.workers,
+        config.queue_depth,
+    );
+    println!("type 'quit' (or close stdin) to drain and shut down");
+
+    // Block on stdin: any of quit/stop/shutdown — or EOF, so piped and
+    // supervised deployments can end the server by closing the pipe.
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match stdin.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => match line.trim() {
+                "quit" | "stop" | "shutdown" | "exit" => break,
+                "" => {}
+                other => println!("unknown command '{other}' (try 'quit')"),
+            },
+        }
+    }
+
+    println!("draining: new requests get 503; running jobs checkpoint, then cancel");
+    let report = handle.shutdown();
+    println!("served {} requests", report.requests_served);
+    for job in &report.interrupted {
+        println!(
+            "job {} checkpointed to {} — resume with POST /solve {{\"resume_from\": \"{}\"}}",
+            job.id,
+            job.checkpoint_dir.display(),
+            job.checkpoint_dir.display(),
+        );
+    }
+    if flags.contains_key("stats") {
+        print_stats(&report.metrics);
     }
     Ok(())
 }

@@ -529,3 +529,116 @@ fn query_rejects_a_directory_that_is_not_a_store() {
     );
     let _ = std::fs::remove_dir_all(dir);
 }
+
+/// `apspark serve`: boots against a committed store, answers an HTTP
+/// point query bit-identical to `apspark query`, and drains cleanly on
+/// `quit`.
+#[test]
+fn serve_answers_http_queries_and_drains_on_quit() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let graph = temp("serve-g.txt");
+    let store = temp("serve-store");
+    let _ = std::fs::remove_dir_all(&store);
+    let out = bin()
+        .args(["generate", "--n", "48", "--seed", "3", "--output"])
+        .arg(&graph)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = bin()
+        .args(["solve", "--input"])
+        .arg(&graph)
+        .args(["--cores", "2", "--store"])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let mut child = bin()
+        .args(["serve", "--store"])
+        .arg(&store)
+        .args([
+            "--port",
+            "0",
+            "--workers",
+            "1",
+            "--queue-depth",
+            "1",
+            "--stats",
+        ])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let mut reader = BufReader::new(child.stdout.take().expect("child stdout"));
+
+    // The banner carries the bound (ephemeral) address.
+    let addr = loop {
+        let mut line = String::new();
+        assert!(
+            reader.read_line(&mut line).expect("read banner") > 0,
+            "server exited before printing its address"
+        );
+        if let Some(rest) = line.split("http://").nth(1) {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("address token")
+                .to_string();
+        }
+    };
+
+    // One query over HTTP, compared against `apspark query` on the same
+    // store.
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect");
+    stream
+        .write_all(b"GET /dist?src=0&dst=47 HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+
+    let out = bin()
+        .args(["query", "--store"])
+        .arg(&store)
+        .args(["--dist", "0", "47"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    let cli_line = text
+        .lines()
+        .find(|l| l.starts_with("dist(0, 47) = "))
+        .unwrap_or_else(|| panic!("no dist line in: {text}"));
+    let cli_value = cli_line.trim_start_matches("dist(0, 47) = ");
+    let body = response.split("\r\n\r\n").nth(1).unwrap_or("");
+    if cli_value == "unreachable" {
+        assert!(body.contains("\"value\":null"), "{body}");
+    } else {
+        assert!(
+            body.contains(&format!("\"value\":{cli_value}")),
+            "CLI said {cli_value}, HTTP said {body}"
+        );
+    }
+
+    // Drain on 'quit'; --stats prints the service counters.
+    child
+        .stdin
+        .as_mut()
+        .expect("child stdin")
+        .write_all(b"quit\n")
+        .unwrap();
+    let mut remainder = String::new();
+    reader.read_to_string(&mut remainder).unwrap();
+    let status = child.wait().expect("wait for serve");
+    assert!(status.success(), "serve exited nonzero: {remainder}");
+    assert!(remainder.contains("served"), "{remainder}");
+    assert!(remainder.contains("service:"), "{remainder}");
+
+    let _ = std::fs::remove_file(graph);
+    let _ = std::fs::remove_dir_all(store);
+}
